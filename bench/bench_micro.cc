@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark): codec throughput, interconnect
+// round trips under loss, expression evaluation, row hashing/serde.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "interconnect/sim_net.h"
+#include "interconnect/udp_interconnect.h"
+#include "sql/pexpr.h"
+#include "storage/codec.h"
+
+namespace hawq {
+namespace {
+
+std::string MakePayload(size_t n) {
+  Rng rng(11);
+  std::string s;
+  s.reserve(n);
+  const char* words[] = {"BUILDING", "MACHINERY", "1994-02-03", "12.5"};
+  while (s.size() < n) {
+    s += words[rng.Uniform(0, 3)];
+    s += std::to_string(rng.Uniform(0, 100000));
+    s += '|';
+  }
+  return s;
+}
+
+void BM_CodecCompress(benchmark::State& state) {
+  auto codec = static_cast<catalog::Codec>(state.range(0));
+  int level = static_cast<int>(state.range(1));
+  std::string payload = MakePayload(64 * 1024);
+  for (auto _ : state) {
+    auto c = storage::CodecCompress(codec, level, payload);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_CodecCompress)
+    ->Args({static_cast<int>(catalog::Codec::kQuicklz), 1})
+    ->Args({static_cast<int>(catalog::Codec::kZlib), 1})
+    ->Args({static_cast<int>(catalog::Codec::kZlib), 5})
+    ->Args({static_cast<int>(catalog::Codec::kZlib), 9});
+
+void BM_CodecDecompress(benchmark::State& state) {
+  auto codec = static_cast<catalog::Codec>(state.range(0));
+  std::string payload = MakePayload(64 * 1024);
+  auto comp = storage::CodecCompress(codec, 5, payload);
+  for (auto _ : state) {
+    auto d = storage::CodecDecompress(codec, *comp, payload.size());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_CodecDecompress)
+    ->Arg(static_cast<int>(catalog::Codec::kQuicklz))
+    ->Arg(static_cast<int>(catalog::Codec::kZlib));
+
+void BM_UdpInterconnectThroughput(benchmark::State& state) {
+  double loss = state.range(0) / 100.0;
+  net::NetOptions nopts;
+  nopts.loss_prob = loss;
+  nopts.reorder_prob = loss;
+  net::SimNet net(2, nopts);
+  net::UdpFabric fabric(&net);
+  std::string chunk(8 * 1024, 'x');
+  uint64_t query = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ++query;
+    std::thread receiver([&] {
+      auto recv = fabric.OpenRecv(query, 1, 0, 1, 1);
+      while (true) {
+        auto c = (*recv)->Recv();
+        if (!c.ok() || !c->has_value()) break;
+      }
+    });
+    state.ResumeTiming();
+    auto send = fabric.OpenSend(query, 1, 0, 0, {1});
+    for (int i = 0; i < 64; ++i) {
+      (void)(*send)->Send(0, chunk);
+    }
+    (void)(*send)->SendEos();
+    state.PauseTiming();
+    receiver.join();
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * chunk.size());
+}
+BENCHMARK(BM_UdpInterconnectThroughput)->Arg(0)->Arg(2)->Arg(10);
+
+void BM_PExprEval(benchmark::State& state) {
+  using sql::PExpr;
+  // l_extendedprice * (1 - l_discount) * (1 + l_tax)
+  PExpr one = PExpr::Const(Datum::Double(1), TypeId::kDouble);
+  PExpr expr = PExpr::Binary(
+      PExpr::Op::kMul,
+      PExpr::Binary(PExpr::Op::kMul, PExpr::Col(0, TypeId::kDouble),
+                    PExpr::Binary(PExpr::Op::kSub, one,
+                                  PExpr::Col(1, TypeId::kDouble),
+                                  TypeId::kDouble),
+                    TypeId::kDouble),
+      PExpr::Binary(PExpr::Op::kAdd, one, PExpr::Col(2, TypeId::kDouble),
+                    TypeId::kDouble),
+      TypeId::kDouble);
+  Row row = {Datum::Double(1000.5), Datum::Double(0.05), Datum::Double(0.08)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expr.Eval(row));
+  }
+}
+BENCHMARK(BM_PExprEval);
+
+void BM_RowSerde(benchmark::State& state) {
+  Row row = {Datum::Int(123456), Datum::Str("BUILDING"),
+             Datum::Double(1234.56), Datum::Int(9876),
+             Datum::Str("1995-02-03 some comment text here")};
+  for (auto _ : state) {
+    BufferWriter w;
+    SerializeRow(row, &w);
+    BufferReader r(w.data().data(), w.size());
+    auto back = DeserializeRow(&r);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_RowSerde);
+
+void BM_HashRow(benchmark::State& state) {
+  Row key = {Datum::Int(123456789), Datum::Str("somekey")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashRow(key));
+  }
+}
+BENCHMARK(BM_HashRow);
+
+}  // namespace
+}  // namespace hawq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared helpers for the figure-reproduction benchmarks.
+//
+// Every bench prints the paper's figure id, the paper-reported numbers,
+// and the measured numbers side by side. Scale factor and segment count
+// come from HAWQ_BENCH_SF / HAWQ_BENCH_SEGMENTS (defaults keep each
+// binary in the seconds range).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "tpch/tpch_loader.h"
+#include "tpch/tpch_queries.h"
+
+namespace hawq::bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+inline double BenchSf() { return EnvDouble("HAWQ_BENCH_SF", 0.005); }
+inline int BenchSegments() { return EnvInt("HAWQ_BENCH_SEGMENTS", 8); }
+
+inline engine::ClusterOptions DefaultCluster() {
+  engine::ClusterOptions o;
+  o.num_segments = BenchSegments();
+  o.fault_detector_thread = false;
+  return o;
+}
+
+/// Wall-clock of one callable, in milliseconds.
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct QueryRun {
+  int id = 0;
+  double ms = 0;
+  bool ok = true;
+  std::string error;
+};
+
+/// Run the given TPC-H queries on a HAWQ session; failed queries are
+/// recorded, not fatal.
+inline std::vector<QueryRun> RunQueries(engine::Session* session,
+                                        const std::vector<int>& ids) {
+  std::vector<QueryRun> out;
+  for (int id : ids) {
+    QueryRun r;
+    r.id = id;
+    r.ms = TimeMs([&] {
+      auto res = session->Execute(tpch::Query(id).sql);
+      if (!res.ok()) {
+        r.ok = false;
+        r.error = res.status().ToString();
+      }
+    });
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+inline std::vector<int> AllQueryIds() {
+  std::vector<int> ids;
+  for (int i = 1; i <= 22; ++i) ids.push_back(i);
+  return ids;
+}
+
+inline double TotalMs(const std::vector<QueryRun>& runs,
+                      const std::vector<int>* only_ok_of = nullptr) {
+  (void)only_ok_of;
+  double total = 0;
+  for (const QueryRun& r : runs) {
+    if (r.ok) total += r.ms;
+  }
+  return total;
+}
+
+inline void PrintHeader(const std::string& figure, const std::string& what) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), what.c_str());
+  std::printf("scale factor %.4g, %d segments (paper: 160GB-1.6TB, 16 hosts)\n",
+              BenchSf(), BenchSegments());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hawq::bench

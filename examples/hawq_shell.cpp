@@ -1,0 +1,104 @@
+// Interactive SQL shell (psql-style) against an in-process HAWQ cluster.
+//
+//   $ ./build/examples/hawq_shell [--segments N] [--tpch SF]
+//
+// --tpch preloads the TPC-H schema and data at the given scale factor so
+// the 22 benchmark queries can be explored interactively, e.g.:
+//
+//   hawq=# \q1            -- run TPC-H Q1
+//   hawq=# EXPLAIN SELECT ...
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "tpch/tpch_loader.h"
+#include "tpch/tpch_queries.h"
+
+using namespace hawq;
+
+int main(int argc, char** argv) {
+  int segments = 4;
+  double tpch_sf = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--segments") && i + 1 < argc) {
+      segments = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--tpch") && i + 1 < argc) {
+      tpch_sf = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--segments N] [--tpch SF]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  engine::ClusterOptions opts;
+  opts.num_segments = segments;
+  engine::Cluster cluster(opts);
+  std::printf("HAWQ reproduction shell — %d segments, UDP interconnect\n",
+              segments);
+  if (tpch_sf > 0) {
+    std::printf("loading TPC-H at sf %.4g ...\n", tpch_sf);
+    tpch::LoadOptions lopts;
+    lopts.gen.sf = tpch_sf;
+    Status st = tpch::LoadTpch(&cluster, lopts);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded. \\qN runs TPC-H query N (1..22).\n");
+  }
+  std::printf("end statements with ';', \\q quits.\n\n");
+
+  auto session = cluster.Connect();
+  std::string buffer;
+  while (true) {
+    std::printf(buffer.empty() ? "hawq=# " : "hawq-# ");
+    std::fflush(stdout);
+    std::string line;
+    if (!std::getline(std::cin, line)) break;
+    // Shell commands.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q" || line == "\\quit") break;
+      if (line.size() > 2 && line[1] == 'q') {
+        int qid = std::atoi(line.c_str() + 2);
+        if (qid >= 1 && qid <= 22) {
+          auto r = session->Execute(tpch::Query(qid).sql);
+          if (!r.ok()) {
+            std::printf("ERROR: %s\n", r.status().ToString().c_str());
+          } else {
+            std::printf("%s(%lld us)\n\n", r->ToTable(40).c_str(),
+                        static_cast<long long>(r->exec_time.count()));
+          }
+          continue;
+        }
+      }
+      std::printf("unknown command: %s\n", line.c_str());
+      continue;
+    }
+    buffer += (buffer.empty() ? "" : "\n") + line;
+    auto semi = buffer.find(';');
+    if (semi == std::string::npos) continue;
+    std::string sql = buffer.substr(0, semi);
+    buffer.clear();
+    if (sql.find_first_not_of(" \t\n") == std::string::npos) continue;
+    auto r = session->Execute(sql);
+    if (!r.ok()) {
+      std::printf("ERROR: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    if (r->schema.num_fields() > 0) {
+      std::printf("%s", r->ToTable(40).c_str());
+    } else {
+      std::printf("%s\n", r->message.c_str());
+    }
+    std::printf("(%lld us; %d slices%s%s)\n\n",
+                static_cast<long long>(r->exec_time.count()), r->num_slices,
+                r->direct_dispatch ? "; direct dispatch" : "",
+                r->master_only ? "; master-only" : "");
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

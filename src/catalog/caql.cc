@@ -1,0 +1,356 @@
+#include "catalog/caql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace hawq::catalog {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) {}
+
+  Result<Token> Next() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    Token t;
+    if (pos_ >= s_.size()) return t;
+    char c = s_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = pos_;
+      while (pos_ < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = s_.substr(b, pos_ - b);
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < s_.size() &&
+         std::isdigit(static_cast<unsigned char>(s_[pos_ + 1])))) {
+      size_t b = pos_++;
+      while (pos_ < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+              s_[pos_] == '.')) {
+        ++pos_;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = s_.substr(b, pos_ - b);
+      return t;
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string v;
+      while (pos_ < s_.size() && s_[pos_] != '\'') v += s_[pos_++];
+      if (pos_ >= s_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++pos_;
+      t.kind = Token::Kind::kString;
+      t.text = std::move(v);
+      return t;
+    }
+    // Multi-char operators.
+    static const char* ops[] = {"<=", ">=", "<>", "!="};
+    for (const char* op : ops) {
+      if (s_.compare(pos_, 2, op) == 0) {
+        t.kind = Token::Kind::kSymbol;
+        t.text = op;
+        pos_ += 2;
+        return t;
+      }
+    }
+    t.kind = Token::Kind::kSymbol;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+struct Cond {
+  int col = -1;
+  std::string op;
+  Datum value;
+};
+
+class Parser {
+ public:
+  Parser(Catalog* cat, tx::Transaction* txn, const std::string& q)
+      : cat_(cat), txn_(txn), lex_(q) {}
+
+  Result<CaqlResult> Run() {
+    HAWQ_RETURN_IF_ERROR(Advance());
+    if (IsKeyword("SELECT")) return Select();
+    if (IsKeyword("INSERT")) return Insert();
+    if (IsKeyword("DELETE")) return Delete();
+    if (IsKeyword("UPDATE")) return Update();
+    return Status::InvalidArgument("CaQL: expected SELECT/INSERT/DELETE/UPDATE");
+  }
+
+ private:
+  bool IsKeyword(const char* kw) const {
+    return cur_.kind == Token::Kind::kIdent && IEquals(cur_.text, kw);
+  }
+  Status Advance() {
+    HAWQ_ASSIGN_OR_RETURN(cur_, lex_.Next());
+    return Status::OK();
+  }
+  Status Expect(const char* kw) {
+    if (!IsKeyword(kw) && !(cur_.kind == Token::Kind::kSymbol &&
+                            cur_.text == kw)) {
+      return Status::InvalidArgument(std::string("CaQL: expected ") + kw +
+                                     ", got '" + cur_.text + "'");
+    }
+    return Advance();
+  }
+
+  Result<Relation*> RelationRef() {
+    if (cur_.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("CaQL: expected relation name");
+    }
+    Relation* rel = cat_->GetRelation(ToLower(cur_.text));
+    if (!rel) {
+      return Status::NotFound("CaQL: unknown catalog table " + cur_.text);
+    }
+    HAWQ_RETURN_IF_ERROR(Advance());
+    return rel;
+  }
+
+  /// Coerce a literal token to the column's declared type.
+  Result<Datum> Literal(TypeId target) {
+    Datum d;
+    if (cur_.kind == Token::Kind::kNumber) {
+      if (target == TypeId::kDouble) {
+        d = Datum::Double(std::stod(cur_.text));
+      } else {
+        d = Datum::Int(std::stoll(cur_.text));
+      }
+    } else if (cur_.kind == Token::Kind::kString) {
+      if (target == TypeId::kDate) {
+        HAWQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(cur_.text));
+        d = Datum::Int(days);
+      } else {
+        d = Datum::Str(cur_.text);
+      }
+    } else if (IsKeyword("TRUE")) {
+      d = Datum::Bool(true);
+    } else if (IsKeyword("FALSE")) {
+      d = Datum::Bool(false);
+    } else if (IsKeyword("NULL")) {
+      d = Datum::Null();
+    } else {
+      return Status::InvalidArgument("CaQL: expected literal, got '" +
+                                     cur_.text + "'");
+    }
+    HAWQ_RETURN_IF_ERROR(Advance());
+    return d;
+  }
+
+  Result<std::vector<Cond>> WhereClause(const Schema& schema) {
+    std::vector<Cond> conds;
+    if (!IsKeyword("WHERE")) return conds;
+    HAWQ_RETURN_IF_ERROR(Advance());
+    while (true) {
+      Cond c;
+      if (cur_.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("CaQL: expected column name");
+      }
+      c.col = schema.FindField(cur_.text);
+      if (c.col < 0) {
+        return Status::InvalidArgument("CaQL: unknown column " + cur_.text);
+      }
+      HAWQ_RETURN_IF_ERROR(Advance());
+      if (cur_.kind != Token::Kind::kSymbol) {
+        return Status::InvalidArgument("CaQL: expected operator");
+      }
+      c.op = cur_.text;
+      HAWQ_RETURN_IF_ERROR(Advance());
+      HAWQ_ASSIGN_OR_RETURN(c.value, Literal(schema.field(c.col).type));
+      conds.push_back(std::move(c));
+      if (!IsKeyword("AND")) break;
+      HAWQ_RETURN_IF_ERROR(Advance());
+    }
+    return conds;
+  }
+
+  static bool EvalConds(const std::vector<Cond>& conds, const Row& row) {
+    for (const Cond& c : conds) {
+      int cmp = Datum::Compare(row[c.col], c.value);
+      bool ok;
+      if (c.op == "=") ok = cmp == 0;
+      else if (c.op == "<>" || c.op == "!=") ok = cmp != 0;
+      else if (c.op == "<") ok = cmp < 0;
+      else if (c.op == "<=") ok = cmp <= 0;
+      else if (c.op == ">") ok = cmp > 0;
+      else ok = cmp >= 0;  // >=
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  Result<CaqlResult> Select() {
+    HAWQ_RETURN_IF_ERROR(Advance());
+    bool count_star = false;
+    if (cur_.kind == Token::Kind::kSymbol && cur_.text == "*") {
+      HAWQ_RETURN_IF_ERROR(Advance());
+    } else if (IsKeyword("COUNT")) {
+      count_star = true;
+      HAWQ_RETURN_IF_ERROR(Advance());
+      HAWQ_RETURN_IF_ERROR(Expect("("));
+      HAWQ_RETURN_IF_ERROR(Expect("*"));
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+    } else {
+      return Status::InvalidArgument("CaQL: SELECT supports * or COUNT(*)");
+    }
+    HAWQ_RETURN_IF_ERROR(Expect("FROM"));
+    HAWQ_ASSIGN_OR_RETURN(Relation * rel, RelationRef());
+    HAWQ_ASSIGN_OR_RETURN(auto conds, WhereClause(rel->schema()));
+    int order_col = -1;
+    bool desc = false;
+    if (IsKeyword("ORDER")) {
+      HAWQ_RETURN_IF_ERROR(Advance());
+      HAWQ_RETURN_IF_ERROR(Expect("BY"));
+      if (cur_.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("CaQL: expected ORDER BY column");
+      }
+      order_col = rel->schema().FindField(cur_.text);
+      if (order_col < 0) {
+        return Status::InvalidArgument("CaQL: unknown column " + cur_.text);
+      }
+      HAWQ_RETURN_IF_ERROR(Advance());
+      if (IsKeyword("DESC")) {
+        desc = true;
+        HAWQ_RETURN_IF_ERROR(Advance());
+      } else if (IsKeyword("ASC")) {
+        HAWQ_RETURN_IF_ERROR(Advance());
+      }
+    }
+    auto matches = rel->ScanWhere(
+        txn_->StatementSnapshot(),
+        [&](const Row& r) { return EvalConds(conds, r); });
+    CaqlResult res;
+    if (count_star) {
+      res.schema = Schema({{"count", TypeId::kInt64, false}});
+      res.rows.push_back({Datum::Int(static_cast<int64_t>(matches.size()))});
+      return res;
+    }
+    res.schema = rel->schema();
+    for (auto& [tid, row] : matches) res.rows.push_back(std::move(row));
+    if (order_col >= 0) {
+      std::sort(res.rows.begin(), res.rows.end(),
+                [&](const Row& a, const Row& b) {
+                  int c = Datum::Compare(a[order_col], b[order_col]);
+                  return desc ? c > 0 : c < 0;
+                });
+    }
+    return res;
+  }
+
+  Result<CaqlResult> Insert() {
+    HAWQ_RETURN_IF_ERROR(Advance());
+    HAWQ_RETURN_IF_ERROR(Expect("INTO"));
+    HAWQ_ASSIGN_OR_RETURN(Relation * rel, RelationRef());
+    HAWQ_RETURN_IF_ERROR(Expect("VALUES"));
+    HAWQ_RETURN_IF_ERROR(Expect("("));
+    Row row;
+    for (size_t i = 0; i < rel->schema().num_fields(); ++i) {
+      if (i) HAWQ_RETURN_IF_ERROR(Expect(","));
+      HAWQ_ASSIGN_OR_RETURN(Datum d, Literal(rel->schema().field(i).type));
+      row.push_back(std::move(d));
+    }
+    HAWQ_RETURN_IF_ERROR(Expect(")"));
+    cat_->WalInsert(txn_->xid(), rel, std::move(row));
+    CaqlResult res;
+    res.affected = 1;
+    return res;
+  }
+
+  Result<CaqlResult> Delete() {
+    HAWQ_RETURN_IF_ERROR(Advance());
+    HAWQ_RETURN_IF_ERROR(Expect("FROM"));
+    HAWQ_ASSIGN_OR_RETURN(Relation * rel, RelationRef());
+    HAWQ_ASSIGN_OR_RETURN(auto conds, WhereClause(rel->schema()));
+    auto matches = rel->ScanWhere(
+        txn_->StatementSnapshot(),
+        [&](const Row& r) { return EvalConds(conds, r); });
+    CaqlResult res;
+    for (const auto& [tid, row] : matches) {
+      HAWQ_RETURN_IF_ERROR(cat_->WalDelete(txn_->xid(), rel, tid));
+      ++res.affected;
+    }
+    return res;
+  }
+
+  Result<CaqlResult> Update() {
+    HAWQ_RETURN_IF_ERROR(Advance());
+    HAWQ_ASSIGN_OR_RETURN(Relation * rel, RelationRef());
+    HAWQ_RETURN_IF_ERROR(Expect("SET"));
+    std::vector<std::pair<int, Datum>> sets;
+    while (true) {
+      if (cur_.kind != Token::Kind::kIdent) {
+        return Status::InvalidArgument("CaQL: expected column in SET");
+      }
+      int col = rel->schema().FindField(cur_.text);
+      if (col < 0) {
+        return Status::InvalidArgument("CaQL: unknown column " + cur_.text);
+      }
+      HAWQ_RETURN_IF_ERROR(Advance());
+      HAWQ_RETURN_IF_ERROR(Expect("="));
+      HAWQ_ASSIGN_OR_RETURN(Datum d, Literal(rel->schema().field(col).type));
+      sets.emplace_back(col, std::move(d));
+      if (cur_.kind == Token::Kind::kSymbol && cur_.text == ",") {
+        HAWQ_RETURN_IF_ERROR(Advance());
+        continue;
+      }
+      break;
+    }
+    HAWQ_ASSIGN_OR_RETURN(auto conds, WhereClause(rel->schema()));
+    auto matches = rel->ScanWhere(
+        txn_->StatementSnapshot(),
+        [&](const Row& r) { return EvalConds(conds, r); });
+    if (matches.size() != 1) {
+      return Status::InvalidArgument(
+          "CaQL: UPDATE must match exactly one row, matched " +
+          std::to_string(matches.size()));
+    }
+    Row updated = matches[0].second;
+    for (auto& [col, val] : sets) updated[col] = val;
+    HAWQ_RETURN_IF_ERROR(cat_->WalDelete(txn_->xid(), rel, matches[0].first));
+    cat_->WalInsert(txn_->xid(), rel, std::move(updated));
+    CaqlResult res;
+    res.affected = 1;
+    return res;
+  }
+
+  Catalog* cat_;
+  tx::Transaction* txn_;
+  Lexer lex_;
+  Token cur_;
+};
+
+}  // namespace
+
+Result<CaqlResult> CaqlExecute(Catalog* cat, tx::Transaction* txn,
+                               const std::string& query) {
+  Parser p(cat, txn, query);
+  return p.Run();
+}
+
+}  // namespace hawq::catalog

@@ -1,0 +1,36 @@
+// CaQL: the catalog query language (paper §2.2).
+//
+// A deliberately small subset of SQL used for all internal catalog access:
+// basic single-table SELECT, COUNT(), multi-row DELETE, and single-row
+// INSERT/UPDATE. No joins, no planner — most catalog operations are
+// OLTP-style lookups, so a simplified language is faster and easier to
+// scale than full SQL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hawq::catalog {
+
+struct CaqlResult {
+  Schema schema;
+  std::vector<Row> rows;
+  int64_t affected = 0;  // for DELETE/INSERT/UPDATE
+};
+
+/// Parse and execute one CaQL statement against `cat` within `txn`.
+///
+/// Supported grammar:
+///   SELECT * | COUNT(*) FROM rel [WHERE col op lit [AND ...]]
+///       [ORDER BY col [DESC]]
+///   INSERT INTO rel VALUES (lit, ...)
+///   DELETE FROM rel [WHERE ...]
+///   UPDATE rel SET col = lit [, ...] [WHERE ...]   -- must match one row
+Result<CaqlResult> CaqlExecute(Catalog* cat, tx::Transaction* txn,
+                               const std::string& query);
+
+}  // namespace hawq::catalog

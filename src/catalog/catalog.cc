@@ -1,0 +1,603 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "common/string_util.h"
+
+namespace hawq::catalog {
+
+namespace {
+
+Schema PgClassSchema() {
+  return Schema({{"oid", TypeId::kInt64, false},
+                 {"relname", TypeId::kString, false},
+                 {"relkind", TypeId::kString, false},
+                 {"storage", TypeId::kString, false},
+                 {"codec", TypeId::kString, false},
+                 {"codeclevel", TypeId::kInt64, false},
+                 {"distpolicy", TypeId::kString, false},
+                 {"distcols", TypeId::kString, true},
+                 {"partcol", TypeId::kInt64, false},
+                 {"parent", TypeId::kInt64, false},
+                 {"reltuples", TypeId::kInt64, false},
+                 {"extlocation", TypeId::kString, true},
+                 {"extprofile", TypeId::kString, true}});
+}
+
+Schema PgAttributeSchema() {
+  return Schema({{"relid", TypeId::kInt64, false},
+                 {"attname", TypeId::kString, false},
+                 {"atttype", TypeId::kString, false},
+                 {"attnum", TypeId::kInt64, false},
+                 {"nullable", TypeId::kBool, false}});
+}
+
+Schema PgPartitionSchema() {
+  return Schema({{"parentid", TypeId::kInt64, false},
+                 {"childid", TypeId::kInt64, false},
+                 {"lo", TypeId::kInt64, false},
+                 {"hi", TypeId::kInt64, false},
+                 {"idx", TypeId::kInt64, false}});
+}
+
+Schema PgAosegSchema() {
+  return Schema({{"relid", TypeId::kInt64, false},
+                 {"segment", TypeId::kInt64, false},
+                 {"lane", TypeId::kInt64, false},
+                 {"filepath", TypeId::kString, false},
+                 {"eof", TypeId::kInt64, false},
+                 {"tuplecount", TypeId::kInt64, false},
+                 {"uncompressed", TypeId::kInt64, false}});
+}
+
+Schema PgStatisticSchema() {
+  return Schema({{"relid", TypeId::kInt64, false},
+                 {"attname", TypeId::kString, false},
+                 {"ndistinct", TypeId::kDouble, false},
+                 {"nullfrac", TypeId::kDouble, false},
+                 {"minnum", TypeId::kDouble, true},
+                 {"maxnum", TypeId::kDouble, true},
+                 {"minstr", TypeId::kString, true},
+                 {"maxstr", TypeId::kString, true}});
+}
+
+Schema GpSegmentConfigurationSchema() {
+  return Schema({{"segid", TypeId::kInt64, false},
+                 {"host", TypeId::kString, false},
+                 {"port", TypeId::kInt64, false},
+                 {"status", TypeId::kString, false}});
+}
+
+Schema PgAuthidSchema() {
+  return Schema({{"name", TypeId::kString, false},
+                 {"superuser", TypeId::kBool, false}});
+}
+
+Schema PgDatabaseSchema() {
+  return Schema({{"datname", TypeId::kString, false}});
+}
+
+}  // namespace
+
+const char* StorageKindName(StorageKind k) {
+  switch (k) {
+    case StorageKind::kAO: return "AO";
+    case StorageKind::kCO: return "CO";
+    case StorageKind::kParquet: return "PARQUET";
+    case StorageKind::kExternal: return "EXTERNAL";
+  }
+  return "?";
+}
+
+const char* CodecName(Codec c) {
+  switch (c) {
+    case Codec::kNone: return "none";
+    case Codec::kQuicklz: return "quicklz";
+    case Codec::kZlib: return "zlib";
+    case Codec::kRle: return "rle";
+  }
+  return "?";
+}
+
+Result<StorageKind> ParseStorageKind(const std::string& s) {
+  std::string u = ToUpper(s);
+  if (u == "AO" || u == "ROW") return StorageKind::kAO;
+  if (u == "CO" || u == "COLUMN") return StorageKind::kCO;
+  if (u == "PARQUET") return StorageKind::kParquet;
+  if (u == "EXTERNAL") return StorageKind::kExternal;
+  return Status::InvalidArgument("unknown storage kind: " + s);
+}
+
+Result<Codec> ParseCodec(const std::string& s) {
+  std::string l = ToLower(s);
+  if (l == "none") return Codec::kNone;
+  // The paper's fast/light codecs.
+  if (l == "quicklz" || l == "snappy") return Codec::kQuicklz;
+  // The paper's deep/archival codecs.
+  if (l == "zlib" || l == "gzip") return Codec::kZlib;
+  if (l == "rle" || l == "rle_type") return Codec::kRle;
+  return Status::InvalidArgument("unknown codec: " + s);
+}
+
+Schema TableDesc::ToSchema() const {
+  Schema s;
+  for (const ColumnDesc& c : columns) s.AddField({c.name, c.type, c.nullable});
+  return s;
+}
+
+Catalog::Catalog(tx::TxManager* mgr) : mgr_(mgr) { Bootstrap(); }
+
+void Catalog::Bootstrap() {
+  auto make = [&](const char* name, Schema s) {
+    relations_[name] = std::make_unique<Relation>(name, std::move(s), mgr_);
+  };
+  make("pg_class", PgClassSchema());
+  make("pg_attribute", PgAttributeSchema());
+  make("pg_partition", PgPartitionSchema());
+  make("pg_aoseg", PgAosegSchema());
+  make("pg_statistic", PgStatisticSchema());
+  make("gp_segment_configuration", GpSegmentConfigurationSchema());
+  make("pg_authid", PgAuthidSchema());
+  make("pg_database", PgDatabaseSchema());
+  // Constant bootstrap rows: visible to everyone, not WAL-logged (the
+  // standby bootstraps identically — the readonly store of §3.1).
+  relations_["pg_database"]->Insert(tx::kBootstrapTxId, {Datum::Str("hawq")});
+  relations_["pg_authid"]->Insert(tx::kBootstrapTxId,
+                                  {Datum::Str("gpadmin"), Datum::Bool(true)});
+}
+
+Relation* Catalog::GetRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> out;
+  for (const auto& [n, r] : relations_) out.push_back(n);
+  return out;
+}
+
+TupleId Catalog::WalInsert(tx::TxId xid, Relation* rel, Row row) {
+  TupleId tid = rel->Insert(xid, row);
+  tx::WalRecord rec;
+  rec.xid = xid;
+  rec.kind = tx::WalRecord::Kind::kCatalogInsert;
+  rec.table = rel->name();
+  BufferWriter w;
+  w.PutVarint(tid);
+  SerializeRow(row, &w);
+  rec.payload = w.Release();
+  mgr_->wal().Append(rec);
+  return tid;
+}
+
+Status Catalog::WalDelete(tx::TxId xid, Relation* rel, TupleId tid) {
+  HAWQ_RETURN_IF_ERROR(rel->Delete(xid, tid));
+  tx::WalRecord rec;
+  rec.xid = xid;
+  rec.kind = tx::WalRecord::Kind::kCatalogDelete;
+  rec.table = rel->name();
+  BufferWriter w;
+  w.PutVarint(tid);
+  rec.payload = w.Release();
+  mgr_->wal().Append(rec);
+  return Status::OK();
+}
+
+void Catalog::ApplyWalRecord(const tx::WalRecord& rec) {
+  switch (rec.kind) {
+    case tx::WalRecord::Kind::kBegin:
+      mgr_->SetStateForReplay(rec.xid, tx::CommitLog::State::kInProgress);
+      break;
+    case tx::WalRecord::Kind::kCommit:
+      mgr_->SetStateForReplay(rec.xid, tx::CommitLog::State::kCommitted);
+      break;
+    case tx::WalRecord::Kind::kAbort:
+      mgr_->SetStateForReplay(rec.xid, tx::CommitLog::State::kAborted);
+      break;
+    case tx::WalRecord::Kind::kCatalogInsert: {
+      Relation* rel = GetRelation(rec.table);
+      if (!rel) return;
+      BufferReader r(rec.payload);
+      auto tid = r.GetVarint();
+      auto row = DeserializeRow(&r);
+      if (tid.ok() && row.ok()) {
+        tx::TupleHeader hdr;
+        hdr.xmin = rec.xid;
+        rel->ApplyRaw(*tid, hdr, std::move(*row));
+      }
+      break;
+    }
+    case tx::WalRecord::Kind::kCatalogDelete: {
+      Relation* rel = GetRelation(rec.table);
+      if (!rel) return;
+      BufferReader r(rec.payload);
+      auto tid = r.GetVarint();
+      if (tid.ok()) rel->ApplyRawDelete(*tid, rec.xid);
+      break;
+    }
+  }
+}
+
+size_t Catalog::VacuumAll(tx::TxId oldest_xmin) {
+  size_t n = 0;
+  for (auto& [name, rel] : relations_) n += rel->Vacuum(oldest_xmin);
+  return n;
+}
+
+Result<TableOid> Catalog::CreateTable(tx::Transaction* txn, TableDesc desc) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* cls = GetRelation("pg_class");
+  auto existing = cls->ScanWhere(snap, [&](const Row& r) {
+    return IEquals(r[1].as_str(), desc.name);
+  });
+  if (!existing.empty()) {
+    return Status::AlreadyExists("table exists: " + desc.name);
+  }
+  desc.oid = next_oid_.fetch_add(1);
+  std::vector<std::string> dist_names;
+  for (int idx : desc.dist_cols) dist_names.push_back(desc.columns[idx].name);
+  Row cls_row = {
+      Datum::Int(static_cast<int64_t>(desc.oid)),
+      Datum::Str(desc.name),
+      Datum::Str(desc.is_external() ? "x" : "r"),
+      Datum::Str(StorageKindName(desc.storage)),
+      Datum::Str(CodecName(desc.codec)),
+      Datum::Int(desc.codec_level),
+      Datum::Str(desc.dist == DistPolicy::kHash ? "HASH" : "RANDOM"),
+      Datum::Str(Join(dist_names, ",")),
+      Datum::Int(desc.part_col),
+      Datum::Int(static_cast<int64_t>(desc.parent)),
+      Datum::Int(desc.reltuples),
+      Datum::Str(desc.ext_location),
+      Datum::Str(desc.ext_profile)};
+  WalInsert(txn->xid(), cls, std::move(cls_row));
+  Relation* att = GetRelation("pg_attribute");
+  for (size_t i = 0; i < desc.columns.size(); ++i) {
+    const ColumnDesc& c = desc.columns[i];
+    WalInsert(txn->xid(), att,
+              {Datum::Int(static_cast<int64_t>(desc.oid)), Datum::Str(c.name),
+               Datum::Str(TypeName(c.type)), Datum::Int(static_cast<int64_t>(i)),
+               Datum::Bool(c.nullable)});
+  }
+  // Partition children: each is a full table, inheriting columns and
+  // distribution (paper §2.3: "each partition ... is distributed like a
+  // separate table").
+  Relation* part = GetRelation("pg_partition");
+  for (size_t i = 0; i < desc.partitions.size(); ++i) {
+    RangePartition& p = desc.partitions[i];
+    TableDesc child;
+    child.name = p.child_name.empty()
+                     ? desc.name + "_1_prt_" + std::to_string(i + 1)
+                     : p.child_name;
+    child.columns = desc.columns;
+    child.storage = desc.storage;
+    child.codec = desc.codec;
+    child.codec_level = desc.codec_level;
+    child.dist = desc.dist;
+    child.dist_cols = desc.dist_cols;
+    child.parent = desc.oid;
+    HAWQ_ASSIGN_OR_RETURN(TableOid child_oid, CreateTable(txn, child));
+    p.child = child_oid;
+    WalInsert(txn->xid(), part,
+              {Datum::Int(static_cast<int64_t>(desc.oid)),
+               Datum::Int(static_cast<int64_t>(child_oid)), Datum::Int(p.lo),
+               Datum::Int(p.hi), Datum::Int(static_cast<int64_t>(i))});
+  }
+  return desc.oid;
+}
+
+Result<TableDesc> Catalog::LoadTableDesc(const tx::Snapshot& snap,
+                                         const Row& cls) {
+  TableDesc d;
+  d.oid = static_cast<TableOid>(cls[0].as_int());
+  d.name = cls[1].as_str();
+  HAWQ_ASSIGN_OR_RETURN(d.storage, ParseStorageKind(cls[3].as_str()));
+  HAWQ_ASSIGN_OR_RETURN(d.codec, ParseCodec(cls[4].as_str()));
+  d.codec_level = static_cast<int>(cls[5].as_int());
+  d.dist = cls[6].as_str() == "HASH" ? DistPolicy::kHash : DistPolicy::kRandom;
+  d.part_col = static_cast<int>(cls[8].as_int());
+  d.parent = static_cast<TableOid>(cls[9].as_int());
+  d.reltuples = cls[10].as_int();
+  d.ext_location = cls[11].as_str();
+  d.ext_profile = cls[12].as_str();
+
+  Relation* att = GetRelation("pg_attribute");
+  auto attrs = att->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == d.oid;
+  });
+  std::sort(attrs.begin(), attrs.end(),
+            [](const auto& a, const auto& b) {
+              return a.second[3].as_int() < b.second[3].as_int();
+            });
+  for (const auto& [tid, r] : attrs) {
+    ColumnDesc c;
+    c.name = r[1].as_str();
+    HAWQ_ASSIGN_OR_RETURN(c.type, ParseTypeName(r[2].as_str()));
+    c.nullable = r[4].as_bool();
+    d.columns.push_back(std::move(c));
+  }
+  // Distribution column names -> indices.
+  if (!cls[7].as_str().empty()) {
+    for (const std::string& n : Split(cls[7].as_str(), ',')) {
+      for (size_t i = 0; i < d.columns.size(); ++i) {
+        if (IEquals(d.columns[i].name, n)) {
+          d.dist_cols.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+  }
+  // Partition children.
+  Relation* part = GetRelation("pg_partition");
+  auto parts = part->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == d.oid;
+  });
+  std::sort(parts.begin(), parts.end(),
+            [](const auto& a, const auto& b) {
+              return a.second[4].as_int() < b.second[4].as_int();
+            });
+  Relation* cls_rel = GetRelation("pg_class");
+  for (const auto& [tid, r] : parts) {
+    RangePartition p;
+    p.lo = r[2].as_int();
+    p.hi = r[3].as_int();
+    p.child = static_cast<TableOid>(r[1].as_int());
+    auto child_rows = cls_rel->ScanWhere(snap, [&](const Row& cr) {
+      return static_cast<TableOid>(cr[0].as_int()) == p.child;
+    });
+    if (!child_rows.empty()) p.child_name = child_rows[0].second[1].as_str();
+    d.partitions.push_back(std::move(p));
+  }
+  return d;
+}
+
+Result<TableDesc> Catalog::GetTable(tx::Transaction* txn,
+                                    const std::string& name) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* cls = GetRelation("pg_class");
+  auto rows = cls->ScanWhere(
+      snap, [&](const Row& r) { return IEquals(r[1].as_str(), name); });
+  if (rows.empty()) return Status::NotFound("no such table: " + name);
+  return LoadTableDesc(snap, rows[0].second);
+}
+
+Result<TableDesc> Catalog::GetTableById(tx::Transaction* txn, TableOid oid) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* cls = GetRelation("pg_class");
+  auto rows = cls->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == oid;
+  });
+  if (rows.empty()) {
+    return Status::NotFound("no table with oid " + std::to_string(oid));
+  }
+  return LoadTableDesc(snap, rows[0].second);
+}
+
+Status Catalog::DropTable(tx::Transaction* txn, const std::string& name) {
+  HAWQ_ASSIGN_OR_RETURN(TableDesc d, GetTable(txn, name));
+  // Drop children first.
+  for (const RangePartition& p : d.partitions) {
+    HAWQ_RETURN_IF_ERROR(DropTable(txn, p.child_name));
+  }
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  auto del_where = [&](const char* rel_name, int col, TableOid oid) {
+    Relation* rel = GetRelation(rel_name);
+    for (const auto& [tid, r] : rel->ScanWhere(snap, [&](const Row& row) {
+           return static_cast<TableOid>(row[col].as_int()) == oid;
+         })) {
+      WalDelete(txn->xid(), rel, tid);
+    }
+  };
+  del_where("pg_class", 0, d.oid);
+  del_where("pg_attribute", 0, d.oid);
+  del_where("pg_aoseg", 0, d.oid);
+  del_where("pg_statistic", 0, d.oid);
+  del_where("pg_partition", 0, d.oid);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables(tx::Transaction* txn) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  std::vector<std::string> out;
+  for (const auto& [tid, r] : GetRelation("pg_class")->Scan(snap)) {
+    out.push_back(r[1].as_str());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status Catalog::AddSegFile(tx::Transaction* txn, TableOid oid,
+                           const SegFileDesc& f) {
+  WalInsert(txn->xid(), GetRelation("pg_aoseg"),
+            {Datum::Int(static_cast<int64_t>(oid)), Datum::Int(f.segment),
+             Datum::Int(f.lane), Datum::Str(f.path), Datum::Int(f.eof),
+             Datum::Int(f.tuples), Datum::Int(f.uncompressed)});
+  return Status::OK();
+}
+
+Status Catalog::UpdateSegFile(tx::Transaction* txn, TableOid oid, int segment,
+                              int lane, int64_t eof, int64_t tuples,
+                              int64_t uncompressed) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* rel = GetRelation("pg_aoseg");
+  auto rows = rel->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == oid &&
+           r[1].as_int() == segment && r[2].as_int() == lane;
+  });
+  if (rows.empty()) {
+    return Status::NotFound("no segfile for table " + std::to_string(oid) +
+                            " segment " + std::to_string(segment) + " lane " +
+                            std::to_string(lane));
+  }
+  Row updated = rows[0].second;
+  updated[4] = Datum::Int(eof);
+  updated[5] = Datum::Int(tuples);
+  updated[6] = Datum::Int(uncompressed);
+  HAWQ_RETURN_IF_ERROR(WalDelete(txn->xid(), rel, rows[0].first));
+  WalInsert(txn->xid(), rel, std::move(updated));
+  return Status::OK();
+}
+
+Result<std::vector<SegFileDesc>> Catalog::GetSegFiles(tx::Transaction* txn,
+                                                      TableOid oid) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  std::vector<SegFileDesc> out;
+  for (const auto& [tid, r] :
+       GetRelation("pg_aoseg")->ScanWhere(snap, [&](const Row& row) {
+         return static_cast<TableOid>(row[0].as_int()) == oid;
+       })) {
+    SegFileDesc f;
+    f.segment = static_cast<int>(r[1].as_int());
+    f.lane = static_cast<int>(r[2].as_int());
+    f.path = r[3].as_str();
+    f.eof = r[4].as_int();
+    f.tuples = r[5].as_int();
+    f.uncompressed = r[6].as_int();
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const SegFileDesc& a,
+                                       const SegFileDesc& b) {
+    return std::tie(a.segment, a.lane) < std::tie(b.segment, b.lane);
+  });
+  return out;
+}
+
+Status Catalog::SetColumnStats(tx::Transaction* txn, TableOid oid,
+                               const std::string& column,
+                               const ColumnStats& stats) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* rel = GetRelation("pg_statistic");
+  for (const auto& [tid, r] : rel->ScanWhere(snap, [&](const Row& row) {
+         return static_cast<TableOid>(row[0].as_int()) == oid &&
+                IEquals(row[1].as_str(), column);
+       })) {
+    HAWQ_RETURN_IF_ERROR(WalDelete(txn->xid(), rel, tid));
+  }
+  auto num_of = [](const Datum& d) {
+    return d.is_null() ? Datum::Null() : Datum::Double(d.as_double());
+  };
+  auto str_of = [](const Datum& d) {
+    return d.kind == Datum::Kind::kStr ? d : Datum::Str("");
+  };
+  WalInsert(txn->xid(), rel,
+            {Datum::Int(static_cast<int64_t>(oid)), Datum::Str(column),
+             Datum::Double(stats.ndistinct), Datum::Double(stats.null_frac),
+             num_of(stats.min_val), num_of(stats.max_val),
+             str_of(stats.min_val), str_of(stats.max_val)});
+  return Status::OK();
+}
+
+Result<ColumnStats> Catalog::GetColumnStats(tx::Transaction* txn, TableOid oid,
+                                            const std::string& column) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  auto rows = GetRelation("pg_statistic")->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == oid &&
+           IEquals(r[1].as_str(), column);
+  });
+  if (rows.empty()) {
+    return Status::NotFound("no stats for column " + column);
+  }
+  const Row& r = rows[0].second;
+  ColumnStats s;
+  s.ndistinct = r[2].as_double();
+  s.null_frac = r[3].as_double();
+  if (!r[6].as_str().empty() || !r[7].as_str().empty()) {
+    s.min_val = Datum::Str(r[6].as_str());
+    s.max_val = Datum::Str(r[7].as_str());
+  } else {
+    if (!r[4].is_null()) s.min_val = Datum::Double(r[4].as_double());
+    if (!r[5].is_null()) s.max_val = Datum::Double(r[5].as_double());
+  }
+  return s;
+}
+
+Status Catalog::SetRelTuples(tx::Transaction* txn, TableOid oid,
+                             int64_t reltuples) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* rel = GetRelation("pg_class");
+  auto rows = rel->ScanWhere(snap, [&](const Row& r) {
+    return static_cast<TableOid>(r[0].as_int()) == oid;
+  });
+  if (rows.empty()) {
+    return Status::NotFound("no table with oid " + std::to_string(oid));
+  }
+  Row updated = rows[0].second;
+  updated[10] = Datum::Int(reltuples);
+  HAWQ_RETURN_IF_ERROR(WalDelete(txn->xid(), rel, rows[0].first));
+  WalInsert(txn->xid(), rel, std::move(updated));
+  return Status::OK();
+}
+
+Status Catalog::RegisterSegment(const SegmentInfo& seg) {
+  auto txn = mgr_->Begin();
+  WalInsert(txn->xid(), GetRelation("gp_segment_configuration"),
+            {Datum::Int(seg.id), Datum::Str(seg.host), Datum::Int(seg.port),
+             Datum::Str(seg.up ? "u" : "d")});
+  return mgr_->Commit(txn.get());
+}
+
+Status Catalog::SetSegmentStatus(int id, bool up) {
+  auto txn = mgr_->Begin();
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* rel = GetRelation("gp_segment_configuration");
+  auto rows = rel->ScanWhere(
+      snap, [&](const Row& r) { return r[0].as_int() == id; });
+  if (rows.empty()) {
+    mgr_->Abort(txn.get());
+    return Status::NotFound("no segment " + std::to_string(id));
+  }
+  Row updated = rows[0].second;
+  updated[3] = Datum::Str(up ? "u" : "d");
+  Status st = WalDelete(txn->xid(), rel, rows[0].first);
+  if (!st.ok()) {
+    mgr_->Abort(txn.get());
+    return st;
+  }
+  WalInsert(txn->xid(), rel, std::move(updated));
+  return mgr_->Commit(txn.get());
+}
+
+std::vector<SegmentInfo> Catalog::GetSegments() {
+  auto txn = mgr_->Begin();
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  std::vector<SegmentInfo> out;
+  for (const auto& [tid, r] :
+       GetRelation("gp_segment_configuration")->Scan(snap)) {
+    SegmentInfo s;
+    s.id = static_cast<int>(r[0].as_int());
+    s.host = r[1].as_str();
+    s.port = static_cast<int>(r[2].as_int());
+    s.up = r[3].as_str() == "u";
+    out.push_back(std::move(s));
+  }
+  mgr_->Commit(txn.get());
+  std::sort(out.begin(), out.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Status Catalog::CreateUser(tx::Transaction* txn, const std::string& name,
+                           bool superuser) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  Relation* rel = GetRelation("pg_authid");
+  auto rows = rel->ScanWhere(
+      snap, [&](const Row& r) { return IEquals(r[0].as_str(), name); });
+  if (!rows.empty()) return Status::AlreadyExists("user exists: " + name);
+  WalInsert(txn->xid(), rel, {Datum::Str(name), Datum::Bool(superuser)});
+  return Status::OK();
+}
+
+Result<bool> Catalog::UserExists(tx::Transaction* txn,
+                                 const std::string& name) {
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  auto rows = GetRelation("pg_authid")->ScanWhere(snap, [&](const Row& r) {
+    return IEquals(r[0].as_str(), name);
+  });
+  return !rows.empty();
+}
+
+}  // namespace hawq::catalog

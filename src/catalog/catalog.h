@@ -1,0 +1,172 @@
+// Unified Catalog Service (UCS), paper §2.2.
+//
+// The catalog is the brain of the system: database objects (tables,
+// columns, partitions, distribution policies, segment files with logical
+// lengths), statistics, the segment registry, and security principals.
+// It lives on the master; segments are stateless and receive the metadata
+// they need inside self-described plans (planner/self_described.h).
+//
+// Internal access goes through typed helpers or through CaQL (caql.h), the
+// catalog query language: single-table SELECT, COUNT(), multi-row DELETE
+// and single-row INSERT/UPDATE — exactly the subset the paper describes.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/relation.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "tx/tx_manager.h"
+#include "tx/wal.h"
+
+namespace hawq::catalog {
+
+using TableOid = uint64_t;
+
+/// Physical storage of a table (paper §2.5) or external (PXF).
+enum class StorageKind : uint8_t { kAO = 0, kCO, kParquet, kExternal };
+/// Compression codec family. Level applies to kZlib (1/5/9).
+enum class Codec : uint8_t { kNone = 0, kQuicklz, kZlib, kRle };
+/// Row-to-segment assignment policy (paper §2.3).
+enum class DistPolicy : uint8_t { kHash = 0, kRandom };
+
+const char* StorageKindName(StorageKind k);
+const char* CodecName(Codec c);
+Result<StorageKind> ParseStorageKind(const std::string& s);
+Result<Codec> ParseCodec(const std::string& s);
+
+struct ColumnDesc {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = true;
+};
+
+/// One range partition child (PARTITION BY RANGE): [lo, hi) over the
+/// partition column, with its own backing table.
+struct RangePartition {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  TableOid child = 0;
+  std::string child_name;
+};
+
+/// Everything the system knows about a table.
+struct TableDesc {
+  TableOid oid = 0;
+  std::string name;
+  std::vector<ColumnDesc> columns;
+  StorageKind storage = StorageKind::kAO;
+  Codec codec = Codec::kNone;
+  int codec_level = 1;
+  DistPolicy dist = DistPolicy::kRandom;
+  std::vector<int> dist_cols;  // indices into columns (hash policy)
+  int part_col = -1;           // partition column index (-1: unpartitioned)
+  std::vector<RangePartition> partitions;
+  TableOid parent = 0;  // non-zero for partition children
+  std::string ext_location;  // pxf://... for external tables
+  std::string ext_profile;
+  int64_t reltuples = 0;  // planner cardinality estimate
+
+  bool is_partitioned() const { return part_col >= 0; }
+  bool is_external() const { return storage == StorageKind::kExternal; }
+  Schema ToSchema() const;
+};
+
+/// One segment data file of a table (pg_aoseg): the logical length (eof)
+/// is the transactional visibility boundary (paper §5).
+struct SegFileDesc {
+  int segment = 0;  // owning segment id
+  int lane = 0;     // swimming lane (concurrent writer) number
+  std::string path;
+  int64_t eof = 0;
+  int64_t tuples = 0;
+  int64_t uncompressed = 0;
+};
+
+/// Per-column statistics gathered by ANALYZE (drives cost-based planning).
+struct ColumnStats {
+  double ndistinct = -1;  // <0: unknown
+  Datum min_val;
+  Datum max_val;
+  double null_frac = 0;
+};
+
+/// A compute segment in gp_segment_configuration.
+struct SegmentInfo {
+  int id = 0;
+  std::string host;
+  int port = 0;
+  bool up = true;
+};
+
+/// \brief The catalog service. All mutations flow through a transaction;
+/// reads see that transaction's snapshot.
+class Catalog {
+ public:
+  explicit Catalog(tx::TxManager* mgr);
+
+  tx::TxManager* tx_manager() { return mgr_; }
+
+  // --- tables ------------------------------------------------------------
+  /// Create a table (and partition children if desc.partitions set child
+  /// names). Fills in oids. AlreadyExists if the name is taken.
+  Result<TableOid> CreateTable(tx::Transaction* txn, TableDesc desc);
+  Result<TableDesc> GetTable(tx::Transaction* txn, const std::string& name);
+  Result<TableDesc> GetTableById(tx::Transaction* txn, TableOid oid);
+  Status DropTable(tx::Transaction* txn, const std::string& name);
+  std::vector<std::string> ListTables(tx::Transaction* txn);
+
+  // --- segment files (pg_aoseg) -------------------------------------------
+  Status AddSegFile(tx::Transaction* txn, TableOid oid, const SegFileDesc& f);
+  /// Update eof/tuples of a segment file (delete+insert under MVCC).
+  Status UpdateSegFile(tx::Transaction* txn, TableOid oid, int segment,
+                       int lane, int64_t eof, int64_t tuples,
+                       int64_t uncompressed);
+  Result<std::vector<SegFileDesc>> GetSegFiles(tx::Transaction* txn,
+                                               TableOid oid);
+
+  // --- statistics ----------------------------------------------------------
+  Status SetColumnStats(tx::Transaction* txn, TableOid oid,
+                        const std::string& column, const ColumnStats& stats);
+  Result<ColumnStats> GetColumnStats(tx::Transaction* txn, TableOid oid,
+                                     const std::string& column);
+  Status SetRelTuples(tx::Transaction* txn, TableOid oid, int64_t reltuples);
+
+  // --- segment registry (updated by the fault detector, auto-commit) ------
+  Status RegisterSegment(const SegmentInfo& seg);
+  Status SetSegmentStatus(int id, bool up);
+  std::vector<SegmentInfo> GetSegments();
+
+  // --- security -------------------------------------------------------------
+  Status CreateUser(tx::Transaction* txn, const std::string& name,
+                    bool superuser);
+  Result<bool> UserExists(tx::Transaction* txn, const std::string& name);
+
+  /// The relation registry (used by CaQL and tests).
+  Relation* GetRelation(const std::string& name);
+  std::vector<std::string> RelationNames() const;
+
+  /// Standby-side WAL replay: apply one catalog change record.
+  void ApplyWalRecord(const tx::WalRecord& rec);
+
+  /// Vacuum all catalog relations.
+  size_t VacuumAll(tx::TxId oldest_xmin);
+
+  // Internal: insert/delete with WAL emission. Exposed for CaQL.
+  TupleId WalInsert(tx::TxId xid, Relation* rel, Row row);
+  Status WalDelete(tx::TxId xid, Relation* rel, TupleId tid);
+
+ private:
+  void Bootstrap();
+  Result<TableDesc> LoadTableDesc(const tx::Snapshot& snap, const Row& cls);
+
+  tx::TxManager* mgr_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::atomic<TableOid> next_oid_{1000};
+};
+
+}  // namespace hawq::catalog

@@ -1,0 +1,123 @@
+#include "catalog/relation.h"
+
+#include <algorithm>
+
+namespace hawq::catalog {
+
+TupleId Relation::Insert(tx::TxId xid, Row row) {
+  std::lock_guard<std::mutex> g(mu_);
+  VTuple t;
+  t.tid = next_tid_++;
+  t.hdr.xmin = xid;
+  t.row = std::move(row);
+  tuples_.push_back(std::move(t));
+  return tuples_.back().tid;
+}
+
+Status Relation::Delete(tx::TxId xid, TupleId tid) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (VTuple& t : tuples_) {
+    if (t.tid != tid) continue;
+    if (t.hdr.xmax == tx::kInvalidTxId) {
+      t.hdr.xmax = xid;
+      return Status::OK();
+    }
+    // A previous deleter may have aborted — the tuple is still live.
+    switch (mgr_->StateOf(t.hdr.xmax)) {
+      case tx::CommitLog::State::kAborted:
+        t.hdr.xmax = xid;
+        return Status::OK();
+      case tx::CommitLog::State::kInProgress:
+        if (t.hdr.xmax == xid) return Status::OK();  // idempotent
+        return Status::ResourceBusy(
+            name_ + ": tuple " + std::to_string(tid) +
+            " is being deleted by a concurrent transaction");
+      case tx::CommitLog::State::kCommitted:
+        break;  // genuinely dead; keep scanning for a newer version
+    }
+  }
+  return Status::NotFound(name_ + ": no live tuple " + std::to_string(tid));
+}
+
+std::vector<std::pair<TupleId, Row>> Relation::Scan(
+    const tx::Snapshot& snap) const {
+  return ScanWhere(snap, nullptr);
+}
+
+std::vector<std::pair<TupleId, Row>> Relation::ScanWhere(
+    const tx::Snapshot& snap,
+    const std::function<bool(const Row&)>& pred) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::pair<TupleId, Row>> out;
+  for (const VTuple& t : tuples_) {
+    if (!VisibleLocked(t, snap)) continue;
+    if (pred && !pred(t.row)) continue;
+    out.emplace_back(t.tid, t.row);
+  }
+  return out;
+}
+
+size_t Relation::Vacuum(tx::TxId oldest_xmin) {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t before = tuples_.size();
+  tuples_.erase(
+      std::remove_if(tuples_.begin(), tuples_.end(),
+                     [&](const VTuple& t) {
+                       // Dead if the inserter aborted, or the deleter
+                       // committed before any live snapshot.
+                       auto ins = mgr_->StateOf(t.hdr.xmin);
+                       if (ins == tx::CommitLog::State::kAborted) return true;
+                       if (t.hdr.xmax == tx::kInvalidTxId) return false;
+                       auto del = mgr_->StateOf(t.hdr.xmax);
+                       return del == tx::CommitLog::State::kCommitted &&
+                              t.hdr.xmax < oldest_xmin;
+                     }),
+      tuples_.end());
+  return before - tuples_.size();
+}
+
+void Relation::ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row) {
+  std::lock_guard<std::mutex> g(mu_);
+  VTuple t;
+  t.tid = tid;
+  t.hdr = hdr;
+  t.row = std::move(row);
+  tuples_.push_back(std::move(t));
+  next_tid_ = std::max(next_tid_, tid + 1);
+}
+
+void Relation::ApplyRawDelete(TupleId tid, tx::TxId xmax) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (VTuple& t : tuples_) {
+    if (t.tid == tid && t.hdr.xmax == tx::kInvalidTxId) {
+      t.hdr.xmax = xmax;
+      return;
+    }
+  }
+}
+
+size_t Relation::VersionCount() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return tuples_.size();
+}
+
+bool Relation::VisibleLocked(const VTuple& t, const tx::Snapshot& snap) const {
+  auto state = [&](tx::TxId xid) { return mgr_->StateOf(xid); };
+  const tx::TupleHeader& h = t.hdr;
+  // Inserter visible?
+  if (h.xmin != snap.own_xid) {
+    if (state(h.xmin) != tx::CommitLog::State::kCommitted) return false;
+    if (h.xmin >= snap.xmax || snap.IsActive(h.xmin)) return false;
+  }
+  // Deleter visible?
+  if (h.xmax != tx::kInvalidTxId) {
+    if (h.xmax == snap.own_xid) return false;
+    if (state(h.xmax) == tx::CommitLog::State::kCommitted &&
+        h.xmax < snap.xmax && !snap.IsActive(h.xmax)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hawq::catalog

@@ -1,0 +1,74 @@
+// A versioned catalog relation: rows carry MVCC headers and are visible
+// through transaction snapshots. All catalog tables (pg_class,
+// pg_attribute, pg_aoseg, ...) are instances of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "tx/mvcc.h"
+#include "tx/tx_manager.h"
+
+namespace hawq::catalog {
+
+using TupleId = uint64_t;
+
+/// \brief MVCC heap for one catalog table. Thread safe. Updates are
+/// delete+insert, PostgreSQL style.
+class Relation {
+ public:
+  Relation(std::string name, Schema schema, tx::TxManager* mgr)
+      : name_(std::move(name)), schema_(std::move(schema)), mgr_(mgr) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Insert a row stamped with xmin = `xid`. Returns the new tuple id.
+  TupleId Insert(tx::TxId xid, Row row);
+
+  /// Mark tuple `tid` deleted by `xid`. NotFound if no live version.
+  Status Delete(tx::TxId xid, TupleId tid);
+
+  /// All row versions visible to `snap`, with their tuple ids.
+  std::vector<std::pair<TupleId, Row>> Scan(const tx::Snapshot& snap) const;
+
+  /// Visible rows matching `pred` (nullptr: all rows).
+  std::vector<std::pair<TupleId, Row>> ScanWhere(
+      const tx::Snapshot& snap,
+      const std::function<bool(const Row&)>& pred) const;
+
+  /// Physically drop versions invisible to every live snapshot (vacuum).
+  /// `oldest_xmin`: no snapshot can still see transactions < this as
+  /// in-progress.
+  size_t Vacuum(tx::TxId oldest_xmin);
+
+  /// Raw apply used by WAL replay on the standby: install a tuple with an
+  /// exact header and id, bypassing xid assignment.
+  void ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row);
+  void ApplyRawDelete(TupleId tid, tx::TxId xmax);
+
+  size_t VersionCount() const;
+
+ private:
+  struct VTuple {
+    TupleId tid = 0;
+    tx::TupleHeader hdr;
+    Row row;
+  };
+
+  bool VisibleLocked(const VTuple& t, const tx::Snapshot& snap) const;
+
+  std::string name_;
+  Schema schema_;
+  tx::TxManager* mgr_;
+  mutable std::mutex mu_;
+  std::vector<VTuple> tuples_;
+  TupleId next_tid_ = 1;
+};
+
+}  // namespace hawq::catalog

@@ -1,0 +1,52 @@
+// Deterministic, fast pseudo-random generator (xorshift128+). Used by the
+// TPC-H data generator, the simulated network's loss/reorder model, and
+// random table distribution, so that every experiment is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hawq {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    s0_ = seed ^ 0x2545F4914F6CDD1DULL;
+    s1_ = seed * 0x9E3779B97F4A7C15ULL + 1;
+    // Warm up to decorrelate close seeds.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / (1ULL << 53)); }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lowercase string of length in [min_len, max_len].
+  std::string RandString(int min_len, int max_len) {
+    int n = static_cast<int>(Uniform(min_len, max_len));
+    std::string s(n, 'a');
+    for (int i = 0; i < n; ++i) s[i] = static_cast<char>('a' + Next() % 26);
+    return s;
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+}  // namespace hawq

@@ -1,0 +1,66 @@
+#include "common/serde.h"
+
+namespace hawq {
+
+void SerializeDatum(const Datum& d, BufferWriter* w) {
+  w->PutU8(static_cast<uint8_t>(d.kind));
+  switch (d.kind) {
+    case Datum::Kind::kNull:
+      break;
+    case Datum::Kind::kBool:
+      w->PutU8(d.i64 ? 1 : 0);
+      break;
+    case Datum::Kind::kInt:
+      w->PutVarintSigned(d.i64);
+      break;
+    case Datum::Kind::kDouble:
+      w->PutDouble(d.f64);
+      break;
+    case Datum::Kind::kStr:
+      w->PutString(d.str);
+      break;
+  }
+}
+
+Result<Datum> DeserializeDatum(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  switch (static_cast<Datum::Kind>(tag)) {
+    case Datum::Kind::kNull:
+      return Datum::Null();
+    case Datum::Kind::kBool: {
+      HAWQ_ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      return Datum::Bool(b != 0);
+    }
+    case Datum::Kind::kInt: {
+      HAWQ_ASSIGN_OR_RETURN(int64_t v, r->GetVarintSigned());
+      return Datum::Int(v);
+    }
+    case Datum::Kind::kDouble: {
+      HAWQ_ASSIGN_OR_RETURN(double v, r->GetDouble());
+      return Datum::Double(v);
+    }
+    case Datum::Kind::kStr: {
+      HAWQ_ASSIGN_OR_RETURN(std::string s, r->GetString());
+      return Datum::Str(std::move(s));
+    }
+  }
+  return Status::Corruption("bad datum tag");
+}
+
+void SerializeRow(const Row& row, BufferWriter* w) {
+  w->PutVarint(row.size());
+  for (const Datum& d : row) SerializeDatum(d, w);
+}
+
+Result<Row> DeserializeRow(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  Row row;
+  row.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(Datum d, DeserializeDatum(r));
+    row.push_back(std::move(d));
+  }
+  return row;
+}
+
+}  // namespace hawq

@@ -1,0 +1,129 @@
+// Byte-buffer serialization for tuples and plan fragments. Used by the
+// storage formats, the interconnect packets, and self-described plan
+// dispatch.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hawq {
+
+/// \brief Append-only binary writer with little-endian fixed and varint
+/// encodings.
+class BufferWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Unsigned LEB128.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+  /// Zig-zag signed varint.
+  void PutVarintSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+  void PutString(const std::string& s) {
+    PutVarint(s.size());
+    PutRaw(s.data(), s.size());
+  }
+  void PutRaw(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked reader over a byte span.
+class BufferReader {
+ public:
+  BufferReader(const char* data, size_t size) : p_(data), end_(data + size) {}
+  explicit BufferReader(const std::string& s) : BufferReader(s.data(), s.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  Result<uint8_t> GetU8() {
+    if (remaining() < 1) return Truncated();
+    return static_cast<uint8_t>(*p_++);
+  }
+  Result<uint32_t> GetU32() { return GetFixed<uint32_t>(); }
+  Result<uint64_t> GetU64() { return GetFixed<uint64_t>(); }
+  Result<int64_t> GetI64() { return GetFixed<int64_t>(); }
+  Result<double> GetDouble() { return GetFixed<double>(); }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (remaining() < 1) return Truncated();
+      uint8_t b = static_cast<uint8_t>(*p_++);
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 63) return Status::Corruption("varint overflow");
+    }
+    return v;
+  }
+  Result<int64_t> GetVarintSigned() {
+    HAWQ_ASSIGN_OR_RETURN(uint64_t u, GetVarint());
+    return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  }
+  Result<std::string> GetString() {
+    HAWQ_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (remaining() < n) return Truncated();
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+  Status GetRaw(void* out, size_t n) {
+    if (remaining() < n) return Truncated();
+    std::memcpy(out, p_, n);
+    p_ += n;
+    return Status::OK();
+  }
+
+ private:
+  template <typename T>
+  Result<T> GetFixed() {
+    if (remaining() < sizeof(T)) return Truncated();
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+  static Status Truncated() {
+    return Status::Corruption("buffer truncated");
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Serialize one Datum (tag + payload).
+void SerializeDatum(const Datum& d, BufferWriter* w);
+/// Deserialize one Datum.
+Result<Datum> DeserializeDatum(BufferReader* r);
+
+/// Serialize a row as column count + datums.
+void SerializeRow(const Row& row, BufferWriter* w);
+Result<Row> DeserializeRow(BufferReader* r);
+
+}  // namespace hawq

@@ -1,0 +1,165 @@
+// Status / Result error model, following the RocksDB/Arrow idiom: no
+// exceptions cross module boundaries; fallible functions return Status or
+// Result<T>.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hawq {
+
+/// Error categories used across the engine.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+  kAborted,         // transaction aborted (deadlock, serialization failure)
+  kResourceBusy,    // lock conflict
+  kOutOfMemory,     // used by the Stinger baseline to model reducer OOM
+  kNetworkError,
+  kFailed,          // generic execution failure (e.g. segment down)
+};
+
+/// \brief Operation outcome: either OK or a code plus a human-readable
+/// message. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status ResourceBusy(std::string m) {
+    return Status(StatusCode::kResourceBusy, std::move(m));
+  }
+  static Status OutOfMemory(std::string m) {
+    return Status(StatusCode::kOutOfMemory, std::move(m));
+  }
+  static Status NetworkError(std::string m) {
+    return Status(StatusCode::kNetworkError, std::move(m));
+  }
+  static Status Failed(std::string m) {
+    return Status(StatusCode::kFailed, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kNotSupported: return "NotSupported";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kAborted: return "Aborted";
+      case StatusCode::kResourceBusy: return "ResourceBusy";
+      case StatusCode::kOutOfMemory: return "OutOfMemory";
+      case StatusCode::kNetworkError: return "NetworkError";
+      case StatusCode::kFailed: return "Failed";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief Either a value of type T or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace hawq
+
+// Propagate a non-OK Status to the caller.
+#define HAWQ_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::hawq::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define HAWQ_CONCAT_IMPL(a, b) a##b
+#define HAWQ_CONCAT(a, b) HAWQ_CONCAT_IMPL(a, b)
+
+// Evaluate a Result<T> expression; on error propagate, else bind the value.
+#define HAWQ_ASSIGN_OR_RETURN(lhs, rexpr)                         \
+  auto HAWQ_CONCAT(_res_, __LINE__) = (rexpr);                    \
+  if (!HAWQ_CONCAT(_res_, __LINE__).ok())                         \
+    return HAWQ_CONCAT(_res_, __LINE__).status();                 \
+  lhs = std::move(HAWQ_CONCAT(_res_, __LINE__)).value()

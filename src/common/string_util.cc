@@ -1,0 +1,32 @@
+#include "common/string_util.h"
+
+namespace hawq {
+
+namespace {
+bool LikeMatchAt(const char* t, size_t tn, const char* p, size_t pn) {
+  size_t ti = 0, pi = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  while (ti < tn) {
+    if (pi < pn && (p[pi] == '_' || p[pi] == t[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < pn && p[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pn && p[pi] == '%') ++pi;
+  return pi == pn;
+}
+}  // namespace
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  return LikeMatchAt(text.data(), text.size(), pattern.data(), pattern.size());
+}
+
+}  // namespace hawq

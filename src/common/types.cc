@@ -1,0 +1,212 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace hawq {
+
+const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kBool: return "BOOLEAN";
+    case TypeId::kInt32: return "INTEGER";
+    case TypeId::kInt64: return "BIGINT";
+    case TypeId::kDouble: return "DOUBLE";
+    case TypeId::kString: return "VARCHAR";
+    case TypeId::kDate: return "DATE";
+  }
+  return "?";
+}
+
+namespace {
+std::string Upper(const std::string& s) {
+  std::string r = s;
+  std::transform(r.begin(), r.end(), r.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return r;
+}
+}  // namespace
+
+Result<TypeId> ParseTypeName(const std::string& name) {
+  std::string u = Upper(name);
+  // Strip a parenthesized size/precision suffix: CHAR(15), DECIMAL(15,2).
+  auto paren = u.find('(');
+  if (paren != std::string::npos) u = u.substr(0, paren);
+  while (!u.empty() && u.back() == ' ') u.pop_back();
+  if (u == "BOOL" || u == "BOOLEAN") return TypeId::kBool;
+  if (u == "INT" || u == "INTEGER" || u == "INT4" || u == "SMALLINT")
+    return TypeId::kInt32;
+  if (u == "BIGINT" || u == "INT8") return TypeId::kInt64;
+  if (u == "DOUBLE" || u == "DOUBLE PRECISION" || u == "FLOAT" ||
+      u == "FLOAT8" || u == "DECIMAL" || u == "NUMERIC" || u == "REAL")
+    return TypeId::kDouble;
+  if (u == "CHAR" || u == "VARCHAR" || u == "TEXT" || u == "CHARACTER" ||
+      u == "BYTEA")
+    return TypeId::kString;
+  if (u == "DATE") return TypeId::kDate;
+  return Status::InvalidArgument("unknown type name: " + name);
+}
+
+int Datum::Compare(const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) return 0;
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.kind == Kind::kStr || b.kind == Kind::kStr) {
+    // String comparison; comparing a string with a numeric compares display
+    // forms, but the analyzer prevents such mixes.
+    const std::string& x = a.kind == Kind::kStr ? a.str : a.ToString();
+    const std::string& y = b.kind == Kind::kStr ? b.str : b.ToString();
+    int c = x.compare(y);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.kind == Kind::kDouble || b.kind == Kind::kDouble) {
+    double x = a.as_double(), y = b.as_double();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  return a.i64 < b.i64 ? -1 : (a.i64 > b.i64 ? 1 : 0);
+}
+
+uint64_t Datum::Hash() const {
+  // FNV-1a over a canonical byte representation.
+  const uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&](const void* p, size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= kPrime;
+    }
+  };
+  switch (kind) {
+    case Kind::kNull:
+      mix("\x00", 1);
+      break;
+    case Kind::kBool:
+    case Kind::kInt: {
+      mix(&i64, sizeof(i64));
+      break;
+    }
+    case Kind::kDouble: {
+      // Hash integral doubles the same as ints so mixed-type keys agree.
+      int64_t as_i = static_cast<int64_t>(f64);
+      if (static_cast<double>(as_i) == f64) {
+        mix(&as_i, sizeof(as_i));
+      } else {
+        mix(&f64, sizeof(f64));
+      }
+      break;
+    }
+    case Kind::kStr:
+      mix(str.data(), str.size());
+      break;
+  }
+  return h;
+}
+
+std::string Datum::ToString() const {
+  switch (kind) {
+    case Kind::kNull: return "NULL";
+    case Kind::kBool: return i64 ? "true" : "false";
+    case Kind::kInt: return std::to_string(i64);
+    case Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.4f", f64);
+      return buf;
+    }
+    case Kind::kStr: return str;
+  }
+  return "?";
+}
+
+int Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& f = fields_[i].name;
+    if (f.size() == name.size() &&
+        std::equal(f.begin(), f.end(), name.begin(), [](char a, char b) {
+          return std::tolower(static_cast<unsigned char>(a)) ==
+                 std::tolower(static_cast<unsigned char>(b));
+        })) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    out += " ";
+    out += TypeName(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+// Howard Hinnant's civil-date algorithms.
+int64_t DaysFromCivil(int32_t y, int32_t m, int32_t d) {
+  y -= m <= 2;
+  const int32_t era = (y >= 0 ? y : y - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(y - era * 400);
+  const uint32_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int32_t>(doe) - 719468;
+}
+
+namespace {
+void CivilFromDays(int64_t z, int32_t* y, uint32_t* m, uint32_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const uint32_t doe = static_cast<uint32_t>(z - era * 146097);
+  const uint32_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const uint32_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const uint32_t mp = (5 * doy + 2) / 153;
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int32_t>(yy + (*m <= 2));
+}
+}  // namespace
+
+std::string DateToString(int64_t days) {
+  int32_t y;
+  uint32_t m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", y, m, d);
+  return buf;
+}
+
+Result<int64_t> ParseDate(const std::string& s) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date literal: " + s);
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+int64_t AddMonths(int64_t days, int64_t months) {
+  int32_t y;
+  uint32_t m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int64_t total = static_cast<int64_t>(y) * 12 + (m - 1) + months;
+  int32_t ny = static_cast<int32_t>(total / 12);
+  int32_t nm = static_cast<int32_t>(total % 12) + 1;
+  static const int md[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  int maxd = md[nm - 1];
+  if (nm == 2 && (ny % 4 == 0 && (ny % 100 != 0 || ny % 400 == 0))) maxd = 29;
+  return DaysFromCivil(ny, nm, std::min<int32_t>(d, maxd));
+}
+
+int32_t DateYear(int64_t days) {
+  int32_t y;
+  uint32_t m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return y;
+}
+
+}  // namespace hawq

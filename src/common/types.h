@@ -1,0 +1,143 @@
+// Core type system: column types, Datum (runtime value), Schema, Row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq {
+
+/// SQL column types supported by the engine. DECIMAL is carried as DOUBLE
+/// (sufficient for reproducing the paper's TPC-H result shapes).
+enum class TypeId : uint8_t {
+  kBool = 0,
+  kInt32 = 1,
+  kInt64 = 2,
+  kDouble = 3,
+  kString = 4,
+  kDate = 5,  // days since 1970-01-01, stored as int64
+};
+
+/// Human-readable type name (used by EXPLAIN and error messages).
+const char* TypeName(TypeId t);
+
+/// Parse a SQL type name (INT, BIGINT, INT8, INTEGER, DOUBLE, DECIMAL(x,y),
+/// CHAR(n), VARCHAR(n), TEXT, DATE, BOOLEAN) into a TypeId.
+Result<TypeId> ParseTypeName(const std::string& name);
+
+/// \brief A runtime value: tagged scalar with null support.
+///
+/// Integers, dates and booleans share the i64 slot; doubles use the f64
+/// slot; strings own their bytes. Datum is deliberately a plain tagged
+/// struct (not std::variant) for speed in the executor's inner loops.
+struct Datum {
+  enum class Kind : uint8_t { kNull = 0, kBool, kInt, kDouble, kStr };
+
+  Kind kind = Kind::kNull;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  std::string str;
+
+  Datum() = default;
+
+  static Datum Null() { return Datum(); }
+  static Datum Bool(bool v) {
+    Datum d;
+    d.kind = Kind::kBool;
+    d.i64 = v ? 1 : 0;
+    return d;
+  }
+  static Datum Int(int64_t v) {
+    Datum d;
+    d.kind = Kind::kInt;
+    d.i64 = v;
+    return d;
+  }
+  static Datum Double(double v) {
+    Datum d;
+    d.kind = Kind::kDouble;
+    d.f64 = v;
+    return d;
+  }
+  static Datum Str(std::string v) {
+    Datum d;
+    d.kind = Kind::kStr;
+    d.str = std::move(v);
+    return d;
+  }
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool as_bool() const { return i64 != 0; }
+  int64_t as_int() const { return i64; }
+  /// Numeric value with int->double promotion.
+  double as_double() const { return kind == Kind::kDouble ? f64 : static_cast<double>(i64); }
+  const std::string& as_str() const { return str; }
+
+  /// Three-way compare with numeric promotion. Nulls compare less than
+  /// everything (used only for sorting; SQL null semantics are handled in
+  /// the expression evaluator).
+  static int Compare(const Datum& a, const Datum& b);
+
+  bool Equals(const Datum& b) const { return Compare(*this, b) == 0; }
+
+  /// Stable 64-bit hash (consistent across segments; drives hash
+  /// distribution and redistribute motions).
+  uint64_t Hash() const;
+
+  /// Display string, e.g. for result printing.
+  std::string ToString() const;
+};
+
+/// A column of a schema.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+  bool nullable = true;
+};
+
+/// \brief Ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of column `name`, or -1. Match is case-insensitive.
+  int FindField(const std::string& name) const;
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using Row = std::vector<Datum>;
+
+/// Combined hash of a row of key datums. Drives both initial hash
+/// distribution and redistribute-motion routing, so the two MUST agree for
+/// colocated joins to be correct.
+inline uint64_t HashRow(const Row& keys) {
+  uint64_t h = 0;
+  for (const Datum& d : keys) h = h * 1099511628211ULL + d.Hash();
+  return h;
+}
+
+/// Convert days-since-epoch to "YYYY-MM-DD".
+std::string DateToString(int64_t days);
+/// Parse "YYYY-MM-DD" into days since epoch.
+Result<int64_t> ParseDate(const std::string& s);
+/// Extract the year of a days-since-epoch date.
+int32_t DateYear(int64_t days);
+/// Build days-since-epoch from civil (y, m, d).
+int64_t DaysFromCivil(int32_t y, int32_t m, int32_t d);
+/// Civil-correct month stepping with day-of-month clamping.
+int64_t AddMonths(int64_t days, int64_t months);
+
+}  // namespace hawq

@@ -1,0 +1,88 @@
+#include "engine/bulk_loader.h"
+
+namespace hawq::engine {
+
+Result<std::unique_ptr<BulkLoader>> BulkLoader::Open(Cluster* cluster,
+                                                     const std::string& table) {
+  auto loader = std::unique_ptr<BulkLoader>(new BulkLoader());
+  loader->c_ = cluster;
+  loader->txn_ = cluster->tx_manager()->Begin();
+  tx::Transaction* txn = loader->txn_.get();
+  HAWQ_ASSIGN_OR_RETURN(loader->desc_,
+                        cluster->catalog()->GetTable(txn, table));
+  if (loader->desc_.is_partitioned() || loader->desc_.is_external()) {
+    return Status::NotSupported("BulkLoader handles plain tables only");
+  }
+  HAWQ_RETURN_IF_ERROR(cluster->tx_manager()->locks().Acquire(
+      txn->xid(), loader->desc_.oid, tx::LockMode::kRowExclusive));
+  loader->lane_ = cluster->AcquireLane(loader->desc_.oid);
+
+  storage::StorageOptions opts = storage::StorageOptions::FromTable(
+      loader->desc_);
+  Schema schema = loader->desc_.ToSchema();
+  int n = cluster->num_segments();
+  loader->writers_.resize(n);
+  loader->counts_.assign(n, 0);
+  HAWQ_ASSIGN_OR_RETURN(auto existing, cluster->catalog()->GetSegFiles(
+                                           txn, loader->desc_.oid));
+  for (int seg = 0; seg < n; ++seg) {
+    std::string path;
+    for (const catalog::SegFileDesc& f : existing) {
+      if (f.segment == seg && f.lane == loader->lane_) path = f.path;
+    }
+    if (path.empty()) {
+      path = cluster->SegFilePath(loader->desc_.oid, seg, loader->lane_);
+      catalog::SegFileDesc f;
+      f.segment = seg;
+      f.lane = loader->lane_;
+      f.path = path;
+      HAWQ_RETURN_IF_ERROR(
+          cluster->catalog()->AddSegFile(txn, loader->desc_.oid, f));
+    }
+    loader->paths_.push_back(path);
+    HAWQ_ASSIGN_OR_RETURN(loader->writers_[seg],
+                          storage::OpenTableWriter(cluster->hdfs(), path,
+                                                   schema, opts, seg));
+  }
+  return loader;
+}
+
+BulkLoader::~BulkLoader() {
+  if (!finished_ && txn_) {
+    c_->ReleaseLane(desc_.oid, lane_);
+    c_->tx_manager()->Abort(txn_.get());
+  }
+}
+
+Status BulkLoader::Append(const Row& row) {
+  int seg;
+  if (desc_.dist == catalog::DistPolicy::kHash && !desc_.dist_cols.empty()) {
+    Row key;
+    for (int dc : desc_.dist_cols) key.push_back(row[dc]);
+    seg = static_cast<int>(HashRow(key) % writers_.size());
+  } else {
+    seg = static_cast<int>(rr_++ % writers_.size());
+  }
+  ++counts_[seg];
+  return writers_[seg]->Append(row);
+}
+
+Result<int64_t> BulkLoader::Commit() {
+  finished_ = true;
+  int64_t total = 0;
+  for (size_t seg = 0; seg < writers_.size(); ++seg) {
+    HAWQ_RETURN_IF_ERROR(writers_[seg]->Close());
+    HAWQ_RETURN_IF_ERROR(c_->catalog()->UpdateSegFile(
+        txn_.get(), desc_.oid, static_cast<int>(seg), lane_,
+        writers_[seg]->logical_eof(), counts_[seg],
+        writers_[seg]->uncompressed_bytes()));
+    total += counts_[seg];
+  }
+  HAWQ_RETURN_IF_ERROR(c_->catalog()->SetRelTuples(
+      txn_.get(), desc_.oid, desc_.reltuples + total));
+  c_->ReleaseLane(desc_.oid, lane_);
+  HAWQ_RETURN_IF_ERROR(c_->tx_manager()->Commit(txn_.get()));
+  return total;
+}
+
+}  // namespace hawq::engine

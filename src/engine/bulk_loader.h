@@ -1,0 +1,43 @@
+// Fast bulk-load path (COPY-style): routes rows straight to per-segment
+// storage writers inside one transaction, exactly as the paper's batch
+// loads do. Used by the TPC-H loader and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cluster.h"
+#include "storage/format.h"
+
+namespace hawq::engine {
+
+class BulkLoader {
+ public:
+  /// Start loading into `table` (created beforehand; unpartitioned).
+  static Result<std::unique_ptr<BulkLoader>> Open(Cluster* cluster,
+                                                  const std::string& table);
+  ~BulkLoader();
+
+  /// Append one row (already typed per the table's schema). Routed by the
+  /// table's distribution policy.
+  Status Append(const Row& row);
+
+  /// Close writers, update pg_aoseg and reltuples, commit.
+  Result<int64_t> Commit();
+
+ private:
+  BulkLoader() = default;
+
+  Cluster* c_ = nullptr;
+  catalog::TableDesc desc_;
+  std::unique_ptr<tx::Transaction> txn_;
+  int lane_ = 0;
+  bool finished_ = false;
+  uint64_t rr_ = 0;
+  std::vector<std::unique_ptr<storage::TableWriter>> writers_;  // by segment
+  std::vector<std::string> paths_;
+  std::vector<int64_t> counts_;
+};
+
+}  // namespace hawq::engine

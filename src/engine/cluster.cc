@@ -1,0 +1,226 @@
+#include "engine/cluster.h"
+
+#include "engine/session.h"
+#include "executor/exec_node.h"
+
+namespace hawq::engine {
+
+namespace {
+
+/// Assign PXF fragments to segments: honour locality hints when the
+/// preferred host is a live segment, round-robin otherwise (paper §6.3).
+std::vector<plan::ScanFile> AssignFragments(
+    const std::vector<pxf::Fragment>& frags, int num_segments) {
+  std::vector<plan::ScanFile> out;
+  int rr = 0;
+  for (const pxf::Fragment& f : frags) {
+    plan::ScanFile sf;
+    sf.path = f.source;
+    sf.segment = (f.preferred_host >= 0 && f.preferred_host < num_segments)
+                     ? f.preferred_host
+                     : (rr++ % num_segments);
+    out.push_back(std::move(sf));
+  }
+  return out;
+}
+
+/// ExternalScan operator: runs the PXF connector for this segment's
+/// fragments and widens rows into the query's flat layout.
+class ExternalScanExec : public exec::ExecNode {
+ public:
+  ExternalScanExec(const plan::PlanNode& node, exec::ExecContext* ctx,
+                   pxf::Registry* registry)
+      : node_(node), ctx_(ctx), registry_(registry) {}
+
+  Status Open() override {
+    auto loc = pxf::ParseLocation(node_.ext_location);
+    if (!loc.ok()) return loc.status();
+    location_ = loc->first;
+    HAWQ_ASSIGN_OR_RETURN(connector_, registry_->Get(loc->second));
+    for (const plan::ScanFile& f : node_.files) {
+      if (f.segment == ctx_->segment) fragments_.push_back(&f);
+    }
+    // Remap pushdown predicates from the wide layout to the external
+    // schema's local column indices.
+    std::map<int, int> remap;
+    for (size_t i = 0; i < node_.table_schema.num_fields(); ++i) {
+      remap[node_.col_start + static_cast<int>(i)] = static_cast<int>(i);
+    }
+    for (sql::PExpr q : node_.quals) {
+      q.RemapCols(remap);
+      pushdown_.push_back(std::move(q));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!reader_) {
+        if (frag_idx_ >= fragments_.size()) return false;
+        pxf::Fragment frag;
+        frag.source = fragments_[frag_idx_++]->path;
+        HAWQ_ASSIGN_OR_RETURN(
+            reader_, connector_->Open(frag, node_.table_schema, pushdown_));
+      }
+      Row inner;
+      HAWQ_ASSIGN_OR_RETURN(bool more, reader_->Next(&inner));
+      if (!more) {
+        reader_.reset();
+        continue;
+      }
+      Row out(node_.out_arity);
+      for (size_t i = 0; i < inner.size(); ++i) {
+        out[node_.col_start + static_cast<int>(i)] = std::move(inner[i]);
+      }
+      *row = std::move(out);
+      return true;
+    }
+  }
+
+ private:
+  const plan::PlanNode& node_;
+  exec::ExecContext* ctx_;
+  pxf::Registry* registry_;
+  pxf::Connector* connector_ = nullptr;
+  std::string location_;
+  std::vector<const plan::ScanFile*> fragments_;
+  std::vector<sql::PExpr> pushdown_;
+  std::unique_ptr<pxf::RecordReader> reader_;
+  size_t frag_idx_ = 0;
+};
+
+}  // namespace
+
+Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
+  // Segment hosts double as HDFS DataNodes (collocation, Figure 1).
+  fs_ = std::make_unique<hdfs::MiniHdfs>(opts_.num_segments, opts_.hdfs);
+  catalog_ = std::make_unique<catalog::Catalog>(&txm_);
+  if (opts_.enable_standby) {
+    standby_txm_ = std::make_unique<tx::TxManager>();
+    standby_catalog_ = std::make_unique<catalog::Catalog>(standby_txm_.get());
+    // Warm standby master synchronized by log shipping (paper §2.6).
+    txm_.wal().Subscribe([this](const tx::WalRecord& rec) {
+      standby_catalog_->ApplyWalRecord(rec);
+    });
+  }
+  // Interconnect hosts: one per segment plus the master (QD).
+  sim_net_ = std::make_unique<net::SimNet>(opts_.num_segments + 1, opts_.net);
+  if (opts_.fabric == FabricKind::kUdp) {
+    auto udp = std::make_unique<net::UdpFabric>(sim_net_.get(), opts_.udp);
+    udp_fabric_ = udp.get();
+    fabric_ = std::move(udp);
+  } else {
+    fabric_ = std::make_unique<net::TcpFabric>(opts_.num_segments + 1,
+                                               opts_.tcp);
+  }
+  local_disks_ = std::vector<exec::LocalDisk>(opts_.num_segments + 1);
+  DispatchOptions dopts;
+  dopts.num_segments = opts_.num_segments;
+  dopts.compress_plan = opts_.compress_plans;
+  dopts.sort_spill_threshold = opts_.sort_spill_threshold;
+  dispatcher_ = std::make_unique<Dispatcher>(fs_.get(), fabric_.get(),
+                                             &local_disks_, dopts);
+  // Segment registry.
+  for (int s = 0; s < opts_.num_segments; ++s) {
+    catalog_->RegisterSegment({s, "seg" + std::to_string(s), 40000 + s, true});
+  }
+  // Built-in PXF connectors.
+  pxf_.Register("HdfsTextSimple",
+                std::make_unique<pxf::HdfsTextConnector>(fs_.get()));
+  pxf_.Register("SequenceFile",
+                std::make_unique<pxf::SeqFileConnector>(fs_.get()));
+  pxf_.Register("HBase", std::make_unique<pxf::HBaseConnector>(&hbase_));
+  // External scan hook for the executor.
+  exec::SetExternalScanFactory(
+      [this](const plan::PlanNode& node, exec::ExecContext* ctx)
+          -> Result<std::unique_ptr<exec::ExecNode>> {
+        return std::unique_ptr<exec::ExecNode>(
+            new ExternalScanExec(node, ctx, &pxf_));
+      });
+  if (opts_.fault_detector_thread) {
+    detector_running_ = true;
+    detector_ = std::thread([this] { FaultDetectorLoop(); });
+  }
+}
+
+Cluster::~Cluster() {
+  if (detector_running_.exchange(false) && detector_.joinable()) {
+    detector_.join();
+  }
+}
+
+std::unique_ptr<Session> Cluster::Connect() {
+  return std::unique_ptr<Session>(new Session(this));
+}
+
+plan::PlannerOptions Cluster::PlannerOptionsFor() {
+  plan::PlannerOptions po = opts_.planner;
+  po.num_segments = opts_.num_segments;
+  po.external_fragmenter =
+      [this](const std::string& location, const std::string& profile)
+      -> Result<std::vector<plan::ScanFile>> {
+    auto parsed = pxf::ParseLocation(location);
+    if (!parsed.ok()) return parsed.status();
+    (void)profile;
+    HAWQ_ASSIGN_OR_RETURN(pxf::Connector * conn, pxf_.Get(parsed->second));
+    HAWQ_ASSIGN_OR_RETURN(auto frags, conn->Fragments(parsed->first));
+    return AssignFragments(frags, opts_.num_segments);
+  };
+  return po;
+}
+
+void Cluster::FailSegment(int segment) {
+  fs_->FailDataNode(segment);
+  RunFaultDetectorOnce();
+}
+
+void Cluster::RecoverSegment(int segment) {
+  fs_->RecoverDataNode(segment);
+  RunFaultDetectorOnce();
+}
+
+void Cluster::RunFaultDetectorOnce() {
+  for (const catalog::SegmentInfo& seg : catalog_->GetSegments()) {
+    bool alive = fs_->IsDataNodeAlive(seg.id);
+    if (alive != seg.up) catalog_->SetSegmentStatus(seg.id, alive);
+  }
+}
+
+std::vector<bool> Cluster::SegmentUpMask() {
+  std::vector<bool> up(opts_.num_segments, false);
+  for (const catalog::SegmentInfo& seg : catalog_->GetSegments()) {
+    if (seg.id >= 0 && seg.id < opts_.num_segments) up[seg.id] = seg.up;
+  }
+  return up;
+}
+
+void Cluster::FaultDetectorLoop() {
+  while (detector_running_.load(std::memory_order_relaxed)) {
+    RunFaultDetectorOnce();
+    for (int i = 0; i < 10 && detector_running_.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+}
+
+int Cluster::AcquireLane(catalog::TableOid oid) {
+  std::lock_guard<std::mutex> g(lanes_mu_);
+  std::set<int>& used = lanes_in_use_[oid];
+  int lane = 0;
+  while (used.count(lane)) ++lane;
+  used.insert(lane);
+  return lane;
+}
+
+void Cluster::ReleaseLane(catalog::TableOid oid, int lane) {
+  std::lock_guard<std::mutex> g(lanes_mu_);
+  lanes_in_use_[oid].erase(lane);
+}
+
+std::string Cluster::SegFilePath(catalog::TableOid oid, int segment,
+                                 int lane) const {
+  return "/hawq/seg" + std::to_string(segment) + "/t" + std::to_string(oid) +
+         "." + std::to_string(lane);
+}
+
+}  // namespace hawq::engine

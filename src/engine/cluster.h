@@ -1,0 +1,117 @@
+// The HAWQ cluster facade (paper §2, Figure 1).
+//
+// Owns every substrate: the simulated HDFS (DataNodes collocated with
+// segments), the unified catalog service + transaction manager on the
+// master, the warm standby master kept in sync by WAL shipping, the
+// UDP/TCP interconnect fabric, the PXF connector registry, the fault
+// detector, and the per-host local scratch disks. Sessions connect
+// through Connect() (the libpq/JDBC/ODBC surface).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "catalog/catalog.h"
+#include "engine/dispatcher.h"
+#include "hdfs/hdfs.h"
+#include "interconnect/sim_net.h"
+#include "interconnect/tcp_interconnect.h"
+#include "interconnect/udp_interconnect.h"
+#include "planner/planner.h"
+#include "pxf/connectors.h"
+#include "pxf/hbase_like.h"
+#include "tx/tx_manager.h"
+
+namespace hawq::engine {
+
+class Session;
+
+enum class FabricKind { kUdp, kTcp };
+
+struct ClusterOptions {
+  int num_segments = 8;
+  hdfs::HdfsOptions hdfs;
+  net::NetOptions net;  // loss/reorder/dup injection
+  FabricKind fabric = FabricKind::kUdp;
+  net::UdpOptions udp;
+  net::TcpOptions tcp;
+  plan::PlannerOptions planner;  // num_segments/fragmenter set by Cluster
+  bool compress_plans = true;
+  bool enable_standby = true;
+  bool fault_detector_thread = true;
+  size_t sort_spill_threshold = 1 << 20;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions opts = {});
+  ~Cluster();
+
+  /// Open a client session (one QD per session, paper §2.4).
+  std::unique_ptr<Session> Connect();
+
+  // --- component access ------------------------------------------------
+  hdfs::MiniHdfs* hdfs() { return fs_.get(); }
+  catalog::Catalog* catalog() { return catalog_.get(); }
+  tx::TxManager* tx_manager() { return &txm_; }
+  net::SimNet* sim_net() { return sim_net_.get(); }
+  net::Interconnect* fabric() { return fabric_.get(); }
+  net::UdpFabric* udp_fabric() { return udp_fabric_; }
+  Dispatcher* dispatcher() { return dispatcher_.get(); }
+  pxf::Registry* pxf_registry() { return &pxf_; }
+  pxf::HBaseLike* hbase() { return &hbase_; }
+  const ClusterOptions& options() const { return opts_; }
+  int num_segments() const { return opts_.num_segments; }
+
+  /// The warm standby master's catalog (kept in sync via log shipping).
+  catalog::Catalog* standby_catalog() { return standby_catalog_.get(); }
+  tx::TxManager* standby_tx_manager() { return standby_txm_.get(); }
+
+  // --- fault tolerance ---------------------------------------------------
+  /// Kill a segment host (its DataNode dies too). The fault detector marks
+  /// the segment "down"; future queries fail over to live segments.
+  void FailSegment(int segment);
+  /// Recovery utility: bring the segment host back.
+  void RecoverSegment(int segment);
+  /// Fail the local scratch disk of a host (spill failures, §2.6).
+  void FailSpillDisk(int host) { local_disks_[host].Fail(); }
+  /// One pass of the master's fault detector.
+  void RunFaultDetectorOnce();
+  std::vector<bool> SegmentUpMask();
+
+  // --- internals used by Session -----------------------------------------
+  uint64_t NextQueryId() { return next_query_id_.fetch_add(1); }
+  /// Swimming-lane allocation for concurrent writers (paper §5.4).
+  int AcquireLane(catalog::TableOid oid);
+  void ReleaseLane(catalog::TableOid oid, int lane);
+  std::string SegFilePath(catalog::TableOid oid, int segment, int lane) const;
+  plan::PlannerOptions PlannerOptionsFor();
+  exec::LocalDisk* local_disk(int host) { return &local_disks_[host]; }
+
+ private:
+  void FaultDetectorLoop();
+
+  ClusterOptions opts_;
+  tx::TxManager txm_;
+  std::unique_ptr<hdfs::MiniHdfs> fs_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<tx::TxManager> standby_txm_;
+  std::unique_ptr<catalog::Catalog> standby_catalog_;
+  std::unique_ptr<net::SimNet> sim_net_;
+  std::unique_ptr<net::Interconnect> fabric_;
+  net::UdpFabric* udp_fabric_ = nullptr;
+  std::vector<exec::LocalDisk> local_disks_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+  pxf::Registry pxf_;
+  pxf::HBaseLike hbase_;
+  std::atomic<uint64_t> next_query_id_{1};
+  std::mutex lanes_mu_;
+  std::map<catalog::TableOid, std::set<int>> lanes_in_use_;
+  std::atomic<bool> detector_running_{false};
+  std::thread detector_;
+};
+
+}  // namespace hawq::engine

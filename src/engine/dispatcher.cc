@@ -1,0 +1,196 @@
+#include "engine/dispatcher.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "executor/exec_node.h"
+#include "storage/codec.h"
+
+namespace hawq::engine {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+/// Worker hosts of one slice given failover mapping.
+std::vector<int> SliceHosts(const plan::Slice& s,
+                            const std::vector<int>& seg_host, int qd_host) {
+  if (s.on_qd) return {qd_host};
+  std::vector<int> hosts;
+  for (int seg : s.exec_segments) hosts.push_back(seg_host[seg]);
+  return hosts;
+}
+
+void CollectRecvIds(const plan::PlanNode& n, std::vector<int>* out) {
+  if (n.kind == plan::NodeKind::kMotionRecv) out->push_back(n.motion_id);
+  for (const auto& c : n.children) CollectRecvIds(*c, out);
+}
+
+}  // namespace
+
+Result<QueryResult> Dispatcher::Execute(
+    const plan::PhysicalPlan& plan, uint64_t query_id,
+    const std::vector<bool>& segment_up,
+    std::vector<exec::InsertResult>* insert_results) {
+  auto t0 = Clock::now();
+  QueryResult result;
+  result.schema = plan.output_schema;
+  result.num_slices = static_cast<int>(plan.slices.size());
+  result.master_only = plan.slices.size() == 1;
+
+  // --- metadata dispatch: ship the self-described plan --------------------
+  std::string bytes = plan.Serialize();
+  result.plan_bytes = bytes.size();
+  std::string shipped = bytes;
+  bool compressed = false;
+  if (opts_.compress_plan) {
+    auto comp = storage::CodecCompress(catalog::Codec::kQuicklz, 1, bytes);
+    if (comp.ok() && comp->size() < bytes.size()) {
+      shipped = std::move(*comp);
+      compressed = true;
+    }
+  }
+  result.plan_bytes_compressed = shipped.size();
+  size_t plain_size = bytes.size();
+
+  // --- segment -> host mapping with stateless failover ----------------------
+  std::vector<int> up_segments;
+  for (int s = 0; s < opts_.num_segments; ++s) {
+    if (s < static_cast<int>(segment_up.size()) && segment_up[s]) {
+      up_segments.push_back(s);
+    }
+  }
+  bool needs_segments = false;
+  for (const plan::Slice& s : plan.slices) needs_segments |= !s.on_qd;
+  if (up_segments.empty()) {
+    if (needs_segments) {
+      return Status::Failed("no alive segments to dispatch to");
+    }
+    up_segments.push_back(0);  // placeholder; master-only plans ignore it
+  }
+  std::vector<int> seg_host(opts_.num_segments);
+  for (int s = 0; s < opts_.num_segments; ++s) {
+    seg_host[s] = (s < static_cast<int>(segment_up.size()) && segment_up[s])
+                      ? s
+                      : up_segments[s % up_segments.size()];
+  }
+  const int qd_host = opts_.num_segments;
+
+  // --- motion wiring -------------------------------------------------------
+  std::map<int, exec::MotionWiring> wiring;
+  for (const plan::Slice& s : plan.slices) {
+    std::vector<int> hosts = SliceHosts(s, seg_host, qd_host);
+    if (s.root->kind == plan::NodeKind::kMotionSend) {
+      exec::MotionWiring& w = wiring[s.root->motion_id];
+      w.type = s.root->motion;
+      w.sender_hosts = hosts;
+    }
+    std::vector<int> recv_ids;
+    CollectRecvIds(*s.root, &recv_ids);
+    for (int id : recv_ids) wiring[id].receiver_hosts = hosts;
+  }
+  // Direct dispatch statistic: any sender slice narrowed below full width.
+  for (const plan::Slice& s : plan.slices) {
+    if (!s.on_qd &&
+        static_cast<int>(s.exec_segments.size()) < opts_.num_segments) {
+      result.direct_dispatch = true;
+    }
+  }
+
+  // --- start gangs -----------------------------------------------------------
+  std::mutex err_mu;
+  Status first_error;
+  auto record_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> g(err_mu);
+    if (first_error.ok() && !st.ok()) first_error = st;
+  };
+
+  std::mutex side_mu;
+  std::vector<exec::InsertResult> side_results;
+
+  std::vector<std::thread> gang;
+  for (size_t si = 1; si < plan.slices.size(); ++si) {
+    const plan::Slice& s = plan.slices[si];
+    int workers = s.on_qd ? 1 : static_cast<int>(s.exec_segments.size());
+    for (int w = 0; w < workers; ++w) {
+      int segment = s.on_qd ? -1 : s.exec_segments[w];
+      int host = s.on_qd ? qd_host : seg_host[segment];
+      gang.emplace_back([&, si, w, segment, host] {
+        // Each QE parses its own copy of the dispatched plan — the
+        // self-described plan carries all metadata it needs (§3.1).
+        std::string plain = shipped;
+        if (compressed) {
+          auto dec = storage::CodecDecompress(catalog::Codec::kQuicklz,
+                                              shipped, plain_size);
+          if (!dec.ok()) {
+            record_error(dec.status());
+            return;
+          }
+          plain = std::move(*dec);
+        }
+        auto parsed = plan::PhysicalPlan::Parse(plain);
+        if (!parsed.ok()) {
+          record_error(parsed.status());
+          return;
+        }
+        exec::ExecContext ctx;
+        ctx.query_id = query_id;
+        ctx.worker = w;
+        ctx.segment = segment;
+        ctx.host = host;
+        ctx.num_segments = opts_.num_segments;
+        ctx.fs = fs_;
+        ctx.net = net_;
+        ctx.wiring = &wiring;
+        ctx.local_disk = &(*local_disks_)[host];
+        ctx.sort_spill_threshold = opts_.sort_spill_threshold;
+        ctx.side_mu = &side_mu;
+        ctx.insert_results = &side_results;
+        Status st = exec::RunSendSlice(*parsed->slices[si].root, &ctx);
+        record_error(st);
+      });
+    }
+  }
+
+  // --- top slice on the QD ------------------------------------------------------
+  {
+    exec::ExecContext ctx;
+    ctx.query_id = query_id;
+    ctx.worker = 0;
+    ctx.segment = -1;
+    ctx.host = qd_host;
+    ctx.num_segments = opts_.num_segments;
+    ctx.fs = fs_;
+    ctx.net = net_;
+    ctx.wiring = &wiring;
+    ctx.local_disk = &(*local_disks_)[qd_host];
+    ctx.sort_spill_threshold = opts_.sort_spill_threshold;
+    ctx.side_mu = &side_mu;
+    ctx.insert_results = &side_results;
+    auto run_top = [&]() -> Status {
+      HAWQ_ASSIGN_OR_RETURN(auto root,
+                            exec::BuildExecNode(*plan.slices[0].root, &ctx));
+      HAWQ_RETURN_IF_ERROR(root->Open());
+      Row row;
+      while (true) {
+        HAWQ_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+        if (!more) break;
+        result.rows.push_back(std::move(row));
+      }
+      return root->Close();
+    };
+    record_error(run_top());
+  }
+
+  for (std::thread& t : gang) t.join();
+  result.exec_time =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0);
+  {
+    std::lock_guard<std::mutex> g(err_mu);
+    if (!first_error.ok()) return first_error;
+  }
+  if (insert_results) *insert_results = std::move(side_results);
+  return result;
+}
+
+}  // namespace hawq::engine

@@ -1,0 +1,49 @@
+// The dispatcher (paper §2.4): serializes the self-described plan
+// (optionally compressed), starts a gang of QEs per slice, wires motions
+// through the interconnect, runs the top slice on the QD, and assembles
+// the final result. Stateless-segment failover: slices assigned to a
+// "down" segment are executed by a surviving segment, which can read the
+// failed segment's data from HDFS.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/query_result.h"
+#include "executor/exec_context.h"
+#include "hdfs/hdfs.h"
+#include "interconnect/interconnect.h"
+#include "planner/plan_node.h"
+
+namespace hawq::engine {
+
+struct DispatchOptions {
+  int num_segments = 8;
+  /// Compress the serialized plan before dispatch (paper §3.1).
+  bool compress_plan = true;
+  size_t sort_spill_threshold = 1 << 20;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(hdfs::MiniHdfs* fs, net::Interconnect* net,
+             std::vector<exec::LocalDisk>* local_disks, DispatchOptions opts)
+      : fs_(fs), net_(net), local_disks_(local_disks), opts_(opts) {}
+
+  /// Execute a plan. `segment_up[s]` gates dispatch to segment s;
+  /// `insert_results` (optional) collects piggy-backed segment-file
+  /// metadata changes.
+  Result<QueryResult> Execute(const plan::PhysicalPlan& plan,
+                              uint64_t query_id,
+                              const std::vector<bool>& segment_up,
+                              std::vector<exec::InsertResult>* insert_results);
+
+ private:
+  hdfs::MiniHdfs* fs_;
+  net::Interconnect* net_;
+  std::vector<exec::LocalDisk>* local_disks_;
+  DispatchOptions opts_;
+};
+
+}  // namespace hawq::engine

@@ -1,0 +1,55 @@
+#include "engine/query_result.h"
+
+#include <algorithm>
+
+namespace hawq::engine {
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  if (schema.num_fields() == 0) return message + "\n";
+  std::vector<size_t> widths;
+  std::vector<std::string> headers;
+  for (const Field& f : schema.fields()) {
+    headers.push_back(f.name);
+    widths.push_back(f.name.size());
+  }
+  size_t n = std::min(rows.size(), max_rows);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < rows[i].size() && c < headers.size(); ++c) {
+      std::string s = schema.field(c).type == TypeId::kDate &&
+                              !rows[i][c].is_null()
+                          ? DateToString(rows[i][c].as_int())
+                          : rows[i][c].ToString();
+      widths[c] = std::max(widths[c], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += (c ? " | " : "");
+    out += headers[c] + std::string(widths[c] - headers[c].size(), ' ');
+  }
+  out += "\n";
+  for (size_t c = 0; c < headers.size(); ++c) {
+    out += (c ? "-+-" : "");
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      out += (c ? " | " : "");
+      out += line[c] + std::string(widths[c] - line[c].size(), ' ');
+    }
+    out += "\n";
+  }
+  if (rows.size() > n) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  } else {
+    out += "(" + std::to_string(rows.size()) + " rows)\n";
+  }
+  return out;
+}
+
+}  // namespace hawq::engine

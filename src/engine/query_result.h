@@ -1,0 +1,30 @@
+// Result of one SQL statement, plus the execution statistics the
+// benchmarks and ablations report.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hawq::engine {
+
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  std::string message;  // DDL/DML tag, e.g. "CREATE TABLE", "INSERT 42"
+
+  // --- execution statistics ------------------------------------------------
+  size_t plan_bytes = 0;             // serialized self-described plan
+  size_t plan_bytes_compressed = 0;  // after dispatch compression
+  int num_slices = 0;
+  bool direct_dispatch = false;
+  bool master_only = false;
+  std::chrono::microseconds exec_time{0};
+
+  /// Render rows as an aligned text table (for the examples).
+  std::string ToTable(size_t max_rows = 50) const;
+};
+
+}  // namespace hawq::engine

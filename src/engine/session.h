@@ -1,0 +1,74 @@
+// A client session (one QD): parses, analyzes, plans, dispatches, and
+// manages transactions for every SQL statement (paper §2.4, Figure 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "engine/cluster.h"
+#include "engine/query_result.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace hawq::engine {
+
+class Session {
+ public:
+  ~Session();
+
+  /// Execute one SQL statement. Statements outside an explicit BEGIN run
+  /// in their own transaction; an error inside an explicit transaction
+  /// aborts it.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// True while an explicit transaction is open.
+  bool InTransaction() const { return open_txn_ != nullptr; }
+
+ private:
+  friend class Cluster;
+  explicit Session(Cluster* cluster) : c_(cluster) {}
+
+  struct TxScope {
+    tx::Transaction* txn = nullptr;
+    bool implicit = false;
+  };
+  Result<TxScope> CurrentTxn();
+  Status FinishTxn(const TxScope& scope, const Status& exec_status);
+
+  Result<QueryResult> ExecStatement(const sql::Statement& stmt,
+                                    tx::Transaction* txn);
+  Result<QueryResult> ExecSelect(const sql::SelectStmt& stmt,
+                                 tx::Transaction* txn);
+  Result<QueryResult> ExecInsert(const sql::InsertStmt& stmt,
+                                 tx::Transaction* txn);
+  Result<QueryResult> ExecCreateTable(const sql::CreateTableStmt& stmt,
+                                      tx::Transaction* txn);
+  Result<QueryResult> ExecCreateExternal(
+      const sql::CreateExternalTableStmt& stmt, tx::Transaction* txn);
+  Result<QueryResult> ExecDropTable(const std::string& name,
+                                    tx::Transaction* txn);
+  Result<QueryResult> ExecAnalyze(const std::string& name,
+                                  tx::Transaction* txn);
+  Result<QueryResult> ExecExplain(const sql::Statement& stmt,
+                                  tx::Transaction* txn);
+  Result<QueryResult> ExecTruncate(const std::string& name,
+                                   tx::Transaction* txn);
+  Result<QueryResult> ExecAlterStorage(
+      const std::string& name,
+      const std::map<std::string, std::string>& options,
+      tx::Transaction* txn);
+
+  /// Recursively evaluate and bind uncorrelated scalar subqueries.
+  Status ResolveScalarSubqueries(sql::BoundQuery* q, tx::Transaction* txn);
+  Status LockTables(const sql::BoundQuery& q, tx::Transaction* txn);
+  Result<QueryResult> RunSelectBound(sql::BoundQuery* bound,
+                                     tx::Transaction* txn);
+  Result<QueryResult> RunInternal(const std::string& sql,
+                                  tx::Transaction* txn);
+
+  Cluster* c_;
+  std::unique_ptr<tx::Transaction> open_txn_;
+  std::unique_ptr<tx::Transaction> implicit_txn_;
+};
+
+}  // namespace hawq::engine

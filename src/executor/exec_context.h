@@ -1,0 +1,94 @@
+// Per-QE execution context: identity of the worker, handles to the
+// substrates (HDFS, interconnect), motion wiring, spill disk, and side
+// channels used to report insert results back to the QD (the paper's
+// piggy-backed metadata changes, §3.1).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "hdfs/hdfs.h"
+#include "interconnect/interconnect.h"
+#include "planner/plan_node.h"
+
+namespace hawq::exec {
+
+/// How one motion's endpoints map onto interconnect hosts.
+struct MotionWiring {
+  plan::MotionType type = plan::MotionType::kGather;
+  std::vector<int> sender_hosts;
+  std::vector<int> receiver_hosts;
+};
+
+/// Segment-file state written by an Insert worker, shipped back to the QD
+/// to update pg_aoseg in one batch at end of statement.
+struct InsertResult {
+  uint64_t oid = 0;  // table (or partition child) receiving the rows
+  int segment = 0;
+  std::string path;
+  int64_t eof = 0;
+  int64_t tuples = 0;
+  int64_t uncompressed = 0;
+};
+
+/// \brief Simulated local scratch disk used for spilling intermediate data
+/// (external sort / big hash joins). Unlike user data on HDFS, a failure
+/// here fails the query and the disk is retired (paper §2.6).
+class LocalDisk {
+ public:
+  Status Write(const std::string& name, std::string data) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (failed_) return Status::IOError("local spill disk failed");
+    files_[name] = std::move(data);
+    return Status::OK();
+  }
+  Result<std::string> Read(const std::string& name) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (failed_) return Status::IOError("local spill disk failed");
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound("no spill file " + name);
+    return it->second;
+  }
+  void Remove(const std::string& name) {
+    std::lock_guard<std::mutex> g(mu_);
+    files_.erase(name);
+  }
+  void Fail() {
+    std::lock_guard<std::mutex> g(mu_);
+    failed_ = true;
+  }
+  bool failed() {
+    std::lock_guard<std::mutex> g(mu_);
+    return failed_;
+  }
+  size_t file_count() {
+    std::lock_guard<std::mutex> g(mu_);
+    return files_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  bool failed_ = false;
+  std::map<std::string, std::string> files_;
+};
+
+struct ExecContext {
+  uint64_t query_id = 0;
+  int worker = 0;    // index among this slice's workers
+  int segment = -1;  // segment id; -1 on the QD
+  int host = 0;      // interconnect host id
+  int num_segments = 1;
+  hdfs::MiniHdfs* fs = nullptr;
+  net::Interconnect* net = nullptr;
+  const std::map<int, MotionWiring>* wiring = nullptr;
+  LocalDisk* local_disk = nullptr;
+  /// Rows held in memory before Sort spills runs to the local disk.
+  size_t sort_spill_threshold = 1 << 20;
+  std::mutex* side_mu = nullptr;
+  std::vector<InsertResult>* insert_results = nullptr;
+};
+
+}  // namespace hawq::exec

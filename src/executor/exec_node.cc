@@ -1,0 +1,851 @@
+#include "executor/exec_node.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/serde.h"
+#include "storage/format.h"
+
+namespace hawq::exec {
+
+namespace {
+
+using plan::NodeKind;
+using plan::PlanNode;
+using sql::AggSpec;
+using sql::PExpr;
+
+std::string KeyOf(const Row& key) {
+  BufferWriter w;
+  SerializeRow(key, &w);
+  return w.Release();
+}
+
+Row EvalAll(const std::vector<PExpr>& exprs, const Row& in) {
+  Row out;
+  out.reserve(exprs.size());
+  for (const PExpr& e : exprs) out.push_back(e.Eval(in));
+  return out;
+}
+
+bool PassesAll(const std::vector<PExpr>& quals, const Row& row) {
+  for (const PExpr& q : quals) {
+    if (!q.EvalBool(row)) return false;
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- SeqScan
+
+class SeqScanExec : public ExecNode {
+ public:
+  SeqScanExec(const PlanNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  Status Open() override {
+    for (const plan::ScanFile& f : node_.files) {
+      if (f.segment == ctx_->segment) my_files_.push_back(&f);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (!scanner_) {
+        if (file_idx_ >= my_files_.size()) return false;
+        const plan::ScanFile* f = my_files_[file_idx_++];
+        storage::StorageOptions opts;
+        opts.kind = node_.storage;
+        opts.codec = node_.codec;
+        opts.codec_level = node_.codec_level;
+        HAWQ_ASSIGN_OR_RETURN(
+            scanner_, storage::OpenTableScanner(ctx_->fs, f->path,
+                                                node_.table_schema, opts,
+                                                f->eof, node_.projection));
+      }
+      Row inner;
+      HAWQ_ASSIGN_OR_RETURN(bool more, scanner_->Next(&inner));
+      if (!more) {
+        scanner_.reset();
+        continue;
+      }
+      Row out(node_.out_arity);
+      for (int local : node_.projection) {
+        out[node_.col_start + local] = std::move(inner[local]);
+      }
+      *row = std::move(out);
+      return true;
+    }
+  }
+
+ private:
+  const PlanNode& node_;
+  ExecContext* ctx_;
+  std::vector<const plan::ScanFile*> my_files_;
+  size_t file_idx_ = 0;
+  std::unique_ptr<storage::TableScanner> scanner_;
+};
+
+// ------------------------------------------------------------- Filter
+
+class FilterExec : public ExecNode {
+ public:
+  FilterExec(const PlanNode& node, std::unique_ptr<ExecNode> child)
+      : node_(node), child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+      if (!more) return false;
+      if (PassesAll(node_.quals, *row)) return true;
+    }
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ------------------------------------------------------------- Project
+
+class ProjectExec : public ExecNode {
+ public:
+  ProjectExec(const PlanNode& node, std::unique_ptr<ExecNode> child)
+      : node_(node), child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override {
+    Row in;
+    HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+    if (!more) return false;
+    *row = EvalAll(node_.exprs, in);
+    return true;
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+};
+
+// ------------------------------------------------------------- HashJoin
+
+class HashJoinExec : public ExecNode {
+ public:
+  HashJoinExec(const PlanNode& node, std::unique_ptr<ExecNode> probe,
+               std::unique_ptr<ExecNode> build)
+      : node_(node), probe_(std::move(probe)), build_(std::move(build)) {}
+
+  Status Open() override {
+    HAWQ_RETURN_IF_ERROR(build_->Open());
+    Row row;
+    while (true) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
+      if (!more) break;
+      Row key = EvalAll(node_.build_keys, row);
+      bool has_null = false;
+      for (const Datum& d : key) has_null |= d.is_null();
+      if (has_null) continue;  // NULL keys never match
+      table_[KeyOf(key)].push_back(std::move(row));
+    }
+    HAWQ_RETURN_IF_ERROR(build_->Close());
+    return probe_->Open();
+  }
+
+  Result<bool> Next(Row* row) override {
+    // Emit remaining matches of the current probe row (inner/left).
+    while (true) {
+      if (match_iter_ < matches_.size()) {
+        *row = Merge(probe_row_, *matches_[match_iter_++]);
+        return true;
+      }
+      HAWQ_ASSIGN_OR_RETURN(bool more, probe_->Next(&probe_row_));
+      if (!more) return false;
+      Row key = EvalAll(node_.probe_keys, probe_row_);
+      bool has_null = false;
+      for (const Datum& d : key) has_null |= d.is_null();
+      matches_.clear();
+      match_iter_ = 0;
+      if (!has_null) {
+        auto it = table_.find(KeyOf(key));
+        if (it != table_.end()) {
+          for (const Row& cand : it->second) {
+            if (node_.quals.empty() ||
+                PassesAll(node_.quals, Merge(probe_row_, cand))) {
+              matches_.push_back(&cand);
+            }
+          }
+        }
+      }
+      switch (node_.join_type) {
+        case plan::JoinType::kInner:
+          break;  // loop emits matches (or none)
+        case plan::JoinType::kLeft:
+          if (matches_.empty()) {
+            *row = probe_row_;  // null-extended build side
+            return true;
+          }
+          break;
+        case plan::JoinType::kSemi:
+          if (!matches_.empty()) {
+            matches_.clear();
+            *row = probe_row_;
+            return true;
+          }
+          break;
+        case plan::JoinType::kAnti:
+          if (matches_.empty()) {
+            *row = probe_row_;
+            return true;
+          }
+          matches_.clear();
+          break;
+      }
+    }
+  }
+
+  Status Close() override { return probe_->Close(); }
+
+ private:
+  Row Merge(const Row& probe, const Row& build) const {
+    Row out = probe;
+    for (int c : node_.build_cols) out[c] = build[c];
+    return out;
+  }
+
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> probe_;
+  std::unique_ptr<ExecNode> build_;
+  std::unordered_map<std::string, std::vector<Row>> table_;
+  Row probe_row_;
+  std::vector<const Row*> matches_;
+  size_t match_iter_ = 0;
+};
+
+// ------------------------------------------------------------- HashAgg
+
+struct AggState {
+  int64_t count = 0;
+  Datum sum;
+  Datum minmax;
+  double avg_sum = 0;
+  int64_t avg_count = 0;
+  std::set<std::string> seen;  // DISTINCT
+
+  void Update(const AggSpec& spec, const Row& in) {
+    Datum v;
+    if (!spec.count_star) v = spec.arg.Eval(in);
+    if (spec.distinct) {
+      if (v.is_null()) return;
+      std::string k = KeyOf({v});
+      if (!seen.insert(std::move(k)).second) return;
+    }
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        if (spec.count_star || !v.is_null()) ++count;
+        break;
+      case AggSpec::Kind::kSum:
+        if (!v.is_null()) AddTo(&sum, v);
+        break;
+      case AggSpec::Kind::kMin:
+        if (!v.is_null() &&
+            (minmax.is_null() || Datum::Compare(v, minmax) < 0)) {
+          minmax = v;
+        }
+        break;
+      case AggSpec::Kind::kMax:
+        if (!v.is_null() &&
+            (minmax.is_null() || Datum::Compare(v, minmax) > 0)) {
+          minmax = v;
+        }
+        break;
+      case AggSpec::Kind::kAvg:
+        if (!v.is_null()) {
+          avg_sum += v.as_double();
+          ++avg_count;
+        }
+        break;
+    }
+  }
+
+  static void AddTo(Datum* acc, const Datum& v) {
+    if (acc->is_null()) {
+      *acc = v;
+      return;
+    }
+    if (acc->kind == Datum::Kind::kDouble || v.kind == Datum::Kind::kDouble) {
+      *acc = Datum::Double(acc->as_double() + v.as_double());
+    } else {
+      *acc = Datum::Int(acc->as_int() + v.as_int());
+    }
+  }
+
+  /// Width of one agg's partial state (columns).
+  static int StateWidth(const AggSpec& spec) {
+    return spec.kind == AggSpec::Kind::kAvg ? 2 : 1;
+  }
+
+  void EmitPartial(const AggSpec& spec, Row* out) const {
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        out->push_back(Datum::Int(count));
+        break;
+      case AggSpec::Kind::kSum:
+        out->push_back(sum);
+        break;
+      case AggSpec::Kind::kMin:
+      case AggSpec::Kind::kMax:
+        out->push_back(minmax);
+        break;
+      case AggSpec::Kind::kAvg:
+        out->push_back(Datum::Double(avg_sum));
+        out->push_back(Datum::Int(avg_count));
+        break;
+    }
+  }
+
+  /// Merge a partial state starting at `col` of `in`.
+  void MergePartial(const AggSpec& spec, const Row& in, int col) {
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        count += in[col].is_null() ? 0 : in[col].as_int();
+        break;
+      case AggSpec::Kind::kSum:
+        if (!in[col].is_null()) AddTo(&sum, in[col]);
+        break;
+      case AggSpec::Kind::kMin:
+        if (!in[col].is_null() &&
+            (minmax.is_null() || Datum::Compare(in[col], minmax) < 0)) {
+          minmax = in[col];
+        }
+        break;
+      case AggSpec::Kind::kMax:
+        if (!in[col].is_null() &&
+            (minmax.is_null() || Datum::Compare(in[col], minmax) > 0)) {
+          minmax = in[col];
+        }
+        break;
+      case AggSpec::Kind::kAvg:
+        if (!in[col].is_null()) avg_sum += in[col].as_double();
+        if (!in[col + 1].is_null()) avg_count += in[col + 1].as_int();
+        break;
+    }
+  }
+
+  void EmitFinal(const AggSpec& spec, Row* out) const {
+    switch (spec.kind) {
+      case AggSpec::Kind::kCount:
+        out->push_back(Datum::Int(count));
+        break;
+      case AggSpec::Kind::kSum:
+        out->push_back(sum);
+        break;
+      case AggSpec::Kind::kMin:
+      case AggSpec::Kind::kMax:
+        out->push_back(minmax);
+        break;
+      case AggSpec::Kind::kAvg:
+        out->push_back(avg_count == 0 ? Datum::Null()
+                                      : Datum::Double(avg_sum / avg_count));
+        break;
+    }
+  }
+};
+
+class HashAggExec : public ExecNode {
+ public:
+  HashAggExec(const PlanNode& node, std::unique_ptr<ExecNode> child)
+      : node_(node), child_(std::move(child)) {}
+
+  Status Open() override {
+    HAWQ_RETURN_IF_ERROR(child_->Open());
+    Row in;
+    while (true) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      Row key = EvalAll(node_.group_exprs, in);
+      auto& entry = groups_[KeyOf(key)];
+      if (entry.states.empty()) {
+        entry.key = std::move(key);
+        entry.states.resize(node_.aggs.size());
+      }
+      if (node_.phase == plan::AggPhase::kFinal) {
+        int col = static_cast<int>(node_.group_exprs.size());
+        for (size_t i = 0; i < node_.aggs.size(); ++i) {
+          entry.states[i].MergePartial(node_.aggs[i], in, col);
+          col += AggState::StateWidth(node_.aggs[i]);
+        }
+      } else {
+        for (size_t i = 0; i < node_.aggs.size(); ++i) {
+          entry.states[i].Update(node_.aggs[i], in);
+        }
+      }
+    }
+    HAWQ_RETURN_IF_ERROR(child_->Close());
+    // A grand aggregate (no groups) emits a row even for empty input —
+    // but only in one place: the QD-side (single/final) phase. Partial
+    // workers also emit so that states always flow.
+    if (groups_.empty() && node_.group_exprs.empty()) {
+      Entry e;
+      e.states.resize(node_.aggs.size());
+      groups_[""] = std::move(e);
+    }
+    iter_ = groups_.begin();
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (iter_ == groups_.end()) return false;
+    const Entry& e = iter_->second;
+    Row out = e.key;
+    for (size_t i = 0; i < node_.aggs.size(); ++i) {
+      if (node_.phase == plan::AggPhase::kPartial) {
+        e.states[i].EmitPartial(node_.aggs[i], &out);
+      } else {
+        e.states[i].EmitFinal(node_.aggs[i], &out);
+      }
+    }
+    ++iter_;
+    *row = std::move(out);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    Row key;
+    std::vector<AggState> states;
+  };
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+  std::unordered_map<std::string, Entry> groups_;
+  std::unordered_map<std::string, Entry>::iterator iter_;
+};
+
+// ------------------------------------------------------------- Sort
+
+class SortExec : public ExecNode {
+ public:
+  SortExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
+           ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override {
+    HAWQ_RETURN_IF_ERROR(child_->Open());
+    Row in;
+    while (true) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      rows_.push_back(std::move(in));
+      if (rows_.size() >= ctx_->sort_spill_threshold) {
+        HAWQ_RETURN_IF_ERROR(SpillRun());
+      }
+    }
+    HAWQ_RETURN_IF_ERROR(child_->Close());
+    SortRows(&rows_);
+    if (!runs_.empty()) {
+      HAWQ_RETURN_IF_ERROR(MergeRuns());
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    *row = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  bool Less(const Row& a, const Row& b) const {
+    for (const plan::SortKey& k : node_.sort_keys) {
+      int c = Datum::Compare(a[k.col], b[k.col]);
+      if (c != 0) return k.desc ? c > 0 : c < 0;
+    }
+    return false;
+  }
+
+  void SortRows(std::vector<Row>* rows) const {
+    std::stable_sort(rows->begin(), rows->end(),
+                     [this](const Row& a, const Row& b) { return Less(a, b); });
+  }
+
+  Status SpillRun() {
+    // External sort: sort the in-memory rows and spill them as one run to
+    // the local scratch disk (paper §2.6's second disk-failure class).
+    SortRows(&rows_);
+    BufferWriter w;
+    w.PutVarint(rows_.size());
+    for (const Row& r : rows_) SerializeRow(r, &w);
+    std::string name = "sort_run_" + std::to_string(ctx_->query_id) + "_" +
+                       std::to_string(ctx_->segment) + "_" +
+                       std::to_string(runs_.size());
+    HAWQ_RETURN_IF_ERROR(ctx_->local_disk->Write(name, w.Release()));
+    runs_.push_back(name);
+    rows_.clear();
+    return Status::OK();
+  }
+
+  Status MergeRuns() {
+    // Merge spilled runs with the resident rows (all sorted).
+    std::vector<std::vector<Row>> all;
+    all.push_back(std::move(rows_));
+    for (const std::string& name : runs_) {
+      HAWQ_ASSIGN_OR_RETURN(std::string data, ctx_->local_disk->Read(name));
+      BufferReader r(data);
+      HAWQ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      std::vector<Row> run;
+      run.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        HAWQ_ASSIGN_OR_RETURN(Row row, DeserializeRow(&r));
+        run.push_back(std::move(row));
+      }
+      all.push_back(std::move(run));
+      ctx_->local_disk->Remove(name);
+    }
+    std::vector<size_t> idx(all.size(), 0);
+    std::vector<Row> merged;
+    while (true) {
+      int best = -1;
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (idx[i] >= all[i].size()) continue;
+        if (best < 0 || Less(all[i][idx[i]], all[best][idx[best]])) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      merged.push_back(std::move(all[best][idx[best]++]));
+    }
+    rows_ = std::move(merged);
+    return Status::OK();
+  }
+
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  std::vector<Row> rows_;
+  std::vector<std::string> runs_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- Limit
+
+class LimitExec : public ExecNode {
+ public:
+  LimitExec(const PlanNode& node, std::unique_ptr<ExecNode> child)
+      : node_(node), child_(std::move(child)) {}
+  Status Open() override { return child_->Open(); }
+  Result<bool> Next(Row* row) override {
+    if (emitted_ >= node_.limit) return false;
+    HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(row));
+    if (!more) return false;
+    ++emitted_;
+    return true;
+  }
+  Status Close() override { return child_->Close(); }
+
+ private:
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+  int64_t emitted_ = 0;
+};
+
+// ------------------------------------------------------------- Result
+
+class ResultExec : public ExecNode {
+ public:
+  explicit ResultExec(const PlanNode& node) : node_(node) {}
+  Status Open() override { return Status::OK(); }
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= node_.rows.size()) return false;
+    *row = node_.rows[pos_++];
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------- MotionRecv
+
+class MotionRecvExec : public ExecNode {
+ public:
+  MotionRecvExec(const PlanNode& node, ExecContext* ctx)
+      : node_(node), ctx_(ctx) {}
+
+  Status Open() override {
+    const MotionWiring& w = ctx_->wiring->at(node_.motion_id);
+    HAWQ_ASSIGN_OR_RETURN(
+        stream_, ctx_->net->OpenRecv(ctx_->query_id, node_.motion_id,
+                                     ctx_->worker, ctx_->host,
+                                     static_cast<int>(w.sender_hosts.size())));
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (true) {
+      if (chunk_rows_left_ > 0) {
+        HAWQ_ASSIGN_OR_RETURN(*row, DeserializeRow(&reader_));
+        --chunk_rows_left_;
+        return true;
+      }
+      // A chunk may hold several count-prefixed groups (the MapReduce
+      // fabric concatenates them when materializing shuffle files).
+      if (reader_.remaining() > 0) {
+        HAWQ_ASSIGN_OR_RETURN(chunk_rows_left_, reader_.GetVarint());
+        continue;
+      }
+      HAWQ_ASSIGN_OR_RETURN(auto chunk, stream_->Recv());
+      if (!chunk.has_value()) return false;
+      chunk_ = std::move(*chunk);
+      reader_ = BufferReader(chunk_.data(), chunk_.size());
+    }
+  }
+
+  Status Close() override {
+    // Early close (LIMIT satisfied): tell senders to stop.
+    if (stream_) stream_->Stop();
+    return Status::OK();
+  }
+
+ private:
+  const PlanNode& node_;
+  ExecContext* ctx_;
+  std::unique_ptr<net::RecvStream> stream_;
+  std::string chunk_;
+  BufferReader reader_{nullptr, 0};
+  uint64_t chunk_rows_left_ = 0;
+};
+
+// ------------------------------------------------------------- Insert
+
+class InsertExec : public ExecNode {
+ public:
+  InsertExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
+             ExecContext* ctx)
+      : node_(node), child_(std::move(child)), ctx_(ctx) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<bool> Next(Row* row) override {
+    if (done_) return false;
+    done_ = true;
+    // One (lazily opened) writer per partition this segment receives
+    // rows for; part_col routes each row to its range partition.
+    std::vector<std::unique_ptr<storage::TableWriter>> writers(
+        node_.insert_parts.size());
+    std::vector<int64_t> counts(node_.insert_parts.size(), 0);
+    storage::StorageOptions opts;
+    opts.kind = node_.storage;
+    opts.codec = node_.codec;
+    opts.codec_level = node_.codec_level;
+    int64_t total = 0;
+    Row in;
+    while (true) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+      if (!more) break;
+      int part = 0;
+      if (node_.insert_part_col >= 0) {
+        part = -1;
+        int64_t v = in[node_.insert_part_col].as_int();
+        for (size_t i = 0; i < node_.insert_parts.size(); ++i) {
+          if (v >= node_.insert_parts[i].lo && v < node_.insert_parts[i].hi) {
+            part = static_cast<int>(i);
+            break;
+          }
+        }
+        if (part < 0) {
+          return Status::InvalidArgument(
+              "row does not match any partition of " + node_.table_name);
+        }
+      }
+      if (!writers[part]) {
+        const std::string& path =
+            node_.insert_parts[part].files[ctx_->segment];
+        HAWQ_ASSIGN_OR_RETURN(
+            writers[part],
+            storage::OpenTableWriter(ctx_->fs, path, node_.table_schema,
+                                     opts, ctx_->segment));
+      }
+      HAWQ_RETURN_IF_ERROR(writers[part]->Append(in));
+      ++counts[part];
+      ++total;
+    }
+    HAWQ_RETURN_IF_ERROR(child_->Close());
+    for (size_t i = 0; i < writers.size(); ++i) {
+      if (!writers[i]) continue;
+      HAWQ_RETURN_IF_ERROR(writers[i]->Close());
+      std::lock_guard<std::mutex> g(*ctx_->side_mu);
+      ctx_->insert_results->push_back(
+          {node_.insert_parts[i].oid, ctx_->segment,
+           node_.insert_parts[i].files[ctx_->segment],
+           writers[i]->logical_eof(), counts[i],
+           writers[i]->uncompressed_bytes()});
+    }
+    *row = {Datum::Int(total)};
+    return true;
+  }
+
+ private:
+  const PlanNode& node_;
+  std::unique_ptr<ExecNode> child_;
+  ExecContext* ctx_;
+  bool done_ = false;
+};
+
+ExternalScanFactory g_external_scan_factory;
+
+}  // namespace
+
+void SetExternalScanFactory(ExternalScanFactory factory) {
+  g_external_scan_factory = std::move(factory);
+}
+
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const PlanNode& node,
+                                                ExecContext* ctx) {
+  switch (node.kind) {
+    case NodeKind::kSeqScan:
+      return std::unique_ptr<ExecNode>(new SeqScanExec(node, ctx));
+    case NodeKind::kExternalScan:
+      if (!g_external_scan_factory) {
+        return Status::NotSupported("no external scan factory registered");
+      }
+      return g_external_scan_factory(node, ctx);
+    case NodeKind::kFilter: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new FilterExec(node, std::move(child)));
+    }
+    case NodeKind::kProject: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new ProjectExec(node, std::move(child)));
+    }
+    case NodeKind::kHashJoin: {
+      HAWQ_ASSIGN_OR_RETURN(auto probe, BuildExecNode(*node.children[0], ctx));
+      HAWQ_ASSIGN_OR_RETURN(auto build, BuildExecNode(*node.children[1], ctx));
+      return std::unique_ptr<ExecNode>(
+          new HashJoinExec(node, std::move(probe), std::move(build)));
+    }
+    case NodeKind::kHashAgg: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new HashAggExec(node, std::move(child)));
+    }
+    case NodeKind::kSort: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new SortExec(node, std::move(child), ctx));
+    }
+    case NodeKind::kLimit: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(new LimitExec(node, std::move(child)));
+    }
+    case NodeKind::kMotionRecv:
+      return std::unique_ptr<ExecNode>(new MotionRecvExec(node, ctx));
+    case NodeKind::kResult:
+      return std::unique_ptr<ExecNode>(new ResultExec(node));
+    case NodeKind::kInsert: {
+      HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
+      return std::unique_ptr<ExecNode>(
+          new InsertExec(node, std::move(child), ctx));
+    }
+    case NodeKind::kMotionSend:
+      return Status::Internal("MotionSend is a slice root, not an operator");
+  }
+  return Status::Internal("unknown plan node");
+}
+
+namespace {
+Status RunSendSliceInner(const plan::PlanNode& send_root, ExecContext* ctx,
+                         net::SendStream* stream);
+}  // namespace
+
+Status RunSendSlice(const plan::PlanNode& send_root, ExecContext* ctx) {
+  if (send_root.kind != NodeKind::kMotionSend) {
+    return Status::Internal("sender slice root must be MotionSend");
+  }
+  const MotionWiring& w = ctx->wiring->at(send_root.motion_id);
+  HAWQ_ASSIGN_OR_RETURN(
+      auto stream, ctx->net->OpenSend(ctx->query_id, send_root.motion_id,
+                                      ctx->worker, ctx->host,
+                                      w.receiver_hosts));
+  Status st = RunSendSliceInner(send_root, ctx, stream.get());
+  if (!st.ok()) {
+    // Deliver EoS anyway so downstream receivers terminate instead of
+    // waiting forever for a failed sender.
+    stream->SendEos();
+  }
+  return st;
+}
+
+namespace {
+Status RunSendSliceInner(const plan::PlanNode& send_root, ExecContext* ctx,
+                         net::SendStream* stream_ptr) {
+  const MotionWiring& w = ctx->wiring->at(send_root.motion_id);
+  int num_recv = static_cast<int>(w.receiver_hosts.size());
+  net::SendStream* stream = stream_ptr;
+  HAWQ_ASSIGN_OR_RETURN(auto child,
+                        BuildExecNode(*send_root.children[0], ctx));
+  HAWQ_RETURN_IF_ERROR(child->Open());
+
+  struct Buf {
+    BufferWriter w;
+    uint64_t rows = 0;
+  };
+  std::vector<Buf> bufs(num_recv);
+  auto flush = [&](int r) -> Status {
+    if (bufs[r].rows == 0) return Status::OK();
+    BufferWriter chunk;
+    chunk.PutVarint(bufs[r].rows);
+    chunk.PutRaw(bufs[r].w.data().data(), bufs[r].w.size());
+    HAWQ_RETURN_IF_ERROR(stream->Send(r, chunk.Release()));
+    bufs[r] = Buf();
+    return Status::OK();
+  };
+  auto append = [&](int r, const Row& row) -> Status {
+    SerializeRow(row, &bufs[r].w);
+    ++bufs[r].rows;
+    if (bufs[r].rows >= 128 || bufs[r].w.size() >= 32 * 1024) {
+      return flush(r);
+    }
+    return Status::OK();
+  };
+
+  uint64_t rr = 0;
+  Row row;
+  while (true) {
+    if (stream->AllStopped()) break;  // LIMIT satisfied downstream
+    HAWQ_ASSIGN_OR_RETURN(bool more, child->Next(&row));
+    if (!more) break;
+    switch (send_root.motion) {
+      case plan::MotionType::kGather:
+        HAWQ_RETURN_IF_ERROR(append(0, row));
+        break;
+      case plan::MotionType::kBroadcast:
+        for (int r = 0; r < num_recv; ++r) {
+          HAWQ_RETURN_IF_ERROR(append(r, row));
+        }
+        break;
+      case plan::MotionType::kRedistribute: {
+        int r;
+        if (send_root.hash_exprs.empty()) {
+          r = static_cast<int>(rr++ % num_recv);
+        } else {
+          Row key = EvalAll(send_root.hash_exprs, row);
+          r = static_cast<int>(HashRow(key) % num_recv);
+        }
+        HAWQ_RETURN_IF_ERROR(append(r, row));
+        break;
+      }
+    }
+  }
+  for (int r = 0; r < num_recv; ++r) HAWQ_RETURN_IF_ERROR(flush(r));
+  HAWQ_RETURN_IF_ERROR(stream->SendEos());
+  HAWQ_RETURN_IF_ERROR(child->Close());
+  return Status::OK();
+}
+}  // namespace
+
+}  // namespace hawq::exec

@@ -1,0 +1,41 @@
+// Pipelined (volcano) executor operators built from deserialized
+// self-described plan slices. Motion operators exchange serialized tuple
+// chunks through the interconnect, so slices stream into each other
+// without stage materialization (paper §3 / Figure 4).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "executor/exec_context.h"
+#include "planner/plan_node.h"
+
+namespace hawq::exec {
+
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+  virtual Status Open() = 0;
+  /// Produce the next row; false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual Status Close() { return Status::OK(); }
+};
+
+/// Build the operator tree for one plan subtree on this worker.
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const plan::PlanNode& node,
+                                                ExecContext* ctx);
+
+/// Hook installed by the PXF module so ExternalScan nodes can execute
+/// without the executor depending on PXF.
+using ExternalScanFactory =
+    std::function<Result<std::unique_ptr<ExecNode>>(const plan::PlanNode&,
+                                                    ExecContext*)>;
+void SetExternalScanFactory(ExternalScanFactory factory);
+
+/// Run a sender slice to completion: pull rows from below the MotionSend
+/// root, route them (gather/broadcast/redistribute), and deliver EoS.
+Status RunSendSlice(const plan::PlanNode& send_root, ExecContext* ctx);
+
+}  // namespace hawq::exec

@@ -1,0 +1,378 @@
+#include "hdfs/hdfs.h"
+
+#include <algorithm>
+
+#include "common/sim_cost.h"
+
+namespace hawq::hdfs {
+
+// ---------------------------------------------------------------- Reader
+
+Result<size_t> FileReader::Read(char* out, size_t n) {
+  HAWQ_ASSIGN_OR_RETURN(size_t got, PRead(pos_, out, n));
+  pos_ += got;
+  return got;
+}
+
+Result<std::string> FileReader::ReadAll() {
+  std::string out;
+  if (pos_ >= length_) return out;
+  out.resize(length_ - pos_);
+  HAWQ_ASSIGN_OR_RETURN(size_t got, Read(out.data(), out.size()));
+  out.resize(got);
+  return out;
+}
+
+Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
+  if (offset >= length_) return static_cast<size_t>(0);
+  n = std::min<uint64_t>(n, length_ - offset);
+  size_t done = 0;
+  // Locate the block containing `offset` and stream across blocks.
+  for (const BlockLocation& bl : blocks_) {
+    if (done == n) break;
+    if (offset + done >= bl.offset + bl.length) continue;
+    if (offset + done < bl.offset) break;  // hole: cannot happen
+    uint64_t in_block = offset + done - bl.offset;
+    uint64_t want = std::min<uint64_t>(n - done, bl.length - in_block);
+    HAWQ_ASSIGN_OR_RETURN(std::string chunk,
+                          fs_->ReadBlock(bl.id, in_block, want));
+    std::copy(chunk.begin(), chunk.end(), out + done);
+    done += chunk.size();
+    if (chunk.size() < want) break;
+  }
+  return done;
+}
+
+// ---------------------------------------------------------------- Writer
+
+FileWriter::~FileWriter() {
+  if (!closed_) Close();  // best effort; errors surface on explicit Close
+}
+
+Status FileWriter::Append(const char* data, size_t n) {
+  if (closed_) return Status::IOError("writer closed: " + path_);
+  pending_.append(data, n);
+  bytes_written_ += n;
+  // Commit full blocks eagerly so big loads do not hold everything in the
+  // writer buffer.
+  uint64_t bs = fs_->options().block_size;
+  if (pending_.size() >= bs * 4) {
+    size_t commit = pending_.size() - pending_.size() % bs;
+    Status st = fs_->CommitAppend(path_, pending_.substr(0, commit),
+                                  preferred_host_, /*release_lease=*/false);
+    if (!st.ok()) return st;
+    pending_.erase(0, commit);
+  }
+  return Status::OK();
+}
+
+Status FileWriter::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  return fs_->CommitAppend(path_, pending_, preferred_host_,
+                           /*release_lease=*/true);
+}
+
+// ---------------------------------------------------------------- MiniHdfs
+
+MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts) : opts_(opts) {
+  datanodes_.resize(num_datanodes);
+  for (auto& dn : datanodes_) {
+    dn.disk_ok.assign(opts_.disks_per_datanode, true);
+  }
+}
+
+MiniHdfs::~MiniHdfs() = default;
+
+Result<std::unique_ptr<FileWriter>> MiniHdfs::Create(const std::string& path,
+                                                     int preferred_host) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  FileEntry fe;
+  fe.lease_held = true;
+  files_[path] = fe;
+  auto w = std::make_unique<FileWriter>();
+  w->fs_ = this;
+  w->path_ = path;
+  w->preferred_host_ = preferred_host;
+  return w;
+}
+
+Result<std::unique_ptr<FileWriter>> MiniHdfs::OpenForAppend(
+    const std::string& path, int preferred_host) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  if (it->second.lease_held) {
+    return Status::ResourceBusy("lease held by another writer: " + path);
+  }
+  it->second.lease_held = true;
+  auto w = std::make_unique<FileWriter>();
+  w->fs_ = this;
+  w->path_ = path;
+  w->preferred_host_ = preferred_host;
+  return w;
+}
+
+Result<std::unique_ptr<FileReader>> MiniHdfs::Open(const std::string& path) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  auto r = std::make_unique<FileReader>();
+  r->fs_ = this;
+  r->length_ = it->second.length;
+  uint64_t off = 0;
+  for (BlockId bid : it->second.blocks) {
+    const Block& b = blocks_.at(bid);
+    BlockLocation bl;
+    bl.id = bid;
+    bl.offset = off;
+    bl.length = b.data.size();
+    bl.hosts = LiveHostsForLocked(b);
+    off += bl.length;
+    r->blocks_.push_back(std::move(bl));
+  }
+  return r;
+}
+
+bool MiniHdfs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> g(lock_);
+  return files_.count(path) > 0;
+}
+
+Result<uint64_t> MiniHdfs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.length;
+}
+
+Status MiniHdfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  for (BlockId bid : it->second.blocks) blocks_.erase(bid);
+  files_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> MiniHdfs::List(const std::string& prefix) {
+  std::lock_guard<std::mutex> g(lock_);
+  std::vector<std::string> out;
+  for (const auto& [p, fe] : files_) {
+    if (p.rfind(prefix, 0) == 0) out.push_back(p);
+  }
+  return out;
+}
+
+Status MiniHdfs::Truncate(const std::string& path, uint64_t length) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileEntry& fe = it->second;
+  if (fe.lease_held) {
+    return Status::ResourceBusy("cannot truncate an open file: " + path);
+  }
+  if (length > fe.length) {
+    // Paper: truncating beyond EOF is an error (no overwrite in HDFS).
+    return Status::IOError("truncate beyond EOF: " + path);
+  }
+  if (length == fe.length) return Status::OK();
+  // Drop whole tail blocks; rewrite the boundary block via a copy, as the
+  // paper's implementation does with a temporary file.
+  uint64_t kept = 0;
+  std::vector<BlockId> new_blocks;
+  for (BlockId bid : fe.blocks) {
+    Block& b = blocks_.at(bid);
+    uint64_t bl = b.data.size();
+    if (kept + bl <= length) {
+      new_blocks.push_back(bid);
+      kept += bl;
+    } else if (kept < length) {
+      // Boundary block: copy the prefix into a fresh block (the "temporary
+      // file T" of §5.3), replacing the original.
+      std::string prefix = b.data.substr(0, length - kept);
+      BlockId nb = NewBlockLocked(prefix, -1);
+      new_blocks.push_back(nb);
+      kept = length;
+      blocks_.erase(bid);
+    } else {
+      blocks_.erase(bid);
+    }
+  }
+  fe.blocks = std::move(new_blocks);
+  fe.length = length;
+  return Status::OK();
+}
+
+Result<std::vector<BlockLocation>> MiniHdfs::GetBlockLocations(
+    const std::string& path) {
+  HAWQ_ASSIGN_OR_RETURN(auto reader, Open(path));
+  return reader->blocks_;
+}
+
+Status MiniHdfs::WriteFile(const std::string& path, const std::string& data,
+                           int preferred_host) {
+  if (Exists(path)) HAWQ_RETURN_IF_ERROR(Delete(path));
+  HAWQ_ASSIGN_OR_RETURN(auto w, Create(path, preferred_host));
+  HAWQ_RETURN_IF_ERROR(w->Append(data));
+  return w->Close();
+}
+
+Result<std::string> MiniHdfs::ReadFile(const std::string& path) {
+  HAWQ_ASSIGN_OR_RETURN(auto r, Open(path));
+  return r->ReadAll();
+}
+
+void MiniHdfs::FailDataNode(int dn) {
+  std::lock_guard<std::mutex> g(lock_);
+  if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
+  datanodes_[dn].alive = false;
+  ReReplicateLocked();
+}
+
+void MiniHdfs::RecoverDataNode(int dn) {
+  std::lock_guard<std::mutex> g(lock_);
+  if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
+  datanodes_[dn].alive = true;
+  datanodes_[dn].disk_ok.assign(opts_.disks_per_datanode, true);
+}
+
+void MiniHdfs::FailDisk(int dn, int disk) {
+  std::lock_guard<std::mutex> g(lock_);
+  if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
+  if (disk < 0 || disk >= opts_.disks_per_datanode) return;
+  datanodes_[dn].disk_ok[disk] = false;
+  ReReplicateLocked();
+}
+
+bool MiniHdfs::IsDataNodeAlive(int dn) {
+  std::lock_guard<std::mutex> g(lock_);
+  return dn >= 0 && dn < static_cast<int>(datanodes_.size()) &&
+         datanodes_[dn].alive;
+}
+
+Result<int> MiniHdfs::MinReplication(const std::string& path) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  int min_rep = opts_.replication;
+  for (BlockId bid : it->second.blocks) {
+    const Block& b = blocks_.at(bid);
+    int live = static_cast<int>(LiveHostsForLocked(b).size());
+    min_rep = std::min(min_rep, live);
+  }
+  return min_rep;
+}
+
+Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
+                                        uint64_t len) {
+  std::string data;
+  {
+    std::lock_guard<std::mutex> g(lock_);
+    auto it = blocks_.find(id);
+    if (it == blocks_.end()) return Status::IOError("block deleted");
+    if (LiveHostsForLocked(it->second).empty()) {
+      return Status::IOError("all replicas of block lost");
+    }
+    offset = std::min<uint64_t>(offset, it->second.data.size());
+    len = std::min<uint64_t>(len, it->second.data.size() - offset);
+    data = it->second.data.substr(offset, len);
+  }
+  SimCost::Global().ChargeHdfsRead(data.size());
+  return data;
+}
+
+Status MiniHdfs::CommitAppend(const std::string& path, const std::string& data,
+                              int preferred_host, bool release_lease) {
+  std::lock_guard<std::mutex> g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileEntry& fe = it->second;
+  Status st = data.empty() ? Status::OK()
+                           : AppendLocked(&fe, data, preferred_host);
+  if (release_lease) fe.lease_held = false;
+  return st;
+}
+
+Status MiniHdfs::AppendLocked(FileEntry* fe, const std::string& data,
+                              int preferred_host) {
+  uint64_t bs = opts_.block_size;
+  for (size_t off = 0; off < data.size(); off += bs) {
+    std::string chunk = data.substr(off, bs);
+    fe->length += chunk.size();
+    fe->blocks.push_back(NewBlockLocked(std::move(chunk), preferred_host));
+  }
+  return Status::OK();
+}
+
+BlockId MiniHdfs::NewBlockLocked(const std::string& data, int preferred_host) {
+  Block b;
+  b.id = next_block_id_++;
+  b.data = data;
+  for (int host : PickReplicaHostsLocked(preferred_host, opts_.replication)) {
+    Replica r;
+    r.disk = static_cast<int>(b.id % opts_.disks_per_datanode);
+    b.replicas[host] = r;
+  }
+  BlockId id = b.id;
+  blocks_[id] = std::move(b);
+  return id;
+}
+
+std::vector<int> MiniHdfs::PickReplicaHostsLocked(int preferred_host,
+                                                  int count) {
+  std::vector<int> hosts;
+  int n = static_cast<int>(datanodes_.size());
+  if (preferred_host >= 0 && preferred_host < n &&
+      datanodes_[preferred_host].alive) {
+    hosts.push_back(preferred_host);
+  }
+  for (int tries = 0; tries < 2 * n && static_cast<int>(hosts.size()) < count;
+       ++tries) {
+    int cand = static_cast<int>(rr_counter_++ % n);
+    if (!datanodes_[cand].alive) continue;
+    if (std::find(hosts.begin(), hosts.end(), cand) != hosts.end()) continue;
+    hosts.push_back(cand);
+  }
+  return hosts;
+}
+
+std::vector<int> MiniHdfs::LiveHostsForLocked(const Block& b) {
+  std::vector<int> out;
+  for (const auto& [host, rep] : b.replicas) {
+    if (host < 0 || host >= static_cast<int>(datanodes_.size())) continue;
+    const DataNode& dn = datanodes_[host];
+    if (dn.alive && dn.disk_ok[rep.disk]) out.push_back(host);
+  }
+  return out;
+}
+
+void MiniHdfs::ReReplicateLocked() {
+  for (auto& [id, b] : blocks_) {
+    std::vector<int> live = LiveHostsForLocked(b);
+    int missing = opts_.replication - static_cast<int>(live.size());
+    if (missing <= 0 || live.empty()) continue;
+    // Drop dead replicas, then add new ones on other live nodes.
+    for (auto it = b.replicas.begin(); it != b.replicas.end();) {
+      const DataNode& dn = datanodes_[it->first];
+      if (!dn.alive || !dn.disk_ok[it->second.disk]) {
+        it = b.replicas.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (int host : PickReplicaHostsLocked(-1, opts_.replication)) {
+      if (static_cast<int>(b.replicas.size()) >= opts_.replication) break;
+      if (b.replicas.count(host)) continue;
+      Replica r;
+      r.disk = static_cast<int>(id % opts_.disks_per_datanode);
+      b.replicas[host] = r;
+    }
+  }
+}
+
+}  // namespace hawq::hdfs

@@ -1,0 +1,185 @@
+// Simulated HDFS.
+//
+// Substitutes for the paper's real HDFS cluster (see DESIGN.md). It models
+// the pieces HAWQ depends on:
+//   - a NameNode holding the namespace and block map,
+//   - DataNodes holding replicated blocks on virtual disks,
+//   - append-only files with single-writer leases,
+//   - the truncate() extension of paper §5.3 (transaction rollback),
+//   - block locality information (drives segment/task placement),
+//   - disk and node failure injection with re-replication.
+//
+// Reads optionally pay a simulated IO cost (SimCost::hdfs_read_bytes_per_sec)
+// to reproduce the paper's IO-bound regime.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq::hdfs {
+
+using BlockId = uint64_t;
+
+struct HdfsOptions {
+  uint64_t block_size = 256 * 1024;
+  int replication = 3;
+  int disks_per_datanode = 4;
+};
+
+/// Location info for one block of a file: which hosts hold replicas.
+struct BlockLocation {
+  BlockId id = 0;
+  uint64_t offset = 0;  // byte offset of this block within the file
+  uint64_t length = 0;
+  std::vector<int> hosts;  // datanode ids with live replicas
+};
+
+class MiniHdfs;
+
+/// \brief Sequential reader over a file. Snapshot semantics: the set of
+/// blocks and the length are fixed at open time, matching HDFS readers
+/// observing a concurrent truncate only for data written after open.
+class FileReader {
+ public:
+  /// Read up to `n` bytes into out; returns bytes read (0 at EOF).
+  Result<size_t> Read(char* out, size_t n);
+  /// Read the remainder of the file.
+  Result<std::string> ReadAll();
+  /// Absolute-position read (pread semantics).
+  Result<size_t> PRead(uint64_t offset, char* out, size_t n);
+  uint64_t length() const { return length_; }
+  uint64_t position() const { return pos_; }
+  void Seek(uint64_t pos) { pos_ = pos; }
+
+ private:
+  friend class MiniHdfs;
+  MiniHdfs* fs_ = nullptr;
+  std::vector<BlockLocation> blocks_;
+  uint64_t length_ = 0;
+  uint64_t pos_ = 0;
+};
+
+/// \brief Append-only writer holding the file's lease. Data becomes
+/// visible to new readers on Flush/Close block commits.
+class FileWriter {
+ public:
+  ~FileWriter();
+  Status Append(const char* data, size_t n);
+  Status Append(const std::string& s) { return Append(s.data(), s.size()); }
+  /// Commit buffered data and release the lease.
+  Status Close();
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  friend class MiniHdfs;
+  MiniHdfs* fs_ = nullptr;
+  std::string path_;
+  int preferred_host_ = -1;
+  std::string pending_;  // bytes not yet packed into a full block
+  uint64_t bytes_written_ = 0;
+  bool closed_ = false;
+};
+
+/// \brief The whole simulated filesystem: one NameNode plus N DataNodes.
+/// Thread safe.
+class MiniHdfs {
+ public:
+  explicit MiniHdfs(int num_datanodes, HdfsOptions opts = {});
+  ~MiniHdfs();
+
+  int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
+  const HdfsOptions& options() const { return opts_; }
+
+  /// Create a new empty file and return its writer (holds the lease).
+  /// `preferred_host` places first replicas for locality (-1: any).
+  Result<std::unique_ptr<FileWriter>> Create(const std::string& path,
+                                             int preferred_host = -1);
+  /// Reopen a closed file for appending (swimming-lane writers append to
+  /// their own files; cross-transaction appends reuse files).
+  Result<std::unique_ptr<FileWriter>> OpenForAppend(const std::string& path,
+                                                    int preferred_host = -1);
+  /// Open for reading. Fails if the file does not exist.
+  Result<std::unique_ptr<FileReader>> Open(const std::string& path);
+
+  bool Exists(const std::string& path);
+  Result<uint64_t> FileSize(const std::string& path);
+  Status Delete(const std::string& path);
+  /// List file paths under a directory prefix.
+  std::vector<std::string> List(const std::string& prefix);
+
+  /// Paper §5.3: truncate a *closed* file to `length` (<= current size).
+  /// Atomic; implemented by dropping whole tail blocks and rewriting the
+  /// boundary block through a temporary copy, as described in the paper.
+  Status Truncate(const std::string& path, uint64_t length);
+
+  /// Block locations for locality-aware scheduling.
+  Result<std::vector<BlockLocation>> GetBlockLocations(const std::string& path);
+
+  /// Convenience: write a whole file (replacing any existing one).
+  Status WriteFile(const std::string& path, const std::string& data,
+                   int preferred_host = -1);
+  Result<std::string> ReadFile(const std::string& path);
+
+  // --- failure injection -------------------------------------------------
+  /// Mark a whole DataNode dead. Triggers re-replication of its blocks.
+  void FailDataNode(int dn);
+  void RecoverDataNode(int dn);
+  /// Fail one virtual disk on a DataNode; blocks on it become unreadable
+  /// there and are re-replicated elsewhere.
+  void FailDisk(int dn, int disk);
+  bool IsDataNodeAlive(int dn);
+
+  /// Number of live replicas of every block of `path` (min across blocks).
+  Result<int> MinReplication(const std::string& path);
+
+  // Used by FileReader/FileWriter.
+  Result<std::string> ReadBlock(BlockId id, uint64_t offset, uint64_t len);
+
+ private:
+  struct Replica {
+    int disk = 0;
+  };
+  struct Block {
+    BlockId id = 0;
+    std::string data;
+    std::map<int, Replica> replicas;  // datanode id -> replica
+  };
+  struct FileEntry {
+    std::vector<BlockId> blocks;
+    uint64_t length = 0;
+    bool lease_held = false;
+  };
+  struct DataNode {
+    bool alive = true;
+    std::vector<bool> disk_ok;
+  };
+
+  // All helpers below require lock_ held.
+  Status AppendLocked(FileEntry* fe, const std::string& data,
+                      int preferred_host);
+  BlockId NewBlockLocked(const std::string& data, int preferred_host);
+  std::vector<int> PickReplicaHostsLocked(int preferred_host, int count);
+  void ReReplicateLocked();
+  std::vector<int> LiveHostsForLocked(const Block& b);
+
+  friend class FileWriter;
+  Status CommitAppend(const std::string& path, const std::string& data,
+                      int preferred_host, bool release_lease);
+
+  std::mutex lock_;
+  HdfsOptions opts_;
+  std::map<std::string, FileEntry> files_;
+  std::map<BlockId, Block> blocks_;
+  std::vector<DataNode> datanodes_;
+  BlockId next_block_id_ = 1;
+  uint64_t rr_counter_ = 0;  // round-robin placement cursor
+};
+
+}  // namespace hawq::hdfs

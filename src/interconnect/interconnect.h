@@ -1,0 +1,67 @@
+// Abstract interconnect interface used by motion operators.
+//
+// HAWQ ships two implementations (paper §4): a UDP-based fabric that
+// multiplexes every tuple stream of a host over one socket, and a TCP-like
+// fabric that pays per-connection setup and is bounded by the port budget.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq::net {
+
+/// \brief One sender QE's side of a motion: a "virtual connection" to each
+/// receiver. Chunks are opaque byte strings (serialized tuple batches).
+class SendStream {
+ public:
+  virtual ~SendStream() = default;
+  /// Send a chunk to receiver index `receiver`. Blocks for flow control.
+  /// Data sent after the receiver issued Stop is silently discarded.
+  virtual Status Send(int receiver, std::string chunk) = 0;
+  /// Flush, deliver EoS to every receiver, and wait for full acknowledgment.
+  virtual Status SendEos() = 0;
+  /// True if this receiver asked us to stop (LIMIT satisfied).
+  virtual bool Stopped(int receiver) = 0;
+  /// True when every receiver stopped — the producing slice can quit early.
+  virtual bool AllStopped() = 0;
+};
+
+/// \brief One receiver QE's side of a motion: merged in-order streams from
+/// every sender.
+class RecvStream {
+ public:
+  virtual ~RecvStream() = default;
+  /// Next chunk from any sender; std::nullopt once every sender sent EoS.
+  virtual Result<std::optional<std::string>> Recv() = 0;
+  /// Ask all senders to stop early.
+  virtual void Stop() = 0;
+};
+
+/// \brief Cluster-wide fabric. Hosts are numbered 0..num_hosts-1 (by
+/// convention the master/QD is the last host).
+class Interconnect {
+ public:
+  virtual ~Interconnect() = default;
+
+  /// Open the sending side of motion `motion_id` of query `query_id`.
+  /// `sender`: this QE's index among the motion's senders;
+  /// `sender_host`: the host it runs on; `receiver_hosts[i]` is the host
+  /// of receiver index i.
+  virtual Result<std::unique_ptr<SendStream>> OpenSend(
+      uint64_t query_id, int motion_id, int sender, int sender_host,
+      std::vector<int> receiver_hosts) = 0;
+
+  /// Open the receiving side: `receiver` is this QE's receiver index,
+  /// `receiver_host` its host, and `num_senders` the motion's sender count.
+  virtual Result<std::unique_ptr<RecvStream>> OpenRecv(uint64_t query_id,
+                                                       int motion_id,
+                                                       int receiver,
+                                                       int receiver_host,
+                                                       int num_senders) = 0;
+};
+
+}  // namespace hawq::net

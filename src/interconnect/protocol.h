@@ -1,0 +1,100 @@
+// Wire protocol of the UDP interconnect (paper §4.1).
+//
+// A packet carries a self-describing header: the complete motion node and
+// peer identity along with the query (session/command) id, plus the
+// sequence/ack fields the reliability layer needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace hawq::net {
+
+enum class PacketType : uint8_t {
+  kData = 0,
+  kEos,          // end of stream (consumes a sequence number)
+  kAck,          // SC/SR acknowledgement
+  kOutOfOrder,   // receiver detected gaps; lists possibly-lost seqs
+  kDuplicate,    // receiver saw a duplicate; carries cumulative ack info
+  kStop,         // receiver tells sender to stop (LIMIT queries)
+  kStatusQuery,  // sender probes receiver state (deadlock elimination §4.5)
+};
+
+/// Identity of one tuple stream: (query, motion node, sender, receiver).
+struct StreamKey {
+  uint64_t query_id = 0;
+  int32_t motion_id = 0;
+  int32_t sender = 0;
+  int32_t receiver = 0;
+
+  bool operator<(const StreamKey& o) const {
+    if (query_id != o.query_id) return query_id < o.query_id;
+    if (motion_id != o.motion_id) return motion_id < o.motion_id;
+    if (sender != o.sender) return sender < o.sender;
+    return receiver < o.receiver;
+  }
+  bool operator==(const StreamKey& o) const {
+    return query_id == o.query_id && motion_id == o.motion_id &&
+           sender == o.sender && receiver == o.receiver;
+  }
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  StreamKey key;
+  int32_t src_host = -1;  // reply address of the peer that sent this packet
+  uint64_t seq = 0;  // DATA/EOS sequence number (1-based)
+  uint64_t sc = 0;   // seq of last packet the receiver has consumed
+  uint64_t sr = 0;   // largest in-order seq received and queued
+  std::vector<uint64_t> missing;  // kOutOfOrder: possibly-lost seqs
+  std::string payload;            // kData: serialized tuple chunk
+
+  std::string Serialize() const {
+    BufferWriter w;
+    w.PutU8(static_cast<uint8_t>(type));
+    w.PutU64(key.query_id);
+    w.PutU32(static_cast<uint32_t>(key.motion_id));
+    w.PutU32(static_cast<uint32_t>(key.sender));
+    w.PutU32(static_cast<uint32_t>(key.receiver));
+    w.PutU32(static_cast<uint32_t>(src_host));
+    w.PutVarint(seq);
+    w.PutVarint(sc);
+    w.PutVarint(sr);
+    w.PutVarint(missing.size());
+    for (uint64_t m : missing) w.PutVarint(m);
+    w.PutString(payload);
+    return w.Release();
+  }
+
+  static Result<Packet> Parse(const std::string& bytes) {
+    BufferReader r(bytes);
+    Packet p;
+    HAWQ_ASSIGN_OR_RETURN(uint8_t t, r.GetU8());
+    p.type = static_cast<PacketType>(t);
+    HAWQ_ASSIGN_OR_RETURN(p.key.query_id, r.GetU64());
+    HAWQ_ASSIGN_OR_RETURN(uint32_t motion, r.GetU32());
+    HAWQ_ASSIGN_OR_RETURN(uint32_t sender, r.GetU32());
+    HAWQ_ASSIGN_OR_RETURN(uint32_t receiver, r.GetU32());
+    p.key.motion_id = static_cast<int32_t>(motion);
+    p.key.sender = static_cast<int32_t>(sender);
+    p.key.receiver = static_cast<int32_t>(receiver);
+    HAWQ_ASSIGN_OR_RETURN(uint32_t src, r.GetU32());
+    p.src_host = static_cast<int32_t>(src);
+    HAWQ_ASSIGN_OR_RETURN(p.seq, r.GetVarint());
+    HAWQ_ASSIGN_OR_RETURN(p.sc, r.GetVarint());
+    HAWQ_ASSIGN_OR_RETURN(p.sr, r.GetVarint());
+    HAWQ_ASSIGN_OR_RETURN(uint64_t nmiss, r.GetVarint());
+    for (uint64_t i = 0; i < nmiss; ++i) {
+      HAWQ_ASSIGN_OR_RETURN(uint64_t m, r.GetVarint());
+      p.missing.push_back(m);
+    }
+    HAWQ_ASSIGN_OR_RETURN(p.payload, r.GetString());
+    return p;
+  }
+};
+
+}  // namespace hawq::net

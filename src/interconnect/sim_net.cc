@@ -1,0 +1,58 @@
+#include "interconnect/sim_net.h"
+
+namespace hawq::net {
+
+bool SimSocket::Recv(std::string* out, std::chrono::microseconds timeout) {
+  std::unique_lock<std::mutex> g(mu_);
+  if (!cv_.wait_for(g, timeout, [&] { return !queue_.empty(); })) {
+    return false;
+  }
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+size_t SimSocket::Pending() {
+  std::lock_guard<std::mutex> g(mu_);
+  return queue_.size();
+}
+
+void SimSocket::Deliver(std::string payload, bool reorder) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (reorder && !queue_.empty()) {
+      // Slip in ahead of the most recent packet: a one-step reorder.
+      queue_.insert(queue_.end() - 1, std::move(payload));
+    } else {
+      queue_.push_back(std::move(payload));
+    }
+  }
+  cv_.notify_one();
+}
+
+SimNet::SimNet(int num_hosts, NetOptions opts) : opts_(opts), rng_(opts.seed) {
+  sockets_.reserve(num_hosts);
+  for (int i = 0; i < num_hosts; ++i) {
+    sockets_.push_back(std::make_unique<SimSocket>());
+  }
+}
+
+void SimNet::Send(int dst, std::string payload) {
+  if (dst < 0 || dst >= num_hosts()) return;
+  sent_.fetch_add(1, std::memory_order_relaxed);
+  bool drop = false, dup = false, reorder = false;
+  if (opts_.loss_prob > 0 || opts_.dup_prob > 0 || opts_.reorder_prob > 0) {
+    std::lock_guard<std::mutex> g(rng_mu_);
+    drop = rng_.Chance(opts_.loss_prob);
+    dup = rng_.Chance(opts_.dup_prob);
+    reorder = rng_.Chance(opts_.reorder_prob);
+  }
+  if (drop) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (dup) sockets_[dst]->Deliver(payload, false);
+  sockets_[dst]->Deliver(std::move(payload), reorder);
+}
+
+}  // namespace hawq::net

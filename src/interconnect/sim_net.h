@@ -1,0 +1,76 @@
+// Simulated datagram network.
+//
+// Substitutes for the paper's 10 GigE fabric + OS UDP stack: delivery is
+// in-process, but the network is allowed to drop, duplicate, and reorder
+// packets (exactly the failure model §4 designs against), so the UDP
+// interconnect's reliability/ordering/flow-control machinery is exercised
+// for real.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace hawq::net {
+
+struct NetOptions {
+  double loss_prob = 0.0;
+  double dup_prob = 0.0;
+  double reorder_prob = 0.0;
+  uint64_t seed = 42;
+};
+
+class SimNet;
+
+/// \brief Receive endpoint of one host. Every datagram addressed to the
+/// host lands in this queue (one socket multiplexing all streams — the
+/// core scalability idea of the UDP interconnect).
+class SimSocket {
+ public:
+  /// Blocking receive with timeout. Returns false on timeout.
+  bool Recv(std::string* out, std::chrono::microseconds timeout);
+  /// Non-blocking: queue length.
+  size_t Pending();
+
+ private:
+  friend class SimNet;
+  void Deliver(std::string payload, bool reorder);
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+};
+
+/// \brief The fabric: sockets keyed by host id, with loss/dup/reorder
+/// injection. Thread safe.
+class SimNet {
+ public:
+  explicit SimNet(int num_hosts, NetOptions opts = {});
+
+  int num_hosts() const { return static_cast<int>(sockets_.size()); }
+  SimSocket* socket(int host) { return sockets_[host].get(); }
+
+  /// Fire a datagram at `dst`. May drop/duplicate/reorder per options.
+  void Send(int dst, std::string payload);
+
+  uint64_t packets_sent() const { return sent_; }
+  uint64_t packets_dropped() const { return dropped_; }
+
+ private:
+  NetOptions opts_;
+  std::vector<std::unique_ptr<SimSocket>> sockets_;
+  std::mutex rng_mu_;
+  Rng rng_;
+  std::atomic<uint64_t> sent_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace hawq::net

@@ -1,0 +1,250 @@
+#include "interconnect/tcp_interconnect.h"
+
+#include <thread>
+
+namespace hawq::net {
+
+namespace {
+struct ChunkItem {
+  bool eos = false;
+  std::string data;
+};
+}  // namespace
+
+/// One reliable, ordered sender->receiver pipe.
+struct TcpFabric::Channel {
+  std::deque<ChunkItem> queue;
+  bool eos = false;       // EoS dequeued by the receiver
+  bool stopped = false;   // receiver asked the sender to stop
+  bool connected = false;
+};
+
+struct TcpFabric::RecvState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, Channel> channels;  // by sender index
+  int num_senders = -1;
+  bool stopped = false;
+  int rr_cursor = 0;
+};
+
+class TcpSendStream : public SendStream {
+ public:
+  TcpSendStream(TcpFabric* fabric, uint64_t query_id, int motion_id,
+                int sender, int sender_host, std::vector<int> receiver_hosts)
+      : fabric_(fabric), query_id_(query_id), motion_id_(motion_id),
+        sender_(sender), sender_host_(sender_host),
+        receiver_hosts_(std::move(receiver_hosts)) {}
+
+  Status Connect() {
+    // Connection setup: one handshake per receiver, one ephemeral port
+    // each on the sender host.
+    {
+      std::lock_guard<std::mutex> g(fabric_->mu_);
+      int need = static_cast<int>(receiver_hosts_.size());
+      if (fabric_->ports_in_use_[sender_host_] + need >
+          fabric_->opts_.ports_per_host) {
+        return Status::NetworkError(
+            "TCP interconnect: ephemeral ports exhausted on host " +
+            std::to_string(sender_host_));
+      }
+      fabric_->ports_in_use_[sender_host_] += need;
+      ports_held_ = need;
+    }
+    for (size_t r = 0; r < receiver_hosts_.size(); ++r) {
+      std::this_thread::sleep_for(fabric_->opts_.conn_setup);
+      auto state = fabric_->FindOrCreateState(query_id_, motion_id_,
+                                              static_cast<int>(r));
+      states_.push_back(state);
+      std::lock_guard<std::mutex> g(state->mu);
+      state->channels[sender_].connected = true;
+      fabric_->active_conns_[receiver_hosts_[r]].fetch_add(1);
+      fabric_->connections_opened_.fetch_add(1);
+    }
+    return Status::OK();
+  }
+
+  ~TcpSendStream() override {
+    for (size_t r = 0; r < states_.size(); ++r) {
+      fabric_->active_conns_[receiver_hosts_[r]].fetch_sub(1);
+    }
+    std::lock_guard<std::mutex> g(fabric_->mu_);
+    fabric_->ports_in_use_[sender_host_] -= ports_held_;
+  }
+
+  Status Send(int receiver, std::string chunk) override {
+    return Push(receiver, {false, std::move(chunk)});
+  }
+
+  Status SendEos() override {
+    for (size_t r = 0; r < states_.size(); ++r) {
+      HAWQ_RETURN_IF_ERROR(Push(static_cast<int>(r), {true, ""}));
+    }
+    return Status::OK();
+  }
+
+  bool Stopped(int receiver) override {
+    auto& state = states_[receiver];
+    std::lock_guard<std::mutex> g(state->mu);
+    return state->channels[sender_].stopped;
+  }
+
+  bool AllStopped() override {
+    for (size_t r = 0; r < states_.size(); ++r) {
+      if (!Stopped(static_cast<int>(r))) return false;
+    }
+    return true;
+  }
+
+ private:
+  Status Push(int receiver, ChunkItem item) {
+    if (receiver < 0 || receiver >= static_cast<int>(states_.size())) {
+      return Status::InvalidArgument("bad receiver index");
+    }
+    // Kernel TCP overhead kicks in beyond a concurrent-connection
+    // threshold at the destination (high fan-in degrades non-linearly).
+    int conns = fabric_->active_conns_[receiver_hosts_[receiver]].load();
+    int over = conns - fabric_->opts_.conn_threshold;
+    if (over > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<int64_t>(over) *
+          fabric_->opts_.chunk_overhead_ns_per_conn));
+    }
+    auto& state = states_[receiver];
+    std::unique_lock<std::mutex> g(state->mu);
+    TcpFabric::Channel& ch = state->channels[sender_];
+    if (ch.stopped && !item.eos) return Status::OK();
+    if (!state->cv.wait_for(g, std::chrono::seconds(60), [&] {
+          return ch.queue.size() < fabric_->opts_.queue_capacity || ch.stopped;
+        })) {
+      return Status::NetworkError("TCP interconnect send timed out");
+    }
+    if (ch.stopped && !item.eos) return Status::OK();
+    ch.queue.push_back(std::move(item));
+    state->cv.notify_all();
+    return Status::OK();
+  }
+
+  TcpFabric* fabric_;
+  uint64_t query_id_;
+  int motion_id_;
+  int sender_;
+  int sender_host_;
+  std::vector<int> receiver_hosts_;
+  std::vector<std::shared_ptr<TcpFabric::RecvState>> states_;
+  int ports_held_ = 0;
+};
+
+class TcpRecvStream : public RecvStream {
+ public:
+  TcpRecvStream(std::shared_ptr<TcpFabric::RecvState> state)
+      : state_(std::move(state)) {}
+
+  Result<std::optional<std::string>> Recv() override {
+    std::unique_lock<std::mutex> g(state_->mu);
+    while (true) {
+      if (!state_->channels.empty()) {
+        int n = static_cast<int>(state_->channels.size());
+        for (int i = 0; i < n; ++i) {
+          auto it = state_->channels.begin();
+          std::advance(it, (state_->rr_cursor + i) % n);
+          auto& ch = it->second;
+          if (ch.queue.empty()) continue;
+          state_->rr_cursor = (state_->rr_cursor + i + 1) % n;
+          idle_ticks_ = 0;
+          ChunkItem item = std::move(ch.queue.front());
+          ch.queue.pop_front();
+          state_->cv.notify_all();
+          if (item.eos) {
+            ch.eos = true;
+            break;  // re-scan other channels
+          }
+          return std::optional<std::string>(std::move(item.data));
+        }
+      }
+      if (AllEosLocked()) return std::optional<std::string>();
+      if (++idle_ticks_ > 120000) {
+        return Status::NetworkError("TCP interconnect receive timed out");
+      }
+      state_->cv.wait_for(g, std::chrono::milliseconds(1));
+    }
+  }
+
+  void Stop() override {
+    std::lock_guard<std::mutex> g(state_->mu);
+    state_->stopped = true;
+    for (auto& [s, ch] : state_->channels) {
+      ch.stopped = true;
+      // Discard buffered data except EoS markers.
+      std::deque<ChunkItem> kept;
+      for (auto& item : ch.queue) {
+        if (item.eos) kept.push_back(std::move(item));
+      }
+      ch.queue = std::move(kept);
+    }
+    state_->cv.notify_all();
+  }
+
+ private:
+  bool AllEosLocked() {
+    if (state_->num_senders < 0) return false;
+    if (static_cast<int>(state_->channels.size()) < state_->num_senders) {
+      return false;
+    }
+    for (auto& [s, ch] : state_->channels) {
+      if (!ch.eos || !ch.queue.empty()) return false;
+    }
+    return true;
+  }
+
+  std::shared_ptr<TcpFabric::RecvState> state_;
+  uint64_t idle_ticks_ = 0;
+};
+
+TcpFabric::TcpFabric(int num_hosts, TcpOptions opts)
+    : opts_(opts), ports_in_use_(num_hosts, 0),
+      active_conns_(num_hosts) {
+  for (auto& a : active_conns_) a.store(0);
+}
+
+std::shared_ptr<TcpFabric::RecvState> TcpFabric::FindOrCreateState(
+    uint64_t query_id, int motion_id, int receiver) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto id = std::make_tuple(query_id, motion_id, receiver);
+  auto it = states_.find(id);
+  if (it != states_.end()) return it->second;
+  auto state = std::make_shared<RecvState>();
+  states_[id] = state;
+  return state;
+}
+
+Result<std::unique_ptr<SendStream>> TcpFabric::OpenSend(
+    uint64_t query_id, int motion_id, int sender, int sender_host,
+    std::vector<int> receiver_hosts) {
+  auto stream = std::make_unique<TcpSendStream>(
+      this, query_id, motion_id, sender, sender_host,
+      std::move(receiver_hosts));
+  HAWQ_RETURN_IF_ERROR(stream->Connect());
+  return std::unique_ptr<SendStream>(std::move(stream));
+}
+
+Result<std::unique_ptr<RecvStream>> TcpFabric::OpenRecv(uint64_t query_id,
+                                                        int motion_id,
+                                                        int receiver,
+                                                        int receiver_host,
+                                                        int num_senders) {
+  (void)receiver_host;
+  auto state = FindOrCreateState(query_id, motion_id, receiver);
+  {
+    std::lock_guard<std::mutex> g(state->mu);
+    state->num_senders = num_senders;
+  }
+  return std::unique_ptr<RecvStream>(new TcpRecvStream(std::move(state)));
+}
+
+int TcpFabric::PortsInUse(int host) {
+  std::lock_guard<std::mutex> g(mu_);
+  return ports_in_use_[host];
+}
+
+}  // namespace hawq::net

@@ -1,0 +1,78 @@
+// TCP-based interconnect (paper §4, the baseline UDP replaces).
+//
+// TCP gives reliability and ordering for free, but pays
+//   - per-connection setup cost (three-way handshake; expensive when a
+//     query opens thousands of connections at once), and
+//   - an ephemeral-port budget per host (~60k per IP): a large cluster
+//     running multi-slice queries simply runs out of ports.
+// Both costs are modelled here; transfer itself is a reliable in-process
+// queue with per-chunk overhead that grows with the number of concurrent
+// connections terminating at the destination host (kernel TCP overhead
+// under high fan-in).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "interconnect/interconnect.h"
+#include "interconnect/protocol.h"
+
+namespace hawq::net {
+
+struct TcpOptions {
+  /// Simulated connection setup latency.
+  std::chrono::microseconds conn_setup{2000};
+  /// Ephemeral ports available per host.
+  int ports_per_host = 60000;
+  /// TCP throughput degrades once a host terminates many concurrent
+  /// connections (kernel buffer pressure): chunks pay this per connection
+  /// beyond `conn_threshold`. Below the threshold TCP performs like UDP,
+  /// matching the paper's parity under hash distribution.
+  int conn_threshold = 12;
+  int chunk_overhead_ns_per_conn = 25000;
+  /// Queue capacity per connection (flow control).
+  size_t queue_capacity = 64;
+};
+
+/// \brief TCP-like fabric: one "connection" per (sender, receiver) pair of
+/// every motion, with setup cost and port accounting.
+class TcpFabric : public Interconnect {
+ public:
+  explicit TcpFabric(int num_hosts, TcpOptions opts = {});
+
+  Result<std::unique_ptr<SendStream>> OpenSend(
+      uint64_t query_id, int motion_id, int sender, int sender_host,
+      std::vector<int> receiver_hosts) override;
+
+  Result<std::unique_ptr<RecvStream>> OpenRecv(uint64_t query_id,
+                                               int motion_id, int receiver,
+                                               int receiver_host,
+                                               int num_senders) override;
+
+  int PortsInUse(int host);
+  uint64_t connections_opened() const { return connections_opened_.load(); }
+
+ private:
+  friend class TcpSendStream;
+  friend class TcpRecvStream;
+  struct Channel;
+  struct RecvState;
+
+  std::shared_ptr<RecvState> FindOrCreateState(uint64_t query_id,
+                                               int motion_id, int receiver);
+
+  TcpOptions opts_;
+  std::mutex mu_;
+  std::map<std::tuple<uint64_t, int, int>, std::shared_ptr<RecvState>>
+      states_;
+  std::vector<int> ports_in_use_;
+  std::vector<std::atomic<int>> active_conns_;  // per destination host
+  std::atomic<uint64_t> connections_opened_{0};
+};
+
+}  // namespace hawq::net

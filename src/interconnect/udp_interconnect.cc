@@ -1,0 +1,585 @@
+#include "interconnect/udp_interconnect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <tuple>
+
+namespace hawq::net {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+struct Unacked {
+  std::string bytes;
+  Clock::time_point sent_at;
+  int resends = 0;
+};
+
+/// One ready-to-consume item on the receiver side: the chunk (or EoS
+/// marker) together with the sequence number it consumed.
+struct ReadyItem {
+  uint64_t seq = 0;
+  bool eos = false;
+  std::string data;
+};
+
+/// Receiver-side state for one sender's stream.
+struct ChannelState {
+  uint64_t expected = 1;               // next in-order sequence number
+  std::map<uint64_t, Packet> ring;     // out-of-order packets (no sorting)
+  std::deque<ReadyItem> ready;         // in-order, awaiting the executor
+  uint64_t consumed = 0;               // SC: last seq consumed
+  bool eos = false;
+  bool stopped = false;
+  int src_host = -1;
+};
+}  // namespace
+
+struct UdpFabric::SenderConn {
+  std::mutex mu;
+  std::condition_variable cv;
+  StreamKey key;
+  int src_host = 0;
+  int dst_host = 0;
+  uint64_t next_seq = 1;
+  uint64_t sc = 0;  // last consumed (from acks)
+  uint64_t sr = 0;  // cumulative received (from acks)
+  std::map<uint64_t, Unacked> unacked;  // the expiration queue ring
+  size_t cwnd = 4;
+  bool stopped = false;
+  bool failed = false;
+  double srtt_us = 2000;
+  double rttvar_us = 1000;
+  double backoff = 1.0;
+  Clock::time_point last_progress = Clock::now();
+
+  std::chrono::microseconds Rto(const UdpOptions& o) const {
+    auto us = std::chrono::microseconds(
+        static_cast<int64_t>((srtt_us + 4 * rttvar_us) * backoff));
+    return std::max(us, o.min_rto);
+  }
+};
+
+struct UdpFabric::RecvState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<int, ChannelState> channels;  // by sender index
+  int num_senders = -1;                  // set when a RecvStream attaches
+  bool stopped = false;
+  int rr_cursor = 0;  // round-robin fairness across senders
+};
+
+struct UdpFabric::Endpoint {
+  std::mutex mu;
+  std::map<StreamKey, std::shared_ptr<SenderConn>> senders;
+  std::map<std::tuple<uint64_t, int, int>, std::shared_ptr<RecvState>>
+      receivers;
+  std::set<std::tuple<uint64_t, int, int>> tombstones;  // closed receivers
+  std::deque<std::tuple<uint64_t, int, int>> tombstone_order;
+};
+
+// ------------------------------------------------------------- streams
+
+namespace {
+class UdpSendStreamImpl;
+class UdpRecvStreamImpl;
+}  // namespace
+
+class UdpSendStream : public SendStream {
+ public:
+  UdpSendStream(UdpFabric* fabric, SimNet* net, const UdpOptions& opts,
+                std::vector<std::shared_ptr<UdpFabric::SenderConn>> conns,
+                UdpFabric::Endpoint* ep)
+      : fabric_(fabric), net_(net), opts_(opts), conns_(std::move(conns)),
+        ep_(ep) {}
+
+  ~UdpSendStream() override {
+    std::lock_guard<std::mutex> g(ep_->mu);
+    for (auto& c : conns_) ep_->senders.erase(c->key);
+  }
+
+  Status Send(int receiver, std::string chunk) override {
+    return Transmit(receiver, std::move(chunk), /*eos=*/false);
+  }
+
+  Status SendEos() override {
+    for (size_t r = 0; r < conns_.size(); ++r) {
+      HAWQ_RETURN_IF_ERROR(Transmit(static_cast<int>(r), "", /*eos=*/true));
+    }
+    // Wait until every receiver acknowledged everything (retransmissions
+    // are driven by the endpoint rx thread).
+    auto give_up = Clock::now() + opts_.peer_timeout;
+    for (auto& c : conns_) {
+      std::unique_lock<std::mutex> g(c->mu);
+      while (!c->unacked.empty() && !c->failed) {
+        c->cv.wait_for(g, std::chrono::milliseconds(1));
+        if (Clock::now() > give_up) c->failed = true;
+      }
+      if (c->failed) {
+        return Status::NetworkError("interconnect peer unreachable");
+      }
+    }
+    return Status::OK();
+  }
+
+  bool Stopped(int receiver) override {
+    auto& c = conns_[receiver];
+    std::lock_guard<std::mutex> g(c->mu);
+    return c->stopped;
+  }
+
+  bool AllStopped() override {
+    for (size_t r = 0; r < conns_.size(); ++r) {
+      if (!Stopped(static_cast<int>(r))) return false;
+    }
+    return true;
+  }
+
+ private:
+  Status Transmit(int receiver, std::string chunk, bool eos) {
+    if (receiver < 0 || receiver >= static_cast<int>(conns_.size())) {
+      return Status::InvalidArgument("bad receiver index");
+    }
+    auto& c = conns_[receiver];
+    std::unique_lock<std::mutex> g(c->mu);
+    if (c->failed) return Status::NetworkError("interconnect peer dead");
+    if (c->stopped && !eos) return Status::OK();  // discard after STOP
+    // Flow control: bounded by our congestion window and by the receiver's
+    // remaining capacity (derived from SC).
+    auto can_send = [&] {
+      return c->unacked.size() < c->cwnd &&
+             (c->next_seq - 1 - c->sc) < opts_.ring_capacity;
+    };
+    auto probe_deadline = Clock::now() + opts_.status_query_after;
+    auto give_up = Clock::now() + opts_.peer_timeout;
+    while (!can_send()) {
+      c->cv.wait_for(g, std::chrono::milliseconds(1));
+      if (c->failed) return Status::NetworkError("interconnect peer dead");
+      if (c->stopped && !eos) return Status::OK();
+      if (Clock::now() > give_up) {
+        c->failed = true;
+        return Status::NetworkError("interconnect send timed out");
+      }
+      if (Clock::now() > probe_deadline) {
+        // Deadlock elimination (§4.5): all acks may have been lost; ask
+        // the receiver for its SC/SR.
+        Packet probe;
+        probe.type = PacketType::kStatusQuery;
+        probe.key = c->key;
+        probe.src_host = c->src_host;
+        net_->Send(c->dst_host, probe.Serialize());
+        fabric_->status_queries_.fetch_add(1, std::memory_order_relaxed);
+        probe_deadline = Clock::now() + opts_.status_query_after;
+      }
+    }
+    Packet p;
+    p.type = eos ? PacketType::kEos : PacketType::kData;
+    p.key = c->key;
+    p.src_host = c->src_host;
+    p.seq = c->next_seq++;
+    p.payload = std::move(chunk);
+    std::string bytes = p.Serialize();
+    c->unacked[p.seq] = Unacked{bytes, Clock::now(), 0};
+    g.unlock();
+    net_->Send(c->dst_host, std::move(bytes));
+    return Status::OK();
+  }
+
+  UdpFabric* fabric_;
+  SimNet* net_;
+  UdpOptions opts_;
+  std::vector<std::shared_ptr<UdpFabric::SenderConn>> conns_;
+  UdpFabric::Endpoint* ep_;
+};
+
+class UdpRecvStream : public RecvStream {
+ public:
+  UdpRecvStream(UdpFabric* fabric, SimNet* net,
+                std::shared_ptr<UdpFabric::RecvState> state,
+                UdpFabric::Endpoint* ep, StreamKey base_key)
+      : fabric_(fabric), net_(net), state_(std::move(state)), ep_(ep),
+        base_key_(base_key) {}
+
+  ~UdpRecvStream() override {
+    auto id = std::make_tuple(base_key_.query_id, base_key_.motion_id,
+                              base_key_.receiver);
+    std::lock_guard<std::mutex> g(ep_->mu);
+    ep_->receivers.erase(id);
+    ep_->tombstones.insert(id);
+    ep_->tombstone_order.push_back(id);
+    while (ep_->tombstone_order.size() > 10000) {
+      ep_->tombstones.erase(ep_->tombstone_order.front());
+      ep_->tombstone_order.pop_front();
+    }
+  }
+
+  Result<std::optional<std::string>> Recv() override {
+    std::unique_lock<std::mutex> g(state_->mu);
+    while (true) {
+      // Round-robin across channels for fairness.
+      int n = static_cast<int>(state_->channels.size());
+      for (int i = 0; i < n; ++i) {
+        auto it = state_->channels.begin();
+        std::advance(it, (state_->rr_cursor + i) % n);
+        ChannelState& ch = it->second;
+        if (ch.ready.empty()) continue;
+        state_->rr_cursor = (state_->rr_cursor + i + 1) %
+                            static_cast<int>(state_->channels.size());
+        idle_ticks_ = 0;
+        ReadyItem item = std::move(ch.ready.front());
+        ch.ready.pop_front();
+        ch.consumed = item.seq;
+        if (item.eos) {
+          ch.eos = true;
+        }
+        // Acknowledge consumption so the sender's window opens (§4.2).
+        // SC is cumulative, so acks are batched: one every few chunks is
+        // enough to keep the window from closing.
+        if (item.eos || item.seq % 8 == 0 ||
+            ch.expected - 1 - ch.consumed > 48) {
+          SendConsumeAck(it->first, ch);
+        }
+        if (item.eos) break;  // re-scan: other channels may be ready
+        return std::optional<std::string>(std::move(item.data));
+      }
+      if (AllEosLocked()) return std::optional<std::string>();
+      if (++idle_ticks_ > 120000) {  // ~2 minutes without data or EoS
+        return Status::NetworkError("interconnect receive timed out");
+      }
+      state_->cv.wait_for(g, std::chrono::milliseconds(1));
+    }
+  }
+
+  void Stop() override {
+    std::lock_guard<std::mutex> g(state_->mu);
+    state_->stopped = true;
+    for (auto& [sender, ch] : state_->channels) {
+      ch.stopped = true;
+      // Drop buffered data; keep consumption bookkeeping consistent.
+      while (!ch.ready.empty()) {
+        ch.consumed = ch.ready.front().seq;
+        if (ch.ready.front().eos) ch.eos = true;
+        ch.ready.pop_front();
+      }
+      if (ch.src_host >= 0) {
+        Packet p;
+        p.type = PacketType::kStop;
+        p.key = base_key_;
+        p.key.sender = sender;
+        p.src_host = base_key_.receiver;  // unused by sender lookup
+        p.sc = ch.consumed;
+        p.sr = ch.expected - 1;
+        net_->Send(ch.src_host, p.Serialize());
+      }
+    }
+  }
+
+ private:
+  bool AllEosLocked() {
+    if (state_->num_senders < 0) return false;
+    if (static_cast<int>(state_->channels.size()) < state_->num_senders) {
+      return false;
+    }
+    for (auto& [s, ch] : state_->channels) {
+      if (!ch.eos || !ch.ready.empty()) return false;
+    }
+    return true;
+  }
+
+  void SendConsumeAck(int sender, const ChannelState& ch) {
+    if (ch.src_host < 0) return;
+    Packet p;
+    p.type = PacketType::kAck;
+    p.key = base_key_;
+    p.key.sender = sender;
+    p.sc = ch.consumed;
+    p.sr = ch.expected - 1;
+    net_->Send(ch.src_host, p.Serialize());
+  }
+
+  UdpFabric* fabric_;
+  SimNet* net_;
+  std::shared_ptr<UdpFabric::RecvState> state_;
+  UdpFabric::Endpoint* ep_;
+  StreamKey base_key_;  // sender field varies per channel
+  uint64_t idle_ticks_ = 0;
+};
+
+// ------------------------------------------------------------- fabric
+
+UdpFabric::UdpFabric(SimNet* net, UdpOptions opts) : net_(net), opts_(opts) {
+  endpoints_.resize(net->num_hosts());
+  for (int h = 0; h < net->num_hosts(); ++h) {
+    endpoints_[h] = std::make_unique<Endpoint>();
+  }
+  for (int h = 0; h < net->num_hosts(); ++h) {
+    threads_.emplace_back([this, h] { RxLoop(h); });
+  }
+}
+
+UdpFabric::~UdpFabric() {
+  running_ = false;
+  for (auto& t : threads_) t.join();
+}
+
+Result<std::unique_ptr<SendStream>> UdpFabric::OpenSend(
+    uint64_t query_id, int motion_id, int sender, int sender_host,
+    std::vector<int> receiver_hosts) {
+  Endpoint* ep = endpoints_[sender_host].get();
+  std::vector<std::shared_ptr<SenderConn>> conns;
+  std::lock_guard<std::mutex> g(ep->mu);
+  for (size_t r = 0; r < receiver_hosts.size(); ++r) {
+    auto c = std::make_shared<SenderConn>();
+    c->key = StreamKey{query_id, motion_id, sender, static_cast<int>(r)};
+    c->src_host = sender_host;
+    c->dst_host = receiver_hosts[r];
+    c->cwnd = opts_.start_cwnd;
+    ep->senders[c->key] = c;
+    conns.push_back(std::move(c));
+  }
+  return std::unique_ptr<SendStream>(
+      new UdpSendStream(this, net_, opts_, std::move(conns), ep));
+}
+
+Result<std::unique_ptr<RecvStream>> UdpFabric::OpenRecv(uint64_t query_id,
+                                                        int motion_id,
+                                                        int receiver,
+                                                        int receiver_host,
+                                                        int num_senders) {
+  Endpoint* ep = endpoints_[receiver_host].get();
+  auto id = std::make_tuple(query_id, motion_id, receiver);
+  std::shared_ptr<RecvState> state;
+  {
+    std::lock_guard<std::mutex> g(ep->mu);
+    auto it = ep->receivers.find(id);
+    if (it == ep->receivers.end()) {
+      state = std::make_shared<RecvState>();
+      ep->receivers[id] = state;
+    } else {
+      state = it->second;
+    }
+    ep->tombstones.erase(id);
+  }
+  {
+    std::lock_guard<std::mutex> g(state->mu);
+    state->num_senders = num_senders;
+  }
+  StreamKey base{query_id, motion_id, 0, receiver};
+  return std::unique_ptr<RecvStream>(
+      new UdpRecvStream(this, net_, std::move(state), ep, base));
+}
+
+void UdpFabric::RxLoop(int host) {
+  SimSocket* sock = net_->socket(host);
+  while (running_.load(std::memory_order_relaxed)) {
+    std::string bytes;
+    if (sock->Recv(&bytes, std::chrono::microseconds(500))) {
+      auto pkt = Packet::Parse(bytes);
+      if (pkt.ok()) HandlePacket(host, std::move(*pkt));
+      // Drain quickly: keep emptying without a retransmit scan while the
+      // queue is hot.
+      while (sock->Pending() > 0 && sock->Recv(&bytes,
+                                               std::chrono::microseconds(0))) {
+        auto more = Packet::Parse(bytes);
+        if (more.ok()) HandlePacket(host, std::move(*more));
+      }
+    }
+    CheckRetransmits(host);
+  }
+}
+
+void UdpFabric::HandlePacket(int host, Packet pkt) {
+  switch (pkt.type) {
+    case PacketType::kAck:
+    case PacketType::kOutOfOrder:
+    case PacketType::kDuplicate:
+    case PacketType::kStop:
+      HandleSenderFeedback(host, pkt);
+      break;
+    case PacketType::kData:
+    case PacketType::kEos:
+    case PacketType::kStatusQuery:
+      HandleDataPacket(host, std::move(pkt));
+      break;
+  }
+}
+
+void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {
+  Endpoint* ep = endpoints_[host].get();
+  std::shared_ptr<SenderConn> conn;
+  {
+    std::lock_guard<std::mutex> g(ep->mu);
+    auto it = ep->senders.find(pkt.key);
+    if (it == ep->senders.end()) return;
+    conn = it->second;
+  }
+  std::lock_guard<std::mutex> g(conn->mu);
+  conn->sc = std::max(conn->sc, pkt.sc);
+  conn->sr = std::max(conn->sr, pkt.sr);
+  // Prune the expiration queue ring: everything cumulative-acked is done.
+  Clock::time_point now = Clock::now();
+  while (!conn->unacked.empty() && conn->unacked.begin()->first <= conn->sr) {
+    const Unacked& u = conn->unacked.begin()->second;
+    if (u.resends == 0) {
+      // Karn's rule: only unambiguous samples update RTT.
+      double rtt_us = std::chrono::duration<double, std::micro>(
+                          now - u.sent_at).count();
+      conn->srtt_us = 0.875 * conn->srtt_us + 0.125 * rtt_us;
+      conn->rttvar_us = 0.75 * conn->rttvar_us +
+                        0.25 * std::abs(rtt_us - conn->srtt_us);
+      conn->backoff = 1.0;
+    }
+    conn->unacked.erase(conn->unacked.begin());
+  }
+  if (pkt.type == PacketType::kAck) {
+    // Slow start growth.
+    if (conn->cwnd < opts_.max_cwnd) ++conn->cwnd;
+  } else if (pkt.type == PacketType::kOutOfOrder) {
+    // Resend the possibly-lost packets immediately (§4.4).
+    for (uint64_t seq : pkt.missing) {
+      auto it = conn->unacked.find(seq);
+      if (it == conn->unacked.end()) continue;
+      it->second.sent_at = now;
+      ++it->second.resends;
+      retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      net_->Send(conn->dst_host, it->second.bytes);
+    }
+  } else if (pkt.type == PacketType::kStop) {
+    conn->stopped = true;
+  }
+  conn->last_progress = now;
+  conn->cv.notify_all();
+}
+
+void UdpFabric::HandleDataPacket(int host, Packet pkt) {
+  Endpoint* ep = endpoints_[host].get();
+  auto id = std::make_tuple(pkt.key.query_id, pkt.key.motion_id,
+                            pkt.key.receiver);
+  std::shared_ptr<RecvState> state;
+  {
+    std::lock_guard<std::mutex> g(ep->mu);
+    if (ep->tombstones.count(id)) {
+      // The stream already closed; fully acknowledge so the sender's EoS
+      // wait can finish even when its last ack was lost.
+      SendAck(PacketType::kAck, pkt.key, pkt.src_host, pkt.seq, pkt.seq);
+      return;
+    }
+    auto it = ep->receivers.find(id);
+    if (it == ep->receivers.end()) {
+      // Data raced ahead of OpenRecv: buffer it in a fresh state.
+      state = std::make_shared<RecvState>();
+      ep->receivers[id] = state;
+    } else {
+      state = it->second;
+    }
+  }
+  std::lock_guard<std::mutex> g(state->mu);
+  ChannelState& ch = state->channels[pkt.key.sender];
+  if (ch.src_host < 0) ch.src_host = pkt.src_host;
+  if (state->stopped) ch.stopped = true;
+
+  if (pkt.type == PacketType::kStatusQuery) {
+    SendAck(ch.stopped ? PacketType::kStop : PacketType::kAck, pkt.key,
+            ch.src_host, ch.consumed, ch.expected - 1);
+    return;
+  }
+  if (pkt.seq < ch.expected || ch.ring.count(pkt.seq)) {
+    // Duplicate: tell the sender with accumulative ack info (§4.4).
+    SendAck(ch.stopped ? PacketType::kStop : PacketType::kDuplicate, pkt.key,
+            ch.src_host, ch.consumed, ch.expected - 1);
+    return;
+  }
+  if (pkt.seq > ch.consumed + opts_.ring_capacity) {
+    // No room: drop silently; the sender will retransmit later.
+    return;
+  }
+  bool gap = pkt.seq != ch.expected;
+  uint64_t seq = pkt.seq;
+  ch.ring.emplace(seq, std::move(pkt));
+  if (gap) {
+    // Report the possibly-lost packets below the newcomer (§4.4).
+    std::vector<uint64_t> missing;
+    for (uint64_t s = ch.expected; s < seq && missing.size() < 16; ++s) {
+      if (!ch.ring.count(s)) missing.push_back(s);
+    }
+    SendAck(PacketType::kOutOfOrder, ch.ring[seq].key, ch.src_host,
+            ch.consumed, ch.expected - 1, std::move(missing));
+    return;
+  }
+  // Drain the in-order prefix from the ring into the ready queue.
+  StreamKey key = ch.ring[seq].key;
+  while (true) {
+    auto it = ch.ring.find(ch.expected);
+    if (it == ch.ring.end()) break;
+    ReadyItem item;
+    item.seq = it->first;
+    item.eos = it->second.type == PacketType::kEos;
+    item.data = std::move(it->second.payload);
+    ch.ring.erase(it);
+    ++ch.expected;
+    if (ch.stopped) {
+      // Stopped streams consume instantly, discarding tuples.
+      ch.consumed = item.seq;
+      if (item.eos) ch.eos = true;
+    } else {
+      ch.ready.push_back(std::move(item));
+    }
+  }
+  SendAck(ch.stopped ? PacketType::kStop : PacketType::kAck, key,
+          ch.src_host, ch.consumed, ch.expected - 1);
+  state->cv.notify_all();
+}
+
+void UdpFabric::CheckRetransmits(int host) {
+  Endpoint* ep = endpoints_[host].get();
+  std::vector<std::shared_ptr<SenderConn>> conns;
+  {
+    std::lock_guard<std::mutex> g(ep->mu);
+    conns.reserve(ep->senders.size());
+    for (auto& [k, c] : ep->senders) conns.push_back(c);
+  }
+  Clock::time_point now = Clock::now();
+  for (auto& c : conns) {
+    std::lock_guard<std::mutex> g(c->mu);
+    if (c->unacked.empty()) continue;
+    auto rto = c->Rto(opts_);
+    bool expired_any = false;
+    for (auto& [seq, u] : c->unacked) {
+      if (now - u.sent_at < rto) continue;
+      if (u.resends >= opts_.max_resends) {
+        c->failed = true;
+        break;
+      }
+      u.sent_at = now;
+      ++u.resends;
+      expired_any = true;
+      retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      net_->Send(c->dst_host, u.bytes);
+    }
+    if (expired_any) {
+      // Loss signal: collapse the window, slow start will regrow it (§4.3).
+      c->cwnd = opts_.min_cwnd;
+      c->backoff = std::min(c->backoff * 2.0, 64.0);
+    }
+    if (c->failed) c->cv.notify_all();
+  }
+}
+
+void UdpFabric::SendAck(PacketType type, const StreamKey& key, int dst_host,
+                        uint64_t sc, uint64_t sr,
+                        std::vector<uint64_t> missing) {
+  if (dst_host < 0) return;
+  Packet p;
+  p.type = type;
+  p.key = key;
+  p.sc = sc;
+  p.sr = sr;
+  p.missing = std::move(missing);
+  net_->Send(dst_host, p.Serialize());
+}
+
+}  // namespace hawq::net

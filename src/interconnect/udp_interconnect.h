@@ -1,0 +1,89 @@
+// UDP-based interconnect (paper §4).
+//
+// Each host multiplexes every tuple stream over a single socket. A
+// background thread per host empties the socket quickly (avoiding kernel
+// buffer overflow in the real system), verifies/acks packets and manages
+// receive buffers, while executor threads produce and consume chunks.
+//
+// Reliability and ordering are built above the lossy datagram fabric:
+//   - per-connection sequence numbers with a receive ring that holds
+//     out-of-order packets without sorting (§4.4),
+//   - OUT-OF-ORDER and DUPLICATE feedback messages triggering immediate
+//     retransmission / expiration-queue pruning (§4.4),
+//   - acknowledgements carrying SC (last consumed) and SR (largest queued)
+//     so senders can compute receiver capacity (§4.2),
+//   - loss-based flow control: a congestion window that collapses to a
+//     minimum on expiration and re-grows by slow start (§4.3),
+//   - RTO computed from measured RTT (§4.3),
+//   - deadlock elimination via status-query probes when acks are lost
+//     (§4.5),
+//   - EOS / STOP stream state machines (§4.1).
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "interconnect/interconnect.h"
+#include "interconnect/protocol.h"
+#include "interconnect/sim_net.h"
+
+namespace hawq::net {
+
+struct UdpOptions {
+  size_t ring_capacity = 64;  // receiver ring slots per connection
+  size_t min_cwnd = 2;
+  size_t start_cwnd = 4;
+  size_t max_cwnd = 64;
+  std::chrono::microseconds min_rto{500};
+  std::chrono::microseconds status_query_after{20000};
+  /// Give up on an unresponsive peer after this long without progress.
+  std::chrono::milliseconds peer_timeout{30000};
+  int max_resends = 200;
+};
+
+/// \brief The UDP interconnect fabric. Owns one endpoint (rx thread) per
+/// host of the underlying SimNet.
+class UdpFabric : public Interconnect {
+ public:
+  explicit UdpFabric(SimNet* net, UdpOptions opts = {});
+  ~UdpFabric() override;
+
+  Result<std::unique_ptr<SendStream>> OpenSend(
+      uint64_t query_id, int motion_id, int sender, int sender_host,
+      std::vector<int> receiver_hosts) override;
+
+  Result<std::unique_ptr<RecvStream>> OpenRecv(uint64_t query_id,
+                                               int motion_id, int receiver,
+                                               int receiver_host,
+                                               int num_senders) override;
+
+  uint64_t retransmissions() const { return retransmissions_.load(); }
+  uint64_t status_queries() const { return status_queries_.load(); }
+
+ private:
+  friend class UdpSendStream;
+  friend class UdpRecvStream;
+  struct SenderConn;
+  struct RecvState;
+  struct Endpoint;
+
+  void RxLoop(int host);
+  void HandlePacket(int host, Packet pkt);
+  void HandleSenderFeedback(int host, const Packet& pkt);
+  void HandleDataPacket(int host, Packet pkt);
+  void CheckRetransmits(int host);
+  void SendAck(PacketType type, const StreamKey& key, int dst_host,
+               uint64_t sc, uint64_t sr, std::vector<uint64_t> missing = {});
+
+  SimNet* net_;
+  UdpOptions opts_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<bool> running_{true};
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> retransmissions_{0};
+  std::atomic<uint64_t> status_queries_{0};
+};
+
+}  // namespace hawq::net

@@ -1,0 +1,165 @@
+#include "mapreduce/mr_fabric.h"
+
+#include <thread>
+
+#include "common/serde.h"
+
+namespace hawq::mr {
+
+namespace {
+
+class MrSendStream : public net::SendStream {
+ public:
+  MrSendStream(MrFabric* fabric, uint64_t query, int motion, int sender,
+               int num_receivers)
+      : fabric_(fabric), query_(query), motion_(motion), sender_(sender),
+        bufs_(num_receivers) {}
+
+  Status Send(int receiver, std::string chunk) override {
+    if (receiver < 0 || receiver >= static_cast<int>(bufs_.size())) {
+      return Status::InvalidArgument("bad receiver");
+    }
+    bufs_[receiver] += chunk;  // chunks concatenate (count-prefixed groups)
+    return Status::OK();
+  }
+
+  Status SendEos() override {
+    if (eos_sent_) return Status::OK();
+    eos_sent_ = true;
+    // Materialize the map output: one shuffle file per reducer.
+    for (size_t r = 0; r < bufs_.size(); ++r) {
+      std::string path = fabric_->ShufflePath(query_, motion_, sender_,
+                                              static_cast<int>(r));
+      HAWQ_RETURN_IF_ERROR(fabric_->fs_->WriteFile(path, bufs_[r]));
+      fabric_->bytes_materialized_.fetch_add(bufs_[r].size());
+    }
+    fabric_->MarkSenderDone(query_, motion_, sender_);
+    return Status::OK();
+  }
+
+  // MapReduce cannot stop a running job early (no LIMIT pushdown).
+  bool Stopped(int) override { return false; }
+  bool AllStopped() override { return false; }
+
+ private:
+  MrFabric* fabric_;
+  uint64_t query_;
+  int motion_;
+  int sender_;
+  std::vector<std::string> bufs_;
+  bool eos_sent_ = false;
+};
+
+class MrRecvStream : public net::RecvStream {
+ public:
+  MrRecvStream(MrFabric* fabric, uint64_t query, int motion, int receiver,
+               int num_senders)
+      : fabric_(fabric), query_(query), motion_(motion), receiver_(receiver),
+        num_senders_(num_senders) {}
+
+  Result<std::optional<std::string>> Recv() override {
+    if (!waited_) {
+      // The job barrier: reducers start after every map task finished.
+      fabric_->WaitSenders(query_, motion_, num_senders_);
+      waited_ = true;
+    }
+    while (next_sender_ < num_senders_) {
+      std::string path =
+          fabric_->ShufflePath(query_, motion_, next_sender_++, receiver_);
+      if (!fabric_->fs_->Exists(path)) continue;
+      HAWQ_ASSIGN_OR_RETURN(std::string data, fabric_->fs_->ReadFile(path));
+      if (data.empty()) continue;
+      fabric_->ChargeShuffleRead(data.size());
+      // Reduce-side per-row processing penalty: count the rows in the
+      // materialized input (count-prefixed groups).
+      if (fabric_->opts().reduce_row_overhead_ns > 0) {
+        uint64_t rows = 0;
+        BufferReader r(data.data(), data.size());
+        while (r.remaining() > 0) {
+          auto n = r.GetVarint();
+          if (!n.ok()) break;
+          rows += *n;
+          for (uint64_t i = 0; i < *n && r.remaining() > 0; ++i) {
+            if (!DeserializeRow(&r).ok()) break;
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            rows * fabric_->opts().reduce_row_overhead_ns));
+      }
+      return std::optional<std::string>(std::move(data));
+    }
+    return std::optional<std::string>();
+  }
+
+  void Stop() override {}  // reducers cannot stop mappers
+
+ private:
+  MrFabric* fabric_;
+  uint64_t query_;
+  int motion_;
+  int receiver_;
+  int num_senders_;
+  int next_sender_ = 0;
+  bool waited_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<net::SendStream>> MrFabric::OpenSend(
+    uint64_t query_id, int motion_id, int sender, int sender_host,
+    std::vector<int> receiver_hosts) {
+  (void)sender_host;
+  // Every task pays the container/task launch cost. The per-job YARN
+  // scheduling cost is charged at the consuming stage's barrier (see
+  // WaitSenders) so that stage startups serialize along the critical
+  // path exactly as real MapReduce jobs do.
+  std::this_thread::sleep_for(opts_.task_startup);
+  return std::unique_ptr<net::SendStream>(
+      new MrSendStream(this, query_id, motion_id, sender,
+                       static_cast<int>(receiver_hosts.size())));
+}
+
+Result<std::unique_ptr<net::RecvStream>> MrFabric::OpenRecv(uint64_t query_id,
+                                                            int motion_id,
+                                                            int receiver,
+                                                            int receiver_host,
+                                                            int num_senders) {
+  (void)receiver_host;
+  return std::unique_ptr<net::RecvStream>(
+      new MrRecvStream(this, query_id, motion_id, receiver, num_senders));
+}
+
+void MrFabric::ChargeShuffleRead(uint64_t bytes) {
+  if (opts_.shuffle_read_bytes_per_sec == 0) return;
+  auto us = std::chrono::microseconds(bytes * 1000000 /
+                                      opts_.shuffle_read_bytes_per_sec);
+  if (us.count() > 0) std::this_thread::sleep_for(us);
+}
+
+void MrFabric::MarkSenderDone(uint64_t query, int motion, int sender) {
+  std::lock_guard<std::mutex> g(mu_);
+  done_senders_[{query, motion}].insert(sender);
+  cv_.notify_all();
+}
+
+void MrFabric::WaitSenders(uint64_t query, int motion, int num_senders) {
+  bool new_job = false;
+  {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] {
+      auto it = done_senders_.find({query, motion});
+      return it != done_senders_.end() &&
+             static_cast<int>(it->second.size()) >= num_senders;
+    });
+    new_job = job_started_.insert({query, motion}).second;
+  }
+  if (new_job) {
+    // The downstream job of this shuffle is scheduled only now, after the
+    // producing job finished: stage startups serialize.
+    jobs_launched_.fetch_add(1);
+    std::this_thread::sleep_for(opts_.job_startup);
+  }
+  return;
+}
+
+}  // namespace hawq::mr

@@ -1,0 +1,87 @@
+// MapReduce-style data movement, used by the Stinger baseline.
+//
+// Where HAWQ's interconnect pipelines tuples between concurrently running
+// slices, MapReduce materializes every stage boundary: mappers write their
+// partitioned output to the distributed filesystem, and reducers start
+// only after the producing job finishes. This fabric implements exactly
+// that behaviour behind the common Interconnect interface:
+//   - Send buffers rows per receiver; SendEos writes one shuffle file per
+//     receiver to HDFS and marks the task done,
+//   - Recv blocks until every sender task of the motion finished (the
+//     job barrier), then reads the materialized shuffle files,
+//   - every job pays a startup cost (YARN container scheduling) and every
+//     task a smaller one; Stop() is a no-op (no LIMIT pushdown).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "common/sim_cost.h"
+#include "hdfs/hdfs.h"
+#include "interconnect/interconnect.h"
+
+namespace hawq::mr {
+
+struct MrOptions {
+  /// YARN job scheduling + JVM spin-up, ~100x below the paper's cluster.
+  std::chrono::microseconds job_startup{400000};
+  /// Per-task container launch.
+  std::chrono::microseconds task_startup{10000};
+  /// Hive's row-at-a-time SerDe/processing throughput on shuffle data,
+  /// charged when reducers read materialized input (bytes/sec).
+  uint64_t shuffle_read_bytes_per_sec = 20u << 20;
+  /// Hive's per-tuple reduce-side processing overhead (object
+  /// inspection, row containers) — real Hive 0.12 processes roughly an
+  /// order of magnitude fewer tuples/sec than a native executor; this is
+  /// NOT scaled down because per-tuple costs do not shrink with cluster
+  /// size.
+  int64_t reduce_row_overhead_ns = 40000;
+  std::string shuffle_root = "/mr";
+};
+
+class MrFabric : public net::Interconnect {
+ public:
+  MrFabric(hdfs::MiniHdfs* fs, MrOptions opts = {}) : fs_(fs), opts_(opts) {}
+
+  Result<std::unique_ptr<net::SendStream>> OpenSend(
+      uint64_t query_id, int motion_id, int sender, int sender_host,
+      std::vector<int> receiver_hosts) override;
+
+  Result<std::unique_ptr<net::RecvStream>> OpenRecv(uint64_t query_id,
+                                                    int motion_id,
+                                                    int receiver,
+                                                    int receiver_host,
+                                                    int num_senders) override;
+
+  uint64_t jobs_launched() const { return jobs_launched_.load(); }
+  uint64_t bytes_materialized() const { return bytes_materialized_.load(); }
+
+ // Internals shared with the stream implementations.
+  std::string ShufflePath(uint64_t query, int motion, int sender,
+                          int receiver) const {
+    return opts_.shuffle_root + "/q" + std::to_string(query) + "/m" +
+           std::to_string(motion) + "/s" + std::to_string(sender) + ".r" +
+           std::to_string(receiver);
+  }
+
+  void ChargeShuffleRead(uint64_t bytes);
+  void MarkSenderDone(uint64_t query, int motion, int sender);
+  void WaitSenders(uint64_t query, int motion, int num_senders);
+
+  hdfs::MiniHdfs* fs_;
+  std::atomic<uint64_t> bytes_materialized_{0};
+  const MrOptions& opts() const { return opts_; }
+
+ private:
+  MrOptions opts_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::pair<uint64_t, int>, std::set<int>> done_senders_;
+  std::set<std::pair<uint64_t, int>> job_started_;
+  std::atomic<uint64_t> jobs_launched_{0};
+};
+
+}  // namespace hawq::mr

@@ -1,0 +1,364 @@
+#include "planner/plan_node.h"
+
+namespace hawq::plan {
+
+namespace {
+
+void SerializeSchema(const Schema& s, BufferWriter* w) {
+  w->PutVarint(s.num_fields());
+  for (const Field& f : s.fields()) {
+    w->PutString(f.name);
+    w->PutU8(static_cast<uint8_t>(f.type));
+    w->PutU8(f.nullable ? 1 : 0);
+  }
+}
+
+Result<Schema> DeserializeSchema(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  Schema s;
+  for (uint64_t i = 0; i < n; ++i) {
+    Field f;
+    HAWQ_ASSIGN_OR_RETURN(f.name, r->GetString());
+    HAWQ_ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
+    f.type = static_cast<TypeId>(t);
+    HAWQ_ASSIGN_OR_RETURN(uint8_t nu, r->GetU8());
+    f.nullable = nu != 0;
+    s.AddField(std::move(f));
+  }
+  return s;
+}
+
+void SerializeExprs(const std::vector<sql::PExpr>& es, BufferWriter* w) {
+  w->PutVarint(es.size());
+  for (const sql::PExpr& e : es) e.Serialize(w);
+}
+
+Result<std::vector<sql::PExpr>> DeserializeExprs(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  std::vector<sql::PExpr> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(sql::PExpr e, sql::PExpr::Deserialize(r));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void SerializeIntVec(const std::vector<int>& v, BufferWriter* w) {
+  w->PutVarint(v.size());
+  for (int x : v) w->PutVarintSigned(x);
+}
+
+Result<std::vector<int>> DeserializeIntVec(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  std::vector<int> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(int64_t x, r->GetVarintSigned());
+    out.push_back(static_cast<int>(x));
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* NodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::kSeqScan: return "SeqScan";
+    case NodeKind::kExternalScan: return "ExternalScan";
+    case NodeKind::kFilter: return "Filter";
+    case NodeKind::kProject: return "Project";
+    case NodeKind::kHashJoin: return "HashJoin";
+    case NodeKind::kHashAgg: return "HashAgg";
+    case NodeKind::kSort: return "Sort";
+    case NodeKind::kLimit: return "Limit";
+    case NodeKind::kMotionSend: return "MotionSend";
+    case NodeKind::kMotionRecv: return "MotionRecv";
+    case NodeKind::kResult: return "Result";
+    case NodeKind::kInsert: return "Insert";
+  }
+  return "?";
+}
+
+const char* MotionTypeName(MotionType m) {
+  switch (m) {
+    case MotionType::kGather: return "Gather";
+    case MotionType::kRedistribute: return "Redistribute";
+    case MotionType::kBroadcast: return "Broadcast";
+  }
+  return "?";
+}
+
+void PlanNode::Serialize(BufferWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutVarintSigned(out_arity);
+  w->PutU64(table_oid);
+  w->PutString(table_name);
+  SerializeSchema(table_schema, w);
+  w->PutU8(static_cast<uint8_t>(storage));
+  w->PutU8(static_cast<uint8_t>(codec));
+  w->PutVarintSigned(codec_level);
+  w->PutVarint(files.size());
+  for (const ScanFile& f : files) {
+    w->PutVarintSigned(f.segment);
+    w->PutString(f.path);
+    w->PutVarintSigned(f.eof);
+  }
+  SerializeIntVec(projection, w);
+  w->PutVarintSigned(col_start);
+  w->PutString(ext_location);
+  w->PutString(ext_profile);
+  SerializeExprs(quals, w);
+  SerializeExprs(exprs, w);
+  w->PutU8(static_cast<uint8_t>(join_type));
+  SerializeExprs(probe_keys, w);
+  SerializeExprs(build_keys, w);
+  SerializeIntVec(build_cols, w);
+  w->PutU8(static_cast<uint8_t>(phase));
+  SerializeExprs(group_exprs, w);
+  w->PutVarint(aggs.size());
+  for (const sql::AggSpec& a : aggs) a.Serialize(w);
+  w->PutVarint(sort_keys.size());
+  for (const SortKey& k : sort_keys) {
+    w->PutVarintSigned(k.col);
+    w->PutU8(k.desc ? 1 : 0);
+  }
+  w->PutVarintSigned(limit);
+  w->PutU8(static_cast<uint8_t>(motion));
+  w->PutVarintSigned(motion_id);
+  SerializeExprs(hash_exprs, w);
+  w->PutVarintSigned(num_senders);
+  w->PutVarintSigned(num_receivers);
+  w->PutVarint(rows.size());
+  for (const Row& r : rows) SerializeRow(r, w);
+  w->PutVarintSigned(insert_lane);
+  w->PutVarintSigned(insert_part_col);
+  w->PutVarint(insert_parts.size());
+  for (const InsertPartition& ip : insert_parts) {
+    w->PutU64(ip.oid);
+    w->PutVarintSigned(ip.lo);
+    w->PutVarintSigned(ip.hi);
+    w->PutVarint(ip.files.size());
+    for (const std::string& f : ip.files) w->PutString(f);
+  }
+  w->PutVarint(children.size());
+  for (const auto& c : children) c->Serialize(w);
+}
+
+Result<std::unique_ptr<PlanNode>> PlanNode::Deserialize(BufferReader* r) {
+  auto n = std::make_unique<PlanNode>();
+  HAWQ_ASSIGN_OR_RETURN(uint8_t k, r->GetU8());
+  n->kind = static_cast<NodeKind>(k);
+  HAWQ_ASSIGN_OR_RETURN(int64_t arity, r->GetVarintSigned());
+  n->out_arity = static_cast<int>(arity);
+  HAWQ_ASSIGN_OR_RETURN(n->table_oid, r->GetU64());
+  HAWQ_ASSIGN_OR_RETURN(n->table_name, r->GetString());
+  HAWQ_ASSIGN_OR_RETURN(n->table_schema, DeserializeSchema(r));
+  HAWQ_ASSIGN_OR_RETURN(uint8_t st, r->GetU8());
+  n->storage = static_cast<catalog::StorageKind>(st);
+  HAWQ_ASSIGN_OR_RETURN(uint8_t co, r->GetU8());
+  n->codec = static_cast<catalog::Codec>(co);
+  HAWQ_ASSIGN_OR_RETURN(int64_t cl, r->GetVarintSigned());
+  n->codec_level = static_cast<int>(cl);
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nf, r->GetVarint());
+  for (uint64_t i = 0; i < nf; ++i) {
+    ScanFile f;
+    HAWQ_ASSIGN_OR_RETURN(int64_t seg, r->GetVarintSigned());
+    f.segment = static_cast<int>(seg);
+    HAWQ_ASSIGN_OR_RETURN(f.path, r->GetString());
+    HAWQ_ASSIGN_OR_RETURN(f.eof, r->GetVarintSigned());
+    n->files.push_back(std::move(f));
+  }
+  HAWQ_ASSIGN_OR_RETURN(n->projection, DeserializeIntVec(r));
+  HAWQ_ASSIGN_OR_RETURN(int64_t cs, r->GetVarintSigned());
+  n->col_start = static_cast<int>(cs);
+  HAWQ_ASSIGN_OR_RETURN(n->ext_location, r->GetString());
+  HAWQ_ASSIGN_OR_RETURN(n->ext_profile, r->GetString());
+  HAWQ_ASSIGN_OR_RETURN(n->quals, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(n->exprs, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(uint8_t jt, r->GetU8());
+  n->join_type = static_cast<JoinType>(jt);
+  HAWQ_ASSIGN_OR_RETURN(n->probe_keys, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(n->build_keys, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(n->build_cols, DeserializeIntVec(r));
+  HAWQ_ASSIGN_OR_RETURN(uint8_t ph, r->GetU8());
+  n->phase = static_cast<AggPhase>(ph);
+  HAWQ_ASSIGN_OR_RETURN(n->group_exprs, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(uint64_t na, r->GetVarint());
+  for (uint64_t i = 0; i < na; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(sql::AggSpec a, sql::AggSpec::Deserialize(r));
+    n->aggs.push_back(std::move(a));
+  }
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nk, r->GetVarint());
+  for (uint64_t i = 0; i < nk; ++i) {
+    SortKey sk;
+    HAWQ_ASSIGN_OR_RETURN(int64_t c, r->GetVarintSigned());
+    sk.col = static_cast<int>(c);
+    HAWQ_ASSIGN_OR_RETURN(uint8_t d, r->GetU8());
+    sk.desc = d != 0;
+    n->sort_keys.push_back(sk);
+  }
+  HAWQ_ASSIGN_OR_RETURN(n->limit, r->GetVarintSigned());
+  HAWQ_ASSIGN_OR_RETURN(uint8_t mt, r->GetU8());
+  n->motion = static_cast<MotionType>(mt);
+  HAWQ_ASSIGN_OR_RETURN(int64_t mid, r->GetVarintSigned());
+  n->motion_id = static_cast<int>(mid);
+  HAWQ_ASSIGN_OR_RETURN(n->hash_exprs, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(int64_t ns, r->GetVarintSigned());
+  n->num_senders = static_cast<int>(ns);
+  HAWQ_ASSIGN_OR_RETURN(int64_t nr, r->GetVarintSigned());
+  n->num_receivers = static_cast<int>(nr);
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nrows, r->GetVarint());
+  for (uint64_t i = 0; i < nrows; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(Row row, DeserializeRow(r));
+    n->rows.push_back(std::move(row));
+  }
+  HAWQ_ASSIGN_OR_RETURN(int64_t lane, r->GetVarintSigned());
+  n->insert_lane = static_cast<int>(lane);
+  HAWQ_ASSIGN_OR_RETURN(int64_t ipc, r->GetVarintSigned());
+  n->insert_part_col = static_cast<int>(ipc);
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nip, r->GetVarint());
+  for (uint64_t i = 0; i < nip; ++i) {
+    InsertPartition ip;
+    HAWQ_ASSIGN_OR_RETURN(ip.oid, r->GetU64());
+    HAWQ_ASSIGN_OR_RETURN(ip.lo, r->GetVarintSigned());
+    HAWQ_ASSIGN_OR_RETURN(ip.hi, r->GetVarintSigned());
+    HAWQ_ASSIGN_OR_RETURN(uint64_t nfp, r->GetVarint());
+    for (uint64_t j = 0; j < nfp; ++j) {
+      HAWQ_ASSIGN_OR_RETURN(std::string f, r->GetString());
+      ip.files.push_back(std::move(f));
+    }
+    n->insert_parts.push_back(std::move(ip));
+  }
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nc, r->GetVarint());
+  for (uint64_t i = 0; i < nc; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(auto c, Deserialize(r));
+    n->children.push_back(std::move(c));
+  }
+  return n;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string s = pad + NodeKindName(kind);
+  switch (kind) {
+    case NodeKind::kSeqScan:
+      s += " " + table_name + " (" + catalog::StorageKindName(storage) +
+           ", files=" + std::to_string(files.size()) + ")";
+      break;
+    case NodeKind::kExternalScan:
+      s += " " + ext_location;
+      break;
+    case NodeKind::kFilter:
+      s += " [";
+      for (size_t i = 0; i < quals.size(); ++i) {
+        if (i) s += " AND ";
+        s += quals[i].ToString();
+      }
+      s += "]";
+      break;
+    case NodeKind::kHashJoin: {
+      static const char* jt[] = {"Inner", "Left", "Semi", "Anti"};
+      s += std::string(" (") + jt[static_cast<int>(join_type)] + ")";
+      for (size_t i = 0; i < probe_keys.size(); ++i) {
+        s += (i ? " AND " : " ") + probe_keys[i].ToString() + " = " +
+             build_keys[i].ToString();
+      }
+      break;
+    }
+    case NodeKind::kHashAgg: {
+      static const char* pn[] = {"Single", "Partial", "Final"};
+      s += std::string(" (") + pn[static_cast<int>(phase)] + ") groups=" +
+           std::to_string(group_exprs.size());
+      for (const sql::AggSpec& a : aggs) s += " " + a.ToString();
+      break;
+    }
+    case NodeKind::kMotionSend:
+      s += std::string(" ") + MotionTypeName(motion) + " motion=" +
+           std::to_string(motion_id) + " receivers=" +
+           std::to_string(num_receivers);
+      break;
+    case NodeKind::kMotionRecv:
+      s += " motion=" + std::to_string(motion_id) +
+           " senders=" + std::to_string(num_senders);
+      break;
+    case NodeKind::kLimit:
+      s += " " + std::to_string(limit);
+      break;
+    case NodeKind::kInsert:
+      s += " into " + table_name;
+      break;
+    default:
+      break;
+  }
+  if (est_rows > 0) s += " rows=" + std::to_string(static_cast<int64_t>(est_rows));
+  s += "\n";
+  for (const auto& c : children) s += c->ToString(indent + 1);
+  return s;
+}
+
+void Slice::Serialize(BufferWriter* w) const {
+  w->PutVarintSigned(slice_id);
+  w->PutU8(on_qd ? 1 : 0);
+  w->PutVarint(exec_segments.size());
+  for (int s : exec_segments) w->PutVarintSigned(s);
+  root->Serialize(w);
+}
+
+Result<Slice> Slice::Deserialize(BufferReader* r) {
+  Slice s;
+  HAWQ_ASSIGN_OR_RETURN(int64_t id, r->GetVarintSigned());
+  s.slice_id = static_cast<int>(id);
+  HAWQ_ASSIGN_OR_RETURN(uint8_t qd, r->GetU8());
+  s.on_qd = qd != 0;
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(int64_t seg, r->GetVarintSigned());
+    s.exec_segments.push_back(static_cast<int>(seg));
+  }
+  HAWQ_ASSIGN_OR_RETURN(s.root, PlanNode::Deserialize(r));
+  return s;
+}
+
+std::string PhysicalPlan::Serialize() const {
+  BufferWriter w;
+  w.PutVarint(slices.size());
+  for (const Slice& s : slices) s.Serialize(&w);
+  SerializeSchema(output_schema, &w);
+  w.PutVarintSigned(n_visible);
+  return w.Release();
+}
+
+Result<PhysicalPlan> PhysicalPlan::Parse(const std::string& bytes) {
+  BufferReader r(bytes);
+  PhysicalPlan p;
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(Slice s, Slice::Deserialize(&r));
+    p.slices.push_back(std::move(s));
+  }
+  HAWQ_ASSIGN_OR_RETURN(p.output_schema, DeserializeSchema(&r));
+  HAWQ_ASSIGN_OR_RETURN(int64_t nv, r.GetVarintSigned());
+  p.n_visible = static_cast<int>(nv);
+  return p;
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::string s;
+  for (const Slice& sl : slices) {
+    s += "Slice " + std::to_string(sl.slice_id) +
+         (sl.on_qd ? " (QD)" : " (segments)");
+    if (!sl.exec_segments.empty()) {
+      s += sl.exec_segments.size() == 1 ? " direct-dispatch to {" : " {";
+      for (size_t i = 0; i < sl.exec_segments.size(); ++i) {
+        if (i) s += ",";
+        s += std::to_string(sl.exec_segments[i]);
+      }
+      s += "}";
+    }
+    s += ":\n" + sl.root->ToString(1);
+  }
+  return s;
+}
+
+}  // namespace hawq::plan

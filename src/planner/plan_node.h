@@ -1,0 +1,168 @@
+// Physical plan nodes.
+//
+// Plans are fully self-describing (paper §3.1): a SeqScan node embeds the
+// table schema, storage format, codec, and the per-segment file paths and
+// logical lengths (the metadata QEs would otherwise have to fetch from the
+// master's catalog). PhysicalPlan::Serialize produces the bytes the
+// dispatcher ships to segments — optionally compressed, exactly as the
+// paper describes for very large plans.
+//
+// Row layout convention: below the first aggregation/projection, rows are
+// "wide" — one slot per flat column of the bound query; each operator
+// populates only its own relations' slots. Joins merge populated regions.
+// HashAgg and Project switch to narrow layouts.
+#pragma once
+
+#include <climits>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/pexpr.h"
+
+namespace hawq::plan {
+
+enum class NodeKind : uint8_t {
+  kSeqScan = 0,
+  kExternalScan,
+  kFilter,
+  kProject,
+  kHashJoin,
+  kHashAgg,
+  kSort,
+  kLimit,
+  kMotionSend,
+  kMotionRecv,
+  kResult,
+  kInsert,
+};
+
+enum class JoinType : uint8_t { kInner = 0, kLeft, kSemi, kAnti };
+enum class AggPhase : uint8_t { kSingle = 0, kPartial, kFinal };
+enum class MotionType : uint8_t { kGather = 0, kRedistribute, kBroadcast };
+
+/// One segment file a scan must read: which segment owns it, where it
+/// lives on HDFS, and the committed logical length.
+struct ScanFile {
+  int segment = 0;
+  std::string path;
+  int64_t eof = 0;
+};
+
+struct SortKey {
+  int col = 0;
+  bool desc = false;
+};
+
+/// One insert target: a table (or partition child) with the part-column
+/// range it accepts and its per-segment file paths.
+struct InsertPartition {
+  uint64_t oid = 0;
+  int64_t lo = INT64_MIN;
+  int64_t hi = INT64_MAX;
+  std::vector<std::string> files;  // indexed by segment
+};
+
+struct PlanNode {
+  NodeKind kind = NodeKind::kResult;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// Output arity of this node's rows.
+  int out_arity = 0;
+
+  // --- kSeqScan ---------------------------------------------------------
+  uint64_t table_oid = 0;
+  std::string table_name;
+  Schema table_schema;
+  catalog::StorageKind storage = catalog::StorageKind::kAO;
+  catalog::Codec codec = catalog::Codec::kNone;
+  int codec_level = 1;
+  std::vector<ScanFile> files;
+  std::vector<int> projection;  // table-local column indices to read
+  int col_start = 0;            // where this rel's columns sit in wide rows
+
+  // --- kExternalScan ------------------------------------------------------
+  std::string ext_location;
+  std::string ext_profile;
+
+  // --- kFilter / residual join quals ---------------------------------------
+  std::vector<sql::PExpr> quals;
+
+  // --- kProject -------------------------------------------------------------
+  std::vector<sql::PExpr> exprs;
+
+  // --- kHashJoin -------------------------------------------------------------
+  JoinType join_type = JoinType::kInner;
+  std::vector<sql::PExpr> probe_keys;  // over probe (child 0) rows
+  std::vector<sql::PExpr> build_keys;  // over build (child 1) rows
+  std::vector<int> build_cols;  // wide slots the build side populates
+
+  // --- kHashAgg ---------------------------------------------------------------
+  AggPhase phase = AggPhase::kSingle;
+  std::vector<sql::PExpr> group_exprs;
+  std::vector<sql::AggSpec> aggs;
+
+  // --- kSort ------------------------------------------------------------------
+  std::vector<SortKey> sort_keys;
+
+  // --- kLimit ------------------------------------------------------------------
+  int64_t limit = -1;
+
+  // --- kMotionSend / kMotionRecv ------------------------------------------------
+  MotionType motion = MotionType::kGather;
+  int motion_id = 0;
+  std::vector<sql::PExpr> hash_exprs;  // kRedistribute routing
+  int num_senders = 0;   // recv side
+  int num_receivers = 0;  // send side
+
+  // --- kResult -------------------------------------------------------------------
+  std::vector<Row> rows;
+
+  // --- kInsert --------------------------------------------------------------------
+  // Each worker appends its rows to its segment's file of the matching
+  // partition and emits one count row.
+  int insert_lane = 0;
+  int insert_part_col = -1;  // routing column (-1: unpartitioned)
+  std::vector<InsertPartition> insert_parts;
+
+  // planner bookkeeping (not serialized)
+  double est_rows = 0;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<std::unique_ptr<PlanNode>> Deserialize(BufferReader* r);
+  std::string ToString(int indent = 0) const;
+};
+
+/// One slice: a motion-free fragment executed by a gang of QEs.
+struct Slice {
+  int slice_id = 0;
+  std::unique_ptr<PlanNode> root;  // root is kMotionSend except for slice 0
+  bool on_qd = false;
+  /// Segments that execute this slice (direct dispatch narrows this).
+  std::vector<int> exec_segments;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<Slice> Deserialize(BufferReader* r);
+};
+
+/// A complete sliced parallel plan: slice 0 runs on the QD and produces
+/// the final rows.
+struct PhysicalPlan {
+  std::vector<Slice> slices;
+  Schema output_schema;
+  int n_visible = 0;
+
+  std::string Serialize() const;
+  static Result<PhysicalPlan> Parse(const std::string& bytes);
+  std::string ToString() const;
+};
+
+const char* NodeKindName(NodeKind k);
+const char* MotionTypeName(MotionType m);
+
+}  // namespace hawq::plan

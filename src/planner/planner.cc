@@ -1,0 +1,1215 @@
+#include "planner/planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hawq::plan {
+
+namespace {
+using sql::AggSpec;
+using sql::BoundQuery;
+using sql::BoundRel;
+using sql::PExpr;
+
+enum class Loc { kSegments, kQD };
+
+struct Dist {
+  enum class Kind { kHash, kRandom, kSingleQD, kReplicated };
+  Kind kind = Kind::kRandom;
+  std::vector<PExpr> keys;
+
+  std::vector<std::string> KeyFps() const {
+    std::vector<std::string> fps;
+    for (const PExpr& k : keys) fps.push_back(k.Fingerprint());
+    return fps;
+  }
+};
+
+struct SubPlan {
+  std::unique_ptr<PlanNode> node;
+  Dist dist;
+  double rows = 1000;
+  std::set<int> cols;  // populated wide columns
+  Loc loc = Loc::kSegments;
+  std::vector<int> narrow_segments;  // direct-dispatch candidates (empty:
+                                     // all segments participate)
+  bool narrowed = false;
+};
+
+/// Column span of an expression restricted to relation ranges.
+std::set<int> RelsOf(const PExpr& e, const std::vector<BoundRel>& rels) {
+  std::vector<int> cols;
+  e.CollectCols(&cols);
+  std::set<int> out;
+  for (int c : cols) {
+    for (size_t i = 0; i < rels.size(); ++i) {
+      int lo = rels[i].col_start;
+      int hi = lo + static_cast<int>(rels[i].schema.num_fields());
+      if (c >= lo && c < hi) out.insert(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool ColsWithin(const PExpr& e, const std::set<int>& avail) {
+  std::vector<int> cols;
+  e.CollectCols(&cols);
+  for (int c : cols) {
+    if (!avail.count(c)) return false;
+  }
+  return true;
+}
+
+
+/// Union-find over flat columns connected by applied equality conjuncts.
+/// After the joins, rows satisfy these equalities, so a stream hashed on
+/// one column of a class is equivalently hashed on any other.
+struct ColEquiv {
+  std::map<int, int> parent;
+  int Find(int x) {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    int root = Find(it->second);
+    parent[x] = root;
+    return root;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+
+  static ColEquiv FromQuery(const BoundQuery& q) {
+    ColEquiv eq;
+    for (const PExpr& c : q.conjuncts) {
+      if (c.op == PExpr::Op::kEq && c.children.size() == 2 &&
+          c.children[0].op == PExpr::Op::kCol &&
+          c.children[1].op == PExpr::Op::kCol) {
+        eq.Union(c.children[0].col, c.children[1].col);
+      }
+    }
+    return eq;
+  }
+
+  /// Canonical fingerprint: pure columns collapse to their class root.
+  std::string CanonFp(const PExpr& e) {
+    if (e.op == PExpr::Op::kCol && e.col >= 0) {
+      return PExpr::Col(Find(e.col), e.out_type).Fingerprint();
+    }
+    return e.Fingerprint();
+  }
+};
+
+}  // namespace
+
+struct Planner::Build {
+  Planner* p;
+  catalog::Catalog* cat;
+  tx::Transaction* txn;
+  const PlannerOptions& opts;
+  StatsProvider stats;
+  std::vector<Slice> slices;  // sender slices, in creation order
+  int next_motion_id = 1;
+
+  Build(Planner* planner, catalog::Catalog* c, tx::Transaction* t,
+        const PlannerOptions& o)
+      : p(planner), cat(c), txn(t), opts(o), stats(c, t) {}
+
+  /// An equi-join edge between two inner relations.
+  struct Edge {
+    int a, b;
+    PExpr a_key, b_key;
+  };
+
+  // ------------------------------------------------------------ motions
+  SubPlan AddMotion(SubPlan in, MotionType type, std::vector<PExpr> hash_exprs,
+                    Loc recv_loc) {
+    int senders = in.loc == Loc::kQD
+                      ? 1
+                      : (in.narrowed ? static_cast<int>(in.narrow_segments.size())
+                                     : opts.num_segments);
+    auto send = std::make_unique<PlanNode>();
+    send->kind = NodeKind::kMotionSend;
+    send->motion = type;
+    send->motion_id = next_motion_id++;
+    send->hash_exprs = hash_exprs;
+    send->num_receivers = recv_loc == Loc::kQD ? 1 : opts.num_segments;
+    send->num_senders = senders;
+    send->out_arity = in.node->out_arity;
+    send->est_rows = in.rows;
+    send->children.push_back(std::move(in.node));
+
+    Slice slice;
+    slice.root = std::move(send);
+    slice.on_qd = in.loc == Loc::kQD;
+    if (!slice.on_qd) {
+      if (in.narrowed) {
+        slice.exec_segments = in.narrow_segments;
+      } else {
+        for (int s = 0; s < opts.num_segments; ++s) {
+          slice.exec_segments.push_back(s);
+        }
+      }
+    }
+    int motion_id = slice.root->motion_id;
+    slices.push_back(std::move(slice));
+
+    auto recv = std::make_unique<PlanNode>();
+    recv->kind = NodeKind::kMotionRecv;
+    recv->motion_id = motion_id;
+    recv->num_senders = senders;
+    recv->out_arity = slices.back().root->out_arity;
+    recv->est_rows = in.rows * (type == MotionType::kBroadcast
+                                    ? opts.num_segments
+                                    : 1);
+
+    SubPlan out;
+    out.node = std::move(recv);
+    out.rows = in.rows;
+    out.cols = std::move(in.cols);
+    out.loc = recv_loc;
+    switch (type) {
+      case MotionType::kGather:
+        out.dist.kind = Dist::Kind::kSingleQD;
+        break;
+      case MotionType::kBroadcast:
+        out.dist.kind = Dist::Kind::kReplicated;
+        break;
+      case MotionType::kRedistribute:
+        if (!hash_exprs.empty()) {
+          out.dist.kind = Dist::Kind::kHash;
+          out.dist.keys = std::move(hash_exprs);
+        } else {
+          out.dist.kind = Dist::Kind::kRandom;
+        }
+        break;
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------- scans
+  Result<SubPlan> PlanExternalRel(const BoundQuery& q, const BoundRel& rel,
+                                  const std::vector<PExpr>& filters) {
+    const catalog::TableDesc& t = rel.desc;
+    if (!opts.external_fragmenter) {
+      return Status::NotSupported("no PXF fragmenter configured");
+    }
+    auto node = std::make_unique<PlanNode>();
+    node->kind = NodeKind::kExternalScan;
+    node->table_oid = t.oid;
+    node->table_name = t.name;
+    node->table_schema = rel.schema;
+    node->ext_location = t.ext_location;
+    node->ext_profile = t.ext_profile;
+    node->col_start = rel.col_start;
+    node->out_arity = q.total_flat_cols;
+    // Fragments -> per-segment work assignments (locality-aware, §6.3).
+    HAWQ_ASSIGN_OR_RETURN(node->files,
+                          opts.external_fragmenter(t.ext_location,
+                                                   t.ext_profile));
+    // Filter pushdown API (§6.3): hand single-table predicates to the
+    // connector; the Filter node above re-checks them for correctness.
+    node->quals = filters;
+    node->est_rows = stats.TableRows(t);
+
+    SubPlan sp;
+    int lo = rel.col_start;
+    int hi = lo + static_cast<int>(rel.schema.num_fields());
+    for (int c = lo; c < hi; ++c) sp.cols.insert(c);
+    sp.rows = std::max(1.0, node->est_rows);
+    sp.loc = Loc::kSegments;
+    sp.dist.kind = Dist::Kind::kRandom;
+    double sel = 1.0;
+    for (const PExpr& f : filters) sel *= stats.Selectivity(f);
+    if (!filters.empty()) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = filters;
+      filter->out_arity = node->out_arity;
+      filter->est_rows = sp.rows * sel;
+      filter->children.push_back(std::move(node));
+      sp.node = std::move(filter);
+      sp.rows = std::max(1.0, sp.rows * sel);
+    } else {
+      sp.node = std::move(node);
+    }
+    return sp;
+  }
+
+  Result<SubPlan> PlanBaseRel(const BoundQuery& q, const BoundRel& rel,
+                              const std::vector<PExpr>& filters) {
+    const catalog::TableDesc& t = rel.desc;
+    if (t.is_external()) return PlanExternalRel(q, rel, filters);
+    auto node = std::make_unique<PlanNode>();
+    node->kind = NodeKind::kSeqScan;
+    node->table_oid = t.oid;
+    node->table_name = t.name;
+    node->table_schema = rel.schema;
+    node->storage = t.storage;
+    node->codec = t.codec;
+    node->codec_level = t.codec_level;
+    node->col_start = rel.col_start;
+    node->out_arity = q.total_flat_cols;
+
+    // Projection pushdown: only columns the query references.
+    std::set<int> used = UsedCols(q);
+    {
+      std::vector<int> fcols;
+      for (const PExpr& f : filters) f.CollectCols(&fcols);
+      used.insert(fcols.begin(), fcols.end());
+    }
+    int lo = rel.col_start;
+    int hi = lo + static_cast<int>(rel.schema.num_fields());
+    for (int c = lo; c < hi; ++c) {
+      if (used.count(c)) node->projection.push_back(c - lo);
+    }
+    // Register stats origins.
+    for (int local : node->projection) {
+      stats.AddOrigin(lo + local, t.oid, rel.schema.field(local).name);
+    }
+
+    // Collect the segment files: partition elimination when partitioned.
+    double rows = 0;
+    if (t.is_partitioned()) {
+      for (const catalog::RangePartition& part : t.partitions) {
+        if (opts.enable_partition_elimination &&
+            PartitionEliminated(part, rel, filters)) {
+          continue;
+        }
+        HAWQ_ASSIGN_OR_RETURN(auto child, cat->GetTableById(txn, part.child));
+        HAWQ_ASSIGN_OR_RETURN(auto files, cat->GetSegFiles(txn, part.child));
+        for (const catalog::SegFileDesc& f : files) {
+          node->files.push_back({f.segment, f.path, f.eof});
+        }
+        rows += stats.TableRows(child);
+      }
+    } else {
+      HAWQ_ASSIGN_OR_RETURN(auto files, cat->GetSegFiles(txn, t.oid));
+      for (const catalog::SegFileDesc& f : files) {
+        node->files.push_back({f.segment, f.path, f.eof});
+      }
+      rows = stats.TableRows(t);
+    }
+    node->est_rows = rows;
+
+    SubPlan sp;
+    for (int c = lo; c < hi; ++c) sp.cols.insert(c);
+    sp.rows = std::max(1.0, rows);
+    sp.loc = Loc::kSegments;
+    if (t.dist == catalog::DistPolicy::kHash && !t.dist_cols.empty()) {
+      sp.dist.kind = Dist::Kind::kHash;
+      for (int dc : t.dist_cols) {
+        sp.dist.keys.push_back(
+            PExpr::Col(lo + dc, rel.schema.field(dc).type));
+      }
+    } else {
+      sp.dist.kind = Dist::Kind::kRandom;
+    }
+
+    // Direct dispatch: single-column hash distribution filtered by an
+    // equality constant pins the query to one segment.
+    if (opts.enable_direct_dispatch && sp.dist.kind == Dist::Kind::kHash &&
+        sp.dist.keys.size() == 1) {
+      for (const PExpr& f : filters) {
+        if (f.op != PExpr::Op::kEq) continue;
+        const PExpr *colside = nullptr, *constside = nullptr;
+        if (f.children[0].op == PExpr::Op::kCol &&
+            f.children[1].op == PExpr::Op::kConst) {
+          colside = &f.children[0];
+          constside = &f.children[1];
+        } else if (f.children[1].op == PExpr::Op::kCol &&
+                   f.children[0].op == PExpr::Op::kConst) {
+          colside = &f.children[1];
+          constside = &f.children[0];
+        }
+        if (!colside || colside->col != sp.dist.keys[0].col) continue;
+        int seg = static_cast<int>(HashRow({constside->value}) %
+                                   opts.num_segments);
+        std::vector<ScanFile> kept;
+        for (ScanFile& sf : node->files) {
+          if (sf.segment == seg) kept.push_back(std::move(sf));
+        }
+        node->files = std::move(kept);
+        sp.narrowed = true;
+        sp.narrow_segments = {seg};
+        break;
+      }
+    }
+
+    // Filter node for the pushed-down predicates.
+    double sel = 1.0;
+    for (const PExpr& f : filters) sel *= stats.Selectivity(f);
+    if (!filters.empty()) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = filters;
+      filter->out_arity = node->out_arity;
+      filter->est_rows = sp.rows * sel;
+      filter->children.push_back(std::move(node));
+      sp.node = std::move(filter);
+      sp.rows = std::max(1.0, sp.rows * sel);
+    } else {
+      sp.node = std::move(node);
+    }
+    return sp;
+  }
+
+  bool PartitionEliminated(const catalog::RangePartition& part,
+                           const BoundRel& rel,
+                           const std::vector<PExpr>& filters) {
+    int part_flat = rel.col_start + rel.desc.part_col;
+    for (const PExpr& f : filters) {
+      const PExpr *colside = nullptr, *constside = nullptr;
+      bool col_left = false;
+      if (f.children.size() == 2) {
+        if (f.children[0].op == PExpr::Op::kCol &&
+            f.children[1].op == PExpr::Op::kConst) {
+          colside = &f.children[0];
+          constside = &f.children[1];
+          col_left = true;
+        } else if (f.children[1].op == PExpr::Op::kCol &&
+                   f.children[0].op == PExpr::Op::kConst) {
+          colside = &f.children[1];
+          constside = &f.children[0];
+        }
+      }
+      if (!colside || colside->col != part_flat) continue;
+      if (constside->value.kind != Datum::Kind::kInt) continue;
+      int64_t v = constside->value.as_int();
+      PExpr::Op op = f.op;
+      if (!col_left) {
+        // const OP col  ->  col OP' const.
+        switch (op) {
+          case PExpr::Op::kLt: op = PExpr::Op::kGt; break;
+          case PExpr::Op::kLe: op = PExpr::Op::kGe; break;
+          case PExpr::Op::kGt: op = PExpr::Op::kLt; break;
+          case PExpr::Op::kGe: op = PExpr::Op::kLe; break;
+          default: break;
+        }
+      }
+      // Partition covers [lo, hi). Eliminate when the predicate excludes
+      // the whole range.
+      switch (op) {
+        case PExpr::Op::kEq:
+          if (v < part.lo || v >= part.hi) return true;
+          break;
+        case PExpr::Op::kLt:
+          if (part.lo >= v) return true;
+          break;
+        case PExpr::Op::kLe:
+          if (part.lo > v) return true;
+          break;
+        case PExpr::Op::kGt:
+          if (part.hi <= v + 1) return true;
+          break;
+        case PExpr::Op::kGe:
+          if (part.hi <= v) return true;
+          break;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  Result<SubPlan> PlanRel(const BoundQuery& q, const BoundRel& rel,
+                          const std::vector<PExpr>& filters) {
+    if (rel.kind == BoundRel::Kind::kBase) {
+      return PlanBaseRel(q, rel, filters);
+    }
+    // Derived table: plan the subquery, then widen its narrow output into
+    // the parent's flat layout.
+    HAWQ_ASSIGN_OR_RETURN(SubPlan sub, PlanQueryCore(*rel.derived));
+    int n = static_cast<int>(rel.schema.num_fields());
+    auto widen = std::make_unique<PlanNode>();
+    widen->kind = NodeKind::kProject;
+    widen->out_arity = q.total_flat_cols;
+    for (int c = 0; c < q.total_flat_cols; ++c) {
+      if (c >= rel.col_start && c < rel.col_start + n) {
+        widen->exprs.push_back(
+            PExpr::Col(c - rel.col_start, rel.schema.field(c - rel.col_start).type));
+      } else {
+        widen->exprs.push_back(PExpr::Const(Datum::Null(), TypeId::kString));
+      }
+    }
+    widen->est_rows = sub.rows;
+    widen->children.push_back(std::move(sub.node));
+
+    SubPlan sp;
+    sp.node = std::move(widen);
+    sp.rows = sub.rows;
+    sp.loc = sub.loc;
+    for (int c = rel.col_start; c < rel.col_start + n; ++c) sp.cols.insert(c);
+    // Remap hash keys into the widened layout when they are pure columns.
+    if (sub.dist.kind == Dist::Kind::kHash) {
+      bool pure = true;
+      for (const PExpr& k : sub.dist.keys) {
+        if (k.op != PExpr::Op::kCol) pure = false;
+      }
+      if (pure) {
+        sp.dist.kind = Dist::Kind::kHash;
+        for (const PExpr& k : sub.dist.keys) {
+          sp.dist.keys.push_back(
+              PExpr::Col(k.col + rel.col_start, k.out_type));
+        }
+      }
+    } else {
+      sp.dist.kind = sub.dist.kind;
+    }
+    // Apply pushed filters above the widen.
+    if (!filters.empty()) {
+      double sel = 1.0;
+      for (const PExpr& f : filters) sel *= stats.Selectivity(f);
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = filters;
+      filter->out_arity = q.total_flat_cols;
+      filter->children.push_back(std::move(sp.node));
+      sp.node = std::move(filter);
+      sp.rows = std::max(1.0, sp.rows * sel);
+    }
+    return sp;
+  }
+
+  // --------------------------------------------------------------- joins
+  bool Aligned(const SubPlan& sp, const std::vector<PExpr>& keys,
+               std::vector<int>* positions) const {
+    if (!opts.enable_colocation) return false;
+    if (sp.dist.kind != Dist::Kind::kHash || sp.dist.keys.empty()) {
+      return false;
+    }
+    positions->clear();
+    std::vector<std::string> key_fps;
+    for (const PExpr& k : keys) key_fps.push_back(k.Fingerprint());
+    for (const PExpr& dk : sp.dist.keys) {
+      std::string fp = dk.Fingerprint();
+      auto it = std::find(key_fps.begin(), key_fps.end(), fp);
+      if (it == key_fps.end()) return false;
+      positions->push_back(static_cast<int>(it - key_fps.begin()));
+    }
+    return true;
+  }
+
+  Result<SubPlan> JoinSubPlans(SubPlan probe, SubPlan build,
+                               std::vector<PExpr> probe_keys,
+                               std::vector<PExpr> build_keys,
+                               std::vector<PExpr> residual, JoinType type) {
+    // Move QD-located inputs down to the segments first.
+    if (probe.loc == Loc::kQD && build.loc == Loc::kSegments) {
+      probe = AddMotion(std::move(probe), MotionType::kRedistribute,
+                        probe_keys, Loc::kSegments);
+    }
+    if (build.loc == Loc::kQD && probe.loc == Loc::kSegments) {
+      build = AddMotion(std::move(build),
+                        build_keys.empty() ? MotionType::kBroadcast
+                                           : MotionType::kRedistribute,
+                        build_keys, Loc::kSegments);
+    }
+
+    std::vector<int> pos_probe, pos_build;
+    bool probe_aligned = Aligned(probe, probe_keys, &pos_probe);
+    bool build_aligned = Aligned(build, build_keys, &pos_build);
+    bool colocated = probe_aligned && build_aligned && pos_probe == pos_build;
+    bool build_replicated = build.dist.kind == Dist::Kind::kReplicated;
+
+    if (!colocated && !build_replicated &&
+        !(probe.dist.kind == Dist::Kind::kSingleQD &&
+          build.dist.kind == Dist::Kind::kSingleQD)) {
+      double n = opts.num_segments;
+      double cost_broadcast = (opts.enable_broadcast_joins ||
+                               probe_keys.empty())
+                                  ? build.rows * n
+                                  : 1e30;
+      double cost_redist_both =
+          probe_keys.empty() ? 1e30 : probe.rows + build.rows;
+      double cost_redist_build =
+          probe_aligned && !probe_keys.empty() ? build.rows : 1e30;
+      double cost_redist_probe =
+          build_aligned && !build_keys.empty() ? probe.rows : 1e30;
+      double best = std::min({cost_broadcast, cost_redist_both,
+                              cost_redist_build, cost_redist_probe});
+      if (best == cost_redist_build) {
+        // Align build with the probe side's existing distribution.
+        std::vector<PExpr> bkeys;
+        for (int p : pos_probe) bkeys.push_back(build_keys[p]);
+        build = AddMotion(std::move(build), MotionType::kRedistribute,
+                          std::move(bkeys), Loc::kSegments);
+      } else if (best == cost_redist_probe) {
+        std::vector<PExpr> pkeys;
+        for (int p : pos_build) pkeys.push_back(probe_keys[p]);
+        probe = AddMotion(std::move(probe), MotionType::kRedistribute,
+                          std::move(pkeys), Loc::kSegments);
+      } else if (best == cost_redist_both) {
+        probe = AddMotion(std::move(probe), MotionType::kRedistribute,
+                          probe_keys, Loc::kSegments);
+        build = AddMotion(std::move(build), MotionType::kRedistribute,
+                          build_keys, Loc::kSegments);
+      } else {
+        build = AddMotion(std::move(build), MotionType::kBroadcast, {},
+                          Loc::kSegments);
+      }
+    }
+
+    auto node = std::make_unique<PlanNode>();
+    node->kind = NodeKind::kHashJoin;
+    node->join_type = type;
+    node->probe_keys = std::move(probe_keys);
+    node->build_keys = std::move(build_keys);
+    node->quals = std::move(residual);
+    node->out_arity = probe.node->out_arity;
+    node->build_cols.assign(build.cols.begin(), build.cols.end());
+
+    double join_rows;
+    double denom = std::max(1.0, std::min(probe.rows, build.rows));
+    switch (type) {
+      case JoinType::kInner:
+        join_rows = std::max(1.0, probe.rows * build.rows / denom / 3.0);
+        break;
+      case JoinType::kLeft:
+        join_rows = std::max(probe.rows, probe.rows * build.rows / denom / 3.0);
+        break;
+      case JoinType::kSemi:
+      case JoinType::kAnti:
+        join_rows = std::max(1.0, probe.rows * 0.5);
+        break;
+    }
+    node->est_rows = join_rows;
+
+    SubPlan out;
+    out.cols = probe.cols;
+    if (type == JoinType::kInner || type == JoinType::kLeft) {
+      out.cols.insert(build.cols.begin(), build.cols.end());
+    }
+    out.dist = probe.dist;
+    out.rows = join_rows;
+    out.loc = Loc::kSegments;
+    if (probe.narrowed && build.narrowed &&
+        probe.narrow_segments == build.narrow_segments) {
+      out.narrowed = true;
+      out.narrow_segments = probe.narrow_segments;
+    }
+    node->children.push_back(std::move(probe.node));
+    node->children.push_back(std::move(build.node));
+    out.node = std::move(node);
+    return out;
+  }
+
+  // --------------------------------------------------------- main driver
+  std::set<int> UsedCols(const BoundQuery& q) {
+    std::set<int> used;
+    std::vector<int> v;
+    auto add = [&](const PExpr& e) {
+      v.clear();
+      e.CollectCols(&v);
+      // Only flat-space references matter here; aggregate-layout refs in
+      // select/having are small indexes that may collide, so collect from
+      // flat-layout expressions only.
+      for (int c : v) used.insert(c);
+    };
+    for (const PExpr& e : q.conjuncts) add(e);
+    for (const PExpr& e : q.group_by) add(e);
+    for (const AggSpec& a : q.aggs) add(a.arg);
+    for (const auto& rel : q.rels) {
+      for (const PExpr& e : rel.on_conjuncts) add(e);
+      for (const PExpr& e : rel.local_conjuncts) add(e);
+    }
+    if (!q.has_agg) {
+      for (const PExpr& e : q.select) add(e);
+    }
+    return used;
+  }
+
+  Result<SubPlan> PlanQueryCore(const BoundQuery& q) {
+    if (q.rels.empty()) {
+      // Master-only expression query.
+      auto node = std::make_unique<PlanNode>();
+      node->kind = NodeKind::kResult;
+      Row row;
+      for (const PExpr& e : q.select) row.push_back(e.Eval({}));
+      node->rows.push_back(std::move(row));
+      node->out_arity = static_cast<int>(q.select.size());
+      node->est_rows = 1;
+      SubPlan sp;
+      sp.node = std::move(node);
+      sp.rows = 1;
+      sp.loc = Loc::kQD;
+      sp.dist.kind = Dist::Kind::kSingleQD;
+      return sp;
+    }
+
+    // --- classify conjuncts -------------------------------------------------
+    std::vector<int> inner_idx;
+    std::vector<int> special_idx;  // left/semi/anti, applied in order
+    for (size_t i = 0; i < q.rels.size(); ++i) {
+      if (q.rels[i].join == BoundRel::Join::kInner) {
+        inner_idx.push_back(static_cast<int>(i));
+      } else {
+        special_idx.push_back(static_cast<int>(i));
+      }
+    }
+    std::set<int> inner_set(inner_idx.begin(), inner_idx.end());
+
+    std::vector<std::vector<PExpr>> rel_filters(q.rels.size());
+    std::vector<Edge> edges;
+    std::vector<PExpr> leftovers;
+    for (const PExpr& c : q.conjuncts) {
+      std::set<int> span = RelsOf(c, q.rels);
+      if (span.size() == 1) {
+        rel_filters[*span.begin()].push_back(c);
+        continue;
+      }
+      bool two_inner = span.size() == 2 && inner_set.count(*span.begin()) &&
+                       inner_set.count(*std::next(span.begin()));
+      if (two_inner && c.op == PExpr::Op::kEq) {
+        int ra = *span.begin();
+        int rb = *std::next(span.begin());
+        auto span_of = [&](const PExpr& side) {
+          return RelsOf(side, q.rels);
+        };
+        std::set<int> ls = span_of(c.children[0]);
+        std::set<int> rs = span_of(c.children[1]);
+        if (ls.size() == 1 && rs.size() == 1) {
+          Edge e;
+          if (*ls.begin() == ra && *rs.begin() == rb) {
+            e = {ra, rb, c.children[0], c.children[1]};
+          } else {
+            e = {rb, ra, c.children[0], c.children[1]};
+          }
+          edges.push_back(std::move(e));
+          continue;
+        }
+      }
+      leftovers.push_back(c);
+    }
+
+    // --- plan base relations -------------------------------------------------
+    std::map<int, SubPlan> base;
+    for (int i : inner_idx) {
+      HAWQ_ASSIGN_OR_RETURN(SubPlan sp,
+                            PlanRel(q, q.rels[i], rel_filters[i]));
+      base[i] = std::move(sp);
+    }
+
+    // --- inner join ordering -------------------------------------------------
+    SubPlan cur;
+    std::set<int> joined;
+    auto edge_between = [&](const std::set<int>& set_a, int b) {
+      std::vector<const Edge*> out;
+      for (const Edge& e : edges) {
+        if ((set_a.count(e.a) && e.b == b) || (set_a.count(e.b) && e.a == b)) {
+          out.push_back(&e);
+        }
+      }
+      return out;
+    };
+
+    if (inner_idx.empty()) {
+      return Status::InvalidArgument("query has no inner relations");
+    }
+    if (!opts.cost_based_join_order) {
+      // As-written left-deep order.
+      cur = std::move(base[inner_idx[0]]);
+      joined.insert(inner_idx[0]);
+      for (size_t i = 1; i < inner_idx.size(); ++i) {
+        int r = inner_idx[i];
+        HAWQ_RETURN_IF_ERROR(JoinNext(&cur, &joined, r, std::move(base[r]),
+                                      edge_between(joined, r), q));
+      }
+    } else {
+      // Greedy: start from the smallest relation, repeatedly add the
+      // neighbour that minimizes the estimated join output.
+      int start = inner_idx[0];
+      for (int r : inner_idx) {
+        if (base[r].rows < base[start].rows) start = r;
+      }
+      cur = std::move(base[start]);
+      joined.insert(start);
+      while (joined.size() < inner_idx.size()) {
+        int best = -1;
+        double best_cost = 1e300;
+        bool best_has_edge = false;
+        for (int r : inner_idx) {
+          if (joined.count(r)) continue;
+          bool has_edge = !edge_between(joined, r).empty();
+          double cost = has_edge
+                            ? cur.rows * base[r].rows /
+                                  std::max(1.0, std::min(cur.rows, base[r].rows))
+                            : cur.rows * base[r].rows;
+          if (has_edge && !best_has_edge) {
+            best = r;
+            best_cost = cost;
+            best_has_edge = true;
+          } else if (has_edge == best_has_edge && cost < best_cost) {
+            best = r;
+            best_cost = cost;
+          }
+        }
+        HAWQ_RETURN_IF_ERROR(JoinNext(&cur, &joined, best,
+                                      std::move(base[best]),
+                                      edge_between(joined, best), q));
+      }
+    }
+
+    // --- leftover multi-rel conjuncts over inner rels ---------------------------
+    std::vector<PExpr> post;
+    for (PExpr& c : leftovers) {
+      if (ColsWithin(c, cur.cols)) {
+        post.push_back(std::move(c));
+      } else {
+        post.push_back(std::move(c));  // applied after special joins below
+      }
+    }
+
+    // --- special joins (left / semi / anti) ------------------------------------
+    for (int i : special_idx) {
+      const BoundRel& rel = q.rels[i];
+      HAWQ_ASSIGN_OR_RETURN(SubPlan build,
+                            PlanRel(q, rel, CombineFilters(rel, rel_filters[i])));
+      std::vector<PExpr> pk, bk, residual;
+      int lo = rel.col_start;
+      int hi = lo + static_cast<int>(rel.schema.num_fields());
+      for (const PExpr& c : rel.on_conjuncts) {
+        if (c.op == PExpr::Op::kEq && c.children.size() == 2) {
+          std::vector<int> lcols, rcols;
+          c.children[0].CollectCols(&lcols);
+          c.children[1].CollectCols(&rcols);
+          auto within = [&](const std::vector<int>& cols) {
+            for (int x : cols) {
+              if (x < lo || x >= hi) return false;
+            }
+            return !cols.empty();
+          };
+          auto outside = [&](const std::vector<int>& cols) {
+            for (int x : cols) {
+              if (x >= lo && x < hi) return false;
+            }
+            return true;
+          };
+          if (outside(lcols) && within(rcols)) {
+            pk.push_back(c.children[0]);
+            bk.push_back(c.children[1]);
+            continue;
+          }
+          if (within(lcols) && outside(rcols)) {
+            pk.push_back(c.children[1]);
+            bk.push_back(c.children[0]);
+            continue;
+          }
+        }
+        residual.push_back(c);
+      }
+      JoinType jt = rel.join == BoundRel::Join::kLeft
+                        ? JoinType::kLeft
+                        : rel.join == BoundRel::Join::kSemi ? JoinType::kSemi
+                                                            : JoinType::kAnti;
+      HAWQ_ASSIGN_OR_RETURN(
+          cur, JoinSubPlans(std::move(cur), std::move(build), std::move(pk),
+                            std::move(bk), std::move(residual), jt));
+    }
+
+    // --- post-join filters -----------------------------------------------------
+    if (!post.empty()) {
+      double sel = 1.0;
+      for (const PExpr& f : post) sel *= stats.Selectivity(f);
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = std::move(post);
+      filter->out_arity = cur.node->out_arity;
+      filter->est_rows = cur.rows * sel;
+      filter->children.push_back(std::move(cur.node));
+      cur.node = std::move(filter);
+      cur.rows = std::max(1.0, cur.rows * sel);
+    }
+
+    // --- aggregation --------------------------------------------------------------
+    if (q.has_agg) {
+      HAWQ_RETURN_IF_ERROR(ApplyAggregation(q, &cur));
+    }
+
+    // --- projection -----------------------------------------------------------------
+    {
+      auto proj = std::make_unique<PlanNode>();
+      proj->kind = NodeKind::kProject;
+      proj->exprs = q.select;
+      proj->out_arity = static_cast<int>(q.select.size());
+      proj->est_rows = cur.rows;
+      proj->children.push_back(std::move(cur.node));
+      // Distribution keys survive projection when they map to projected
+      // pure columns.
+      Dist nd;
+      nd.kind = cur.dist.kind == Dist::Kind::kHash ? Dist::Kind::kRandom
+                                                   : cur.dist.kind;
+      if (cur.dist.kind == Dist::Kind::kHash) {
+        std::vector<PExpr> remapped;
+        bool all = true;
+        for (const PExpr& k : cur.dist.keys) {
+          std::string fp = k.Fingerprint();
+          int found = -1;
+          for (size_t i = 0; i < q.select.size(); ++i) {
+            if (q.select[i].Fingerprint() == fp) {
+              found = static_cast<int>(i);
+              break;
+            }
+          }
+          if (found < 0) {
+            all = false;
+            break;
+          }
+          remapped.push_back(PExpr::Col(found, q.out_types[found]));
+        }
+        if (all) {
+          nd.kind = Dist::Kind::kHash;
+          nd.keys = std::move(remapped);
+        }
+      }
+      cur.node = std::move(proj);
+      cur.dist = nd;
+      cur.cols.clear();
+      for (size_t i = 0; i < q.select.size(); ++i) {
+        cur.cols.insert(static_cast<int>(i));
+      }
+    }
+
+    // --- distinct --------------------------------------------------------------------
+    if (q.distinct && !q.has_agg) {
+      HAWQ_RETURN_IF_ERROR(ApplyDistinct(q, &cur));
+    }
+    return cur;
+  }
+
+  std::vector<PExpr> CombineFilters(const BoundRel& rel,
+                                    const std::vector<PExpr>& where_filters) {
+    std::vector<PExpr> out = rel.local_conjuncts;
+    // WHERE filters on a LEFT-joined rel are post-join; semi/anti rel cols
+    // are not referencable from WHERE. So only merge for semi/anti locals.
+    if (rel.join != BoundRel::Join::kLeft) {
+      out.insert(out.end(), where_filters.begin(), where_filters.end());
+    }
+    return out;
+  }
+
+  Status JoinNext(SubPlan* cur, std::set<int>* joined, int r, SubPlan next,
+                  const std::vector<const Edge*>& rel_edges,
+                  const BoundQuery& q) {
+    (void)q;
+    std::vector<PExpr> pk, bk;
+    for (const Edge* e : rel_edges) {
+      if (joined->count(e->a)) {
+        pk.push_back(e->a_key);
+        bk.push_back(e->b_key);
+      } else {
+        pk.push_back(e->b_key);
+        bk.push_back(e->a_key);
+      }
+    }
+    HAWQ_ASSIGN_OR_RETURN(
+        *cur, JoinSubPlans(std::move(*cur), std::move(next), std::move(pk),
+                           std::move(bk), {}, JoinType::kInner));
+    joined->insert(r);
+    return Status::OK();
+  }
+
+  Status ApplyAggregation(const BoundQuery& q, SubPlan* cur) {
+    size_t k = q.group_by.size();
+    bool has_distinct = false;
+    for (const AggSpec& a : q.aggs) has_distinct |= a.distinct;
+
+    // Already distributed on a subset of the grouping keys: aggregate
+    // locally in one phase. Equality conjuncts applied below the agg make
+    // columns interchangeable (e.g. grouping by l_orderkey over a stream
+    // hashed on o_orderkey after l_orderkey = o_orderkey).
+    ColEquiv equiv = ColEquiv::FromQuery(q);
+    bool local_ok = false;
+    if (cur->dist.kind == Dist::Kind::kHash && !cur->dist.keys.empty()) {
+      std::vector<std::string> gfps;
+      for (const PExpr& g : q.group_by) gfps.push_back(equiv.CanonFp(g));
+      local_ok = true;
+      for (const PExpr& dk : cur->dist.keys) {
+        if (std::find(gfps.begin(), gfps.end(), equiv.CanonFp(dk)) ==
+            gfps.end()) {
+          local_ok = false;
+        }
+      }
+    }
+    if (cur->dist.kind == Dist::Kind::kSingleQD ||
+        cur->dist.kind == Dist::Kind::kReplicated) {
+      local_ok = cur->dist.kind == Dist::Kind::kSingleQD;
+    }
+
+    double out_rows = EstimateGroups(q, cur->rows);
+
+    if (local_ok) {
+      AttachAgg(q, cur, AggPhase::kSingle, out_rows);
+      return Status::OK();
+    }
+
+    if (!opts.enable_two_phase_agg || has_distinct) {
+      // Redistribute raw rows on the grouping keys, then single-phase.
+      if (k == 0) {
+        *cur = AddMotion(std::move(*cur), MotionType::kGather, {}, Loc::kQD);
+      } else {
+        *cur = AddMotion(std::move(*cur), MotionType::kRedistribute,
+                         q.group_by, Loc::kSegments);
+      }
+      AttachAgg(q, cur, AggPhase::kSingle, out_rows);
+      return Status::OK();
+    }
+
+    // Two-phase: partial on the data, redistribute compact states, final.
+    AttachAgg(q, cur, AggPhase::kPartial,
+              std::min(cur->rows, out_rows * opts.num_segments));
+    if (k == 0) {
+      *cur = AddMotion(std::move(*cur), MotionType::kGather, {}, Loc::kQD);
+    } else {
+      // Partial output layout: group cols first.
+      std::vector<PExpr> keys;
+      for (size_t i = 0; i < k; ++i) {
+        keys.push_back(PExpr::Col(static_cast<int>(i),
+                                  q.group_by[i].out_type));
+      }
+      *cur = AddMotion(std::move(*cur), MotionType::kRedistribute,
+                       std::move(keys), Loc::kSegments);
+    }
+    AttachAgg(q, cur, AggPhase::kFinal, out_rows);
+
+    if (q.has_having) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = {q.having};
+      filter->out_arity = cur->node->out_arity;
+      filter->children.push_back(std::move(cur->node));
+      cur->node = std::move(filter);
+      cur->rows = std::max(1.0, cur->rows * 0.5);
+    }
+    return Status::OK();
+  }
+
+  void AttachAgg(const BoundQuery& q, SubPlan* cur, AggPhase phase,
+                 double out_rows) {
+    size_t k = q.group_by.size();
+    auto agg = std::make_unique<PlanNode>();
+    agg->kind = NodeKind::kHashAgg;
+    agg->phase = phase;
+    agg->group_exprs = q.group_by;
+    agg->aggs = q.aggs;
+    if (phase == AggPhase::kFinal) {
+      // Final phase groups on the leading columns of the partial layout.
+      agg->group_exprs.clear();
+      for (size_t i = 0; i < k; ++i) {
+        agg->group_exprs.push_back(
+            PExpr::Col(static_cast<int>(i), q.group_by[i].out_type));
+      }
+    }
+    int state_width = 0;
+    for (const AggSpec& a : q.aggs) {
+      state_width += a.kind == AggSpec::Kind::kAvg ? 2 : 1;
+    }
+    agg->out_arity = phase == AggPhase::kPartial
+                         ? static_cast<int>(k) + state_width
+                         : static_cast<int>(k + q.aggs.size());
+    agg->est_rows = out_rows;
+    agg->children.push_back(std::move(cur->node));
+    cur->node = std::move(agg);
+    cur->rows = std::max(1.0, out_rows);
+    cur->cols.clear();
+    for (int i = 0; i < cur->node->out_arity; ++i) cur->cols.insert(i);
+    if (phase != AggPhase::kPartial) {
+      // Output is in aggregate layout; dist keys become the group columns
+      // when the input was redistributed on them.
+      if (cur->dist.kind == Dist::Kind::kHash && k > 0) {
+        Dist d;
+        d.kind = Dist::Kind::kHash;
+        for (size_t i = 0; i < k; ++i) {
+          d.keys.push_back(
+              PExpr::Col(static_cast<int>(i), q.group_by[i].out_type));
+        }
+        cur->dist = d;
+      }
+    }
+    // Single-phase having.
+    if (phase == AggPhase::kSingle && q.has_having) {
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = {q.having};
+      filter->out_arity = cur->node->out_arity;
+      filter->children.push_back(std::move(cur->node));
+      cur->node = std::move(filter);
+      cur->rows = std::max(1.0, cur->rows * 0.5);
+    }
+  }
+
+  double EstimateGroups(const BoundQuery& q, double input_rows) {
+    if (q.group_by.empty()) return 1;
+    double groups = 1;
+    for (const PExpr& g : q.group_by) {
+      double nd = g.op == PExpr::Op::kCol ? stats.NDistinct(g.col) : -1;
+      groups *= nd > 0 ? nd : 20;
+    }
+    return std::max(1.0, std::min(groups, input_rows));
+  }
+
+  Status ApplyDistinct(const BoundQuery& q, SubPlan* cur) {
+    int n = static_cast<int>(q.select.size());
+    auto group_cols = [&] {
+      std::vector<PExpr> gs;
+      for (int i = 0; i < n; ++i) gs.push_back(PExpr::Col(i, q.out_types[i]));
+      return gs;
+    };
+    auto mk = [&](AggPhase phase) {
+      auto agg = std::make_unique<PlanNode>();
+      agg->kind = NodeKind::kHashAgg;
+      agg->phase = phase;
+      agg->group_exprs = group_cols();
+      agg->out_arity = n;
+      agg->children.push_back(std::move(cur->node));
+      cur->node = std::move(agg);
+    };
+    if (cur->dist.kind == Dist::Kind::kSingleQD) {
+      mk(AggPhase::kSingle);
+      return Status::OK();
+    }
+    mk(AggPhase::kPartial);
+    *cur = AddMotion(std::move(*cur), MotionType::kRedistribute, group_cols(),
+                     Loc::kSegments);
+    mk(AggPhase::kFinal);
+    cur->rows = std::max(1.0, cur->rows * 0.5);
+    return Status::OK();
+  }
+
+  /// Finish a SELECT: order/limit locally, gather, final order/limit on
+  /// the QD, trim hidden sort columns.
+  Result<PhysicalPlan> Finish(const BoundQuery& q, SubPlan cur) {
+    auto sort_keys = [&] {
+      std::vector<SortKey> ks;
+      for (const sql::BoundOrder& o : q.order_by) {
+        ks.push_back({o.out_index, o.desc});
+      }
+      return ks;
+    };
+    if (cur.loc == Loc::kSegments) {
+      if (!q.order_by.empty()) {
+        auto sort = std::make_unique<PlanNode>();
+        sort->kind = NodeKind::kSort;
+        sort->sort_keys = sort_keys();
+        sort->out_arity = cur.node->out_arity;
+        sort->children.push_back(std::move(cur.node));
+        cur.node = std::move(sort);
+      }
+      if (q.limit >= 0) {
+        auto lim = std::make_unique<PlanNode>();
+        lim->kind = NodeKind::kLimit;
+        lim->limit = q.limit;
+        lim->out_arity = cur.node->out_arity;
+        lim->children.push_back(std::move(cur.node));
+        cur.node = std::move(lim);
+      }
+      cur = AddMotion(std::move(cur), MotionType::kGather, {}, Loc::kQD);
+    }
+    if (!q.order_by.empty()) {
+      auto sort = std::make_unique<PlanNode>();
+      sort->kind = NodeKind::kSort;
+      sort->sort_keys = sort_keys();
+      sort->out_arity = cur.node->out_arity;
+      sort->children.push_back(std::move(cur.node));
+      cur.node = std::move(sort);
+    }
+    if (q.limit >= 0) {
+      auto lim = std::make_unique<PlanNode>();
+      lim->kind = NodeKind::kLimit;
+      lim->limit = q.limit;
+      lim->out_arity = cur.node->out_arity;
+      lim->children.push_back(std::move(cur.node));
+      cur.node = std::move(lim);
+    }
+    if (q.n_visible < static_cast<int>(q.select.size())) {
+      auto proj = std::make_unique<PlanNode>();
+      proj->kind = NodeKind::kProject;
+      for (int i = 0; i < q.n_visible; ++i) {
+        proj->exprs.push_back(PExpr::Col(i, q.out_types[i]));
+      }
+      proj->out_arity = q.n_visible;
+      proj->children.push_back(std::move(cur.node));
+      cur.node = std::move(proj);
+    }
+
+    PhysicalPlan plan;
+    Slice top;
+    top.root = std::move(cur.node);
+    top.on_qd = true;
+    plan.slices.push_back(std::move(top));
+    for (Slice& s : slices) plan.slices.push_back(std::move(s));
+    for (size_t i = 0; i < plan.slices.size(); ++i) {
+      plan.slices[i].slice_id = static_cast<int>(i);
+    }
+    Schema out;
+    for (int i = 0; i < q.n_visible; ++i) {
+      out.AddField({q.out_names[i], q.out_types[i], true});
+    }
+    plan.output_schema = out;
+    plan.n_visible = q.n_visible;
+    return plan;
+  }
+};
+
+Planner::Planner(catalog::Catalog* cat, tx::Transaction* txn,
+                 PlannerOptions opts)
+    : cat_(cat), txn_(txn), opts_(opts) {}
+
+Result<PhysicalPlan> Planner::PlanSelect(const sql::BoundQuery& q) {
+  Build b(this, cat_, txn_, opts_);
+  HAWQ_ASSIGN_OR_RETURN(SubPlan cur, b.PlanQueryCore(q));
+  return b.Finish(q, std::move(cur));
+}
+
+Result<PhysicalPlan> Planner::PlanInsert(
+    const catalog::TableDesc& target, const sql::BoundQuery* select_source,
+    std::vector<Row> values_rows, std::vector<InsertPartition> parts,
+    int lane) {
+  Build b(this, cat_, txn_, opts_);
+  SubPlan src;
+  if (select_source) {
+    HAWQ_ASSIGN_OR_RETURN(src, b.PlanQueryCore(*select_source));
+  } else {
+    auto node = std::make_unique<PlanNode>();
+    node->kind = NodeKind::kResult;
+    node->rows = std::move(values_rows);
+    node->out_arity = static_cast<int>(target.columns.size());
+    node->est_rows = static_cast<double>(node->rows.size());
+    src.node = std::move(node);
+    src.rows = src.node->est_rows;
+    src.loc = Loc::kQD;
+    src.dist.kind = Dist::Kind::kSingleQD;
+  }
+  // Route rows to their owning segments.
+  std::vector<PExpr> hash_exprs;
+  if (target.dist == catalog::DistPolicy::kHash) {
+    for (int dc : target.dist_cols) {
+      hash_exprs.push_back(PExpr::Col(dc, target.columns[dc].type));
+    }
+  }
+  src = b.AddMotion(std::move(src), MotionType::kRedistribute,
+                    std::move(hash_exprs), Loc::kSegments);
+
+  auto ins = std::make_unique<PlanNode>();
+  ins->kind = NodeKind::kInsert;
+  ins->table_oid = target.oid;
+  ins->table_name = target.name;
+  ins->table_schema = target.ToSchema();
+  ins->storage = target.storage;
+  ins->codec = target.codec;
+  ins->codec_level = target.codec_level;
+  ins->insert_lane = lane;
+  ins->insert_part_col = target.part_col;
+  ins->insert_parts = std::move(parts);
+  ins->out_arity = 1;
+  ins->children.push_back(std::move(src.node));
+  src.node = std::move(ins);
+  src.dist.kind = Dist::Kind::kRandom;
+  src.cols = {0};
+  src = b.AddMotion(std::move(src), MotionType::kGather, {}, Loc::kQD);
+
+  sql::BoundQuery fake;
+  fake.select = {PExpr::Col(0, TypeId::kInt64)};
+  fake.out_names = {"inserted"};
+  fake.out_types = {TypeId::kInt64};
+  fake.n_visible = 1;
+  return b.Finish(fake, std::move(src));
+}
+
+}  // namespace hawq::plan

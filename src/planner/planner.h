@@ -1,0 +1,74 @@
+// Cost-based parallel query planner (paper §3).
+//
+// Takes the analyzer's BoundQuery and produces a sliced PhysicalPlan:
+//   - scan paths with projection pushdown and partition elimination,
+//   - greedy cost-based join ordering driven by catalog statistics,
+//   - motion planning: colocated joins stay local; otherwise the planner
+//     costs redistribute-vs-broadcast (Broadcast/Redistribute/Gather
+//     motions, §3's three parallel motion operators),
+//   - two-phase aggregation with partial-state transfer,
+//   - direct dispatch for single-segment queries,
+//   - metadata dispatch: plans embed all catalog metadata QEs need.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "planner/plan_node.h"
+#include "planner/stats.h"
+#include "sql/analyzer.h"
+
+namespace hawq::plan {
+
+struct PlannerOptions {
+  int num_segments = 8;
+  /// Cost-based join ordering; false = as-written order (the rule-based
+  /// behaviour the paper attributes to Stinger).
+  bool cost_based_join_order = true;
+  bool enable_partition_elimination = true;
+  bool enable_direct_dispatch = true;
+  /// Recognize colocated joins (hash-distribution alignment, §2.3).
+  bool enable_colocation = true;
+  /// Two-phase (partial+final) aggregation.
+  bool enable_two_phase_agg = true;
+  /// Consider broadcasting the build side of joins. Hive 0.12 (the
+  /// Stinger baseline) only did reduce-side joins unless hinted, so the
+  /// rule-based profile turns this off (equi-joins shuffle both sides).
+  bool enable_broadcast_joins = true;
+  /// PXF hook: resolve an external table's fragments into per-segment
+  /// scan work (locality-aware assignment done by the engine's PXF layer).
+  std::function<Result<std::vector<ScanFile>>(const std::string& location,
+                                              const std::string& profile)>
+      external_fragmenter;
+};
+
+class Planner {
+ public:
+  Planner(catalog::Catalog* cat, tx::Transaction* txn, PlannerOptions opts);
+
+  /// Plan a SELECT. The BoundQuery's scalar subqueries must already be
+  /// bound to constants (engine responsibility).
+  Result<PhysicalPlan> PlanSelect(const sql::BoundQuery& q);
+
+  /// Plan INSERT INTO target SELECT/VALUES: rows are redistributed per the
+  /// target's distribution policy, routed to their partition, appended by
+  /// per-segment Insert workers (swimming-lane `lane`), and the counts
+  /// gathered. `parts` carries the per-partition per-segment file paths
+  /// (one entry for unpartitioned tables).
+  Result<PhysicalPlan> PlanInsert(const catalog::TableDesc& target,
+                                  const sql::BoundQuery* select_source,
+                                  std::vector<Row> values_rows,
+                                  std::vector<InsertPartition> parts,
+                                  int lane);
+
+ private:
+  struct Build;
+  catalog::Catalog* cat_;
+  tx::Transaction* txn_;
+  PlannerOptions opts_;
+};
+
+}  // namespace hawq::plan

@@ -1,0 +1,103 @@
+#include "planner/stats.h"
+
+#include <algorithm>
+
+namespace hawq::plan {
+
+void StatsProvider::AddOrigin(int flat_col, catalog::TableOid oid,
+                              const std::string& column) {
+  ColOrigin o;
+  o.oid = oid;
+  o.column = column;
+  auto stats = cat_->GetColumnStats(txn_, oid, column);
+  if (stats.ok()) {
+    o.ndistinct = stats->ndistinct;
+    o.min_val = stats->min_val;
+    o.max_val = stats->max_val;
+  }
+  origins_[flat_col] = std::move(o);
+}
+
+const ColOrigin* StatsProvider::Origin(int flat_col) const {
+  auto it = origins_.find(flat_col);
+  return it == origins_.end() ? nullptr : &it->second;
+}
+
+double StatsProvider::NDistinct(int flat_col) const {
+  const ColOrigin* o = Origin(flat_col);
+  return o ? o->ndistinct : -1;
+}
+
+namespace {
+/// Fraction of [min,max] below `v` (linear interpolation).
+double RangeFraction(const ColOrigin* o, const Datum& v) {
+  if (!o || o->min_val.is_null() || o->max_val.is_null()) return 0.33;
+  double lo = o->min_val.as_double();
+  double hi = o->max_val.as_double();
+  if (hi <= lo) return 0.33;
+  double x = v.as_double();
+  return std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+}
+}  // namespace
+
+double StatsProvider::Selectivity(const sql::PExpr& e) const {
+  using Op = sql::PExpr::Op;
+  switch (e.op) {
+    case Op::kAnd:
+      return Selectivity(e.children[0]) * Selectivity(e.children[1]);
+    case Op::kOr: {
+      double a = Selectivity(e.children[0]);
+      double b = Selectivity(e.children[1]);
+      return std::min(1.0, a + b - a * b);
+    }
+    case Op::kNot:
+      return 1.0 - Selectivity(e.children[0]);
+    case Op::kEq: {
+      // col = const: 1/ndistinct.
+      const sql::PExpr* colside = nullptr;
+      if (e.children[0].op == Op::kCol) colside = &e.children[0];
+      if (e.children[1].op == Op::kCol) colside = &e.children[1];
+      if (colside) {
+        double nd = NDistinct(colside->col);
+        if (nd > 0) return std::min(1.0, 1.0 / nd);
+      }
+      return 0.05;
+    }
+    case Op::kNe:
+      return 0.9;
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      const sql::PExpr& l = e.children[0];
+      const sql::PExpr& r = e.children[1];
+      if (l.op == Op::kCol && r.op == Op::kConst) {
+        double f = RangeFraction(Origin(l.col), r.value);
+        return (e.op == Op::kLt || e.op == Op::kLe) ? std::max(f, 0.001)
+                                                    : std::max(1 - f, 0.001);
+      }
+      if (r.op == Op::kCol && l.op == Op::kConst) {
+        double f = RangeFraction(Origin(r.col), l.value);
+        return (e.op == Op::kGt || e.op == Op::kGe) ? std::max(f, 0.001)
+                                                    : std::max(1 - f, 0.001);
+      }
+      return 0.33;
+    }
+    case Op::kLike:
+      return 0.1;
+    case Op::kNotLike:
+      return 0.9;
+    case Op::kIn:
+      return std::min(1.0, 0.05 * (e.children.size() - 1));
+    case Op::kNotIn:
+      return std::max(0.0, 1.0 - 0.05 * (e.children.size() - 1));
+    case Op::kIsNull:
+      return 0.02;
+    case Op::kIsNotNull:
+      return 0.98;
+    default:
+      return 0.25;
+  }
+}
+
+}  // namespace hawq::plan

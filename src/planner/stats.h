@@ -1,0 +1,53 @@
+// Cardinality and selectivity estimation for the cost-based planner.
+//
+// Row counts come from pg_class.reltuples and column statistics from
+// pg_statistic (both populated by ANALYZE / bulk loads). Unknown stats
+// fall back to textbook default selectivities.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "sql/pexpr.h"
+
+namespace hawq::plan {
+
+/// Maps a wide-layout column index to the table column it came from, so
+/// the estimator can look up per-column statistics.
+struct ColOrigin {
+  catalog::TableOid oid = 0;
+  std::string column;
+  double ndistinct = -1;  // cached; <0 unknown
+  Datum min_val, max_val;
+};
+
+class StatsProvider {
+ public:
+  StatsProvider(catalog::Catalog* cat, tx::Transaction* txn)
+      : cat_(cat), txn_(txn) {}
+
+  /// Estimated row count of a base table (1000 when never analyzed).
+  double TableRows(const catalog::TableDesc& t) const {
+    return t.reltuples > 0 ? static_cast<double>(t.reltuples) : 1000.0;
+  }
+
+  /// Register the origin of wide column `flat_col`.
+  void AddOrigin(int flat_col, catalog::TableOid oid,
+                 const std::string& column);
+
+  /// Selectivity of one conjunct over the wide layout.
+  double Selectivity(const sql::PExpr& conjunct) const;
+
+  /// Distinct count of a wide column (<=0 unknown).
+  double NDistinct(int flat_col) const;
+
+ private:
+  const ColOrigin* Origin(int flat_col) const;
+
+  catalog::Catalog* cat_;
+  tx::Transaction* txn_;
+  mutable std::map<int, ColOrigin> origins_;
+};
+
+}  // namespace hawq::plan

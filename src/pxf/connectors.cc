@@ -1,0 +1,295 @@
+#include "pxf/connectors.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "common/string_util.h"
+
+namespace hawq::pxf {
+
+Result<std::pair<std::string, std::string>> ParseLocation(
+    const std::string& url) {
+  // pxf://<service>/<path>?profile=<name>
+  const std::string prefix = "pxf://";
+  if (url.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("PXF location must start with pxf://");
+  }
+  std::string rest = url.substr(prefix.size());
+  auto slash = rest.find('/');
+  if (slash == std::string::npos) {
+    return Status::InvalidArgument("PXF location missing path: " + url);
+  }
+  rest = rest.substr(slash + 1);
+  std::string profile;
+  auto q = rest.find('?');
+  std::string path = rest.substr(0, q);
+  if (q != std::string::npos) {
+    for (const std::string& kv : Split(rest.substr(q + 1), '&')) {
+      auto eq = kv.find('=');
+      if (eq != std::string::npos && ToLower(kv.substr(0, eq)) == "profile") {
+        profile = kv.substr(eq + 1);
+      }
+    }
+  }
+  if (profile.empty()) {
+    return Status::InvalidArgument("PXF location missing ?profile=: " + url);
+  }
+  return std::make_pair(path, profile);
+}
+
+namespace {
+
+Result<Datum> ParseField(const std::string& text, TypeId type) {
+  if (text.empty() || text == "\\N") return Datum::Null();
+  switch (type) {
+    case TypeId::kBool:
+      return Datum::Bool(text == "t" || text == "true" || text == "1");
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return Datum::Int(std::stoll(text));
+    case TypeId::kDouble:
+      return Datum::Double(std::stod(text));
+    case TypeId::kString:
+      return Datum::Str(text);
+    case TypeId::kDate: {
+      HAWQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(text));
+      return Datum::Int(days);
+    }
+  }
+  return Status::InvalidArgument("bad field type");
+}
+
+std::string FormatField(const Datum& d, TypeId type) {
+  if (d.is_null()) return "\\N";
+  if (type == TypeId::kDate) return DateToString(d.as_int());
+  return d.ToString();
+}
+
+class TextReader : public RecordReader {
+ public:
+  TextReader(std::string data, const Schema& schema)
+      : data_(std::move(data)), schema_(schema) {}
+
+  Result<bool> Next(Row* row) override {
+    while (pos_ < data_.size()) {
+      auto nl = data_.find('\n', pos_);
+      std::string line = data_.substr(
+          pos_, nl == std::string::npos ? std::string::npos : nl - pos_);
+      pos_ = nl == std::string::npos ? data_.size() : nl + 1;
+      if (line.empty()) continue;
+      std::vector<std::string> parts = Split(line, '|');
+      if (parts.size() < schema_.num_fields()) {
+        return Status::Corruption("text row has too few fields: " + line);
+      }
+      Row out;
+      for (size_t i = 0; i < schema_.num_fields(); ++i) {
+        HAWQ_ASSIGN_OR_RETURN(Datum d,
+                              ParseField(parts[i], schema_.field(i).type));
+        out.push_back(std::move(d));
+      }
+      *row = std::move(out);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::string data_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+class SeqReader : public RecordReader {
+ public:
+  explicit SeqReader(std::string data)
+      : data_(std::move(data)), reader_(data_.data(), data_.size()) {}
+  Result<bool> Next(Row* row) override {
+    if (reader_.remaining() == 0) return false;
+    HAWQ_ASSIGN_OR_RETURN(*row, DeserializeRow(&reader_));
+    return true;
+  }
+
+ private:
+  std::string data_;
+  BufferReader reader_;
+};
+
+class HBaseReader : public RecordReader {
+ public:
+  HBaseReader(
+      std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+          rows,
+      const Schema& schema)
+      : rows_(std::move(rows)), schema_(schema) {}
+
+  Result<bool> Next(Row* row) override {
+    if (pos_ >= rows_.size()) return false;
+    const auto& [key, cols] = rows_[pos_++];
+    Row out;
+    for (size_t i = 0; i < schema_.num_fields(); ++i) {
+      const Field& f = schema_.field(i);
+      if (i == 0 || IEquals(f.name, "recordkey")) {
+        HAWQ_ASSIGN_OR_RETURN(Datum d, ParseField(key, f.type));
+        out.push_back(std::move(d));
+        continue;
+      }
+      auto it = cols.find(f.name);
+      if (it == cols.end()) {
+        out.push_back(Datum::Null());
+      } else {
+        HAWQ_ASSIGN_OR_RETURN(Datum d, ParseField(it->second, f.type));
+        out.push_back(std::move(d));
+      }
+    }
+    *row = std::move(out);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+      rows_;
+  Schema schema_;
+  size_t pos_ = 0;
+};
+
+std::string AbsolutePath(const std::string& location) {
+  return location.empty() || location[0] == '/' ? location : "/" + location;
+}
+
+Result<std::vector<Fragment>> HdfsFileFragments(hdfs::MiniHdfs* fs,
+                                                const std::string& loc) {
+  std::string location = AbsolutePath(loc);
+  std::vector<Fragment> out;
+  for (const std::string& path : fs->List(location)) {
+    Fragment f;
+    f.source = path;
+    auto locs = fs->GetBlockLocations(path);
+    if (locs.ok() && !locs->empty() && !(*locs)[0].hosts.empty()) {
+      f.preferred_host = (*locs)[0].hosts[0];
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ text
+
+Result<std::vector<Fragment>> HdfsTextConnector::Fragments(
+    const std::string& location) {
+  return HdfsFileFragments(fs_, location);
+}
+
+Result<std::unique_ptr<RecordReader>> HdfsTextConnector::Open(
+    const Fragment& fragment, const Schema& schema,
+    const std::vector<sql::PExpr>& pushdown) {
+  (void)pushdown;  // text source cannot skip data
+  HAWQ_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(fragment.source));
+  return std::unique_ptr<RecordReader>(new TextReader(std::move(data),
+                                                      schema));
+}
+
+Result<ExternalStats> HdfsTextConnector::Analyze(const std::string& location) {
+  ExternalStats stats;
+  int64_t lines = 0;
+  for (const std::string& path : fs_->List(AbsolutePath(location))) {
+    auto data = fs_->ReadFile(path);
+    if (!data.ok()) continue;
+    lines += std::count(data->begin(), data->end(), '\n');
+  }
+  stats.rows = lines;
+  return stats;
+}
+
+// ------------------------------------------------------------ seqfile
+
+Result<std::vector<Fragment>> SeqFileConnector::Fragments(
+    const std::string& location) {
+  return HdfsFileFragments(fs_, location);
+}
+
+Result<std::unique_ptr<RecordReader>> SeqFileConnector::Open(
+    const Fragment& fragment, const Schema& schema,
+    const std::vector<sql::PExpr>& pushdown) {
+  (void)schema;
+  (void)pushdown;
+  HAWQ_ASSIGN_OR_RETURN(std::string data, fs_->ReadFile(fragment.source));
+  return std::unique_ptr<RecordReader>(new SeqReader(std::move(data)));
+}
+
+// ------------------------------------------------------------ hbase
+
+Result<std::vector<Fragment>> HBaseConnector::Fragments(
+    const std::string& location) {
+  HAWQ_ASSIGN_OR_RETURN(auto regions, store_->Regions(location));
+  std::vector<Fragment> out;
+  for (const auto& r : regions) {
+    Fragment f;
+    // Region encoded as "table\x01start\x01end".
+    f.source = location + "\x01" + r.start_key + "\x01" + r.end_key;
+    f.preferred_host = r.host;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<RecordReader>> HBaseConnector::Open(
+    const Fragment& fragment, const Schema& schema,
+    const std::vector<sql::PExpr>& pushdown) {
+  auto parts = Split(fragment.source, '\x01');
+  if (parts.size() != 3) {
+    return Status::InvalidArgument("bad hbase fragment: " + fragment.source);
+  }
+  std::string start = parts[1], end = parts[2];
+  // Filter pushdown (paper §6.3): narrow the region scan with row-key
+  // range predicates (recordkey is column 0).
+  for (const sql::PExpr& p : pushdown) {
+    if (p.children.size() != 2) continue;
+    const sql::PExpr &l = p.children[0], &r = p.children[1];
+    if (l.op != sql::PExpr::Op::kCol || l.col != 0) continue;
+    if (r.op != sql::PExpr::Op::kConst ||
+        r.value.kind != Datum::Kind::kStr) {
+      continue;
+    }
+    const std::string& v = r.value.str;
+    switch (p.op) {
+      case sql::PExpr::Op::kGe:
+        if (start.empty() || v > start) start = v;
+        break;
+      case sql::PExpr::Op::kLt:
+        if (end.empty() || v < end) end = v;
+        break;
+      case sql::PExpr::Op::kEq:
+        start = v;
+        end = v + '\x00';
+        break;
+      default:
+        break;
+    }
+  }
+  return std::unique_ptr<RecordReader>(
+      new HBaseReader(store_->Scan(parts[0], start, end), schema));
+}
+
+Result<ExternalStats> HBaseConnector::Analyze(const std::string& location) {
+  ExternalStats stats;
+  stats.rows = store_->RowCount(location);
+  return stats;
+}
+
+Status WriteTextFile(hdfs::MiniHdfs* fs, const std::string& path,
+                     const Schema& schema, const std::vector<Row>& rows,
+                     int preferred_host) {
+  std::string data;
+  for (const Row& r : rows) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      if (i) data += '|';
+      data += FormatField(r[i], schema.field(i).type);
+    }
+    data += '\n';
+  }
+  return fs->WriteFile(path, data, preferred_host);
+}
+
+}  // namespace hawq::pxf

@@ -1,0 +1,61 @@
+// Built-in PXF connectors (paper §6.1): HDFS delimited text, an HDFS
+// "sequence file" of serialized rows, and the HBase-like store.
+#pragma once
+
+#include "hdfs/hdfs.h"
+#include "pxf/hbase_like.h"
+#include "pxf/pxf.h"
+
+namespace hawq::pxf {
+
+/// Plain text (CSV-ish) files on HDFS. A fragment is one file; locality
+/// comes from its first block's replica hosts. Columns are '|'-delimited.
+class HdfsTextConnector : public Connector {
+ public:
+  explicit HdfsTextConnector(hdfs::MiniHdfs* fs) : fs_(fs) {}
+  Result<std::vector<Fragment>> Fragments(const std::string& location) override;
+  Result<std::unique_ptr<RecordReader>> Open(
+      const Fragment& fragment, const Schema& schema,
+      const std::vector<sql::PExpr>& pushdown) override;
+  Result<ExternalStats> Analyze(const std::string& location) override;
+
+ private:
+  hdfs::MiniHdfs* fs_;
+};
+
+/// Binary "SequenceFile"-style rows (engine serde) on HDFS.
+class SeqFileConnector : public Connector {
+ public:
+  explicit SeqFileConnector(hdfs::MiniHdfs* fs) : fs_(fs) {}
+  Result<std::vector<Fragment>> Fragments(const std::string& location) override;
+  Result<std::unique_ptr<RecordReader>> Open(
+      const Fragment& fragment, const Schema& schema,
+      const std::vector<sql::PExpr>& pushdown) override;
+
+ private:
+  hdfs::MiniHdfs* fs_;
+};
+
+/// HBase-like store connector. A fragment is one region; locality is the
+/// region's host. Row-key range predicates on the first schema column
+/// ("recordkey") are pushed into the region scan.
+class HBaseConnector : public Connector {
+ public:
+  explicit HBaseConnector(HBaseLike* store) : store_(store) {}
+  Result<std::vector<Fragment>> Fragments(const std::string& location) override;
+  Result<std::unique_ptr<RecordReader>> Open(
+      const Fragment& fragment, const Schema& schema,
+      const std::vector<sql::PExpr>& pushdown) override;
+  Result<ExternalStats> Analyze(const std::string& location) override;
+
+ private:
+  HBaseLike* store_;
+};
+
+/// Write rows of `schema` as PXF text files under `path` on HDFS, one
+/// file per "producer" (used by tests/examples to stage external data).
+Status WriteTextFile(hdfs::MiniHdfs* fs, const std::string& path,
+                     const Schema& schema, const std::vector<Row>& rows,
+                     int preferred_host = -1);
+
+}  // namespace hawq::pxf

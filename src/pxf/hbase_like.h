@@ -1,0 +1,106 @@
+// A small HBase-like ordered key-value store, built in-repo so the PXF
+// HBase connector has a real external system to talk to (substitute for
+// the paper's HBase/Accumulo deployments). Tables hold rows addressed by
+// a string row key, with "family:qualifier" columns; rows are kept sorted
+// and served out of range "regions" hosted on specific hosts.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq::pxf {
+
+class HBaseLike {
+ public:
+  explicit HBaseLike(int num_hosts = 4) : num_hosts_(num_hosts) {}
+
+  Status CreateTable(const std::string& table) {
+    std::lock_guard<std::mutex> g(mu_);
+    if (tables_.count(table)) {
+      return Status::AlreadyExists("hbase table exists: " + table);
+    }
+    tables_[table];
+    return Status::OK();
+  }
+
+  Status Put(const std::string& table, const std::string& rowkey,
+             const std::string& column, const std::string& value) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::NotFound("no hbase table " + table);
+    }
+    it->second[rowkey][column] = value;
+    return Status::OK();
+  }
+
+  struct Region {
+    std::string start_key;  // inclusive ("" = begin)
+    std::string end_key;    // exclusive ("" = end)
+    int host = 0;
+  };
+
+  /// Regions of a table: the sorted key space split into ~num_hosts
+  /// contiguous ranges, each "hosted" somewhere.
+  Result<std::vector<Region>> Regions(const std::string& table) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = tables_.find(table);
+    if (it == tables_.end()) {
+      return Status::NotFound("no hbase table " + table);
+    }
+    std::vector<Region> out;
+    size_t n = it->second.size();
+    size_t per = std::max<size_t>(1, (n + num_hosts_ - 1) / num_hosts_);
+    std::string start;
+    size_t i = 0;
+    int host = 0;
+    std::string prev_key;
+    for (const auto& [key, cols] : it->second) {
+      if (i > 0 && i % per == 0) {
+        out.push_back({start, key, host % num_hosts_});
+        start = key;
+        ++host;
+      }
+      prev_key = key;
+      ++i;
+    }
+    out.push_back({start, "", host % num_hosts_});
+    return out;
+  }
+
+  /// Scan rows with start <= key < end ("" = unbounded).
+  std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+  Scan(const std::string& table, const std::string& start,
+       const std::string& end) {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<std::pair<std::string, std::map<std::string, std::string>>>
+        out;
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return out;
+    auto lo = start.empty() ? it->second.begin()
+                            : it->second.lower_bound(start);
+    for (auto r = lo; r != it->second.end(); ++r) {
+      if (!end.empty() && r->first >= end) break;
+      out.emplace_back(r->first, r->second);
+    }
+    return out;
+  }
+
+  int64_t RowCount(const std::string& table) {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = tables_.find(table);
+    return it == tables_.end() ? -1 : static_cast<int64_t>(it->second.size());
+  }
+
+ private:
+  int num_hosts_;
+  std::mutex mu_;
+  std::map<std::string, std::map<std::string, std::map<std::string, std::string>>>
+      tables_;
+};
+
+}  // namespace hawq::pxf

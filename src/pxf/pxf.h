@@ -1,0 +1,87 @@
+// Pivotal Extension Framework (PXF), paper §6.
+//
+// Connects the engine to external data stores through a parallel connector
+// API. A connector implements the paper's three required plugins and the
+// optional fourth:
+//   - Fragmenter: split a data source into fragments with locality,
+//   - Accessor:   read the records of one fragment,
+//   - Resolver:   turn records into typed engine rows,
+//   - Analyzer:   (optional) estimate statistics for the planner.
+// Accessor+Resolver are fused into RecordReader here; filter pushdown is
+// passed to Open so connectors can skip data at the source.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "sql/pexpr.h"
+
+namespace hawq::pxf {
+
+/// One parallel unit of work with its locality hint.
+struct Fragment {
+  std::string source;       // connector-specific (file path, region id, ...)
+  int preferred_host = -1;  // segment/host holding the data (-1: anywhere)
+};
+
+struct ExternalStats {
+  int64_t rows = -1;
+};
+
+/// Accessor+Resolver: streams typed rows out of one fragment.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+class Connector {
+ public:
+  virtual ~Connector() = default;
+
+  /// Fragmenter: list the fragments of `location` (path part of the URL).
+  virtual Result<std::vector<Fragment>> Fragments(
+      const std::string& location) = 0;
+
+  /// Open one fragment. `pushdown` are single-table predicates over the
+  /// external schema the connector MAY apply at the source (the engine
+  /// re-checks them, so applying none is always correct).
+  virtual Result<std::unique_ptr<RecordReader>> Open(
+      const Fragment& fragment, const Schema& schema,
+      const std::vector<sql::PExpr>& pushdown) = 0;
+
+  /// Analyzer: estimate statistics (planner input for ANALYZE on external
+  /// tables).
+  virtual Result<ExternalStats> Analyze(const std::string& location) {
+    (void)location;
+    return Status::NotSupported("connector has no analyzer");
+  }
+};
+
+/// Profile-name -> connector registry.
+class Registry {
+ public:
+  void Register(const std::string& profile, std::unique_ptr<Connector> c) {
+    connectors_[profile] = std::move(c);
+  }
+  Result<Connector*> Get(const std::string& profile) const {
+    auto it = connectors_.find(profile);
+    if (it == connectors_.end()) {
+      return Status::NotFound("no PXF connector for profile " + profile);
+    }
+    return it->second.get();
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Connector>> connectors_;
+};
+
+/// Parse "pxf://<svc>/<path>?profile=<name>" into {path, profile}.
+Result<std::pair<std::string, std::string>> ParseLocation(
+    const std::string& url);
+
+}  // namespace hawq::pxf

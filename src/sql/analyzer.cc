@@ -1,0 +1,727 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace hawq::sql {
+
+namespace {
+
+// Sentinel column spaces used while lowering aggregate queries. Aggregate
+// results and group-key references are kept out of the flat space until
+// FinalizeAggExpr maps them into the aggregate-output layout.
+constexpr int kAggSentinelBase = -1000;
+constexpr int kGroupSentinelBase = -100000;
+
+struct ScopeEntry {
+  std::string alias;
+  Schema schema;  // copied: BoundQuery::rels may reallocate while binding
+  int col_start;
+  bool priority = false;  // subquery's own rel wins unqualified lookups
+};
+
+class Analyzer {
+ public:
+  Analyzer(catalog::Catalog* cat, tx::Transaction* txn)
+      : cat_(cat), txn_(txn) {}
+
+  Result<std::unique_ptr<BoundQuery>> Run(const SelectStmt& stmt) {
+    bound_ = std::make_unique<BoundQuery>();
+    HAWQ_RETURN_IF_ERROR(BindFrom(stmt));
+    HAWQ_RETURN_IF_ERROR(LowerWhere(stmt));
+    HAWQ_RETURN_IF_ERROR(LowerGroupBy(stmt));
+    HAWQ_RETURN_IF_ERROR(LowerSelect(stmt));
+    HAWQ_RETURN_IF_ERROR(LowerHaving(stmt));
+    HAWQ_RETURN_IF_ERROR(LowerOrderBy(stmt));
+    bound_->limit = stmt.limit;
+    bound_->distinct = stmt.distinct;
+    bound_->total_flat_cols = next_col_;
+    return std::move(bound_);
+  }
+
+ private:
+  // ------------------------------------------------------------- scope
+  Result<std::pair<int, TypeId>> ResolveColumn(const std::string& qualifier,
+                                               const std::string& name) {
+    int found_col = -1;
+    TypeId found_type = TypeId::kInt64;
+    int matches = 0;
+    bool priority_match = false;
+    for (const ScopeEntry& e : scope_) {
+      if (!qualifier.empty() && !IEquals(e.alias, qualifier)) continue;
+      int idx = e.schema.FindField(name);
+      if (idx < 0) continue;
+      if (e.priority && !priority_match) {
+        // Inner subquery relation shadows outer names.
+        found_col = e.col_start + idx;
+        found_type = e.schema.field(idx).type;
+        matches = 1;
+        priority_match = true;
+        continue;
+      }
+      if (priority_match) continue;
+      ++matches;
+      found_col = e.col_start + idx;
+      found_type = e.schema.field(idx).type;
+    }
+    if (matches == 0) {
+      return Status::InvalidArgument(
+          "column not found: " +
+          (qualifier.empty() ? name : qualifier + "." + name));
+    }
+    if (matches > 1) {
+      return Status::InvalidArgument("ambiguous column: " + name);
+    }
+    return std::make_pair(found_col, found_type);
+  }
+
+  // -------------------------------------------------------------- FROM
+  Status BindFrom(const SelectStmt& stmt) {
+    for (const TableRef& ref : stmt.from) {
+      BoundRel rel;
+      rel.alias = ref.alias.empty() ? ref.name : ref.alias;
+      if (ref.derived) {
+        Analyzer sub(cat_, txn_);
+        HAWQ_ASSIGN_OR_RETURN(rel.derived, sub.Run(*ref.derived));
+        rel.kind = BoundRel::Kind::kDerived;
+        rel.schema = rel.derived->OutputSchema();
+      } else {
+        HAWQ_ASSIGN_OR_RETURN(rel.desc, cat_->GetTable(txn_, ref.name));
+        rel.kind = BoundRel::Kind::kBase;
+        rel.schema = rel.desc.ToSchema();
+      }
+      rel.col_start = next_col_;
+      next_col_ += static_cast<int>(rel.schema.num_fields());
+      rel.join = ref.join == TableRef::Join::kLeft ? BoundRel::Join::kLeft
+                                                   : BoundRel::Join::kInner;
+      bound_->rels.push_back(std::move(rel));
+      scope_.push_back({bound_->rels.back().alias, bound_->rels.back().schema,
+                        bound_->rels.back().col_start});
+      if (ref.on) {
+        BoundRel& r = bound_->rels.back();
+        if (ref.join == TableRef::Join::kLeft) {
+          HAWQ_RETURN_IF_ERROR(
+              LowerJoinCondition(*ref.on, &r, /*allow_outer_refs=*/true));
+        } else {
+          // Inner join ON folds into WHERE.
+          HAWQ_RETURN_IF_ERROR(LowerConjunctTree(*ref.on));
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Split a LEFT/SEMI/ANTI join condition: conjuncts touching only `rel`
+  /// become local filters; the rest become join conjuncts.
+  Status LowerJoinCondition(const Expr& e, BoundRel* rel, bool allow_outer_refs) {
+    (void)allow_outer_refs;
+    if (e.kind == Expr::Kind::kBinary && IEquals(e.op, "AND")) {
+      HAWQ_RETURN_IF_ERROR(LowerJoinCondition(*e.children[0], rel, true));
+      return LowerJoinCondition(*e.children[1], rel, true);
+    }
+    HAWQ_ASSIGN_OR_RETURN(PExpr p, LowerScalar(e));
+    std::vector<int> cols;
+    p.CollectCols(&cols);
+    int lo = rel->col_start;
+    int hi = rel->col_start + static_cast<int>(rel->schema.num_fields());
+    bool only_rel = true;
+    for (int c : cols) {
+      if (c < lo || c >= hi) only_rel = false;
+    }
+    if (only_rel) {
+      rel->local_conjuncts.push_back(std::move(p));
+    } else {
+      rel->on_conjuncts.push_back(std::move(p));
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------- WHERE
+  Status LowerWhere(const SelectStmt& stmt) {
+    if (!stmt.where) return Status::OK();
+    return LowerConjunctTree(*stmt.where);
+  }
+
+  Status LowerConjunctTree(const Expr& e) {
+    if (e.kind == Expr::Kind::kBinary && IEquals(e.op, "AND")) {
+      HAWQ_RETURN_IF_ERROR(LowerConjunctTree(*e.children[0]));
+      return LowerConjunctTree(*e.children[1]);
+    }
+    if (e.kind == Expr::Kind::kExists) {
+      return RewriteSubqueryJoin(*e.subquery, e.negated, nullptr);
+    }
+    if (e.kind == Expr::Kind::kInSubquery) {
+      return RewriteSubqueryJoin(*e.subquery, e.negated, e.children[0].get());
+    }
+    HAWQ_ASSIGN_OR_RETURN(PExpr p, LowerScalar(e));
+    bound_->conjuncts.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  /// Rewrite [NOT] EXISTS / [NOT] IN (subquery) into a semi/anti-joined
+  /// relation.
+  Status RewriteSubqueryJoin(const SelectStmt& sub, bool negated,
+                             const Expr* in_lhs) {
+    PExpr lhs;
+    if (in_lhs) {
+      HAWQ_ASSIGN_OR_RETURN(lhs, LowerScalar(*in_lhs));
+    }
+    bool simple = sub.group_by.empty() && sub.from.size() == 1 &&
+                  !sub.from[0].derived && sub.order_by.empty() &&
+                  sub.limit < 0 && !HasAggregates(sub);
+    BoundRel rel;
+    rel.join = negated ? BoundRel::Join::kAnti : BoundRel::Join::kSemi;
+    if (simple) {
+      // Bind the subquery table into this query's flat space; correlated
+      // references resolve against the outer scope.
+      const TableRef& ref = sub.from[0];
+      rel.alias = ref.alias.empty() ? ref.name : ref.alias;
+      HAWQ_ASSIGN_OR_RETURN(rel.desc, cat_->GetTable(txn_, ref.name));
+      rel.kind = BoundRel::Kind::kBase;
+      rel.schema = rel.desc.ToSchema();
+      rel.col_start = next_col_;
+      next_col_ += static_cast<int>(rel.schema.num_fields());
+      bound_->rels.push_back(std::move(rel));
+      BoundRel& r = bound_->rels.back();
+      scope_.push_back({r.alias, r.schema, r.col_start, /*priority=*/true});
+      if (in_lhs) {
+        // lhs IN (SELECT item ...): equality with the subquery's item.
+        if (sub.items.size() != 1 || !sub.items[0].expr) {
+          return Status::InvalidArgument("IN subquery must select one column");
+        }
+        HAWQ_ASSIGN_OR_RETURN(PExpr item, LowerScalar(*sub.items[0].expr));
+        r.on_conjuncts.push_back(PExpr::Binary(PExpr::Op::kEq, std::move(lhs),
+                                               std::move(item),
+                                               TypeId::kBool));
+      }
+      if (sub.where) {
+        HAWQ_RETURN_IF_ERROR(LowerJoinCondition(*sub.where, &r, true));
+      }
+      scope_.back().priority = false;  // keep columns addressable? no:
+      scope_.pop_back();  // subquery names leave scope
+      return Status::OK();
+    }
+    // General shape: analyze the subquery standalone as a derived relation.
+    Analyzer inner(cat_, txn_);
+    HAWQ_ASSIGN_OR_RETURN(rel.derived, inner.Run(sub));
+    rel.kind = BoundRel::Kind::kDerived;
+    rel.alias = "";
+    rel.schema = rel.derived->OutputSchema();
+    rel.col_start = next_col_;
+    next_col_ += static_cast<int>(rel.schema.num_fields());
+    if (in_lhs) {
+      PExpr rhs = PExpr::Col(rel.col_start, rel.schema.field(0).type);
+      rel.on_conjuncts.push_back(PExpr::Binary(PExpr::Op::kEq, std::move(lhs),
+                                               std::move(rhs), TypeId::kBool));
+    }
+    bound_->rels.push_back(std::move(rel));
+    return Status::OK();
+  }
+
+  static bool HasAggregates(const SelectStmt& stmt) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr && ExprHasAgg(*item.expr)) return true;
+    }
+    if (stmt.having && ExprHasAgg(*stmt.having)) return true;
+    return false;
+  }
+
+  static bool IsAggName(const std::string& n) {
+    return n == "sum" || n == "count" || n == "avg" || n == "min" ||
+           n == "max";
+  }
+
+  static bool ExprHasAgg(const Expr& e) {
+    if (e.kind == Expr::Kind::kFunc && IsAggName(e.name)) return true;
+    for (const auto& c : e.children) {
+      if (c && ExprHasAgg(*c)) return true;
+    }
+    return false;
+  }
+
+  // ------------------------------------------------------- aggregation
+  Status LowerGroupBy(const SelectStmt& stmt) {
+    for (const ExprPtr& g : stmt.group_by) {
+      // GROUP BY <ordinal> and GROUP BY <select alias> resolve to the
+      // matching select-list expression (PostgreSQL behaviour).
+      const Expr* target = g.get();
+      if (g->kind == Expr::Kind::kLiteral &&
+          g->value.kind == Datum::Kind::kInt) {
+        int64_t ord = g->value.as_int();
+        if (ord < 1 || ord > static_cast<int64_t>(stmt.items.size())) {
+          return Status::InvalidArgument("GROUP BY ordinal out of range");
+        }
+        target = stmt.items[ord - 1].expr.get();
+      } else if (g->kind == Expr::Kind::kColumn && g->qualifier.empty() &&
+                 !ResolveColumn("", g->name).ok()) {
+        for (const SelectItem& item : stmt.items) {
+          if (IEquals(item.alias, g->name)) {
+            target = item.expr.get();
+            break;
+          }
+        }
+      }
+      HAWQ_ASSIGN_OR_RETURN(PExpr p, LowerScalar(*target));
+      group_fps_.push_back(p.Fingerprint());
+      bound_->group_by.push_back(std::move(p));
+    }
+    bound_->has_agg = !stmt.group_by.empty() || HasAggregates(stmt);
+    return Status::OK();
+  }
+
+  Status LowerSelect(const SelectStmt& stmt) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr->kind == Expr::Kind::kStar) {
+        HAWQ_RETURN_IF_ERROR(ExpandStar(item.expr->qualifier));
+        continue;
+      }
+      HAWQ_ASSIGN_OR_RETURN(PExpr p, LowerMaybeAgg(*item.expr));
+      std::string name = item.alias;
+      if (name.empty()) {
+        name = item.expr->kind == Expr::Kind::kColumn
+                   ? item.expr->name
+                   : "?column" + std::to_string(bound_->select.size());
+      }
+      bound_->out_names.push_back(ToLower(name));
+      bound_->out_types.push_back(p.out_type);
+      bound_->select.push_back(std::move(p));
+    }
+    bound_->n_visible = static_cast<int>(bound_->select.size());
+    return Status::OK();
+  }
+
+  Status ExpandStar(const std::string& qualifier) {
+    if (bound_->has_agg) {
+      return Status::InvalidArgument("* not allowed with aggregation");
+    }
+    bool any = false;
+    for (const BoundRel& rel : bound_->rels) {
+      if (rel.join == BoundRel::Join::kSemi ||
+          rel.join == BoundRel::Join::kAnti) {
+        continue;  // semi/anti rels produce no output columns
+      }
+      if (!qualifier.empty() && !IEquals(rel.alias, qualifier)) continue;
+      any = true;
+      for (size_t i = 0; i < rel.schema.num_fields(); ++i) {
+        const Field& f = rel.schema.field(i);
+        bound_->select.push_back(
+            PExpr::Col(rel.col_start + static_cast<int>(i), f.type));
+        bound_->out_names.push_back(ToLower(f.name));
+        bound_->out_types.push_back(f.type);
+      }
+    }
+    if (!any) {
+      return Status::InvalidArgument("unknown table in *: " + qualifier);
+    }
+    return Status::OK();
+  }
+
+  Status LowerHaving(const SelectStmt& stmt) {
+    if (!stmt.having) return Status::OK();
+    if (!bound_->has_agg) {
+      return Status::InvalidArgument("HAVING requires aggregation");
+    }
+    HAWQ_ASSIGN_OR_RETURN(bound_->having, LowerMaybeAgg(*stmt.having));
+    bound_->has_having = true;
+    return Status::OK();
+  }
+
+  Status LowerOrderBy(const SelectStmt& stmt) {
+    for (const OrderItem& item : stmt.order_by) {
+      BoundOrder bo;
+      bo.desc = item.desc;
+      // Ordinal.
+      if (item.expr->kind == Expr::Kind::kLiteral &&
+          item.expr->value.kind == Datum::Kind::kInt) {
+        bo.out_index = static_cast<int>(item.expr->value.as_int()) - 1;
+        if (bo.out_index < 0 ||
+            bo.out_index >= static_cast<int>(bound_->select.size())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        bound_->order_by.push_back(bo);
+        continue;
+      }
+      // Alias.
+      if (item.expr->kind == Expr::Kind::kColumn &&
+          item.expr->qualifier.empty()) {
+        int idx = -1;
+        for (size_t i = 0; i < bound_->out_names.size(); ++i) {
+          if (IEquals(bound_->out_names[i], item.expr->name)) {
+            idx = static_cast<int>(i);
+            break;
+          }
+        }
+        if (idx >= 0) {
+          bo.out_index = idx;
+          bound_->order_by.push_back(bo);
+          continue;
+        }
+      }
+      // Structural match against a select expression.
+      HAWQ_ASSIGN_OR_RETURN(PExpr p, LowerMaybeAgg(*item.expr));
+      std::string fp = p.Fingerprint();
+      int idx = -1;
+      for (size_t i = 0; i < bound_->select.size(); ++i) {
+        if (bound_->select[i].Fingerprint() == fp) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        // Hidden sort key: append, trimmed after the final sort.
+        bound_->out_names.push_back("__sort" +
+                                    std::to_string(bound_->select.size()));
+        bound_->out_types.push_back(p.out_type);
+        bound_->select.push_back(std::move(p));
+        idx = static_cast<int>(bound_->select.size()) - 1;
+      }
+      bo.out_index = idx;
+      bound_->order_by.push_back(bo);
+    }
+    return Status::OK();
+  }
+
+  /// Lower an expression that may contain aggregates; in aggregate queries
+  /// the result is mapped into the aggregate-output layout.
+  Result<PExpr> LowerMaybeAgg(const Expr& e) {
+    HAWQ_ASSIGN_OR_RETURN(PExpr p, Lower(e, bound_->has_agg));
+    if (!bound_->has_agg) return p;
+    ReplaceGroupRefs(&p);
+    HAWQ_RETURN_IF_ERROR(CheckNoFlatRefs(p));
+    MapSentinels(&p);
+    return p;
+  }
+
+  /// Top-down: subtrees structurally equal to a GROUP BY expression become
+  /// group-column references.
+  void ReplaceGroupRefs(PExpr* p) {
+    std::string fp = p->Fingerprint();
+    for (size_t g = 0; g < group_fps_.size(); ++g) {
+      if (group_fps_[g] == fp) {
+        TypeId t = p->out_type;
+        *p = PExpr::Col(kGroupSentinelBase - static_cast<int>(g), t);
+        return;
+      }
+    }
+    for (PExpr& c : p->children) ReplaceGroupRefs(&c);
+  }
+
+  Status CheckNoFlatRefs(const PExpr& p) const {
+    if (p.op == PExpr::Op::kCol && p.col >= 0) {
+      return Status::InvalidArgument(
+          "column $" + std::to_string(p.col) +
+          " must appear in GROUP BY or inside an aggregate");
+    }
+    for (const PExpr& c : p.children) HAWQ_RETURN_IF_ERROR(CheckNoFlatRefs(c));
+    return Status::OK();
+  }
+
+  void MapSentinels(PExpr* p) const {
+    if (p->op == PExpr::Op::kCol) {
+      if (p->col <= kGroupSentinelBase) {
+        p->col = kGroupSentinelBase - p->col;
+      } else if (p->col <= kAggSentinelBase) {
+        p->col = static_cast<int>(bound_->group_by.size()) +
+                 (kAggSentinelBase - p->col);
+      }
+    }
+    for (PExpr& c : p->children) MapSentinels(&c);
+  }
+
+  // ------------------------------------------------------ expr lowering
+  Result<PExpr> LowerScalar(const Expr& e) { return Lower(e, false); }
+
+  Result<PExpr> Lower(const Expr& e, bool allow_agg) {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral: {
+        TypeId t = TypeId::kString;
+        switch (e.value.kind) {
+          case Datum::Kind::kInt:
+            t = e.name == "date" ? TypeId::kDate : TypeId::kInt64;
+            break;
+          case Datum::Kind::kDouble: t = TypeId::kDouble; break;
+          case Datum::Kind::kBool: t = TypeId::kBool; break;
+          default: break;
+        }
+        PExpr p = PExpr::Const(e.value, t);
+        if (!e.name.empty()) p.func = e.name;  // carries interval_* marker
+        return p;
+      }
+      case Expr::Kind::kColumn: {
+        HAWQ_ASSIGN_OR_RETURN(auto rc, ResolveColumn(e.qualifier, e.name));
+        return PExpr::Col(rc.first, rc.second);
+      }
+      case Expr::Kind::kStar:
+        return Status::InvalidArgument("* not valid here");
+      case Expr::Kind::kBinary:
+        return LowerBinary(e, allow_agg);
+      case Expr::Kind::kUnary: {
+        HAWQ_ASSIGN_OR_RETURN(PExpr c, Lower(*e.children[0], allow_agg));
+        PExpr p;
+        p.op = IEquals(e.op, "NOT") ? PExpr::Op::kNot : PExpr::Op::kNeg;
+        p.out_type = p.op == PExpr::Op::kNot ? TypeId::kBool : c.out_type;
+        p.children.push_back(std::move(c));
+        return p;
+      }
+      case Expr::Kind::kFunc:
+        return LowerFunc(e, allow_agg);
+      case Expr::Kind::kCase: {
+        PExpr p;
+        p.op = PExpr::Op::kCase;
+        p.out_type = TypeId::kDouble;
+        for (size_t i = 0; i < e.children.size(); ++i) {
+          HAWQ_ASSIGN_OR_RETURN(PExpr c, Lower(*e.children[i], allow_agg));
+          // Result type: type of the first THEN branch.
+          if (i == 1) p.out_type = c.out_type;
+          p.children.push_back(std::move(c));
+        }
+        return p;
+      }
+      case Expr::Kind::kIn: {
+        PExpr p;
+        p.op = e.negated ? PExpr::Op::kNotIn : PExpr::Op::kIn;
+        p.out_type = TypeId::kBool;
+        for (const auto& c : e.children) {
+          HAWQ_ASSIGN_OR_RETURN(PExpr pc, Lower(*c, allow_agg));
+          p.children.push_back(std::move(pc));
+        }
+        return p;
+      }
+      case Expr::Kind::kBetween: {
+        HAWQ_ASSIGN_OR_RETURN(PExpr x, Lower(*e.children[0], allow_agg));
+        HAWQ_ASSIGN_OR_RETURN(PExpr lo, Lower(*e.children[1], allow_agg));
+        HAWQ_ASSIGN_OR_RETURN(PExpr hi, Lower(*e.children[2], allow_agg));
+        PExpr x2 = x;
+        PExpr ge = PExpr::Binary(PExpr::Op::kGe, std::move(x), std::move(lo),
+                                 TypeId::kBool);
+        PExpr le = PExpr::Binary(PExpr::Op::kLe, std::move(x2), std::move(hi),
+                                 TypeId::kBool);
+        PExpr both = PExpr::Binary(PExpr::Op::kAnd, std::move(ge),
+                                   std::move(le), TypeId::kBool);
+        if (!e.negated) return both;
+        PExpr p;
+        p.op = PExpr::Op::kNot;
+        p.out_type = TypeId::kBool;
+        p.children.push_back(std::move(both));
+        return p;
+      }
+      case Expr::Kind::kLike: {
+        HAWQ_ASSIGN_OR_RETURN(PExpr x, Lower(*e.children[0], allow_agg));
+        HAWQ_ASSIGN_OR_RETURN(PExpr pat, Lower(*e.children[1], allow_agg));
+        return PExpr::Binary(
+            e.negated ? PExpr::Op::kNotLike : PExpr::Op::kLike, std::move(x),
+            std::move(pat), TypeId::kBool);
+      }
+      case Expr::Kind::kIsNull: {
+        HAWQ_ASSIGN_OR_RETURN(PExpr x, Lower(*e.children[0], allow_agg));
+        PExpr p;
+        p.op = e.negated ? PExpr::Op::kIsNotNull : PExpr::Op::kIsNull;
+        p.out_type = TypeId::kBool;
+        p.children.push_back(std::move(x));
+        return p;
+      }
+      case Expr::Kind::kSubquery: {
+        Analyzer inner(cat_, txn_);
+        HAWQ_ASSIGN_OR_RETURN(auto sub, inner.Run(*e.subquery));
+        if (sub->select.size() != 1) {
+          return Status::InvalidArgument(
+              "scalar subquery must return one column");
+        }
+        PExpr p;
+        p.op = PExpr::Op::kScalarSubquery;
+        p.out_type = sub->out_types[0];
+        p.subquery_idx = static_cast<int>(bound_->scalar_subqueries.size());
+        bound_->scalar_subqueries.push_back(std::move(sub));
+        return p;
+      }
+      case Expr::Kind::kExists:
+      case Expr::Kind::kInSubquery:
+        return Status::NotSupported(
+            "EXISTS/IN subqueries are only supported as top-level WHERE "
+            "conjuncts");
+    }
+    return Status::Internal("unhandled expression kind");
+  }
+
+  Result<PExpr> LowerBinary(const Expr& e, bool allow_agg) {
+    const std::string& op = e.op;
+    HAWQ_ASSIGN_OR_RETURN(PExpr l, Lower(*e.children[0], allow_agg));
+    HAWQ_ASSIGN_OR_RETURN(PExpr r, Lower(*e.children[1], allow_agg));
+    // Date +/- INTERVAL rewrites.
+    if ((op == "+" || op == "-")) {
+      auto is_interval = [](const PExpr& p, const char* unit) {
+        return p.op == PExpr::Op::kConst &&
+               p.func == std::string("interval_") + unit;
+      };
+      for (int side = 0; side < 2; ++side) {
+        PExpr& iv = side == 0 ? r : l;
+        PExpr& other = side == 0 ? l : r;
+        if (side == 1 && op == "-") break;  // interval - date is invalid
+        if (is_interval(iv, "month")) {
+          int64_t months = iv.value.as_int() * (op == "-" ? -1 : 1);
+          PExpr p;
+          p.op = PExpr::Op::kFunc;
+          p.func = "add_months";
+          p.out_type = TypeId::kDate;
+          p.children.push_back(std::move(other));
+          p.children.push_back(
+              PExpr::Const(Datum::Int(months), TypeId::kInt64));
+          return p;
+        }
+        if (is_interval(iv, "day")) {
+          iv.func.clear();  // plain day arithmetic on the epoch-day value
+          PExpr p = PExpr::Binary(
+              op == "-" ? PExpr::Op::kSub : PExpr::Op::kAdd,
+              std::move(l), std::move(r), TypeId::kDate);
+          return p;
+        }
+      }
+    }
+    static const std::map<std::string, PExpr::Op> kOps = {
+        {"+", PExpr::Op::kAdd}, {"-", PExpr::Op::kSub},
+        {"*", PExpr::Op::kMul}, {"/", PExpr::Op::kDiv},
+        {"%", PExpr::Op::kMod}, {"=", PExpr::Op::kEq},
+        {"<>", PExpr::Op::kNe}, {"<", PExpr::Op::kLt},
+        {"<=", PExpr::Op::kLe}, {">", PExpr::Op::kGt},
+        {">=", PExpr::Op::kGe}, {"||", PExpr::Op::kConcat},
+    };
+    PExpr::Op pop;
+    if (IEquals(op, "AND")) {
+      pop = PExpr::Op::kAnd;
+    } else if (IEquals(op, "OR")) {
+      pop = PExpr::Op::kOr;
+    } else {
+      auto it = kOps.find(op);
+      if (it == kOps.end()) {
+        return Status::InvalidArgument("unknown operator: " + op);
+      }
+      pop = it->second;
+    }
+    TypeId t;
+    switch (pop) {
+      case PExpr::Op::kAdd:
+      case PExpr::Op::kSub:
+      case PExpr::Op::kMul:
+      case PExpr::Op::kDiv:
+      case PExpr::Op::kMod:
+        t = (l.out_type == TypeId::kDouble || r.out_type == TypeId::kDouble)
+                ? TypeId::kDouble
+                : (l.out_type == TypeId::kDate || r.out_type == TypeId::kDate)
+                      ? TypeId::kDate
+                      : TypeId::kInt64;
+        break;
+      case PExpr::Op::kConcat:
+        t = TypeId::kString;
+        break;
+      default:
+        t = TypeId::kBool;
+    }
+    // Coerce string literals compared against dates into day numbers.
+    if (t == TypeId::kBool) {
+      auto coerce = [](PExpr* lit, const PExpr& other) {
+        if (other.out_type == TypeId::kDate && lit->op == PExpr::Op::kConst &&
+            lit->value.kind == Datum::Kind::kStr) {
+          auto days = ParseDate(lit->value.str);
+          if (days.ok()) {
+            lit->value = Datum::Int(*days);
+            lit->out_type = TypeId::kDate;
+          }
+        }
+      };
+      coerce(&l, r);
+      coerce(&r, l);
+    }
+    return PExpr::Binary(pop, std::move(l), std::move(r), t);
+  }
+
+  Result<PExpr> LowerFunc(const Expr& e, bool allow_agg) {
+    std::string name = ToLower(e.name);
+    if (IsAggName(name)) {
+      if (!allow_agg) {
+        return Status::InvalidArgument("aggregate " + name +
+                                       " not allowed here");
+      }
+      AggSpec spec;
+      spec.distinct = e.distinct;
+      if (name == "count") {
+        spec.kind = AggSpec::Kind::kCount;
+        spec.out_type = TypeId::kInt64;
+        if (e.children.empty() ||
+            e.children[0]->kind == Expr::Kind::kStar) {
+          spec.count_star = true;
+        } else {
+          HAWQ_ASSIGN_OR_RETURN(spec.arg, LowerScalar(*e.children[0]));
+        }
+      } else {
+        if (e.children.empty()) {
+          return Status::InvalidArgument(name + " requires an argument");
+        }
+        HAWQ_ASSIGN_OR_RETURN(spec.arg, LowerScalar(*e.children[0]));
+        if (name == "sum") {
+          spec.kind = AggSpec::Kind::kSum;
+          spec.out_type = spec.arg.out_type == TypeId::kDouble
+                              ? TypeId::kDouble
+                              : TypeId::kInt64;
+        } else if (name == "avg") {
+          spec.kind = AggSpec::Kind::kAvg;
+          spec.out_type = TypeId::kDouble;
+        } else if (name == "min") {
+          spec.kind = AggSpec::Kind::kMin;
+          spec.out_type = spec.arg.out_type;
+        } else {
+          spec.kind = AggSpec::Kind::kMax;
+          spec.out_type = spec.arg.out_type;
+        }
+      }
+      int idx = static_cast<int>(bound_->aggs.size());
+      TypeId t = spec.out_type;
+      bound_->aggs.push_back(std::move(spec));
+      return PExpr::Col(kAggSentinelBase - idx, t);
+    }
+    // Scalar functions.
+    PExpr p;
+    p.op = PExpr::Op::kFunc;
+    p.func = name;
+    for (const auto& c : e.children) {
+      HAWQ_ASSIGN_OR_RETURN(PExpr pc, Lower(*c, allow_agg));
+      p.children.push_back(std::move(pc));
+    }
+    if (name == "year" || name == "month" || name == "day" ||
+        name == "length" || name == "strpos") {
+      p.out_type = TypeId::kInt64;
+    } else if (name == "substr" || name == "substring" || name == "upper" ||
+               name == "lower") {
+      p.out_type = TypeId::kString;
+    } else if (name == "round") {
+      p.out_type = TypeId::kDouble;
+    } else if (name == "add_months") {
+      p.out_type = TypeId::kDate;
+    } else if (name == "abs" || name == "coalesce") {
+      p.out_type = p.children.empty() ? TypeId::kDouble
+                                      : p.children[0].out_type;
+    } else {
+      return Status::InvalidArgument("unknown function: " + name);
+    }
+    return p;
+  }
+
+  catalog::Catalog* cat_;
+  tx::Transaction* txn_;
+  std::unique_ptr<BoundQuery> bound_;
+  std::vector<ScopeEntry> scope_;
+  std::vector<std::string> group_fps_;
+  int next_col_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<BoundQuery>> Analyze(catalog::Catalog* cat,
+                                            tx::Transaction* txn,
+                                            const SelectStmt& stmt) {
+  Analyzer a(cat, txn);
+  return a.Run(stmt);
+}
+
+}  // namespace hawq::sql

@@ -1,0 +1,97 @@
+// Semantic analysis: binds a parsed SELECT against the catalog and lowers
+// it to a BoundQuery — flat-layout physical expressions plus structured
+// join/aggregation/order information the cost-based planner consumes.
+//
+// Subquery handling:
+//   - scalar subqueries become placeholders, pre-executed by the engine;
+//   - [NOT] EXISTS / [NOT] IN (SELECT ...) become semi/anti-joined
+//     relations (single-table subqueries join directly; aggregated
+//     subqueries become derived relations).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/pexpr.h"
+
+namespace hawq::sql {
+
+struct BoundQuery;
+
+/// One relation in the bound FROM list. Columns of all relations form one
+/// flat row layout: rel i owns [col_start, col_start + schema.num_fields).
+struct BoundRel {
+  enum class Kind { kBase, kDerived };
+  enum class Join { kInner, kLeft, kSemi, kAnti };
+
+  Kind kind = Kind::kBase;
+  catalog::TableDesc desc;                // kBase (may be partitioned parent)
+  std::unique_ptr<BoundQuery> derived;    // kDerived
+  std::string alias;
+  Schema schema;
+  int col_start = 0;
+  Join join = Join::kInner;  // how this rel joins the ones before it
+  /// Join conjuncts for LEFT/SEMI/ANTI joins (flat layout, reference both
+  /// sides); inner-join conditions live in BoundQuery::conjuncts instead.
+  std::vector<PExpr> on_conjuncts;
+  /// Predicates referencing only this rel, applied before LEFT/SEMI/ANTI
+  /// joins build their hash side (outer-join/anti-join correctness).
+  std::vector<PExpr> local_conjuncts;
+};
+
+struct BoundOrder {
+  int out_index = 0;  // index into the select list
+  bool desc = false;
+};
+
+/// Analyzer output: everything the planner needs.
+struct BoundQuery {
+  std::vector<BoundRel> rels;
+  /// WHERE (and inner-join ON) split into AND-conjuncts, flat layout.
+  std::vector<PExpr> conjuncts;
+
+  bool has_agg = false;
+  std::vector<PExpr> group_by;  // flat layout
+  std::vector<AggSpec> aggs;    // args in flat layout
+
+  /// Output expressions. Layout: flat when !has_agg; otherwise over the
+  /// aggregate result row [group values..., aggregate values...].
+  std::vector<PExpr> select;
+  std::vector<std::string> out_names;
+  std::vector<TypeId> out_types;
+
+  bool has_having = false;
+  PExpr having;  // aggregate-result layout
+
+  std::vector<BoundOrder> order_by;
+  int64_t limit = -1;
+  bool distinct = false;
+
+  /// Uncorrelated scalar subqueries; the engine executes these first and
+  /// binds their single value into kScalarSubquery placeholders.
+  std::vector<std::unique_ptr<BoundQuery>> scalar_subqueries;
+
+  int total_flat_cols = 0;
+  /// First `n_visible` select items are user-visible; the rest are hidden
+  /// sort keys appended by the analyzer (trimmed after the final sort).
+  int n_visible = 0;
+
+  Schema OutputSchema() const {
+    Schema s;
+    for (size_t i = 0; i < select.size(); ++i) {
+      s.AddField({out_names[i], out_types[i], true});
+    }
+    return s;
+  }
+};
+
+/// Bind `stmt` against the catalog within `txn`.
+Result<std::unique_ptr<BoundQuery>> Analyze(catalog::Catalog* cat,
+                                            tx::Transaction* txn,
+                                            const SelectStmt& stmt);
+
+}  // namespace hawq::sql

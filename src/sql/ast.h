@@ -1,0 +1,143 @@
+// Abstract syntax tree produced by the parser (sql/parser.h) and consumed
+// by the analyzer (sql/analyzer.h).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace hawq::sql {
+
+struct SelectStmt;
+
+/// \brief One expression node. A single tagged struct keeps the parser and
+/// analyzer compact; `children` layout depends on `kind` (see comments).
+struct Expr {
+  enum class Kind {
+    kLiteral,   // value
+    kColumn,    // qualifier.name (qualifier may be empty)
+    kStar,      // SELECT * or COUNT(*) argument
+    kBinary,    // op in {+,-,*,/,%,=,<>,<,<=,>,>=,AND,OR,||}; children[0,1]
+    kUnary,     // op in {-,NOT}; children[0]
+    kFunc,      // name(args...); aggregates and scalar functions
+    kCase,      // children = when1,then1,...,whenN,thenN[,else]
+    kIn,        // children[0] IN (children[1..]); `negated` for NOT IN
+    kBetween,   // children[0] BETWEEN children[1] AND children[2]
+    kLike,      // children[0] LIKE children[1]; `negated` for NOT LIKE
+    kIsNull,    // children[0] IS [NOT] NULL
+    kSubquery,  // scalar subquery (SELECT ...)
+    kExists,    // [NOT] EXISTS (SELECT ...)
+    kInSubquery  // children[0] [NOT] IN (SELECT ...)
+  };
+
+  Kind kind = Kind::kLiteral;
+  Datum value;                   // kLiteral
+  std::string qualifier, name;   // kColumn / kFunc (name)
+  std::string op;                // kBinary / kUnary
+  bool negated = false;          // kIn/kLike/kIsNull/kExists/kInSubquery
+  bool distinct = false;         // kFunc: agg DISTINCT
+  std::vector<std::unique_ptr<Expr>> children;
+  std::unique_ptr<SelectStmt> subquery;  // subquery kinds
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One FROM item. `join` describes how it combines with the items before
+/// it; `on` holds the explicit join condition (JOIN ... ON ...).
+struct TableRef {
+  enum class Join { kCross, kInner, kLeft };
+  std::string name;
+  std::string alias;
+  std::unique_ptr<SelectStmt> derived;  // (SELECT ...) alias
+  Join join = Join::kCross;
+  ExprPtr on;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool desc = false;
+};
+
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;  // empty: master-only expression query
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1: none
+};
+
+struct ColumnDef {
+  std::string name;
+  std::string type_name;
+  bool not_null = false;
+};
+
+/// CREATE TABLE ... [WITH (...)] [DISTRIBUTED BY (...) | RANDOMLY]
+/// [PARTITION BY RANGE (col) (START ... END ... EVERY ...)].
+struct CreateTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::map<std::string, std::string> options;  // lower-cased WITH options
+  bool dist_random = false;
+  std::vector<std::string> dist_cols;  // empty + !dist_random: first column
+  std::string part_col;
+  Datum part_start, part_end;  // int64 (date days or integer)
+  bool part_start_is_date = false;
+  int64_t part_every_months = 0;  // EVERY (INTERVAL 'n month')
+  int64_t part_every_value = 0;   // EVERY (n) for integer ranges
+};
+
+/// CREATE EXTERNAL TABLE name (...) LOCATION ('pxf://...') FORMAT '...'.
+struct CreateExternalTableStmt {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::string location;
+  std::string format;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<ExprPtr>> values;  // VALUES (...), (...)
+  std::unique_ptr<SelectStmt> select;        // INSERT ... SELECT
+};
+
+struct Statement {
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kCreateExternalTable,
+    kInsert,
+    kDropTable,
+    kExplain,
+    kAnalyze,
+    kBegin,
+    kCommit,
+    kRollback,
+    kVacuum,
+    kTruncateTable,
+    kAlterTableStorage,
+  };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;
+  std::unique_ptr<CreateTableStmt> create;
+  std::unique_ptr<CreateExternalTableStmt> create_external;
+  std::unique_ptr<InsertStmt> insert;
+  std::string table;             // drop/analyze/truncate/alter target
+  std::map<std::string, std::string> options;  // ALTER ... SET WITH (...)
+  std::unique_ptr<Statement> child;  // explain
+  std::string isolation;         // BEGIN [ISOLATION LEVEL ...]
+};
+
+}  // namespace hawq::sql

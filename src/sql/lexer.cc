@@ -1,0 +1,104 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace hawq::sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      t.kind = Token::Kind::kIdent;
+      t.text = sql.substr(b, i - b);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t b = i;
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!saw_dot && sql[i] == '.'))) {
+        if (sql[i] == '.') saw_dot = true;
+        ++i;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = sql.substr(b, i - b);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string v;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            v += '\'';
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        v += sql[i++];
+      }
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(t.pos));
+      }
+      ++i;  // closing quote
+      t.kind = Token::Kind::kString;
+      t.text = std::move(v);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Multi-char symbols first.
+    static const char* two[] = {"<=", ">=", "<>", "!=", "||", "::"};
+    bool matched = false;
+    for (const char* s : two) {
+      if (sql.compare(i, 2, s) == 0) {
+        t.kind = Token::Kind::kSymbol;
+        t.text = s;
+        i += 2;
+        out.push_back(std::move(t));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string singles = "+-*/%(),.;=<>";
+    if (singles.find(c) == std::string::npos) {
+      return Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "' at " + std::to_string(i));
+    }
+    t.kind = Token::Kind::kSymbol;
+    t.text = std::string(1, c);
+    ++i;
+    out.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.pos = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace hawq::sql

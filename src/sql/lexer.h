@@ -1,0 +1,27 @@
+// SQL lexer shared by the parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq::sql {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  size_t pos = 0;  // byte offset, for error messages
+
+  bool Is(const char* symbol) const {
+    return kind == Kind::kSymbol && text == symbol;
+  }
+};
+
+/// Tokenize a SQL string. Identifiers keep their original case (comparison
+/// is case-insensitive downstream); strings are unquoted; `--` comments are
+/// skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace hawq::sql

@@ -1,0 +1,859 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace hawq::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseStatement() {
+    HAWQ_ASSIGN_OR_RETURN(auto stmt, ParseStatementInner());
+    if (Cur().Is(";")) Advance();
+    if (Cur().kind != Token::Kind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(int k = 1) const {
+    return toks_[std::min(pos_ + k, toks_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool IsKw(const char* kw) const {
+    return Cur().kind == Token::Kind::kIdent && IEquals(Cur().text, kw);
+  }
+  bool AcceptKw(const char* kw) {
+    if (!IsKw(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKw(const char* kw) {
+    if (!AcceptKw(kw)) {
+      return Err("expected " + std::string(kw) + ", got '" + Cur().text + "'");
+    }
+    return Status::OK();
+  }
+  bool Accept(const char* sym) {
+    if (!Cur().Is(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(const char* sym) {
+    if (!Accept(sym)) {
+      return Err("expected '" + std::string(sym) + "', got '" + Cur().text +
+                 "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Cur().kind != Token::Kind::kIdent) {
+      return Err("expected identifier, got '" + Cur().text + "'");
+    }
+    std::string s = Cur().text;
+    Advance();
+    return s;
+  }
+  Result<std::string> ExpectString() {
+    if (Cur().kind != Token::Kind::kString) {
+      return Err("expected string literal, got '" + Cur().text + "'");
+    }
+    std::string s = Cur().text;
+    Advance();
+    return s;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("parse error near position " +
+                                   std::to_string(Cur().pos) + ": " + msg);
+  }
+
+  static ExprPtr MakeBinary(std::string op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->op = std::move(op);
+    e->children.push_back(std::move(l));
+    e->children.push_back(std::move(r));
+    return e;
+  }
+
+  // ----------------------------------------------------------- statements
+  Result<std::unique_ptr<Statement>> ParseStatementInner() {
+    auto stmt = std::make_unique<Statement>();
+    if (IsKw("SELECT")) {
+      stmt->kind = Statement::Kind::kSelect;
+      HAWQ_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+      return stmt;
+    }
+    if (AcceptKw("EXPLAIN")) {
+      stmt->kind = Statement::Kind::kExplain;
+      HAWQ_ASSIGN_OR_RETURN(stmt->child, ParseStatementInner());
+      return stmt;
+    }
+    if (AcceptKw("CREATE")) {
+      if (AcceptKw("EXTERNAL")) return ParseCreateExternal(std::move(stmt));
+      return ParseCreateTable(std::move(stmt));
+    }
+    if (AcceptKw("INSERT")) return ParseInsert(std::move(stmt));
+    if (AcceptKw("DROP")) {
+      HAWQ_RETURN_IF_ERROR(ExpectKw("TABLE"));
+      stmt->kind = Statement::Kind::kDropTable;
+      HAWQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      return stmt;
+    }
+    if (AcceptKw("ANALYZE")) {
+      stmt->kind = Statement::Kind::kAnalyze;
+      HAWQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      return stmt;
+    }
+    if (AcceptKw("VACUUM")) {
+      stmt->kind = Statement::Kind::kVacuum;
+      return stmt;
+    }
+    if (AcceptKw("TRUNCATE")) {
+      AcceptKw("TABLE");
+      stmt->kind = Statement::Kind::kTruncateTable;
+      HAWQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      return stmt;
+    }
+    if (AcceptKw("ALTER")) {
+      HAWQ_RETURN_IF_ERROR(ExpectKw("TABLE"));
+      stmt->kind = Statement::Kind::kAlterTableStorage;
+      HAWQ_ASSIGN_OR_RETURN(stmt->table, ExpectIdent());
+      HAWQ_RETURN_IF_ERROR(ExpectKw("SET"));
+      HAWQ_RETURN_IF_ERROR(ExpectKw("WITH"));
+      HAWQ_RETURN_IF_ERROR(Expect("("));
+      while (true) {
+        HAWQ_ASSIGN_OR_RETURN(std::string k, ExpectIdent());
+        HAWQ_RETURN_IF_ERROR(Expect("="));
+        if (Cur().kind != Token::Kind::kIdent &&
+            Cur().kind != Token::Kind::kNumber &&
+            Cur().kind != Token::Kind::kString) {
+          return Err("expected WITH option value");
+        }
+        stmt->options[ToLower(k)] = ToLower(Cur().text);
+        Advance();
+        if (Accept(",")) continue;
+        break;
+      }
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      return stmt;
+    }
+    if (AcceptKw("BEGIN") || AcceptKw("START")) {
+      AcceptKw("TRANSACTION");
+      AcceptKw("WORK");
+      stmt->kind = Statement::Kind::kBegin;
+      if (AcceptKw("ISOLATION")) {
+        HAWQ_RETURN_IF_ERROR(ExpectKw("LEVEL"));
+        HAWQ_ASSIGN_OR_RETURN(std::string w1, ExpectIdent());
+        std::string iso = ToLower(w1);
+        if (Cur().kind == Token::Kind::kIdent && !Cur().Is(";")) {
+          iso += " " + ToLower(Cur().text);
+          Advance();
+        }
+        stmt->isolation = iso;
+      }
+      return stmt;
+    }
+    if (AcceptKw("COMMIT") || AcceptKw("END")) {
+      AcceptKw("TRANSACTION");
+      stmt->kind = Statement::Kind::kCommit;
+      return stmt;
+    }
+    if (AcceptKw("ROLLBACK") || AcceptKw("ABORT")) {
+      AcceptKw("TRANSACTION");
+      stmt->kind = Statement::Kind::kRollback;
+      return stmt;
+    }
+    return Err("unknown statement start: '" + Cur().text + "'");
+  }
+
+  Result<std::vector<ColumnDef>> ParseColumnDefs() {
+    HAWQ_RETURN_IF_ERROR(Expect("("));
+    std::vector<ColumnDef> cols;
+    while (true) {
+      ColumnDef c;
+      HAWQ_ASSIGN_OR_RETURN(c.name, ExpectIdent());
+      HAWQ_ASSIGN_OR_RETURN(c.type_name, ExpectIdent());
+      // DOUBLE PRECISION, CHARACTER VARYING.
+      if (IEquals(c.type_name, "DOUBLE") && IsKw("PRECISION")) {
+        Advance();
+      } else if (IEquals(c.type_name, "CHARACTER") && IsKw("VARYING")) {
+        c.type_name = "VARCHAR";
+        Advance();
+      }
+      if (Accept("(")) {  // CHAR(15), DECIMAL(15,2)
+        while (!Cur().Is(")") && Cur().kind != Token::Kind::kEnd) Advance();
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+      }
+      if (AcceptKw("NOT")) {
+        HAWQ_RETURN_IF_ERROR(ExpectKw("NULL"));
+        c.not_null = true;
+      } else {
+        AcceptKw("NULL");
+      }
+      cols.push_back(std::move(c));
+      if (Accept(",")) continue;
+      break;
+    }
+    HAWQ_RETURN_IF_ERROR(Expect(")"));
+    return cols;
+  }
+
+  Result<std::unique_ptr<Statement>> ParseCreateTable(
+      std::unique_ptr<Statement> stmt) {
+    HAWQ_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    stmt->kind = Statement::Kind::kCreateTable;
+    auto create = std::make_unique<CreateTableStmt>();
+    HAWQ_ASSIGN_OR_RETURN(create->name, ExpectIdent());
+    HAWQ_ASSIGN_OR_RETURN(create->columns, ParseColumnDefs());
+    while (true) {
+      if (AcceptKw("WITH")) {
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        while (true) {
+          HAWQ_ASSIGN_OR_RETURN(std::string k, ExpectIdent());
+          HAWQ_RETURN_IF_ERROR(Expect("="));
+          std::string v;
+          if (Cur().kind == Token::Kind::kIdent ||
+              Cur().kind == Token::Kind::kNumber ||
+              Cur().kind == Token::Kind::kString) {
+            v = Cur().text;
+            Advance();
+          } else {
+            return Err("expected WITH option value");
+          }
+          create->options[ToLower(k)] = ToLower(v);
+          if (Accept(",")) continue;
+          break;
+        }
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        continue;
+      }
+      if (AcceptKw("DISTRIBUTED")) {
+        if (AcceptKw("RANDOMLY")) {
+          create->dist_random = true;
+        } else {
+          HAWQ_RETURN_IF_ERROR(ExpectKw("BY"));
+          HAWQ_RETURN_IF_ERROR(Expect("("));
+          while (true) {
+            HAWQ_ASSIGN_OR_RETURN(std::string c, ExpectIdent());
+            create->dist_cols.push_back(std::move(c));
+            if (Accept(",")) continue;
+            break;
+          }
+          HAWQ_RETURN_IF_ERROR(Expect(")"));
+        }
+        continue;
+      }
+      if (AcceptKw("PARTITION")) {
+        HAWQ_RETURN_IF_ERROR(ExpectKw("BY"));
+        HAWQ_RETURN_IF_ERROR(ExpectKw("RANGE"));
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        HAWQ_ASSIGN_OR_RETURN(create->part_col, ExpectIdent());
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        HAWQ_RETURN_IF_ERROR(ExpectKw("START"));
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        HAWQ_ASSIGN_OR_RETURN(create->part_start,
+                              ParsePartitionBound(&create->part_start_is_date));
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        AcceptKw("INCLUSIVE");
+        HAWQ_RETURN_IF_ERROR(ExpectKw("END"));
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        bool end_is_date = false;
+        HAWQ_ASSIGN_OR_RETURN(create->part_end,
+                              ParsePartitionBound(&end_is_date));
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        AcceptKw("EXCLUSIVE");
+        HAWQ_RETURN_IF_ERROR(ExpectKw("EVERY"));
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        if (AcceptKw("INTERVAL")) {
+          HAWQ_ASSIGN_OR_RETURN(std::string iv, ExpectString());
+          // "N month"/"N months"/"N year".
+          auto parts = Split(Trim(iv), ' ');
+          if (parts.size() != 2) return Err("bad interval: " + iv);
+          int64_t n = std::stoll(parts[0]);
+          std::string unit = ToLower(parts[1]);
+          if (unit.rfind("month", 0) == 0) {
+            create->part_every_months = n;
+          } else if (unit.rfind("year", 0) == 0) {
+            create->part_every_months = n * 12;
+          } else if (unit.rfind("day", 0) == 0) {
+            create->part_every_value = n;
+          } else {
+            return Err("unsupported interval unit: " + unit);
+          }
+        } else if (Cur().kind == Token::Kind::kNumber) {
+          create->part_every_value = std::stoll(Cur().text);
+          Advance();
+        } else {
+          return Err("expected EVERY value");
+        }
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        continue;
+      }
+      break;
+    }
+    stmt->create = std::move(create);
+    return stmt;
+  }
+
+  Result<Datum> ParsePartitionBound(bool* is_date) {
+    if (AcceptKw("DATE")) {
+      HAWQ_ASSIGN_OR_RETURN(std::string s, ExpectString());
+      HAWQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(s));
+      *is_date = true;
+      return Datum::Int(days);
+    }
+    if (Cur().kind == Token::Kind::kString) {
+      // Bare '2008-01-01' also treated as date.
+      HAWQ_ASSIGN_OR_RETURN(std::string s, ExpectString());
+      HAWQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(s));
+      *is_date = true;
+      return Datum::Int(days);
+    }
+    if (Cur().kind == Token::Kind::kNumber) {
+      Datum d = Datum::Int(std::stoll(Cur().text));
+      Advance();
+      *is_date = false;
+      return d;
+    }
+    return Status::InvalidArgument("bad partition bound");
+  }
+
+  Result<std::unique_ptr<Statement>> ParseCreateExternal(
+      std::unique_ptr<Statement> stmt) {
+    HAWQ_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    stmt->kind = Statement::Kind::kCreateExternalTable;
+    auto ext = std::make_unique<CreateExternalTableStmt>();
+    HAWQ_ASSIGN_OR_RETURN(ext->name, ExpectIdent());
+    HAWQ_ASSIGN_OR_RETURN(ext->columns, ParseColumnDefs());
+    HAWQ_RETURN_IF_ERROR(ExpectKw("LOCATION"));
+    HAWQ_RETURN_IF_ERROR(Expect("("));
+    HAWQ_ASSIGN_OR_RETURN(ext->location, ExpectString());
+    HAWQ_RETURN_IF_ERROR(Expect(")"));
+    if (AcceptKw("FORMAT")) {
+      HAWQ_ASSIGN_OR_RETURN(ext->format, ExpectString());
+      if (Accept("(")) {  // formatter options, skipped
+        int depth = 1;
+        while (depth > 0 && Cur().kind != Token::Kind::kEnd) {
+          if (Cur().Is("(")) ++depth;
+          if (Cur().Is(")")) --depth;
+          Advance();
+        }
+      }
+    }
+    stmt->create_external = std::move(ext);
+    return stmt;
+  }
+
+  Result<std::unique_ptr<Statement>> ParseInsert(
+      std::unique_ptr<Statement> stmt) {
+    HAWQ_RETURN_IF_ERROR(ExpectKw("INTO"));
+    stmt->kind = Statement::Kind::kInsert;
+    auto ins = std::make_unique<InsertStmt>();
+    HAWQ_ASSIGN_OR_RETURN(ins->table, ExpectIdent());
+    if (AcceptKw("VALUES")) {
+      while (true) {
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        std::vector<ExprPtr> row;
+        while (true) {
+          HAWQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (Accept(",")) continue;
+          break;
+        }
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        ins->values.push_back(std::move(row));
+        if (Accept(",")) continue;
+        break;
+      }
+    } else if (IsKw("SELECT")) {
+      HAWQ_ASSIGN_OR_RETURN(ins->select, ParseSelect());
+    } else {
+      return Err("expected VALUES or SELECT");
+    }
+    stmt->insert = std::move(ins);
+    return stmt;
+  }
+
+  // --------------------------------------------------------------- select
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    HAWQ_RETURN_IF_ERROR(ExpectKw("SELECT"));
+    auto sel = std::make_unique<SelectStmt>();
+    if (AcceptKw("DISTINCT")) sel->distinct = true;
+    while (true) {
+      SelectItem item;
+      HAWQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKw("AS")) {
+        HAWQ_ASSIGN_OR_RETURN(item.alias, ExpectIdent());
+      } else if (Cur().kind == Token::Kind::kIdent && !IsSelectTerminator()) {
+        item.alias = Cur().text;
+        Advance();
+      }
+      sel->items.push_back(std::move(item));
+      if (Accept(",")) continue;
+      break;
+    }
+    if (AcceptKw("FROM")) {
+      HAWQ_RETURN_IF_ERROR(ParseFrom(sel.get()));
+    }
+    if (AcceptKw("WHERE")) {
+      HAWQ_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (AcceptKw("GROUP")) {
+      HAWQ_RETURN_IF_ERROR(ExpectKw("BY"));
+      while (true) {
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+        if (Accept(",")) continue;
+        break;
+      }
+    }
+    if (AcceptKw("HAVING")) {
+      HAWQ_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (AcceptKw("ORDER")) {
+      HAWQ_RETURN_IF_ERROR(ExpectKw("BY"));
+      while (true) {
+        OrderItem item;
+        HAWQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKw("DESC")) {
+          item.desc = true;
+        } else {
+          AcceptKw("ASC");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (Accept(",")) continue;
+        break;
+      }
+    }
+    if (AcceptKw("LIMIT")) {
+      if (Cur().kind != Token::Kind::kNumber) return Err("expected LIMIT n");
+      sel->limit = std::stoll(Cur().text);
+      Advance();
+    }
+    return sel;
+  }
+
+  bool IsSelectTerminator() const {
+    static const char* kw[] = {"FROM",  "WHERE", "GROUP", "HAVING",
+                               "ORDER", "LIMIT", "UNION"};
+    for (const char* k : kw) {
+      if (IEquals(Cur().text, k)) return true;
+    }
+    return false;
+  }
+
+  Status ParseFrom(SelectStmt* sel) {
+    HAWQ_RETURN_IF_ERROR(ParseFromItem(sel, TableRef::Join::kCross, nullptr));
+    while (true) {
+      if (Accept(",")) {
+        HAWQ_RETURN_IF_ERROR(
+            ParseFromItem(sel, TableRef::Join::kCross, nullptr));
+        continue;
+      }
+      TableRef::Join join;
+      if (AcceptKw("LEFT")) {
+        AcceptKw("OUTER");
+        HAWQ_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        join = TableRef::Join::kLeft;
+      } else if (AcceptKw("INNER")) {
+        HAWQ_RETURN_IF_ERROR(ExpectKw("JOIN"));
+        join = TableRef::Join::kInner;
+      } else if (AcceptKw("JOIN")) {
+        join = TableRef::Join::kInner;
+      } else {
+        break;
+      }
+      HAWQ_RETURN_IF_ERROR(ParseFromItem(sel, join, nullptr));
+      HAWQ_RETURN_IF_ERROR(ExpectKw("ON"));
+      HAWQ_ASSIGN_OR_RETURN(sel->from.back().on, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromItem(SelectStmt* sel, TableRef::Join join, ExprPtr on) {
+    TableRef ref;
+    ref.join = join;
+    ref.on = std::move(on);
+    if (Accept("(")) {
+      HAWQ_ASSIGN_OR_RETURN(ref.derived, ParseSelect());
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+    } else {
+      HAWQ_ASSIGN_OR_RETURN(ref.name, ExpectIdent());
+    }
+    if (AcceptKw("AS")) {
+      HAWQ_ASSIGN_OR_RETURN(ref.alias, ExpectIdent());
+    } else if (Cur().kind == Token::Kind::kIdent && !IsFromTerminator()) {
+      ref.alias = Cur().text;
+      Advance();
+    }
+    if (ref.derived && ref.alias.empty()) {
+      return Status::InvalidArgument("derived table requires an alias");
+    }
+    sel->from.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  bool IsFromTerminator() const {
+    static const char* kw[] = {"WHERE", "GROUP", "HAVING", "ORDER",  "LIMIT",
+                               "JOIN",  "LEFT",  "INNER",  "ON",     "UNION"};
+    for (const char* k : kw) {
+      if (IEquals(Cur().text, k)) return true;
+    }
+    return false;
+  }
+
+  // ----------------------------------------------------------- expressions
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKw("OR")) {
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKw("AND")) {
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (IsKw("NOT") && !IEquals(Peek().text, "EXISTS")) {
+      Advance();
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "NOT";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      if (Cur().Is("=") || Cur().Is("<>") || Cur().Is("!=") || Cur().Is("<") ||
+          Cur().Is("<=") || Cur().Is(">") || Cur().Is(">=")) {
+        std::string op = Cur().text == "!=" ? "<>" : Cur().text;
+        Advance();
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+        continue;
+      }
+      if (IsKw("IS")) {
+        Advance();
+        bool neg = AcceptKw("NOT");
+        HAWQ_RETURN_IF_ERROR(ExpectKw("NULL"));
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kIsNull;
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        lhs = std::move(e);
+        continue;
+      }
+      bool neg = false;
+      size_t save = pos_;
+      if (AcceptKw("NOT")) neg = true;
+      if (AcceptKw("LIKE")) {
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr pat, ParseAdditive());
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kLike;
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(std::move(pat));
+        lhs = std::move(e);
+        continue;
+      }
+      if (AcceptKw("BETWEEN")) {
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+        HAWQ_RETURN_IF_ERROR(ExpectKw("AND"));
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::Kind::kBetween;
+        e->negated = neg;
+        e->children.push_back(std::move(lhs));
+        e->children.push_back(std::move(lo));
+        e->children.push_back(std::move(hi));
+        lhs = std::move(e);
+        continue;
+      }
+      if (AcceptKw("IN")) {
+        HAWQ_RETURN_IF_ERROR(Expect("("));
+        if (IsKw("SELECT")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kInSubquery;
+          e->negated = neg;
+          e->children.push_back(std::move(lhs));
+          HAWQ_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          HAWQ_RETURN_IF_ERROR(Expect(")"));
+          lhs = std::move(e);
+        } else {
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::Kind::kIn;
+          e->negated = neg;
+          e->children.push_back(std::move(lhs));
+          while (true) {
+            HAWQ_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+            e->children.push_back(std::move(item));
+            if (Accept(",")) continue;
+            break;
+          }
+          HAWQ_RETURN_IF_ERROR(Expect(")"));
+          lhs = std::move(e);
+        }
+        continue;
+      }
+      if (neg) pos_ = save;  // NOT belonged to something else
+      break;
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Cur().Is("+") || Cur().Is("-") || Cur().Is("||")) {
+      std::string op = Cur().text;
+      Advance();
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Cur().Is("*") || Cur().Is("/") || Cur().Is("%")) {
+      std::string op = Cur().text;
+      Advance();
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Accept("-")) {
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->op = "-";
+      e->children.push_back(std::move(inner));
+      return e;
+    }
+    Accept("+");
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    auto e = std::make_unique<Expr>();
+    // Literals.
+    if (Cur().kind == Token::Kind::kNumber) {
+      e->kind = Expr::Kind::kLiteral;
+      if (Cur().text.find('.') != std::string::npos) {
+        e->value = Datum::Double(std::stod(Cur().text));
+      } else {
+        e->value = Datum::Int(std::stoll(Cur().text));
+      }
+      Advance();
+      return e;
+    }
+    if (Cur().kind == Token::Kind::kString) {
+      e->kind = Expr::Kind::kLiteral;
+      e->value = Datum::Str(Cur().text);
+      Advance();
+      return e;
+    }
+    if (Cur().Is("*")) {
+      Advance();
+      e->kind = Expr::Kind::kStar;
+      return e;
+    }
+    if (Accept("(")) {
+      if (IsKw("SELECT")) {
+        e->kind = Expr::Kind::kSubquery;
+        HAWQ_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        return e;
+      }
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      return inner;
+    }
+    if (Cur().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("parse error: expected expression near '" +
+                                     Cur().text + "'");
+    }
+    // Keyword-led expressions.
+    if (IsKw("TRUE") || IsKw("FALSE")) {
+      e->kind = Expr::Kind::kLiteral;
+      e->value = Datum::Bool(IsKw("TRUE"));
+      Advance();
+      return e;
+    }
+    if (AcceptKw("NULL")) {
+      e->kind = Expr::Kind::kLiteral;
+      e->value = Datum::Null();
+      return e;
+    }
+    if (IsKw("DATE") && Peek().kind == Token::Kind::kString) {
+      Advance();
+      HAWQ_ASSIGN_OR_RETURN(int64_t days, ParseDate(Cur().text));
+      Advance();
+      e->kind = Expr::Kind::kLiteral;
+      e->value = Datum::Int(days);
+      e->name = "date";  // marks a date literal for the analyzer
+      return e;
+    }
+    if (IsKw("INTERVAL") && Peek().kind == Token::Kind::kString) {
+      // INTERVAL 'n unit' used in date arithmetic: becomes a literal day
+      // count (months are approximated when added to dates by the 'months'
+      // function — the analyzer rewrites date + interval).
+      Advance();
+      std::string iv = Cur().text;
+      Advance();
+      auto parts = Split(Trim(iv), ' ');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("bad interval literal: " + iv);
+      }
+      int64_t n = std::stoll(parts[0]);
+      std::string unit = ToLower(parts[1]);
+      e->kind = Expr::Kind::kLiteral;
+      e->name = "interval_" + unit;
+      if (unit.rfind("day", 0) == 0) {
+        e->value = Datum::Int(n);
+      } else if (unit.rfind("month", 0) == 0) {
+        e->value = Datum::Int(n);
+      } else if (unit.rfind("year", 0) == 0) {
+        e->name = "interval_month";
+        e->value = Datum::Int(n * 12);
+      } else {
+        return Status::InvalidArgument("unsupported interval unit: " + unit);
+      }
+      return e;
+    }
+    if (AcceptKw("CASE")) {
+      e->kind = Expr::Kind::kCase;
+      while (AcceptKw("WHEN")) {
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        HAWQ_RETURN_IF_ERROR(ExpectKw("THEN"));
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        e->children.push_back(std::move(when));
+        e->children.push_back(std::move(then));
+      }
+      if (AcceptKw("ELSE")) {
+        HAWQ_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+        e->children.push_back(std::move(els));
+      }
+      HAWQ_RETURN_IF_ERROR(ExpectKw("END"));
+      return e;
+    }
+    if (IsKw("NOT") && IEquals(Peek().text, "EXISTS")) {
+      Advance();
+      Advance();
+      HAWQ_RETURN_IF_ERROR(Expect("("));
+      e->kind = Expr::Kind::kExists;
+      e->negated = true;
+      HAWQ_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (AcceptKw("EXISTS")) {
+      HAWQ_RETURN_IF_ERROR(Expect("("));
+      e->kind = Expr::Kind::kExists;
+      HAWQ_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    if (AcceptKw("EXTRACT")) {
+      // EXTRACT(YEAR FROM expr) -> year(expr).
+      HAWQ_RETURN_IF_ERROR(Expect("("));
+      HAWQ_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+      HAWQ_RETURN_IF_ERROR(ExpectKw("FROM"));
+      HAWQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      e->kind = Expr::Kind::kFunc;
+      e->name = ToLower(field);  // year / month / day
+      e->children.push_back(std::move(arg));
+      return e;
+    }
+    // Function call or column reference.
+    std::string ident = Cur().text;
+    Advance();
+    if (Accept("(")) {
+      e->kind = Expr::Kind::kFunc;
+      e->name = ToLower(ident);
+      if (AcceptKw("DISTINCT")) e->distinct = true;
+      if (!Cur().Is(")")) {
+        while (true) {
+          if (Cur().Is("*")) {  // COUNT(*)
+            Advance();
+            auto star = std::make_unique<Expr>();
+            star->kind = Expr::Kind::kStar;
+            e->children.push_back(std::move(star));
+          } else {
+            HAWQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->children.push_back(std::move(arg));
+          }
+          if (Accept(",")) continue;
+          // SUBSTRING(x FROM a FOR b).
+          if (AcceptKw("FROM")) {
+            HAWQ_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+            e->children.push_back(std::move(a));
+            if (AcceptKw("FOR")) {
+              HAWQ_ASSIGN_OR_RETURN(ExprPtr b, ParseExpr());
+              e->children.push_back(std::move(b));
+            }
+          }
+          break;
+        }
+      }
+      HAWQ_RETURN_IF_ERROR(Expect(")"));
+      return e;
+    }
+    e->kind = Expr::Kind::kColumn;
+    if (Accept(".")) {
+      e->qualifier = ident;
+      if (Cur().Is("*")) {
+        Advance();
+        e->kind = Expr::Kind::kStar;
+        return e;
+      }
+      HAWQ_ASSIGN_OR_RETURN(e->name, ExpectIdent());
+    } else {
+      e->name = ident;
+    }
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> Parse(const std::string& sql) {
+  HAWQ_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.ParseStatement();
+}
+
+}  // namespace hawq::sql

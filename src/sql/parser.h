@@ -1,0 +1,18 @@
+// Recursive-descent SQL parser covering the dialect HAWQ's reproduction
+// needs: DDL with distribution/partition/storage clauses, INSERT (values
+// and select), and analytic SELECT with joins, derived tables, grouping,
+// CASE, subqueries, and the TPC-H scalar function set.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace hawq::sql {
+
+/// Parse one SQL statement (a trailing ';' is allowed).
+Result<std::unique_ptr<Statement>> Parse(const std::string& sql);
+
+}  // namespace hawq::sql

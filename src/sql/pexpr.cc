@@ -1,0 +1,379 @@
+#include "sql/pexpr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace hawq::sql {
+
+PExpr PExpr::Const(Datum d, TypeId t) {
+  PExpr e;
+  e.op = Op::kConst;
+  e.value = std::move(d);
+  e.out_type = t;
+  return e;
+}
+
+PExpr PExpr::Col(int idx, TypeId t) {
+  PExpr e;
+  e.op = Op::kCol;
+  e.col = idx;
+  e.out_type = t;
+  return e;
+}
+
+PExpr PExpr::Binary(Op op, PExpr l, PExpr r, TypeId t) {
+  PExpr e;
+  e.op = op;
+  e.out_type = t;
+  e.children.push_back(std::move(l));
+  e.children.push_back(std::move(r));
+  return e;
+}
+
+namespace {
+
+Datum Arith(PExpr::Op op, const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) return Datum::Null();
+  bool dbl = a.kind == Datum::Kind::kDouble || b.kind == Datum::Kind::kDouble;
+  if (dbl) {
+    double x = a.as_double(), y = b.as_double();
+    switch (op) {
+      case PExpr::Op::kAdd: return Datum::Double(x + y);
+      case PExpr::Op::kSub: return Datum::Double(x - y);
+      case PExpr::Op::kMul: return Datum::Double(x * y);
+      case PExpr::Op::kDiv: return y == 0 ? Datum::Null() : Datum::Double(x / y);
+      case PExpr::Op::kMod:
+        return y == 0 ? Datum::Null() : Datum::Double(std::fmod(x, y));
+      default: return Datum::Null();
+    }
+  }
+  int64_t x = a.as_int(), y = b.as_int();
+  switch (op) {
+    case PExpr::Op::kAdd: return Datum::Int(x + y);
+    case PExpr::Op::kSub: return Datum::Int(x - y);
+    case PExpr::Op::kMul: return Datum::Int(x * y);
+    case PExpr::Op::kDiv: return y == 0 ? Datum::Null() : Datum::Int(x / y);
+    case PExpr::Op::kMod: return y == 0 ? Datum::Null() : Datum::Int(x % y);
+    default: return Datum::Null();
+  }
+}
+
+Datum Compare3VL(PExpr::Op op, const Datum& a, const Datum& b) {
+  if (a.is_null() || b.is_null()) return Datum::Null();
+  int c = Datum::Compare(a, b);
+  switch (op) {
+    case PExpr::Op::kEq: return Datum::Bool(c == 0);
+    case PExpr::Op::kNe: return Datum::Bool(c != 0);
+    case PExpr::Op::kLt: return Datum::Bool(c < 0);
+    case PExpr::Op::kLe: return Datum::Bool(c <= 0);
+    case PExpr::Op::kGt: return Datum::Bool(c > 0);
+    case PExpr::Op::kGe: return Datum::Bool(c >= 0);
+    default: return Datum::Null();
+  }
+}
+
+Datum EvalFunc(const std::string& name, const std::vector<Datum>& args) {
+  auto null_in = [&] {
+    for (const Datum& a : args) {
+      if (a.is_null()) return true;
+    }
+    return false;
+  };
+  if (name == "coalesce") {
+    for (const Datum& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Datum::Null();
+  }
+  if (null_in()) return Datum::Null();
+  if (name == "year") return Datum::Int(DateYear(args[0].as_int()));
+  if (name == "month" || name == "day") {
+    // Derive from the date string to avoid duplicating civil math.
+    std::string s = DateToString(args[0].as_int());
+    int y, m, d;
+    std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &d);
+    return Datum::Int(name == "month" ? m : d);
+  }
+  if (name == "add_months") {
+    return Datum::Int(AddMonths(args[0].as_int(), args[1].as_int()));
+  }
+  if (name == "substr" || name == "substring") {
+    const std::string& s = args[0].as_str();
+    int64_t start = args.size() > 1 ? args[1].as_int() : 1;  // 1-based
+    int64_t len = args.size() > 2 ? args[2].as_int()
+                                  : static_cast<int64_t>(s.size());
+    if (start < 1) start = 1;
+    if (start > static_cast<int64_t>(s.size())) return Datum::Str("");
+    return Datum::Str(s.substr(start - 1, len));
+  }
+  if (name == "length") {
+    return Datum::Int(static_cast<int64_t>(args[0].as_str().size()));
+  }
+  if (name == "upper") return Datum::Str(ToUpper(args[0].as_str()));
+  if (name == "lower") return Datum::Str(ToLower(args[0].as_str()));
+  if (name == "abs") {
+    if (args[0].kind == Datum::Kind::kDouble) {
+      return Datum::Double(std::fabs(args[0].f64));
+    }
+    return Datum::Int(std::llabs(args[0].i64));
+  }
+  if (name == "round") {
+    double scale = args.size() > 1 ? std::pow(10, args[1].as_int()) : 1;
+    return Datum::Double(std::round(args[0].as_double() * scale) / scale);
+  }
+  if (name == "strpos") {
+    auto pos = args[0].as_str().find(args[1].as_str());
+    return Datum::Int(pos == std::string::npos
+                          ? 0
+                          : static_cast<int64_t>(pos) + 1);
+  }
+  return Datum::Null();
+}
+
+}  // namespace
+
+Datum PExpr::Eval(const Row& row) const {
+  switch (op) {
+    case Op::kConst:
+      return value;
+    case Op::kCol:
+      return col >= 0 && col < static_cast<int>(row.size()) ? row[col]
+                                                            : Datum::Null();
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+      return Arith(op, children[0].Eval(row), children[1].Eval(row));
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe:
+      return Compare3VL(op, children[0].Eval(row), children[1].Eval(row));
+    case Op::kAnd: {
+      Datum a = children[0].Eval(row);
+      if (!a.is_null() && !a.as_bool()) return Datum::Bool(false);
+      Datum b = children[1].Eval(row);
+      if (!b.is_null() && !b.as_bool()) return Datum::Bool(false);
+      if (a.is_null() || b.is_null()) return Datum::Null();
+      return Datum::Bool(true);
+    }
+    case Op::kOr: {
+      Datum a = children[0].Eval(row);
+      if (!a.is_null() && a.as_bool()) return Datum::Bool(true);
+      Datum b = children[1].Eval(row);
+      if (!b.is_null() && b.as_bool()) return Datum::Bool(true);
+      if (a.is_null() || b.is_null()) return Datum::Null();
+      return Datum::Bool(false);
+    }
+    case Op::kNot: {
+      Datum a = children[0].Eval(row);
+      if (a.is_null()) return Datum::Null();
+      return Datum::Bool(!a.as_bool());
+    }
+    case Op::kNeg: {
+      Datum a = children[0].Eval(row);
+      if (a.is_null()) return Datum::Null();
+      if (a.kind == Datum::Kind::kDouble) return Datum::Double(-a.f64);
+      return Datum::Int(-a.i64);
+    }
+    case Op::kLike:
+    case Op::kNotLike: {
+      Datum a = children[0].Eval(row);
+      Datum p = children[1].Eval(row);
+      if (a.is_null() || p.is_null()) return Datum::Null();
+      bool m = LikeMatch(a.as_str(), p.as_str());
+      return Datum::Bool(op == Op::kLike ? m : !m);
+    }
+    case Op::kIsNull:
+      return Datum::Bool(children[0].Eval(row).is_null());
+    case Op::kIsNotNull:
+      return Datum::Bool(!children[0].Eval(row).is_null());
+    case Op::kCase: {
+      size_t pairs = children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        if (children[2 * i].EvalBool(row)) return children[2 * i + 1].Eval(row);
+      }
+      if (children.size() % 2 == 1) return children.back().Eval(row);
+      return Datum::Null();
+    }
+    case Op::kIn:
+    case Op::kNotIn: {
+      Datum a = children[0].Eval(row);
+      if (a.is_null()) return Datum::Null();
+      bool found = false, saw_null = false;
+      for (size_t i = 1; i < children.size(); ++i) {
+        Datum b = children[i].Eval(row);
+        if (b.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (Datum::Compare(a, b) == 0) {
+          found = true;
+          break;
+        }
+      }
+      if (found) return Datum::Bool(op == Op::kIn);
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(op != Op::kIn);
+    }
+    case Op::kConcat: {
+      Datum a = children[0].Eval(row);
+      Datum b = children[1].Eval(row);
+      if (a.is_null() || b.is_null()) return Datum::Null();
+      return Datum::Str(a.ToString() + b.ToString());
+    }
+    case Op::kFunc: {
+      std::vector<Datum> args;
+      args.reserve(children.size());
+      for (const PExpr& c : children) args.push_back(c.Eval(row));
+      return EvalFunc(func, args);
+    }
+    case Op::kScalarSubquery:
+      return Datum::Null();  // must be bound before execution
+  }
+  return Datum::Null();
+}
+
+void PExpr::Serialize(BufferWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(op));
+  w->PutU8(static_cast<uint8_t>(out_type));
+  SerializeDatum(value, w);
+  w->PutVarintSigned(col);
+  w->PutString(func);
+  w->PutVarintSigned(subquery_idx);
+  w->PutVarint(children.size());
+  for (const PExpr& c : children) c.Serialize(w);
+}
+
+Result<PExpr> PExpr::Deserialize(BufferReader* r) {
+  PExpr e;
+  HAWQ_ASSIGN_OR_RETURN(uint8_t op8, r->GetU8());
+  e.op = static_cast<Op>(op8);
+  HAWQ_ASSIGN_OR_RETURN(uint8_t t8, r->GetU8());
+  e.out_type = static_cast<TypeId>(t8);
+  HAWQ_ASSIGN_OR_RETURN(e.value, DeserializeDatum(r));
+  HAWQ_ASSIGN_OR_RETURN(int64_t col64, r->GetVarintSigned());
+  e.col = static_cast<int32_t>(col64);
+  HAWQ_ASSIGN_OR_RETURN(e.func, r->GetString());
+  HAWQ_ASSIGN_OR_RETURN(int64_t sq, r->GetVarintSigned());
+  e.subquery_idx = static_cast<int32_t>(sq);
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  e.children.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(PExpr c, Deserialize(r));
+    e.children.push_back(std::move(c));
+  }
+  return e;
+}
+
+std::string PExpr::Fingerprint() const {
+  BufferWriter w;
+  Serialize(&w);
+  return w.Release();
+}
+
+void PExpr::CollectCols(std::vector<int>* out) const {
+  if (op == Op::kCol && col >= 0) {
+    if (std::find(out->begin(), out->end(), col) == out->end()) {
+      out->push_back(col);
+    }
+  }
+  for (const PExpr& c : children) c.CollectCols(out);
+}
+
+void PExpr::ShiftCols(int delta) {
+  if (op == Op::kCol && col >= 0) col += delta;
+  for (PExpr& c : children) c.ShiftCols(delta);
+}
+
+void PExpr::RemapCols(const std::map<int, int>& mapping) {
+  if (op == Op::kCol && col >= 0) {
+    auto it = mapping.find(col);
+    if (it != mapping.end()) col = it->second;
+  }
+  for (PExpr& c : children) c.RemapCols(mapping);
+}
+
+void PExpr::BindSubqueryResults(const std::vector<Datum>& results) {
+  if (op == Op::kScalarSubquery && subquery_idx >= 0 &&
+      subquery_idx < static_cast<int>(results.size())) {
+    op = Op::kConst;
+    value = results[subquery_idx];
+  }
+  for (PExpr& c : children) c.BindSubqueryResults(results);
+}
+
+std::string PExpr::ToString() const {
+  static const char* ops[] = {"const", "col",  "+",  "-",   "*",   "/",  "%",
+                              "=",     "<>",   "<",  "<=",  ">",   ">=", "AND",
+                              "OR",    "NOT",  "-",  "LIKE", "NOT LIKE",
+                              "IS NULL", "IS NOT NULL", "CASE", "IN", "NOT IN",
+                              "||",    "func", "subquery"};
+  switch (op) {
+    case Op::kConst:
+      return value.kind == Datum::Kind::kStr ? "'" + value.str + "'"
+                                             : value.ToString();
+    case Op::kCol:
+      return "$" + std::to_string(col);
+    case Op::kFunc: {
+      std::string s = func + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i].ToString();
+      }
+      return s + ")";
+    }
+    case Op::kScalarSubquery:
+      return "$subquery" + std::to_string(subquery_idx);
+    default: {
+      if (children.size() == 2) {
+        return "(" + children[0].ToString() + " " +
+               ops[static_cast<int>(op)] + " " + children[1].ToString() + ")";
+      }
+      std::string s = std::string(ops[static_cast<int>(op)]) + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) s += ", ";
+        s += children[i].ToString();
+      }
+      return s + ")";
+    }
+  }
+}
+
+void AggSpec::Serialize(BufferWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutU8(count_star ? 1 : 0);
+  w->PutU8(distinct ? 1 : 0);
+  w->PutU8(static_cast<uint8_t>(out_type));
+  arg.Serialize(w);
+}
+
+Result<AggSpec> AggSpec::Deserialize(BufferReader* r) {
+  AggSpec a;
+  HAWQ_ASSIGN_OR_RETURN(uint8_t k, r->GetU8());
+  a.kind = static_cast<Kind>(k);
+  HAWQ_ASSIGN_OR_RETURN(uint8_t cs, r->GetU8());
+  a.count_star = cs != 0;
+  HAWQ_ASSIGN_OR_RETURN(uint8_t d, r->GetU8());
+  a.distinct = d != 0;
+  HAWQ_ASSIGN_OR_RETURN(uint8_t t, r->GetU8());
+  a.out_type = static_cast<TypeId>(t);
+  HAWQ_ASSIGN_OR_RETURN(a.arg, PExpr::Deserialize(r));
+  return a;
+}
+
+std::string AggSpec::ToString() const {
+  static const char* names[] = {"count", "sum", "min", "max", "avg"};
+  std::string s = names[static_cast<int>(kind)];
+  s += "(";
+  if (distinct) s += "DISTINCT ";
+  s += count_star ? "*" : arg.ToString();
+  return s + ")";
+}
+
+}  // namespace hawq::sql

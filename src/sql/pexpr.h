@@ -1,0 +1,110 @@
+// Physical (executable) expressions.
+//
+// The analyzer lowers AST expressions into PExpr trees whose column
+// references are flat indices into the executor's row layout. PExprs are
+// fully serializable — they travel inside self-described plans from the
+// master to the segments (paper §3.1, metadata dispatch).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace hawq::sql {
+
+struct PExpr {
+  enum class Op : uint8_t {
+    kConst = 0,
+    kCol,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kMod,
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kAnd,
+    kOr,
+    kNot,
+    kNeg,
+    kLike,
+    kNotLike,
+    kIsNull,
+    kIsNotNull,
+    kCase,   // children = when1,then1,...[,else]
+    kIn,     // children[0] vs constant children[1..]
+    kNotIn,
+    kConcat,
+    kFunc,   // func(children...): year/month/day/substr/length/...
+    kScalarSubquery,  // placeholder resolved by the engine before planning
+  };
+
+  Op op = Op::kConst;
+  Datum value;                // kConst
+  int32_t col = -1;           // kCol
+  std::string func;           // kFunc
+  int32_t subquery_idx = -1;  // kScalarSubquery
+  TypeId out_type = TypeId::kInt64;
+  std::vector<PExpr> children;
+
+  static PExpr Const(Datum d, TypeId t);
+  static PExpr Col(int idx, TypeId t);
+  static PExpr Binary(Op op, PExpr l, PExpr r, TypeId t);
+
+  /// Evaluate against a flat row. SQL three-valued logic: comparisons and
+  /// arithmetic over NULL yield NULL; AND/OR are Kleene. Division by zero
+  /// yields NULL.
+  Datum Eval(const Row& row) const;
+
+  /// True when Eval is boolean-true (NULL counts as false — filters).
+  bool EvalBool(const Row& row) const {
+    Datum d = Eval(row);
+    return !d.is_null() && d.as_bool();
+  }
+
+  void Serialize(BufferWriter* w) const;
+  static Result<PExpr> Deserialize(BufferReader* r);
+
+  /// Canonical byte string; equal fingerprints = structurally equal exprs.
+  std::string Fingerprint() const;
+
+  /// Column indices referenced anywhere in the tree (deduplicated).
+  void CollectCols(std::vector<int>* out) const;
+
+  /// Add `delta` to every column reference (join layout shifting).
+  void ShiftCols(int delta);
+
+  /// Rewrite column indices through `mapping`; unmapped refs are an
+  /// internal error kept as-is (callers guarantee completeness).
+  void RemapCols(const std::map<int, int>& mapping);
+
+  /// Replace kScalarSubquery placeholders by constants.
+  void BindSubqueryResults(const std::vector<Datum>& results);
+
+  std::string ToString() const;  // for EXPLAIN
+};
+
+/// One aggregate computed by a HashAgg node.
+struct AggSpec {
+  enum class Kind : uint8_t { kCount = 0, kSum, kMin, kMax, kAvg };
+  Kind kind = Kind::kCount;
+  bool count_star = false;
+  bool distinct = false;
+  PExpr arg;  // ignored when count_star
+  TypeId out_type = TypeId::kInt64;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<AggSpec> Deserialize(BufferReader* r);
+  std::string ToString() const;
+};
+
+}  // namespace hawq::sql

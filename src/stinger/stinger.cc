@@ -1,0 +1,100 @@
+#include "stinger/stinger.h"
+
+#include "common/sim_cost.h"
+#include "planner/planner.h"
+#include "sql/analyzer.h"
+#include "sql/parser.h"
+
+namespace hawq::stinger {
+
+StingerEngine::StingerEngine(engine::Cluster* cluster, StingerOptions opts)
+    : cluster_(cluster), opts_(opts) {
+  fabric_ = std::make_unique<mr::MrFabric>(cluster->hdfs(), opts_.mr);
+  local_disks_ = std::vector<exec::LocalDisk>(cluster->num_segments() + 1);
+  engine::DispatchOptions dopts;
+  dopts.num_segments = cluster->num_segments();
+  dopts.compress_plan = false;  // Hive submits job descriptions per stage
+  dispatcher_ = std::make_unique<engine::Dispatcher>(
+      cluster->hdfs(), fabric_.get(), &local_disks_, dopts);
+}
+
+Result<engine::QueryResult> StingerEngine::Execute(const std::string& sql) {
+  HAWQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
+  if (stmt->kind != sql::Statement::Kind::kSelect) {
+    return Status::NotSupported("Stinger baseline executes SELECT only");
+  }
+  auto txn = cluster_->tx_manager()->Begin();
+  auto run = [&]() -> Result<engine::QueryResult> {
+    HAWQ_ASSIGN_OR_RETURN(
+        auto bound, sql::Analyze(cluster_->catalog(), txn.get(), *stmt->select));
+    if (!bound->scalar_subqueries.empty()) {
+      // Hive runs scalar subqueries as separate MR jobs first.
+      std::vector<Datum> values;
+      for (auto& sub : bound->scalar_subqueries) {
+        plan::PlannerOptions po = RuleBasedOptions();
+        plan::Planner planner(cluster_->catalog(), txn.get(), po);
+        HAWQ_ASSIGN_OR_RETURN(plan::PhysicalPlan subplan,
+                              planner.PlanSelect(*sub));
+        HAWQ_ASSIGN_OR_RETURN(
+            engine::QueryResult r,
+            dispatcher_->Execute(subplan, cluster_->NextQueryId(),
+                                 cluster_->SegmentUpMask(), nullptr));
+        if (r.rows.size() > 1) {
+          return Status::InvalidArgument("scalar subquery returned >1 row");
+        }
+        values.push_back(r.rows.empty() ? Datum::Null() : r.rows[0][0]);
+      }
+      for (sql::PExpr& e : bound->conjuncts) e.BindSubqueryResults(values);
+      for (sql::PExpr& e : bound->select) e.BindSubqueryResults(values);
+      if (bound->has_having) bound->having.BindSubqueryResults(values);
+      for (sql::AggSpec& a : bound->aggs) a.arg.BindSubqueryResults(values);
+      for (sql::BoundRel& rel : bound->rels) {
+        for (sql::PExpr& e : rel.on_conjuncts) e.BindSubqueryResults(values);
+        for (sql::PExpr& e : rel.local_conjuncts) {
+          e.BindSubqueryResults(values);
+        }
+      }
+    }
+    plan::Planner planner(cluster_->catalog(), txn.get(), RuleBasedOptions());
+    HAWQ_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.PlanSelect(*bound));
+    uint64_t before = fabric_->bytes_materialized();
+    HAWQ_ASSIGN_OR_RETURN(
+        engine::QueryResult res,
+        dispatcher_->Execute(plan, cluster_->NextQueryId(),
+                             cluster_->SegmentUpMask(), nullptr));
+    if (opts_.reducer_memory_limit > 0) {
+      uint64_t shuffled = fabric_->bytes_materialized() - before;
+      uint64_t per_reducer = shuffled / cluster_->num_segments();
+      if (per_reducer > opts_.reducer_memory_limit) {
+        return Status::OutOfMemory(
+            "Reducer out of memory: " + std::to_string(per_reducer) +
+            " bytes in one reducer");
+      }
+    }
+    return res;
+  };
+  // Model Hive's slow table-scan SerDe for the duration of the query.
+  uint64_t prev_throttle =
+      SimCost::Global().hdfs_read_bytes_per_sec.exchange(
+          opts_.scan_bytes_per_sec == 0
+              ? SimCost::Global().hdfs_read_bytes_per_sec.load()
+              : opts_.scan_bytes_per_sec);
+  auto res = run();
+  SimCost::Global().hdfs_read_bytes_per_sec.store(prev_throttle);
+  cluster_->tx_manager()->Commit(txn.get());
+  return res;
+}
+
+plan::PlannerOptions StingerEngine::RuleBasedOptions() {
+  plan::PlannerOptions po;
+  po.num_segments = cluster_->num_segments();
+  po.cost_based_join_order = false;
+  po.enable_colocation = false;
+  po.enable_partition_elimination = false;
+  po.enable_direct_dispatch = false;
+  po.enable_two_phase_agg = true;  // Hive's map-side combiner
+  po.enable_broadcast_joins = false;  // reduce-side joins only
+  return po;
+}
+
+}  // namespace hawq::stinger

@@ -1,0 +1,58 @@
+// Stinger baseline: SQL on MapReduce (paper §8.1).
+//
+// Models Hive 0.12 with the Stinger phase-two improvements, i.e. the
+// system the paper benchmarks HAWQ against:
+//   - ORCFile columnar storage (reuses the CO format),
+//   - rule-based planning: joins in as-written order, no colocation
+//     awareness, no partition elimination, no direct dispatch ("Stinger
+//     uses a simple rule-based algorithm and makes little use of hints"),
+//   - every plan slice runs as a MapReduce job: per-job YARN startup cost,
+//     stage barriers, and shuffle materialization to HDFS instead of the
+//     pipelined interconnect,
+//   - queries whose final aggregation state exceeds a reducer memory
+//     budget fail with OutOfMemory (reproducing the paper's "3 queries
+//     failed with Reducer out of memory" on the large dataset).
+#pragma once
+
+#include <memory>
+
+#include "engine/cluster.h"
+#include "engine/query_result.h"
+#include "mapreduce/mr_fabric.h"
+
+namespace hawq::stinger {
+
+struct StingerOptions {
+  mr::MrOptions mr;
+  /// Hive's row-at-a-time Java SerDe table-scan throughput (bytes/sec),
+  /// applied as an HDFS read throttle while a Stinger query runs. ~100x
+  /// below the paper's cluster scale, like the MR startup costs. 0 = off.
+  uint64_t scan_bytes_per_sec = 8u << 20;
+  /// Reducer heap budget: queries materializing more bytes than this in a
+  /// single reducer fail (0 = unlimited).
+  size_t reducer_memory_limit = 0;
+};
+
+/// Executes SELECT statements over the shared catalog/HDFS, Hive-style.
+class StingerEngine {
+ public:
+  StingerEngine(engine::Cluster* cluster, StingerOptions opts = {});
+
+  Result<engine::QueryResult> Execute(const std::string& sql);
+
+  uint64_t jobs_launched() const { return fabric_->jobs_launched(); }
+  uint64_t bytes_materialized() const {
+    return fabric_->bytes_materialized();
+  }
+
+ private:
+  plan::PlannerOptions RuleBasedOptions();
+
+  engine::Cluster* cluster_;
+  StingerOptions opts_;
+  std::unique_ptr<mr::MrFabric> fabric_;
+  std::vector<exec::LocalDisk> local_disks_;
+  std::unique_ptr<engine::Dispatcher> dispatcher_;
+};
+
+}  // namespace hawq::stinger

@@ -1,0 +1,207 @@
+#include "storage/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace hawq::storage {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+
+// --- RLE ---------------------------------------------------------------
+
+std::string RleCompress(std::string_view src) {
+  BufferWriter w;
+  size_t i = 0;
+  while (i < src.size()) {
+    char c = src[i];
+    size_t run = 1;
+    while (i + run < src.size() && src[i + run] == c && run < (1u << 24)) {
+      ++run;
+    }
+    w.PutU8(static_cast<uint8_t>(c));
+    w.PutVarint(run);
+    i += run;
+  }
+  return w.Release();
+}
+
+Result<std::string> RleDecompress(std::string_view src, size_t expected) {
+  std::string out;
+  out.reserve(expected);
+  BufferReader r(src.data(), src.size());
+  while (r.remaining() > 0) {
+    HAWQ_ASSIGN_OR_RETURN(uint8_t c, r.GetU8());
+    HAWQ_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+    if (out.size() + run > expected) {
+      return Status::Corruption("RLE output overrun");
+    }
+    out.append(run, static_cast<char>(c));
+  }
+  return out;
+}
+
+// --- LZ family -----------------------------------------------------------
+//
+// Token stream:
+//   control byte < 0x80:  literal run of (control+1) bytes follows
+//   control byte >= 0x80: match; length = (control & 0x7F) + kMinMatch,
+//                         followed by varint distance (>=1).
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 18;  // 14-bit table
+}
+
+constexpr size_t kHashSize = 1 << 14;
+
+void EmitLiterals(const char* base, size_t from, size_t to, BufferWriter* w) {
+  while (from < to) {
+    size_t n = std::min<size_t>(to - from, 128);
+    w->PutU8(static_cast<uint8_t>(n - 1));
+    w->PutRaw(base + from, n);
+    from += n;
+  }
+}
+
+/// `max_chain` == 0 selects the quicklz-style single-probe table.
+std::string LzCompress(std::string_view src, int max_chain) {
+  BufferWriter w;
+  const char* base = src.data();
+  const size_t n = src.size();
+  if (n < kMinMatch + 4) {
+    EmitLiterals(base, 0, n, &w);
+    return w.Release();
+  }
+  // head[h]: most recent position with hash h; prev[i]: previous position
+  // in the chain for position i (only allocated when chaining).
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev;
+  if (max_chain > 0) prev.assign(n, -1);
+
+  size_t lit_start = 0;
+  size_t i = 0;
+  const size_t limit = n - kMinMatch;
+  while (i <= limit) {
+    uint32_t h = Hash4(base + i);
+    int32_t cand = head[h];
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    int chain = max_chain > 0 ? max_chain : 1;
+    while (cand >= 0 && chain-- > 0) {
+      size_t dist = i - static_cast<size_t>(cand);
+      if (dist > 0) {
+        size_t len = 0;
+        size_t max_len = std::min<size_t>(n - i, 131);
+        const char* a = base + cand;
+        const char* b = base + i;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == max_len) break;
+        }
+      }
+      if (max_chain == 0) break;
+      cand = prev[cand];
+    }
+    if (best_len >= kMinMatch) {
+      EmitLiterals(base, lit_start, i, &w);
+      w.PutU8(static_cast<uint8_t>(0x80 | (best_len - kMinMatch)));
+      w.PutVarint(best_dist);
+      // Insert positions covered by the match into the tables (sparsely for
+      // speed at low levels).
+      size_t step = max_chain >= 32 ? 1 : 2;
+      for (size_t j = i; j < i + best_len && j <= limit; j += step) {
+        uint32_t hh = Hash4(base + j);
+        if (max_chain > 0) prev[j] = head[hh];
+        head[hh] = static_cast<int32_t>(j);
+      }
+      i += best_len;
+      lit_start = i;
+    } else {
+      if (max_chain > 0) prev[i] = head[h];
+      head[h] = static_cast<int32_t>(i);
+      ++i;
+    }
+  }
+  EmitLiterals(base, lit_start, n, &w);
+  return w.Release();
+}
+
+Result<std::string> LzDecompress(std::string_view src, size_t expected) {
+  std::string out;
+  out.reserve(expected);
+  BufferReader r(src.data(), src.size());
+  while (r.remaining() > 0) {
+    HAWQ_ASSIGN_OR_RETURN(uint8_t ctrl, r.GetU8());
+    if (ctrl < 0x80) {
+      size_t len = static_cast<size_t>(ctrl) + 1;
+      size_t old = out.size();
+      out.resize(old + len);
+      HAWQ_RETURN_IF_ERROR(r.GetRaw(out.data() + old, len));
+    } else {
+      size_t len = (ctrl & 0x7F) + kMinMatch;
+      HAWQ_ASSIGN_OR_RETURN(uint64_t dist, r.GetVarint());
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("LZ bad match distance");
+      }
+      size_t from = out.size() - dist;
+      // Byte-by-byte: matches may overlap their own output.
+      for (size_t k = 0; k < len; ++k) out.push_back(out[from + k]);
+    }
+    if (out.size() > expected) return Status::Corruption("LZ output overrun");
+  }
+  return out;
+}
+
+int ZlibChainForLevel(int level) {
+  if (level <= 1) return 4;
+  if (level <= 5) return 32;
+  return 192;
+}
+
+}  // namespace
+
+Result<std::string> CodecCompress(catalog::Codec codec, int level,
+                                  std::string_view src) {
+  switch (codec) {
+    case catalog::Codec::kNone:
+      return std::string(src);
+    case catalog::Codec::kRle:
+      return RleCompress(src);
+    case catalog::Codec::kQuicklz:
+      return LzCompress(src, /*max_chain=*/0);
+    case catalog::Codec::kZlib:
+      return LzCompress(src, ZlibChainForLevel(level));
+  }
+  return Status::InvalidArgument("bad codec");
+}
+
+Result<std::string> CodecDecompress(catalog::Codec codec, std::string_view src,
+                                    size_t expected_size) {
+  Result<std::string> out = [&]() -> Result<std::string> {
+    switch (codec) {
+      case catalog::Codec::kNone:
+        return std::string(src);
+      case catalog::Codec::kRle:
+        return RleDecompress(src, expected_size);
+      case catalog::Codec::kQuicklz:
+      case catalog::Codec::kZlib:
+        return LzDecompress(src, expected_size);
+    }
+    return Status::InvalidArgument("bad codec");
+  }();
+  if (out.ok() && out->size() != expected_size) {
+    return Status::Corruption("decompressed size mismatch: got " +
+                              std::to_string(out->size()) + " want " +
+                              std::to_string(expected_size));
+  }
+  return out;
+}
+
+}  // namespace hawq::storage

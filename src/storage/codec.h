@@ -1,0 +1,32 @@
+// Block compression codecs (paper §2.5, Figure 11).
+//
+// All codecs are implemented from scratch:
+//   - kNone:    passthrough.
+//   - kRle:     byte run-length encoding (the CO RLE option).
+//   - kQuicklz: fast greedy LZ with a single-probe hash table — models the
+//               paper's fast/light quicklz/snappy family.
+//   - kZlib:    LZ77 with hash-chain match search; levels 1/5/9 increase
+//               the chain search depth — models zlib/gzip levels. Higher
+//               levels cost more CPU for slightly better ratios, matching
+//               the tradeoff the paper measures.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+
+namespace hawq::storage {
+
+/// Compress `src` with the given codec/level.
+Result<std::string> CodecCompress(catalog::Codec codec, int level,
+                                  std::string_view src);
+
+/// Decompress a buffer produced by CodecCompress. `expected_size` is the
+/// original length (stored by block headers); mismatch is corruption.
+Result<std::string> CodecDecompress(catalog::Codec codec,
+                                    std::string_view src,
+                                    size_t expected_size);
+
+}  // namespace hawq::storage

@@ -1,0 +1,571 @@
+#include "storage/format.h"
+
+#include <algorithm>
+
+#include "common/serde.h"
+#include "storage/codec.h"
+
+namespace hawq::storage {
+
+namespace {
+
+using catalog::Codec;
+using catalog::StorageKind;
+
+std::vector<bool> ProjectionMask(size_t ncols, const std::vector<int>& proj) {
+  if (proj.empty()) return std::vector<bool>(ncols, true);
+  std::vector<bool> mask(ncols, false);
+  for (int c : proj) {
+    if (c >= 0 && c < static_cast<int>(ncols)) mask[c] = true;
+  }
+  return mask;
+}
+
+Result<std::unique_ptr<hdfs::FileWriter>> OpenAppend(hdfs::MiniHdfs* fs,
+                                                     const std::string& path,
+                                                     int host) {
+  if (fs->Exists(path)) return fs->OpenForAppend(path, host);
+  return fs->Create(path, host);
+}
+
+// ------------------------------------------------------------------ AO
+
+// Block layout: [varint uncompressed][varint compressed][u8 codec] payload.
+class AoWriter : public TableWriter {
+ public:
+  AoWriter(hdfs::MiniHdfs* fs, std::string path, const StorageOptions& opts,
+           int host)
+      : fs_(fs), path_(std::move(path)), opts_(opts), host_(host) {}
+
+  Status Init() {
+    if (fs_->Exists(path_)) {
+      HAWQ_ASSIGN_OR_RETURN(uint64_t len, fs_->FileSize(path_));
+      eof_ = static_cast<int64_t>(len);
+    }
+    HAWQ_ASSIGN_OR_RETURN(writer_, OpenAppend(fs_, path_, host_));
+    return Status::OK();
+  }
+
+  Status Append(const Row& row) override {
+    SerializeRow(row, &stripe_);
+    ++rows_in_stripe_;
+    ++rows_;
+    if (rows_in_stripe_ >= opts_.stripe_rows) return Flush();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    HAWQ_RETURN_IF_ERROR(Flush());
+    return writer_->Close();
+  }
+
+  int64_t logical_eof() const override { return eof_; }
+  int64_t rows_written() const override { return rows_; }
+  int64_t uncompressed_bytes() const override { return uncompressed_; }
+
+ private:
+  Status Flush() {
+    if (rows_in_stripe_ == 0) return Status::OK();
+    std::string raw = stripe_.Release();
+    stripe_ = BufferWriter();
+    rows_in_stripe_ = 0;
+    uncompressed_ += static_cast<int64_t>(raw.size());
+    HAWQ_ASSIGN_OR_RETURN(std::string comp,
+                          CodecCompress(opts_.codec, opts_.codec_level, raw));
+    BufferWriter hdr;
+    hdr.PutVarint(raw.size());
+    hdr.PutVarint(comp.size());
+    hdr.PutU8(static_cast<uint8_t>(opts_.codec));
+    HAWQ_RETURN_IF_ERROR(writer_->Append(hdr.data()));
+    HAWQ_RETURN_IF_ERROR(writer_->Append(comp));
+    eof_ += static_cast<int64_t>(hdr.size() + comp.size());
+    return Status::OK();
+  }
+
+  hdfs::MiniHdfs* fs_;
+  std::string path_;
+  StorageOptions opts_;
+  int host_;
+  std::unique_ptr<hdfs::FileWriter> writer_;
+  BufferWriter stripe_;
+  size_t rows_in_stripe_ = 0;
+  int64_t rows_ = 0;
+  int64_t eof_ = 0;
+  int64_t uncompressed_ = 0;
+  bool closed_ = false;
+};
+
+class AoScanner : public TableScanner {
+ public:
+  AoScanner(size_t ncols, std::vector<bool> mask)
+      : ncols_(ncols), mask_(std::move(mask)) {}
+
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+    if (eof == 0) return Status::OK();
+    HAWQ_ASSIGN_OR_RETURN(auto reader, fs->Open(path));
+    buf_.resize(eof);
+    HAWQ_ASSIGN_OR_RETURN(size_t got, reader->PRead(0, buf_.data(), buf_.size()));
+    if (got < static_cast<size_t>(eof)) {
+      return Status::Corruption("AO file shorter than logical eof: " + path);
+    }
+    file_ = BufferReader(buf_.data(), buf_.size());
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    while (block_.remaining() == 0) {
+      if (buf_.empty() || file_.remaining() == 0) return false;
+      HAWQ_ASSIGN_OR_RETURN(uint64_t uncomp, file_.GetVarint());
+      HAWQ_ASSIGN_OR_RETURN(uint64_t comp, file_.GetVarint());
+      HAWQ_ASSIGN_OR_RETURN(uint8_t codec, file_.GetU8());
+      if (file_.remaining() < comp) {
+        return Status::Corruption("AO block truncated");
+      }
+      std::string payload(comp, '\0');
+      HAWQ_RETURN_IF_ERROR(file_.GetRaw(payload.data(), comp));
+      HAWQ_ASSIGN_OR_RETURN(
+          block_data_,
+          CodecDecompress(static_cast<Codec>(codec), payload, uncomp));
+      block_ = BufferReader(block_data_.data(), block_data_.size());
+    }
+    HAWQ_ASSIGN_OR_RETURN(Row r, DeserializeRow(&block_));
+    if (r.size() != ncols_) return Status::Corruption("AO row arity mismatch");
+    for (size_t i = 0; i < ncols_; ++i) {
+      if (!mask_[i]) r[i] = Datum::Null();
+    }
+    *row = std::move(r);
+    return true;
+  }
+
+ private:
+  size_t ncols_;
+  std::vector<bool> mask_;
+  std::string buf_;
+  BufferReader file_{nullptr, 0};
+  std::string block_data_;
+  BufferReader block_{nullptr, 0};
+};
+
+// ------------------------------------------------------------------ CO
+//
+// Meta file: per stripe [varint rows][varint ncols]
+//            then per column [varint comp][varint uncomp].
+// Column file c<i>: concatenated compressed chunks.
+
+class CoWriter : public TableWriter {
+ public:
+  CoWriter(hdfs::MiniHdfs* fs, std::string path, const Schema& schema,
+           const StorageOptions& opts, int host)
+      : fs_(fs),
+        path_(std::move(path)),
+        ncols_(schema.num_fields()),
+        opts_(opts),
+        host_(host),
+        col_bufs_(ncols_) {}
+
+  Status Init() {
+    if (fs_->Exists(path_)) {
+      HAWQ_ASSIGN_OR_RETURN(uint64_t len, fs_->FileSize(path_));
+      eof_ = static_cast<int64_t>(len);
+    }
+    HAWQ_ASSIGN_OR_RETURN(meta_, OpenAppend(fs_, path_, host_));
+    col_writers_.resize(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      HAWQ_ASSIGN_OR_RETURN(
+          col_writers_[i],
+          OpenAppend(fs_, path_ + ".c" + std::to_string(i), host_));
+    }
+    return Status::OK();
+  }
+
+  Status Append(const Row& row) override {
+    if (row.size() != ncols_) return Status::Internal("CO row arity mismatch");
+    for (size_t i = 0; i < ncols_; ++i) SerializeDatum(row[i], &col_bufs_[i]);
+    ++rows_in_stripe_;
+    ++rows_;
+    if (rows_in_stripe_ >= opts_.stripe_rows) return Flush();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    HAWQ_RETURN_IF_ERROR(Flush());
+    HAWQ_RETURN_IF_ERROR(meta_->Close());
+    for (auto& w : col_writers_) HAWQ_RETURN_IF_ERROR(w->Close());
+    return Status::OK();
+  }
+
+  int64_t logical_eof() const override { return eof_; }
+  int64_t rows_written() const override { return rows_; }
+  int64_t uncompressed_bytes() const override { return uncompressed_; }
+
+ private:
+  Status Flush() {
+    if (rows_in_stripe_ == 0) return Status::OK();
+    BufferWriter meta_rec;
+    meta_rec.PutVarint(rows_in_stripe_);
+    meta_rec.PutVarint(ncols_);
+    std::vector<std::string> chunks(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      std::string raw = col_bufs_[i].Release();
+      col_bufs_[i] = BufferWriter();
+      uncompressed_ += static_cast<int64_t>(raw.size());
+      HAWQ_ASSIGN_OR_RETURN(chunks[i],
+                            CodecCompress(opts_.codec, opts_.codec_level, raw));
+      meta_rec.PutVarint(chunks[i].size());
+      meta_rec.PutVarint(raw.size());
+    }
+    for (size_t i = 0; i < ncols_; ++i) {
+      HAWQ_RETURN_IF_ERROR(col_writers_[i]->Append(chunks[i]));
+    }
+    HAWQ_RETURN_IF_ERROR(meta_->Append(meta_rec.data()));
+    eof_ += static_cast<int64_t>(meta_rec.size());
+    rows_in_stripe_ = 0;
+    return Status::OK();
+  }
+
+  hdfs::MiniHdfs* fs_;
+  std::string path_;
+  size_t ncols_;
+  StorageOptions opts_;
+  int host_;
+  std::unique_ptr<hdfs::FileWriter> meta_;
+  std::vector<std::unique_ptr<hdfs::FileWriter>> col_writers_;
+  std::vector<BufferWriter> col_bufs_;
+  size_t rows_in_stripe_ = 0;
+  int64_t rows_ = 0;
+  int64_t eof_ = 0;
+  int64_t uncompressed_ = 0;
+  bool closed_ = false;
+};
+
+class CoScanner : public TableScanner {
+ public:
+  CoScanner(size_t ncols, std::vector<bool> mask, Codec codec)
+      : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
+
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+    fs_ = fs;
+    path_ = path;
+    if (eof == 0) return Status::OK();
+    HAWQ_ASSIGN_OR_RETURN(auto meta_reader, fs->Open(path));
+    meta_buf_.resize(eof);
+    HAWQ_ASSIGN_OR_RETURN(size_t got,
+                          meta_reader->PRead(0, meta_buf_.data(), eof));
+    if (got < static_cast<size_t>(eof)) {
+      return Status::Corruption("CO meta shorter than logical eof: " + path);
+    }
+    meta_ = BufferReader(meta_buf_.data(), meta_buf_.size());
+    col_offsets_.assign(ncols_, 0);
+    col_readers_.resize(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      if (!mask_[i]) continue;
+      HAWQ_ASSIGN_OR_RETURN(col_readers_[i],
+                            fs->Open(path + ".c" + std::to_string(i)));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (row_in_stripe_ >= stripe_rows_) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, LoadStripe());
+      if (!more) return false;
+    }
+    Row r(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      if (!mask_[i]) continue;
+      HAWQ_ASSIGN_OR_RETURN(r[i], DeserializeDatum(&col_readers_buf_[i]));
+    }
+    ++row_in_stripe_;
+    *row = std::move(r);
+    return true;
+  }
+
+ private:
+  Result<bool> LoadStripe() {
+    if (meta_buf_.empty() || meta_.remaining() == 0) return false;
+    HAWQ_ASSIGN_OR_RETURN(uint64_t rows, meta_.GetVarint());
+    HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, meta_.GetVarint());
+    if (ncols != ncols_) return Status::Corruption("CO column count mismatch");
+    col_data_.assign(ncols_, "");
+    col_readers_buf_.assign(ncols_, BufferReader(nullptr, 0));
+    for (size_t i = 0; i < ncols_; ++i) {
+      HAWQ_ASSIGN_OR_RETURN(uint64_t comp, meta_.GetVarint());
+      HAWQ_ASSIGN_OR_RETURN(uint64_t uncomp, meta_.GetVarint());
+      if (mask_[i]) {
+        std::string payload(comp, '\0');
+        HAWQ_ASSIGN_OR_RETURN(
+            size_t got,
+            col_readers_[i]->PRead(col_offsets_[i], payload.data(), comp));
+        if (got < comp) return Status::Corruption("CO column chunk truncated");
+        HAWQ_ASSIGN_OR_RETURN(col_data_[i],
+                              CodecDecompress(codec_, payload, uncomp));
+        col_readers_buf_[i] =
+            BufferReader(col_data_[i].data(), col_data_[i].size());
+      }
+      col_offsets_[i] += comp;
+    }
+    stripe_rows_ = rows;
+    row_in_stripe_ = 0;
+    return true;
+  }
+
+  hdfs::MiniHdfs* fs_ = nullptr;
+  std::string path_;
+  size_t ncols_;
+  std::vector<bool> mask_;
+  Codec codec_ = Codec::kNone;
+  std::string meta_buf_;
+  BufferReader meta_{nullptr, 0};
+  std::vector<std::unique_ptr<hdfs::FileReader>> col_readers_;
+  std::vector<uint64_t> col_offsets_;
+  std::vector<std::string> col_data_;
+  std::vector<BufferReader> col_readers_buf_;
+  uint64_t stripe_rows_ = 0;
+  uint64_t row_in_stripe_ = 0;
+};
+
+// ------------------------------------------------------------ Parquet
+//
+// Row group: [varint rows][varint ncols]
+//            per column [varint comp][varint uncomp], then the column
+//            chunks back to back. PAX: all columns of a group co-located.
+
+class ParquetWriter : public TableWriter {
+ public:
+  ParquetWriter(hdfs::MiniHdfs* fs, std::string path, const Schema& schema,
+                const StorageOptions& opts, int host)
+      : fs_(fs),
+        path_(std::move(path)),
+        ncols_(schema.num_fields()),
+        opts_(opts),
+        host_(host),
+        col_bufs_(ncols_) {}
+
+  Status Init() {
+    if (fs_->Exists(path_)) {
+      HAWQ_ASSIGN_OR_RETURN(uint64_t len, fs_->FileSize(path_));
+      eof_ = static_cast<int64_t>(len);
+    }
+    HAWQ_ASSIGN_OR_RETURN(writer_, OpenAppend(fs_, path_, host_));
+    return Status::OK();
+  }
+
+  Status Append(const Row& row) override {
+    if (row.size() != ncols_) {
+      return Status::Internal("Parquet row arity mismatch");
+    }
+    for (size_t i = 0; i < ncols_; ++i) SerializeDatum(row[i], &col_bufs_[i]);
+    ++rows_in_group_;
+    ++rows_;
+    if (rows_in_group_ >= opts_.stripe_rows) return Flush();
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (closed_) return Status::OK();
+    closed_ = true;
+    HAWQ_RETURN_IF_ERROR(Flush());
+    return writer_->Close();
+  }
+
+  int64_t logical_eof() const override { return eof_; }
+  int64_t rows_written() const override { return rows_; }
+  int64_t uncompressed_bytes() const override { return uncompressed_; }
+
+ private:
+  Status Flush() {
+    if (rows_in_group_ == 0) return Status::OK();
+    BufferWriter hdr;
+    hdr.PutVarint(rows_in_group_);
+    hdr.PutVarint(ncols_);
+    std::vector<std::string> chunks(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      std::string raw = col_bufs_[i].Release();
+      col_bufs_[i] = BufferWriter();
+      uncompressed_ += static_cast<int64_t>(raw.size());
+      HAWQ_ASSIGN_OR_RETURN(chunks[i],
+                            CodecCompress(opts_.codec, opts_.codec_level, raw));
+      hdr.PutVarint(chunks[i].size());
+      hdr.PutVarint(raw.size());
+    }
+    HAWQ_RETURN_IF_ERROR(writer_->Append(hdr.data()));
+    eof_ += static_cast<int64_t>(hdr.size());
+    for (size_t i = 0; i < ncols_; ++i) {
+      HAWQ_RETURN_IF_ERROR(writer_->Append(chunks[i]));
+      eof_ += static_cast<int64_t>(chunks[i].size());
+    }
+    rows_in_group_ = 0;
+    return Status::OK();
+  }
+
+  hdfs::MiniHdfs* fs_;
+  std::string path_;
+  size_t ncols_;
+  StorageOptions opts_;
+  int host_;
+  std::unique_ptr<hdfs::FileWriter> writer_;
+  std::vector<BufferWriter> col_bufs_;
+  size_t rows_in_group_ = 0;
+  int64_t rows_ = 0;
+  int64_t eof_ = 0;
+  int64_t uncompressed_ = 0;
+  bool closed_ = false;
+};
+
+class ParquetScanner : public TableScanner {
+ public:
+  ParquetScanner(size_t ncols, std::vector<bool> mask, Codec codec)
+      : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
+
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+    eof_ = eof;
+    if (eof == 0) return Status::OK();
+    HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path));
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (row_in_group_ >= group_rows_) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, LoadGroup());
+      if (!more) return false;
+    }
+    Row r(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      if (!mask_[i]) continue;
+      HAWQ_ASSIGN_OR_RETURN(r[i], DeserializeDatum(&col_buf_readers_[i]));
+    }
+    ++row_in_group_;
+    *row = std::move(r);
+    return true;
+  }
+
+ private:
+  Result<bool> LoadGroup() {
+    if (pos_ >= eof_) return false;
+    // Header is small (tens of bytes per column); over-read and parse.
+    size_t hdr_cap = std::min<int64_t>(eof_ - pos_, 64 * 1024);
+    std::string hdr_buf(hdr_cap, '\0');
+    HAWQ_ASSIGN_OR_RETURN(size_t got,
+                          reader_->PRead(pos_, hdr_buf.data(), hdr_cap));
+    BufferReader hdr(hdr_buf.data(), got);
+    HAWQ_ASSIGN_OR_RETURN(uint64_t rows, hdr.GetVarint());
+    HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, hdr.GetVarint());
+    if (ncols != ncols_) {
+      return Status::Corruption("Parquet column count mismatch");
+    }
+    std::vector<uint64_t> comp(ncols_), uncomp(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
+      HAWQ_ASSIGN_OR_RETURN(comp[i], hdr.GetVarint());
+      HAWQ_ASSIGN_OR_RETURN(uncomp[i], hdr.GetVarint());
+    }
+    uint64_t hdr_size = got - hdr.remaining();
+    uint64_t chunk_off = pos_ + hdr_size;
+    col_data_.assign(ncols_, "");
+    col_buf_readers_.assign(ncols_, BufferReader(nullptr, 0));
+    for (size_t i = 0; i < ncols_; ++i) {
+      if (mask_[i]) {
+        std::string payload(comp[i], '\0');
+        HAWQ_ASSIGN_OR_RETURN(size_t n,
+                              reader_->PRead(chunk_off, payload.data(),
+                                             comp[i]));
+        if (n < comp[i]) return Status::Corruption("Parquet chunk truncated");
+        HAWQ_ASSIGN_OR_RETURN(col_data_[i],
+                              CodecDecompress(codec_, payload, uncomp[i]));
+        col_buf_readers_[i] =
+            BufferReader(col_data_[i].data(), col_data_[i].size());
+      }
+      chunk_off += comp[i];
+    }
+    pos_ = static_cast<int64_t>(chunk_off);
+    group_rows_ = rows;
+    row_in_group_ = 0;
+    return true;
+  }
+
+  size_t ncols_;
+  std::vector<bool> mask_;
+  Codec codec_;
+  std::unique_ptr<hdfs::FileReader> reader_;
+  int64_t eof_ = 0;
+  int64_t pos_ = 0;
+  std::vector<std::string> col_data_;
+  std::vector<BufferReader> col_buf_readers_;
+  uint64_t group_rows_ = 0;
+  uint64_t row_in_group_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::string> StorageFilePaths(const std::string& path,
+                                          StorageKind kind,
+                                          size_t num_columns) {
+  std::vector<std::string> out = {path};
+  if (kind == StorageKind::kCO) {
+    for (size_t i = 0; i < num_columns; ++i) {
+      out.push_back(path + ".c" + std::to_string(i));
+    }
+  }
+  return out;
+}
+
+Result<std::unique_ptr<TableWriter>> OpenTableWriter(
+    hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
+    const StorageOptions& opts, int preferred_host) {
+  switch (opts.kind) {
+    case StorageKind::kAO: {
+      auto w = std::make_unique<AoWriter>(fs, path, opts, preferred_host);
+      HAWQ_RETURN_IF_ERROR(w->Init());
+      return std::unique_ptr<TableWriter>(std::move(w));
+    }
+    case StorageKind::kCO: {
+      auto w = std::make_unique<CoWriter>(fs, path, schema, opts,
+                                          preferred_host);
+      HAWQ_RETURN_IF_ERROR(w->Init());
+      return std::unique_ptr<TableWriter>(std::move(w));
+    }
+    case StorageKind::kParquet: {
+      auto w = std::make_unique<ParquetWriter>(fs, path, schema, opts,
+                                               preferred_host);
+      HAWQ_RETURN_IF_ERROR(w->Init());
+      return std::unique_ptr<TableWriter>(std::move(w));
+    }
+    case StorageKind::kExternal:
+      return Status::InvalidArgument("cannot write external tables directly");
+  }
+  return Status::InvalidArgument("bad storage kind");
+}
+
+Result<std::unique_ptr<TableScanner>> OpenTableScanner(
+    hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
+    const StorageOptions& opts, int64_t logical_eof,
+    const std::vector<int>& projection) {
+  std::vector<bool> mask = ProjectionMask(schema.num_fields(), projection);
+  switch (opts.kind) {
+    case StorageKind::kAO: {
+      auto s = std::make_unique<AoScanner>(schema.num_fields(), mask);
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      return std::unique_ptr<TableScanner>(std::move(s));
+    }
+    case StorageKind::kCO: {
+      auto s = std::make_unique<CoScanner>(schema.num_fields(), mask,
+                                           opts.codec);
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      return std::unique_ptr<TableScanner>(std::move(s));
+    }
+    case StorageKind::kParquet: {
+      auto s = std::make_unique<ParquetScanner>(schema.num_fields(), mask,
+                                                opts.codec);
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      return std::unique_ptr<TableScanner>(std::move(s));
+    }
+    case StorageKind::kExternal:
+      return Status::InvalidArgument("external tables scan through PXF");
+  }
+  return Status::InvalidArgument("bad storage kind");
+}
+
+}  // namespace hawq::storage

@@ -1,0 +1,88 @@
+// Read-optimized table storage on HDFS (paper §2.5).
+//
+// Three formats share one writer/scanner interface:
+//   - AO:      row-oriented append-only; scans fetch and decompress every
+//              column.
+//   - CO:      column-oriented, one HDFS file per column plus a stripe
+//              metadata file; scans read only the projected columns.
+//   - Parquet: PAX-style row groups in a single file; column chunks are
+//              stored together per group, and scans read only projected
+//              chunks.
+//
+// All formats write compressed blocks through storage/codec.h. Logical
+// file lengths (the transactional visibility boundary, paper §5) are the
+// writer's responsibility to report and the scanner's to respect.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "hdfs/hdfs.h"
+
+namespace hawq::storage {
+
+struct StorageOptions {
+  catalog::StorageKind kind = catalog::StorageKind::kAO;
+  catalog::Codec codec = catalog::Codec::kNone;
+  int codec_level = 1;
+  /// Rows buffered per block/stripe/row-group before flushing.
+  size_t stripe_rows = 4096;
+
+  static StorageOptions FromTable(const catalog::TableDesc& t) {
+    StorageOptions o;
+    o.kind = t.storage;
+    o.codec = t.codec;
+    o.codec_level = t.codec_level;
+    return o;
+  }
+};
+
+/// \brief Appends rows to one segment file. Close() flushes the final
+/// stripe; logical_eof() is only meaningful after Close().
+class TableWriter {
+ public:
+  virtual ~TableWriter() = default;
+  virtual Status Append(const Row& row) = 0;
+  virtual Status Close() = 0;
+  /// Logical length of the primary file after Close (catalog eof).
+  virtual int64_t logical_eof() const = 0;
+  virtual int64_t rows_written() const = 0;
+  /// Total serialized (pre-compression) bytes, for pg_aoseg accounting and
+  /// the compression experiments.
+  virtual int64_t uncompressed_bytes() const = 0;
+};
+
+/// \brief Streams rows back out of a segment file up to a logical eof.
+/// Projected-out columns are returned as NULL placeholders so column
+/// indices stay stable for the executor.
+class TableScanner {
+ public:
+  virtual ~TableScanner() = default;
+  /// Fetch the next row into *row. Returns false at end of data.
+  virtual Result<bool> Next(Row* row) = 0;
+};
+
+/// All HDFS paths backing one segment file of this format (CO adds one
+/// file per column). Used for truncate-on-abort bookkeeping.
+std::vector<std::string> StorageFilePaths(const std::string& path,
+                                          catalog::StorageKind kind,
+                                          size_t num_columns);
+
+/// Open a writer appending to `path` (creates the file(s) if missing).
+Result<std::unique_ptr<TableWriter>> OpenTableWriter(
+    hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
+    const StorageOptions& opts, int preferred_host = -1);
+
+/// Open a scanner over `path`, honouring `logical_eof` (the committed
+/// length from pg_aoseg) and reading only `projection` columns (empty
+/// projection = all columns).
+Result<std::unique_ptr<TableScanner>> OpenTableScanner(
+    hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
+    const StorageOptions& opts, int64_t logical_eof,
+    const std::vector<int>& projection = {});
+
+}  // namespace hawq::storage

@@ -1,0 +1,393 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace hawq::tpch {
+
+namespace {
+
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+const NationDef kNations[] = {
+    {"ALGERIA", 0},   {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},    {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},    {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2}, {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},     {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},   {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},     {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},   {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1}};
+constexpr int kNumNations = 25;
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY",
+                           "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kContainerSyl2[] = {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK",
+                                "CAN", "DRUM"};
+const char* kColors[] = {"almond", "antique", "aquamarine", "azure", "beige",
+                         "bisque", "black", "blanched", "blue", "blush",
+                         "brown", "burlywood", "burnished", "chartreuse",
+                         "chiffon", "chocolate", "coral", "cornflower",
+                         "cornsilk", "cream", "cyan", "dark", "deep", "dim",
+                         "dodger", "drab", "firebrick", "forest", "frosted",
+                         "gainsboro", "ghost", "goldenrod", "green", "grey",
+                         "honeydew", "hot", "indian", "ivory", "khaki",
+                         "lace", "lavender", "lawn", "lemon", "light", "lime",
+                         "linen", "magenta", "maroon", "medium", "metallic"};
+
+template <typename T, size_t N>
+const T& Pick(Rng* rng, const T (&arr)[N]) {
+  return arr[rng->Uniform(0, N - 1)];
+}
+
+std::string Comment(Rng* rng) {
+  // dbgen builds comments from a fixed vocabulary (hence their high
+  // compressibility, which Figure 11 depends on); occasionally embed the
+  // phrases TPC-H predicates probe.
+  static const char* kWords[] = {
+      "carefully", "quickly",  "furiously", "slyly",    "blithely",
+      "deposits",  "requests", "packages",  "accounts", "instructions",
+      "theodolites", "pinto",  "beans",     "foxes",    "ideas",
+      "sleep",     "haggle",   "nag",       "wake",     "cajole",
+      "among",     "the",      "final",     "regular",  "express",
+      "bold",      "silent",   "even",      "special",  "pending"};
+  std::string s;
+  int words = static_cast<int>(rng->Uniform(3, 7));
+  for (int i = 0; i < words; ++i) {
+    if (i) s += ' ';
+    s += kWords[rng->Uniform(0, 29)];
+  }
+  int64_t roll = rng->Uniform(0, 99);
+  if (roll < 2) s += " special requests";
+  if (roll >= 2 && roll < 4) s += " Customer found Complaints";
+  return s;
+}
+
+std::string Phone(Rng* rng, int nationkey) {
+  return std::to_string(10 + nationkey) + "-" +
+         std::to_string(rng->Uniform(100, 999)) + "-" +
+         std::to_string(rng->Uniform(100, 999)) + "-" +
+         std::to_string(rng->Uniform(1000, 9999));
+}
+
+double Money(Rng* rng, int64_t lo_cents, int64_t hi_cents) {
+  return static_cast<double>(rng->Uniform(lo_cents, hi_cents)) / 100.0;
+}
+
+const int64_t kStartDate = DaysFromCivil(1992, 1, 1);
+const int64_t kEndDate = DaysFromCivil(1998, 8, 2);
+
+}  // namespace
+
+int64_t SupplierCount(double sf) {
+  return std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+}
+int64_t CustomerCount(double sf) {
+  return std::max<int64_t>(30, static_cast<int64_t>(150000 * sf));
+}
+int64_t PartCount(double sf) {
+  return std::max<int64_t>(40, static_cast<int64_t>(200000 * sf));
+}
+int64_t OrdersCount(double sf) {
+  return std::max<int64_t>(150, static_cast<int64_t>(1500000 * sf));
+}
+
+Schema RegionSchema() {
+  return Schema({{"r_regionkey", TypeId::kInt64, false},
+                 {"r_name", TypeId::kString, false},
+                 {"r_comment", TypeId::kString, true}});
+}
+
+Schema NationSchema() {
+  return Schema({{"n_nationkey", TypeId::kInt64, false},
+                 {"n_name", TypeId::kString, false},
+                 {"n_regionkey", TypeId::kInt64, false},
+                 {"n_comment", TypeId::kString, true}});
+}
+
+Schema SupplierSchema() {
+  return Schema({{"s_suppkey", TypeId::kInt64, false},
+                 {"s_name", TypeId::kString, false},
+                 {"s_address", TypeId::kString, false},
+                 {"s_nationkey", TypeId::kInt64, false},
+                 {"s_phone", TypeId::kString, false},
+                 {"s_acctbal", TypeId::kDouble, false},
+                 {"s_comment", TypeId::kString, true}});
+}
+
+Schema CustomerSchema() {
+  return Schema({{"c_custkey", TypeId::kInt64, false},
+                 {"c_name", TypeId::kString, false},
+                 {"c_address", TypeId::kString, false},
+                 {"c_nationkey", TypeId::kInt64, false},
+                 {"c_phone", TypeId::kString, false},
+                 {"c_acctbal", TypeId::kDouble, false},
+                 {"c_mktsegment", TypeId::kString, false},
+                 {"c_comment", TypeId::kString, true}});
+}
+
+Schema PartSchema() {
+  return Schema({{"p_partkey", TypeId::kInt64, false},
+                 {"p_name", TypeId::kString, false},
+                 {"p_mfgr", TypeId::kString, false},
+                 {"p_brand", TypeId::kString, false},
+                 {"p_type", TypeId::kString, false},
+                 {"p_size", TypeId::kInt64, false},
+                 {"p_container", TypeId::kString, false},
+                 {"p_retailprice", TypeId::kDouble, false},
+                 {"p_comment", TypeId::kString, true}});
+}
+
+Schema PartsuppSchema() {
+  return Schema({{"ps_partkey", TypeId::kInt64, false},
+                 {"ps_suppkey", TypeId::kInt64, false},
+                 {"ps_availqty", TypeId::kInt64, false},
+                 {"ps_supplycost", TypeId::kDouble, false},
+                 {"ps_comment", TypeId::kString, true}});
+}
+
+Schema OrdersSchema() {
+  return Schema({{"o_orderkey", TypeId::kInt64, false},
+                 {"o_custkey", TypeId::kInt64, false},
+                 {"o_orderstatus", TypeId::kString, false},
+                 {"o_totalprice", TypeId::kDouble, false},
+                 {"o_orderdate", TypeId::kDate, false},
+                 {"o_orderpriority", TypeId::kString, false},
+                 {"o_clerk", TypeId::kString, false},
+                 {"o_shippriority", TypeId::kInt64, false},
+                 {"o_comment", TypeId::kString, true}});
+}
+
+Schema LineitemSchema() {
+  return Schema({{"l_orderkey", TypeId::kInt64, false},
+                 {"l_partkey", TypeId::kInt64, false},
+                 {"l_suppkey", TypeId::kInt64, false},
+                 {"l_linenumber", TypeId::kInt64, false},
+                 {"l_quantity", TypeId::kDouble, false},
+                 {"l_extendedprice", TypeId::kDouble, false},
+                 {"l_discount", TypeId::kDouble, false},
+                 {"l_tax", TypeId::kDouble, false},
+                 {"l_returnflag", TypeId::kString, false},
+                 {"l_linestatus", TypeId::kString, false},
+                 {"l_shipdate", TypeId::kDate, false},
+                 {"l_commitdate", TypeId::kDate, false},
+                 {"l_receiptdate", TypeId::kDate, false},
+                 {"l_shipinstruct", TypeId::kString, false},
+                 {"l_shipmode", TypeId::kString, false},
+                 {"l_comment", TypeId::kString, true}});
+}
+
+Status GenRegion(const RowSink& sink) {
+  Rng rng(7001);
+  for (int i = 0; i < 5; ++i) {
+    HAWQ_RETURN_IF_ERROR(sink({Datum::Int(i), Datum::Str(kRegions[i]),
+                               Datum::Str(Comment(&rng))}));
+  }
+  return Status::OK();
+}
+
+Status GenNation(const RowSink& sink) {
+  Rng rng(7002);
+  for (int i = 0; i < kNumNations; ++i) {
+    HAWQ_RETURN_IF_ERROR(sink({Datum::Int(i), Datum::Str(kNations[i].name),
+                               Datum::Int(kNations[i].region),
+                               Datum::Str(Comment(&rng))}));
+  }
+  return Status::OK();
+}
+
+Status GenSupplier(const GenOptions& o, const RowSink& sink) {
+  Rng rng(o.seed + 1);
+  int64_t n = SupplierCount(o.sf);
+  for (int64_t k = 1; k <= n; ++k) {
+    int nation = static_cast<int>(rng.Uniform(0, kNumNations - 1));
+    HAWQ_RETURN_IF_ERROR(
+        sink({Datum::Int(k), Datum::Str("Supplier#" + std::to_string(k)),
+              Datum::Str(rng.RandString(10, 30)), Datum::Int(nation),
+              Datum::Str(Phone(&rng, nation)),
+              Datum::Double(Money(&rng, -99999, 999999)),
+              Datum::Str(Comment(&rng))}));
+  }
+  return Status::OK();
+}
+
+Status GenCustomer(const GenOptions& o, const RowSink& sink) {
+  Rng rng(o.seed + 2);
+  int64_t n = CustomerCount(o.sf);
+  for (int64_t k = 1; k <= n; ++k) {
+    int nation = static_cast<int>(rng.Uniform(0, kNumNations - 1));
+    HAWQ_RETURN_IF_ERROR(
+        sink({Datum::Int(k), Datum::Str("Customer#" + std::to_string(k)),
+              Datum::Str(rng.RandString(10, 30)), Datum::Int(nation),
+              Datum::Str(Phone(&rng, nation)),
+              Datum::Double(Money(&rng, -99999, 999999)),
+              Datum::Str(Pick(&rng, kSegments)), Datum::Str(Comment(&rng))}));
+  }
+  return Status::OK();
+}
+
+Status GenPart(const GenOptions& o, const RowSink& sink) {
+  Rng rng(o.seed + 3);
+  int64_t n = PartCount(o.sf);
+  for (int64_t k = 1; k <= n; ++k) {
+    std::string name = std::string(Pick(&rng, kColors)) + " " +
+                       Pick(&rng, kColors);
+    int m = static_cast<int>(rng.Uniform(1, 5));
+    int b = static_cast<int>(rng.Uniform(1, 5));
+    std::string type = std::string(Pick(&rng, kTypeSyl1)) + " " +
+                       Pick(&rng, kTypeSyl2) + " " + Pick(&rng, kTypeSyl3);
+    std::string container = std::string(Pick(&rng, kContainerSyl1)) + " " +
+                            Pick(&rng, kContainerSyl2);
+    double price = (90000 + (k % 200001) / 10.0 + 100 * (k % 1000)) / 100.0;
+    HAWQ_RETURN_IF_ERROR(sink(
+        {Datum::Int(k), Datum::Str(name),
+         Datum::Str("Manufacturer#" + std::to_string(m)),
+         Datum::Str("Brand#" + std::to_string(m) + std::to_string(b)),
+         Datum::Str(type), Datum::Int(rng.Uniform(1, 50)),
+         Datum::Str(container), Datum::Double(price),
+         Datum::Str(Comment(&rng))}));
+  }
+  return Status::OK();
+}
+
+Status GenPartsupp(const GenOptions& o, const RowSink& sink) {
+  Rng rng(o.seed + 4);
+  int64_t parts = PartCount(o.sf);
+  int64_t suppliers = SupplierCount(o.sf);
+  for (int64_t p = 1; p <= parts; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      int64_t s = 1 + (p + i * (suppliers / 4 + 1)) % suppliers;
+      HAWQ_RETURN_IF_ERROR(
+          sink({Datum::Int(p), Datum::Int(s), Datum::Int(rng.Uniform(1, 9999)),
+                Datum::Double(Money(&rng, 100, 100000)),
+                Datum::Str(Comment(&rng))}));
+    }
+  }
+  return Status::OK();
+}
+
+Status GenOrdersAndLineitem(const GenOptions& o, const RowSink& orders_sink,
+                            const RowSink& lineitem_sink) {
+  Rng rng(o.seed + 5);
+  int64_t n = OrdersCount(o.sf);
+  int64_t customers = CustomerCount(o.sf);
+  int64_t parts = PartCount(o.sf);
+  int64_t suppliers = SupplierCount(o.sf);
+  for (int64_t k = 1; k <= n; ++k) {
+    // Sparse order keys like dbgen (8 used of every 32).
+    int64_t orderkey = (k / 8) * 32 + k % 8;
+    // dbgen: a third of customers never place orders (custkey % 3 == 0),
+    // which Q13's zero-order group and Q22's anti join rely on.
+    int64_t custkey = rng.Uniform(1, customers);
+    while (custkey % 3 == 0) custkey = rng.Uniform(1, customers);
+    int64_t orderdate = rng.Uniform(kStartDate, kEndDate - 151);
+    int nlines = static_cast<int>(rng.Uniform(1, 7));
+    double total = 0;
+    int finished_lines = 0;
+    std::vector<Row> lines;
+    for (int ln = 1; ln <= nlines; ++ln) {
+      int64_t partkey = rng.Uniform(1, parts);
+      int64_t suppkey = 1 + (partkey + rng.Uniform(0, 3) *
+                                           (suppliers / 4 + 1)) % suppliers;
+      double quantity = static_cast<double>(rng.Uniform(1, 50));
+      double extended = quantity * (90000 + (partkey % 200001) / 10.0 +
+                                    100 * (partkey % 1000)) / 100.0;
+      double discount = rng.Uniform(0, 10) / 100.0;
+      double tax = rng.Uniform(0, 8) / 100.0;
+      int64_t shipdate = orderdate + rng.Uniform(1, 121);
+      int64_t commitdate = orderdate + rng.Uniform(30, 90);
+      int64_t receiptdate = shipdate + rng.Uniform(1, 30);
+      const int64_t today = DaysFromCivil(1995, 6, 17);
+      std::string returnflag =
+          receiptdate <= today ? (rng.Chance(0.5) ? "R" : "A") : "N";
+      std::string linestatus = shipdate > today ? "O" : "F";
+      if (linestatus == "F") ++finished_lines;
+      total += extended * (1 + tax) * (1 - discount);
+      lines.push_back({Datum::Int(orderkey), Datum::Int(partkey),
+                       Datum::Int(suppkey), Datum::Int(ln),
+                       Datum::Double(quantity), Datum::Double(extended),
+                       Datum::Double(discount), Datum::Double(tax),
+                       Datum::Str(returnflag), Datum::Str(linestatus),
+                       Datum::Int(shipdate), Datum::Int(commitdate),
+                       Datum::Int(receiptdate), Datum::Str(Pick(&rng,
+                                                                kInstructs)),
+                       Datum::Str(Pick(&rng, kShipModes)),
+                       Datum::Str(Comment(&rng))});
+    }
+    std::string status = finished_lines == nlines
+                             ? "F"
+                             : (finished_lines == 0 ? "O" : "P");
+    HAWQ_RETURN_IF_ERROR(orders_sink(
+        {Datum::Int(orderkey), Datum::Int(custkey), Datum::Str(status),
+         Datum::Double(total), Datum::Int(orderdate),
+         Datum::Str(Pick(&rng, kPriorities)),
+         Datum::Str("Clerk#" + std::to_string(rng.Uniform(1, 1000))),
+         Datum::Int(0), Datum::Str(Comment(&rng))}));
+    for (const Row& line : lines) {
+      HAWQ_RETURN_IF_ERROR(lineitem_sink(line));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> TpchDdl(const std::string& with_options,
+                                 bool hash_distribution) {
+  auto dist = [&](const std::string& cols) {
+    return hash_distribution ? " DISTRIBUTED BY (" + cols + ")"
+                             : " DISTRIBUTED RANDOMLY";
+  };
+  std::string w = with_options.empty() ? "" : " " + with_options;
+  return {
+      "CREATE TABLE region (r_regionkey INT8 NOT NULL, r_name CHAR(25), "
+      "r_comment VARCHAR(152))" + w + dist("r_regionkey"),
+      "CREATE TABLE nation (n_nationkey INT8 NOT NULL, n_name CHAR(25), "
+      "n_regionkey INT8, n_comment VARCHAR(152))" + w + dist("n_nationkey"),
+      "CREATE TABLE supplier (s_suppkey INT8 NOT NULL, s_name CHAR(25), "
+      "s_address VARCHAR(40), s_nationkey INT8, s_phone CHAR(15), "
+      "s_acctbal DECIMAL(15,2), s_comment VARCHAR(101))" + w +
+          dist("s_suppkey"),
+      "CREATE TABLE customer (c_custkey INT8 NOT NULL, c_name VARCHAR(25), "
+      "c_address VARCHAR(40), c_nationkey INT8, c_phone CHAR(15), "
+      "c_acctbal DECIMAL(15,2), c_mktsegment CHAR(10), "
+      "c_comment VARCHAR(117))" + w + dist("c_custkey"),
+      "CREATE TABLE part (p_partkey INT8 NOT NULL, p_name VARCHAR(55), "
+      "p_mfgr CHAR(25), p_brand CHAR(10), p_type VARCHAR(25), p_size INT8, "
+      "p_container CHAR(10), p_retailprice DECIMAL(15,2), "
+      "p_comment VARCHAR(23))" + w + dist("p_partkey"),
+      "CREATE TABLE partsupp (ps_partkey INT8 NOT NULL, ps_suppkey INT8 NOT "
+      "NULL, ps_availqty INT8, ps_supplycost DECIMAL(15,2), "
+      "ps_comment VARCHAR(199))" + w + dist("ps_partkey"),
+      "CREATE TABLE orders (o_orderkey INT8 NOT NULL, o_custkey INT8 NOT "
+      "NULL, o_orderstatus CHAR(1), o_totalprice DECIMAL(15,2), "
+      "o_orderdate DATE, o_orderpriority CHAR(15), o_clerk CHAR(15), "
+      "o_shippriority INT8, o_comment VARCHAR(79))" + w + dist("o_orderkey"),
+      "CREATE TABLE lineitem (l_orderkey INT8 NOT NULL, l_partkey INT8, "
+      "l_suppkey INT8, l_linenumber INT8, l_quantity DECIMAL(15,2), "
+      "l_extendedprice DECIMAL(15,2), l_discount DECIMAL(15,2), "
+      "l_tax DECIMAL(15,2), l_returnflag CHAR(1), l_linestatus CHAR(1), "
+      "l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, "
+      "l_shipinstruct CHAR(25), l_shipmode CHAR(10), l_comment VARCHAR(44))" +
+          w + dist("l_orderkey"),
+  };
+}
+
+}  // namespace hawq::tpch

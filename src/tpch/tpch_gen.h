@@ -1,0 +1,59 @@
+// Deterministic TPC-H data generator (dbgen workalike).
+//
+// Generates all eight tables with spec-faithful schemas, value domains and
+// correlations (order/ship/commit/receipt date relationships, price
+// formulas, nation->region mapping, the paper's query-relevant vocab:
+// market segments, priorities, ship modes, brands, containers, types).
+// Absolute volumes are scale-factor parameterized; determinism comes from
+// a fixed seed so every run regenerates identical data.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace hawq::tpch {
+
+struct GenOptions {
+  double sf = 0.01;
+  uint64_t seed = 19940401;
+};
+
+using RowSink = std::function<Status(const Row&)>;
+
+// Row counts at a scale factor.
+int64_t SupplierCount(double sf);
+int64_t CustomerCount(double sf);
+int64_t PartCount(double sf);
+int64_t OrdersCount(double sf);
+
+// Schemas (column names match the TPC-H spec).
+Schema RegionSchema();
+Schema NationSchema();
+Schema SupplierSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema PartsuppSchema();
+Schema OrdersSchema();
+Schema LineitemSchema();
+
+// Generators. Orders and lineitem are generated together because lineitem
+// columns derive from the parent order.
+Status GenRegion(const RowSink& sink);
+Status GenNation(const RowSink& sink);
+Status GenSupplier(const GenOptions& o, const RowSink& sink);
+Status GenCustomer(const GenOptions& o, const RowSink& sink);
+Status GenPart(const GenOptions& o, const RowSink& sink);
+Status GenPartsupp(const GenOptions& o, const RowSink& sink);
+Status GenOrdersAndLineitem(const GenOptions& o, const RowSink& orders_sink,
+                            const RowSink& lineitem_sink);
+
+/// DDL for every TPC-H table in the engine dialect. `with_options` is the
+/// storage clause (e.g. "WITH (orientation=column, compresstype=zlib)");
+/// `hash_distribution` false makes every table DISTRIBUTED RANDOMLY
+/// (Figure 10/12's random-distribution configuration).
+std::vector<std::string> TpchDdl(const std::string& with_options,
+                                 bool hash_distribution);
+
+}  // namespace hawq::tpch

@@ -1,0 +1,69 @@
+#include "tpch/tpch_loader.h"
+
+#include "engine/bulk_loader.h"
+#include "engine/session.h"
+
+namespace hawq::tpch {
+
+namespace {
+
+Status LoadOne(engine::Cluster* cluster, const std::string& table,
+               const std::function<Status(const RowSink&)>& gen) {
+  HAWQ_ASSIGN_OR_RETURN(auto loader, engine::BulkLoader::Open(cluster, table));
+  HAWQ_RETURN_IF_ERROR(gen([&](const Row& row) { return loader->Append(row); }));
+  return loader->Commit().status();
+}
+
+}  // namespace
+
+Status LoadTpch(engine::Cluster* cluster, const LoadOptions& opts) {
+  auto session = cluster->Connect();
+  static const char* kTables[] = {"region",   "nation", "supplier",
+                                  "customer", "part",   "partsupp",
+                                  "orders",   "lineitem"};
+  if (opts.drop_existing) {
+    for (const char* t : kTables) {
+      auto r = session->Execute(std::string("DROP TABLE ") + t);
+      (void)r;  // missing tables are fine
+    }
+  }
+  for (const std::string& ddl :
+       TpchDdl(opts.with_options, opts.hash_distribution)) {
+    HAWQ_RETURN_IF_ERROR(session->Execute(ddl).status());
+  }
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "region", GenRegion));
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "nation", GenNation));
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "supplier", [&](const RowSink& s) {
+    return GenSupplier(opts.gen, s);
+  }));
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "customer", [&](const RowSink& s) {
+    return GenCustomer(opts.gen, s);
+  }));
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "part", [&](const RowSink& s) {
+    return GenPart(opts.gen, s);
+  }));
+  HAWQ_RETURN_IF_ERROR(LoadOne(cluster, "partsupp", [&](const RowSink& s) {
+    return GenPartsupp(opts.gen, s);
+  }));
+  // Orders and lineitem load together (correlated generation).
+  {
+    HAWQ_ASSIGN_OR_RETURN(auto orders,
+                          engine::BulkLoader::Open(cluster, "orders"));
+    HAWQ_ASSIGN_OR_RETURN(auto lineitem,
+                          engine::BulkLoader::Open(cluster, "lineitem"));
+    HAWQ_RETURN_IF_ERROR(GenOrdersAndLineitem(
+        opts.gen, [&](const Row& r) { return orders->Append(r); },
+        [&](const Row& r) { return lineitem->Append(r); }));
+    HAWQ_RETURN_IF_ERROR(orders->Commit().status());
+    HAWQ_RETURN_IF_ERROR(lineitem->Commit().status());
+  }
+  if (opts.analyze) {
+    for (const char* t : kTables) {
+      HAWQ_RETURN_IF_ERROR(
+          session->Execute(std::string("ANALYZE ") + t).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hawq::tpch

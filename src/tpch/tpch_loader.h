@@ -1,0 +1,26 @@
+// Loads the TPC-H schema and data into a HAWQ cluster, in any storage
+// format / codec / distribution configuration (the axes the paper's
+// experiments sweep).
+#pragma once
+
+#include "engine/cluster.h"
+#include "tpch/tpch_gen.h"
+
+namespace hawq::tpch {
+
+struct LoadOptions {
+  GenOptions gen;
+  /// Storage WITH-clause, e.g. "WITH (orientation=column, compresstype=zlib,
+  /// compresslevel=5)". Empty = row-oriented AO, no compression.
+  std::string with_options;
+  bool hash_distribution = true;
+  /// Run ANALYZE on every table after loading (cost-based planner input).
+  bool analyze = true;
+  /// Drop pre-existing TPC-H tables first.
+  bool drop_existing = false;
+};
+
+/// Create the eight tables and bulk-load generated data.
+Status LoadTpch(engine::Cluster* cluster, const LoadOptions& opts);
+
+}  // namespace hawq::tpch

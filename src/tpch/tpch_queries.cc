@@ -1,0 +1,326 @@
+#include "tpch/tpch_queries.h"
+
+#include <map>
+
+namespace hawq::tpch {
+
+namespace {
+
+std::vector<TpchQuery> BuildQueries() {
+  std::vector<TpchQuery> qs;
+  auto add = [&](int id, const char* sql) {
+    qs.push_back({id, "Q" + std::to_string(id), sql});
+  };
+
+  add(1, R"(
+SELECT l_returnflag, l_linestatus,
+       sum(l_quantity) sum_qty,
+       sum(l_extendedprice) sum_base_price,
+       sum(l_extendedprice * (1 - l_discount)) sum_disc_price,
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) sum_charge,
+       avg(l_quantity) avg_qty,
+       avg(l_extendedprice) avg_price,
+       avg(l_discount) avg_disc,
+       count(*) count_order
+FROM lineitem
+WHERE l_shipdate <= date '1998-12-01' - interval '90 day'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus)");
+
+  add(2, R"(
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone,
+       s_comment
+FROM part, supplier, partsupp, nation, region,
+     (SELECT ps_partkey mk, min(ps_supplycost) min_cost
+      FROM partsupp, supplier, nation, region
+      WHERE s_suppkey = ps_suppkey AND s_nationkey = n_nationkey
+        AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+      GROUP BY ps_partkey) mc
+WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = 15
+  AND p_type LIKE '%BRASS' AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey AND r_name = 'EUROPE'
+  AND ps_partkey = mc.mk AND ps_supplycost = mc.min_cost
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100)");
+
+  add(3, R"(
+SELECT l_orderkey, sum(l_extendedprice * (1 - l_discount)) revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey AND o_orderdate < date '1995-03-15'
+  AND l_shipdate > date '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10)");
+
+  add(4, R"(
+SELECT o_orderpriority, count(*) order_count
+FROM orders
+WHERE o_orderdate >= date '1993-07-01'
+  AND o_orderdate < date '1993-07-01' + interval '3 month'
+  AND EXISTS (SELECT * FROM lineitem
+              WHERE l_orderkey = o_orderkey
+                AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority)");
+
+  add(5, R"(
+SELECT n_name, sum(l_extendedprice * (1 - l_discount)) revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA' AND o_orderdate >= date '1994-01-01'
+  AND o_orderdate < date '1994-01-01' + interval '1 year'
+GROUP BY n_name
+ORDER BY revenue DESC)");
+
+  add(6, R"(
+SELECT sum(l_extendedprice * l_discount) revenue
+FROM lineitem
+WHERE l_shipdate >= date '1994-01-01'
+  AND l_shipdate < date '1994-01-01' + interval '1 year'
+  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24)");
+
+  add(7, R"(
+SELECT supp_nation, cust_nation, l_year, sum(volume) revenue
+FROM (SELECT n1.n_name supp_nation, n2.n_name cust_nation,
+             extract(year from l_shipdate) l_year,
+             l_extendedprice * (1 - l_discount) volume
+      FROM supplier, lineitem, orders, customer, nation n1, nation n2
+      WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey
+        AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey
+        AND c_nationkey = n2.n_nationkey
+        AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+             OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+        AND l_shipdate BETWEEN date '1995-01-01' AND date '1996-12-31')
+     shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year)");
+
+  add(8, R"(
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 END) / sum(volume)
+           mkt_share
+FROM (SELECT extract(year from o_orderdate) o_year,
+             l_extendedprice * (1 - l_discount) volume, n2.n_name nation
+      FROM part, supplier, lineitem, orders, customer, nation n1, nation n2,
+           region
+      WHERE p_partkey = l_partkey AND s_suppkey = l_suppkey
+        AND l_orderkey = o_orderkey AND o_custkey = c_custkey
+        AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey
+        AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey
+        AND o_orderdate BETWEEN date '1995-01-01' AND date '1996-12-31'
+        AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+GROUP BY o_year
+ORDER BY o_year)");
+
+  add(9, R"(
+SELECT nation, o_year, sum(amount) sum_profit
+FROM (SELECT n_name nation, extract(year from o_orderdate) o_year,
+             l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity
+                 amount
+      FROM part, supplier, lineitem, partsupp, orders, nation
+      WHERE s_suppkey = l_suppkey AND ps_suppkey = l_suppkey
+        AND ps_partkey = l_partkey AND p_partkey = l_partkey
+        AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey
+        AND p_name LIKE '%green%') profit
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC)");
+
+  add(10, R"(
+SELECT c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+  AND o_orderdate >= date '1993-10-01'
+  AND o_orderdate < date '1993-10-01' + interval '3 month'
+  AND l_returnflag = 'R' AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20)");
+
+  add(11, R"(
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) total_value
+FROM partsupp, supplier, nation
+WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+  AND n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING sum(ps_supplycost * ps_availqty) >
+       (SELECT sum(ps_supplycost * ps_availqty) * 0.0001
+        FROM partsupp, supplier, nation
+        WHERE ps_suppkey = s_suppkey AND s_nationkey = n_nationkey
+          AND n_name = 'GERMANY')
+ORDER BY total_value DESC)");
+
+  add(12, R"(
+SELECT l_shipmode,
+       sum(CASE WHEN o_orderpriority = '1-URGENT'
+                  OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END)
+           high_line_count,
+       sum(CASE WHEN o_orderpriority <> '1-URGENT'
+                 AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END)
+           low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate
+  AND l_receiptdate >= date '1994-01-01'
+  AND l_receiptdate < date '1994-01-01' + interval '1 year'
+GROUP BY l_shipmode
+ORDER BY l_shipmode)");
+
+  add(13, R"(
+SELECT c_count, count(*) custdist
+FROM (SELECT c_custkey ck, count(o_orderkey) c_count
+      FROM customer LEFT OUTER JOIN orders
+           ON c_custkey = o_custkey
+              AND o_comment NOT LIKE '%special%requests%'
+      GROUP BY c_custkey) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC)");
+
+  add(14, R"(
+SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+       / sum(l_extendedprice * (1 - l_discount)) promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey AND l_shipdate >= date '1995-09-01'
+  AND l_shipdate < date '1995-09-01' + interval '1 month')");
+
+  add(15, R"(
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier,
+     (SELECT l_suppkey supplier_no,
+             sum(l_extendedprice * (1 - l_discount)) total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= date '1996-01-01'
+        AND l_shipdate < date '1996-01-01' + interval '3 month'
+      GROUP BY l_suppkey) revenue
+WHERE s_suppkey = supplier_no
+  AND total_revenue = (SELECT max(tr)
+                       FROM (SELECT sum(l_extendedprice * (1 - l_discount))
+                                        tr
+                             FROM lineitem
+                             WHERE l_shipdate >= date '1996-01-01'
+                               AND l_shipdate < date '1996-01-01'
+                                   + interval '3 month'
+                             GROUP BY l_suppkey) r2)
+ORDER BY s_suppkey)");
+
+  add(16, R"(
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) supplier_cnt
+FROM partsupp, part
+WHERE p_partkey = ps_partkey AND p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size)");
+
+  add(17, R"(
+SELECT sum(l_extendedprice) / 7.0 avg_yearly
+FROM lineitem, part,
+     (SELECT l_partkey pk, 0.2 * avg(l_quantity) avg_qty
+      FROM lineitem GROUP BY l_partkey) lq
+WHERE p_partkey = l_partkey AND p_brand = 'Brand#23'
+  AND p_container = 'MED BOX' AND l_partkey = lq.pk
+  AND l_quantity < lq.avg_qty)");
+
+  add(18, R"(
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) total_qty
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                     GROUP BY l_orderkey HAVING sum(l_quantity) > 212)
+  AND c_custkey = o_custkey AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100)");
+
+  add(19, R"(
+SELECT sum(l_extendedprice * (1 - l_discount)) revenue
+FROM lineitem, part
+WHERE p_partkey = l_partkey AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND l_shipmode IN ('AIR', 'REG AIR')
+  AND ((p_brand = 'Brand#12'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= 1 AND l_quantity <= 11
+        AND p_size BETWEEN 1 AND 5)
+       OR (p_brand = 'Brand#23'
+           AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+           AND l_quantity >= 10 AND l_quantity <= 20
+           AND p_size BETWEEN 1 AND 10)
+       OR (p_brand = 'Brand#34'
+           AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+           AND l_quantity >= 20 AND l_quantity <= 30
+           AND p_size BETWEEN 1 AND 15)))");
+
+  add(20, R"(
+SELECT s_name, s_address
+FROM supplier, nation
+WHERE s_suppkey IN
+      (SELECT ps_suppkey
+       FROM partsupp,
+            (SELECT l_partkey pk, l_suppkey sk, 0.5 * sum(l_quantity) half_qty
+             FROM lineitem
+             WHERE l_shipdate >= date '1994-01-01'
+               AND l_shipdate < date '1994-01-01' + interval '1 year'
+             GROUP BY l_partkey, l_suppkey) lq
+       WHERE ps_partkey IN (SELECT p_partkey FROM part
+                            WHERE p_name LIKE 'forest%')
+         AND ps_partkey = lq.pk AND ps_suppkey = lq.sk
+         AND ps_availqty > lq.half_qty)
+  AND s_nationkey = n_nationkey AND n_name = 'CANADA'
+ORDER BY s_name)");
+
+  add(21, R"(
+SELECT s_name, count(*) numwait
+FROM supplier, lineitem l1, orders, nation
+WHERE s_suppkey = l1.l_suppkey AND o_orderkey = l1.l_orderkey
+  AND o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+  AND EXISTS (SELECT * FROM lineitem l2
+              WHERE l2.l_orderkey = l1.l_orderkey
+                AND l2.l_suppkey <> l1.l_suppkey)
+  AND NOT EXISTS (SELECT * FROM lineitem l3
+                  WHERE l3.l_orderkey = l1.l_orderkey
+                    AND l3.l_suppkey <> l1.l_suppkey
+                    AND l3.l_receiptdate > l3.l_commitdate)
+  AND s_nationkey = n_nationkey AND n_name = 'SAUDI ARABIA'
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100)");
+
+  add(22, R"(
+SELECT cntrycode, count(*) numcust, sum(acctbal) totacctbal
+FROM (SELECT substring(c_phone, 1, 2) cntrycode, c_acctbal acctbal
+      FROM customer
+      WHERE substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18',
+                                         '17')
+        AND c_acctbal > (SELECT avg(c_acctbal) FROM customer
+                         WHERE c_acctbal > 0.00
+                           AND substring(c_phone, 1, 2) IN
+                               ('13', '31', '23', '29', '30', '18', '17'))
+        AND NOT EXISTS (SELECT * FROM orders
+                        WHERE o_custkey = c_custkey)) custsale
+GROUP BY cntrycode
+ORDER BY cntrycode)");
+
+  return qs;
+}
+
+}  // namespace
+
+const std::vector<TpchQuery>& Queries() {
+  static const std::vector<TpchQuery> qs = BuildQueries();
+  return qs;
+}
+
+const TpchQuery& Query(int id) { return Queries()[id - 1]; }
+
+std::vector<int> SimpleSelectionQueryIds() { return {1, 4, 6, 11, 13, 15}; }
+std::vector<int> ComplexJoinQueryIds() { return {5, 7, 8, 9, 10, 18}; }
+
+}  // namespace hawq::tpch

@@ -1,0 +1,31 @@
+// The 22 TPC-H queries in the engine's SQL dialect.
+//
+// Correlated scalar subqueries (Q2, Q15, Q17, Q20) are rewritten into
+// joins with derived tables — the same adaptation the paper applied for
+// Stinger, which cannot run standard TPC-H directly [10]. EXISTS / IN
+// subqueries stay as written (the engine rewrites them to semi/anti
+// joins).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hawq::tpch {
+
+struct TpchQuery {
+  int id = 0;           // 1..22
+  std::string name;     // "Q1", ...
+  std::string sql;
+};
+
+/// All 22 queries in id order.
+const std::vector<TpchQuery>& Queries();
+
+/// Lookup by number (1-based).
+const TpchQuery& Query(int id);
+
+/// The paper's query groups (§8.2.2).
+std::vector<int> SimpleSelectionQueryIds();  // Q1,4,6,11,13,15
+std::vector<int> ComplexJoinQueryIds();      // Q5,7,8,9,10,18
+
+}  // namespace hawq::tpch

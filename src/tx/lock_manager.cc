@@ -1,0 +1,106 @@
+#include "tx/lock_manager.h"
+
+#include <algorithm>
+
+namespace hawq::tx {
+
+bool LockConflicts(LockMode a, LockMode b) {
+  if (a == LockMode::kAccessExclusive || b == LockMode::kAccessExclusive) {
+    return true;
+  }
+  // AccessShare and RowExclusive are compatible with each other and
+  // themselves (append-only user data never needs row locks).
+  return false;
+}
+
+Status LockManager::Acquire(TxId xid, uint64_t object, LockMode mode) {
+  std::unique_lock<std::mutex> g(mu_);
+  // Re-entrant fast path.
+  auto& obj = objects_[object];
+  for (Grant& gr : obj.granted) {
+    if (gr.xid == xid) {
+      if (static_cast<int>(mode) <= static_cast<int>(gr.mode)) {
+        return Status::OK();
+      }
+      // Upgrade: treat as a fresh request below after removing our grant.
+      obj.granted.erase(
+          std::remove_if(obj.granted.begin(), obj.granted.end(),
+                         [&](const Grant& x) { return x.xid == xid; }),
+          obj.granted.end());
+      break;
+    }
+  }
+  while (!CanGrantLocked(xid, object, mode)) {
+    if (WouldDeadlockLocked(xid, object, mode)) {
+      waits_for_.erase(xid);
+      return Status::Aborted("deadlock detected while locking object " +
+                             std::to_string(object));
+    }
+    // Record waits-for edges toward current conflicting holders.
+    auto& edges = waits_for_[xid];
+    for (const Grant& gr : objects_[object].granted) {
+      if (gr.xid != xid && LockConflicts(mode, gr.mode)) edges.insert(gr.xid);
+    }
+    cv_.wait_for(g, std::chrono::milliseconds(10));
+    waits_for_.erase(xid);
+  }
+  objects_[object].granted.push_back({xid, mode});
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxId xid) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = objects_.begin(); it != objects_.end();) {
+    auto& granted = it->second.granted;
+    granted.erase(std::remove_if(granted.begin(), granted.end(),
+                                 [&](const Grant& x) { return x.xid == xid; }),
+                  granted.end());
+    if (granted.empty()) {
+      it = objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waits_for_.erase(xid);
+  cv_.notify_all();
+}
+
+size_t LockManager::GrantedCount() {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [obj, locks] : objects_) n += locks.granted.size();
+  return n;
+}
+
+bool LockManager::CanGrantLocked(TxId xid, uint64_t object, LockMode mode) {
+  for (const Grant& gr : objects_[object].granted) {
+    if (gr.xid != xid && LockConflicts(mode, gr.mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::WouldDeadlockLocked(TxId waiter, uint64_t object,
+                                      LockMode mode) {
+  // Would adding edges waiter -> holders close a cycle back to waiter?
+  std::set<TxId> targets;
+  for (const Grant& gr : objects_[object].granted) {
+    if (gr.xid != waiter && LockConflicts(mode, gr.mode)) {
+      targets.insert(gr.xid);
+    }
+  }
+  // DFS over waits_for_ from each target looking for `waiter`.
+  std::set<TxId> seen;
+  std::vector<TxId> stack(targets.begin(), targets.end());
+  while (!stack.empty()) {
+    TxId cur = stack.back();
+    stack.pop_back();
+    if (cur == waiter) return true;
+    if (!seen.insert(cur).second) continue;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (TxId nxt : it->second) stack.push_back(nxt);
+  }
+  return false;
+}
+
+}  // namespace hawq::tx

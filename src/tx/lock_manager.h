@@ -1,0 +1,63 @@
+// Table-level lock manager with deadlock detection (paper §5.2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "tx/mvcc.h"
+
+namespace hawq::tx {
+
+/// Lock modes used by HAWQ statements. SELECT takes AccessShare; INSERT
+/// takes RowExclusive; DDL (ALTER/DROP/TRUNCATE) takes AccessExclusive.
+enum class LockMode : uint8_t {
+  kAccessShare = 0,
+  kRowExclusive = 1,
+  kAccessExclusive = 2,
+};
+
+/// True when the two modes cannot be held concurrently.
+bool LockConflicts(LockMode a, LockMode b);
+
+/// \brief Blocking lock manager keyed by object id (table oid). Detects
+/// deadlocks by cycle search in the waits-for graph, aborting the waiter
+/// that closes the cycle (returns Status::Aborted), as HAWQ's periodic
+/// deadlock checker does.
+class LockManager {
+ public:
+  /// Acquire `mode` on `object` for transaction `xid`; blocks while
+  /// conflicting holders exist. Re-entrant: stronger/equal reacquisition by
+  /// the same xid upgrades in place when possible.
+  Status Acquire(TxId xid, uint64_t object, LockMode mode);
+
+  /// Release every lock held by `xid` (called at commit/abort).
+  void ReleaseAll(TxId xid);
+
+  /// Number of currently granted locks (for tests).
+  size_t GrantedCount();
+
+ private:
+  struct Grant {
+    TxId xid;
+    LockMode mode;
+  };
+  struct ObjectLocks {
+    std::vector<Grant> granted;
+  };
+
+  bool CanGrantLocked(TxId xid, uint64_t object, LockMode mode);
+  bool WouldDeadlockLocked(TxId waiter, uint64_t object, LockMode mode);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, ObjectLocks> objects_;
+  // waits-for edges derived from blocked Acquire calls.
+  std::map<TxId, std::set<TxId>> waits_for_;
+};
+
+}  // namespace hawq::tx

@@ -1,0 +1,79 @@
+// MVCC primitives: transaction ids, snapshots, tuple visibility.
+//
+// Matches the paper's §5: catalog tuples are multi-versioned; user data is
+// append-only with visibility controlled by logical file lengths recorded
+// in the catalog (see catalog/catalog.h and tx/tx_manager.h).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hawq::tx {
+
+using TxId = uint64_t;
+constexpr TxId kInvalidTxId = 0;
+/// Bootstrap transaction id: rows created at system initialization are
+/// visible to everyone.
+constexpr TxId kBootstrapTxId = 1;
+
+/// \brief Consistent view of the commit state of all transactions at a
+/// point in time (PostgreSQL-style xmin/xmax/xip snapshot).
+struct Snapshot {
+  TxId xmin = 0;             // all xid < xmin are resolved (committed|aborted)
+  TxId xmax = 0;             // xid >= xmax were not started yet
+  std::vector<TxId> active;  // in [xmin, xmax) but still in progress
+  TxId own_xid = kInvalidTxId;  // the observing transaction (sees own writes)
+
+  bool IsActive(TxId xid) const {
+    return std::binary_search(active.begin(), active.end(), xid);
+  }
+};
+
+/// Commit-state oracle (the "clog"): resolves xids to committed/aborted.
+class CommitLog {
+ public:
+  enum class State : uint8_t { kInProgress = 0, kCommitted, kAborted };
+
+  State Get(TxId xid) const {
+    if (xid == kBootstrapTxId) return State::kCommitted;
+    if (xid >= states_.size()) return State::kInProgress;
+    return states_[xid];
+  }
+  void Set(TxId xid, State s) {
+    if (xid >= states_.size()) states_.resize(xid + 1, State::kInProgress);
+    states_[xid] = s;
+  }
+
+ private:
+  std::vector<State> states_;
+};
+
+/// MVCC header carried by every versioned catalog tuple.
+struct TupleHeader {
+  TxId xmin = kInvalidTxId;  // creating transaction
+  TxId xmax = kInvalidTxId;  // deleting transaction (0: live)
+};
+
+/// \brief PostgreSQL-style visibility: a tuple is visible to `snap` when
+/// its inserter committed before the snapshot and its deleter (if any) did
+/// not. A transaction always sees its own uncommitted writes.
+inline bool TupleVisible(const TupleHeader& h, const Snapshot& snap,
+                         const CommitLog& clog) {
+  auto inserted_visible = [&]() {
+    if (h.xmin == snap.own_xid) return true;
+    if (clog.Get(h.xmin) != CommitLog::State::kCommitted) return false;
+    if (h.xmin >= snap.xmax) return false;
+    return !snap.IsActive(h.xmin);
+  };
+  auto deleted_visible = [&]() {
+    if (h.xmax == kInvalidTxId) return false;
+    if (h.xmax == snap.own_xid) return true;
+    if (clog.Get(h.xmax) != CommitLog::State::kCommitted) return false;
+    if (h.xmax >= snap.xmax) return false;
+    return !snap.IsActive(h.xmax);
+  };
+  return inserted_visible() && !deleted_visible();
+}
+
+}  // namespace hawq::tx

@@ -1,0 +1,88 @@
+#include "tx/tx_manager.h"
+
+namespace hawq::tx {
+
+const Snapshot& Transaction::StatementSnapshot() {
+  if (iso_ == IsolationLevel::kSerializable) {
+    if (!snapshot_taken_) {
+      snapshot_ = mgr_->TakeSnapshot(xid_);
+      snapshot_taken_ = true;
+    }
+    return snapshot_;
+  }
+  snapshot_ = mgr_->TakeSnapshot(xid_);
+  snapshot_taken_ = true;
+  return snapshot_;
+}
+
+std::unique_ptr<Transaction> TxManager::Begin(IsolationLevel iso) {
+  auto txn = std::make_unique<Transaction>();
+  txn->mgr_ = this;
+  txn->iso_ = iso;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    txn->xid_ = next_xid_++;
+    active_.insert(txn->xid_);
+    clog_.Set(txn->xid_, CommitLog::State::kInProgress);
+  }
+  WalRecord rec;
+  rec.xid = txn->xid_;
+  rec.kind = WalRecord::Kind::kBegin;
+  wal_.Append(rec);
+  return txn;
+}
+
+Status TxManager::Commit(Transaction* txn) {
+  if (txn->finished_) return Status::Internal("transaction already finished");
+  txn->finished_ = true;
+  WalRecord rec;
+  rec.xid = txn->xid_;
+  rec.kind = WalRecord::Kind::kCommit;
+  wal_.Append(rec);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    clog_.Set(txn->xid_, CommitLog::State::kCommitted);
+    active_.erase(txn->xid_);
+  }
+  locks_.ReleaseAll(txn->xid_);
+  for (auto& fn : txn->commit_actions_) fn();
+  return Status::OK();
+}
+
+Status TxManager::Abort(Transaction* txn) {
+  if (txn->finished_) return Status::Internal("transaction already finished");
+  txn->finished_ = true;
+  // Undo in reverse registration order (later writes depend on earlier).
+  for (auto it = txn->abort_actions_.rbegin(); it != txn->abort_actions_.rend();
+       ++it) {
+    (*it)();
+  }
+  WalRecord rec;
+  rec.xid = txn->xid_;
+  rec.kind = WalRecord::Kind::kAbort;
+  wal_.Append(rec);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    clog_.Set(txn->xid_, CommitLog::State::kAborted);
+    active_.erase(txn->xid_);
+  }
+  locks_.ReleaseAll(txn->xid_);
+  return Status::OK();
+}
+
+Snapshot TxManager::TakeSnapshot(TxId own_xid) {
+  std::lock_guard<std::mutex> g(mu_);
+  Snapshot s;
+  s.own_xid = own_xid;
+  s.xmax = next_xid_;
+  s.xmin = active_.empty() ? next_xid_ : *active_.begin();
+  s.active.assign(active_.begin(), active_.end());
+  return s;
+}
+
+CommitLog::State TxManager::StateOf(TxId xid) {
+  std::lock_guard<std::mutex> g(mu_);
+  return clog_.Get(xid);
+}
+
+}  // namespace hawq::tx

@@ -1,0 +1,103 @@
+// Transaction manager (paper §5).
+//
+// Transactions are only noticeable on the master; segments are stateless.
+// No two-phase commit: commits happen on the master alone; aborted insert
+// transactions undo user-data writes by truncating segment files back to
+// their logical lengths (registered as abort actions).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "tx/lock_manager.h"
+#include "tx/mvcc.h"
+#include "tx/wal.h"
+
+namespace hawq::tx {
+
+/// SQL isolation levels. HAWQ internally supports only these two; READ
+/// UNCOMMITTED maps to read committed and REPEATABLE READ to serializable
+/// (paper §5.1).
+enum class IsolationLevel : uint8_t { kReadCommitted = 0, kSerializable };
+
+class TxManager;
+
+/// \brief One open transaction. Owned by the session; not thread safe.
+class Transaction {
+ public:
+  TxId xid() const { return xid_; }
+  IsolationLevel isolation() const { return iso_; }
+
+  /// Snapshot for the next statement: fresh per statement under read
+  /// committed; pinned at the first statement under serializable.
+  const Snapshot& StatementSnapshot();
+
+  /// Register work to undo at abort (e.g. HDFS truncate of appended data).
+  void OnAbort(std::function<void()> fn) {
+    abort_actions_.push_back(std::move(fn));
+  }
+  /// Register work to apply after a successful commit.
+  void OnCommit(std::function<void()> fn) {
+    commit_actions_.push_back(std::move(fn));
+  }
+
+ private:
+  friend class TxManager;
+  TxManager* mgr_ = nullptr;
+  TxId xid_ = kInvalidTxId;
+  IsolationLevel iso_ = IsolationLevel::kReadCommitted;
+  Snapshot snapshot_;
+  bool snapshot_taken_ = false;
+  std::vector<std::function<void()>> abort_actions_;
+  std::vector<std::function<void()>> commit_actions_;
+  bool finished_ = false;
+};
+
+/// \brief Assigns xids, builds snapshots, and drives commit/abort. Thread
+/// safe; one instance lives on the master.
+class TxManager {
+ public:
+  TxManager() = default;
+
+  std::unique_ptr<Transaction> Begin(
+      IsolationLevel iso = IsolationLevel::kReadCommitted);
+
+  /// Commit: WAL record, clog flip, release locks, run commit actions.
+  Status Commit(Transaction* txn);
+  /// Abort: run abort actions (undo user-data appends), clog flip, release.
+  Status Abort(Transaction* txn);
+
+  /// Fresh snapshot of the current commit state (for an observer xid).
+  Snapshot TakeSnapshot(TxId own_xid);
+
+  CommitLog& clog() { return clog_; }
+  LockManager& locks() { return locks_; }
+  Wal& wal() { return wal_; }
+  std::mutex& clog_mutex() { return mu_; }
+
+  /// Read a transaction's resolved state (test/monitoring helper).
+  CommitLog::State StateOf(TxId xid);
+
+  /// Standby-side WAL replay: record the outcome of a transaction that
+  /// committed/aborted on the primary.
+  void SetStateForReplay(TxId xid, CommitLog::State state) {
+    std::lock_guard<std::mutex> g(mu_);
+    clog_.Set(xid, state);
+    next_xid_ = std::max(next_xid_, xid + 1);
+  }
+
+ private:
+  friend class Transaction;
+  std::mutex mu_;
+  TxId next_xid_ = kBootstrapTxId + 1;
+  std::set<TxId> active_;
+  CommitLog clog_;
+  LockManager locks_;
+  Wal wal_;
+};
+
+}  // namespace hawq::tx

@@ -1,0 +1,66 @@
+// Write-ahead log for catalog changes, with a log-shipping hook used by the
+// warm standby master (paper §2.6: only catalog needs synchronizing; user
+// data is protected by HDFS replication).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "tx/mvcc.h"
+
+namespace hawq::tx {
+
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kBegin = 0,
+    kCommit,
+    kAbort,
+    kCatalogInsert,
+    kCatalogDelete,
+  };
+  uint64_t lsn = 0;
+  TxId xid = kInvalidTxId;
+  Kind kind = Kind::kBegin;
+  std::string table;    // catalog table name for insert/delete
+  std::string payload;  // serialized tuple (insert) or tuple id (delete)
+};
+
+/// \brief Append-only log. Subscribers (the standby master) receive every
+/// record in LSN order, synchronously — modelling log shipping.
+class Wal {
+ public:
+  using Shipper = std::function<void(const WalRecord&)>;
+
+  uint64_t Append(WalRecord rec) {
+    std::lock_guard<std::mutex> g(mu_);
+    rec.lsn = next_lsn_++;
+    for (auto& s : shippers_) s(rec);
+    records_.push_back(rec);
+    return rec.lsn;
+  }
+
+  void Subscribe(Shipper s) {
+    std::lock_guard<std::mutex> g(mu_);
+    shippers_.push_back(std::move(s));
+  }
+
+  std::vector<WalRecord> Records() {
+    std::lock_guard<std::mutex> g(mu_);
+    return records_;
+  }
+  uint64_t next_lsn() {
+    std::lock_guard<std::mutex> g(mu_);
+    return next_lsn_;
+  }
+
+ private:
+  std::mutex mu_;
+  uint64_t next_lsn_ = 1;
+  std::vector<WalRecord> records_;
+  std::vector<Shipper> shippers_;
+};
+
+}  // namespace hawq::tx

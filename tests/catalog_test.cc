@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "catalog/caql.h"
+#include "catalog/catalog.h"
+
+namespace hawq::catalog {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  tx::TxManager mgr_;
+  Catalog cat_{&mgr_};
+
+  TableDesc OrdersDesc() {
+    TableDesc d;
+    d.name = "orders";
+    d.columns = {{"o_orderkey", TypeId::kInt64, false},
+                 {"o_custkey", TypeId::kInt32, false},
+                 {"o_totalprice", TypeId::kDouble, false},
+                 {"o_orderdate", TypeId::kDate, false}};
+    d.storage = StorageKind::kAO;
+    d.dist = DistPolicy::kHash;
+    d.dist_cols = {0};
+    return d;
+  }
+};
+
+TEST_F(CatalogTest, CreateAndGetTable) {
+  auto txn = mgr_.Begin();
+  auto oid = cat_.CreateTable(txn.get(), OrdersDesc());
+  ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+  ASSERT_TRUE(mgr_.Commit(txn.get()).ok());
+
+  auto txn2 = mgr_.Begin();
+  auto t = cat_.GetTable(txn2.get(), "orders");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->oid, *oid);
+  EXPECT_EQ(t->columns.size(), 4u);
+  EXPECT_EQ(t->columns[2].name, "o_totalprice");
+  EXPECT_EQ(t->columns[2].type, TypeId::kDouble);
+  EXPECT_EQ(t->dist, DistPolicy::kHash);
+  EXPECT_EQ(t->dist_cols, (std::vector<int>{0}));
+  mgr_.Commit(txn2.get());
+}
+
+TEST_F(CatalogTest, DuplicateNameRejected) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  auto dup = cat_.CreateTable(txn.get(), OrdersDesc());
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  mgr_.Abort(txn.get());
+}
+
+TEST_F(CatalogTest, AbortedCreateInvisible) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  ASSERT_TRUE(mgr_.Abort(txn.get()).ok());
+  auto txn2 = mgr_.Begin();
+  EXPECT_FALSE(cat_.GetTable(txn2.get(), "orders").ok());
+  mgr_.Commit(txn2.get());
+}
+
+TEST_F(CatalogTest, UncommittedInvisibleToOthersButVisibleToSelf) {
+  auto writer = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(writer.get(), OrdersDesc()).ok());
+  EXPECT_TRUE(cat_.GetTable(writer.get(), "orders").ok());
+  auto reader = mgr_.Begin();
+  EXPECT_FALSE(cat_.GetTable(reader.get(), "orders").ok());
+  mgr_.Commit(writer.get());
+  // Read committed: the next statement of `reader` sees it.
+  EXPECT_TRUE(cat_.GetTable(reader.get(), "orders").ok());
+  mgr_.Commit(reader.get());
+}
+
+TEST_F(CatalogTest, SerializableReaderDoesNotSeeLaterCommit) {
+  auto reader = mgr_.Begin(tx::IsolationLevel::kSerializable);
+  reader->StatementSnapshot();  // pin the snapshot
+  auto writer = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(writer.get(), OrdersDesc()).ok());
+  mgr_.Commit(writer.get());
+  EXPECT_FALSE(cat_.GetTable(reader.get(), "orders").ok());
+  mgr_.Commit(reader.get());
+}
+
+TEST_F(CatalogTest, DropTable) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  mgr_.Commit(txn.get());
+  auto txn2 = mgr_.Begin();
+  ASSERT_TRUE(cat_.DropTable(txn2.get(), "orders").ok());
+  mgr_.Commit(txn2.get());
+  auto txn3 = mgr_.Begin();
+  EXPECT_FALSE(cat_.GetTable(txn3.get(), "orders").ok());
+  mgr_.Commit(txn3.get());
+}
+
+TEST_F(CatalogTest, PartitionedTableCreatesChildren) {
+  TableDesc d;
+  d.name = "sales";
+  d.columns = {{"id", TypeId::kInt64, false},
+               {"date", TypeId::kDate, false},
+               {"amt", TypeId::kDouble, false}};
+  d.dist = DistPolicy::kHash;
+  d.dist_cols = {0};
+  d.part_col = 1;
+  int64_t base = DaysFromCivil(2008, 1, 1);
+  for (int m = 0; m < 3; ++m) {
+    RangePartition p;
+    p.lo = base + m * 31;
+    p.hi = base + (m + 1) * 31;
+    d.partitions.push_back(p);
+  }
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), d).ok());
+  mgr_.Commit(txn.get());
+
+  auto txn2 = mgr_.Begin();
+  auto t = cat_.GetTable(txn2.get(), "sales");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->partitions.size(), 3u);
+  for (const auto& p : t->partitions) {
+    auto child = cat_.GetTableById(txn2.get(), p.child);
+    ASSERT_TRUE(child.ok());
+    EXPECT_EQ(child->parent, t->oid);
+    EXPECT_EQ(child->columns.size(), 3u);
+    EXPECT_EQ(child->dist_cols, t->dist_cols);
+  }
+  mgr_.Commit(txn2.get());
+}
+
+TEST_F(CatalogTest, SegFileLifecycle) {
+  auto txn = mgr_.Begin();
+  auto oid = cat_.CreateTable(txn.get(), OrdersDesc());
+  ASSERT_TRUE(oid.ok());
+  SegFileDesc f;
+  f.segment = 2;
+  f.lane = 0;
+  f.path = "/hawq/seg2/orders.0";
+  ASSERT_TRUE(cat_.AddSegFile(txn.get(), *oid, f).ok());
+  ASSERT_TRUE(cat_.UpdateSegFile(txn.get(), *oid, 2, 0, 1234, 10, 2000).ok());
+  mgr_.Commit(txn.get());
+
+  auto txn2 = mgr_.Begin();
+  auto files = cat_.GetSegFiles(txn2.get(), *oid);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_EQ((*files)[0].eof, 1234);
+  EXPECT_EQ((*files)[0].tuples, 10);
+  EXPECT_EQ((*files)[0].uncompressed, 2000);
+  mgr_.Commit(txn2.get());
+}
+
+TEST_F(CatalogTest, AbortedSegFileUpdateRolledBack) {
+  auto txn = mgr_.Begin();
+  auto oid = cat_.CreateTable(txn.get(), OrdersDesc());
+  SegFileDesc f;
+  f.segment = 0;
+  f.path = "/p";
+  ASSERT_TRUE(cat_.AddSegFile(txn.get(), *oid, f).ok());
+  mgr_.Commit(txn.get());
+
+  auto txn2 = mgr_.Begin();
+  ASSERT_TRUE(cat_.UpdateSegFile(txn2.get(), *oid, 0, 0, 999, 9, 9).ok());
+  mgr_.Abort(txn2.get());
+
+  auto txn3 = mgr_.Begin();
+  auto files = cat_.GetSegFiles(txn3.get(), *oid);
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_EQ((*files)[0].eof, 0);  // logical length unchanged
+  mgr_.Commit(txn3.get());
+}
+
+TEST_F(CatalogTest, ColumnStatsRoundTrip) {
+  auto txn = mgr_.Begin();
+  auto oid = cat_.CreateTable(txn.get(), OrdersDesc());
+  ColumnStats s;
+  s.ndistinct = 1500;
+  s.null_frac = 0.1;
+  s.min_val = Datum::Double(1);
+  s.max_val = Datum::Double(6000000);
+  ASSERT_TRUE(cat_.SetColumnStats(txn.get(), *oid, "o_orderkey", s).ok());
+  auto got = cat_.GetColumnStats(txn.get(), *oid, "o_orderkey");
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(got->ndistinct, 1500);
+  EXPECT_DOUBLE_EQ(got->null_frac, 0.1);
+  EXPECT_DOUBLE_EQ(got->max_val.as_double(), 6000000);
+  mgr_.Commit(txn.get());
+}
+
+TEST_F(CatalogTest, SegmentRegistry) {
+  ASSERT_TRUE(cat_.RegisterSegment({0, "host0", 40000, true}).ok());
+  ASSERT_TRUE(cat_.RegisterSegment({1, "host1", 40000, true}).ok());
+  ASSERT_TRUE(cat_.SetSegmentStatus(1, false).ok());
+  auto segs = cat_.GetSegments();
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_TRUE(segs[0].up);
+  EXPECT_FALSE(segs[1].up);
+}
+
+TEST_F(CatalogTest, WalReplayReconstructsCatalogOnStandby) {
+  // Standby: separate manager+catalog fed by the primary's WAL.
+  tx::TxManager standby_mgr;
+  Catalog standby(&standby_mgr);
+  mgr_.wal().Subscribe(
+      [&](const tx::WalRecord& r) { standby.ApplyWalRecord(r); });
+
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  mgr_.Commit(txn.get());
+
+  auto stxn = standby_mgr.Begin();
+  auto t = standby.GetTable(stxn.get(), "orders");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->columns.size(), 4u);
+  standby_mgr.Commit(stxn.get());
+}
+
+TEST_F(CatalogTest, WalReplayHonoursAbort) {
+  tx::TxManager standby_mgr;
+  Catalog standby(&standby_mgr);
+  mgr_.wal().Subscribe(
+      [&](const tx::WalRecord& r) { standby.ApplyWalRecord(r); });
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  mgr_.Abort(txn.get());
+  auto stxn = standby_mgr.Begin();
+  EXPECT_FALSE(standby.GetTable(stxn.get(), "orders").ok());
+  standby_mgr.Commit(stxn.get());
+}
+
+TEST_F(CatalogTest, VacuumDropsDeadVersions) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  mgr_.Abort(txn.get());
+  size_t removed = cat_.VacuumAll(mgr_.TakeSnapshot(0).xmax);
+  EXPECT_GT(removed, 0u);
+}
+
+// --- CaQL ------------------------------------------------------------------
+
+class CaqlTest : public CatalogTest {};
+
+TEST_F(CaqlTest, SelectStarWithWhere) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  mgr_.Commit(txn.get());
+  auto txn2 = mgr_.Begin();
+  auto res = CaqlExecute(&cat_, txn2.get(),
+                         "SELECT * FROM pg_class WHERE relname = 'orders'");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->rows.size(), 1u);
+  EXPECT_EQ(res->rows[0][1].as_str(), "orders");
+  mgr_.Commit(txn2.get());
+}
+
+TEST_F(CaqlTest, CountStar) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.CreateTable(txn.get(), OrdersDesc()).ok());
+  auto res = CaqlExecute(&cat_, txn.get(),
+                         "SELECT COUNT(*) FROM pg_attribute WHERE relid >= 0");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->rows[0][0].as_int(), 4);
+  mgr_.Commit(txn.get());
+}
+
+TEST_F(CaqlTest, InsertDeleteUpdate) {
+  auto txn = mgr_.Begin();
+  auto ins = CaqlExecute(&cat_, txn.get(),
+                         "INSERT INTO pg_database VALUES ('analytics')");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(ins->affected, 1);
+
+  auto upd = CaqlExecute(
+      &cat_, txn.get(),
+      "UPDATE pg_database SET datname = 'prod' WHERE datname = 'analytics'");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+
+  auto del = CaqlExecute(&cat_, txn.get(),
+                         "DELETE FROM pg_database WHERE datname = 'prod'");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->affected, 1);
+
+  auto sel = CaqlExecute(&cat_, txn.get(), "SELECT * FROM pg_database");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->rows.size(), 1u);  // only the bootstrap 'hawq' db
+  mgr_.Commit(txn.get());
+}
+
+TEST_F(CaqlTest, OrderByDesc) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.RegisterSegment({0, "h0", 1, true}).ok());
+  ASSERT_TRUE(cat_.RegisterSegment({1, "h1", 1, true}).ok());
+  auto res = CaqlExecute(
+      &cat_, txn.get(),
+      "SELECT * FROM gp_segment_configuration ORDER BY segid DESC");
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->rows.size(), 2u);
+  EXPECT_EQ(res->rows[0][0].as_int(), 1);
+  mgr_.Commit(txn.get());
+}
+
+TEST_F(CaqlTest, UpdateMultipleRowsRejected) {
+  auto txn = mgr_.Begin();
+  ASSERT_TRUE(cat_.RegisterSegment({0, "h0", 1, true}).ok());
+  ASSERT_TRUE(cat_.RegisterSegment({1, "h1", 1, true}).ok());
+  auto res = CaqlExecute(&cat_, txn.get(),
+                         "UPDATE gp_segment_configuration SET port = 9");
+  EXPECT_FALSE(res.ok());
+  mgr_.Abort(txn.get());
+}
+
+TEST_F(CaqlTest, UnknownTableAndColumnErrors) {
+  auto txn = mgr_.Begin();
+  EXPECT_FALSE(CaqlExecute(&cat_, txn.get(), "SELECT * FROM nope").ok());
+  EXPECT_FALSE(
+      CaqlExecute(&cat_, txn.get(), "SELECT * FROM pg_class WHERE zz = 1")
+          .ok());
+  mgr_.Commit(txn.get());
+}
+
+}  // namespace
+}  // namespace hawq::catalog

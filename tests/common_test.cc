@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace hawq {
+namespace {
+
+// ---------------------------------------------------------------- status
+
+TEST(StatusTest, CodesAndMessages) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_NE(err.ToString().find("missing thing"), std::string::npos);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  Result<int> e = Status::Internal("boom");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.ValueOr(-1), -1);
+  EXPECT_EQ(v.ValueOr(-1), 42);
+}
+
+// ---------------------------------------------------------------- datum
+
+TEST(DatumTest, CompareAcrossNumericKinds) {
+  EXPECT_EQ(Datum::Compare(Datum::Int(3), Datum::Double(3.0)), 0);
+  EXPECT_LT(Datum::Compare(Datum::Int(2), Datum::Double(2.5)), 0);
+  EXPECT_GT(Datum::Compare(Datum::Double(2.5), Datum::Int(2)), 0);
+  EXPECT_LT(Datum::Compare(Datum::Str("abc"), Datum::Str("abd")), 0);
+  // Nulls sort first.
+  EXPECT_LT(Datum::Compare(Datum::Null(), Datum::Int(-100)), 0);
+  EXPECT_EQ(Datum::Compare(Datum::Null(), Datum::Null()), 0);
+}
+
+TEST(DatumTest, HashConsistentForEqualKeys) {
+  EXPECT_EQ(Datum::Int(7).Hash(), Datum::Int(7).Hash());
+  // Integral doubles hash like their integer value (mixed-type joins).
+  EXPECT_EQ(Datum::Int(7).Hash(), Datum::Double(7.0).Hash());
+  EXPECT_NE(Datum::Int(7).Hash(), Datum::Int(8).Hash());
+  EXPECT_EQ(Datum::Str("key").Hash(), Datum::Str("key").Hash());
+}
+
+TEST(DatumTest, HashRowOrderMatters) {
+  Row a = {Datum::Int(1), Datum::Int(2)};
+  Row b = {Datum::Int(2), Datum::Int(1)};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  EXPECT_EQ(HashRow(a), HashRow({Datum::Int(1), Datum::Int(2)}));
+}
+
+// ---------------------------------------------------------------- dates
+
+TEST(DateTest, RoundTripParsing) {
+  for (const char* s : {"1992-01-01", "1998-12-31", "1996-02-29",
+                        "2000-02-29", "1970-01-01"}) {
+    auto days = ParseDate(s);
+    ASSERT_TRUE(days.ok()) << s;
+    EXPECT_EQ(DateToString(*days), s);
+  }
+  EXPECT_EQ(*ParseDate("1970-01-01"), 0);
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("1995-13-01").ok());
+}
+
+TEST(DateTest, YearExtraction) {
+  EXPECT_EQ(DateYear(*ParseDate("1995-06-17")), 1995);
+  EXPECT_EQ(DateYear(0), 1970);
+  EXPECT_EQ(DateYear(-1), 1969);
+}
+
+TEST(DateTest, AddMonthsClampsAndRolls) {
+  EXPECT_EQ(AddMonths(*ParseDate("1995-01-31"), 1), *ParseDate("1995-02-28"));
+  EXPECT_EQ(AddMonths(*ParseDate("1996-01-31"), 1), *ParseDate("1996-02-29"));
+  EXPECT_EQ(AddMonths(*ParseDate("1995-11-15"), 3), *ParseDate("1996-02-15"));
+  EXPECT_EQ(AddMonths(*ParseDate("1995-03-15"), -3),
+            *ParseDate("1994-12-15"));
+  EXPECT_EQ(AddMonths(*ParseDate("1995-01-01"), 12),
+            *ParseDate("1996-01-01"));
+}
+
+TEST(DateTest, DaysFromCivilMonotonic) {
+  int64_t prev = DaysFromCivil(1992, 1, 1) - 1;
+  for (int y = 1992; y <= 1998; ++y) {
+    for (int m = 1; m <= 12; ++m) {
+      int64_t d = DaysFromCivil(y, m, 1);
+      EXPECT_GT(d, prev);
+      prev = d;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- serde
+
+TEST(SerdeTest, VarintEdgeValues) {
+  BufferWriter w;
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  UINT64_MAX};
+  for (uint64_t v : values) w.PutVarint(v);
+  BufferReader r(w.data().data(), w.size());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerdeTest, SignedVarintEdgeValues) {
+  BufferWriter w;
+  std::vector<int64_t> values = {0, -1, 1, INT64_MIN, INT64_MAX, -123456};
+  for (int64_t v : values) w.PutVarintSigned(v);
+  BufferReader r(w.data().data(), w.size());
+  for (int64_t v : values) {
+    auto got = r.GetVarintSigned();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(SerdeTest, TruncatedBufferIsCorruption) {
+  BufferWriter w;
+  w.PutString("hello world");
+  std::string bytes = w.Release();
+  BufferReader r(bytes.data(), bytes.size() - 3);
+  auto got = r.GetString();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SerdeTest, RowRoundTripAllKinds) {
+  Row row = {Datum::Null(), Datum::Bool(true), Datum::Int(-42),
+             Datum::Double(3.25), Datum::Str("text with | stuff")};
+  BufferWriter w;
+  SerializeRow(row, &w);
+  BufferReader r(w.data().data(), w.size());
+  auto back = DeserializeRow(&r);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    EXPECT_EQ(Datum::Compare((*back)[i], row[i]), 0) << i;
+    EXPECT_EQ((*back)[i].kind, row[i].kind) << i;
+  }
+}
+
+TEST(SerdeTest, RandomRowsFuzzRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    Row row;
+    int n = static_cast<int>(rng.Uniform(0, 12));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.Uniform(0, 4)) {
+        case 0: row.push_back(Datum::Null()); break;
+        case 1: row.push_back(Datum::Bool(rng.Chance(0.5))); break;
+        case 2:
+          row.push_back(Datum::Int(static_cast<int64_t>(rng.Next())));
+          break;
+        case 3: row.push_back(Datum::Double(rng.NextDouble() * 1e9)); break;
+        default: row.push_back(Datum::Str(rng.RandString(0, 40)));
+      }
+    }
+    BufferWriter w;
+    SerializeRow(row, &w);
+    BufferReader r(w.data().data(), w.size());
+    auto back = DeserializeRow(&r);
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->size(), row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(Datum::Compare((*back)[i], row[i]), 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- strings
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("PROMO BURNISHED TIN", "PROMO%"));
+  EXPECT_FALSE(LikeMatch("STANDARD TIN", "PROMO%"));
+  EXPECT_TRUE(LikeMatch("forest green", "%green%"));
+  EXPECT_TRUE(LikeMatch("forest green", "forest%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abbc", "a_c"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("x special y requests z",
+                        "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("x requests y special z",
+                         "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("MEDIUM POLISHED BRASS", "MEDIUM POLISHED%"));
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  EXPECT_EQ(Split("a|b||c", '|'),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Trim("  padded \t\n"), "padded");
+  EXPECT_TRUE(IEquals("SeLeCt", "select"));
+  EXPECT_FALSE(IEquals("selec", "select"));
+}
+
+TEST(TypeParseTest, Names) {
+  EXPECT_EQ(*ParseTypeName("INT8"), TypeId::kInt64);
+  EXPECT_EQ(*ParseTypeName("integer"), TypeId::kInt32);
+  EXPECT_EQ(*ParseTypeName("DECIMAL(15,2)"), TypeId::kDouble);
+  EXPECT_EQ(*ParseTypeName("CHAR(25)"), TypeId::kString);
+  EXPECT_EQ(*ParseTypeName("varchar"), TypeId::kString);
+  EXPECT_EQ(*ParseTypeName("DATE"), TypeId::kDate);
+  EXPECT_FALSE(ParseTypeName("BLOB").ok());
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(6);
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = c.Uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    double d = c.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hawq

@@ -1,0 +1,230 @@
+// Concurrency: swimming-lane concurrent writers (paper §5.4), concurrent
+// readers under MVCC, isolation levels observed through real sessions,
+// and concurrent mixed workloads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+
+namespace hawq::engine {
+namespace {
+
+ClusterOptions SmallCluster() {
+  ClusterOptions o;
+  o.num_segments = 4;
+  o.fault_detector_thread = false;
+  return o;
+}
+
+TEST(ConcurrencyTest, ConcurrentInsertersUseSwimmingLanes) {
+  Cluster cluster(SmallCluster());
+  {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (w INT, i INT)").ok());
+  }
+  constexpr int kWriters = 4;
+  constexpr int kRowsEach = 30;
+  std::vector<std::thread> writers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      auto session = cluster.Connect();
+      for (int i = 0; i < kRowsEach; ++i) {
+        auto r = session->Execute("INSERT INTO t VALUES (" +
+                                  std::to_string(w) + ", " +
+                                  std::to_string(i) + ")");
+        if (!r.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto session = cluster.Connect();
+  auto r = session->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), kWriters * kRowsEach);
+  auto per_writer = session->Execute(
+      "SELECT w, count(*) FROM t GROUP BY w ORDER BY w");
+  ASSERT_TRUE(per_writer.ok());
+  ASSERT_EQ(per_writer->rows.size(), static_cast<size_t>(kWriters));
+  for (const Row& row : per_writer->rows) {
+    EXPECT_EQ(row[1].as_int(), kRowsEach);
+  }
+}
+
+TEST(ConcurrencyTest, ConcurrentLoadersInOneTransactionEach) {
+  Cluster cluster(SmallCluster());
+  {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (w INT, i INT)").ok());
+  }
+  // Two long transactions interleave inserts; one commits, one aborts.
+  std::thread committer([&] {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("BEGIN").ok());
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(
+          s->Execute("INSERT INTO t VALUES (1, " + std::to_string(i) + ")")
+              .ok());
+    }
+    ASSERT_TRUE(s->Execute("COMMIT").ok());
+  });
+  std::thread aborter([&] {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("BEGIN").ok());
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(
+          s->Execute("INSERT INTO t VALUES (2, " + std::to_string(i) + ")")
+              .ok());
+    }
+    ASSERT_TRUE(s->Execute("ROLLBACK").ok());
+  });
+  committer.join();
+  aborter.join();
+  auto s = cluster.Connect();
+  auto r = s->Execute("SELECT w, count(*) FROM t GROUP BY w ORDER BY w");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+  EXPECT_EQ(r->rows[0][1].as_int(), 25);
+}
+
+TEST(ConcurrencyTest, ReadersDoNotBlockWriters) {
+  Cluster cluster(SmallCluster());
+  auto setup = cluster.Connect();
+  ASSERT_TRUE(setup->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(setup->Execute("INSERT INTO t VALUES (1), (2)").ok());
+  std::atomic<bool> stop{false};
+  std::atomic<int> reads{0}, read_failures{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      auto s = cluster.Connect();
+      while (!stop.load()) {
+        auto r = s->Execute("SELECT count(*), sum(a) FROM t");
+        if (!r.ok()) {
+          ++read_failures;
+        } else {
+          // Counts must reflect whole committed transactions only.
+          ++reads;
+        }
+      }
+    });
+  }
+  auto writer = cluster.Connect();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        writer->Execute("INSERT INTO t VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(read_failures.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+}
+
+TEST(ConcurrencyTest, ReadCommittedSeesNewCommits) {
+  Cluster cluster(SmallCluster());
+  auto a = cluster.Connect();
+  auto b = cluster.Connect();
+  ASSERT_TRUE(a->Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(b->Execute("BEGIN").ok());  // read committed by default
+  auto before = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows[0][0].as_int(), 0);
+  ASSERT_TRUE(a->Execute("INSERT INTO t VALUES (1)").ok());
+  auto after = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->rows[0][0].as_int(), 1);  // new statement, new snapshot
+  ASSERT_TRUE(b->Execute("COMMIT").ok());
+}
+
+TEST(ConcurrencyTest, SerializableKeepsSnapshot) {
+  Cluster cluster(SmallCluster());
+  auto a = cluster.Connect();
+  auto b = cluster.Connect();
+  ASSERT_TRUE(a->Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(a->Execute("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(b->Execute("BEGIN ISOLATION LEVEL SERIALIZABLE").ok());
+  auto first = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->rows[0][0].as_int(), 1);
+  ASSERT_TRUE(a->Execute("INSERT INTO t VALUES (2)").ok());
+  auto second = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rows[0][0].as_int(), 1) << "serializable must not see "
+                                               "the concurrent commit";
+  ASSERT_TRUE(b->Execute("COMMIT").ok());
+  auto now = b->Execute("SELECT count(*) FROM t");
+  EXPECT_EQ((*now).rows[0][0].as_int(), 2);
+}
+
+TEST(ConcurrencyTest, RepeatableReadMapsToSerializable) {
+  Cluster cluster(SmallCluster());
+  auto a = cluster.Connect();
+  auto b = cluster.Connect();
+  ASSERT_TRUE(a->Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(b->Execute("BEGIN ISOLATION LEVEL REPEATABLE READ").ok());
+  auto r0 = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(a->Execute("INSERT INTO t VALUES (1)").ok());
+  auto r1 = b->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->rows[0][0].as_int(), 0);
+  ASSERT_TRUE(b->Execute("COMMIT").ok());
+}
+
+TEST(ConcurrencyTest, DdlBlocksUntilReaderCommits) {
+  Cluster cluster(SmallCluster());
+  auto a = cluster.Connect();
+  ASSERT_TRUE(a->Execute("CREATE TABLE t (x INT)").ok());
+  ASSERT_TRUE(a->Execute("INSERT INTO t VALUES (1)").ok());
+  auto reader = cluster.Connect();
+  ASSERT_TRUE(reader->Execute("BEGIN").ok());
+  ASSERT_TRUE(reader->Execute("SELECT * FROM t").ok());  // AccessShare held
+  std::atomic<bool> dropped{false};
+  std::thread dropper([&] {
+    auto s = cluster.Connect();
+    auto r = s->Execute("DROP TABLE t");  // needs AccessExclusive
+    dropped = r.ok();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(dropped.load()) << "DROP must wait for the reader";
+  ASSERT_TRUE(reader->Execute("COMMIT").ok());
+  dropper.join();
+  EXPECT_TRUE(dropped.load());
+}
+
+TEST(ConcurrencyTest, ConcurrentQueriesOnSharedData) {
+  Cluster cluster(SmallCluster());
+  {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (g INT, v INT)").ok());
+    std::string values;
+    for (int i = 0; i < 400; ++i) {
+      values += (i ? ", (" : "(") + std::to_string(i % 10) + ", " +
+                std::to_string(i) + ")";
+    }
+    ASSERT_TRUE(s->Execute("INSERT INTO t VALUES " + values).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 6; ++i) {
+    threads.emplace_back([&] {
+      auto s = cluster.Connect();
+      for (int k = 0; k < 8; ++k) {
+        auto r = s->Execute(
+            "SELECT g, count(*), sum(v) FROM t GROUP BY g ORDER BY g");
+        if (!r.ok() || r->rows.size() != 10) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hawq::engine

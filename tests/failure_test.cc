@@ -1,0 +1,175 @@
+// System-level failure injection: lossy networks end to end, segment and
+// spill-disk failures during real queries, all-segments-down, recovery
+// after failed transactions.
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+
+namespace hawq::engine {
+namespace {
+
+ClusterOptions BaseOptions() {
+  ClusterOptions o;
+  o.num_segments = 4;
+  o.fault_detector_thread = false;
+  return o;
+}
+
+void Seed(Session* s, int rows) {
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT, g INT) DISTRIBUTED BY (a)")
+                  .ok());
+  std::string values;
+  for (int i = 0; i < rows; ++i) {
+    values += (i ? ", (" : "(") + std::to_string(i) + ", " +
+              std::to_string(i % 5) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES " + values).ok());
+}
+
+TEST(LossyNetworkTest, QueriesCorrectUnderPacketLoss) {
+  // The UDP interconnect must mask a badly misbehaving network.
+  ClusterOptions o = BaseOptions();
+  o.net.loss_prob = 0.05;
+  o.net.reorder_prob = 0.10;
+  o.net.dup_prob = 0.05;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  Seed(s.get(), 300);
+  for (int i = 0; i < 5; ++i) {
+    auto r = s->Execute("SELECT g, count(*), sum(a) FROM t GROUP BY g "
+                        "ORDER BY g");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 5u);
+    int64_t total = 0;
+    for (const Row& row : r->rows) total += row[1].as_int();
+    EXPECT_EQ(total, 300);
+  }
+  ASSERT_TRUE(cluster.udp_fabric() != nullptr);
+  EXPECT_GT(cluster.udp_fabric()->retransmissions(), 0u)
+      << "loss should have forced retransmissions";
+}
+
+TEST(LossyNetworkTest, JoinsSurviveHeavyLoss) {
+  ClusterOptions o = BaseOptions();
+  o.net.loss_prob = 0.10;
+  o.net.reorder_prob = 0.10;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE a (k INT, v INT) DISTRIBUTED BY (v)")
+                  .ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE b (k INT, w INT) DISTRIBUTED BY (k)")
+                  .ok());
+  std::string va, vb;
+  for (int i = 0; i < 100; ++i) {
+    va += (i ? ", (" : "(") + std::to_string(i) + "," + std::to_string(i) +
+          ")";
+    vb += (i ? ", (" : "(") + std::to_string(i) + "," +
+          std::to_string(i * 2) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO a VALUES " + va).ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO b VALUES " + vb).ok());
+  auto r = s->Execute(
+      "SELECT count(*), sum(w) FROM a, b WHERE a.k = b.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 100);
+  EXPECT_EQ(r->rows[0][1].as_int(), 9900);
+}
+
+TEST(SegmentFailureTest, InsertDuringSegmentOutage) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 50);
+  cluster.FailSegment(3);
+  auto ins = s->Execute("INSERT INTO t VALUES (1000, 9), (1001, 9)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  auto r = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 52);
+  cluster.RecoverSegment(3);
+  auto r2 = s->Execute("SELECT count(*) FROM t");
+  EXPECT_EQ((*r2).rows[0][0].as_int(), 52);
+}
+
+TEST(SegmentFailureTest, MultipleFailuresStillServe) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 100);
+  cluster.FailSegment(0);
+  cluster.FailSegment(2);
+  auto r = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 100);
+}
+
+TEST(SegmentFailureTest, AllSegmentsDownFailsCleanly) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 10);
+  for (int i = 0; i < 4; ++i) cluster.FailSegment(i);
+  auto r = s->Execute("SELECT count(*) FROM t");
+  ASSERT_FALSE(r.ok());
+  // Master-only queries still work.
+  auto m = s->Execute("SELECT 1 + 1");
+  EXPECT_TRUE(m.ok());
+  for (int i = 0; i < 4; ++i) cluster.RecoverSegment(i);
+  auto back = s->Execute("SELECT count(*) FROM t");
+  EXPECT_TRUE(back.ok());
+}
+
+TEST(SpillDiskTest, SortSpillFailureFailsQueryNotCluster) {
+  ClusterOptions o = BaseOptions();
+  o.sort_spill_threshold = 16;  // spill aggressively
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  Seed(s.get(), 400);
+  // Healthy spill path first.
+  auto ok = s->Execute("SELECT a FROM t ORDER BY a LIMIT 5");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  // Fail one segment's scratch disk: queries sorting there now fail...
+  cluster.FailSpillDisk(1);
+  auto bad = s->Execute("SELECT a FROM t ORDER BY a LIMIT 5");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
+  // ...but non-spilling queries are unaffected.
+  auto fine = s->Execute("SELECT count(*) FROM t");
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+}
+
+TEST(RecoveryTest, FailedTransactionLeavesConsistentState) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 20);
+  // A statement that fails mid-transaction aborts the whole transaction.
+  ASSERT_TRUE(s->Execute("BEGIN").ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (500, 1)").ok());
+  auto bad = s->Execute("SELECT nope FROM t");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(s->InTransaction()) << "error must abort the transaction";
+  auto r = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 20) << "aborted insert must be undone";
+  // And the table remains fully writable afterwards.
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (501, 1)").ok());
+  auto r2 = s->Execute("SELECT count(*) FROM t");
+  EXPECT_EQ((*r2).rows[0][0].as_int(), 21);
+}
+
+TEST(RecoveryTest, HdfsReplicationMasksDataNodeLossDuringQueries) {
+  ClusterOptions o = BaseOptions();
+  o.hdfs.replication = 3;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  Seed(s.get(), 200);
+  // Kill a DataNode mid-way through a sequence of queries.
+  for (int round = 0; round < 3; ++round) {
+    if (round == 1) cluster.FailSegment(2);
+    auto r = s->Execute("SELECT sum(a) FROM t");
+    ASSERT_TRUE(r.ok()) << "round " << round << ": "
+                        << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0].as_int(), 199 * 200 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace hawq::engine

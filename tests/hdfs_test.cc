@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/sim_cost.h"
+#include "hdfs/hdfs.h"
+
+namespace hawq::hdfs {
+namespace {
+
+HdfsOptions SmallBlocks() {
+  HdfsOptions o;
+  o.block_size = 16;
+  o.replication = 3;
+  return o;
+}
+
+TEST(HdfsTest, WriteReadRoundTrip) {
+  MiniHdfs fs(4);
+  ASSERT_TRUE(fs.WriteFile("/a", "hello world").ok());
+  auto data = fs.ReadFile("/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "hello world");
+  EXPECT_EQ(*fs.FileSize("/a"), 11u);
+}
+
+TEST(HdfsTest, MultiBlockFile) {
+  MiniHdfs fs(4, SmallBlocks());
+  std::string big(1000, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>('a' + i % 26);
+  ASSERT_TRUE(fs.WriteFile("/big", big).ok());
+  EXPECT_EQ(*fs.ReadFile("/big"), big);
+  auto locs = fs.GetBlockLocations("/big");
+  ASSERT_TRUE(locs.ok());
+  EXPECT_GT(locs->size(), 10u);  // many blocks
+  uint64_t off = 0;
+  for (const auto& bl : *locs) {
+    EXPECT_EQ(bl.offset, off);
+    EXPECT_LE(bl.hosts.size(), 3u);
+    EXPECT_GE(bl.hosts.size(), 1u);
+    off += bl.length;
+  }
+  EXPECT_EQ(off, big.size());
+}
+
+TEST(HdfsTest, AppendAcrossSessions) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/f", "one,").ok());
+  auto w = fs.OpenForAppend("/f");
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("two").ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  EXPECT_EQ(*fs.ReadFile("/f"), "one,two");
+}
+
+TEST(HdfsTest, SingleWriterLease) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  auto w1 = fs.OpenForAppend("/f");
+  ASSERT_TRUE(w1.ok());
+  auto w2 = fs.OpenForAppend("/f");
+  EXPECT_FALSE(w2.ok());
+  EXPECT_EQ(w2.status().code(), StatusCode::kResourceBusy);
+  ASSERT_TRUE((*w1)->Close().ok());
+  auto w3 = fs.OpenForAppend("/f");
+  EXPECT_TRUE(w3.ok());
+}
+
+TEST(HdfsTest, CreateFailsIfExists) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  auto w = fs.Create("/f");
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.status().code(), StatusCode::kAlreadyExists);
+}
+
+// --- truncate (paper §5.3) ------------------------------------------------
+
+TEST(HdfsTruncateTest, AtBlockBoundary) {
+  MiniHdfs fs(3, SmallBlocks());
+  std::string data(64, 'q');  // exactly 4 blocks of 16
+  ASSERT_TRUE(fs.WriteFile("/t", data).ok());
+  ASSERT_TRUE(fs.Truncate("/t", 32).ok());
+  EXPECT_EQ(*fs.ReadFile("/t"), std::string(32, 'q'));
+  auto locs = fs.GetBlockLocations("/t");
+  EXPECT_EQ(locs->size(), 2u);
+}
+
+TEST(HdfsTruncateTest, MidBlock) {
+  MiniHdfs fs(3, SmallBlocks());
+  std::string data;
+  for (int i = 0; i < 64; ++i) data += static_cast<char>('a' + i % 26);
+  ASSERT_TRUE(fs.WriteFile("/t", data).ok());
+  ASSERT_TRUE(fs.Truncate("/t", 21).ok());  // inside the second block
+  EXPECT_EQ(*fs.ReadFile("/t"), data.substr(0, 21));
+  EXPECT_EQ(*fs.FileSize("/t"), 21u);
+}
+
+TEST(HdfsTruncateTest, BeyondEofFails) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/t", "abc").ok());
+  auto st = fs.Truncate("/t", 10);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST(HdfsTruncateTest, OpenFileRejected) {
+  MiniHdfs fs(3);
+  auto w = fs.Create("/t");
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Append("12345678").ok());
+  // Lease still held: truncate must fail.
+  EXPECT_FALSE(fs.Truncate("/t", 1).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  EXPECT_TRUE(fs.Truncate("/t", 1).ok());
+}
+
+TEST(HdfsTruncateTest, ToZero) {
+  MiniHdfs fs(3, SmallBlocks());
+  ASSERT_TRUE(fs.WriteFile("/t", std::string(100, 'z')).ok());
+  ASSERT_TRUE(fs.Truncate("/t", 0).ok());
+  EXPECT_EQ(*fs.FileSize("/t"), 0u);
+  EXPECT_EQ(*fs.ReadFile("/t"), "");
+}
+
+TEST(HdfsTruncateTest, TruncateIsIdempotentAtSameLength) {
+  MiniHdfs fs(3, SmallBlocks());
+  ASSERT_TRUE(fs.WriteFile("/t", std::string(40, 'z')).ok());
+  ASSERT_TRUE(fs.Truncate("/t", 20).ok());
+  ASSERT_TRUE(fs.Truncate("/t", 20).ok());
+  EXPECT_EQ(*fs.FileSize("/t"), 20u);
+}
+
+// --- fault tolerance --------------------------------------------------------
+
+TEST(HdfsFaultTest, ReadsSurviveDataNodeFailure) {
+  MiniHdfs fs(4, SmallBlocks());
+  std::string data(200, 'r');
+  ASSERT_TRUE(fs.WriteFile("/r", data).ok());
+  fs.FailDataNode(0);
+  fs.FailDataNode(1);
+  EXPECT_EQ(*fs.ReadFile("/r"), data);
+}
+
+TEST(HdfsFaultTest, ReReplicationRestoresFactor) {
+  MiniHdfs fs(5, SmallBlocks());
+  ASSERT_TRUE(fs.WriteFile("/r", std::string(100, 'm')).ok());
+  fs.FailDataNode(2);
+  auto rep = fs.MinReplication("/r");
+  ASSERT_TRUE(rep.ok());
+  EXPECT_EQ(*rep, 3);  // re-replicated onto surviving nodes
+}
+
+TEST(HdfsFaultTest, AllReplicasLostIsIOError) {
+  HdfsOptions o;
+  o.block_size = 16;
+  o.replication = 2;
+  MiniHdfs fs(2, o);
+  ASSERT_TRUE(fs.WriteFile("/r", "payload").ok());
+  fs.FailDataNode(0);
+  fs.FailDataNode(1);
+  auto data = fs.ReadFile("/r");
+  EXPECT_FALSE(data.ok());
+  EXPECT_EQ(data.status().code(), StatusCode::kIOError);
+}
+
+TEST(HdfsFaultTest, DiskFailureMasked) {
+  MiniHdfs fs(4, SmallBlocks());
+  std::string data(500, 'd');
+  ASSERT_TRUE(fs.WriteFile("/d", data).ok());
+  for (int disk = 0; disk < 4; ++disk) fs.FailDisk(1, disk);
+  EXPECT_EQ(*fs.ReadFile("/d"), data);
+}
+
+TEST(HdfsFaultTest, RecoveredNodeServesAgain) {
+  MiniHdfs fs(3, SmallBlocks());
+  ASSERT_TRUE(fs.WriteFile("/d", "data").ok());
+  fs.FailDataNode(1);
+  EXPECT_FALSE(fs.IsDataNodeAlive(1));
+  fs.RecoverDataNode(1);
+  EXPECT_TRUE(fs.IsDataNodeAlive(1));
+}
+
+TEST(HdfsTest, ListByPrefix) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/hawq/seg0/t1", "a").ok());
+  ASSERT_TRUE(fs.WriteFile("/hawq/seg0/t2", "b").ok());
+  ASSERT_TRUE(fs.WriteFile("/hawq/seg1/t1", "c").ok());
+  EXPECT_EQ(fs.List("/hawq/seg0/").size(), 2u);
+  EXPECT_EQ(fs.List("/hawq/").size(), 3u);
+  EXPECT_EQ(fs.List("/nope").size(), 0u);
+}
+
+TEST(HdfsTest, DeleteRemovesFile) {
+  MiniHdfs fs(3);
+  ASSERT_TRUE(fs.WriteFile("/x", "x").ok());
+  ASSERT_TRUE(fs.Delete("/x").ok());
+  EXPECT_FALSE(fs.Exists("/x"));
+  EXPECT_FALSE(fs.Delete("/x").ok());
+}
+
+TEST(HdfsTest, ThrottledReadStillCorrect) {
+  SimCost::Global().hdfs_read_bytes_per_sec = 50'000'000;
+  MiniHdfs fs(3, SmallBlocks());
+  std::string data(2000, 'i');
+  ASSERT_TRUE(fs.WriteFile("/io", data).ok());
+  EXPECT_EQ(*fs.ReadFile("/io"), data);
+  SimCost::Global().hdfs_read_bytes_per_sec = 0;
+}
+
+}  // namespace
+}  // namespace hawq::hdfs

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "interconnect/sim_net.h"
+#include "interconnect/tcp_interconnect.h"
+#include "interconnect/udp_interconnect.h"
+
+namespace hawq::net {
+namespace {
+
+TEST(SimNetTest, DeliversPackets) {
+  SimNet net(2);
+  net.Send(1, "hello");
+  std::string out;
+  ASSERT_TRUE(net.socket(1)->Recv(&out, std::chrono::milliseconds(100)));
+  EXPECT_EQ(out, "hello");
+}
+
+TEST(SimNetTest, DropsPacketsWhenLossy) {
+  NetOptions opts;
+  opts.loss_prob = 1.0;
+  SimNet net(2, opts);
+  net.Send(1, "x");
+  std::string out;
+  EXPECT_FALSE(net.socket(1)->Recv(&out, std::chrono::milliseconds(10)));
+  EXPECT_EQ(net.packets_dropped(), 1u);
+}
+
+TEST(PacketTest, RoundTrip) {
+  Packet p;
+  p.type = PacketType::kOutOfOrder;
+  p.key = {7, 3, 2, 1};
+  p.src_host = 5;
+  p.seq = 42;
+  p.sc = 40;
+  p.sr = 41;
+  p.missing = {38, 39};
+  p.payload = "data";
+  auto parsed = Packet::Parse(p.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type, PacketType::kOutOfOrder);
+  EXPECT_TRUE(parsed->key == p.key);
+  EXPECT_EQ(parsed->src_host, 5);
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->missing, p.missing);
+  EXPECT_EQ(parsed->payload, "data");
+}
+
+// Send `count` chunks from each of `senders` hosts to one receiver over a
+// fabric and verify per-sender order and completeness.
+void RunFanIn(Interconnect* fabric, int senders, int count) {
+  std::vector<std::thread> threads;
+  for (int s = 0; s < senders; ++s) {
+    threads.emplace_back([&, s] {
+      auto send = fabric->OpenSend(/*query=*/1, /*motion=*/1, s, s, {senders});
+      ASSERT_TRUE(send.ok()) << send.status().ToString();
+      for (int i = 0; i < count; ++i) {
+        std::string chunk =
+            std::to_string(s) + ":" + std::to_string(i);
+        ASSERT_TRUE((*send)->Send(0, chunk).ok());
+      }
+      ASSERT_TRUE((*send)->SendEos().ok());
+    });
+  }
+  auto recv = fabric->OpenRecv(1, 1, 0, senders, senders);
+  ASSERT_TRUE(recv.ok()) << recv.status().ToString();
+  std::vector<int> next(senders, 0);
+  int total = 0;
+  while (true) {
+    auto chunk = (*recv)->Recv();
+    ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+    if (!chunk->has_value()) break;
+    auto colon = (*chunk)->find(':');
+    int s = std::stoi((*chunk)->substr(0, colon));
+    int i = std::stoi((*chunk)->substr(colon + 1));
+    EXPECT_EQ(i, next[s]) << "per-sender order violated";
+    next[s] = i + 1;
+    ++total;
+  }
+  EXPECT_EQ(total, senders * count);
+  for (auto& t : threads) t.join();
+}
+
+TEST(UdpInterconnectTest, ReliableOverCleanNetwork) {
+  SimNet net(5);
+  UdpFabric fabric(&net);
+  RunFanIn(&fabric, 4, 200);
+}
+
+TEST(UdpInterconnectTest, ReliableUnderLossReorderDup) {
+  NetOptions opts;
+  opts.loss_prob = 0.05;
+  opts.dup_prob = 0.03;
+  opts.reorder_prob = 0.10;
+  SimNet net(5, opts);
+  UdpFabric fabric(&net);
+  RunFanIn(&fabric, 4, 200);
+  EXPECT_GT(fabric.retransmissions(), 0u);
+}
+
+TEST(UdpInterconnectTest, ReliableUnderHeavyLoss) {
+  NetOptions opts;
+  opts.loss_prob = 0.25;
+  opts.reorder_prob = 0.15;
+  opts.dup_prob = 0.10;
+  SimNet net(3, opts);
+  UdpFabric fabric(&net);
+  RunFanIn(&fabric, 2, 100);
+}
+
+TEST(UdpInterconnectTest, StopHaltsSenders) {
+  SimNet net(2);
+  UdpFabric fabric(&net);
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    auto send = fabric.OpenSend(2, 1, 0, 0, {1});
+    ASSERT_TRUE(send.ok());
+    // Keep sending until the receiver stops us.
+    for (int i = 0; i < 100000 && !(*send)->Stopped(0); ++i) {
+      ASSERT_TRUE((*send)->Send(0, "chunk" + std::to_string(i)).ok());
+    }
+    EXPECT_TRUE((*send)->Stopped(0));
+    ASSERT_TRUE((*send)->SendEos().ok());
+    done = true;
+  });
+  auto recv = fabric.OpenRecv(2, 1, 0, 1, 1);
+  ASSERT_TRUE(recv.ok());
+  // Consume a few chunks then stop (LIMIT semantics).
+  for (int i = 0; i < 5; ++i) {
+    auto c = (*recv)->Recv();
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->has_value());
+  }
+  (*recv)->Stop();
+  // Drain to EoS.
+  while (true) {
+    auto c = (*recv)->Recv();
+    ASSERT_TRUE(c.ok());
+    if (!c->has_value()) break;
+  }
+  sender.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(UdpInterconnectTest, EmptyStreamOnlyEos) {
+  SimNet net(2);
+  UdpFabric fabric(&net);
+  std::thread sender([&] {
+    auto send = fabric.OpenSend(3, 1, 0, 0, {1});
+    ASSERT_TRUE(send.ok());
+    ASSERT_TRUE((*send)->SendEos().ok());
+  });
+  auto recv = fabric.OpenRecv(3, 1, 0, 1, 1);
+  ASSERT_TRUE(recv.ok());
+  auto c = (*recv)->Recv();
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c->has_value());
+  sender.join();
+}
+
+TEST(TcpInterconnectTest, ReliableFanIn) {
+  TcpOptions opts;
+  opts.conn_setup = std::chrono::microseconds(10);
+  TcpFabric fabric(5, opts);
+  RunFanIn(&fabric, 4, 200);
+}
+
+TEST(TcpInterconnectTest, PortExhaustion) {
+  TcpOptions opts;
+  opts.conn_setup = std::chrono::microseconds(0);
+  opts.ports_per_host = 10;
+  TcpFabric fabric(20, opts);
+  // 11 receivers cannot be reached with a 10-port budget.
+  std::vector<int> receivers(11);
+  for (int i = 0; i < 11; ++i) receivers[i] = i;
+  auto send = fabric.OpenSend(4, 1, 0, 0, receivers);
+  EXPECT_FALSE(send.ok());
+  EXPECT_EQ(send.status().code(), StatusCode::kNetworkError);
+}
+
+TEST(TcpInterconnectTest, PortsReleasedOnClose) {
+  TcpOptions opts;
+  opts.conn_setup = std::chrono::microseconds(0);
+  TcpFabric fabric(4);
+  {
+    auto send = fabric.OpenSend(5, 1, 0, 0, {1, 2, 3});
+    ASSERT_TRUE(send.ok());
+    EXPECT_EQ(fabric.PortsInUse(0), 3);
+  }
+  EXPECT_EQ(fabric.PortsInUse(0), 0);
+}
+
+TEST(UdpInterconnectTest, ManyConcurrentStreamsOneSocket) {
+  // The multiplexing benefit: 4 hosts, 6 concurrent motions, all over one
+  // socket per host.
+  SimNet net(4);
+  UdpFabric fabric(&net);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int m = 1; m <= 6; ++m) {
+    threads.emplace_back([&, m] {
+      std::vector<std::thread> senders;
+      for (int s = 0; s < 3; ++s) {
+        senders.emplace_back([&, s] {
+          auto send = fabric.OpenSend(10, m, s, s, {3});
+          if (!send.ok()) { ++failures; return; }
+          for (int i = 0; i < 50; ++i) {
+            if (!(*send)->Send(0, "x").ok()) { ++failures; return; }
+          }
+          if (!(*send)->SendEos().ok()) ++failures;
+        });
+      }
+      auto recv = fabric.OpenRecv(10, m, 0, 3, 3);
+      if (!recv.ok()) { ++failures; }
+      else {
+        int got = 0;
+        while (true) {
+          auto c = (*recv)->Recv();
+          if (!c.ok()) { ++failures; break; }
+          if (!c->has_value()) break;
+          ++got;
+        }
+        if (got != 150) ++failures;
+      }
+      for (auto& t : senders) t.join();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace hawq::net

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "mapreduce/mr_fabric.h"
+#include "stinger/stinger.h"
+
+namespace hawq::mr {
+namespace {
+
+MrOptions FastMr() {
+  MrOptions o;
+  o.job_startup = std::chrono::microseconds(100);
+  o.task_startup = std::chrono::microseconds(10);
+  o.reduce_row_overhead_ns = 0;
+  o.shuffle_read_bytes_per_sec = 0;
+  return o;
+}
+
+TEST(MrFabricTest, MaterializesAndDelivers) {
+  hdfs::MiniHdfs fs(3);
+  MrFabric fabric(&fs, FastMr());
+  auto send = fabric.OpenSend(1, 1, 0, 0, {1, 2});
+  ASSERT_TRUE(send.ok());
+  ASSERT_TRUE((*send)->Send(0, "for-r0").ok());
+  ASSERT_TRUE((*send)->Send(1, "for-r1").ok());
+  ASSERT_TRUE((*send)->SendEos().ok());
+  // Shuffle files landed on HDFS (stage materialization).
+  EXPECT_FALSE(fs.List("/mr/q1/m1/").empty());
+  EXPECT_GT(fabric.bytes_materialized(), 0u);
+
+  auto recv0 = fabric.OpenRecv(1, 1, 0, 1, 1);
+  ASSERT_TRUE(recv0.ok());
+  auto c = (*recv0)->Recv();
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(c->has_value());
+  EXPECT_EQ(**c, "for-r0");
+  EXPECT_FALSE((*(*recv0)->Recv()).has_value());
+}
+
+TEST(MrFabricTest, ReducersWaitForAllMappers) {
+  hdfs::MiniHdfs fs(3);
+  MrFabric fabric(&fs, FastMr());
+  std::atomic<bool> got{false};
+  std::thread reducer([&] {
+    auto recv = fabric.OpenRecv(2, 1, 0, 1, 2);
+    auto c = (*recv)->Recv();  // blocks until BOTH senders are done
+    got = c.ok();
+  });
+  auto s0 = fabric.OpenSend(2, 1, 0, 0, {1});
+  ASSERT_TRUE((*s0)->Send(0, "a").ok());
+  ASSERT_TRUE((*s0)->SendEos().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(got.load()) << "reducer must wait for the second mapper";
+  auto s1 = fabric.OpenSend(2, 1, 1, 0, {1});
+  ASSERT_TRUE((*s1)->Send(0, "b").ok());
+  ASSERT_TRUE((*s1)->SendEos().ok());
+  reducer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(MrFabricTest, JobsCountedPerStage) {
+  hdfs::MiniHdfs fs(3);
+  MrFabric fabric(&fs, FastMr());
+  auto send = fabric.OpenSend(3, 1, 0, 0, {1});
+  ASSERT_TRUE((*send)->SendEos().ok());
+  auto recv = fabric.OpenRecv(3, 1, 0, 1, 1);
+  (void)(*recv)->Recv();
+  EXPECT_EQ(fabric.jobs_launched(), 1u);
+  // Same motion again: no new job.
+  auto recv2 = fabric.OpenRecv(3, 1, 0, 1, 1);
+  (void)(*recv2)->Recv();
+  EXPECT_EQ(fabric.jobs_launched(), 1u);
+}
+
+TEST(MrFabricTest, StopIsIgnored) {
+  hdfs::MiniHdfs fs(3);
+  MrFabric fabric(&fs, FastMr());
+  auto send = fabric.OpenSend(4, 1, 0, 0, {1});
+  EXPECT_FALSE((*send)->Stopped(0));
+  auto recv = fabric.OpenRecv(4, 1, 0, 1, 1);
+  (*recv)->Stop();
+  EXPECT_FALSE((*send)->Stopped(0));  // mappers cannot be stopped
+}
+
+class StingerTest : public ::testing::Test {
+ protected:
+  StingerTest() {
+    engine::ClusterOptions o;
+    o.num_segments = 4;
+    o.fault_detector_thread = false;
+    cluster_ = std::make_unique<engine::Cluster>(o);
+    auto session = cluster_->Connect();
+    auto run = [&](const std::string& sql) {
+      auto r = session->Execute(sql);
+      ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    run("CREATE TABLE t (g VARCHAR(4), v INT8) DISTRIBUTED RANDOMLY");
+    run("INSERT INTO t VALUES ('a',1),('b',2),('a',3),('c',4),('b',5)");
+    stinger::StingerOptions sopts;
+    sopts.mr = FastMr();
+    sopts.scan_bytes_per_sec = 0;
+    engine_ = std::make_unique<stinger::StingerEngine>(cluster_.get(), sopts);
+  }
+
+  std::unique_ptr<engine::Cluster> cluster_;
+  std::unique_ptr<stinger::StingerEngine> engine_;
+};
+
+TEST_F(StingerTest, RunsAggregationQuery) {
+  auto r = engine_->Execute(
+      "SELECT g, sum(v) FROM t GROUP BY g ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0].as_str(), "a");
+  EXPECT_EQ(r->rows[0][1].as_int(), 4);
+  EXPECT_GT(engine_->jobs_launched(), 0u);
+  EXPECT_GT(engine_->bytes_materialized(), 0u);
+}
+
+TEST_F(StingerTest, RejectsDdl) {
+  auto r = engine_->Execute("CREATE TABLE x (a INT)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(StingerTest, ReducerOomOnTightLimit) {
+  stinger::StingerOptions sopts;
+  sopts.mr = FastMr();
+  sopts.scan_bytes_per_sec = 0;
+  sopts.reducer_memory_limit = 1;  // everything overflows
+  stinger::StingerEngine tight(cluster_.get(), sopts);
+  auto r = tight.Execute("SELECT g, sum(v) FROM t GROUP BY g");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST_F(StingerTest, ScalarSubqueryRunsAsSeparateJob) {
+  auto r = engine_->Execute(
+      "SELECT g FROM t WHERE v > (SELECT avg(v) FROM t) ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);  // v=4 and v=5 exceed avg 3
+}
+
+}  // namespace
+}  // namespace hawq::mr

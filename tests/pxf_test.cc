@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "pxf/connectors.h"
+#include "pxf/hbase_like.h"
+
+namespace hawq::pxf {
+namespace {
+
+TEST(ParseLocationTest, ValidAndInvalid) {
+  auto ok = ParseLocation("pxf://svc/some/path?profile=HBase");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->first, "some/path");
+  EXPECT_EQ(ok->second, "HBase");
+  EXPECT_FALSE(ParseLocation("hdfs://nope").ok());
+  EXPECT_FALSE(ParseLocation("pxf://svc/path").ok());  // missing profile
+  EXPECT_FALSE(ParseLocation("pxf://svconly").ok());
+}
+
+TEST(HBaseLikeTest, PutScanRegions) {
+  HBaseLike store(4);
+  ASSERT_TRUE(store.CreateTable("t").ok());
+  EXPECT_FALSE(store.CreateTable("t").ok());
+  for (int i = 0; i < 20; ++i) {
+    std::string key = "row" + std::to_string(100 + i);
+    ASSERT_TRUE(store.Put("t", key, "cf", std::to_string(i)).ok());
+  }
+  EXPECT_EQ(store.RowCount("t"), 20);
+  auto regions = store.Regions("t");
+  ASSERT_TRUE(regions.ok());
+  EXPECT_GT(regions->size(), 1u);
+  // Regions tile the key space: scanning all regions = scanning all rows.
+  size_t total = 0;
+  for (const auto& r : *regions) {
+    total += store.Scan("t", r.start_key, r.end_key).size();
+  }
+  EXPECT_EQ(total, 20u);
+  // Range scan.
+  auto some = store.Scan("t", "row105", "row110");
+  EXPECT_EQ(some.size(), 5u);
+  EXPECT_FALSE(store.Put("nope", "k", "c", "v").ok());
+}
+
+class PxfConnectorTest : public ::testing::Test {
+ protected:
+  PxfConnectorTest() {
+    engine::ClusterOptions o;
+    o.num_segments = 4;
+    o.fault_detector_thread = false;
+    cluster_ = std::make_unique<engine::Cluster>(o);
+    session_ = cluster_->Connect();
+  }
+
+  engine::QueryResult Exec(const std::string& sql) {
+    auto r = session_->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? std::move(*r) : engine::QueryResult{};
+  }
+
+  std::unique_ptr<engine::Cluster> cluster_;
+  std::unique_ptr<engine::Session> session_;
+};
+
+TEST_F(PxfConnectorTest, HdfsTextEndToEnd) {
+  Schema schema({{"id", TypeId::kInt64, false},
+                 {"name", TypeId::kString, false},
+                 {"score", TypeId::kDouble, false},
+                 {"day", TypeId::kDate, false}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 25; ++i) {
+    rows.push_back({Datum::Int(i), Datum::Str("n" + std::to_string(i % 5)),
+                    Datum::Double(i * 0.5),
+                    Datum::Int(DaysFromCivil(2013, 1, 1) + i)});
+  }
+  ASSERT_TRUE(WriteTextFile(cluster_->hdfs(), "/ext/data/part-0", schema,
+                            rows).ok());
+  Exec("CREATE EXTERNAL TABLE ext (id INT8, name VARCHAR(8), "
+       "score DOUBLE, day DATE) "
+       "LOCATION ('pxf://svc/ext/data?profile=HdfsTextSimple') FORMAT 'TEXT'");
+  auto r = Exec("SELECT count(*), sum(score) FROM ext");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 25);
+  auto grouped = Exec(
+      "SELECT name, count(*) FROM ext WHERE day >= '2013-01-10' "
+      "GROUP BY name ORDER BY name");
+  EXPECT_EQ(grouped.rows.size(), 5u);
+}
+
+TEST_F(PxfConnectorTest, NullsInTextFiles) {
+  Schema schema({{"id", TypeId::kInt64, false},
+                 {"v", TypeId::kString, true}});
+  std::vector<Row> rows = {{Datum::Int(1), Datum::Str("x")},
+                           {Datum::Int(2), Datum::Null()},
+                           {Datum::Int(3), Datum::Str("y")}};
+  ASSERT_TRUE(
+      WriteTextFile(cluster_->hdfs(), "/ext/n/part-0", schema, rows).ok());
+  Exec("CREATE EXTERNAL TABLE extn (id INT8, v VARCHAR(8)) "
+       "LOCATION ('pxf://svc/ext/n?profile=HdfsTextSimple') FORMAT 'TEXT'");
+  auto r = Exec("SELECT count(*), count(v) FROM extn");
+  EXPECT_EQ(r.rows[0][0].as_int(), 3);
+  EXPECT_EQ(r.rows[0][1].as_int(), 2);
+}
+
+TEST_F(PxfConnectorTest, SeqFileEndToEnd) {
+  // Stage serialized rows ("SequenceFile") directly.
+  Schema schema({{"a", TypeId::kInt64, false}, {"b", TypeId::kString, false}});
+  BufferWriter w;
+  for (int i = 0; i < 10; ++i) {
+    SerializeRow({Datum::Int(i), Datum::Str("v" + std::to_string(i))}, &w);
+  }
+  ASSERT_TRUE(cluster_->hdfs()->WriteFile("/ext/seq/f0", w.data()).ok());
+  Exec("CREATE EXTERNAL TABLE extseq (a INT8, b VARCHAR(8)) "
+       "LOCATION ('pxf://svc/ext/seq?profile=SequenceFile') FORMAT 'CUSTOM'");
+  auto r = Exec("SELECT count(*), min(a), max(a) FROM extseq");
+  EXPECT_EQ(r.rows[0][0].as_int(), 10);
+  EXPECT_EQ(r.rows[0][1].as_int(), 0);
+  EXPECT_EQ(r.rows[0][2].as_int(), 9);
+}
+
+TEST_F(PxfConnectorTest, HBaseJoinWithInternalTable) {
+  HBaseLike* hbase = cluster_->hbase();
+  hbase->CreateTable("kv");
+  for (int i = 0; i < 12; ++i) {
+    hbase->Put("kv", "k" + std::to_string(10 + i), "ref",
+               std::to_string(i % 3));
+    hbase->Put("kv", "k" + std::to_string(10 + i), "amount",
+               std::to_string(i * 10));
+  }
+  Exec("CREATE EXTERNAL TABLE hb (recordkey VARCHAR(8), ref INT, "
+       "amount DOUBLE) LOCATION ('pxf://svc/kv?profile=HBase') "
+       "FORMAT 'CUSTOM'");
+  Exec("CREATE TABLE dim (id INT, label VARCHAR(8))");
+  Exec("INSERT INTO dim VALUES (0,'zero'), (1,'one'), (2,'two')");
+  auto r = Exec(
+      "SELECT label, sum(amount) FROM dim, hb WHERE dim.id = hb.ref "
+      "GROUP BY label ORDER BY label");
+  ASSERT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(PxfConnectorTest, HBaseRowKeyPushdown) {
+  HBaseLike* hbase = cluster_->hbase();
+  hbase->CreateTable("ts");
+  for (int i = 0; i < 30; ++i) {
+    hbase->Put("ts", "2013010" + std::to_string(i % 10) + "_" +
+                         std::to_string(i),
+               "v", std::to_string(i));
+  }
+  Exec("CREATE EXTERNAL TABLE tse (recordkey VARCHAR(16), v INT) "
+       "LOCATION ('pxf://svc/ts?profile=HBase') FORMAT 'CUSTOM'");
+  auto r = Exec("SELECT count(*) FROM tse WHERE recordkey < '20130103'");
+  EXPECT_EQ(r.rows[0][0].as_int(), 9);  // keys 2013010{0,1,2}_*
+}
+
+TEST_F(PxfConnectorTest, AnalyzeThroughConnector) {
+  Schema schema({{"id", TypeId::kInt64, false}});
+  std::vector<Row> rows;
+  for (int i = 0; i < 17; ++i) rows.push_back({Datum::Int(i)});
+  ASSERT_TRUE(
+      WriteTextFile(cluster_->hdfs(), "/ext/a/p0", schema, rows).ok());
+  Exec("CREATE EXTERNAL TABLE exta (id INT8) "
+       "LOCATION ('pxf://svc/ext/a?profile=HdfsTextSimple') FORMAT 'TEXT'");
+  Exec("ANALYZE exta");
+  auto txn = cluster_->tx_manager()->Begin();
+  auto desc = cluster_->catalog()->GetTable(txn.get(), "exta");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_EQ(desc->reltuples, 17);
+  cluster_->tx_manager()->Commit(txn.get());
+}
+
+TEST_F(PxfConnectorTest, UnknownProfileFails) {
+  Exec("CREATE EXTERNAL TABLE bad (x INT) "
+       "LOCATION ('pxf://svc/y?profile=Cassandra') FORMAT 'CUSTOM'");
+  auto r = session_->Execute("SELECT * FROM bad");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(PxfConnectorTest, InsertIntoExternalRejected) {
+  Exec("CREATE EXTERNAL TABLE ro (x INT) "
+       "LOCATION ('pxf://svc/z?profile=HdfsTextSimple') FORMAT 'TEXT'");
+  auto r = session_->Execute("INSERT INTO ro VALUES (1)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace hawq::pxf

@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "sql/analyzer.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/pexpr.h"
+
+namespace hawq::sql {
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+TEST(LexerTest, TokenKinds) {
+  auto toks = Tokenize("SELECT a1, 'it''s', 3.14 <= >= <> != || (x)");
+  ASSERT_TRUE(toks.ok());
+  std::vector<std::string> texts;
+  for (const Token& t : *toks) texts.push_back(t.text);
+  EXPECT_EQ(texts[0], "SELECT");
+  EXPECT_EQ(texts[1], "a1");
+  EXPECT_EQ(texts[3], "it's");
+  EXPECT_EQ(texts[5], "3.14");
+  EXPECT_EQ(texts[6], "<=");
+  EXPECT_EQ(texts[7], ">=");
+  EXPECT_EQ(texts[8], "<>");
+  EXPECT_EQ(texts[9], "!=");
+  EXPECT_EQ(texts[10], "||");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto toks = Tokenize("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[1].text, "1");
+  EXPECT_EQ((*toks)[2].text, ",");
+  EXPECT_EQ((*toks)[3].text, "2");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  EXPECT_FALSE(Tokenize("SELECT a ~ b").ok());
+}
+
+// ---------------------------------------------------------------- parser
+
+TEST(ParserTest, SelectShape) {
+  auto stmt = Parse(
+      "SELECT a, sum(b) total FROM t WHERE a > 1 GROUP BY a "
+      "HAVING sum(b) > 10 ORDER BY total DESC LIMIT 7;");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->kind, Statement::Kind::kSelect);
+  const SelectStmt& s = *(*stmt)->select;
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "total");
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].name, "t");
+  EXPECT_TRUE(s.where != nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_TRUE(s.having != nullptr);
+  ASSERT_EQ(s.order_by.size(), 1u);
+  EXPECT_TRUE(s.order_by[0].desc);
+  EXPECT_EQ(s.limit, 7);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto stmt = Parse("SELECT 1 + 2 * 3");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& e = *(*stmt)->select->items[0].expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.op, "+");
+  EXPECT_EQ(e.children[1]->op, "*");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt = Parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& w = *(*stmt)->select->where;
+  EXPECT_EQ(w.op, "OR");
+  EXPECT_EQ(w.children[1]->op, "AND");
+}
+
+TEST(ParserTest, JoinClauses) {
+  auto stmt = Parse(
+      "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x JOIN c ON c.y = a.y");
+  ASSERT_TRUE(stmt.ok());
+  const SelectStmt& s = *(*stmt)->select;
+  ASSERT_EQ(s.from.size(), 3u);
+  EXPECT_EQ(s.from[1].join, TableRef::Join::kLeft);
+  EXPECT_TRUE(s.from[1].on != nullptr);
+  EXPECT_EQ(s.from[2].join, TableRef::Join::kInner);
+}
+
+TEST(ParserTest, DerivedTableNeedsAlias) {
+  EXPECT_FALSE(Parse("SELECT * FROM (SELECT 1)").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM (SELECT 1 x) d").ok());
+}
+
+TEST(ParserTest, CreateTableFull) {
+  auto stmt = Parse(
+      "CREATE TABLE sales (id INT, date DATE, amt DECIMAL(10,2)) "
+      "WITH (orientation=column, compresstype=zlib, compresslevel=5) "
+      "DISTRIBUTED BY (id) "
+      "PARTITION BY RANGE (date) "
+      "(START (date '2008-01-01') INCLUSIVE "
+      "END (date '2009-01-01') EXCLUSIVE EVERY (INTERVAL '1 month'))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  const CreateTableStmt& c = *(*stmt)->create;
+  EXPECT_EQ(c.columns.size(), 3u);
+  EXPECT_EQ(c.options.at("orientation"), "column");
+  EXPECT_EQ(c.options.at("compresslevel"), "5");
+  EXPECT_EQ(c.dist_cols, std::vector<std::string>{"id"});
+  EXPECT_EQ(c.part_col, "date");
+  EXPECT_EQ(c.part_every_months, 1);
+  EXPECT_EQ(c.part_start.as_int(), DaysFromCivil(2008, 1, 1));
+}
+
+TEST(ParserTest, CreateExternalTable) {
+  auto stmt = Parse(
+      "CREATE EXTERNAL TABLE h (k VARCHAR(10), v INT) "
+      "LOCATION ('pxf://svc/tbl?profile=HBase') "
+      "FORMAT 'CUSTOM' (formatter='pxfwritable_import')");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->create_external->location,
+            "pxf://svc/tbl?profile=HBase");
+}
+
+TEST(ParserTest, InsertForms) {
+  auto v = Parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)->insert->values.size(), 2u);
+  auto sel = Parse("INSERT INTO t SELECT * FROM s");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_TRUE((*sel)->insert->select != nullptr);
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_EQ((*Parse("BEGIN"))->kind, Statement::Kind::kBegin);
+  auto iso = Parse("BEGIN ISOLATION LEVEL SERIALIZABLE");
+  ASSERT_TRUE(iso.ok());
+  EXPECT_EQ((*iso)->isolation, "serializable");
+  auto rr = Parse("BEGIN ISOLATION LEVEL REPEATABLE READ");
+  ASSERT_TRUE(rr.ok());
+  EXPECT_EQ((*rr)->isolation, "repeatable read");
+  EXPECT_EQ((*Parse("COMMIT"))->kind, Statement::Kind::kCommit);
+  EXPECT_EQ((*Parse("ABORT"))->kind, Statement::Kind::kRollback);
+}
+
+TEST(ParserTest, SpecialExpressions) {
+  EXPECT_TRUE(Parse("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE a BETWEEN 1 AND 2").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE a NOT IN (1, 2, 3)").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE a IS NOT NULL").ok());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE s LIKE 'x%'").ok());
+  EXPECT_TRUE(Parse("SELECT extract(year from d) FROM t").ok());
+  EXPECT_TRUE(Parse("SELECT count(DISTINCT x) FROM t").ok());
+  EXPECT_TRUE(
+      Parse("SELECT * FROM t WHERE EXISTS (SELECT * FROM u WHERE u.x = t.x)")
+          .ok());
+  EXPECT_TRUE(Parse("SELECT * FROM t WHERE d < date '1998-12-01' - "
+                    "interval '90 day'").ok());
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(Parse("SELECT 1 FROM t blah blah blah").ok());
+  EXPECT_FALSE(Parse("SELEKT 1").ok());
+}
+
+// ---------------------------------------------------------------- pexpr
+
+TEST(PExprTest, ThreeValuedLogic) {
+  PExpr null_e = PExpr::Const(Datum::Null(), TypeId::kBool);
+  PExpr true_e = PExpr::Const(Datum::Bool(true), TypeId::kBool);
+  PExpr false_e = PExpr::Const(Datum::Bool(false), TypeId::kBool);
+
+  // NULL AND FALSE = FALSE; NULL AND TRUE = NULL.
+  EXPECT_FALSE(PExpr::Binary(PExpr::Op::kAnd, null_e, false_e, TypeId::kBool)
+                   .Eval({})
+                   .as_bool());
+  EXPECT_TRUE(PExpr::Binary(PExpr::Op::kAnd, null_e, true_e, TypeId::kBool)
+                  .Eval({})
+                  .is_null());
+  // NULL OR TRUE = TRUE; NULL OR FALSE = NULL.
+  EXPECT_TRUE(PExpr::Binary(PExpr::Op::kOr, null_e, true_e, TypeId::kBool)
+                  .Eval({})
+                  .as_bool());
+  EXPECT_TRUE(PExpr::Binary(PExpr::Op::kOr, null_e, false_e, TypeId::kBool)
+                  .Eval({})
+                  .is_null());
+  // NULL = NULL is NULL, not true.
+  EXPECT_TRUE(PExpr::Binary(PExpr::Op::kEq, null_e, null_e, TypeId::kBool)
+                  .Eval({})
+                  .is_null());
+}
+
+TEST(PExprTest, DivisionByZeroIsNull) {
+  PExpr e = PExpr::Binary(PExpr::Op::kDiv,
+                          PExpr::Const(Datum::Int(10), TypeId::kInt64),
+                          PExpr::Const(Datum::Int(0), TypeId::kInt64),
+                          TypeId::kInt64);
+  EXPECT_TRUE(e.Eval({}).is_null());
+}
+
+TEST(PExprTest, SerdeRoundTrip) {
+  PExpr e;
+  e.op = PExpr::Op::kCase;
+  e.out_type = TypeId::kString;
+  e.children.push_back(PExpr::Binary(PExpr::Op::kGt,
+                                     PExpr::Col(3, TypeId::kDouble),
+                                     PExpr::Const(Datum::Double(1.5),
+                                                  TypeId::kDouble),
+                                     TypeId::kBool));
+  e.children.push_back(PExpr::Const(Datum::Str("big"), TypeId::kString));
+  e.children.push_back(PExpr::Const(Datum::Str("small"), TypeId::kString));
+  BufferWriter w;
+  e.Serialize(&w);
+  BufferReader r(w.data().data(), w.size());
+  auto back = PExpr::Deserialize(&r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Fingerprint(), e.Fingerprint());
+  Row row = {{}, {}, {}, Datum::Double(2.0)};
+  EXPECT_EQ(back->Eval(row).as_str(), "big");
+}
+
+TEST(PExprTest, ColumnManipulation) {
+  PExpr e = PExpr::Binary(PExpr::Op::kAdd, PExpr::Col(2, TypeId::kInt64),
+                          PExpr::Col(5, TypeId::kInt64), TypeId::kInt64);
+  std::vector<int> cols;
+  e.CollectCols(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{2, 5}));
+  e.ShiftCols(10);
+  cols.clear();
+  e.CollectCols(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{12, 15}));
+  e.RemapCols({{12, 0}, {15, 1}});
+  cols.clear();
+  e.CollectCols(&cols);
+  EXPECT_EQ(cols, (std::vector<int>{0, 1}));
+}
+
+TEST(PExprTest, ScalarFunctions) {
+  auto call = [](const char* name, std::vector<Datum> args) {
+    PExpr e;
+    e.op = PExpr::Op::kFunc;
+    e.func = name;
+    for (Datum& a : args) {
+      e.children.push_back(PExpr::Const(std::move(a), TypeId::kString));
+    }
+    return e.Eval({});
+  };
+  EXPECT_EQ(call("year", {Datum::Int(DaysFromCivil(1997, 6, 15))}).as_int(),
+            1997);
+  EXPECT_EQ(call("month", {Datum::Int(DaysFromCivil(1997, 6, 15))}).as_int(),
+            6);
+  EXPECT_EQ(call("substr",
+                 {Datum::Str("13-555-1234"), Datum::Int(1), Datum::Int(2)})
+                .as_str(),
+            "13");
+  EXPECT_EQ(call("length", {Datum::Str("hello")}).as_int(), 5);
+  EXPECT_EQ(call("upper", {Datum::Str("abc")}).as_str(), "ABC");
+  EXPECT_EQ(call("add_months",
+                 {Datum::Int(DaysFromCivil(1995, 1, 31)), Datum::Int(1)})
+                .as_int(),
+            DaysFromCivil(1995, 2, 28));  // clamped day
+  EXPECT_EQ(call("coalesce", {Datum::Null(), Datum::Str("x")}).as_str(), "x");
+}
+
+// ---------------------------------------------------------------- analyzer
+
+class AnalyzerTest : public ::testing::Test {
+ protected:
+  AnalyzerTest() : cat_(&mgr_) {
+    auto txn = mgr_.Begin();
+    catalog::TableDesc t;
+    t.name = "t";
+    t.columns = {{"a", TypeId::kInt64, false},
+                 {"b", TypeId::kDouble, false},
+                 {"s", TypeId::kString, true},
+                 {"d", TypeId::kDate, false}};
+    t.dist = catalog::DistPolicy::kHash;
+    t.dist_cols = {0};
+    EXPECT_TRUE(cat_.CreateTable(txn.get(), t).ok());
+    catalog::TableDesc u;
+    u.name = "u";
+    u.columns = {{"a", TypeId::kInt64, false}, {"x", TypeId::kInt64, false}};
+    EXPECT_TRUE(cat_.CreateTable(txn.get(), u).ok());
+    mgr_.Commit(txn.get());
+    txn_ = mgr_.Begin();
+  }
+  ~AnalyzerTest() override { mgr_.Commit(txn_.get()); }
+
+  Result<std::unique_ptr<BoundQuery>> Bind(const std::string& sql) {
+    auto stmt = Parse(sql);
+    if (!stmt.ok()) return stmt.status();
+    return Analyze(&cat_, txn_.get(), *(*stmt)->select);
+  }
+
+  tx::TxManager mgr_;
+  catalog::Catalog cat_;
+  std::unique_ptr<tx::Transaction> txn_;
+};
+
+TEST_F(AnalyzerTest, ResolvesColumnsToFlatIndices) {
+  auto q = Bind("SELECT b, a FROM t WHERE a > 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->select[0].col, 1);
+  EXPECT_EQ((*q)->select[1].col, 0);
+  EXPECT_EQ((*q)->out_types[0], TypeId::kDouble);
+  EXPECT_EQ((*q)->conjuncts.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, AmbiguousColumnRejected) {
+  auto q = Bind("SELECT a FROM t, u");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(AnalyzerTest, QualifiedColumnsDisambiguate) {
+  auto q = Bind("SELECT t.a, u.a FROM t, u WHERE t.a = u.a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->select[0].col, 0);
+  EXPECT_EQ((*q)->select[1].col, 4);  // after t's 4 columns
+}
+
+TEST_F(AnalyzerTest, UnknownColumnAndTableErrors) {
+  EXPECT_FALSE(Bind("SELECT zz FROM t").ok());
+  EXPECT_FALSE(Bind("SELECT a FROM nosuch").ok());
+}
+
+TEST_F(AnalyzerTest, AggregateLayout) {
+  auto q = Bind("SELECT s, sum(b), count(*) FROM t GROUP BY s");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->has_agg);
+  EXPECT_EQ((*q)->group_by.size(), 1u);
+  EXPECT_EQ((*q)->aggs.size(), 2u);
+  // Select in aggregate layout: group col 0, aggs 1 and 2.
+  EXPECT_EQ((*q)->select[0].col, 0);
+  EXPECT_EQ((*q)->select[1].col, 1);
+  EXPECT_EQ((*q)->select[2].col, 2);
+}
+
+TEST_F(AnalyzerTest, NonGroupedColumnRejected) {
+  EXPECT_FALSE(Bind("SELECT a, sum(b) FROM t GROUP BY s").ok());
+}
+
+TEST_F(AnalyzerTest, AggregateInWhereRejected) {
+  EXPECT_FALSE(Bind("SELECT a FROM t WHERE sum(b) > 1").ok());
+}
+
+TEST_F(AnalyzerTest, HavingWithoutAggRejected) {
+  EXPECT_FALSE(Bind("SELECT a FROM t HAVING a > 1").ok());
+}
+
+TEST_F(AnalyzerTest, ExistsBecomesSemiRel) {
+  auto q = Bind(
+      "SELECT a FROM t WHERE EXISTS (SELECT * FROM u WHERE u.a = t.a)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ((*q)->rels.size(), 2u);
+  EXPECT_EQ((*q)->rels[1].join, BoundRel::Join::kSemi);
+  EXPECT_EQ((*q)->rels[1].on_conjuncts.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, NotInBecomesAntiRel) {
+  auto q = Bind("SELECT a FROM t WHERE a NOT IN (SELECT x FROM u)");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ((*q)->rels.size(), 2u);
+  EXPECT_EQ((*q)->rels[1].join, BoundRel::Join::kAnti);
+}
+
+TEST_F(AnalyzerTest, AggregatedInSubqueryBecomesDerivedSemi) {
+  auto q = Bind(
+      "SELECT a FROM t WHERE a IN (SELECT x FROM u GROUP BY x "
+      "HAVING count(*) > 1)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ((*q)->rels.size(), 2u);
+  EXPECT_EQ((*q)->rels[1].kind, BoundRel::Kind::kDerived);
+  EXPECT_EQ((*q)->rels[1].join, BoundRel::Join::kSemi);
+}
+
+TEST_F(AnalyzerTest, ScalarSubqueryPlaceholder) {
+  auto q = Bind("SELECT a FROM t WHERE b > (SELECT avg(b) FROM t)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->scalar_subqueries.size(), 1u);
+}
+
+TEST_F(AnalyzerTest, HiddenSortKeyAppended) {
+  auto q = Bind("SELECT a FROM t ORDER BY b");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->n_visible, 1);
+  EXPECT_EQ((*q)->select.size(), 2u);
+  EXPECT_EQ((*q)->order_by[0].out_index, 1);
+}
+
+TEST_F(AnalyzerTest, OrderByOrdinalAndAlias) {
+  auto q = Bind("SELECT a, b total FROM t ORDER BY 2 DESC, total");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ((*q)->order_by.size(), 2u);
+  EXPECT_EQ((*q)->order_by[0].out_index, 1);
+  EXPECT_TRUE((*q)->order_by[0].desc);
+  EXPECT_EQ((*q)->order_by[1].out_index, 1);
+}
+
+TEST_F(AnalyzerTest, DateIntervalRewrites) {
+  auto q = Bind("SELECT a FROM t WHERE d < date '1995-01-01' + "
+                "interval '3 month'");
+  ASSERT_TRUE(q.ok());
+  // The rhs folded into add_months(const, 3) — an eval gives a constant.
+  Datum rhs = (*q)->conjuncts[0].children[1].Eval({});
+  EXPECT_EQ(rhs.as_int(), DaysFromCivil(1995, 4, 1));
+}
+
+TEST_F(AnalyzerTest, StarExpansion) {
+  auto q = Bind("SELECT * FROM t, u WHERE t.a = u.a");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->select.size(), 6u);  // 4 + 2 columns
+}
+
+}  // namespace
+}  // namespace hawq::sql

@@ -1,0 +1,88 @@
+// End-to-end property sweep: the same TPC-H workload must produce
+// identical answers across every storage format x codec combination —
+// storage is an implementation detail, never a semantics change.
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "tpch/tpch_loader.h"
+#include "tpch/tpch_queries.h"
+
+namespace hawq::engine {
+namespace {
+
+struct StorageCase {
+  const char* with_options;
+  const char* name;
+};
+
+class StorageE2eTest : public ::testing::TestWithParam<StorageCase> {};
+
+std::string Fingerprint(const QueryResult& r) {
+  std::string out;
+  for (const Row& row : r.rows) {
+    for (const Datum& d : row) {
+      // Round doubles so codec-independent float formatting matches.
+      if (d.kind == Datum::Kind::kDouble) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3f", d.as_double());
+        out += buf;
+      } else {
+        out += d.ToString();
+      }
+      out += '|';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TEST_P(StorageE2eTest, TpchAnswersIndependentOfStorage) {
+  static std::map<int, std::string> reference;  // from the first config
+
+  ClusterOptions copts;
+  copts.num_segments = 2;
+  copts.fault_detector_thread = false;
+  Cluster cluster(copts);
+  tpch::LoadOptions lopts;
+  lopts.gen.sf = 0.001;
+  lopts.with_options = GetParam().with_options;
+  lopts.analyze = false;  // keep the sweep fast; plans may differ, rows not
+  ASSERT_TRUE(tpch::LoadTpch(&cluster, lopts).ok());
+  auto session = cluster.Connect();
+  for (int id : {1, 3, 6, 12, 14}) {
+    auto r = session->Execute(tpch::Query(id).sql);
+    ASSERT_TRUE(r.ok()) << GetParam().name << " Q" << id << ": "
+                        << r.status().ToString();
+    std::string fp = Fingerprint(*r);
+    auto it = reference.find(id);
+    if (it == reference.end()) {
+      reference[id] = fp;
+    } else {
+      EXPECT_EQ(fp, it->second)
+          << GetParam().name << " Q" << id << " diverged from reference";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStorageConfigs, StorageE2eTest,
+    ::testing::Values(
+        StorageCase{"", "ao_none"},
+        StorageCase{"WITH (orientation=row, compresstype=quicklz)",
+                    "ao_quicklz"},
+        StorageCase{"WITH (orientation=row, compresstype=zlib, "
+                    "compresslevel=9)",
+                    "ao_zlib9"},
+        StorageCase{"WITH (orientation=column)", "co_none"},
+        StorageCase{"WITH (orientation=column, compresstype=zlib)",
+                    "co_zlib"},
+        StorageCase{"WITH (orientation=parquet)", "parquet_none"},
+        StorageCase{"WITH (orientation=parquet, compresstype=quicklz)",
+                    "parquet_quicklz"}),
+    [](const ::testing::TestParamInfo<StorageCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace hawq::engine

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/codec.h"
+#include "storage/format.h"
+
+namespace hawq::storage {
+namespace {
+
+using catalog::Codec;
+using catalog::StorageKind;
+
+// ---- codecs ----------------------------------------------------------------
+
+struct CodecCase {
+  Codec codec;
+  int level;
+  const char* name;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, Empty) {
+  auto c = CodecCompress(GetParam().codec, GetParam().level, "");
+  ASSERT_TRUE(c.ok());
+  auto d = CodecDecompress(GetParam().codec, *c, 0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, "");
+}
+
+TEST_P(CodecRoundTrip, Short) {
+  std::string src = "abc";
+  auto c = CodecCompress(GetParam().codec, GetParam().level, src);
+  ASSERT_TRUE(c.ok());
+  auto d = CodecDecompress(GetParam().codec, *c, src.size());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, src);
+}
+
+TEST_P(CodecRoundTrip, HighlyRepetitive) {
+  std::string src;
+  for (int i = 0; i < 1000; ++i) src += "the quick brown fox ";
+  auto c = CodecCompress(GetParam().codec, GetParam().level, src);
+  ASSERT_TRUE(c.ok());
+  // LZ codecs must find the repeated phrase; byte-RLE only sees runs.
+  if (GetParam().codec == Codec::kQuicklz || GetParam().codec == Codec::kZlib) {
+    EXPECT_LT(c->size(), src.size() / 2) << GetParam().name;
+  }
+  auto d = CodecDecompress(GetParam().codec, *c, src.size());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, src);
+}
+
+TEST_P(CodecRoundTrip, RandomBytes) {
+  Rng rng(7);
+  std::string src;
+  for (int i = 0; i < 50000; ++i) src += static_cast<char>(rng.Next() & 0xFF);
+  auto c = CodecCompress(GetParam().codec, GetParam().level, src);
+  ASSERT_TRUE(c.ok());
+  auto d = CodecDecompress(GetParam().codec, *c, src.size());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, src);
+}
+
+TEST_P(CodecRoundTrip, MixedStructuredData) {
+  // Looks like serialized tuples: small ints, repeated strings, dates.
+  Rng rng(13);
+  std::string src;
+  const char* tags[] = {"BUILDING", "MACHINERY", "AUTOMOBILE"};
+  for (int i = 0; i < 5000; ++i) {
+    src += std::to_string(i);
+    src += '|';
+    src += tags[rng.Uniform(0, 2)];
+    src += '|';
+    src += std::to_string(rng.Uniform(0, 100000) / 100.0);
+    src += '\n';
+  }
+  auto c = CodecCompress(GetParam().codec, GetParam().level, src);
+  ASSERT_TRUE(c.ok());
+  auto d = CodecDecompress(GetParam().codec, *c, src.size());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, src);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecRoundTrip,
+    ::testing::Values(CodecCase{Codec::kNone, 1, "none"},
+                      CodecCase{Codec::kRle, 1, "rle"},
+                      CodecCase{Codec::kQuicklz, 1, "quicklz"},
+                      CodecCase{Codec::kZlib, 1, "zlib1"},
+                      CodecCase{Codec::kZlib, 5, "zlib5"},
+                      CodecCase{Codec::kZlib, 9, "zlib9"}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CodecTest, HigherZlibLevelsCompressAtLeastAsWell) {
+  Rng rng(3);
+  std::string src;
+  for (int i = 0; i < 20000; ++i) {
+    src += "order-" + std::to_string(rng.Uniform(0, 500));
+    src += rng.Chance(0.5) ? "|SHIP|" : "|RAIL|";
+  }
+  auto l1 = CodecCompress(Codec::kZlib, 1, src);
+  auto l9 = CodecCompress(Codec::kZlib, 9, src);
+  ASSERT_TRUE(l1.ok() && l9.ok());
+  EXPECT_LE(l9->size(), l1->size());
+}
+
+TEST(CodecTest, RleExcelsOnRuns) {
+  std::string src(100000, 'a');
+  auto c = CodecCompress(Codec::kRle, 1, src);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(c->size(), 16u);
+}
+
+TEST(CodecTest, DecompressDetectsSizeMismatch) {
+  auto c = CodecCompress(Codec::kQuicklz, 1, "hello world hello world");
+  ASSERT_TRUE(c.ok());
+  auto d = CodecDecompress(Codec::kQuicklz, *c, 5);
+  EXPECT_FALSE(d.ok());
+}
+
+// ---- table formats ---------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({{"k", TypeId::kInt64, false},
+                 {"name", TypeId::kString, true},
+                 {"price", TypeId::kDouble, false},
+                 {"flag", TypeId::kBool, false}});
+}
+
+Row MakeRow(int64_t i) {
+  return Row{Datum::Int(i), Datum::Str("name-" + std::to_string(i % 100)),
+             Datum::Double(i * 1.5), Datum::Bool(i % 2 == 0)};
+}
+
+struct FormatCase {
+  StorageKind kind;
+  Codec codec;
+  const char* name;
+};
+
+class FormatRoundTrip : public ::testing::TestWithParam<FormatCase> {
+ protected:
+  hdfs::MiniHdfs fs_{4};
+};
+
+TEST_P(FormatRoundTrip, WriteScanAll) {
+  StorageOptions opts;
+  opts.kind = GetParam().kind;
+  opts.codec = GetParam().codec;
+  opts.stripe_rows = 100;  // force several stripes
+  Schema schema = TestSchema();
+  auto w = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  const int kRows = 1234;
+  for (int i = 0; i < kRows; ++i) ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  EXPECT_EQ((*w)->rows_written(), kRows);
+  EXPECT_GT((*w)->logical_eof(), 0);
+  EXPECT_GT((*w)->uncompressed_bytes(), 0);
+
+  auto s = OpenTableScanner(&fs_, "/t", schema, opts, (*w)->logical_eof());
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Row row;
+  for (int i = 0; i < kRows; ++i) {
+    auto more = (*s)->Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    ASSERT_TRUE(*more) << "premature EOF at row " << i;
+    EXPECT_EQ(row[0].as_int(), i);
+    EXPECT_EQ(row[1].as_str(), "name-" + std::to_string(i % 100));
+    EXPECT_DOUBLE_EQ(row[2].as_double(), i * 1.5);
+    EXPECT_EQ(row[3].as_bool(), i % 2 == 0);
+  }
+  auto end = (*s)->Next(&row);
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(*end);
+}
+
+TEST_P(FormatRoundTrip, ProjectionReturnsNullsElsewhere) {
+  StorageOptions opts;
+  opts.kind = GetParam().kind;
+  opts.codec = GetParam().codec;
+  Schema schema = TestSchema();
+  auto w = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w.ok());
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+
+  auto s = OpenTableScanner(&fs_, "/t", schema, opts, (*w)->logical_eof(),
+                            {0, 2});
+  ASSERT_TRUE(s.ok());
+  Row row;
+  for (int i = 0; i < 50; ++i) {
+    auto more = (*s)->Next(&row);
+    ASSERT_TRUE(more.ok() && *more);
+    EXPECT_EQ(row[0].as_int(), i);
+    EXPECT_TRUE(row[1].is_null());  // projected out
+    EXPECT_DOUBLE_EQ(row[2].as_double(), i * 1.5);
+  }
+}
+
+TEST_P(FormatRoundTrip, LogicalEofHidesLaterAppends) {
+  StorageOptions opts;
+  opts.kind = GetParam().kind;
+  opts.codec = GetParam().codec;
+  Schema schema = TestSchema();
+  auto w = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w.ok());
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  int64_t committed_eof = (*w)->logical_eof();
+
+  // A second (uncommitted) writer appends more rows.
+  auto w2 = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w2.ok());
+  for (int i = 20; i < 40; ++i) ASSERT_TRUE((*w2)->Append(MakeRow(i)).ok());
+  ASSERT_TRUE((*w2)->Close().ok());
+
+  // Scanning with the committed logical eof sees only the first 20 rows.
+  auto s = OpenTableScanner(&fs_, "/t", schema, opts, committed_eof);
+  ASSERT_TRUE(s.ok());
+  Row row;
+  int n = 0;
+  while (true) {
+    auto more = (*s)->Next(&row);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!*more) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 20);
+}
+
+TEST_P(FormatRoundTrip, EmptyTableScans) {
+  StorageOptions opts;
+  opts.kind = GetParam().kind;
+  opts.codec = GetParam().codec;
+  Schema schema = TestSchema();
+  auto w = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  auto s = OpenTableScanner(&fs_, "/t", schema, opts, (*w)->logical_eof());
+  ASSERT_TRUE(s.ok());
+  Row row;
+  auto more = (*s)->Next(&row);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST_P(FormatRoundTrip, NullValuesSurvive) {
+  StorageOptions opts;
+  opts.kind = GetParam().kind;
+  opts.codec = GetParam().codec;
+  Schema schema = TestSchema();
+  auto w = OpenTableWriter(&fs_, "/t", schema, opts);
+  ASSERT_TRUE(w.ok());
+  Row r = MakeRow(1);
+  r[1] = Datum::Null();
+  ASSERT_TRUE((*w)->Append(r).ok());
+  ASSERT_TRUE((*w)->Close().ok());
+  auto s = OpenTableScanner(&fs_, "/t", schema, opts, (*w)->logical_eof());
+  Row row;
+  ASSERT_TRUE(*(*s)->Next(&row));
+  EXPECT_TRUE(row[1].is_null());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormats, FormatRoundTrip,
+    ::testing::Values(
+        FormatCase{StorageKind::kAO, Codec::kNone, "ao_none"},
+        FormatCase{StorageKind::kAO, Codec::kQuicklz, "ao_quicklz"},
+        FormatCase{StorageKind::kAO, Codec::kZlib, "ao_zlib"},
+        FormatCase{StorageKind::kCO, Codec::kNone, "co_none"},
+        FormatCase{StorageKind::kCO, Codec::kQuicklz, "co_quicklz"},
+        FormatCase{StorageKind::kCO, Codec::kZlib, "co_zlib"},
+        FormatCase{StorageKind::kParquet, Codec::kNone, "parquet_none"},
+        FormatCase{StorageKind::kParquet, Codec::kQuicklz, "parquet_quicklz"},
+        FormatCase{StorageKind::kParquet, Codec::kZlib, "parquet_zlib"}),
+    [](const ::testing::TestParamInfo<FormatCase>& info) {
+      return info.param.name;
+    });
+
+TEST(StorageFilePathsTest, CoHasPerColumnFiles) {
+  auto paths = StorageFilePaths("/t", StorageKind::kCO, 3);
+  EXPECT_EQ(paths.size(), 4u);
+  EXPECT_EQ(paths[1], "/t.c0");
+  auto ao = StorageFilePaths("/t", StorageKind::kAO, 3);
+  EXPECT_EQ(ao.size(), 1u);
+}
+
+TEST(FormatTest, ColumnarCompressesBetterThanRowOriented) {
+  // CO groups similar values together, so LZ finds more redundancy.
+  hdfs::MiniHdfs fs(4);
+  Schema schema = TestSchema();
+  auto write_with = [&](StorageKind kind, const std::string& path) {
+    StorageOptions opts;
+    opts.kind = kind;
+    opts.codec = Codec::kZlib;
+    opts.codec_level = 5;
+    auto w = OpenTableWriter(&fs, path, schema, opts);
+    EXPECT_TRUE(w.ok());
+    for (int i = 0; i < 20000; ++i) EXPECT_TRUE((*w)->Append(MakeRow(i)).ok());
+    EXPECT_TRUE((*w)->Close().ok());
+  };
+  write_with(StorageKind::kAO, "/ao");
+  write_with(StorageKind::kCO, "/co");
+  uint64_t ao_size = *fs.FileSize("/ao");
+  uint64_t co_size = *fs.FileSize("/co");
+  for (int i = 0; i < 4; ++i) {
+    co_size += *fs.FileSize("/co.c" + std::to_string(i));
+  }
+  EXPECT_LT(co_size, ao_size);
+}
+
+}  // namespace
+}  // namespace hawq::storage

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "engine/cluster.h"
+#include "engine/session.h"
+#include "stinger/stinger.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_loader.h"
+#include "tpch/tpch_queries.h"
+
+namespace hawq::tpch {
+namespace {
+
+// One shared cluster for the whole suite (loading is the expensive part).
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine::ClusterOptions copts;
+    copts.num_segments = 4;
+    copts.fault_detector_thread = false;
+    cluster_ = new engine::Cluster(copts);
+    LoadOptions lopts;
+    lopts.gen.sf = 0.002;
+    Status st = LoadTpch(cluster_, lopts);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    session_ = cluster_->Connect().release();
+  }
+  static void TearDownTestSuite() {
+    delete session_;
+    delete cluster_;
+    cluster_ = nullptr;
+    session_ = nullptr;
+  }
+
+  static engine::Cluster* cluster_;
+  static engine::Session* session_;
+};
+
+engine::Cluster* TpchTest::cluster_ = nullptr;
+engine::Session* TpchTest::session_ = nullptr;
+
+TEST_F(TpchTest, RowCountsMatchGenerator) {
+  auto count = [&](const std::string& t) {
+    auto r = session_->Execute("SELECT count(*) FROM " + t);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows[0][0].as_int() : -1;
+  };
+  GenOptions g;
+  g.sf = 0.002;
+  EXPECT_EQ(count("region"), 5);
+  EXPECT_EQ(count("nation"), 25);
+  EXPECT_EQ(count("supplier"), SupplierCount(g.sf));
+  EXPECT_EQ(count("customer"), CustomerCount(g.sf));
+  EXPECT_EQ(count("part"), PartCount(g.sf));
+  EXPECT_EQ(count("partsupp"), PartCount(g.sf) * 4);
+  EXPECT_EQ(count("orders"), OrdersCount(g.sf));
+  EXPECT_GT(count("lineitem"), OrdersCount(g.sf));  // >=1 line per order
+}
+
+TEST_F(TpchTest, Q1MatchesBruteForce) {
+  // Independently recompute Q1 from the generator output.
+  struct Acc {
+    double qty = 0, base = 0, disc_price = 0, charge = 0, disc = 0;
+    int64_t n = 0;
+  };
+  std::map<std::string, Acc> expect;
+  GenOptions g;
+  g.sf = 0.002;
+  int64_t cutoff = *ParseDate("1998-12-01") - 90;
+  ASSERT_TRUE(GenOrdersAndLineitem(
+                  g, [](const Row&) { return Status::OK(); },
+                  [&](const Row& l) {
+                    if (l[10].as_int() > cutoff) return Status::OK();
+                    std::string key = l[8].as_str() + "|" + l[9].as_str();
+                    Acc& a = expect[key];
+                    a.qty += l[4].as_double();
+                    a.base += l[5].as_double();
+                    double dp = l[5].as_double() * (1 - l[6].as_double());
+                    a.disc_price += dp;
+                    a.charge += dp * (1 + l[7].as_double());
+                    a.disc += l[6].as_double();
+                    ++a.n;
+                    return Status::OK();
+                  })
+                  .ok());
+
+  auto r = session_->Execute(Query(1).sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), expect.size());
+  for (const Row& row : r->rows) {
+    std::string key = row[0].as_str() + "|" + row[1].as_str();
+    ASSERT_TRUE(expect.count(key)) << key;
+    const Acc& a = expect[key];
+    EXPECT_NEAR(row[2].as_double(), a.qty, 1e-6 * std::abs(a.qty) + 1e-6);
+    EXPECT_NEAR(row[3].as_double(), a.base, 1e-6 * std::abs(a.base));
+    EXPECT_NEAR(row[4].as_double(), a.disc_price,
+                1e-6 * std::abs(a.disc_price));
+    EXPECT_NEAR(row[5].as_double(), a.charge, 1e-6 * std::abs(a.charge));
+    EXPECT_NEAR(row[6].as_double(), a.qty / a.n, 1e-9 * std::abs(a.qty));
+    EXPECT_NEAR(row[8].as_double(), a.disc / a.n, 1e-9);
+    EXPECT_EQ(row[9].as_int(), a.n);
+  }
+}
+
+TEST_F(TpchTest, Q6MatchesBruteForce) {
+  GenOptions g;
+  g.sf = 0.002;
+  int64_t lo = *ParseDate("1994-01-01");
+  int64_t hi = AddMonths(lo, 12);
+  double expect = 0;
+  ASSERT_TRUE(GenOrdersAndLineitem(
+                  g, [](const Row&) { return Status::OK(); },
+                  [&](const Row& l) {
+                    int64_t ship = l[10].as_int();
+                    double disc = l[6].as_double(), qty = l[4].as_double();
+                    if (ship >= lo && ship < hi && disc >= 0.05 - 1e-9 &&
+                        disc <= 0.07 + 1e-9 && qty < 24) {
+                      expect += l[5].as_double() * disc;
+                    }
+                    return Status::OK();
+                  })
+                  .ok());
+  auto r = session_->Execute(Query(6).sql);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_NEAR(r->rows[0][0].as_double(), expect, 1e-6 * std::abs(expect));
+}
+
+// Every TPC-H query must parse, plan, and execute.
+class TpchAllQueries : public TpchTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchAllQueries, Runs) {
+  const TpchQuery& q = Query(GetParam());
+  auto r = session_->Execute(q.sql);
+  ASSERT_TRUE(r.ok()) << q.name << ": " << r.status().ToString();
+  // Queries that must return rows at any scale.
+  switch (q.id) {
+    case 1:
+    case 4:
+    case 5:
+    case 6:
+    case 12:
+    case 13:
+    case 14:
+    case 22:
+      EXPECT_FALSE(r->rows.empty()) << q.name << " returned no rows";
+      break;
+    default:
+      break;  // selective predicates may legitimately match nothing at
+              // tiny scale factors
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All22, TpchAllQueries, ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+// The Stinger baseline must produce the same answers (it shares the
+// catalog and data, differing only in planning and execution strategy).
+TEST_F(TpchTest, StingerMatchesHawqResults) {
+  stinger::StingerOptions sopts;
+  sopts.mr.job_startup = std::chrono::microseconds(100);  // fast for tests
+  sopts.mr.task_startup = std::chrono::microseconds(10);
+  stinger::StingerEngine stinger_engine(cluster_, sopts);
+  for (int id : {1, 3, 5, 6, 10, 12}) {
+    const TpchQuery& q = Query(id);
+    auto hawq_r = session_->Execute(q.sql);
+    ASSERT_TRUE(hawq_r.ok()) << q.name;
+    auto mr_r = stinger_engine.Execute(q.sql);
+    ASSERT_TRUE(mr_r.ok()) << q.name << ": " << mr_r.status().ToString();
+    ASSERT_EQ(hawq_r->rows.size(), mr_r->rows.size()) << q.name;
+    for (size_t i = 0; i < hawq_r->rows.size(); ++i) {
+      for (size_t c = 0; c < hawq_r->rows[i].size(); ++c) {
+        const Datum& a = hawq_r->rows[i][c];
+        const Datum& b = mr_r->rows[i][c];
+        if (a.kind == Datum::Kind::kDouble) {
+          EXPECT_NEAR(a.as_double(), b.as_double(),
+                      1e-6 * std::abs(a.as_double()) + 1e-9)
+              << q.name << " row " << i << " col " << c;
+        } else {
+          EXPECT_TRUE(a.Equals(b))
+              << q.name << " row " << i << " col " << c << ": "
+              << a.ToString() << " vs " << b.ToString();
+        }
+      }
+    }
+  }
+  EXPECT_GT(stinger_engine.jobs_launched(), 0u);
+  EXPECT_GT(stinger_engine.bytes_materialized(), 0u);
+}
+
+TEST_F(TpchTest, ColocatedJoinAvoidsRedistribution) {
+  // lineitem and orders share the l_orderkey/o_orderkey distribution: the
+  // paper's example join runs without redistribution (Figure 3a).
+  auto r = session_->Execute(
+      "EXPLAIN SELECT l_orderkey, count(l_quantity) FROM lineitem, orders "
+      "WHERE l_orderkey = o_orderkey AND l_tax > 0.01 GROUP BY l_orderkey");
+  ASSERT_TRUE(r.ok());
+  std::string text;
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  EXPECT_EQ(text.find("Redistribute"), std::string::npos) << text;
+  EXPECT_NE(text.find("Gather"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hawq::tpch

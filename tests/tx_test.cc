@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "tx/lock_manager.h"
+#include "tx/mvcc.h"
+#include "tx/tx_manager.h"
+
+namespace hawq::tx {
+namespace {
+
+TEST(MvccTest, OwnWritesVisible) {
+  CommitLog clog;
+  Snapshot snap;
+  snap.own_xid = 10;
+  snap.xmin = 10;
+  snap.xmax = 11;
+  TupleHeader h;
+  h.xmin = 10;
+  EXPECT_TRUE(TupleVisible(h, snap, clog));
+  h.xmax = 10;  // own delete
+  EXPECT_FALSE(TupleVisible(h, snap, clog));
+}
+
+TEST(MvccTest, UncommittedInvisible) {
+  CommitLog clog;
+  clog.Set(5, CommitLog::State::kInProgress);
+  Snapshot snap;
+  snap.own_xid = 9;
+  snap.xmin = 5;
+  snap.xmax = 10;
+  snap.active = {5};
+  TupleHeader h;
+  h.xmin = 5;
+  EXPECT_FALSE(TupleVisible(h, snap, clog));
+  clog.Set(5, CommitLog::State::kCommitted);
+  // Still active in this snapshot: remains invisible (snapshot isolation).
+  EXPECT_FALSE(TupleVisible(h, snap, clog));
+  snap.active.clear();
+  EXPECT_TRUE(TupleVisible(h, snap, clog));
+}
+
+TEST(MvccTest, AbortedInserterInvisible) {
+  CommitLog clog;
+  clog.Set(5, CommitLog::State::kAborted);
+  Snapshot snap;
+  snap.own_xid = 9;
+  snap.xmin = 6;
+  snap.xmax = 10;
+  TupleHeader h;
+  h.xmin = 5;
+  EXPECT_FALSE(TupleVisible(h, snap, clog));
+}
+
+TEST(MvccTest, CommittedDeleteHidesTuple) {
+  CommitLog clog;
+  clog.Set(2, CommitLog::State::kCommitted);
+  clog.Set(3, CommitLog::State::kCommitted);
+  Snapshot snap;
+  snap.own_xid = 9;
+  snap.xmin = 4;
+  snap.xmax = 10;
+  TupleHeader h;
+  h.xmin = 2;
+  h.xmax = 3;
+  EXPECT_FALSE(TupleVisible(h, snap, clog));
+}
+
+TEST(MvccTest, InProgressDeleteStillVisible) {
+  CommitLog clog;
+  clog.Set(2, CommitLog::State::kCommitted);
+  clog.Set(7, CommitLog::State::kInProgress);
+  Snapshot snap;
+  snap.own_xid = 9;
+  snap.xmin = 7;
+  snap.xmax = 10;
+  snap.active = {7};
+  TupleHeader h;
+  h.xmin = 2;
+  h.xmax = 7;
+  EXPECT_TRUE(TupleVisible(h, snap, clog));
+}
+
+TEST(TxManagerTest, CommitAndAbortStates) {
+  TxManager mgr;
+  auto t1 = mgr.Begin();
+  auto t2 = mgr.Begin();
+  EXPECT_NE(t1->xid(), t2->xid());
+  EXPECT_EQ(mgr.StateOf(t1->xid()), CommitLog::State::kInProgress);
+  ASSERT_TRUE(mgr.Commit(t1.get()).ok());
+  ASSERT_TRUE(mgr.Abort(t2.get()).ok());
+  EXPECT_EQ(mgr.StateOf(t1->xid()), CommitLog::State::kCommitted);
+  EXPECT_EQ(mgr.StateOf(t2->xid()), CommitLog::State::kAborted);
+}
+
+TEST(TxManagerTest, AbortActionsRunInReverseOrder) {
+  TxManager mgr;
+  auto txn = mgr.Begin();
+  std::vector<int> order;
+  txn->OnAbort([&] { order.push_back(1); });
+  txn->OnAbort([&] { order.push_back(2); });
+  ASSERT_TRUE(mgr.Abort(txn.get()).ok());
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(TxManagerTest, CommitActionsRunOnCommitOnly) {
+  TxManager mgr;
+  int commits = 0, aborts = 0;
+  auto t1 = mgr.Begin();
+  t1->OnCommit([&] { ++commits; });
+  t1->OnAbort([&] { ++aborts; });
+  ASSERT_TRUE(mgr.Commit(t1.get()).ok());
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(aborts, 0);
+}
+
+TEST(TxManagerTest, ReadCommittedRefreshesSnapshot) {
+  TxManager mgr;
+  auto reader = mgr.Begin(IsolationLevel::kReadCommitted);
+  Snapshot s1 = reader->StatementSnapshot();
+  auto writer = mgr.Begin();
+  mgr.Commit(writer.get());
+  Snapshot s2 = reader->StatementSnapshot();
+  EXPECT_GT(s2.xmax, s1.xmax);  // sees the new commit
+}
+
+TEST(TxManagerTest, SerializablePinsSnapshot) {
+  TxManager mgr;
+  auto reader = mgr.Begin(IsolationLevel::kSerializable);
+  Snapshot s1 = reader->StatementSnapshot();
+  auto writer = mgr.Begin();
+  mgr.Commit(writer.get());
+  Snapshot s2 = reader->StatementSnapshot();
+  EXPECT_EQ(s2.xmax, s1.xmax);
+}
+
+TEST(TxManagerTest, SnapshotTracksActiveSet) {
+  TxManager mgr;
+  auto t1 = mgr.Begin();
+  auto t2 = mgr.Begin();
+  Snapshot s = mgr.TakeSnapshot(t2->xid());
+  EXPECT_TRUE(s.IsActive(t1->xid()));
+  mgr.Commit(t1.get());
+  Snapshot s2 = mgr.TakeSnapshot(t2->xid());
+  EXPECT_FALSE(s2.IsActive(t1->xid()));
+  mgr.Commit(t2.get());
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessShare).ok());
+  ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kAccessShare).ok());
+  EXPECT_EQ(lm.GrantedCount(), 2u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  EXPECT_EQ(lm.GrantedCount(), 0u);
+}
+
+TEST(LockManagerTest, ExclusiveBlocksShare) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessExclusive).ok());
+  std::atomic<bool> acquired{false};
+  std::thread t([&] {
+    ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kAccessShare).ok());
+    acquired = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(acquired.load());
+  lm.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(LockManagerTest, ReentrantAcquire) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessShare).ok());
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessShare).ok());
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.GrantedCount(), 0u);
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(2, 200, LockMode::kAccessExclusive).ok());
+  std::atomic<int> aborted{0};
+  std::thread t1([&] {
+    Status st = lm.Acquire(1, 200, LockMode::kAccessExclusive);
+    if (!st.ok() && st.code() == StatusCode::kAborted) {
+      ++aborted;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::thread t2([&] {
+    Status st = lm.Acquire(2, 100, LockMode::kAccessExclusive);
+    if (!st.ok() && st.code() == StatusCode::kAborted) {
+      ++aborted;
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  // At least one of the two must be chosen as the deadlock victim.
+  EXPECT_GE(aborted.load(), 1);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, RowExclusiveCompatibleWithShare) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kAccessShare).ok());
+  ASSERT_TRUE(lm.Acquire(2, 100, LockMode::kRowExclusive).ok());
+  ASSERT_TRUE(lm.Acquire(3, 100, LockMode::kRowExclusive).ok());
+  EXPECT_EQ(lm.GrantedCount(), 3u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+  lm.ReleaseAll(3);
+}
+
+TEST(WalTest, ShipsRecordsInOrder) {
+  Wal wal;
+  std::vector<uint64_t> shipped;
+  wal.Subscribe([&](const WalRecord& r) { shipped.push_back(r.lsn); });
+  WalRecord r;
+  r.kind = WalRecord::Kind::kBegin;
+  wal.Append(r);
+  wal.Append(r);
+  wal.Append(r);
+  EXPECT_EQ(shipped, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(wal.Records().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hawq::tx
