@@ -13,13 +13,15 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/executor/CMakeFiles/hawq_executor.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/hawq_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/interconnect/CMakeFiles/hawq_interconnect.dir/DependInfo.cmake"
   "/root/repo/build/src/sql/CMakeFiles/hawq_sql.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
-  "/root/repo/build/src/hdfs/CMakeFiles/hawq_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/hawq_planner.dir/DependInfo.cmake"
   "/root/repo/build/src/catalog/CMakeFiles/hawq_catalog.dir/DependInfo.cmake"
   "/root/repo/build/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/hawq_hdfs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -17,6 +17,7 @@ include("/root/repo/build/tests/mapreduce_test[1]_include.cmake")
 include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
 include("/root/repo/build/tests/tpch_test[1]_include.cmake")
 include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_batch_test[1]_include.cmake")
 include("/root/repo/build/tests/failure_test[1]_include.cmake")
 include("/root/repo/build/tests/common_test[1]_include.cmake")
 include("/root/repo/build/tests/ddl_extensions_test[1]_include.cmake")

@@ -47,6 +47,32 @@ Result<Datum> DeserializeDatum(BufferReader* r) {
   return Status::Corruption("bad datum tag");
 }
 
+Status DeserializeDatumInto(BufferReader* r, Datum* d) {
+  HAWQ_ASSIGN_OR_RETURN(uint8_t tag, r->GetU8());
+  d->kind = static_cast<Datum::Kind>(tag);
+  switch (d->kind) {
+    case Datum::Kind::kNull:
+      d->i64 = 0;
+      return Status::OK();
+    case Datum::Kind::kBool: {
+      HAWQ_ASSIGN_OR_RETURN(uint8_t b, r->GetU8());
+      d->i64 = b != 0 ? 1 : 0;
+      return Status::OK();
+    }
+    case Datum::Kind::kInt: {
+      HAWQ_ASSIGN_OR_RETURN(d->i64, r->GetVarintSigned());
+      return Status::OK();
+    }
+    case Datum::Kind::kDouble: {
+      HAWQ_ASSIGN_OR_RETURN(d->f64, r->GetDouble());
+      return Status::OK();
+    }
+    case Datum::Kind::kStr:
+      return r->GetStringInto(&d->str);
+  }
+  return Status::Corruption("bad datum tag");
+}
+
 void SerializeRow(const Row& row, BufferWriter* w) {
   w->PutVarint(row.size());
   for (const Datum& d : row) SerializeDatum(d, w);
@@ -61,6 +87,15 @@ Result<Row> DeserializeRow(BufferReader* r) {
     row.push_back(std::move(d));
   }
   return row;
+}
+
+Status DeserializeRowInto(BufferReader* r, Row* row) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  row->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    HAWQ_RETURN_IF_ERROR(DeserializeDatumInto(r, &(*row)[i]));
+  }
+  return Status::OK();
 }
 
 }  // namespace hawq

@@ -93,9 +93,23 @@ class BufferReader {
     p_ += n;
     return s;
   }
+  /// Like GetString but reuses `out`'s capacity (hot decode loops).
+  Status GetStringInto(std::string* out) {
+    HAWQ_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+    if (remaining() < n) return Truncated();
+    out->assign(p_, n);
+    p_ += n;
+    return Status::OK();
+  }
   Status GetRaw(void* out, size_t n) {
     if (remaining() < n) return Truncated();
     std::memcpy(out, p_, n);
+    p_ += n;
+    return Status::OK();
+  }
+  /// Advance past `n` bytes without copying (zero-copy block views).
+  Status Skip(size_t n) {
+    if (remaining() < n) return Truncated();
     p_ += n;
     return Status::OK();
   }
@@ -122,8 +136,14 @@ void SerializeDatum(const Datum& d, BufferWriter* w);
 /// Deserialize one Datum.
 Result<Datum> DeserializeDatum(BufferReader* r);
 
+/// Deserialize one Datum in place, reusing `d`'s string capacity.
+Status DeserializeDatumInto(BufferReader* r, Datum* d);
+
 /// Serialize a row as column count + datums.
 void SerializeRow(const Row& row, BufferWriter* w);
 Result<Row> DeserializeRow(BufferReader* r);
+/// Deserialize a row in place, reusing `row`'s slots and their string
+/// capacity (the batch decode hot path — no allocation at steady state).
+Status DeserializeRowInto(BufferReader* r, Row* row);
 
 }  // namespace hawq

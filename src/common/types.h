@@ -120,6 +120,81 @@ class Schema {
 
 using Row = std::vector<Datum>;
 
+/// Rows per execution batch. 1024 keeps a batch of typical TPC-H rows
+/// (tens of bytes each) well inside L2 while amortizing the per-batch
+/// virtual-call and allocation overhead over enough tuples that the
+/// per-row share is negligible (see DESIGN.md "Vectorized execution").
+constexpr size_t kDefaultBatchRows = 1024;
+
+/// \brief A fixed-capacity batch of rows plus a selection vector.
+///
+/// The unit of data flow in the vectorized executor. Producers append up
+/// to `capacity()` rows; the selection vector lists the indices of rows
+/// that are still "live" (filters shrink it without moving row data).
+/// Consumers must iterate `size()` / `selected(i)`, never the backing
+/// rows directly.
+class RowBatch {
+ public:
+  explicit RowBatch(size_t capacity = kDefaultBatchRows)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    rows_.reserve(capacity_);
+    sel_.reserve(capacity_);
+  }
+
+  size_t capacity() const { return capacity_; }
+  bool full() const { return n_ >= capacity_; }
+
+  /// Drop all rows and reset the selection. Row slots (and their heap
+  /// storage) are retained and recycled by the next generation, so a
+  /// steady-state producer/consumer pair stops allocating entirely.
+  void Clear() {
+    n_ = 0;
+    sel_.clear();
+  }
+
+  /// Append a row; it is selected by default.
+  void PushRow(Row row) {
+    sel_.push_back(static_cast<uint32_t>(n_));
+    if (n_ < rows_.size()) {
+      rows_[n_] = std::move(row);
+    } else {
+      rows_.push_back(std::move(row));
+    }
+    ++n_;
+  }
+
+  /// Hand out the next row slot for in-place decoding; the returned row
+  /// keeps whatever capacity it had in the previous generation. The slot
+  /// is selected by default.
+  Row* EmplaceRow() {
+    sel_.push_back(static_cast<uint32_t>(n_));
+    if (n_ == rows_.size()) rows_.emplace_back();
+    return &rows_[n_++];
+  }
+
+  /// Rows physically stored (including filtered-out ones).
+  size_t num_rows() const { return n_; }
+  Row& row(size_t i) { return rows_[i]; }
+  const Row& row(size_t i) const { return rows_[i]; }
+
+  /// Number of selected (live) rows.
+  size_t size() const { return sel_.size(); }
+  bool empty() const { return sel_.empty(); }
+  /// Backing index of the i-th selected row.
+  uint32_t sel(size_t i) const { return sel_[i]; }
+  Row& selected(size_t i) { return rows_[sel_[i]]; }
+  const Row& selected(size_t i) const { return rows_[sel_[i]]; }
+
+  /// Filters compact this in place (order must stay ascending).
+  std::vector<uint32_t>* mutable_sel() { return &sel_; }
+
+ private:
+  size_t capacity_;
+  size_t n_ = 0;  // live rows; rows_[n_..] are recycled spare slots
+  std::vector<Row> rows_;
+  std::vector<uint32_t> sel_;
+};
+
 /// Combined hash of a row of key datums. Drives both initial hash
 /// distribution and redistribute-motion routing, so the two MUST agree for
 /// colocated joins to be correct.

@@ -51,7 +51,17 @@ Result<QueryResult> Dispatcher::Execute(
     }
   }
   result.plan_bytes_compressed = shipped.size();
-  size_t plain_size = bytes.size();
+
+  // Unpack the dispatched bytes once on arrival: workers of a gang share
+  // one decompressed copy and one parsed plan (the plan is immutable
+  // during execution), instead of each worker thread decompressing and
+  // re-parsing its own.
+  std::string received = shipped;
+  if (compressed) {
+    HAWQ_ASSIGN_OR_RETURN(received,
+                          storage::CodecDecompress(catalog::Codec::kQuicklz,
+                                                   shipped, bytes.size()));
+  }
 
   // --- segment -> host mapping with stateless failover ----------------------
   std::vector<int> up_segments;
@@ -112,27 +122,20 @@ Result<QueryResult> Dispatcher::Execute(
   for (size_t si = 1; si < plan.slices.size(); ++si) {
     const plan::Slice& s = plan.slices[si];
     int workers = s.on_qd ? 1 : static_cast<int>(s.exec_segments.size());
+    // One parse per gang: the self-described plan carries all metadata
+    // the QEs need (§3.1); the gang's workers execute against a shared
+    // immutable copy rather than re-parsing per thread.
+    auto parsed_or = plan::PhysicalPlan::Parse(received);
+    if (!parsed_or.ok()) {
+      record_error(parsed_or.status());
+      break;
+    }
+    auto parsed =
+        std::make_shared<plan::PhysicalPlan>(std::move(*parsed_or));
     for (int w = 0; w < workers; ++w) {
       int segment = s.on_qd ? -1 : s.exec_segments[w];
       int host = s.on_qd ? qd_host : seg_host[segment];
-      gang.emplace_back([&, si, w, segment, host] {
-        // Each QE parses its own copy of the dispatched plan — the
-        // self-described plan carries all metadata it needs (§3.1).
-        std::string plain = shipped;
-        if (compressed) {
-          auto dec = storage::CodecDecompress(catalog::Codec::kQuicklz,
-                                              shipped, plain_size);
-          if (!dec.ok()) {
-            record_error(dec.status());
-            return;
-          }
-          plain = std::move(*dec);
-        }
-        auto parsed = plan::PhysicalPlan::Parse(plain);
-        if (!parsed.ok()) {
-          record_error(parsed.status());
-          return;
-        }
+      gang.emplace_back([&, parsed, si, w, segment, host] {
         exec::ExecContext ctx;
         ctx.query_id = query_id;
         ctx.worker = w;
@@ -171,11 +174,16 @@ Result<QueryResult> Dispatcher::Execute(
       HAWQ_ASSIGN_OR_RETURN(auto root,
                             exec::BuildExecNode(*plan.slices[0].root, &ctx));
       HAWQ_RETURN_IF_ERROR(root->Open());
-      Row row;
+      // Pull whole batches from the top slice; grow the result arena a
+      // batch at a time instead of row by row.
+      RowBatch batch(ctx.batch_size);
       while (true) {
-        HAWQ_ASSIGN_OR_RETURN(bool more, root->Next(&row));
+        HAWQ_ASSIGN_OR_RETURN(bool more, root->NextBatch(&batch));
         if (!more) break;
-        result.rows.push_back(std::move(row));
+        result.rows.reserve(result.rows.size() + batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          result.rows.push_back(std::move(batch.selected(i)));
+        }
       }
       return root->Close();
     };

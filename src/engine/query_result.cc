@@ -14,8 +14,10 @@ std::string QueryResult::ToTable(size_t max_rows) const {
   }
   size_t n = std::min(rows.size(), max_rows);
   std::vector<std::vector<std::string>> cells;
+  cells.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     std::vector<std::string> line;
+    line.reserve(std::min(rows[i].size(), headers.size()));
     for (size_t c = 0; c < rows[i].size() && c < headers.size(); ++c) {
       std::string s = schema.field(c).type == TypeId::kDate &&
                               !rows[i][c].is_null()
@@ -44,11 +46,10 @@ std::string QueryResult::ToTable(size_t max_rows) const {
     }
     out += "\n";
   }
-  if (rows.size() > n) {
-    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
-  } else {
-    out += "(" + std::to_string(rows.size()) + " rows)\n";
-  }
+  if (rows.size() > n) out += "... ";
+  out += "(";
+  out += std::to_string(rows.size());
+  out += rows.size() > n ? " rows total)\n" : " rows)\n";
   return out;
 }
 

@@ -375,11 +375,13 @@ Result<QueryResult> Session::ExecInsert(const sql::InsertStmt& stmt,
     HAWQ_RETURN_IF_ERROR(LockTables(*bound, txn));
     HAWQ_RETURN_IF_ERROR(ResolveScalarSubqueries(bound.get(), txn));
   } else {
+    values.reserve(stmt.values.size());
     for (const auto& value_row : stmt.values) {
       if (value_row.size() != ncols) {
         return Status::InvalidArgument("INSERT VALUES arity mismatch");
       }
       Row row;
+      row.reserve(ncols);
       for (size_t i = 0; i < ncols; ++i) {
         HAWQ_ASSIGN_OR_RETURN(Datum d, EvalConstExpr(*value_row[i]));
         HAWQ_ASSIGN_OR_RETURN(d, CoerceTo(std::move(d),

@@ -87,6 +87,9 @@ struct ExecContext {
   LocalDisk* local_disk = nullptr;
   /// Rows held in memory before Sort spills runs to the local disk.
   size_t sort_spill_threshold = 1 << 20;
+  /// Capacity of the RowBatches flowing through this worker's pipeline
+  /// (kDefaultBatchRows unless a bench/test sweeps it).
+  size_t batch_size = kDefaultBatchRows;
   std::mutex* side_mu = nullptr;
   std::vector<InsertResult>* insert_results = nullptr;
 };

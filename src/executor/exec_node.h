@@ -20,7 +20,37 @@ class ExecNode {
   virtual Status Open() = 0;
   /// Produce the next row; false at end of stream.
   virtual Result<bool> Next(Row* row) = 0;
+  /// Fill `batch` (cleared first) with up to batch->capacity() rows.
+  /// Returns true iff the batch holds at least one *selected* row; false
+  /// means end of stream. The default adapter loops Next(), so row-only
+  /// operators keep working in a batch pipeline; batch-native operators
+  /// override this and derive from BatchExecNode for the reverse adapter.
+  virtual Result<bool> NextBatch(RowBatch* batch);
   virtual Status Close() { return Status::OK(); }
+};
+
+/// \brief Base for batch-native operators: provides Next(Row*) by
+/// draining an internal batch, so a batch-native operator still serves
+/// row-at-a-time consumers (the adapter in the other direction lives in
+/// ExecNode::NextBatch).
+class BatchExecNode : public ExecNode {
+ public:
+  explicit BatchExecNode(size_t batch_rows) : buffered_(batch_rows) {}
+
+  Result<bool> Next(Row* row) override {
+    while (buf_pos_ >= buffered_.size()) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, NextBatch(&buffered_));
+      if (!more) return false;
+      buf_pos_ = 0;
+    }
+    // Moving out is safe: the batch is refilled before the row is reused.
+    *row = std::move(buffered_.selected(buf_pos_++));
+    return true;
+  }
+
+ private:
+  RowBatch buffered_;
+  size_t buf_pos_ = 0;
 };
 
 /// Build the operator tree for one plan subtree on this worker.

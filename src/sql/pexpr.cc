@@ -239,6 +239,174 @@ Datum PExpr::Eval(const Row& row) const {
   return Datum::Null();
 }
 
+namespace {
+
+/// Leaf operands (kCol/kConst) of a binary op can be read in place,
+/// skipping the gather vector and its per-row Datum copy — the hot case
+/// for filter quals (`col OP const`).
+inline bool IsLeaf(const PExpr& e) {
+  return e.op == PExpr::Op::kCol || e.op == PExpr::Op::kConst;
+}
+
+inline const Datum& LeafRef(const PExpr& e, const RowBatch& batch, size_t i,
+                            const Datum& null_datum) {
+  if (e.op == PExpr::Op::kConst) return e.value;
+  const Row& row = batch.selected(i);
+  if (e.col >= 0 && e.col < static_cast<int>(row.size())) return row[e.col];
+  return null_datum;
+}
+
+}  // namespace
+
+void PExpr::EvalBatch(const RowBatch& batch, std::vector<Datum>* out) const {
+  const size_t n = batch.size();
+  out->clear();
+  out->reserve(n);
+  switch (op) {
+    case Op::kConst:
+      out->assign(n, value);
+      return;
+    case Op::kCol:
+      for (size_t i = 0; i < n; ++i) {
+        const Row& row = batch.selected(i);
+        out->push_back(col >= 0 && col < static_cast<int>(row.size())
+                           ? row[col]
+                           : Datum::Null());
+      }
+      return;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod: {
+      if (IsLeaf(children[0]) && IsLeaf(children[1])) {
+        const Datum null_datum;
+        for (size_t i = 0; i < n; ++i) {
+          out->push_back(Arith(op, LeafRef(children[0], batch, i, null_datum),
+                               LeafRef(children[1], batch, i, null_datum)));
+        }
+        return;
+      }
+      std::vector<Datum> l, r;
+      children[0].EvalBatch(batch, &l);
+      children[1].EvalBatch(batch, &r);
+      for (size_t i = 0; i < n; ++i) out->push_back(Arith(op, l[i], r[i]));
+      return;
+    }
+    case Op::kEq:
+    case Op::kNe:
+    case Op::kLt:
+    case Op::kLe:
+    case Op::kGt:
+    case Op::kGe: {
+      if (IsLeaf(children[0]) && IsLeaf(children[1])) {
+        const Datum null_datum;
+        for (size_t i = 0; i < n; ++i) {
+          out->push_back(
+              Compare3VL(op, LeafRef(children[0], batch, i, null_datum),
+                         LeafRef(children[1], batch, i, null_datum)));
+        }
+        return;
+      }
+      std::vector<Datum> l, r;
+      children[0].EvalBatch(batch, &l);
+      children[1].EvalBatch(batch, &r);
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(Compare3VL(op, l[i], r[i]));
+      }
+      return;
+    }
+    case Op::kAnd: {
+      // Batch AND evaluates both sides (Eval is side-effect free, so the
+      // lost short-circuit changes cost, never semantics) and combines
+      // with Kleene logic.
+      std::vector<Datum> l, r;
+      children[0].EvalBatch(batch, &l);
+      children[1].EvalBatch(batch, &r);
+      for (size_t i = 0; i < n; ++i) {
+        bool lf = !l[i].is_null() && !l[i].as_bool();
+        bool rf = !r[i].is_null() && !r[i].as_bool();
+        if (lf || rf) {
+          out->push_back(Datum::Bool(false));
+        } else if (l[i].is_null() || r[i].is_null()) {
+          out->push_back(Datum::Null());
+        } else {
+          out->push_back(Datum::Bool(true));
+        }
+      }
+      return;
+    }
+    case Op::kOr: {
+      std::vector<Datum> l, r;
+      children[0].EvalBatch(batch, &l);
+      children[1].EvalBatch(batch, &r);
+      for (size_t i = 0; i < n; ++i) {
+        bool lt = !l[i].is_null() && l[i].as_bool();
+        bool rt = !r[i].is_null() && r[i].as_bool();
+        if (lt || rt) {
+          out->push_back(Datum::Bool(true));
+        } else if (l[i].is_null() || r[i].is_null()) {
+          out->push_back(Datum::Null());
+        } else {
+          out->push_back(Datum::Bool(false));
+        }
+      }
+      return;
+    }
+    case Op::kNot: {
+      std::vector<Datum> a;
+      children[0].EvalBatch(batch, &a);
+      for (size_t i = 0; i < n; ++i) {
+        out->push_back(a[i].is_null() ? Datum::Null()
+                                      : Datum::Bool(!a[i].as_bool()));
+      }
+      return;
+    }
+    case Op::kNeg: {
+      std::vector<Datum> a;
+      children[0].EvalBatch(batch, &a);
+      for (size_t i = 0; i < n; ++i) {
+        if (a[i].is_null()) {
+          out->push_back(Datum::Null());
+        } else if (a[i].kind == Datum::Kind::kDouble) {
+          out->push_back(Datum::Double(-a[i].f64));
+        } else {
+          out->push_back(Datum::Int(-a[i].i64));
+        }
+      }
+      return;
+    }
+    case Op::kIsNull:
+    case Op::kIsNotNull: {
+      std::vector<Datum> a;
+      children[0].EvalBatch(batch, &a);
+      for (size_t i = 0; i < n; ++i) {
+        bool is_null = a[i].is_null();
+        out->push_back(Datum::Bool(op == Op::kIsNull ? is_null : !is_null));
+      }
+      return;
+    }
+    default:
+      // LIKE, CASE, IN, CONCAT, functions, subqueries: per-row fallback.
+      for (size_t i = 0; i < n; ++i) out->push_back(Eval(batch.selected(i)));
+      return;
+  }
+}
+
+void PExpr::FilterBatch(RowBatch* batch) const {
+  if (batch->empty()) return;
+  std::vector<Datum> vals;
+  EvalBatch(*batch, &vals);
+  std::vector<uint32_t>* sel = batch->mutable_sel();
+  size_t kept = 0;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (!vals[i].is_null() && vals[i].as_bool()) {
+      (*sel)[kept++] = (*sel)[i];
+    }
+  }
+  sel->resize(kept);
+}
+
 void PExpr::Serialize(BufferWriter* w) const {
   w->PutU8(static_cast<uint8_t>(op));
   w->PutU8(static_cast<uint8_t>(out_type));

@@ -71,6 +71,20 @@ struct PExpr {
     return !d.is_null() && d.as_bool();
   }
 
+  /// Evaluate against every *selected* row of a batch; `out` receives
+  /// exactly `batch.size()` datums (out[i] corresponds to
+  /// batch.selected(i)). Hot operators (const, col, arithmetic,
+  /// comparisons, AND/OR/NOT, IS [NOT] NULL) evaluate column-at-a-time —
+  /// one tree walk per batch instead of one per row; the long tail of
+  /// ops falls back to per-row Eval. Semantics are identical to Eval,
+  /// including SQL three-valued logic.
+  void EvalBatch(const RowBatch& batch, std::vector<Datum>* out) const;
+
+  /// Evaluate this predicate over the batch and shrink its selection
+  /// vector to the rows where the result is boolean-true. 3VL: NULL and
+  /// false both filter the row out (SQL WHERE semantics).
+  void FilterBatch(RowBatch* batch) const;
+
   void Serialize(BufferWriter* w) const;
   static Result<PExpr> Deserialize(BufferReader* r);
 

@@ -100,7 +100,10 @@ class AoWriter : public TableWriter {
 class AoScanner : public TableScanner {
  public:
   AoScanner(size_t ncols, std::vector<bool> mask)
-      : ncols_(ncols), mask_(std::move(mask)) {}
+      : ncols_(ncols), mask_(std::move(mask)) {
+    all_cols_ = true;
+    for (bool m : mask_) all_cols_ &= m;
+  }
 
   Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
     if (eof == 0) return Status::OK();
@@ -115,6 +118,30 @@ class AoScanner : public TableScanner {
   }
 
   Result<bool> Next(Row* row) override {
+    HAWQ_ASSIGN_OR_RETURN(bool more, EnsureBlock());
+    if (!more) return false;
+    HAWQ_RETURN_IF_ERROR(DecodeOne(row));
+    return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* batch) override {
+    batch->Clear();
+    while (!batch->full()) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, EnsureBlock());
+      if (!more) break;
+      // Drain the decompressed block straight into recycled batch slots:
+      // steady state decodes with no per-row allocation.
+      while (!batch->full() && block_.remaining() > 0) {
+        HAWQ_RETURN_IF_ERROR(DecodeOne(batch->EmplaceRow()));
+      }
+    }
+    return batch->size() > 0;
+  }
+
+ private:
+  /// Decompress the next block if the current one is exhausted; false at
+  /// end of data.
+  Result<bool> EnsureBlock() {
     while (block_.remaining() == 0) {
       if (buf_.empty() || file_.remaining() == 0) return false;
       HAWQ_ASSIGN_OR_RETURN(uint64_t uncomp, file_.GetVarint());
@@ -123,25 +150,39 @@ class AoScanner : public TableScanner {
       if (file_.remaining() < comp) {
         return Status::Corruption("AO block truncated");
       }
-      std::string payload(comp, '\0');
-      HAWQ_RETURN_IF_ERROR(file_.GetRaw(payload.data(), comp));
-      HAWQ_ASSIGN_OR_RETURN(
-          block_data_,
-          CodecDecompress(static_cast<Codec>(codec), payload, uncomp));
-      block_ = BufferReader(block_data_.data(), block_data_.size());
+      if (static_cast<Codec>(codec) == Codec::kNone) {
+        // Uncompressed block: decode straight out of the file buffer,
+        // no payload copy.
+        const char* base = buf_.data() + (buf_.size() - file_.remaining());
+        HAWQ_RETURN_IF_ERROR(file_.Skip(comp));
+        block_ = BufferReader(base, comp);
+      } else {
+        std::string payload(comp, '\0');
+        HAWQ_RETURN_IF_ERROR(file_.GetRaw(payload.data(), comp));
+        HAWQ_ASSIGN_OR_RETURN(
+            block_data_,
+            CodecDecompress(static_cast<Codec>(codec), payload, uncomp));
+        block_ = BufferReader(block_data_.data(), block_data_.size());
+      }
     }
-    HAWQ_ASSIGN_OR_RETURN(Row r, DeserializeRow(&block_));
-    if (r.size() != ncols_) return Status::Corruption("AO row arity mismatch");
-    for (size_t i = 0; i < ncols_; ++i) {
-      if (!mask_[i]) r[i] = Datum::Null();
-    }
-    *row = std::move(r);
     return true;
   }
 
- private:
+  Status DecodeOne(Row* row) {
+    HAWQ_RETURN_IF_ERROR(DeserializeRowInto(&block_, row));
+    if (row->size() != ncols_) {
+      return Status::Corruption("AO row arity mismatch");
+    }
+    if (!all_cols_) {
+      for (size_t i = 0; i < ncols_; ++i) {
+        if (!mask_[i]) (*row)[i] = Datum::Null();
+      }
+    }
+    return Status::OK();
+  }
   size_t ncols_;
   std::vector<bool> mask_;
+  bool all_cols_ = true;
   std::string buf_;
   BufferReader file_{nullptr, 0};
   std::string block_data_;
@@ -282,6 +323,29 @@ class CoScanner : public TableScanner {
     ++row_in_stripe_;
     *row = std::move(r);
     return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* batch) override {
+    batch->Clear();
+    while (!batch->full()) {
+      if (row_in_stripe_ >= stripe_rows_) {
+        HAWQ_ASSIGN_OR_RETURN(bool more, LoadStripe());
+        if (!more) break;
+      }
+      // Decode a run of rows from the decompressed column chunks.
+      size_t run = std::min(batch->capacity() - batch->num_rows(),
+                            static_cast<size_t>(stripe_rows_ - row_in_stripe_));
+      for (size_t k = 0; k < run; ++k) {
+        Row r(ncols_);
+        for (size_t i = 0; i < ncols_; ++i) {
+          if (!mask_[i]) continue;
+          HAWQ_ASSIGN_OR_RETURN(r[i], DeserializeDatum(&col_readers_buf_[i]));
+        }
+        batch->PushRow(std::move(r));
+      }
+      row_in_stripe_ += run;
+    }
+    return batch->size() > 0;
   }
 
  private:
@@ -441,6 +505,28 @@ class ParquetScanner : public TableScanner {
     ++row_in_group_;
     *row = std::move(r);
     return true;
+  }
+
+  Result<bool> NextBatch(RowBatch* batch) override {
+    batch->Clear();
+    while (!batch->full()) {
+      if (row_in_group_ >= group_rows_) {
+        HAWQ_ASSIGN_OR_RETURN(bool more, LoadGroup());
+        if (!more) break;
+      }
+      size_t run = std::min(batch->capacity() - batch->num_rows(),
+                            static_cast<size_t>(group_rows_ - row_in_group_));
+      for (size_t k = 0; k < run; ++k) {
+        Row r(ncols_);
+        for (size_t i = 0; i < ncols_; ++i) {
+          if (!mask_[i]) continue;
+          HAWQ_ASSIGN_OR_RETURN(r[i], DeserializeDatum(&col_buf_readers_[i]));
+        }
+        batch->PushRow(std::move(r));
+      }
+      row_in_group_ += run;
+    }
+    return batch->size() > 0;
   }
 
  private:

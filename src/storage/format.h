@@ -64,6 +64,21 @@ class TableScanner {
   virtual ~TableScanner() = default;
   /// Fetch the next row into *row. Returns false at end of data.
   virtual Result<bool> Next(Row* row) = 0;
+  /// Decode up to batch->capacity() rows into `batch` (cleared first).
+  /// Returns false at end of data. All built-in formats override this to
+  /// decode straight out of the current block/stripe/row-group, so the
+  /// vectorized SeqScan pays the virtual call once per batch, not per
+  /// row. The default adapter loops Next() for external scanners.
+  virtual Result<bool> NextBatch(RowBatch* batch) {
+    batch->Clear();
+    Row row;
+    while (!batch->full()) {
+      HAWQ_ASSIGN_OR_RETURN(bool more, Next(&row));
+      if (!more) break;
+      batch->PushRow(std::move(row));
+    }
+    return batch->size() > 0;
+  }
 };
 
 /// All HDFS paths backing one segment file of this format (CO adds one

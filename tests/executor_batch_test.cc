@@ -1,0 +1,390 @@
+// Vectorized-executor tests: batch/row adapter equivalence for each
+// converted operator, selection-vector filtering under SQL 3VL (NULLs),
+// EvalBatch vs. per-row Eval, and batch boundaries at 0 / 1 / capacity /
+// capacity+1 rows.
+#include <gtest/gtest.h>
+
+#include "executor/exec_node.h"
+#include "planner/plan_node.h"
+
+namespace hawq::exec {
+namespace {
+
+using plan::AggPhase;
+using plan::NodeKind;
+using plan::PlanNode;
+using sql::AggSpec;
+using sql::PExpr;
+
+std::unique_ptr<PlanNode> RowsNode(std::vector<Row> rows, int arity) {
+  auto n = std::make_unique<PlanNode>();
+  n->kind = NodeKind::kResult;
+  n->rows = std::move(rows);
+  n->out_arity = arity;
+  return n;
+}
+
+ExecContext MakeCtx(LocalDisk* disk, size_t batch_size = kDefaultBatchRows) {
+  ExecContext ctx;
+  ctx.segment = 0;
+  ctx.local_disk = disk;
+  ctx.batch_size = batch_size;
+  return ctx;
+}
+
+/// Drain through the row interface.
+std::vector<Row> DrainRows(ExecNode* node) {
+  std::vector<Row> out;
+  EXPECT_TRUE(node->Open().ok());
+  Row row;
+  while (true) {
+    auto more = node->Next(&row);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    out.push_back(row);
+  }
+  EXPECT_TRUE(node->Close().ok());
+  return out;
+}
+
+/// Drain through the batch interface.
+std::vector<Row> DrainBatches(ExecNode* node, size_t batch_size) {
+  std::vector<Row> out;
+  EXPECT_TRUE(node->Open().ok());
+  RowBatch batch(batch_size);
+  while (true) {
+    auto more = node->NextBatch(&batch);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    EXPECT_GT(batch.size(), 0u) << "NextBatch returned true with empty batch";
+    EXPECT_LE(batch.num_rows(), batch.capacity());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out.push_back(batch.selected(i));
+    }
+  }
+  EXPECT_TRUE(node->Close().ok());
+  return out;
+}
+
+bool SameRows(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].size() != b[i].size()) return false;
+    for (size_t c = 0; c < a[i].size(); ++c) {
+      if (a[i][c].is_null() != b[i][c].is_null()) return false;
+      if (Datum::Compare(a[i][c], b[i][c]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Build one node twice and assert row-mode and batch-mode drains agree.
+template <typename MakeFn>
+void ExpectAdapterEquivalence(MakeFn make, size_t batch_size) {
+  LocalDisk d1, d2;
+  ExecContext c1 = MakeCtx(&d1, batch_size);
+  ExecContext c2 = MakeCtx(&d2, batch_size);
+  auto n1 = make();
+  auto n2 = make();
+  auto e1 = BuildExecNode(*n1, &c1);
+  auto e2 = BuildExecNode(*n2, &c2);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  auto rows = DrainRows(e1->get());
+  auto batched = DrainBatches(e2->get(), batch_size);
+  EXPECT_TRUE(SameRows(rows, batched))
+      << "row drain: " << rows.size() << " rows, batch drain: "
+      << batched.size() << " rows";
+}
+
+std::vector<Row> MixedInput(int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    Datum v = (i % 7 == 3) ? Datum::Null() : Datum::Int(i);
+    rows.push_back({Datum::Int(i % 5), v, Datum::Double(i * 0.5)});
+  }
+  return rows;
+}
+
+PExpr GtConst(int col, int64_t c) {
+  return PExpr::Binary(PExpr::Op::kGt, PExpr::Col(col, TypeId::kInt64),
+                       PExpr::Const(Datum::Int(c), TypeId::kInt64),
+                       TypeId::kBool);
+}
+
+// ---------------------------------------------------- adapter equivalence
+
+TEST(BatchAdapterTest, FilterBatchVsRow) {
+  for (size_t bs : {1u, 4u, 64u, 1024u}) {
+    ExpectAdapterEquivalence(
+        [] {
+          auto n = std::make_unique<PlanNode>();
+          n->kind = NodeKind::kFilter;
+          n->out_arity = 3;
+          n->quals.push_back(GtConst(1, 30));
+          n->children.push_back(RowsNode(MixedInput(100), 3));
+          return n;
+        },
+        bs);
+  }
+}
+
+TEST(BatchAdapterTest, ProjectBatchVsRow) {
+  ExpectAdapterEquivalence(
+      [] {
+        auto n = std::make_unique<PlanNode>();
+        n->kind = NodeKind::kProject;
+        n->out_arity = 2;
+        n->exprs.push_back(PExpr::Binary(
+            PExpr::Op::kMul, PExpr::Col(1, TypeId::kInt64),
+            PExpr::Const(Datum::Int(3), TypeId::kInt64), TypeId::kInt64));
+        n->exprs.push_back(PExpr::Col(2, TypeId::kDouble));
+        n->children.push_back(RowsNode(MixedInput(100), 3));
+        return n;
+      },
+      8);
+}
+
+TEST(BatchAdapterTest, HashAggBatchVsRow) {
+  ExpectAdapterEquivalence(
+      [] {
+        auto n = std::make_unique<PlanNode>();
+        n->kind = NodeKind::kHashAgg;
+        n->phase = AggPhase::kSingle;
+        n->group_exprs = {PExpr::Col(0, TypeId::kInt64)};
+        AggSpec sum;
+        sum.kind = AggSpec::Kind::kSum;
+        sum.arg = PExpr::Col(1, TypeId::kInt64);
+        AggSpec cnt;
+        cnt.kind = AggSpec::Kind::kCount;
+        cnt.count_star = true;
+        n->aggs = {sum, cnt};
+        n->out_arity = 3;
+        n->children.push_back(RowsNode(MixedInput(100), 3));
+        return n;
+      },
+      16);
+}
+
+TEST(BatchAdapterTest, SortAndLimitBatchVsRow) {
+  ExpectAdapterEquivalence(
+      [] {
+        auto limit = std::make_unique<PlanNode>();
+        limit->kind = NodeKind::kLimit;
+        limit->limit = 17;
+        limit->out_arity = 3;
+        auto sort = std::make_unique<PlanNode>();
+        sort->kind = NodeKind::kSort;
+        sort->sort_keys = {{1, true}};
+        sort->out_arity = 3;
+        sort->children.push_back(RowsNode(MixedInput(60), 3));
+        limit->children.push_back(std::move(sort));
+        return limit;
+      },
+      8);
+}
+
+// ---------------------------------------------------- 3VL selection vector
+
+TEST(SelectionVectorTest, NullPredicateFiltersRow) {
+  // col1 > 30 over inputs with NULL col1: NULL comparisons are NULL,
+  // which must behave as false in WHERE (the row is dropped).
+  std::vector<Row> input = {{Datum::Int(0), Datum::Int(50)},
+                            {Datum::Int(1), Datum::Null()},
+                            {Datum::Int(2), Datum::Int(10)},
+                            {Datum::Int(3), Datum::Int(31)}};
+  auto n = std::make_unique<PlanNode>();
+  n->kind = NodeKind::kFilter;
+  n->out_arity = 2;
+  n->quals.push_back(GtConst(1, 30));
+  n->children.push_back(RowsNode(std::move(input), 2));
+  LocalDisk disk;
+  ExecContext ctx = MakeCtx(&disk, 4);
+  auto e = BuildExecNode(*n, &ctx);
+  ASSERT_TRUE(e.ok());
+  auto rows = DrainBatches(e->get(), 4);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0].as_int(), 0);
+  EXPECT_EQ(rows[1][0].as_int(), 3);
+}
+
+TEST(SelectionVectorTest, FilterBatchMatchesEvalBool) {
+  // FilterBatch must drop exactly the rows EvalBool drops, for predicates
+  // exercising every 3VL combination of AND/OR/NOT/IS NULL.
+  std::vector<PExpr> preds;
+  PExpr a = GtConst(0, 2);
+  PExpr b = GtConst(1, 5);
+  preds.push_back(PExpr::Binary(PExpr::Op::kAnd, a, b, TypeId::kBool));
+  preds.push_back(PExpr::Binary(PExpr::Op::kOr, a, b, TypeId::kBool));
+  {
+    PExpr n;
+    n.op = PExpr::Op::kNot;
+    n.out_type = TypeId::kBool;
+    n.children.push_back(a);
+    preds.push_back(std::move(n));
+  }
+  {
+    PExpr isn;
+    isn.op = PExpr::Op::kIsNull;
+    isn.out_type = TypeId::kBool;
+    isn.children.push_back(PExpr::Col(1, TypeId::kInt64));
+    preds.push_back(std::move(isn));
+  }
+  std::vector<Row> input;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      Datum x = (i == 5) ? Datum::Null() : Datum::Int(i);
+      Datum y = (j == 5) ? Datum::Null() : Datum::Int(j * 2);
+      input.push_back({x, y});
+    }
+  }
+  for (const PExpr& p : preds) {
+    RowBatch batch(input.size());
+    for (const Row& r : input) batch.PushRow(r);
+    p.FilterBatch(&batch);
+    std::vector<Row> expect;
+    for (const Row& r : input) {
+      if (p.EvalBool(r)) expect.push_back(r);
+    }
+    ASSERT_EQ(batch.size(), expect.size()) << p.ToString();
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_TRUE(SameRows({batch.selected(i)}, {expect[i]})) << p.ToString();
+    }
+  }
+}
+
+TEST(SelectionVectorTest, EvalBatchMatchesEvalPerRow) {
+  // Arithmetic, comparison, CASE, IN, negation, concat — batch results
+  // must equal per-row Eval, including NULL propagation.
+  std::vector<PExpr> exprs;
+  exprs.push_back(PExpr::Binary(PExpr::Op::kAdd, PExpr::Col(0, TypeId::kInt64),
+                                PExpr::Col(1, TypeId::kInt64), TypeId::kInt64));
+  exprs.push_back(PExpr::Binary(PExpr::Op::kDiv, PExpr::Col(1, TypeId::kInt64),
+                                PExpr::Col(0, TypeId::kInt64), TypeId::kInt64));
+  exprs.push_back(GtConst(0, 2));
+  {
+    PExpr neg;
+    neg.op = PExpr::Op::kNeg;
+    neg.out_type = TypeId::kInt64;
+    neg.children.push_back(PExpr::Col(1, TypeId::kInt64));
+    exprs.push_back(std::move(neg));
+  }
+  {
+    // CASE WHEN col0 > 2 THEN col1 ELSE 0 END (per-row fallback path).
+    PExpr c;
+    c.op = PExpr::Op::kCase;
+    c.out_type = TypeId::kInt64;
+    c.children.push_back(GtConst(0, 2));
+    c.children.push_back(PExpr::Col(1, TypeId::kInt64));
+    c.children.push_back(PExpr::Const(Datum::Int(0), TypeId::kInt64));
+    exprs.push_back(std::move(c));
+  }
+  {
+    PExpr in;
+    in.op = PExpr::Op::kIn;
+    in.out_type = TypeId::kBool;
+    in.children.push_back(PExpr::Col(0, TypeId::kInt64));
+    in.children.push_back(PExpr::Const(Datum::Int(1), TypeId::kInt64));
+    in.children.push_back(PExpr::Const(Datum::Int(4), TypeId::kInt64));
+    exprs.push_back(std::move(in));
+  }
+  RowBatch batch(16);
+  for (int i = 0; i < 6; ++i) {
+    Datum x = (i == 5) ? Datum::Null() : Datum::Int(i);
+    Datum y = (i == 2) ? Datum::Null() : Datum::Int(10 - i);
+    batch.PushRow({x, y});
+  }
+  // Also exercise a non-identity selection: drop every other row.
+  std::vector<uint32_t>* sel = batch.mutable_sel();
+  std::vector<uint32_t> odd;
+  for (size_t i = 0; i < sel->size(); i += 2) odd.push_back((*sel)[i]);
+  *sel = odd;
+  for (const PExpr& e : exprs) {
+    std::vector<Datum> out;
+    e.EvalBatch(batch, &out);
+    ASSERT_EQ(out.size(), batch.size()) << e.ToString();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Datum expect = e.Eval(batch.selected(i));
+      EXPECT_EQ(out[i].is_null(), expect.is_null()) << e.ToString();
+      EXPECT_EQ(Datum::Compare(out[i], expect), 0) << e.ToString();
+    }
+  }
+}
+
+// ---------------------------------------------------- batch boundaries
+
+TEST(BatchBoundaryTest, ZeroOneCapacityCapacityPlusOne) {
+  const size_t cap = 8;
+  for (size_t n : {size_t{0}, size_t{1}, cap, cap + 1}) {
+    // filter (keep all) -> project (identity-ish) pipeline.
+    auto proj = std::make_unique<PlanNode>();
+    proj->kind = NodeKind::kProject;
+    proj->out_arity = 1;
+    proj->exprs.push_back(PExpr::Binary(
+        PExpr::Op::kAdd, PExpr::Col(0, TypeId::kInt64),
+        PExpr::Const(Datum::Int(1), TypeId::kInt64), TypeId::kInt64));
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = NodeKind::kFilter;
+    filter->out_arity = 1;
+    filter->quals.push_back(GtConst(0, -1));
+    std::vector<Row> input;
+    for (size_t i = 0; i < n; ++i) {
+      input.push_back({Datum::Int(static_cast<int64_t>(i))});
+    }
+    filter->children.push_back(RowsNode(std::move(input), 1));
+    proj->children.push_back(std::move(filter));
+
+    LocalDisk disk;
+    ExecContext ctx = MakeCtx(&disk, cap);
+    auto e = BuildExecNode(*proj, &ctx);
+    ASSERT_TRUE(e.ok());
+    auto rows = DrainBatches(e->get(), cap);
+    ASSERT_EQ(rows.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(rows[i][0].as_int(), static_cast<int64_t>(i) + 1);
+    }
+  }
+}
+
+TEST(BatchBoundaryTest, RowModeDrainOfBatchNativePipeline) {
+  // A batch-native operator consumed row-at-a-time must flush its whole
+  // buffered batch, including the tail past the last full batch.
+  const size_t cap = 4;
+  auto filter = std::make_unique<PlanNode>();
+  filter->kind = NodeKind::kFilter;
+  filter->out_arity = 1;
+  filter->quals.push_back(GtConst(0, -1));
+  std::vector<Row> input;
+  for (int i = 0; i < 11; ++i) input.push_back({Datum::Int(i)});
+  filter->children.push_back(RowsNode(std::move(input), 1));
+  LocalDisk disk;
+  ExecContext ctx = MakeCtx(&disk, cap);
+  auto e = BuildExecNode(*filter, &ctx);
+  ASSERT_TRUE(e.ok());
+  auto rows = DrainRows(e->get());
+  ASSERT_EQ(rows.size(), 11u);
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(rows[i][0].as_int(), i);
+}
+
+TEST(BatchBoundaryTest, EmptySelectionBatchesAreSkipped) {
+  // A filter that rejects whole batches must keep pulling until it finds
+  // selected rows (NextBatch contract: true => at least one selected row).
+  const size_t cap = 4;
+  auto filter = std::make_unique<PlanNode>();
+  filter->kind = NodeKind::kFilter;
+  filter->out_arity = 1;
+  filter->quals.push_back(GtConst(0, 93));
+  std::vector<Row> input;
+  for (int i = 0; i < 100; ++i) input.push_back({Datum::Int(i)});
+  filter->children.push_back(RowsNode(std::move(input), 1));
+  LocalDisk disk;
+  ExecContext ctx = MakeCtx(&disk, cap);
+  auto e = BuildExecNode(*filter, &ctx);
+  ASSERT_TRUE(e.ok());
+  auto rows = DrainBatches(e->get(), cap);
+  ASSERT_EQ(rows.size(), 6u);  // 94..99
+  EXPECT_EQ(rows[0][0].as_int(), 94);
+}
+
+}  // namespace
+}  // namespace hawq::exec
