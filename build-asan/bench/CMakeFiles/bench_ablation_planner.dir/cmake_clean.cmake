@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_planner.dir/bench_ablation_planner.cc.o"
+  "CMakeFiles/bench_ablation_planner.dir/bench_ablation_planner.cc.o.d"
+  "bench_ablation_planner"
+  "bench_ablation_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_overall_cpu.dir/bench_fig06_overall_cpu.cc.o"
+  "CMakeFiles/bench_fig06_overall_cpu.dir/bench_fig06_overall_cpu.cc.o.d"
+  "bench_fig06_overall_cpu"
+  "bench_fig06_overall_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_overall_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

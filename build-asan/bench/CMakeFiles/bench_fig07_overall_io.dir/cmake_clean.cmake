@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_overall_io.dir/bench_fig07_overall_io.cc.o"
+  "CMakeFiles/bench_fig07_overall_io.dir/bench_fig07_overall_io.cc.o.d"
+  "bench_fig07_overall_io"
+  "bench_fig07_overall_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_overall_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_complex_joins.dir/bench_fig09_complex_joins.cc.o"
+  "CMakeFiles/bench_fig09_complex_joins.dir/bench_fig09_complex_joins.cc.o.d"
+  "bench_fig09_complex_joins"
+  "bench_fig09_complex_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_complex_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

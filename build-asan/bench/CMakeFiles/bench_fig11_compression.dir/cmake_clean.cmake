@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_compression.dir/bench_fig11_compression.cc.o"
+  "CMakeFiles/bench_fig11_compression.dir/bench_fig11_compression.cc.o.d"
+  "bench_fig11_compression"
+  "bench_fig11_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_interconnect.dir/bench_fig12_interconnect.cc.o"
+  "CMakeFiles/bench_fig12_interconnect.dir/bench_fig12_interconnect.cc.o.d"
+  "bench_fig12_interconnect"
+  "bench_fig12_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_shell.dir/hawq_shell.cpp.o"
+  "CMakeFiles/hawq_shell.dir/hawq_shell.cpp.o.d"
+  "hawq_shell"
+  "hawq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxf_federation.dir/pxf_federation.cpp.o"
+  "CMakeFiles/pxf_federation.dir/pxf_federation.cpp.o.d"
+  "pxf_federation"
+  "pxf_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxf_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_analytics.dir/retail_analytics.cpp.o"
+  "CMakeFiles/retail_analytics.dir/retail_analytics.cpp.o.d"
+  "retail_analytics"
+  "retail_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hdfs")
+subdirs("catalog")
+subdirs("storage")
+subdirs("interconnect")
+subdirs("tx")
+subdirs("sql")
+subdirs("planner")
+subdirs("pxf")
+subdirs("executor")
+subdirs("engine")
+subdirs("mapreduce")
+subdirs("stinger")
+subdirs("tpch")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/caql.cc" "src/catalog/CMakeFiles/hawq_catalog.dir/caql.cc.o" "gcc" "src/catalog/CMakeFiles/hawq_catalog.dir/caql.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/catalog/CMakeFiles/hawq_catalog.dir/catalog.cc.o" "gcc" "src/catalog/CMakeFiles/hawq_catalog.dir/catalog.cc.o.d"
+  "/root/repo/src/catalog/relation.cc" "src/catalog/CMakeFiles/hawq_catalog.dir/relation.cc.o" "gcc" "src/catalog/CMakeFiles/hawq_catalog.dir/relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_catalog.dir/caql.cc.o"
+  "CMakeFiles/hawq_catalog.dir/caql.cc.o.d"
+  "CMakeFiles/hawq_catalog.dir/catalog.cc.o"
+  "CMakeFiles/hawq_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/hawq_catalog.dir/relation.cc.o"
+  "CMakeFiles/hawq_catalog.dir/relation.cc.o.d"
+  "libhawq_catalog.a"
+  "libhawq_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_common.dir/serde.cc.o"
+  "CMakeFiles/hawq_common.dir/serde.cc.o.d"
+  "CMakeFiles/hawq_common.dir/string_util.cc.o"
+  "CMakeFiles/hawq_common.dir/string_util.cc.o.d"
+  "CMakeFiles/hawq_common.dir/types.cc.o"
+  "CMakeFiles/hawq_common.dir/types.cc.o.d"
+  "libhawq_common.a"
+  "libhawq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

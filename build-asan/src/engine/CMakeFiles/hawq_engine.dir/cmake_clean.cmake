@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_engine.dir/bulk_loader.cc.o"
+  "CMakeFiles/hawq_engine.dir/bulk_loader.cc.o.d"
+  "CMakeFiles/hawq_engine.dir/cluster.cc.o"
+  "CMakeFiles/hawq_engine.dir/cluster.cc.o.d"
+  "CMakeFiles/hawq_engine.dir/dispatcher.cc.o"
+  "CMakeFiles/hawq_engine.dir/dispatcher.cc.o.d"
+  "CMakeFiles/hawq_engine.dir/query_result.cc.o"
+  "CMakeFiles/hawq_engine.dir/query_result.cc.o.d"
+  "CMakeFiles/hawq_engine.dir/session.cc.o"
+  "CMakeFiles/hawq_engine.dir/session.cc.o.d"
+  "libhawq_engine.a"
+  "libhawq_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_executor.dir/exec_node.cc.o"
+  "CMakeFiles/hawq_executor.dir/exec_node.cc.o.d"
+  "libhawq_executor.a"
+  "libhawq_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhawq_executor.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_hdfs.dir/hdfs.cc.o"
+  "CMakeFiles/hawq_hdfs.dir/hdfs.cc.o.d"
+  "libhawq_hdfs.a"
+  "libhawq_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/sim_net.cc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/sim_net.cc.o" "gcc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/sim_net.cc.o.d"
+  "/root/repo/src/interconnect/tcp_interconnect.cc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/tcp_interconnect.cc.o" "gcc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/tcp_interconnect.cc.o.d"
+  "/root/repo/src/interconnect/udp_interconnect.cc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/udp_interconnect.cc.o" "gcc" "src/interconnect/CMakeFiles/hawq_interconnect.dir/udp_interconnect.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

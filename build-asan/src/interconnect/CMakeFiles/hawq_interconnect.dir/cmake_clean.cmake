@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_interconnect.dir/sim_net.cc.o"
+  "CMakeFiles/hawq_interconnect.dir/sim_net.cc.o.d"
+  "CMakeFiles/hawq_interconnect.dir/tcp_interconnect.cc.o"
+  "CMakeFiles/hawq_interconnect.dir/tcp_interconnect.cc.o.d"
+  "CMakeFiles/hawq_interconnect.dir/udp_interconnect.cc.o"
+  "CMakeFiles/hawq_interconnect.dir/udp_interconnect.cc.o.d"
+  "libhawq_interconnect.a"
+  "libhawq_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

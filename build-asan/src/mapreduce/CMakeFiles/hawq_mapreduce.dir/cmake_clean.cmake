@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_mapreduce.dir/mr_fabric.cc.o"
+  "CMakeFiles/hawq_mapreduce.dir/mr_fabric.cc.o.d"
+  "libhawq_mapreduce.a"
+  "libhawq_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

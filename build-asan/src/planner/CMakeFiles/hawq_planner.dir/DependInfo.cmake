@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/plan_node.cc" "src/planner/CMakeFiles/hawq_planner.dir/plan_node.cc.o" "gcc" "src/planner/CMakeFiles/hawq_planner.dir/plan_node.cc.o.d"
+  "/root/repo/src/planner/planner.cc" "src/planner/CMakeFiles/hawq_planner.dir/planner.cc.o" "gcc" "src/planner/CMakeFiles/hawq_planner.dir/planner.cc.o.d"
+  "/root/repo/src/planner/stats.cc" "src/planner/CMakeFiles/hawq_planner.dir/stats.cc.o" "gcc" "src/planner/CMakeFiles/hawq_planner.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sql/CMakeFiles/hawq_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/catalog/CMakeFiles/hawq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_planner.dir/plan_node.cc.o"
+  "CMakeFiles/hawq_planner.dir/plan_node.cc.o.d"
+  "CMakeFiles/hawq_planner.dir/planner.cc.o"
+  "CMakeFiles/hawq_planner.dir/planner.cc.o.d"
+  "CMakeFiles/hawq_planner.dir/stats.cc.o"
+  "CMakeFiles/hawq_planner.dir/stats.cc.o.d"
+  "libhawq_planner.a"
+  "libhawq_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pxf/connectors.cc" "src/pxf/CMakeFiles/hawq_pxf.dir/connectors.cc.o" "gcc" "src/pxf/CMakeFiles/hawq_pxf.dir/connectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hdfs/CMakeFiles/hawq_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sql/CMakeFiles/hawq_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/catalog/CMakeFiles/hawq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

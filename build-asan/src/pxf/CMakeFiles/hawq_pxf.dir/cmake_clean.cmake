@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_pxf.dir/connectors.cc.o"
+  "CMakeFiles/hawq_pxf.dir/connectors.cc.o.d"
+  "libhawq_pxf.a"
+  "libhawq_pxf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_pxf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

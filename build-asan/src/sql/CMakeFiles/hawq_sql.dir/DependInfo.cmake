@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/analyzer.cc" "src/sql/CMakeFiles/hawq_sql.dir/analyzer.cc.o" "gcc" "src/sql/CMakeFiles/hawq_sql.dir/analyzer.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/hawq_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/hawq_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/hawq_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/hawq_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/pexpr.cc" "src/sql/CMakeFiles/hawq_sql.dir/pexpr.cc.o" "gcc" "src/sql/CMakeFiles/hawq_sql.dir/pexpr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/catalog/CMakeFiles/hawq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_sql.dir/analyzer.cc.o"
+  "CMakeFiles/hawq_sql.dir/analyzer.cc.o.d"
+  "CMakeFiles/hawq_sql.dir/lexer.cc.o"
+  "CMakeFiles/hawq_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/hawq_sql.dir/parser.cc.o"
+  "CMakeFiles/hawq_sql.dir/parser.cc.o.d"
+  "CMakeFiles/hawq_sql.dir/pexpr.cc.o"
+  "CMakeFiles/hawq_sql.dir/pexpr.cc.o.d"
+  "libhawq_sql.a"
+  "libhawq_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stinger/stinger.cc" "src/stinger/CMakeFiles/hawq_stinger.dir/stinger.cc.o" "gcc" "src/stinger/CMakeFiles/hawq_stinger.dir/stinger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/engine/CMakeFiles/hawq_engine.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mapreduce/CMakeFiles/hawq_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/executor/CMakeFiles/hawq_executor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/planner/CMakeFiles/hawq_planner.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/hawq_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/pxf/CMakeFiles/hawq_pxf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sql/CMakeFiles/hawq_sql.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/catalog/CMakeFiles/hawq_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/tx/CMakeFiles/hawq_tx.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/interconnect/CMakeFiles/hawq_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hdfs/CMakeFiles/hawq_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

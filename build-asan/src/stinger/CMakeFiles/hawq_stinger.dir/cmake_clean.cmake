@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_stinger.dir/stinger.cc.o"
+  "CMakeFiles/hawq_stinger.dir/stinger.cc.o.d"
+  "libhawq_stinger.a"
+  "libhawq_stinger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_stinger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_storage.dir/codec.cc.o"
+  "CMakeFiles/hawq_storage.dir/codec.cc.o.d"
+  "CMakeFiles/hawq_storage.dir/format.cc.o"
+  "CMakeFiles/hawq_storage.dir/format.cc.o.d"
+  "libhawq_storage.a"
+  "libhawq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/hawq_tpch.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/hawq_tpch.dir/tpch_loader.cc.o"
+  "CMakeFiles/hawq_tpch.dir/tpch_loader.cc.o.d"
+  "CMakeFiles/hawq_tpch.dir/tpch_queries.cc.o"
+  "CMakeFiles/hawq_tpch.dir/tpch_queries.cc.o.d"
+  "libhawq_tpch.a"
+  "libhawq_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

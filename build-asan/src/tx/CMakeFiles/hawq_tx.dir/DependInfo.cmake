@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tx/lock_manager.cc" "src/tx/CMakeFiles/hawq_tx.dir/lock_manager.cc.o" "gcc" "src/tx/CMakeFiles/hawq_tx.dir/lock_manager.cc.o.d"
+  "/root/repo/src/tx/tx_manager.cc" "src/tx/CMakeFiles/hawq_tx.dir/tx_manager.cc.o" "gcc" "src/tx/CMakeFiles/hawq_tx.dir/tx_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/hawq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawq_tx.dir/lock_manager.cc.o"
+  "CMakeFiles/hawq_tx.dir/lock_manager.cc.o.d"
+  "CMakeFiles/hawq_tx.dir/tx_manager.cc.o"
+  "CMakeFiles/hawq_tx.dir/tx_manager.cc.o.d"
+  "libhawq_tx.a"
+  "libhawq_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawq_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddl_extensions_test.dir/ddl_extensions_test.cc.o"
+  "CMakeFiles/ddl_extensions_test.dir/ddl_extensions_test.cc.o.d"
+  "ddl_extensions_test"
+  "ddl_extensions_test.pdb"
+  "ddl_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddl_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_batch_test.dir/executor_batch_test.cc.o"
+  "CMakeFiles/executor_batch_test.dir/executor_batch_test.cc.o.d"
+  "executor_batch_test"
+  "executor_batch_test.pdb"
+  "executor_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

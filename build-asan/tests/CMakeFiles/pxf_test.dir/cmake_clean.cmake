@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pxf_test.dir/pxf_test.cc.o"
+  "CMakeFiles/pxf_test.dir/pxf_test.cc.o.d"
+  "pxf_test"
+  "pxf_test.pdb"
+  "pxf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pxf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_e2e_test.dir/storage_e2e_test.cc.o"
+  "CMakeFiles/storage_e2e_test.dir/storage_e2e_test.cc.o.d"
+  "storage_e2e_test"
+  "storage_e2e_test.pdb"
+  "storage_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/hdfs_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/tx_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/interconnect_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/engine_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sql_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/planner_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/pxf_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/mapreduce_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/tpch_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/executor_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/executor_batch_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/failure_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/ddl_extensions_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/storage_e2e_test[1]_include.cmake")
