@@ -9,21 +9,6 @@
 using namespace hawq;
 using namespace hawq::bench;
 
-namespace {
-
-double RunWith(plan::PlannerOptions po, const std::vector<int>& ids,
-               engine::Cluster* cluster) {
-  engine::ClusterOptions base = cluster->options();
-  (void)base;
-  // Planner options are per-cluster; spin a cluster clone sharing nothing:
-  // simplest is to mutate via a fresh cluster. Instead we re-load per call.
-  (void)po;
-  (void)ids;
-  return 0;
-}
-
-}  // namespace
-
 int main() {
   PrintHeader("Ablation", "planner feature knockouts");
   std::vector<int> join_ids = {3, 5, 9, 10, 18};

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification across sanitizer configurations.
+#
+# Builds and tests the repo three times:
+#   1. plain            (build-check/)
+#   2. AddressSanitizer (build-check-asan/,  -DHAWQ_SANITIZE=address)
+#   3. ThreadSanitizer  (build-check-tsan/,  -DHAWQ_SANITIZE=thread)
+#
+# Each configuration runs the tier-1 line from ROADMAP.md. Exits nonzero
+# on the first failure.
+#
+# Usage: scripts/check.sh [--keep] [ctest-args...]
+#   --keep     do not delete the build trees afterwards
+#   anything else is forwarded to ctest (e.g. -R UdpInterconnect)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+KEEP=0
+CTEST_ARGS=()
+for arg in "$@"; do
+  case "$arg" in
+    --keep) KEEP=1 ;;
+    *) CTEST_ARGS+=("$arg") ;;
+  esac
+done
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ($dir) ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j
+  echo "==== [$name] ctest ===="
+  (cd "$dir" && ctest --output-on-failure -j "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}")
+  echo "==== [$name] OK ===="
+}
+
+run_config plain  build-check
+run_config asan   build-check-asan -DHAWQ_SANITIZE=address
+run_config tsan   build-check-tsan -DHAWQ_SANITIZE=thread
+
+if [ "$KEEP" -eq 0 ]; then
+  rm -rf build-check build-check-asan build-check-tsan
+fi
+
+echo "All three configurations passed."

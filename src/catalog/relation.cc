@@ -5,7 +5,7 @@
 namespace hawq::catalog {
 
 TupleId Relation::Insert(tx::TxId xid, Row row) {
-  std::lock_guard<std::mutex> g(mu_);
+  WriterLock g(mu_);
   VTuple t;
   t.tid = next_tid_++;
   t.hdr.xmin = xid;
@@ -15,7 +15,7 @@ TupleId Relation::Insert(tx::TxId xid, Row row) {
 }
 
 Status Relation::Delete(tx::TxId xid, TupleId tid) {
-  std::lock_guard<std::mutex> g(mu_);
+  WriterLock g(mu_);
   for (VTuple& t : tuples_) {
     if (t.tid != tid) continue;
     if (t.hdr.xmax == tx::kInvalidTxId) {
@@ -47,7 +47,7 @@ std::vector<std::pair<TupleId, Row>> Relation::Scan(
 std::vector<std::pair<TupleId, Row>> Relation::ScanWhere(
     const tx::Snapshot& snap,
     const std::function<bool(const Row&)>& pred) const {
-  std::lock_guard<std::mutex> g(mu_);
+  ReaderLock g(mu_);
   std::vector<std::pair<TupleId, Row>> out;
   for (const VTuple& t : tuples_) {
     if (!VisibleLocked(t, snap)) continue;
@@ -58,7 +58,7 @@ std::vector<std::pair<TupleId, Row>> Relation::ScanWhere(
 }
 
 size_t Relation::Vacuum(tx::TxId oldest_xmin) {
-  std::lock_guard<std::mutex> g(mu_);
+  WriterLock g(mu_);
   size_t before = tuples_.size();
   tuples_.erase(
       std::remove_if(tuples_.begin(), tuples_.end(),
@@ -77,7 +77,7 @@ size_t Relation::Vacuum(tx::TxId oldest_xmin) {
 }
 
 void Relation::ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row) {
-  std::lock_guard<std::mutex> g(mu_);
+  WriterLock g(mu_);
   VTuple t;
   t.tid = tid;
   t.hdr = hdr;
@@ -87,7 +87,7 @@ void Relation::ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row) {
 }
 
 void Relation::ApplyRawDelete(TupleId tid, tx::TxId xmax) {
-  std::lock_guard<std::mutex> g(mu_);
+  WriterLock g(mu_);
   for (VTuple& t : tuples_) {
     if (t.tid == tid && t.hdr.xmax == tx::kInvalidTxId) {
       t.hdr.xmax = xmax;
@@ -97,7 +97,7 @@ void Relation::ApplyRawDelete(TupleId tid, tx::TxId xmax) {
 }
 
 size_t Relation::VersionCount() const {
-  std::lock_guard<std::mutex> g(mu_);
+  ReaderLock g(mu_);
   return tuples_.size();
 }
 

@@ -5,11 +5,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "tx/mvcc.h"
 #include "tx/tx_manager.h"
@@ -61,14 +61,19 @@ class Relation {
     Row row;
   };
 
-  bool VisibleLocked(const VTuple& t, const tx::Snapshot& snap) const;
+  bool VisibleLocked(const VTuple& t, const tx::Snapshot& snap) const
+      HAWQ_REQUIRES_SHARED(mu_);
 
   std::string name_;
   Schema schema_;
   tx::TxManager* mgr_;
-  mutable std::mutex mu_;
-  std::vector<VTuple> tuples_;
-  TupleId next_tid_ = 1;
+  /// Reader/writer lock: scans (the common case on catalog tables) run
+  /// concurrently; inserts/deletes/vacuum take it exclusively. Visibility
+  /// checks under this lock reach into the commit log, which is why the
+  /// clog mutex ranks below kCatalog (see common/sync.h).
+  mutable SharedMutex mu_{LockRank::kCatalog, "catalog.relation"};
+  std::vector<VTuple> tuples_ HAWQ_GUARDED_BY(mu_);
+  TupleId next_tid_ HAWQ_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace hawq::catalog

@@ -1,0 +1,352 @@
+// Synchronization primitives with machine-checked lock discipline.
+//
+// Two independent layers of checking:
+//
+// 1. Clang thread-safety analysis (compile time). hawq::Mutex is a
+//    CAPABILITY; fields protected by a mutex are declared with
+//    HAWQ_GUARDED_BY(mu_), helpers that expect the caller to hold a lock
+//    with HAWQ_REQUIRES(mu_). Building with
+//    `-Wthread-safety -Werror=thread-safety-analysis` under Clang turns
+//    "we think this field is protected" into a compile error when it is
+//    not. Under GCC every annotation expands to nothing.
+//
+// 2. Lock-rank deadlock detector (run time, on unless
+//    HAWQ_NO_LOCK_RANK_CHECKS is defined). Every Mutex carries a
+//    LockRank; a thread may acquire a mutex only while every mutex it
+//    already holds has a *strictly higher* rank. Subsystems are ranked
+//    dispatcher > tx > catalog > hdfs > interconnect, i.e. higher layers
+//    may call down into lower ones while locked but never the reverse —
+//    the process-wide analogue of the interconnect's own deadlock
+//    elimination argument (paper §4.5): rank acquisition order is acyclic,
+//    so lock waits cannot form a cycle. Violations abort with the held-lock
+//    stack.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+// --------------------------------------------------- annotation macros
+
+#if defined(__clang__)
+#define HAWQ_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define HAWQ_THREAD_ANNOTATION(x)  // no-op under GCC/MSVC
+#endif
+
+#define HAWQ_CAPABILITY(x) HAWQ_THREAD_ANNOTATION(capability(x))
+#define HAWQ_SCOPED_CAPABILITY HAWQ_THREAD_ANNOTATION(scoped_lockable)
+#define HAWQ_GUARDED_BY(x) HAWQ_THREAD_ANNOTATION(guarded_by(x))
+#define HAWQ_PT_GUARDED_BY(x) HAWQ_THREAD_ANNOTATION(pt_guarded_by(x))
+#define HAWQ_REQUIRES(...) \
+  HAWQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HAWQ_REQUIRES_SHARED(...) \
+  HAWQ_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define HAWQ_ACQUIRE(...) \
+  HAWQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HAWQ_ACQUIRE_SHARED(...) \
+  HAWQ_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define HAWQ_RELEASE(...) \
+  HAWQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HAWQ_RELEASE_SHARED(...) \
+  HAWQ_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define HAWQ_RELEASE_GENERIC(...) \
+  HAWQ_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define HAWQ_TRY_ACQUIRE(...) \
+  HAWQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HAWQ_EXCLUDES(...) HAWQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define HAWQ_ASSERT_CAPABILITY(x) \
+  HAWQ_THREAD_ANNOTATION(assert_capability(x))
+#define HAWQ_RETURN_CAPABILITY(x) HAWQ_THREAD_ANNOTATION(lock_returned(x))
+#define HAWQ_NO_THREAD_SAFETY_ANALYSIS \
+  HAWQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hawq::sync {
+
+// --------------------------------------------------------- lock ranks
+
+/// Global lock ordering. A thread holding a lock of rank R may only
+/// acquire locks of rank strictly below R. Gaps leave room for new levels;
+/// values within one subsystem order its internal locks (leaf-most
+/// lowest).
+enum class LockRank : int {
+  /// Terminal locks: no lock whatsoever may be acquired while one is held
+  /// (LocalDisk, dispatcher side channels, swimming lanes, HBaseLike).
+  kLeaf = 0,
+  // interconnect ------------------------------------------------------
+  kNetSocket = 10,    // SimSocket delivery queue
+  kNetFabric = 12,    // SimNet fault-injection rng
+  kNetConn = 14,      // per-connection / per-receiver stream state
+  kNetEndpoint = 16,  // per-host stream registries, fabric-wide maps
+  // hdfs ---------------------------------------------------------------
+  kHdfs = 20,  // MiniHdfs namenode (namespace + block map)
+  /// Commit-state oracle (the clog). Below kCatalog because MVCC
+  /// visibility checks resolve xids while holding a Relation lock.
+  kTxClog = 24,
+  // catalog ------------------------------------------------------------
+  kCatalog = 30,  // Relation MVCC heaps
+  // tx ------------------------------------------------------------------
+  kTxLock = 40,     // table lock manager
+  kTxManager = 42,  // xid assignment + active-transaction set
+  kTxWal = 44,      // WAL append/ship (calls down into catalog on replay)
+  // dispatcher / engine --------------------------------------------------
+  kDispatcher = 50,
+};
+
+#if !defined(HAWQ_NO_LOCK_RANK_CHECKS)
+#define HAWQ_LOCK_RANK_CHECKS 1
+#endif
+
+namespace internal {
+
+struct HeldLock {
+  const void* mu = nullptr;
+  int rank = 0;
+  const char* name = "";
+};
+
+#if HAWQ_LOCK_RANK_CHECKS
+inline thread_local std::vector<HeldLock> t_held_locks;
+
+[[noreturn]] inline void LockRankAbort(int rank, const char* name) {
+  std::fprintf(stderr,
+               "FATAL: lock-rank violation: acquiring \"%s\" (rank %d) "
+               "while this thread holds:\n",
+               name, rank);
+  for (auto it = t_held_locks.rbegin(); it != t_held_locks.rend(); ++it) {
+    std::fprintf(stderr, "  held: \"%s\" (rank %d)\n", it->name, it->rank);
+  }
+  std::fprintf(stderr,
+               "lock ranks must strictly decrease along every acquisition "
+               "chain (dispatcher > tx > catalog > hdfs > interconnect)\n");
+  std::abort();
+}
+
+/// Called BEFORE blocking on the underlying mutex so rank violations abort
+/// even when the out-of-order acquisition would deadlock.
+inline void CheckAcquire(int rank, const char* name) {
+  if (!t_held_locks.empty() && rank >= t_held_locks.back().rank) {
+    LockRankAbort(rank, name);
+  }
+}
+
+inline void NoteAcquired(const void* mu, int rank, const char* name) {
+  t_held_locks.push_back(HeldLock{mu, rank, name});
+}
+
+inline void NoteReleased(const void* mu) {
+  auto& held = t_held_locks;
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->mu == mu) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+#else
+inline void CheckAcquire(int, const char*) {}
+inline void NoteAcquired(const void*, int, const char*) {}
+inline void NoteReleased(const void*) {}
+#endif
+
+}  // namespace internal
+
+// ------------------------------------------------------------ Mutex
+
+/// \brief A std::mutex carrying a rank and a Clang capability. Prefer the
+/// RAII MutexLock over calling Lock/Unlock directly.
+class HAWQ_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(LockRank rank = LockRank::kLeaf, const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() HAWQ_ACQUIRE() {
+    internal::CheckAcquire(static_cast<int>(rank_), name_);
+    mu_.lock();
+    internal::NoteAcquired(this, static_cast<int>(rank_), name_);
+  }
+
+  bool TryLock() HAWQ_TRY_ACQUIRE(true) {
+    internal::CheckAcquire(static_cast<int>(rank_), name_);
+    if (!mu_.try_lock()) return false;
+    internal::NoteAcquired(this, static_cast<int>(rank_), name_);
+    return true;
+  }
+
+  void Unlock() HAWQ_RELEASE() {
+    internal::NoteReleased(this);
+    mu_.unlock();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  friend class MutexLock;
+  friend class CondVar;
+  std::mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+/// \brief RAII exclusive lock over a Mutex. Supports early Unlock() and
+/// re-Lock() (std::unique_lock style) and is what CondVar waits on.
+class HAWQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) HAWQ_ACQUIRE(mu) : mu_(mu) {
+    internal::CheckAcquire(static_cast<int>(mu_.rank_), mu_.name_);
+    lock_ = std::unique_lock<std::mutex>(mu_.mu_);
+    internal::NoteAcquired(&mu_, static_cast<int>(mu_.rank_), mu_.name_);
+  }
+
+  ~MutexLock() HAWQ_RELEASE() {
+    if (lock_.owns_lock()) internal::NoteReleased(&mu_);
+  }
+
+  void Unlock() HAWQ_RELEASE() {
+    internal::NoteReleased(&mu_);
+    lock_.unlock();
+  }
+
+  void Lock() HAWQ_ACQUIRE() {
+    internal::CheckAcquire(static_cast<int>(mu_.rank_), mu_.name_);
+    lock_.lock();
+    internal::NoteAcquired(&mu_, static_cast<int>(mu_.rank_), mu_.name_);
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// ----------------------------------------------------------- CondVar
+
+/// \brief Condition variable bound to hawq::Mutex via MutexLock. The
+/// wait-side reacquisition does not re-run the rank check: the lock is
+/// conceptually held across the wait (it stays on the thread's held-lock
+/// stack), which is also how the Clang analysis models it.
+class CondVar {
+ public:
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Pred>
+  void Wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(MutexLock& lock,
+                         const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock.lock_, d);
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool WaitFor(MutexLock& lock, const std::chrono::duration<Rep, Period>& d,
+               Pred pred) {
+    return cv_.wait_for(lock.lock_, d, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// ------------------------------------------------------- SharedMutex
+
+/// \brief Reader/writer lock with the same rank + capability treatment.
+/// Shared acquisition obeys the same rank discipline as exclusive.
+class HAWQ_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf,
+                       const char* name = "shared_mutex")
+      : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() HAWQ_ACQUIRE() {
+    internal::CheckAcquire(static_cast<int>(rank_), name_);
+    mu_.lock();
+    internal::NoteAcquired(this, static_cast<int>(rank_), name_);
+  }
+  void Unlock() HAWQ_RELEASE() {
+    internal::NoteReleased(this);
+    mu_.unlock();
+  }
+  void LockShared() HAWQ_ACQUIRE_SHARED() {
+    internal::CheckAcquire(static_cast<int>(rank_), name_);
+    mu_.lock_shared();
+    internal::NoteAcquired(this, static_cast<int>(rank_), name_);
+  }
+  void UnlockShared() HAWQ_RELEASE_SHARED() {
+    internal::NoteReleased(this);
+    mu_.unlock_shared();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  LockRank rank_;
+  const char* name_;
+};
+
+/// \brief RAII exclusive lock over a SharedMutex.
+class HAWQ_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) HAWQ_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterLock() HAWQ_RELEASE() { mu_.Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief RAII shared (read) lock over a SharedMutex.
+class HAWQ_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) HAWQ_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderLock() HAWQ_RELEASE() { mu_.UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Number of locks the calling thread currently holds (tests/debugging).
+inline size_t HeldLockCount() {
+#if HAWQ_LOCK_RANK_CHECKS
+  return internal::t_held_locks.size();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hawq::sync
+
+namespace hawq {
+using sync::CondVar;
+using sync::LockRank;
+using sync::Mutex;
+using sync::MutexLock;
+using sync::ReaderLock;
+using sync::SharedMutex;
+using sync::WriterLock;
+}  // namespace hawq

@@ -204,7 +204,7 @@ void Cluster::FaultDetectorLoop() {
 }
 
 int Cluster::AcquireLane(catalog::TableOid oid) {
-  std::lock_guard<std::mutex> g(lanes_mu_);
+  MutexLock g(lanes_mu_);
   std::set<int>& used = lanes_in_use_[oid];
   int lane = 0;
   while (used.count(lane)) ++lane;
@@ -213,7 +213,7 @@ int Cluster::AcquireLane(catalog::TableOid oid) {
 }
 
 void Cluster::ReleaseLane(catalog::TableOid oid, int lane) {
-  std::lock_guard<std::mutex> g(lanes_mu_);
+  MutexLock g(lanes_mu_);
   lanes_in_use_[oid].erase(lane);
 }
 

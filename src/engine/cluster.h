@@ -10,11 +10,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 
 #include "catalog/catalog.h"
+#include "common/sync.h"
 #include "engine/dispatcher.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/sim_net.h"
@@ -108,8 +108,9 @@ class Cluster {
   pxf::Registry pxf_;
   pxf::HBaseLike hbase_;
   std::atomic<uint64_t> next_query_id_{1};
-  std::mutex lanes_mu_;
-  std::map<catalog::TableOid, std::set<int>> lanes_in_use_;
+  Mutex lanes_mu_{LockRank::kLeaf, "cluster.lanes"};
+  std::map<catalog::TableOid, std::set<int>> lanes_in_use_
+      HAWQ_GUARDED_BY(lanes_mu_);
   std::atomic<bool> detector_running_{false};
   std::thread detector_;
 };

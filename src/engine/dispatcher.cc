@@ -1,9 +1,9 @@
 #include "engine/dispatcher.h"
 
 #include <chrono>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.h"
 #include "executor/exec_node.h"
 #include "storage/codec.h"
 
@@ -108,14 +108,14 @@ Result<QueryResult> Dispatcher::Execute(
   }
 
   // --- start gangs -----------------------------------------------------------
-  std::mutex err_mu;
+  Mutex err_mu(LockRank::kLeaf, "dispatcher.err");
   Status first_error;
   auto record_error = [&](const Status& st) {
-    std::lock_guard<std::mutex> g(err_mu);
+    MutexLock g(err_mu);
     if (first_error.ok() && !st.ok()) first_error = st;
   };
 
-  std::mutex side_mu;
+  Mutex side_mu(LockRank::kLeaf, "dispatcher.side_results");
   std::vector<exec::InsertResult> side_results;
 
   std::vector<std::thread> gang;
@@ -194,7 +194,7 @@ Result<QueryResult> Dispatcher::Execute(
   result.exec_time =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0);
   {
-    std::lock_guard<std::mutex> g(err_mu);
+    MutexLock g(err_mu);
     if (!first_error.ok()) return first_error;
   }
   if (insert_results) *insert_results = std::move(side_results);

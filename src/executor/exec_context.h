@@ -6,10 +6,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
 #include "planner/plan_node.h"
@@ -40,39 +40,39 @@ struct InsertResult {
 class LocalDisk {
  public:
   Status Write(const std::string& name, std::string data) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (failed_) return Status::IOError("local spill disk failed");
     files_[name] = std::move(data);
     return Status::OK();
   }
   Result<std::string> Read(const std::string& name) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (failed_) return Status::IOError("local spill disk failed");
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound("no spill file " + name);
     return it->second;
   }
   void Remove(const std::string& name) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     files_.erase(name);
   }
   void Fail() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     failed_ = true;
   }
   bool failed() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return failed_;
   }
   size_t file_count() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return files_.size();
   }
 
  private:
-  std::mutex mu_;
-  bool failed_ = false;
-  std::map<std::string, std::string> files_;
+  Mutex mu_{LockRank::kLeaf, "exec.local_disk"};
+  bool failed_ HAWQ_GUARDED_BY(mu_) = false;
+  std::map<std::string, std::string> files_ HAWQ_GUARDED_BY(mu_);
 };
 
 struct ExecContext {
@@ -90,7 +90,7 @@ struct ExecContext {
   /// Capacity of the RowBatches flowing through this worker's pipeline
   /// (kDefaultBatchRows unless a bench/test sweeps it).
   size_t batch_size = kDefaultBatchRows;
-  std::mutex* side_mu = nullptr;
+  hawq::Mutex* side_mu = nullptr;
   std::vector<InsertResult>* insert_results = nullptr;
 };
 

@@ -780,7 +780,7 @@ class InsertExec : public ExecNode {
     for (size_t i = 0; i < writers.size(); ++i) {
       if (!writers[i]) continue;
       HAWQ_RETURN_IF_ERROR(writers[i]->Close());
-      std::lock_guard<std::mutex> g(*ctx_->side_mu);
+      MutexLock g(*ctx_->side_mu);
       ctx_->insert_results->push_back(
           {node_.insert_parts[i].oid, ctx_->segment,
            node_.insert_parts[i].files[ctx_->segment],

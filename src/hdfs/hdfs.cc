@@ -1,6 +1,7 @@
 #include "hdfs/hdfs.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/sim_cost.h"
 
@@ -36,9 +37,12 @@ Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
     uint64_t want = std::min<uint64_t>(n - done, bl.length - in_block);
     HAWQ_ASSIGN_OR_RETURN(std::string chunk,
                           fs_->ReadBlock(bl.id, in_block, want));
-    std::copy(chunk.begin(), chunk.end(), out + done);
-    done += chunk.size();
-    if (chunk.size() < want) break;
+    // Clamp to the caller's remaining space: keeps the copy provably in
+    // bounds even if a block returned more than asked.
+    size_t got = std::min<size_t>(chunk.size(), n - done);
+    if (got > 0) std::memcpy(out + done, chunk.data(), got);
+    done += got;
+    if (got < want) break;
   }
   return done;
 }
@@ -86,7 +90,7 @@ MiniHdfs::~MiniHdfs() = default;
 
 Result<std::unique_ptr<FileWriter>> MiniHdfs::Create(const std::string& path,
                                                      int preferred_host) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it != files_.end()) {
     return Status::AlreadyExists("file exists: " + path);
@@ -103,7 +107,7 @@ Result<std::unique_ptr<FileWriter>> MiniHdfs::Create(const std::string& path,
 
 Result<std::unique_ptr<FileWriter>> MiniHdfs::OpenForAppend(
     const std::string& path, int preferred_host) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   if (it->second.lease_held) {
@@ -118,7 +122,7 @@ Result<std::unique_ptr<FileWriter>> MiniHdfs::OpenForAppend(
 }
 
 Result<std::unique_ptr<FileReader>> MiniHdfs::Open(const std::string& path) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   auto r = std::make_unique<FileReader>();
@@ -139,19 +143,19 @@ Result<std::unique_ptr<FileReader>> MiniHdfs::Open(const std::string& path) {
 }
 
 bool MiniHdfs::Exists(const std::string& path) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   return files_.count(path) > 0;
 }
 
 Result<uint64_t> MiniHdfs::FileSize(const std::string& path) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second.length;
 }
 
 Status MiniHdfs::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   for (BlockId bid : it->second.blocks) blocks_.erase(bid);
@@ -160,7 +164,7 @@ Status MiniHdfs::Delete(const std::string& path) {
 }
 
 std::vector<std::string> MiniHdfs::List(const std::string& prefix) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   std::vector<std::string> out;
   for (const auto& [p, fe] : files_) {
     if (p.rfind(prefix, 0) == 0) out.push_back(p);
@@ -169,7 +173,7 @@ std::vector<std::string> MiniHdfs::List(const std::string& prefix) {
 }
 
 Status MiniHdfs::Truncate(const std::string& path, uint64_t length) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   FileEntry& fe = it->second;
@@ -228,21 +232,21 @@ Result<std::string> MiniHdfs::ReadFile(const std::string& path) {
 }
 
 void MiniHdfs::FailDataNode(int dn) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   datanodes_[dn].alive = false;
   ReReplicateLocked();
 }
 
 void MiniHdfs::RecoverDataNode(int dn) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   datanodes_[dn].alive = true;
   datanodes_[dn].disk_ok.assign(opts_.disks_per_datanode, true);
 }
 
 void MiniHdfs::FailDisk(int dn, int disk) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   if (disk < 0 || disk >= opts_.disks_per_datanode) return;
   datanodes_[dn].disk_ok[disk] = false;
@@ -250,13 +254,13 @@ void MiniHdfs::FailDisk(int dn, int disk) {
 }
 
 bool MiniHdfs::IsDataNodeAlive(int dn) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   return dn >= 0 && dn < static_cast<int>(datanodes_.size()) &&
          datanodes_[dn].alive;
 }
 
 Result<int> MiniHdfs::MinReplication(const std::string& path) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   int min_rep = opts_.replication;
@@ -272,7 +276,7 @@ Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
                                         uint64_t len) {
   std::string data;
   {
-    std::lock_guard<std::mutex> g(lock_);
+    MutexLock g(lock_);
     auto it = blocks_.find(id);
     if (it == blocks_.end()) return Status::IOError("block deleted");
     if (LiveHostsForLocked(it->second).empty()) {
@@ -288,7 +292,7 @@ Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
 
 Status MiniHdfs::CommitAppend(const std::string& path, const std::string& data,
                               int preferred_host, bool release_lease) {
-  std::lock_guard<std::mutex> g(lock_);
+  MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   FileEntry& fe = it->second;

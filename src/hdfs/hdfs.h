@@ -16,12 +16,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace hawq::hdfs {
 
@@ -163,23 +163,25 @@ class MiniHdfs {
 
   // All helpers below require lock_ held.
   Status AppendLocked(FileEntry* fe, const std::string& data,
-                      int preferred_host);
-  BlockId NewBlockLocked(const std::string& data, int preferred_host);
-  std::vector<int> PickReplicaHostsLocked(int preferred_host, int count);
-  void ReReplicateLocked();
-  std::vector<int> LiveHostsForLocked(const Block& b);
+                      int preferred_host) HAWQ_REQUIRES(lock_);
+  BlockId NewBlockLocked(const std::string& data, int preferred_host)
+      HAWQ_REQUIRES(lock_);
+  std::vector<int> PickReplicaHostsLocked(int preferred_host, int count)
+      HAWQ_REQUIRES(lock_);
+  void ReReplicateLocked() HAWQ_REQUIRES(lock_);
+  std::vector<int> LiveHostsForLocked(const Block& b) HAWQ_REQUIRES(lock_);
 
   friend class FileWriter;
   Status CommitAppend(const std::string& path, const std::string& data,
                       int preferred_host, bool release_lease);
 
-  std::mutex lock_;
+  Mutex lock_{LockRank::kHdfs, "hdfs.namenode"};
   HdfsOptions opts_;
-  std::map<std::string, FileEntry> files_;
-  std::map<BlockId, Block> blocks_;
-  std::vector<DataNode> datanodes_;
-  BlockId next_block_id_ = 1;
-  uint64_t rr_counter_ = 0;  // round-robin placement cursor
+  std::map<std::string, FileEntry> files_ HAWQ_GUARDED_BY(lock_);
+  std::map<BlockId, Block> blocks_ HAWQ_GUARDED_BY(lock_);
+  std::vector<DataNode> datanodes_ HAWQ_GUARDED_BY(lock_);
+  BlockId next_block_id_ HAWQ_GUARDED_BY(lock_) = 1;
+  uint64_t rr_counter_ HAWQ_GUARDED_BY(lock_) = 0;  // round-robin placement
 };
 
 }  // namespace hawq::hdfs

@@ -3,8 +3,8 @@
 namespace hawq::net {
 
 bool SimSocket::Recv(std::string* out, std::chrono::microseconds timeout) {
-  std::unique_lock<std::mutex> g(mu_);
-  if (!cv_.wait_for(g, timeout, [&] { return !queue_.empty(); })) {
+  MutexLock g(mu_);
+  if (!cv_.WaitFor(g, timeout, [&] { return !queue_.empty(); })) {
     return false;
   }
   *out = std::move(queue_.front());
@@ -13,13 +13,13 @@ bool SimSocket::Recv(std::string* out, std::chrono::microseconds timeout) {
 }
 
 size_t SimSocket::Pending() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return queue_.size();
 }
 
 void SimSocket::Deliver(std::string payload, bool reorder) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (reorder && !queue_.empty()) {
       // Slip in ahead of the most recent packet: a one-step reorder.
       queue_.insert(queue_.end() - 1, std::move(payload));
@@ -27,7 +27,7 @@ void SimSocket::Deliver(std::string payload, bool reorder) {
       queue_.push_back(std::move(payload));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 SimNet::SimNet(int num_hosts, NetOptions opts) : opts_(opts), rng_(opts.seed) {
@@ -42,7 +42,7 @@ void SimNet::Send(int dst, std::string payload) {
   sent_.fetch_add(1, std::memory_order_relaxed);
   bool drop = false, dup = false, reorder = false;
   if (opts_.loss_prob > 0 || opts_.dup_prob > 0 || opts_.reorder_prob > 0) {
-    std::lock_guard<std::mutex> g(rng_mu_);
+    MutexLock g(rng_mu_);
     drop = rng_.Chance(opts_.loss_prob);
     dup = rng_.Chance(opts_.dup_prob);
     reorder = rng_.Chance(opts_.reorder_prob);

@@ -9,16 +9,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace hawq::net {
 
@@ -44,9 +43,9 @@ class SimSocket {
  private:
   friend class SimNet;
   void Deliver(std::string payload, bool reorder);
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::string> queue_;
+  Mutex mu_{LockRank::kNetSocket, "simnet.socket"};
+  CondVar cv_;
+  std::deque<std::string> queue_ HAWQ_GUARDED_BY(mu_);
 };
 
 /// \brief The fabric: sockets keyed by host id, with loss/dup/reorder
@@ -67,8 +66,8 @@ class SimNet {
  private:
   NetOptions opts_;
   std::vector<std::unique_ptr<SimSocket>> sockets_;
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_{LockRank::kNetFabric, "simnet.rng"};
+  Rng rng_ HAWQ_GUARDED_BY(rng_mu_);
   std::atomic<uint64_t> sent_{0};
   std::atomic<uint64_t> dropped_{0};
 };

@@ -20,12 +20,12 @@ struct TcpFabric::Channel {
 };
 
 struct TcpFabric::RecvState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::map<int, Channel> channels;  // by sender index
-  int num_senders = -1;
-  bool stopped = false;
-  int rr_cursor = 0;
+  Mutex mu{LockRank::kNetConn, "tcp.recv_state"};
+  CondVar cv;
+  std::map<int, Channel> channels HAWQ_GUARDED_BY(mu);  // by sender index
+  int num_senders HAWQ_GUARDED_BY(mu) = -1;
+  bool stopped HAWQ_GUARDED_BY(mu) = false;
+  int rr_cursor HAWQ_GUARDED_BY(mu) = 0;
 };
 
 class TcpSendStream : public SendStream {
@@ -40,7 +40,7 @@ class TcpSendStream : public SendStream {
     // Connection setup: one handshake per receiver, one ephemeral port
     // each on the sender host.
     {
-      std::lock_guard<std::mutex> g(fabric_->mu_);
+      MutexLock g(fabric_->mu_);
       int need = static_cast<int>(receiver_hosts_.size());
       if (fabric_->ports_in_use_[sender_host_] + need >
           fabric_->opts_.ports_per_host) {
@@ -56,7 +56,7 @@ class TcpSendStream : public SendStream {
       auto state = fabric_->FindOrCreateState(query_id_, motion_id_,
                                               static_cast<int>(r));
       states_.push_back(state);
-      std::lock_guard<std::mutex> g(state->mu);
+      MutexLock g(state->mu);
       state->channels[sender_].connected = true;
       fabric_->active_conns_[receiver_hosts_[r]].fetch_add(1);
       fabric_->connections_opened_.fetch_add(1);
@@ -68,7 +68,7 @@ class TcpSendStream : public SendStream {
     for (size_t r = 0; r < states_.size(); ++r) {
       fabric_->active_conns_[receiver_hosts_[r]].fetch_sub(1);
     }
-    std::lock_guard<std::mutex> g(fabric_->mu_);
+    MutexLock g(fabric_->mu_);
     fabric_->ports_in_use_[sender_host_] -= ports_held_;
   }
 
@@ -85,7 +85,7 @@ class TcpSendStream : public SendStream {
 
   bool Stopped(int receiver) override {
     auto& state = states_[receiver];
-    std::lock_guard<std::mutex> g(state->mu);
+    MutexLock g(state->mu);
     return state->channels[sender_].stopped;
   }
 
@@ -111,17 +111,19 @@ class TcpSendStream : public SendStream {
           fabric_->opts_.chunk_overhead_ns_per_conn));
     }
     auto& state = states_[receiver];
-    std::unique_lock<std::mutex> g(state->mu);
+    MutexLock g(state->mu);
     TcpFabric::Channel& ch = state->channels[sender_];
     if (ch.stopped && !item.eos) return Status::OK();
-    if (!state->cv.wait_for(g, std::chrono::seconds(60), [&] {
-          return ch.queue.size() < fabric_->opts_.queue_capacity || ch.stopped;
-        })) {
-      return Status::NetworkError("TCP interconnect send timed out");
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!(ch.queue.size() < fabric_->opts_.queue_capacity || ch.stopped)) {
+      state->cv.WaitFor(g, std::chrono::milliseconds(1));
+      if (std::chrono::steady_clock::now() > deadline) {
+        return Status::NetworkError("TCP interconnect send timed out");
+      }
     }
     if (ch.stopped && !item.eos) return Status::OK();
     ch.queue.push_back(std::move(item));
-    state->cv.notify_all();
+    state->cv.NotifyAll();
     return Status::OK();
   }
 
@@ -141,7 +143,7 @@ class TcpRecvStream : public RecvStream {
       : state_(std::move(state)) {}
 
   Result<std::optional<std::string>> Recv() override {
-    std::unique_lock<std::mutex> g(state_->mu);
+    MutexLock g(state_->mu);
     while (true) {
       if (!state_->channels.empty()) {
         int n = static_cast<int>(state_->channels.size());
@@ -154,7 +156,7 @@ class TcpRecvStream : public RecvStream {
           idle_ticks_ = 0;
           ChunkItem item = std::move(ch.queue.front());
           ch.queue.pop_front();
-          state_->cv.notify_all();
+          state_->cv.NotifyAll();
           if (item.eos) {
             ch.eos = true;
             break;  // re-scan other channels
@@ -166,12 +168,12 @@ class TcpRecvStream : public RecvStream {
       if (++idle_ticks_ > 120000) {
         return Status::NetworkError("TCP interconnect receive timed out");
       }
-      state_->cv.wait_for(g, std::chrono::milliseconds(1));
+      state_->cv.WaitFor(g, std::chrono::milliseconds(1));
     }
   }
 
   void Stop() override {
-    std::lock_guard<std::mutex> g(state_->mu);
+    MutexLock g(state_->mu);
     state_->stopped = true;
     for (auto& [s, ch] : state_->channels) {
       ch.stopped = true;
@@ -182,11 +184,11 @@ class TcpRecvStream : public RecvStream {
       }
       ch.queue = std::move(kept);
     }
-    state_->cv.notify_all();
+    state_->cv.NotifyAll();
   }
 
  private:
-  bool AllEosLocked() {
+  bool AllEosLocked() HAWQ_REQUIRES(state_->mu) {
     if (state_->num_senders < 0) return false;
     if (static_cast<int>(state_->channels.size()) < state_->num_senders) {
       return false;
@@ -209,7 +211,7 @@ TcpFabric::TcpFabric(int num_hosts, TcpOptions opts)
 
 std::shared_ptr<TcpFabric::RecvState> TcpFabric::FindOrCreateState(
     uint64_t query_id, int motion_id, int receiver) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   auto id = std::make_tuple(query_id, motion_id, receiver);
   auto it = states_.find(id);
   if (it != states_.end()) return it->second;
@@ -236,14 +238,14 @@ Result<std::unique_ptr<RecvStream>> TcpFabric::OpenRecv(uint64_t query_id,
   (void)receiver_host;
   auto state = FindOrCreateState(query_id, motion_id, receiver);
   {
-    std::lock_guard<std::mutex> g(state->mu);
+    MutexLock g(state->mu);
     state->num_senders = num_senders;
   }
   return std::unique_ptr<RecvStream>(new TcpRecvStream(std::move(state)));
 }
 
 int TcpFabric::PortsInUse(int host) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return ports_in_use_[host];
 }
 

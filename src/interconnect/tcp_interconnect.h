@@ -12,13 +12,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <tuple>
 
+#include "common/sync.h"
 #include "interconnect/interconnect.h"
 #include "interconnect/protocol.h"
 
@@ -67,10 +66,10 @@ class TcpFabric : public Interconnect {
                                                int motion_id, int receiver);
 
   TcpOptions opts_;
-  std::mutex mu_;
+  Mutex mu_{LockRank::kNetEndpoint, "tcp.fabric"};
   std::map<std::tuple<uint64_t, int, int>, std::shared_ptr<RecvState>>
-      states_;
-  std::vector<int> ports_in_use_;
+      states_ HAWQ_GUARDED_BY(mu_);
+  std::vector<int> ports_in_use_ HAWQ_GUARDED_BY(mu_);
   std::vector<std::atomic<int>> active_conns_;  // per destination host
   std::atomic<uint64_t> connections_opened_{0};
 };

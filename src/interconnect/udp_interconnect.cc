@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <tuple>
+
+#include "common/sync.h"
 
 namespace hawq::net {
 
@@ -27,7 +27,8 @@ struct ReadyItem {
   std::string data;
 };
 
-/// Receiver-side state for one sender's stream.
+/// Receiver-side state for one sender's stream. Instances live inside
+/// RecvState::channels and are guarded by RecvState::mu.
 struct ChannelState {
   uint64_t expected = 1;               // next in-order sequence number
   std::map<uint64_t, Packet> ring;     // out-of-order packets (no sorting)
@@ -40,24 +41,25 @@ struct ChannelState {
 }  // namespace
 
 struct UdpFabric::SenderConn {
-  std::mutex mu;
-  std::condition_variable cv;
-  StreamKey key;
+  Mutex mu{LockRank::kNetConn, "udp.sender_conn"};
+  CondVar cv;
+  StreamKey key;  // immutable after OpenSend
   int src_host = 0;
   int dst_host = 0;
-  uint64_t next_seq = 1;
-  uint64_t sc = 0;  // last consumed (from acks)
-  uint64_t sr = 0;  // cumulative received (from acks)
-  std::map<uint64_t, Unacked> unacked;  // the expiration queue ring
-  size_t cwnd = 4;
-  bool stopped = false;
-  bool failed = false;
-  double srtt_us = 2000;
-  double rttvar_us = 1000;
-  double backoff = 1.0;
-  Clock::time_point last_progress = Clock::now();
+  uint64_t next_seq HAWQ_GUARDED_BY(mu) = 1;
+  uint64_t sc HAWQ_GUARDED_BY(mu) = 0;  // last consumed (from acks)
+  uint64_t sr HAWQ_GUARDED_BY(mu) = 0;  // cumulative received (from acks)
+  std::map<uint64_t, Unacked> unacked
+      HAWQ_GUARDED_BY(mu);  // the expiration queue ring
+  size_t cwnd HAWQ_GUARDED_BY(mu) = 4;
+  bool stopped HAWQ_GUARDED_BY(mu) = false;
+  bool failed HAWQ_GUARDED_BY(mu) = false;
+  double srtt_us HAWQ_GUARDED_BY(mu) = 2000;
+  double rttvar_us HAWQ_GUARDED_BY(mu) = 1000;
+  double backoff HAWQ_GUARDED_BY(mu) = 1.0;
+  Clock::time_point last_progress HAWQ_GUARDED_BY(mu) = Clock::now();
 
-  std::chrono::microseconds Rto(const UdpOptions& o) const {
+  std::chrono::microseconds Rto(const UdpOptions& o) const HAWQ_REQUIRES(mu) {
     auto us = std::chrono::microseconds(
         static_cast<int64_t>((srtt_us + 4 * rttvar_us) * backoff));
     return std::max(us, o.min_rto);
@@ -65,29 +67,26 @@ struct UdpFabric::SenderConn {
 };
 
 struct UdpFabric::RecvState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::map<int, ChannelState> channels;  // by sender index
-  int num_senders = -1;                  // set when a RecvStream attaches
-  bool stopped = false;
-  int rr_cursor = 0;  // round-robin fairness across senders
+  Mutex mu{LockRank::kNetConn, "udp.recv_state"};
+  CondVar cv;
+  std::map<int, ChannelState> channels HAWQ_GUARDED_BY(mu);  // by sender
+  int num_senders HAWQ_GUARDED_BY(mu) = -1;  // set when a RecvStream attaches
+  bool stopped HAWQ_GUARDED_BY(mu) = false;
+  int rr_cursor HAWQ_GUARDED_BY(mu) = 0;  // round-robin across senders
 };
 
 struct UdpFabric::Endpoint {
-  std::mutex mu;
-  std::map<StreamKey, std::shared_ptr<SenderConn>> senders;
+  Mutex mu{LockRank::kNetEndpoint, "udp.endpoint"};
+  std::map<StreamKey, std::shared_ptr<SenderConn>> senders HAWQ_GUARDED_BY(mu);
   std::map<std::tuple<uint64_t, int, int>, std::shared_ptr<RecvState>>
-      receivers;
-  std::set<std::tuple<uint64_t, int, int>> tombstones;  // closed receivers
-  std::deque<std::tuple<uint64_t, int, int>> tombstone_order;
+      receivers HAWQ_GUARDED_BY(mu);
+  std::set<std::tuple<uint64_t, int, int>> tombstones
+      HAWQ_GUARDED_BY(mu);  // closed receivers
+  std::deque<std::tuple<uint64_t, int, int>> tombstone_order
+      HAWQ_GUARDED_BY(mu);
 };
 
 // ------------------------------------------------------------- streams
-
-namespace {
-class UdpSendStreamImpl;
-class UdpRecvStreamImpl;
-}  // namespace
 
 class UdpSendStream : public SendStream {
  public:
@@ -98,7 +97,7 @@ class UdpSendStream : public SendStream {
         ep_(ep) {}
 
   ~UdpSendStream() override {
-    std::lock_guard<std::mutex> g(ep_->mu);
+    MutexLock g(ep_->mu);
     for (auto& c : conns_) ep_->senders.erase(c->key);
   }
 
@@ -114,9 +113,9 @@ class UdpSendStream : public SendStream {
     // are driven by the endpoint rx thread).
     auto give_up = Clock::now() + opts_.peer_timeout;
     for (auto& c : conns_) {
-      std::unique_lock<std::mutex> g(c->mu);
+      MutexLock g(c->mu);
       while (!c->unacked.empty() && !c->failed) {
-        c->cv.wait_for(g, std::chrono::milliseconds(1));
+        c->cv.WaitFor(g, std::chrono::milliseconds(1));
         if (Clock::now() > give_up) c->failed = true;
       }
       if (c->failed) {
@@ -128,7 +127,7 @@ class UdpSendStream : public SendStream {
 
   bool Stopped(int receiver) override {
     auto& c = conns_[receiver];
-    std::lock_guard<std::mutex> g(c->mu);
+    MutexLock g(c->mu);
     return c->stopped;
   }
 
@@ -145,19 +144,16 @@ class UdpSendStream : public SendStream {
       return Status::InvalidArgument("bad receiver index");
     }
     auto& c = conns_[receiver];
-    std::unique_lock<std::mutex> g(c->mu);
+    MutexLock g(c->mu);
     if (c->failed) return Status::NetworkError("interconnect peer dead");
     if (c->stopped && !eos) return Status::OK();  // discard after STOP
     // Flow control: bounded by our congestion window and by the receiver's
     // remaining capacity (derived from SC).
-    auto can_send = [&] {
-      return c->unacked.size() < c->cwnd &&
-             (c->next_seq - 1 - c->sc) < opts_.ring_capacity;
-    };
     auto probe_deadline = Clock::now() + opts_.status_query_after;
     auto give_up = Clock::now() + opts_.peer_timeout;
-    while (!can_send()) {
-      c->cv.wait_for(g, std::chrono::milliseconds(1));
+    while (!(c->unacked.size() < c->cwnd &&
+             (c->next_seq - 1 - c->sc) < opts_.ring_capacity)) {
+      c->cv.WaitFor(g, std::chrono::milliseconds(1));
       if (c->failed) return Status::NetworkError("interconnect peer dead");
       if (c->stopped && !eos) return Status::OK();
       if (Clock::now() > give_up) {
@@ -184,7 +180,7 @@ class UdpSendStream : public SendStream {
     p.payload = std::move(chunk);
     std::string bytes = p.Serialize();
     c->unacked[p.seq] = Unacked{bytes, Clock::now(), 0};
-    g.unlock();
+    g.Unlock();
     net_->Send(c->dst_host, std::move(bytes));
     return Status::OK();
   }
@@ -207,7 +203,7 @@ class UdpRecvStream : public RecvStream {
   ~UdpRecvStream() override {
     auto id = std::make_tuple(base_key_.query_id, base_key_.motion_id,
                               base_key_.receiver);
-    std::lock_guard<std::mutex> g(ep_->mu);
+    MutexLock g(ep_->mu);
     ep_->receivers.erase(id);
     ep_->tombstones.insert(id);
     ep_->tombstone_order.push_back(id);
@@ -218,7 +214,7 @@ class UdpRecvStream : public RecvStream {
   }
 
   Result<std::optional<std::string>> Recv() override {
-    std::unique_lock<std::mutex> g(state_->mu);
+    MutexLock g(state_->mu);
     while (true) {
       // Round-robin across channels for fairness.
       int n = static_cast<int>(state_->channels.size());
@@ -250,12 +246,12 @@ class UdpRecvStream : public RecvStream {
       if (++idle_ticks_ > 120000) {  // ~2 minutes without data or EoS
         return Status::NetworkError("interconnect receive timed out");
       }
-      state_->cv.wait_for(g, std::chrono::milliseconds(1));
+      state_->cv.WaitFor(g, std::chrono::milliseconds(1));
     }
   }
 
   void Stop() override {
-    std::lock_guard<std::mutex> g(state_->mu);
+    MutexLock g(state_->mu);
     state_->stopped = true;
     for (auto& [sender, ch] : state_->channels) {
       ch.stopped = true;
@@ -279,7 +275,7 @@ class UdpRecvStream : public RecvStream {
   }
 
  private:
-  bool AllEosLocked() {
+  bool AllEosLocked() HAWQ_REQUIRES(state_->mu) {
     if (state_->num_senders < 0) return false;
     if (static_cast<int>(state_->channels.size()) < state_->num_senders) {
       return false;
@@ -290,7 +286,8 @@ class UdpRecvStream : public RecvStream {
     return true;
   }
 
-  void SendConsumeAck(int sender, const ChannelState& ch) {
+  void SendConsumeAck(int sender, const ChannelState& ch)
+      HAWQ_REQUIRES(state_->mu) {
     if (ch.src_host < 0) return;
     Packet p;
     p.type = PacketType::kAck;
@@ -331,13 +328,16 @@ Result<std::unique_ptr<SendStream>> UdpFabric::OpenSend(
     std::vector<int> receiver_hosts) {
   Endpoint* ep = endpoints_[sender_host].get();
   std::vector<std::shared_ptr<SenderConn>> conns;
-  std::lock_guard<std::mutex> g(ep->mu);
+  MutexLock g(ep->mu);
   for (size_t r = 0; r < receiver_hosts.size(); ++r) {
     auto c = std::make_shared<SenderConn>();
     c->key = StreamKey{query_id, motion_id, sender, static_cast<int>(r)};
     c->src_host = sender_host;
     c->dst_host = receiver_hosts[r];
-    c->cwnd = opts_.start_cwnd;
+    {
+      MutexLock cg(c->mu);
+      c->cwnd = opts_.start_cwnd;
+    }
     ep->senders[c->key] = c;
     conns.push_back(std::move(c));
   }
@@ -354,7 +354,7 @@ Result<std::unique_ptr<RecvStream>> UdpFabric::OpenRecv(uint64_t query_id,
   auto id = std::make_tuple(query_id, motion_id, receiver);
   std::shared_ptr<RecvState> state;
   {
-    std::lock_guard<std::mutex> g(ep->mu);
+    MutexLock g(ep->mu);
     auto it = ep->receivers.find(id);
     if (it == ep->receivers.end()) {
       state = std::make_shared<RecvState>();
@@ -365,7 +365,7 @@ Result<std::unique_ptr<RecvStream>> UdpFabric::OpenRecv(uint64_t query_id,
     ep->tombstones.erase(id);
   }
   {
-    std::lock_guard<std::mutex> g(state->mu);
+    MutexLock g(state->mu);
     state->num_senders = num_senders;
   }
   StreamKey base{query_id, motion_id, 0, receiver};
@@ -412,12 +412,12 @@ void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {
   Endpoint* ep = endpoints_[host].get();
   std::shared_ptr<SenderConn> conn;
   {
-    std::lock_guard<std::mutex> g(ep->mu);
+    MutexLock g(ep->mu);
     auto it = ep->senders.find(pkt.key);
     if (it == ep->senders.end()) return;
     conn = it->second;
   }
-  std::lock_guard<std::mutex> g(conn->mu);
+  MutexLock g(conn->mu);
   conn->sc = std::max(conn->sc, pkt.sc);
   conn->sr = std::max(conn->sr, pkt.sr);
   // Prune the expiration queue ring: everything cumulative-acked is done.
@@ -452,7 +452,7 @@ void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {
     conn->stopped = true;
   }
   conn->last_progress = now;
-  conn->cv.notify_all();
+  conn->cv.NotifyAll();
 }
 
 void UdpFabric::HandleDataPacket(int host, Packet pkt) {
@@ -461,7 +461,7 @@ void UdpFabric::HandleDataPacket(int host, Packet pkt) {
                             pkt.key.receiver);
   std::shared_ptr<RecvState> state;
   {
-    std::lock_guard<std::mutex> g(ep->mu);
+    MutexLock g(ep->mu);
     if (ep->tombstones.count(id)) {
       // The stream already closed; fully acknowledge so the sender's EoS
       // wait can finish even when its last ack was lost.
@@ -477,7 +477,7 @@ void UdpFabric::HandleDataPacket(int host, Packet pkt) {
       state = it->second;
     }
   }
-  std::lock_guard<std::mutex> g(state->mu);
+  MutexLock g(state->mu);
   ChannelState& ch = state->channels[pkt.key.sender];
   if (ch.src_host < 0) ch.src_host = pkt.src_host;
   if (state->stopped) ch.stopped = true;
@@ -531,20 +531,20 @@ void UdpFabric::HandleDataPacket(int host, Packet pkt) {
   }
   SendAck(ch.stopped ? PacketType::kStop : PacketType::kAck, key,
           ch.src_host, ch.consumed, ch.expected - 1);
-  state->cv.notify_all();
+  state->cv.NotifyAll();
 }
 
 void UdpFabric::CheckRetransmits(int host) {
   Endpoint* ep = endpoints_[host].get();
   std::vector<std::shared_ptr<SenderConn>> conns;
   {
-    std::lock_guard<std::mutex> g(ep->mu);
+    MutexLock g(ep->mu);
     conns.reserve(ep->senders.size());
     for (auto& [k, c] : ep->senders) conns.push_back(c);
   }
   Clock::time_point now = Clock::now();
   for (auto& c : conns) {
-    std::lock_guard<std::mutex> g(c->mu);
+    MutexLock g(c->mu);
     if (c->unacked.empty()) continue;
     auto rto = c->Rto(opts_);
     bool expired_any = false;
@@ -565,7 +565,7 @@ void UdpFabric::CheckRetransmits(int host) {
       c->cwnd = opts_.min_cwnd;
       c->backoff = std::min(c->backoff * 2.0, 64.0);
     }
-    if (c->failed) c->cv.notify_all();
+    if (c->failed) c->cv.NotifyAll();
   }
 }
 

@@ -137,20 +137,23 @@ void MrFabric::ChargeShuffleRead(uint64_t bytes) {
 }
 
 void MrFabric::MarkSenderDone(uint64_t query, int motion, int sender) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   done_senders_[{query, motion}].insert(sender);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void MrFabric::WaitSenders(uint64_t query, int motion, int num_senders) {
   bool new_job = false;
   {
-    std::unique_lock<std::mutex> g(mu_);
-    cv_.wait(g, [&] {
+    MutexLock g(mu_);
+    while (true) {
       auto it = done_senders_.find({query, motion});
-      return it != done_senders_.end() &&
-             static_cast<int>(it->second.size()) >= num_senders;
-    });
+      if (it != done_senders_.end() &&
+          static_cast<int>(it->second.size()) >= num_senders) {
+        break;
+      }
+      cv_.Wait(g);
+    }
     new_job = job_started_.insert({query, motion}).second;
   }
   if (new_job) {

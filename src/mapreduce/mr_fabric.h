@@ -14,12 +14,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <set>
 
 #include "common/sim_cost.h"
+#include "common/sync.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
 
@@ -77,10 +76,11 @@ class MrFabric : public net::Interconnect {
 
  private:
   MrOptions opts_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::pair<uint64_t, int>, std::set<int>> done_senders_;
-  std::set<std::pair<uint64_t, int>> job_started_;
+  Mutex mu_{LockRank::kNetEndpoint, "mr.fabric"};
+  CondVar cv_;
+  std::map<std::pair<uint64_t, int>, std::set<int>> done_senders_
+      HAWQ_GUARDED_BY(mu_);
+  std::set<std::pair<uint64_t, int>> job_started_ HAWQ_GUARDED_BY(mu_);
   std::atomic<uint64_t> jobs_launched_{0};
 };
 

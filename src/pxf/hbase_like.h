@@ -6,11 +6,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace hawq::pxf {
 
@@ -19,7 +19,7 @@ class HBaseLike {
   explicit HBaseLike(int num_hosts = 4) : num_hosts_(num_hosts) {}
 
   Status CreateTable(const std::string& table) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     if (tables_.count(table)) {
       return Status::AlreadyExists("hbase table exists: " + table);
     }
@@ -29,7 +29,7 @@ class HBaseLike {
 
   Status Put(const std::string& table, const std::string& rowkey,
              const std::string& column, const std::string& value) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     auto it = tables_.find(table);
     if (it == tables_.end()) {
       return Status::NotFound("no hbase table " + table);
@@ -47,7 +47,7 @@ class HBaseLike {
   /// Regions of a table: the sorted key space split into ~num_hosts
   /// contiguous ranges, each "hosted" somewhere.
   Result<std::vector<Region>> Regions(const std::string& table) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     auto it = tables_.find(table);
     if (it == tables_.end()) {
       return Status::NotFound("no hbase table " + table);
@@ -76,7 +76,7 @@ class HBaseLike {
   std::vector<std::pair<std::string, std::map<std::string, std::string>>>
   Scan(const std::string& table, const std::string& start,
        const std::string& end) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     std::vector<std::pair<std::string, std::map<std::string, std::string>>>
         out;
     auto it = tables_.find(table);
@@ -91,16 +91,16 @@ class HBaseLike {
   }
 
   int64_t RowCount(const std::string& table) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     auto it = tables_.find(table);
     return it == tables_.end() ? -1 : static_cast<int64_t>(it->second.size());
   }
 
  private:
   int num_hosts_;
-  std::mutex mu_;
+  Mutex mu_{LockRank::kLeaf, "pxf.hbase"};
   std::map<std::string, std::map<std::string, std::map<std::string, std::string>>>
-      tables_;
+      tables_ HAWQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hawq::pxf

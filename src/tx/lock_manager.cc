@@ -14,7 +14,7 @@ bool LockConflicts(LockMode a, LockMode b) {
 }
 
 Status LockManager::Acquire(TxId xid, uint64_t object, LockMode mode) {
-  std::unique_lock<std::mutex> g(mu_);
+  MutexLock g(mu_);
   // Re-entrant fast path.
   auto& obj = objects_[object];
   for (Grant& gr : obj.granted) {
@@ -41,7 +41,7 @@ Status LockManager::Acquire(TxId xid, uint64_t object, LockMode mode) {
     for (const Grant& gr : objects_[object].granted) {
       if (gr.xid != xid && LockConflicts(mode, gr.mode)) edges.insert(gr.xid);
     }
-    cv_.wait_for(g, std::chrono::milliseconds(10));
+    cv_.WaitFor(g, std::chrono::milliseconds(10));
     waits_for_.erase(xid);
   }
   objects_[object].granted.push_back({xid, mode});
@@ -49,7 +49,7 @@ Status LockManager::Acquire(TxId xid, uint64_t object, LockMode mode) {
 }
 
 void LockManager::ReleaseAll(TxId xid) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (auto it = objects_.begin(); it != objects_.end();) {
     auto& granted = it->second.granted;
     granted.erase(std::remove_if(granted.begin(), granted.end(),
@@ -62,11 +62,11 @@ void LockManager::ReleaseAll(TxId xid) {
     }
   }
   waits_for_.erase(xid);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t LockManager::GrantedCount() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   size_t n = 0;
   for (const auto& [obj, locks] : objects_) n += locks.granted.size();
   return n;

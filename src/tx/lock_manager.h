@@ -1,14 +1,13 @@
 // Table-level lock manager with deadlock detection (paper §5.2).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "tx/mvcc.h"
 
 namespace hawq::tx {
@@ -50,14 +49,16 @@ class LockManager {
     std::vector<Grant> granted;
   };
 
-  bool CanGrantLocked(TxId xid, uint64_t object, LockMode mode);
-  bool WouldDeadlockLocked(TxId waiter, uint64_t object, LockMode mode);
+  bool CanGrantLocked(TxId xid, uint64_t object, LockMode mode)
+      HAWQ_REQUIRES(mu_);
+  bool WouldDeadlockLocked(TxId waiter, uint64_t object, LockMode mode)
+      HAWQ_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<uint64_t, ObjectLocks> objects_;
+  Mutex mu_{LockRank::kTxLock, "tx.lock_manager"};
+  CondVar cv_;
+  std::map<uint64_t, ObjectLocks> objects_ HAWQ_GUARDED_BY(mu_);
   // waits-for edges derived from blocked Acquire calls.
-  std::map<TxId, std::set<TxId>> waits_for_;
+  std::map<TxId, std::set<TxId>> waits_for_ HAWQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hawq::tx

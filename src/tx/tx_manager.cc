@@ -20,9 +20,10 @@ std::unique_ptr<Transaction> TxManager::Begin(IsolationLevel iso) {
   txn->mgr_ = this;
   txn->iso_ = iso;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     txn->xid_ = next_xid_++;
     active_.insert(txn->xid_);
+    MutexLock cg(clog_mu_);
     clog_.Set(txn->xid_, CommitLog::State::kInProgress);
   }
   WalRecord rec;
@@ -40,8 +41,11 @@ Status TxManager::Commit(Transaction* txn) {
   rec.kind = WalRecord::Kind::kCommit;
   wal_.Append(rec);
   {
-    std::lock_guard<std::mutex> g(mu_);
-    clog_.Set(txn->xid_, CommitLog::State::kCommitted);
+    MutexLock g(mu_);
+    {
+      MutexLock cg(clog_mu_);
+      clog_.Set(txn->xid_, CommitLog::State::kCommitted);
+    }
     active_.erase(txn->xid_);
   }
   locks_.ReleaseAll(txn->xid_);
@@ -62,8 +66,11 @@ Status TxManager::Abort(Transaction* txn) {
   rec.kind = WalRecord::Kind::kAbort;
   wal_.Append(rec);
   {
-    std::lock_guard<std::mutex> g(mu_);
-    clog_.Set(txn->xid_, CommitLog::State::kAborted);
+    MutexLock g(mu_);
+    {
+      MutexLock cg(clog_mu_);
+      clog_.Set(txn->xid_, CommitLog::State::kAborted);
+    }
     active_.erase(txn->xid_);
   }
   locks_.ReleaseAll(txn->xid_);
@@ -71,7 +78,7 @@ Status TxManager::Abort(Transaction* txn) {
 }
 
 Snapshot TxManager::TakeSnapshot(TxId own_xid) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   Snapshot s;
   s.own_xid = own_xid;
   s.xmax = next_xid_;
@@ -81,7 +88,7 @@ Snapshot TxManager::TakeSnapshot(TxId own_xid) {
 }
 
 CommitLog::State TxManager::StateOf(TxId xid) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(clog_mu_);
   return clog_.Get(xid);
 }
 

@@ -8,11 +8,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "tx/lock_manager.h"
 #include "tx/mvcc.h"
 #include "tx/wal.h"
@@ -74,28 +74,38 @@ class TxManager {
   /// Fresh snapshot of the current commit state (for an observer xid).
   Snapshot TakeSnapshot(TxId own_xid);
 
-  CommitLog& clog() { return clog_; }
   LockManager& locks() { return locks_; }
   Wal& wal() { return wal_; }
-  std::mutex& clog_mutex() { return mu_; }
 
-  /// Read a transaction's resolved state (test/monitoring helper).
+  /// Read a transaction's resolved state. Takes only the low-ranked clog
+  /// mutex, so it is callable from MVCC visibility checks that already
+  /// hold a catalog relation lock.
   CommitLog::State StateOf(TxId xid);
 
   /// Standby-side WAL replay: record the outcome of a transaction that
   /// committed/aborted on the primary.
   void SetStateForReplay(TxId xid, CommitLog::State state) {
-    std::lock_guard<std::mutex> g(mu_);
-    clog_.Set(xid, state);
+    MutexLock g(mu_);
+    {
+      MutexLock cg(clog_mu_);
+      clog_.Set(xid, state);
+    }
     next_xid_ = std::max(next_xid_, xid + 1);
   }
 
  private:
   friend class Transaction;
-  std::mutex mu_;
-  TxId next_xid_ = kBootstrapTxId + 1;
-  std::set<TxId> active_;
-  CommitLog clog_;
+  /// Guards xid assignment and the active-transaction set. Ranked above
+  /// the clog mutex: state transitions take mu_ then clog_mu_ so snapshot
+  /// observers never see a transaction that is neither active nor resolved.
+  Mutex mu_{LockRank::kTxManager, "tx.manager"};
+  /// Guards only the commit log. Deliberately ranked below kCatalog:
+  /// Relation visibility checks call StateOf while holding a relation
+  /// lock (see common/sync.h for the full hierarchy).
+  Mutex clog_mu_{LockRank::kTxClog, "tx.clog"};
+  TxId next_xid_ HAWQ_GUARDED_BY(mu_) = kBootstrapTxId + 1;
+  std::set<TxId> active_ HAWQ_GUARDED_BY(mu_);
+  CommitLog clog_ HAWQ_GUARDED_BY(clog_mu_);
   LockManager locks_;
   Wal wal_;
 };

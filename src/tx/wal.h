@@ -5,10 +5,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "tx/mvcc.h"
 
 namespace hawq::tx {
@@ -35,7 +35,10 @@ class Wal {
   using Shipper = std::function<void(const WalRecord&)>;
 
   uint64_t Append(WalRecord rec) {
-    std::lock_guard<std::mutex> g(mu_);
+    // Shippers run under mu_ so the standby applies records in LSN order.
+    // kTxWal ranks above the catalog and tx-manager locks the standby's
+    // apply path takes, so this nesting is rank-legal.
+    MutexLock g(mu_);
     rec.lsn = next_lsn_++;
     for (auto& s : shippers_) s(rec);
     records_.push_back(rec);
@@ -43,24 +46,24 @@ class Wal {
   }
 
   void Subscribe(Shipper s) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     shippers_.push_back(std::move(s));
   }
 
   std::vector<WalRecord> Records() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return records_;
   }
   uint64_t next_lsn() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return next_lsn_;
   }
 
  private:
-  std::mutex mu_;
-  uint64_t next_lsn_ = 1;
-  std::vector<WalRecord> records_;
-  std::vector<Shipper> shippers_;
+  Mutex mu_{LockRank::kTxWal, "tx.wal"};
+  uint64_t next_lsn_ HAWQ_GUARDED_BY(mu_) = 1;
+  std::vector<WalRecord> records_ HAWQ_GUARDED_BY(mu_);
+  std::vector<Shipper> shippers_ HAWQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hawq::tx

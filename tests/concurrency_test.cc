@@ -1,11 +1,14 @@
 // Concurrency: swimming-lane concurrent writers (paper §5.4), concurrent
 // readers under MVCC, isolation levels observed through real sessions,
-// and concurrent mixed workloads.
+// concurrent mixed workloads, the lock-rank deadlock detector, and a
+// multi-gang dispatcher + interconnect stress test meant to run under
+// ThreadSanitizer (scripts/check.sh).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <thread>
 
+#include "common/sync.h"
 #include "engine/cluster.h"
 #include "engine/session.h"
 
@@ -224,6 +227,85 @@ TEST(ConcurrencyTest, ConcurrentQueriesOnSharedData) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+#if HAWQ_LOCK_RANK_CHECKS
+TEST(LockRankDeathTest, OutOfRankAcquireAborts) {
+  // Other tests spawn threads; fork-based death tests need the threadsafe
+  // style to re-execute the test binary instead of forking mid-state.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Ranks must strictly decrease along any acquisition chain. Taking an
+  // hdfs-ranked mutex while holding an interconnect-connection-ranked one
+  // climbs the hierarchy and must abort with the held-lock stack.
+  EXPECT_DEATH(
+      {
+        hawq::Mutex low(hawq::LockRank::kNetConn, "test.low");
+        hawq::Mutex high(hawq::LockRank::kHdfs, "test.high");
+        hawq::MutexLock g1(low);
+        hawq::MutexLock g2(high);  // rank 20 while holding rank 14: boom
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, EqualRankAcquireAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Equal ranks are also forbidden (no self-nesting within a level).
+  EXPECT_DEATH(
+      {
+        hawq::Mutex a(hawq::LockRank::kCatalog, "test.a");
+        hawq::Mutex b(hawq::LockRank::kCatalog, "test.b");
+        hawq::MutexLock g1(a);
+        hawq::MutexLock g2(b);
+      },
+      "lock-rank violation");
+}
+#endif  // HAWQ_LOCK_RANK_CHECKS
+
+TEST(ConcurrencyTest, MultiGangDispatchStress) {
+  // Many sessions concurrently running multi-slice queries (each GROUP BY
+  // fans a redistribute + gather through the UDP interconnect while the
+  // dispatcher runs one gang of threads per slice) against writers that
+  // keep committing. Exists to give TSan real interleavings: run via
+  // scripts/check.sh (-DHAWQ_SANITIZE=thread) for the race check.
+  Cluster cluster(SmallCluster());
+  {
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (g INT, v INT)").ok());
+    std::string values;
+    for (int i = 0; i < 200; ++i) {
+      values += (i ? ", (" : "(") + std::to_string(i % 8) + ", " +
+                std::to_string(i) + ")";
+    }
+    ASSERT_TRUE(s->Execute("INSERT INTO t VALUES " + values).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      auto s = cluster.Connect();
+      for (int k = 0; k < 6; ++k) {
+        auto r = s->Execute(
+            "SELECT g, count(*), sum(v) FROM t GROUP BY g ORDER BY g");
+        if (!r.ok() || r->rows.size() != 8) ++failures;
+      }
+    });
+  }
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&, w] {
+      auto s = cluster.Connect();
+      for (int k = 0; k < 10; ++k) {
+        auto r = s->Execute("INSERT INTO t VALUES (" + std::to_string(w) +
+                            ", " + std::to_string(1000 + k) + ")");
+        if (!r.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto s = cluster.Connect();
+  auto r = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].as_int(), 200 + 2 * 10);
 }
 
 }  // namespace
