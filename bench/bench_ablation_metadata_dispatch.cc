@@ -54,5 +54,10 @@ int main() {
   std::printf("without metadata dispatch every QE would query the master "
               "catalog per table (scans x %d QEs x 22 queries)\n",
               BenchSegments());
+  BenchReport report("ablation_metadata_dispatch");
+  report.AddMs("plan_bytes_total", static_cast<double>(total));
+  report.AddMs("plan_bytes_compressed_total", static_cast<double>(total_comp));
+  report.CaptureMetrics("cluster", &cluster);
+  report.Write();
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace hawq::bench;
 int main() {
   PrintHeader("Ablation", "planner feature knockouts");
   std::vector<int> join_ids = {3, 5, 9, 10, 18};
+  BenchReport report("ablation_planner");
 
   auto run = [&](const char* label,
                  std::function<void(engine::ClusterOptions*)> tweak,
@@ -29,6 +30,8 @@ int main() {
     auto session = cluster.Connect();
     double ms = TotalMs(RunQueries(session.get(), ids));
     std::printf("%-28s %10.1f ms\n", label, ms);
+    report.AddMs(label, ms);
+    report.CaptureMetrics(label, &cluster);
     return ms;
   };
 
@@ -97,8 +100,12 @@ int main() {
         std::printf("  enabled  %10.1f ms\n", with_dd);
         std::printf("  disabled %10.1f ms (%.2fx)\n", without_dd,
                     without_dd / with_dd);
+        report.AddMs("direct_dispatch_on", with_dd);
+        report.AddMs("direct_dispatch_off", without_dd);
       }
+      report.CaptureMetrics("direct_dispatch", &cluster);
     }
   }
+  report.Write();
   return 0;
 }

@@ -11,7 +11,8 @@ using namespace hawq::bench;
 
 namespace {
 
-double LoadAndRunHawq(const std::string& with_options, const char* label) {
+double LoadAndRunHawq(const std::string& with_options, const char* label,
+                      BenchReport* report) {
   engine::Cluster cluster(DefaultCluster());
   tpch::LoadOptions lopts;
   lopts.gen.sf = BenchSf();
@@ -27,6 +28,7 @@ double LoadAndRunHawq(const std::string& with_options, const char* label) {
     if (!r.ok) std::printf("  %s Q%d FAILED: %s\n", label, r.id,
                            r.error.c_str());
   }
+  report->CaptureMetrics(label, &cluster);
   return TotalMs(runs);
 }
 
@@ -59,10 +61,17 @@ double LoadAndRunStinger() {
 
 int main() {
   PrintHeader("Figure 6", "overall TPC-H time, CPU-bound dataset");
+  BenchReport report("fig06_overall_cpu");
   double stinger_ms = LoadAndRunStinger();
-  double ao_ms = LoadAndRunHawq("", "AO");
-  double co_ms = LoadAndRunHawq("WITH (orientation=column)", "CO");
-  double parquet_ms = LoadAndRunHawq("WITH (orientation=parquet)", "Parquet");
+  double ao_ms = LoadAndRunHawq("", "AO", &report);
+  double co_ms = LoadAndRunHawq("WITH (orientation=column)", "CO", &report);
+  double parquet_ms =
+      LoadAndRunHawq("WITH (orientation=parquet)", "Parquet", &report);
+  report.AddMs("stinger", stinger_ms);
+  report.AddMs("ao", ao_ms);
+  report.AddMs("co", co_ms);
+  report.AddMs("parquet", parquet_ms);
+  report.Write();
 
   std::printf("\n%-10s %14s %14s %10s\n", "system", "paper (s)",
               "measured (ms)", "vs Stinger");

@@ -23,7 +23,7 @@ namespace {
 constexpr uint64_t kIoThrottle = 24u << 20;  // bytes/sec per reader
 
 std::vector<QueryRun> RunHawq(const std::string& with_options,
-                              const char* label) {
+                              const char* label, BenchReport* report) {
   engine::Cluster cluster(DefaultCluster());
   tpch::LoadOptions lopts;
   lopts.gen.sf = BenchSf();
@@ -37,6 +37,7 @@ std::vector<QueryRun> RunHawq(const std::string& with_options,
   auto session = cluster.Connect();
   auto runs = RunQueries(session.get(), AllQueryIds());
   SimCost::Global().hdfs_read_bytes_per_sec = 0;
+  report->CaptureMetrics(label, &cluster);
   return runs;
 }
 
@@ -92,10 +93,12 @@ int main() {
   for (const QueryRun& r : stinger_runs) {
     if (!r.ok) std::printf("  Q%d: %s\n", r.id, r.error.c_str());
   }
-  auto ao = RunHawq("", "AO");
-  auto co = RunHawq("WITH (orientation=column, compresstype=zlib)", "CO");
+  BenchReport report("fig07_overall_io");
+  auto ao = RunHawq("", "AO", &report);
+  auto co = RunHawq("WITH (orientation=column, compresstype=zlib)", "CO",
+                    &report);
   auto pq = RunHawq("WITH (orientation=parquet, compresstype=zlib)",
-                    "Parquet");
+                    "Parquet", &report);
 
   double stinger_ms = TotalOver(stinger_runs, failed);
   std::printf("\ntotals over the %zu queries Stinger completed:\n",
@@ -115,5 +118,10 @@ int main() {
   row("Parquet", 2950, pq);
   std::printf("\nshape check: CO/Parquet beat AO under IO bound (projection"
               " + compression); Stinger slowest; ~3 Stinger OOM failures\n");
+  report.AddMs("stinger", stinger_ms);
+  report.AddMs("ao", TotalOver(ao, failed));
+  report.AddMs("co", TotalOver(co, failed));
+  report.AddMs("parquet", TotalOver(pq, failed));
+  report.Write();
   return 0;
 }

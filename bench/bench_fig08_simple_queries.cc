@@ -48,5 +48,10 @@ int main() {
   SimCost::Global().hdfs_read_bytes_per_sec = 0;
   std::printf("%-5s %12.1f %14.1f %7.1fx   (paper: ~10x)\n", "total", hsum,
               ssum, ssum / hsum);
+  BenchReport report("fig08_simple_queries");
+  report.AddMs("hawq", hsum);
+  report.AddMs("stinger", ssum);
+  report.CaptureMetrics("cluster", &cluster);
+  report.Write();
   return 0;
 }

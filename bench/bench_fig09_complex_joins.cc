@@ -52,5 +52,10 @@ int main() {
               ssum, ssum / hsum);
   std::printf("\nshape check: speedup on complex joins exceeds the "
               "simple-query speedup of Figure 8\n");
+  BenchReport report("fig09_complex_joins");
+  report.AddMs("hawq", hsum);
+  report.AddMs("stinger", ssum);
+  report.CaptureMetrics("cluster", &cluster);
+  report.Write();
   return 0;
 }

@@ -12,7 +12,8 @@ using namespace hawq::bench;
 namespace {
 
 std::vector<double> RunConfig(const std::string& with_options, bool hash,
-                              const std::vector<int>& ids) {
+                              const std::vector<int>& ids, const char* label,
+                              BenchReport* report) {
   engine::Cluster cluster(DefaultCluster());
   tpch::LoadOptions lopts;
   lopts.gen.sf = BenchSf();
@@ -32,6 +33,10 @@ std::vector<double> RunConfig(const std::string& with_options, bool hash,
                                r.status().ToString().c_str());
     }));
   }
+  double total = 0;
+  for (double ms : out) total += ms;
+  report->AddMs(label, total);
+  report->CaptureMetrics(label, &cluster);
   return out;
 }
 
@@ -40,10 +45,13 @@ std::vector<double> RunConfig(const std::string& with_options, bool hash,
 int main() {
   PrintHeader("Figure 10", "hash vs random distribution (Q5, Q8, Q9, Q18)");
   std::vector<int> ids = {5, 8, 9, 18};
-  auto ao_hash = RunConfig("", true, ids);
-  auto ao_rand = RunConfig("", false, ids);
-  auto co_hash = RunConfig("WITH (orientation=column)", true, ids);
-  auto co_rand = RunConfig("WITH (orientation=column)", false, ids);
+  BenchReport report("fig10_distribution");
+  auto ao_hash = RunConfig("", true, ids, "ao_hash", &report);
+  auto ao_rand = RunConfig("", false, ids, "ao_random", &report);
+  auto co_hash =
+      RunConfig("WITH (orientation=column)", true, ids, "co_hash", &report);
+  auto co_rand =
+      RunConfig("WITH (orientation=column)", false, ids, "co_random", &report);
 
   std::printf("%-8s %-6s %12s %12s %10s\n", "storage", "query", "hash (ms)",
               "random (ms)", "rand/hash");
@@ -57,5 +65,6 @@ int main() {
   }
   std::printf("\nshape check: random distribution slower (paper ~2x) — the"
               " join keys must be redistributed before joining\n");
+  report.Write();
   return 0;
 }

@@ -60,7 +60,8 @@ uint64_t LineitemBytes(engine::Cluster* cluster) {
 }
 
 Measurement RunConfig(const std::string& orientation, const CodecCase& codec,
-                      const std::vector<int>& ids) {
+                      const std::vector<int>& ids, const char* label,
+                      BenchReport* report) {
   Measurement m;
   engine::Cluster cluster(DefaultCluster());
   tpch::LoadOptions lopts;
@@ -79,6 +80,9 @@ Measurement RunConfig(const std::string& orientation, const CodecCase& codec,
   SimCost::Global().hdfs_read_bytes_per_sec = 5u << 20;
   m.io_ms = TotalMs(RunQueries(session.get(), ids));
   SimCost::Global().hdfs_read_bytes_per_sec = 0;
+  report->AddMs(std::string(label) + "_cpu", m.cpu_ms);
+  report->AddMs(std::string(label) + "_io", m.io_ms);
+  report->CaptureMetrics(label, &cluster);
   return m;
 }
 
@@ -93,13 +97,17 @@ int main() {
 
   std::printf("%-8s %-9s %14s %12s %12s\n", "storage", "codec",
               "lineitem (KB)", "cpu-bound ms", "io-bound ms");
+  BenchReport report("fig11_compression");
   for (int o = 0; o < 3; ++o) {
     for (const CodecCase& c : kCodecs) {
-      Measurement m = RunConfig(orientations[o], c, ids);
+      std::string label = std::string(labels[o]) + "_" + c.label;
+      Measurement m = RunConfig(orientations[o], c, ids, label.c_str(),
+                                &report);
       std::printf("%-8s %-9s %14.0f %12.1f %12.1f\n", labels[o], c.label,
                   m.lineitem_bytes / 1024.0, m.cpu_ms, m.io_ms);
     }
   }
+  report.Write();
   std::printf(
       "\nshape checks (paper Fig 11a/11b):\n"
       "  - quicklz ~3x smaller than none; zlib close; levels 5/9 marginal\n"

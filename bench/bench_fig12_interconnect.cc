@@ -13,7 +13,8 @@ using namespace hawq::bench;
 namespace {
 
 double RunConfig(engine::FabricKind fabric, bool hash,
-                 const std::vector<int>& ids) {
+                 const std::vector<int>& ids, const char* label,
+                 BenchReport* report) {
   engine::ClusterOptions copts = DefaultCluster();
   copts.fabric = fabric;
   engine::Cluster cluster(copts);
@@ -26,7 +27,10 @@ double RunConfig(engine::FabricKind fabric, bool hash,
     return -1;
   }
   auto session = cluster.Connect();
-  return TotalMs(RunQueries(session.get(), ids));
+  double ms = TotalMs(RunQueries(session.get(), ids));
+  report->AddMs(label, ms);
+  report->CaptureMetrics(label, &cluster);
+  return ms;
 }
 
 }  // namespace
@@ -34,10 +38,15 @@ double RunConfig(engine::FabricKind fabric, bool hash,
 int main() {
   PrintHeader("Figure 12", "TCP vs UDP interconnect");
   std::vector<int> ids = AllQueryIds();
-  double udp_hash = RunConfig(engine::FabricKind::kUdp, true, ids);
-  double tcp_hash = RunConfig(engine::FabricKind::kTcp, true, ids);
-  double udp_rand = RunConfig(engine::FabricKind::kUdp, false, ids);
-  double tcp_rand = RunConfig(engine::FabricKind::kTcp, false, ids);
+  BenchReport report("fig12_interconnect");
+  double udp_hash =
+      RunConfig(engine::FabricKind::kUdp, true, ids, "udp_hash", &report);
+  double tcp_hash =
+      RunConfig(engine::FabricKind::kTcp, true, ids, "tcp_hash", &report);
+  double udp_rand =
+      RunConfig(engine::FabricKind::kUdp, false, ids, "udp_random", &report);
+  double tcp_rand =
+      RunConfig(engine::FabricKind::kTcp, false, ids, "tcp_random", &report);
 
   std::printf("%-14s %12s %12s %10s\n", "distribution", "udp (ms)",
               "tcp (ms)", "tcp/udp");
@@ -47,5 +56,6 @@ int main() {
               udp_rand, tcp_rand, tcp_rand / udp_rand);
   std::printf("\nshape check: TCP ~= UDP under hash distribution; TCP "
               "noticeably slower under random distribution\n");
+  report.Write();
   return 0;
 }

@@ -19,7 +19,8 @@ namespace {
 // throttle (see EXPERIMENTS.md).
 constexpr uint64_t kThrottle = 2u << 20;
 
-double RunAt(int segments, double sf, const std::vector<int>& ids) {
+double RunAt(int segments, double sf, const std::vector<int>& ids,
+             const std::string& label, BenchReport* report) {
   engine::ClusterOptions copts = DefaultCluster();
   copts.num_segments = segments;
   engine::Cluster cluster(copts);
@@ -34,6 +35,8 @@ double RunAt(int segments, double sf, const std::vector<int>& ids) {
   SimCost::Global().hdfs_read_bytes_per_sec = kThrottle;
   double ms = TotalMs(RunQueries(session.get(), ids));
   SimCost::Global().hdfs_read_bytes_per_sec = 0;
+  report->AddMs(label, ms);
+  report->CaptureMetrics(label, &cluster);
   return ms;
 }
 
@@ -49,9 +52,11 @@ int main() {
   std::printf("(a) fixed data per segment (paper Fig 13a: near-flat)\n");
   std::printf("%-9s %9s %12s %12s\n", "segments", "sf", "time (ms)",
               "vs smallest");
+  BenchReport report("fig13_scalability");
   double base_a = -1;
   for (int n : nodes) {
-    double ms = RunAt(n, per_node_sf * n, ids);
+    double ms = RunAt(n, per_node_sf * n, ids,
+                      "scaleup_" + std::to_string(n), &report);
     if (base_a < 0) base_a = ms;
     std::printf("%-9d %9.4f %12.1f %11.2fx\n", n, per_node_sf * n, ms,
                 ms / base_a);
@@ -62,12 +67,14 @@ int main() {
               "vs smallest", "ideal");
   double base_b = -1;
   for (int n : nodes) {
-    double ms = RunAt(n, total_sf, ids);
+    double ms = RunAt(n, total_sf, ids, "speedup_" + std::to_string(n),
+                      &report);
     if (base_b < 0) base_b = ms;
     std::printf("%-9d %9.4f %12.1f %11.2fx %11.2fx\n", n, total_sf, ms,
                 ms / base_b, static_cast<double>(nodes[0]) / n);
   }
   std::printf("\nshape check: (a) time roughly flat as data and segments "
               "grow together; (b) time shrinks with more segments\n");
+  report.Write();
   return 0;
 }

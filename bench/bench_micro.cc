@@ -15,6 +15,8 @@
 #include "common/serde.h"
 #include "executor/exec_node.h"
 #include "hdfs/hdfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "interconnect/sim_net.h"
 #include "interconnect/udp_interconnect.h"
 #include "planner/plan_node.h"
@@ -153,11 +155,13 @@ BENCHMARK(BM_HashRow);
 // per row per operator), so the sweep isolates what batching buys.
 
 double RunPipelineOnce(hdfs::MiniHdfs* fs, const plan::PlanNode& root,
-                       size_t batch_size, int64_t* rows_out) {
+                       size_t batch_size, int64_t* rows_out,
+                       obs::QueryTrace* trace = nullptr) {
   exec::ExecContext ctx;
   ctx.segment = 0;
   ctx.fs = fs;
   ctx.batch_size = batch_size;
+  ctx.trace = trace;
   auto node = exec::BuildExecNode(root, &ctx);
   if (!node.ok()) {
     std::fprintf(stderr, "build failed: %s\n",
@@ -202,71 +206,91 @@ double RunPipelineOnce(hdfs::MiniHdfs* fs, const plan::PlanNode& root,
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void RunVectorizedSweep() {
-  using sql::PExpr;
-  int64_t nrows = 100000;
-  if (const char* e = std::getenv("HAWQ_BENCH_ROWS")) nrows = std::atoll(e);
+/// The sweep's table + plan: TPC-H Q6 shape, scan(k,v,p) ->
+/// filter(three range quals, keeps half) -> project(k, p * 1.026).
+struct SweepFixture {
+  explicit SweepFixture(obs::MetricsRegistry* metrics = nullptr)
+      : fs(4, {}, metrics) {
+    using sql::PExpr;
+    nrows = 100000;
+    if (const char* e = std::getenv("HAWQ_BENCH_ROWS")) nrows = std::atoll(e);
 
-  hdfs::MiniHdfs fs(4);
-  Schema schema;
-  schema.AddField({"k", TypeId::kInt64, false});
-  schema.AddField({"v", TypeId::kInt64, false});
-  schema.AddField({"p", TypeId::kDouble, false});
-  storage::StorageOptions opts;
-  opts.kind = catalog::StorageKind::kAO;
-  const std::string path = "/bench/vectorized/seg0";
-  auto w = storage::OpenTableWriter(&fs, path, schema, opts);
-  if (!w.ok()) {
-    std::fprintf(stderr, "writer failed: %s\n", w.status().ToString().c_str());
-    return;
-  }
-  for (int64_t i = 0; i < nrows; ++i) {
-    (void)(*w)->Append(
-        {Datum::Int(i), Datum::Int(i % 100), Datum::Double(i * 0.25)});
-  }
-  (void)(*w)->Close();
-  int64_t eof = (*w)->logical_eof();
+    Schema schema;
+    schema.AddField({"k", TypeId::kInt64, false});
+    schema.AddField({"v", TypeId::kInt64, false});
+    schema.AddField({"p", TypeId::kDouble, false});
+    storage::StorageOptions opts;
+    opts.kind = catalog::StorageKind::kAO;
+    const std::string path = "/bench/vectorized/seg0";
+    auto w = storage::OpenTableWriter(&fs, path, schema, opts);
+    if (!w.ok()) {
+      std::fprintf(stderr, "writer failed: %s\n",
+                   w.status().ToString().c_str());
+      return;
+    }
+    for (int64_t i = 0; i < nrows; ++i) {
+      (void)(*w)->Append(
+          {Datum::Int(i), Datum::Int(i % 100), Datum::Double(i * 0.25)});
+    }
+    (void)(*w)->Close();
+    int64_t eof = (*w)->logical_eof();
 
-  // TPC-H Q6 shape: scan(k,v,p) -> filter(three range quals, keeps half)
-  // -> project(k, p * (1 - 0.05) * (1 + 0.08)).
+    root.kind = plan::NodeKind::kProject;
+    root.out_arity = 2;
+    root.node_id = 0;
+    root.exprs.push_back(PExpr::Col(0, TypeId::kInt64));
+    PExpr one = PExpr::Const(Datum::Double(1), TypeId::kDouble);
+    root.exprs.push_back(PExpr::Binary(
+        PExpr::Op::kMul,
+        PExpr::Binary(PExpr::Op::kMul, PExpr::Col(2, TypeId::kDouble),
+                      PExpr::Binary(PExpr::Op::kSub, one,
+                                    PExpr::Const(Datum::Double(0.05),
+                                                 TypeId::kDouble),
+                                    TypeId::kDouble),
+                      TypeId::kDouble),
+        PExpr::Binary(PExpr::Op::kAdd, one,
+                      PExpr::Const(Datum::Double(0.08), TypeId::kDouble),
+                      TypeId::kDouble),
+        TypeId::kDouble));
+    auto filter = std::make_unique<plan::PlanNode>();
+    filter->kind = plan::NodeKind::kFilter;
+    filter->out_arity = 3;
+    filter->node_id = 1;
+    filter->quals.push_back(PExpr::Binary(
+        PExpr::Op::kLt, PExpr::Col(1, TypeId::kInt64),
+        PExpr::Const(Datum::Int(50), TypeId::kInt64), TypeId::kBool));
+    filter->quals.push_back(PExpr::Binary(
+        PExpr::Op::kGe, PExpr::Col(2, TypeId::kDouble),
+        PExpr::Const(Datum::Double(0), TypeId::kDouble), TypeId::kBool));
+    filter->quals.push_back(PExpr::Binary(
+        PExpr::Op::kGe, PExpr::Col(0, TypeId::kInt64),
+        PExpr::Const(Datum::Int(0), TypeId::kInt64), TypeId::kBool));
+    auto scan = std::make_unique<plan::PlanNode>();
+    scan->kind = plan::NodeKind::kSeqScan;
+    scan->out_arity = 3;
+    scan->node_id = 2;
+    scan->table_schema = schema;
+    scan->storage = catalog::StorageKind::kAO;
+    scan->files.push_back({0, path, eof});
+    scan->projection = {0, 1, 2};
+    filter->children.push_back(std::move(scan));
+    root.children.push_back(std::move(filter));
+    ok = true;
+  }
+
+  hdfs::MiniHdfs fs;
   plan::PlanNode root;
-  root.kind = plan::NodeKind::kProject;
-  root.out_arity = 2;
-  root.exprs.push_back(PExpr::Col(0, TypeId::kInt64));
-  PExpr one = PExpr::Const(Datum::Double(1), TypeId::kDouble);
-  root.exprs.push_back(PExpr::Binary(
-      PExpr::Op::kMul,
-      PExpr::Binary(PExpr::Op::kMul, PExpr::Col(2, TypeId::kDouble),
-                    PExpr::Binary(PExpr::Op::kSub, one,
-                                  PExpr::Const(Datum::Double(0.05),
-                                               TypeId::kDouble),
-                                  TypeId::kDouble),
-                    TypeId::kDouble),
-      PExpr::Binary(PExpr::Op::kAdd, one,
-                    PExpr::Const(Datum::Double(0.08), TypeId::kDouble),
-                    TypeId::kDouble),
-      TypeId::kDouble));
-  auto filter = std::make_unique<plan::PlanNode>();
-  filter->kind = plan::NodeKind::kFilter;
-  filter->out_arity = 3;
-  filter->quals.push_back(PExpr::Binary(
-      PExpr::Op::kLt, PExpr::Col(1, TypeId::kInt64),
-      PExpr::Const(Datum::Int(50), TypeId::kInt64), TypeId::kBool));
-  filter->quals.push_back(PExpr::Binary(
-      PExpr::Op::kGe, PExpr::Col(2, TypeId::kDouble),
-      PExpr::Const(Datum::Double(0), TypeId::kDouble), TypeId::kBool));
-  filter->quals.push_back(PExpr::Binary(
-      PExpr::Op::kGe, PExpr::Col(0, TypeId::kInt64),
-      PExpr::Const(Datum::Int(0), TypeId::kInt64), TypeId::kBool));
-  auto scan = std::make_unique<plan::PlanNode>();
-  scan->kind = plan::NodeKind::kSeqScan;
-  scan->out_arity = 3;
-  scan->table_schema = schema;
-  scan->storage = catalog::StorageKind::kAO;
-  scan->files.push_back({0, path, eof});
-  scan->projection = {0, 1, 2};
-  filter->children.push_back(std::move(scan));
-  root.children.push_back(std::move(filter));
+  int64_t nrows = 0;
+  bool ok = false;
+};
+
+void RunVectorizedSweep() {
+  obs::MetricsRegistry metrics;
+  SweepFixture fx(&metrics);
+  if (!fx.ok) return;
+  hdfs::MiniHdfs& fs = fx.fs;
+  plan::PlanNode& root = fx.root;
+  int64_t nrows = fx.nrows;
 
   const size_t sizes[] = {1, 64, 256, 1024, 4096};
   double rows_per_sec[5] = {};
@@ -298,15 +322,63 @@ void RunVectorizedSweep() {
     std::fprintf(f, "    {\"batch_size\": %zu, \"rows_per_sec\": %.0f}%s\n",
                  sizes[s], rows_per_sec[s], s + 1 < 5 ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"speedup_1024_vs_1\": %.2f\n}\n", speedup);
+  std::fprintf(f, "  ],\n  \"speedup_1024_vs_1\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics.ToJson().c_str());
   std::fclose(f);
   std::printf("  wrote BENCH_vectorized.json\n");
+}
+
+// ------------------------------------------------- obs overhead smoke
+//
+// HAWQ_OBS_SMOKE=1: compare the pipeline's throughput with tracing
+// disabled (ExecContext::trace == nullptr, the production default) and
+// enabled, and fail if tracing costs more than 5%. Guards the
+// pointer-null-check design: instrumentation must be free when off and
+// cheap enough when on that EXPLAIN ANALYZE numbers stay honest.
+int RunObsOverheadSmoke() {
+  SweepFixture fx;
+  if (!fx.ok) return 1;
+  const size_t kBatch = 1024;
+  const int kReps = 9;
+  auto one_rep = [&](obs::QueryTrace* trace) {
+    int64_t rows = 0;
+    double secs = RunPipelineOnce(&fx.fs, fx.root, kBatch, &rows, trace);
+    return secs > 0 ? static_cast<double>(fx.nrows) / secs : 0.0;
+  };
+  {
+    int64_t rows = 0;  // warm the MiniHdfs block cache before timing
+    (void)RunPipelineOnce(&fx.fs, fx.root, kBatch, &rows, nullptr);
+  }
+  // Interleave off/on reps so clock drift and CPU throttling hit both
+  // sides equally; compare best-of.
+  obs::QueryTrace trace(1);
+  double off = 0, on = 0;
+  for (int i = 0; i < kReps; ++i) {
+    off = std::max(off, one_rep(nullptr));
+    on = std::max(on, one_rep(&trace));
+  }
+  if (off <= 0 || on <= 0) return 1;
+  double regression = (off - on) / off;
+  std::printf("obs overhead smoke (batch %zu, best of %d):\n"
+              "  tracing off: %12.0f rows/sec\n"
+              "  tracing on:  %12.0f rows/sec\n"
+              "  regression:  %.1f%% (limit 5%%)\n",
+              kBatch, kReps, off, on, 100.0 * regression);
+  if (regression > 0.05) {
+    std::fprintf(stderr, "FAIL: tracing overhead exceeds 5%%\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
 }
 
 }  // namespace
 }  // namespace hawq
 
 int main(int argc, char** argv) {
+  if (const char* e = std::getenv("HAWQ_OBS_SMOKE"); e && *e && *e != '0') {
+    return hawq::RunObsOverheadSmoke();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -10,10 +10,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/cluster.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 #include "tpch/tpch_loader.h"
 #include "tpch/tpch_queries.h"
 
@@ -91,6 +93,52 @@ inline double TotalMs(const std::vector<QueryRun>& runs,
   }
   return total;
 }
+
+/// Machine-readable bench output: wall-clock numbers plus the engine
+/// metrics snapshot (retransmits, spills, HDFS locality, ...) of each
+/// measured cluster, written as BENCH_<name>.json so the perf trajectory
+/// captures behavior shifts, not just latency.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void AddMs(const std::string& key, double ms) {
+    wall_ms_.emplace_back(key, ms);
+  }
+
+  /// Snapshot a cluster's metrics registry under `label`. Call before
+  /// the cluster is destroyed; one report may hold snapshots from
+  /// several configurations.
+  void CaptureMetrics(const std::string& label, engine::Cluster* cluster) {
+    metrics_.emplace_back(label, cluster->metrics()->ToJson());
+  }
+
+  void Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"sf\": %g,\n"
+                 "  \"segments\": %d,\n  \"wall_ms\": {",
+                 name_.c_str(), BenchSf(), BenchSegments());
+    for (size_t i = 0; i < wall_ms_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.3f", i ? "," : "",
+                   wall_ms_[i].first.c_str(), wall_ms_[i].second);
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %s", i ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> wall_ms_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 inline void PrintHeader(const std::string& figure, const std::string& what) {
   std::printf("==============================================================\n");

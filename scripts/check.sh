@@ -6,8 +6,11 @@
 #   2. AddressSanitizer (build-check-asan/,  -DHAWQ_SANITIZE=address)
 #   3. ThreadSanitizer  (build-check-tsan/,  -DHAWQ_SANITIZE=thread)
 #
-# Each configuration runs the tier-1 line from ROADMAP.md. Exits nonzero
-# on the first failure.
+# Each configuration runs the tier-1 line from ROADMAP.md plus an
+# explicit pass of obs_test (the observability subsystem must be clean
+# under both sanitizers). The plain tree additionally runs the
+# tracing-overhead smoke: bench_micro's pipeline with tracing off vs on
+# must stay within 5%.
 #
 # Usage: scripts/check.sh [--keep] [ctest-args...]
 #   --keep     do not delete the build trees afterwards
@@ -35,12 +38,17 @@ run_config() {
   cmake --build "$dir" -j
   echo "==== [$name] ctest ===="
   (cd "$dir" && ctest --output-on-failure -j "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}")
+  echo "==== [$name] obs_test ===="
+  "$dir/tests/obs_test"
   echo "==== [$name] OK ===="
 }
 
 run_config plain  build-check
 run_config asan   build-check-asan -DHAWQ_SANITIZE=address
 run_config tsan   build-check-tsan -DHAWQ_SANITIZE=thread
+
+echo "==== [plain] tracing-overhead smoke ===="
+HAWQ_OBS_SMOKE=1 ./build-check/bench/bench_micro
 
 if [ "$KEEP" -eq 0 ]; then
   rm -rf build-check build-check-asan build-check-tsan

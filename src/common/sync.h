@@ -73,6 +73,15 @@ namespace hawq::sync {
 /// values within one subsystem order its internal locks (leaf-most
 /// lowest).
 enum class LockRank : int {
+  /// Rank-exempt terminal locks (negative rank): acquirable while holding
+  /// ANY other lock, including another rank-free one or a kLeaf. Reserved
+  /// for the observability subsystem (src/obs/), which may be called from
+  /// every layer — metric/span bookkeeping must never constrain the ranks
+  /// of its callers. The exemption is sound only because code holding a
+  /// rank-free lock never acquires any further lock; the obs mutexes keep
+  /// that invariant by construction (they guard plain containers and call
+  /// nothing).
+  kRankFree = -1,
   /// Terminal locks: no lock whatsoever may be acquired while one is held
   /// (LocalDisk, dispatcher side channels, swimming lanes, HBaseLike).
   kLeaf = 0,
@@ -128,12 +137,14 @@ inline thread_local std::vector<HeldLock> t_held_locks;
 /// Called BEFORE blocking on the underlying mutex so rank violations abort
 /// even when the out-of-order acquisition would deadlock.
 inline void CheckAcquire(int rank, const char* name) {
+  if (rank < 0) return;  // rank-free (kRankFree): exempt from ordering
   if (!t_held_locks.empty() && rank >= t_held_locks.back().rank) {
     LockRankAbort(rank, name);
   }
 }
 
 inline void NoteAcquired(const void* mu, int rank, const char* name) {
+  if (rank < 0) return;  // rank-free locks are never on the held stack
   t_held_locks.push_back(HeldLock{mu, rank, name});
 }
 

@@ -93,7 +93,8 @@ class ExternalScanExec : public exec::ExecNode {
 
 Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
   // Segment hosts double as HDFS DataNodes (collocation, Figure 1).
-  fs_ = std::make_unique<hdfs::MiniHdfs>(opts_.num_segments, opts_.hdfs);
+  fs_ = std::make_unique<hdfs::MiniHdfs>(opts_.num_segments, opts_.hdfs,
+                                         &metrics_);
   catalog_ = std::make_unique<catalog::Catalog>(&txm_);
   if (opts_.enable_standby) {
     standby_txm_ = std::make_unique<tx::TxManager>();
@@ -106,18 +107,20 @@ Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
   // Interconnect hosts: one per segment plus the master (QD).
   sim_net_ = std::make_unique<net::SimNet>(opts_.num_segments + 1, opts_.net);
   if (opts_.fabric == FabricKind::kUdp) {
-    auto udp = std::make_unique<net::UdpFabric>(sim_net_.get(), opts_.udp);
+    auto udp = std::make_unique<net::UdpFabric>(sim_net_.get(), opts_.udp,
+                                                &metrics_);
     udp_fabric_ = udp.get();
     fabric_ = std::move(udp);
   } else {
     fabric_ = std::make_unique<net::TcpFabric>(opts_.num_segments + 1,
-                                               opts_.tcp);
+                                               opts_.tcp, &metrics_);
   }
   local_disks_ = std::vector<exec::LocalDisk>(opts_.num_segments + 1);
   DispatchOptions dopts;
   dopts.num_segments = opts_.num_segments;
   dopts.compress_plan = opts_.compress_plans;
   dopts.sort_spill_threshold = opts_.sort_spill_threshold;
+  dopts.metrics = &metrics_;
   dispatcher_ = std::make_unique<Dispatcher>(fs_.get(), fabric_.get(),
                                              &local_disks_, dopts);
   // Segment registry.

@@ -61,6 +61,8 @@ class Cluster {
   net::Interconnect* fabric() { return fabric_.get(); }
   net::UdpFabric* udp_fabric() { return udp_fabric_; }
   Dispatcher* dispatcher() { return dispatcher_.get(); }
+  /// Cluster-wide metrics registry; every subsystem publishes here.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
   pxf::Registry* pxf_registry() { return &pxf_; }
   pxf::HBaseLike* hbase() { return &hbase_; }
   const ClusterOptions& options() const { return opts_; }
@@ -95,6 +97,9 @@ class Cluster {
   void FaultDetectorLoop();
 
   ClusterOptions opts_;
+  // Declared before every consumer (HDFS, fabrics, dispatcher) so the
+  // instruments they cache outlive them.
+  obs::MetricsRegistry metrics_;
   tx::TxManager txm_;
   std::unique_ptr<hdfs::MiniHdfs> fs_;
   std::unique_ptr<catalog::Catalog> catalog_;

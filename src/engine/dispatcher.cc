@@ -31,12 +31,15 @@ void CollectRecvIds(const plan::PlanNode& n, std::vector<int>* out) {
 Result<QueryResult> Dispatcher::Execute(
     const plan::PhysicalPlan& plan, uint64_t query_id,
     const std::vector<bool>& segment_up,
-    std::vector<exec::InsertResult>* insert_results) {
+    std::vector<exec::InsertResult>* insert_results, obs::QueryTrace* trace) {
   auto t0 = Clock::now();
   QueryResult result;
   result.schema = plan.output_schema;
+  result.query_id = query_id;
   result.num_slices = static_cast<int>(plan.slices.size());
   result.master_only = plan.slices.size() == 1;
+  obs::Span* root_span =
+      trace != nullptr ? trace->StartSpan("dispatch") : nullptr;
 
   // --- metadata dispatch: ship the self-described plan --------------------
   std::string bytes = plan.Serialize();
@@ -135,7 +138,7 @@ Result<QueryResult> Dispatcher::Execute(
     for (int w = 0; w < workers; ++w) {
       int segment = s.on_qd ? -1 : s.exec_segments[w];
       int host = s.on_qd ? qd_host : seg_host[segment];
-      gang.emplace_back([&, parsed, si, w, segment, host] {
+      gang.emplace_back([&, parsed, si, w, segment, host, trace, root_span] {
         exec::ExecContext ctx;
         ctx.query_id = query_id;
         ctx.worker = w;
@@ -149,7 +152,14 @@ Result<QueryResult> Dispatcher::Execute(
         ctx.sort_spill_threshold = opts_.sort_spill_threshold;
         ctx.side_mu = &side_mu;
         ctx.insert_results = &side_results;
+        if (trace != nullptr) {
+          ctx.trace = trace;
+          ctx.slice_id = static_cast<int>(si);
+          ctx.span = trace->StartSpan("slice", root_span,
+                                      static_cast<int>(si), segment, w);
+        }
         Status st = exec::RunSendSlice(*parsed->slices[si].root, &ctx);
+        if (trace != nullptr) trace->EndSpan(ctx.span);
         record_error(st);
       });
     }
@@ -170,6 +180,11 @@ Result<QueryResult> Dispatcher::Execute(
     ctx.sort_spill_threshold = opts_.sort_spill_threshold;
     ctx.side_mu = &side_mu;
     ctx.insert_results = &side_results;
+    if (trace != nullptr) {
+      ctx.trace = trace;
+      ctx.slice_id = 0;
+      ctx.span = trace->StartSpan("slice", root_span, 0, -1, 0);
+    }
     auto run_top = [&]() -> Status {
       HAWQ_ASSIGN_OR_RETURN(auto root,
                             exec::BuildExecNode(*plan.slices[0].root, &ctx));
@@ -188,11 +203,21 @@ Result<QueryResult> Dispatcher::Execute(
       return root->Close();
     };
     record_error(run_top());
+    if (trace != nullptr) trace->EndSpan(ctx.span);
   }
 
   for (std::thread& t : gang) t.join();
   result.exec_time =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0);
+  if (trace != nullptr) {
+    trace->EndSpan(root_span);
+    trace->FinishAll();
+  }
+  if (c_queries_ != nullptr) {
+    c_queries_->Add(1);
+    c_slices_->Add(plan.slices.size());
+    h_query_us_->Observe(static_cast<uint64_t>(result.exec_time.count()));
+  }
   {
     MutexLock g(err_mu);
     if (!first_error.ok()) return first_error;

@@ -14,6 +14,8 @@
 #include "executor/exec_context.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "planner/plan_node.h"
 
 namespace hawq::engine {
@@ -23,27 +25,41 @@ struct DispatchOptions {
   /// Compress the serialized plan before dispatch (paper §3.1).
   bool compress_plan = true;
   size_t sort_spill_threshold = 1 << 20;
+  /// Engine-wide metrics (optional, may be null): engine.queries /
+  /// engine.slices counters and the engine.query_us histogram.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Dispatcher {
  public:
   Dispatcher(hdfs::MiniHdfs* fs, net::Interconnect* net,
              std::vector<exec::LocalDisk>* local_disks, DispatchOptions opts)
-      : fs_(fs), net_(net), local_disks_(local_disks), opts_(opts) {}
+      : fs_(fs), net_(net), local_disks_(local_disks), opts_(opts) {
+    if (opts_.metrics != nullptr) {
+      c_queries_ = opts_.metrics->GetCounter("engine.queries");
+      c_slices_ = opts_.metrics->GetCounter("engine.slices");
+      h_query_us_ = opts_.metrics->GetHistogram("engine.query_us");
+    }
+  }
 
   /// Execute a plan. `segment_up[s]` gates dispatch to segment s;
   /// `insert_results` (optional) collects piggy-backed segment-file
-  /// metadata changes.
+  /// metadata changes. A non-null `trace` turns on per-node
+  /// instrumentation and span recording (EXPLAIN ANALYZE).
   Result<QueryResult> Execute(const plan::PhysicalPlan& plan,
                               uint64_t query_id,
                               const std::vector<bool>& segment_up,
-                              std::vector<exec::InsertResult>* insert_results);
+                              std::vector<exec::InsertResult>* insert_results,
+                              obs::QueryTrace* trace = nullptr);
 
  private:
   hdfs::MiniHdfs* fs_;
   net::Interconnect* net_;
   std::vector<exec::LocalDisk>* local_disks_;
   DispatchOptions opts_;
+  obs::Counter* c_queries_ = nullptr;
+  obs::Counter* c_slices_ = nullptr;
+  obs::Histogram* h_query_us_ = nullptr;
 };
 
 }  // namespace hawq::engine

@@ -1,0 +1,139 @@
+#include "engine/explain_analyze.h"
+
+#include <cinttypes>
+#include <climits>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace hawq::engine {
+
+namespace {
+
+using StatsMap = std::map<std::pair<int, int>, const obs::NodeStats*>;
+
+std::string FmtMs(uint64_t us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(us) / 1000.0);
+  return buf;
+}
+
+/// Aggregated counters for one plan node across all segments.
+struct NodeTotals {
+  uint64_t rows = 0, batches = 0, bytes = 0, spill = 0, us = 0;
+  int entries = 0;
+};
+
+NodeTotals TotalsFor(const StatsMap& stats, int node_id) {
+  NodeTotals t;
+  for (auto it = stats.lower_bound({node_id, INT_MIN}); it != stats.end();
+       ++it) {
+    if (it->first.first != node_id) break;
+    const obs::NodeStats* s = it->second;
+    t.rows += s->rows.load(std::memory_order_relaxed);
+    t.batches += s->batches.load(std::memory_order_relaxed);
+    t.bytes += s->bytes.load(std::memory_order_relaxed);
+    t.spill += s->spill_bytes.load(std::memory_order_relaxed);
+    t.us += s->TotalUs();
+    ++t.entries;
+  }
+  return t;
+}
+
+void EmitNode(const plan::PlanNode& n, const StatsMap& stats, int indent,
+              std::string* out) {
+  std::string pad(indent * 2, ' ');
+  *out += pad + n.Describe() + "\n";
+  NodeTotals t = TotalsFor(stats, n.node_id);
+  if (t.entries > 0) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "actual: rows=%" PRIu64 " batches=%" PRIu64, t.rows,
+                  t.batches);
+    *out += pad + "  " + line;
+    if (t.bytes > 0) *out += " bytes=" + std::to_string(t.bytes);
+    if (t.spill > 0) *out += " spill=" + std::to_string(t.spill);
+    *out += " time=" + FmtMs(t.us) + "\n";
+    if (t.entries > 1) {
+      for (auto it = stats.lower_bound({n.node_id, INT_MIN});
+           it != stats.end() && it->first.first == n.node_id; ++it) {
+        const obs::NodeStats* s = it->second;
+        std::snprintf(line, sizeof(line),
+                      "seg %d: rows=%" PRIu64 " batches=%" PRIu64 " time=",
+                      it->first.second,
+                      s->rows.load(std::memory_order_relaxed),
+                      s->batches.load(std::memory_order_relaxed));
+        *out += pad + "    " + line + FmtMs(s->TotalUs()) + "\n";
+      }
+    }
+  }
+  for (const auto& c : n.children) EmitNode(*c, stats, indent + 1, out);
+}
+
+/// One "Section:" block listing `prefix`-scoped counter deltas with the
+/// prefix stripped (e.g. interconnect.udp.retransmissions ->
+/// udp.retransmissions=N). Omitted entirely when no counter matches.
+void EmitMetricSection(const std::map<std::string, uint64_t>& deltas,
+                       const std::string& title, const std::string& prefix,
+                       std::string* out) {
+  std::string body;
+  for (const auto& [name, v] : deltas) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    body += "  " + name.substr(prefix.size()) + "=" + std::to_string(v) + "\n";
+  }
+  if (!body.empty()) *out += title + ":\n" + body;
+}
+
+}  // namespace
+
+std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
+                                 const obs::QueryTrace& trace,
+                                 const QueryResult& result) {
+  StatsMap stats = trace.NodeStatsMap();
+  std::string out;
+  for (const plan::Slice& sl : plan.slices) {
+    out += "Slice " + std::to_string(sl.slice_id) +
+           (sl.on_qd ? " (QD)" : " (segments)");
+    if (!sl.exec_segments.empty()) {
+      out += sl.exec_segments.size() == 1 ? " direct-dispatch to {" : " {";
+      for (size_t i = 0; i < sl.exec_segments.size(); ++i) {
+        if (i) out += ",";
+        out += std::to_string(sl.exec_segments[i]);
+      }
+      out += "}";
+    }
+    if (sl.root && sl.root->kind == plan::NodeKind::kMotionSend) {
+      out += std::string(" sends ") + plan::MotionTypeName(sl.root->motion) +
+             " motion=" + std::to_string(sl.root->motion_id);
+      if (sl.root->motion == plan::MotionType::kRedistribute &&
+          !sl.root->hash_exprs.empty()) {
+        out += " by (";
+        for (size_t i = 0; i < sl.root->hash_exprs.size(); ++i) {
+          if (i) out += ", ";
+          out += sl.root->hash_exprs[i].ToString();
+        }
+        out += ")";
+      }
+    } else if (sl.on_qd) {
+      out += " returns to client";
+    }
+    out += ":\n";
+    if (sl.root) EmitNode(*sl.root, stats, 1, &out);
+  }
+
+  out += "Execution: " + FmtMs(result.exec_time.count()) + ", " +
+         std::to_string(result.num_slices) + " slice" +
+         (result.num_slices == 1 ? "" : "s") + ", " +
+         std::to_string(result.rows.size()) + " row" +
+         (result.rows.size() == 1 ? "" : "s") + ", plan " +
+         std::to_string(result.plan_bytes) + " bytes (" +
+         std::to_string(result.plan_bytes_compressed) + " dispatched)\n";
+  EmitMetricSection(trace.metric_deltas, "Interconnect", "interconnect.",
+                    &out);
+  EmitMetricSection(trace.metric_deltas, "HDFS", "hdfs.", &out);
+  out += "Spans:\n" + trace.TreeToString();
+  return out;
+}
+
+}  // namespace hawq::engine

@@ -1,0 +1,24 @@
+// EXPLAIN ANALYZE rendering: the plan tree annotated with the per-node
+// counters and span tree collected by a QueryTrace during one real
+// execution, plus the engine-wide counter deltas (interconnect, HDFS)
+// attributed to the query.
+#pragma once
+
+#include <string>
+
+#include "engine/query_result.h"
+#include "obs/trace.h"
+#include "planner/plan_node.h"
+
+namespace hawq::engine {
+
+/// Render the EXPLAIN ANALYZE report: one line per plan node (same
+/// slice/indent structure as PhysicalPlan::ToString) followed by actual
+/// rows/batches/bytes/spill/time — aggregated and broken down per
+/// segment — then Execution / Interconnect / HDFS summary sections from
+/// `trace.metric_deltas`, and the span tree.
+std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
+                                 const obs::QueryTrace& trace,
+                                 const QueryResult& result);
+
+}  // namespace hawq::engine

@@ -16,6 +16,7 @@ struct QueryResult {
   std::string message;  // DDL/DML tag, e.g. "CREATE TABLE", "INSERT 42"
 
   // --- execution statistics ------------------------------------------------
+  uint64_t query_id = 0;
   size_t plan_bytes = 0;             // serialized self-described plan
   size_t plan_bytes_compressed = 0;  // after dispatch compression
   int num_slices = 0;

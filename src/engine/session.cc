@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/string_util.h"
+#include "engine/explain_analyze.h"
+#include "obs/trace.h"
 #include "storage/format.h"
 
 namespace hawq::engine {
@@ -206,7 +208,7 @@ Result<QueryResult> Session::ExecStatement(const sql::Statement& stmt,
     case sql::Statement::Kind::kAnalyze:
       return ExecAnalyze(stmt.table, txn);
     case sql::Statement::Kind::kExplain:
-      return ExecExplain(*stmt.child, txn);
+      return ExecExplain(*stmt.child, stmt.explain_analyze, txn);
     case sql::Statement::Kind::kTruncateTable:
       return ExecTruncate(stmt.table, txn);
     case sql::Statement::Kind::kAlterTableStorage:
@@ -820,7 +822,7 @@ Result<QueryResult> Session::ExecAlterStorage(
 }
 
 Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
-                                         tx::Transaction* txn) {
+                                         bool analyze, tx::Transaction* txn) {
   if (stmt.kind != sql::Statement::Kind::kSelect) {
     return Status::NotSupported("EXPLAIN supports SELECT only");
   }
@@ -830,12 +832,38 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
   HAWQ_RETURN_IF_ERROR(ResolveScalarSubqueries(bound.get(), txn));
   plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
   HAWQ_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.PlanSelect(*bound));
+
+  std::string text;
   QueryResult r;
+  if (analyze) {
+    // Run the query for real with tracing on, attributing engine-wide
+    // counter movement (interconnect, HDFS) to this query via a
+    // before/after registry snapshot. The snapshot is racy against
+    // concurrent queries; EXPLAIN ANALYZE attribution is best-effort,
+    // like the real system's.
+    uint64_t qid = c_->NextQueryId();
+    obs::QueryTrace trace(qid);
+    auto before = c_->metrics()->SnapshotCounters();
+    HAWQ_ASSIGN_OR_RETURN(QueryResult exec_result,
+                          c_->dispatcher()->Execute(plan, qid,
+                                                    c_->SegmentUpMask(),
+                                                    nullptr, &trace));
+    auto after = c_->metrics()->SnapshotCounters();
+    for (const auto& [name, v] : after) {
+      auto it = before.find(name);
+      trace.metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
+    }
+    text = RenderExplainAnalyze(plan, trace, exec_result);
+    r.plan_bytes = exec_result.plan_bytes;
+    r.exec_time = exec_result.exec_time;
+  } else {
+    text = plan.ToString();
+    r.plan_bytes = plan.Serialize().size();
+  }
   r.schema = Schema({{"query_plan", TypeId::kString, false}});
-  for (const std::string& line : Split(plan.ToString(), '\n')) {
+  for (const std::string& line : Split(text, '\n')) {
     if (!line.empty()) r.rows.push_back({Datum::Str(line)});
   }
-  r.plan_bytes = plan.Serialize().size();
   r.num_slices = static_cast<int>(plan.slices.size());
   return r;
 }

@@ -49,7 +49,7 @@ class Session {
                                     tx::Transaction* txn);
   Result<QueryResult> ExecAnalyze(const std::string& name,
                                   tx::Transaction* txn);
-  Result<QueryResult> ExecExplain(const sql::Statement& stmt,
+  Result<QueryResult> ExecExplain(const sql::Statement& stmt, bool analyze,
                                   tx::Transaction* txn);
   Result<QueryResult> ExecTruncate(const std::string& name,
                                    tx::Transaction* txn);

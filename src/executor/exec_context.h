@@ -12,6 +12,7 @@
 #include "common/sync.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
+#include "obs/trace.h"
 #include "planner/plan_node.h"
 
 namespace hawq::exec {
@@ -92,6 +93,15 @@ struct ExecContext {
   size_t batch_size = kDefaultBatchRows;
   hawq::Mutex* side_mu = nullptr;
   std::vector<InsertResult>* insert_results = nullptr;
+
+  // --- observability (EXPLAIN ANALYZE / traced runs) --------------------
+  /// Tracing is ON iff trace != nullptr. When off, BuildExecNode emits no
+  /// instrumentation wrappers, so the batch hot path is untouched.
+  obs::QueryTrace* trace = nullptr;
+  /// This worker's span (parent for motion send/recv spans).
+  obs::Span* span = nullptr;
+  /// Slice this worker executes (0 = top slice on the QD).
+  int slice_id = 0;
 };
 
 }  // namespace hawq::exec

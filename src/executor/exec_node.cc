@@ -1,11 +1,13 @@
 #include "executor/exec_node.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
 #include <unordered_map>
 
 #include "common/serde.h"
+#include "obs/trace.h"
 #include "storage/format.h"
 
 namespace hawq::exec {
@@ -50,6 +52,65 @@ bool PassesAll(const std::vector<PExpr>& quals, const Row& row) {
   return true;
 }
 
+uint64_t UsSince(obs::TraceClock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          obs::TraceClock::now() - t0)
+          .count());
+}
+
+// --------------------------------------------------- instrumentation
+//
+// EXPLAIN ANALYZE decorator: wraps an operator and accumulates rows /
+// batches / inclusive time into the query trace's per-(node, segment)
+// counters. BuildExecNode inserts one per plan node ONLY when tracing is
+// on (ctx->trace != nullptr), so the untraced pipeline carries zero
+// instrumentation cost — not even a branch per batch.
+class InstrumentedExec : public ExecNode {
+ public:
+  InstrumentedExec(std::unique_ptr<ExecNode> inner, obs::NodeStats* stats)
+      : inner_(std::move(inner)), stats_(stats) {}
+
+  Status Open() override {
+    auto t0 = obs::TraceClock::now();
+    Status st = inner_->Open();
+    stats_->open_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    return st;
+  }
+
+  Result<bool> Next(Row* row) override {
+    auto t0 = obs::TraceClock::now();
+    auto r = inner_->Next(row);
+    stats_->next_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    if (r.ok() && r.value()) {
+      stats_->rows.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  Result<bool> NextBatch(RowBatch* batch) override {
+    auto t0 = obs::TraceClock::now();
+    auto r = inner_->NextBatch(batch);
+    stats_->next_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    if (r.ok() && r.value()) {
+      stats_->rows.fetch_add(batch->size(), std::memory_order_relaxed);
+      stats_->batches.fetch_add(1, std::memory_order_relaxed);
+    }
+    return r;
+  }
+
+  Status Close() override {
+    auto t0 = obs::TraceClock::now();
+    Status st = inner_->Close();
+    stats_->close_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    return st;
+  }
+
+ private:
+  std::unique_ptr<ExecNode> inner_;
+  obs::NodeStats* stats_;
+};
+
 // ------------------------------------------------------------- SeqScan
 
 class SeqScanExec : public BatchExecNode {
@@ -84,6 +145,7 @@ class SeqScanExec : public BatchExecNode {
         opts.kind = node_.storage;
         opts.codec = node_.codec;
         opts.codec_level = node_.codec_level;
+        opts.reader_host = ctx_->host;  // hdfs locality accounting
         HAWQ_ASSIGN_OR_RETURN(
             scanner_, storage::OpenTableScanner(ctx_->fs, f->path,
                                                 node_.table_schema, opts,
@@ -525,6 +587,9 @@ class SortExec : public ExecNode {
       : node_(node), child_(std::move(child)), ctx_(ctx) {}
 
   Status Open() override {
+    if (ctx_->trace != nullptr) {
+      stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+    }
     HAWQ_RETURN_IF_ERROR(child_->Open());
     RowBatch batch(ctx_->batch_size);
     while (true) {
@@ -576,7 +641,11 @@ class SortExec : public ExecNode {
     std::string name = "sort_run_" + std::to_string(ctx_->query_id) + "_" +
                        std::to_string(ctx_->segment) + "_" +
                        std::to_string(runs_.size());
-    HAWQ_RETURN_IF_ERROR(ctx_->local_disk->Write(name, w.Release()));
+    std::string data = w.Release();
+    if (stats_ != nullptr) {
+      stats_->spill_bytes.fetch_add(data.size(), std::memory_order_relaxed);
+    }
+    HAWQ_RETURN_IF_ERROR(ctx_->local_disk->Write(name, std::move(data)));
     runs_.push_back(name);
     rows_.clear();
     return Status::OK();
@@ -622,6 +691,7 @@ class SortExec : public ExecNode {
   std::vector<Row> rows_;
   std::vector<std::string> runs_;
   size_t pos_ = 0;
+  obs::NodeStats* stats_ = nullptr;
 };
 
 // ------------------------------------------------------------- Limit
@@ -676,6 +746,12 @@ class MotionRecvExec : public BatchExecNode {
         stream_, ctx_->net->OpenRecv(ctx_->query_id, node_.motion_id,
                                      ctx_->worker, ctx_->host,
                                      static_cast<int>(w.sender_hosts.size())));
+    if (ctx_->trace != nullptr) {
+      stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+      span_ = ctx_->trace->StartSpan("motion.recv", ctx_->span,
+                                     ctx_->slice_id, ctx_->segment,
+                                     ctx_->worker, node_.motion_id);
+    }
     return Status::OK();
   }
 
@@ -699,6 +775,9 @@ class MotionRecvExec : public BatchExecNode {
       HAWQ_ASSIGN_OR_RETURN(auto chunk, stream_->Recv());
       if (!chunk.has_value()) return false;
       chunk_ = std::move(*chunk);
+      if (stats_ != nullptr) {
+        stats_->bytes.fetch_add(chunk_.size(), std::memory_order_relaxed);
+      }
       reader_ = BufferReader(chunk_.data(), chunk_.size());
     }
     return batch->size() > 0;
@@ -707,6 +786,7 @@ class MotionRecvExec : public BatchExecNode {
   Status Close() override {
     // Early close (LIMIT satisfied): tell senders to stop.
     if (stream_) stream_->Stop();
+    if (ctx_->trace != nullptr) ctx_->trace->EndSpan(span_);
     return Status::OK();
   }
 
@@ -717,6 +797,8 @@ class MotionRecvExec : public BatchExecNode {
   std::string chunk_;
   BufferReader reader_{nullptr, 0};
   uint64_t chunk_rows_left_ = 0;
+  obs::NodeStats* stats_ = nullptr;
+  obs::Span* span_ = nullptr;
 };
 
 // ------------------------------------------------------------- Insert
@@ -806,8 +888,9 @@ void SetExternalScanFactory(ExternalScanFactory factory) {
   g_external_scan_factory = std::move(factory);
 }
 
-Result<std::unique_ptr<ExecNode>> BuildExecNode(const PlanNode& node,
-                                                ExecContext* ctx) {
+namespace {
+Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const PlanNode& node,
+                                                    ExecContext* ctx) {
   switch (node.kind) {
     case NodeKind::kSeqScan:
       return std::unique_ptr<ExecNode>(new SeqScanExec(node, ctx));
@@ -860,6 +943,17 @@ Result<std::unique_ptr<ExecNode>> BuildExecNode(const PlanNode& node,
   }
   return Status::Internal("unknown plan node");
 }
+}  // namespace
+
+Result<std::unique_ptr<ExecNode>> BuildExecNode(const PlanNode& node,
+                                                ExecContext* ctx) {
+  HAWQ_ASSIGN_OR_RETURN(auto built, BuildExecNodeImpl(node, ctx));
+  if (ctx->trace != nullptr && node.node_id >= 0) {
+    return std::unique_ptr<ExecNode>(new InstrumentedExec(
+        std::move(built), ctx->trace->StatsFor(node.node_id, ctx->segment)));
+  }
+  return built;
+}
 
 namespace {
 Status RunSendSliceInner(const plan::PlanNode& send_root, ExecContext* ctx,
@@ -875,7 +969,14 @@ Status RunSendSlice(const plan::PlanNode& send_root, ExecContext* ctx) {
       auto stream, ctx->net->OpenSend(ctx->query_id, send_root.motion_id,
                                       ctx->worker, ctx->host,
                                       w.receiver_hosts));
+  obs::Span* span = nullptr;
+  if (ctx->trace != nullptr) {
+    span = ctx->trace->StartSpan("motion.send", ctx->span, ctx->slice_id,
+                                 ctx->segment, ctx->worker,
+                                 send_root.motion_id);
+  }
   Status st = RunSendSliceInner(send_root, ctx, stream.get());
+  if (ctx->trace != nullptr) ctx->trace->EndSpan(span);
   if (!st.ok()) {
     // Deliver EoS anyway so downstream receivers terminate instead of
     // waiting forever for a failed sender.
@@ -899,11 +1000,20 @@ Status RunSendSliceInner(const plan::PlanNode& send_root, ExecContext* ctx,
     uint64_t rows = 0;
   };
   std::vector<Buf> bufs(num_recv);
+  obs::NodeStats* stats =
+      ctx->trace != nullptr
+          ? ctx->trace->StatsFor(send_root.node_id, ctx->segment)
+          : nullptr;
   auto flush = [&](int r) -> Status {
     if (bufs[r].rows == 0) return Status::OK();
     BufferWriter chunk;
     chunk.PutVarint(bufs[r].rows);
     chunk.PutRaw(bufs[r].w.data().data(), bufs[r].w.size());
+    if (stats != nullptr) {
+      stats->rows.fetch_add(bufs[r].rows, std::memory_order_relaxed);
+      stats->batches.fetch_add(1, std::memory_order_relaxed);
+      stats->bytes.fetch_add(chunk.size(), std::memory_order_relaxed);
+    }
     HAWQ_RETURN_IF_ERROR(stream->Send(r, chunk.Release()));
     bufs[r] = Buf();
     return Status::OK();

@@ -36,7 +36,7 @@ Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
     uint64_t in_block = offset + done - bl.offset;
     uint64_t want = std::min<uint64_t>(n - done, bl.length - in_block);
     HAWQ_ASSIGN_OR_RETURN(std::string chunk,
-                          fs_->ReadBlock(bl.id, in_block, want));
+                          fs_->ReadBlock(bl.id, in_block, want, reader_host_));
     // Clamp to the caller's remaining space: keeps the copy provably in
     // bounds even if a block returned more than asked.
     size_t got = std::min<size_t>(chunk.size(), n - done);
@@ -79,10 +79,18 @@ Status FileWriter::Close() {
 
 // ---------------------------------------------------------------- MiniHdfs
 
-MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts) : opts_(opts) {
+MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts,
+                   obs::MetricsRegistry* metrics)
+    : opts_(opts) {
   datanodes_.resize(num_datanodes);
   for (auto& dn : datanodes_) {
     dn.disk_ok.assign(opts_.disks_per_datanode, true);
+  }
+  if (metrics != nullptr) {
+    c_bytes_read_ = metrics->GetCounter("hdfs.bytes_read");
+    c_blocks_read_ = metrics->GetCounter("hdfs.blocks_read");
+    c_locality_hits_ = metrics->GetCounter("hdfs.locality_hits");
+    c_locality_misses_ = metrics->GetCounter("hdfs.locality_misses");
   }
 }
 
@@ -121,12 +129,14 @@ Result<std::unique_ptr<FileWriter>> MiniHdfs::OpenForAppend(
   return w;
 }
 
-Result<std::unique_ptr<FileReader>> MiniHdfs::Open(const std::string& path) {
+Result<std::unique_ptr<FileReader>> MiniHdfs::Open(const std::string& path,
+                                                   int reader_host) {
   MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   auto r = std::make_unique<FileReader>();
   r->fs_ = this;
+  r->reader_host_ = reader_host;
   r->length_ = it->second.length;
   uint64_t off = 0;
   for (BlockId bid : it->second.blocks) {
@@ -273,18 +283,29 @@ Result<int> MiniHdfs::MinReplication(const std::string& path) {
 }
 
 Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
-                                        uint64_t len) {
+                                        uint64_t len, int reader_host) {
   std::string data;
+  bool local = false;
   {
     MutexLock g(lock_);
     auto it = blocks_.find(id);
     if (it == blocks_.end()) return Status::IOError("block deleted");
-    if (LiveHostsForLocked(it->second).empty()) {
+    std::vector<int> live = LiveHostsForLocked(it->second);
+    if (live.empty()) {
       return Status::IOError("all replicas of block lost");
     }
+    local = reader_host >= 0 &&
+            std::find(live.begin(), live.end(), reader_host) != live.end();
     offset = std::min<uint64_t>(offset, it->second.data.size());
     len = std::min<uint64_t>(len, it->second.data.size() - offset);
     data = it->second.data.substr(offset, len);
+  }
+  if (c_bytes_read_ != nullptr) {
+    c_bytes_read_->Add(data.size());
+    c_blocks_read_->Add(1);
+    if (reader_host >= 0) {
+      (local ? c_locality_hits_ : c_locality_misses_)->Add(1);
+    }
   }
   SimCost::Global().ChargeHdfsRead(data.size());
   return data;

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
 
 namespace hawq::hdfs {
 
@@ -64,6 +65,7 @@ class FileReader {
   std::vector<BlockLocation> blocks_;
   uint64_t length_ = 0;
   uint64_t pos_ = 0;
+  int reader_host_ = -1;  // datanode co-located with the reader (-1: none)
 };
 
 /// \brief Append-only writer holding the file's lease. Data becomes
@@ -91,7 +93,10 @@ class FileWriter {
 /// Thread safe.
 class MiniHdfs {
  public:
-  explicit MiniHdfs(int num_datanodes, HdfsOptions opts = {});
+  /// `metrics` (optional, may be null) receives hdfs.bytes_read /
+  /// hdfs.blocks_read / hdfs.locality_{hits,misses} counters.
+  explicit MiniHdfs(int num_datanodes, HdfsOptions opts = {},
+                    obs::MetricsRegistry* metrics = nullptr);
   ~MiniHdfs();
 
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
@@ -105,8 +110,12 @@ class MiniHdfs {
   /// their own files; cross-transaction appends reuse files).
   Result<std::unique_ptr<FileWriter>> OpenForAppend(const std::string& path,
                                                     int preferred_host = -1);
-  /// Open for reading. Fails if the file does not exist.
-  Result<std::unique_ptr<FileReader>> Open(const std::string& path);
+  /// Open for reading. Fails if the file does not exist. `reader_host`
+  /// identifies the datanode co-located with the reading segment so
+  /// short-circuit (local) reads can be distinguished from remote ones
+  /// in the locality counters; -1 disables the accounting.
+  Result<std::unique_ptr<FileReader>> Open(const std::string& path,
+                                           int reader_host = -1);
 
   bool Exists(const std::string& path);
   Result<uint64_t> FileSize(const std::string& path);
@@ -140,7 +149,8 @@ class MiniHdfs {
   Result<int> MinReplication(const std::string& path);
 
   // Used by FileReader/FileWriter.
-  Result<std::string> ReadBlock(BlockId id, uint64_t offset, uint64_t len);
+  Result<std::string> ReadBlock(BlockId id, uint64_t offset, uint64_t len,
+                                int reader_host = -1);
 
  private:
   struct Replica {
@@ -177,6 +187,12 @@ class MiniHdfs {
 
   Mutex lock_{LockRank::kHdfs, "hdfs.namenode"};
   HdfsOptions opts_;
+  // Cached instruments (null when built without a registry); updates are
+  // lock-free relaxed atomics, safe to bump while holding lock_.
+  obs::Counter* c_bytes_read_ = nullptr;
+  obs::Counter* c_blocks_read_ = nullptr;
+  obs::Counter* c_locality_hits_ = nullptr;
+  obs::Counter* c_locality_misses_ = nullptr;
   std::map<std::string, FileEntry> files_ HAWQ_GUARDED_BY(lock_);
   std::map<BlockId, Block> blocks_ HAWQ_GUARDED_BY(lock_);
   std::vector<DataNode> datanodes_ HAWQ_GUARDED_BY(lock_);

@@ -60,6 +60,7 @@ class TcpSendStream : public SendStream {
       state->channels[sender_].connected = true;
       fabric_->active_conns_[receiver_hosts_[r]].fetch_add(1);
       fabric_->connections_opened_.fetch_add(1);
+      if (fabric_->c_connections_ != nullptr) fabric_->c_connections_->Add(1);
     }
     return Status::OK();
   }
@@ -73,6 +74,10 @@ class TcpSendStream : public SendStream {
   }
 
   Status Send(int receiver, std::string chunk) override {
+    if (fabric_->c_chunks_ != nullptr) {
+      fabric_->c_chunks_->Add(1);
+      fabric_->c_bytes_->Add(chunk.size());
+    }
     return Push(receiver, {false, std::move(chunk)});
   }
 
@@ -203,10 +208,16 @@ class TcpRecvStream : public RecvStream {
   uint64_t idle_ticks_ = 0;
 };
 
-TcpFabric::TcpFabric(int num_hosts, TcpOptions opts)
+TcpFabric::TcpFabric(int num_hosts, TcpOptions opts,
+                     obs::MetricsRegistry* metrics)
     : opts_(opts), ports_in_use_(num_hosts, 0),
       active_conns_(num_hosts) {
   for (auto& a : active_conns_) a.store(0);
+  if (metrics != nullptr) {
+    c_connections_ = metrics->GetCounter("interconnect.tcp.connections");
+    c_chunks_ = metrics->GetCounter("interconnect.tcp.chunks");
+    c_bytes_ = metrics->GetCounter("interconnect.tcp.bytes");
+  }
 }
 
 std::shared_ptr<TcpFabric::RecvState> TcpFabric::FindOrCreateState(

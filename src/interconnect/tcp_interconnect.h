@@ -20,6 +20,7 @@
 #include "common/sync.h"
 #include "interconnect/interconnect.h"
 #include "interconnect/protocol.h"
+#include "obs/metrics.h"
 
 namespace hawq::net {
 
@@ -42,7 +43,10 @@ struct TcpOptions {
 /// every motion, with setup cost and port accounting.
 class TcpFabric : public Interconnect {
  public:
-  explicit TcpFabric(int num_hosts, TcpOptions opts = {});
+  /// `metrics` (optional, may be null) receives interconnect.tcp.*
+  /// counters.
+  explicit TcpFabric(int num_hosts, TcpOptions opts = {},
+                     obs::MetricsRegistry* metrics = nullptr);
 
   Result<std::unique_ptr<SendStream>> OpenSend(
       uint64_t query_id, int motion_id, int sender, int sender_host,
@@ -72,6 +76,11 @@ class TcpFabric : public Interconnect {
   std::vector<int> ports_in_use_ HAWQ_GUARDED_BY(mu_);
   std::vector<std::atomic<int>> active_conns_;  // per destination host
   std::atomic<uint64_t> connections_opened_{0};
+
+  // Cached instruments (null when built without a registry).
+  obs::Counter* c_connections_ = nullptr;
+  obs::Counter* c_chunks_ = nullptr;
+  obs::Counter* c_bytes_ = nullptr;
 };
 
 }  // namespace hawq::net

@@ -169,6 +169,9 @@ class UdpSendStream : public SendStream {
         probe.src_host = c->src_host;
         net_->Send(c->dst_host, probe.Serialize());
         fabric_->status_queries_.fetch_add(1, std::memory_order_relaxed);
+        if (fabric_->c_status_queries_ != nullptr) {
+          fabric_->c_status_queries_->Add(1);
+        }
         probe_deadline = Clock::now() + opts_.status_query_after;
       }
     }
@@ -181,6 +184,10 @@ class UdpSendStream : public SendStream {
     std::string bytes = p.Serialize();
     c->unacked[p.seq] = Unacked{bytes, Clock::now(), 0};
     g.Unlock();
+    if (fabric_->c_data_packets_ != nullptr) {
+      fabric_->c_data_packets_->Add(1);
+      fabric_->c_data_bytes_->Add(bytes.size());
+    }
     net_->Send(c->dst_host, std::move(bytes));
     return Status::OK();
   }
@@ -308,7 +315,18 @@ class UdpRecvStream : public RecvStream {
 
 // ------------------------------------------------------------- fabric
 
-UdpFabric::UdpFabric(SimNet* net, UdpOptions opts) : net_(net), opts_(opts) {
+UdpFabric::UdpFabric(SimNet* net, UdpOptions opts,
+                     obs::MetricsRegistry* metrics)
+    : net_(net), opts_(opts) {
+  if (metrics != nullptr) {
+    c_retransmissions_ = metrics->GetCounter("interconnect.udp.retransmissions");
+    c_status_queries_ = metrics->GetCounter("interconnect.udp.status_queries");
+    c_acks_ = metrics->GetCounter("interconnect.udp.acks");
+    c_cwnd_collapses_ = metrics->GetCounter("interconnect.udp.cwnd_collapses");
+    c_data_packets_ = metrics->GetCounter("interconnect.udp.data_packets");
+    c_data_bytes_ = metrics->GetCounter("interconnect.udp.data_bytes");
+    h_cwnd_ = metrics->GetHistogram("interconnect.udp.cwnd");
+  }
   endpoints_.resize(net->num_hosts());
   for (int h = 0; h < net->num_hosts(); ++h) {
     endpoints_[h] = std::make_unique<Endpoint>();
@@ -438,6 +456,10 @@ void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {
   if (pkt.type == PacketType::kAck) {
     // Slow start growth.
     if (conn->cwnd < opts_.max_cwnd) ++conn->cwnd;
+    if (c_acks_ != nullptr) {
+      c_acks_->Add(1);
+      h_cwnd_->Observe(conn->cwnd);
+    }
   } else if (pkt.type == PacketType::kOutOfOrder) {
     // Resend the possibly-lost packets immediately (§4.4).
     for (uint64_t seq : pkt.missing) {
@@ -446,6 +468,7 @@ void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {
       it->second.sent_at = now;
       ++it->second.resends;
       retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      if (c_retransmissions_ != nullptr) c_retransmissions_->Add(1);
       net_->Send(conn->dst_host, it->second.bytes);
     }
   } else if (pkt.type == PacketType::kStop) {
@@ -558,12 +581,14 @@ void UdpFabric::CheckRetransmits(int host) {
       ++u.resends;
       expired_any = true;
       retransmissions_.fetch_add(1, std::memory_order_relaxed);
+      if (c_retransmissions_ != nullptr) c_retransmissions_->Add(1);
       net_->Send(c->dst_host, u.bytes);
     }
     if (expired_any) {
       // Loss signal: collapse the window, slow start will regrow it (§4.3).
       c->cwnd = opts_.min_cwnd;
       c->backoff = std::min(c->backoff * 2.0, 64.0);
+      if (c_cwnd_collapses_ != nullptr) c_cwnd_collapses_->Add(1);
     }
     if (c->failed) c->cv.NotifyAll();
   }

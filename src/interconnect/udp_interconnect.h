@@ -28,6 +28,7 @@
 #include "interconnect/interconnect.h"
 #include "interconnect/protocol.h"
 #include "interconnect/sim_net.h"
+#include "obs/metrics.h"
 
 namespace hawq::net {
 
@@ -47,7 +48,10 @@ struct UdpOptions {
 /// host of the underlying SimNet.
 class UdpFabric : public Interconnect {
  public:
-  explicit UdpFabric(SimNet* net, UdpOptions opts = {});
+  /// `metrics` (optional, may be null) receives interconnect.udp.*
+  /// counters and the congestion-window histogram.
+  explicit UdpFabric(SimNet* net, UdpOptions opts = {},
+                     obs::MetricsRegistry* metrics = nullptr);
   ~UdpFabric() override;
 
   Result<std::unique_ptr<SendStream>> OpenSend(
@@ -84,6 +88,15 @@ class UdpFabric : public Interconnect {
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> retransmissions_{0};
   std::atomic<uint64_t> status_queries_{0};
+
+  // Cached instruments (null when built without a registry).
+  obs::Counter* c_retransmissions_ = nullptr;
+  obs::Counter* c_status_queries_ = nullptr;
+  obs::Counter* c_acks_ = nullptr;
+  obs::Counter* c_cwnd_collapses_ = nullptr;
+  obs::Counter* c_data_packets_ = nullptr;
+  obs::Counter* c_data_bytes_ = nullptr;
+  obs::Histogram* h_cwnd_ = nullptr;  // sampled on every ack
 };
 
 }  // namespace hawq::net

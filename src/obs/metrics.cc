@@ -1,0 +1,118 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hawq::obs {
+
+uint64_t Histogram::Count() const {
+  uint64_t n = 0;
+  for (int i = 0; i < kBuckets; ++i) n += BucketCount(i);
+  return n;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  // Rank of the q-th observation, 1-based; walk buckets until reached.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= rank) return BucketUpper(i);
+  }
+  return BucketUpper(kBuckets - 1);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock g(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock g(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock g(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::map<std::string, uint64_t> MetricsRegistry::SnapshotCounters() const {
+  MutexLock g(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->Get();
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  MutexLock g(mu_);
+  std::string out;
+  char buf[256];
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                  c->Get());
+    out += buf;
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", name.c_str(),
+                  gauge->Get());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s count=%" PRIu64 " sum=%" PRIu64 " p50=%" PRIu64
+                  " p95=%" PRIu64 " p99=%" PRIu64 "\n",
+                  name.c_str(), h->Count(), h->Sum(), h->Percentile(0.50),
+                  h->Percentile(0.95), h->Percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MutexLock g(mu_);
+  std::string out = "{\"counters\":{";
+  char buf[256];
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",",
+                  name.c_str(), c->Get());
+    out += buf;
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRId64, first ? "" : ",",
+                  name.c_str(), gauge->Get());
+    out += buf;
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64
+                  "}",
+                  first ? "" : ",", name.c_str(), h->Count(), h->Sum(),
+                  h->Percentile(0.50), h->Percentile(0.95),
+                  h->Percentile(0.99));
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace hawq::obs

@@ -1,0 +1,119 @@
+// Process-wide metrics registry (counters, gauges, histograms).
+//
+// Design goals, in order:
+//   1. Callable from ANY subsystem without lock-rank constraints. The
+//      registry's own mutex is LockRank::kRankFree (see common/sync.h):
+//      it guards only the name -> instrument map and never calls out, so
+//      interconnect code holding a kNetConn lock (or hdfs code holding
+//      the namenode lock) may register/look up metrics freely.
+//   2. Lock-free on the hot path. Callers resolve a Counter*/Gauge*/
+//      Histogram* ONCE (typically at construction) and then update it
+//      with relaxed atomics — no lock, no branch beyond the caller's own
+//      null check when metrics are disabled.
+//   3. Stable pointers. Instruments are heap-allocated and owned by the
+//      registry; a resolved pointer stays valid for the registry's
+//      lifetime regardless of later registrations.
+//
+// Naming scheme: dot-separated "<subsystem>.<detail>.<metric>", e.g.
+// "interconnect.udp.retransmissions", "hdfs.bytes_read",
+// "engine.queries". Units are part of the name when not obvious
+// (_bytes, _us).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+
+/// Monotonically increasing event count. Relaxed atomics: metric reads
+/// are statistical snapshots, not synchronization points.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed level (queue depth, open connections, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Power-of-two bucketed histogram: bucket i counts observations v with
+/// 2^(i-1) < v <= 2^i (v == 0 lands in bucket 0). 64 buckets cover the
+/// full uint64 range; Observe() is two relaxed fetch_adds.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Observe(uint64_t v) {
+    buckets_[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Upper bound (2^i) of the bucket containing quantile q in [0,1].
+  /// Returns 0 for an empty histogram.
+  uint64_t Percentile(double q) const;
+  uint64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  static int BucketFor(uint64_t v) {
+    if (v == 0) return 0;
+    return 64 - __builtin_clzll(v);
+  }
+  /// Inclusive upper bound of bucket i.
+  static uint64_t BucketUpper(int i) {
+    return i == 0 ? 0 : (i >= 64 ? ~0ull : (1ull << i));
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Named instrument registry. Get* registers on first use and returns a
+/// stable pointer; subsystems cache the pointer and update it lock-free.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Counter name -> current value, for before/after deltas
+  /// (EXPLAIN ANALYZE attributes a query's metric increments this way).
+  std::map<std::string, uint64_t> SnapshotCounters() const;
+
+  /// Human-readable dump, one "name value" line per instrument, sorted.
+  std::string ToText() const;
+  /// JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms dump count/sum/p50/p95/p99 (bucket upper bounds).
+  std::string ToJson() const;
+
+ private:
+  // Rank-free leaf: may be taken while the caller holds any other lock
+  // (see file comment). Never held while calling non-obs code.
+  mutable Mutex mu_{LockRank::kRankFree, "obs.metrics"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      HAWQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ HAWQ_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      HAWQ_GUARDED_BY(mu_);
+};
+
+}  // namespace hawq::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+
+namespace hawq::obs {
+
+Span* QueryTrace::StartSpan(const std::string& name, const Span* parent,
+                            int slice, int segment, int worker,
+                            int motion_id) {
+  MutexLock g(mu_);
+  spans_.emplace_back();
+  Span& s = spans_.back();
+  s.id = static_cast<int>(spans_.size()) - 1;
+  s.parent_id = parent ? parent->id : -1;
+  s.name = name;
+  s.slice = slice;
+  s.segment = segment;
+  s.worker = worker;
+  s.motion_id = motion_id;
+  s.start = TraceClock::now();
+  return &s;
+}
+
+void QueryTrace::EndSpan(Span* s) {
+  if (s == nullptr) return;
+  MutexLock g(mu_);
+  if (s->finished) return;
+  s->end = TraceClock::now();
+  s->finished = true;
+}
+
+void QueryTrace::FinishAll() {
+  MutexLock g(mu_);
+  auto now = TraceClock::now();
+  for (Span& s : spans_) {
+    if (!s.finished) {
+      s.end = now;
+      s.finished = true;
+    }
+  }
+}
+
+NodeStats* QueryTrace::StatsFor(int node_id, int segment) {
+  MutexLock g(mu_);
+  auto& slot = node_stats_[{node_id, segment}];
+  if (!slot) slot = std::make_unique<NodeStats>();
+  return slot.get();
+}
+
+std::vector<Span> QueryTrace::Spans() const {
+  MutexLock g(mu_);
+  return std::vector<Span>(spans_.begin(), spans_.end());
+}
+
+bool QueryTrace::AllFinished() const {
+  MutexLock g(mu_);
+  for (const Span& s : spans_) {
+    if (!s.finished) return false;
+  }
+  return true;
+}
+
+std::map<std::pair<int, int>, const NodeStats*> QueryTrace::NodeStatsMap()
+    const {
+  MutexLock g(mu_);
+  std::map<std::pair<int, int>, const NodeStats*> out;
+  for (const auto& [key, stats] : node_stats_) out[key] = stats.get();
+  return out;
+}
+
+std::string QueryTrace::TreeToString() const {
+  std::vector<Span> spans = Spans();
+  // children[i] = ids of spans whose parent is i; roots under -1.
+  std::map<int, std::vector<int>> children;
+  for (const Span& s : spans) children[s.parent_id].push_back(s.id);
+
+  std::string out;
+  char buf[256];
+  std::function<void(int, int)> emit = [&](int id, int depth) {
+    const Span& s = spans[static_cast<size_t>(id)];
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += s.name;
+    if (s.slice >= 0) {
+      std::snprintf(buf, sizeof(buf), " slice=%d", s.slice);
+      out += buf;
+    }
+    if (s.segment >= 0) {
+      std::snprintf(buf, sizeof(buf), " seg=%d", s.segment);
+      out += buf;
+    }
+    if (s.worker >= 0) {
+      std::snprintf(buf, sizeof(buf), " worker=%d", s.worker);
+      out += buf;
+    }
+    if (s.motion_id >= 0) {
+      std::snprintf(buf, sizeof(buf), " motion=%d", s.motion_id);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " (%.3f ms)%s\n",
+                  static_cast<double>(s.DurationUs()) / 1000.0,
+                  s.finished ? "" : " UNFINISHED");
+    out += buf;
+    auto it = children.find(id);
+    if (it != children.end()) {
+      for (int c : it->second) emit(c, depth + 1);
+    }
+  };
+  auto roots = children.find(-1);
+  if (roots != children.end()) {
+    for (int r : roots->second) emit(r, 0);
+  }
+  return out;
+}
+
+}  // namespace hawq::obs

@@ -1,0 +1,133 @@
+// Per-query distributed tracing: a span tree over the simulated cluster.
+//
+// One QueryTrace lives for the duration of a single traced query (built
+// by the session for EXPLAIN ANALYZE, or by tests/benches directly). It
+// records two things:
+//
+//   * Spans — timed tree nodes covering dispatcher -> gang worker ->
+//     exec slice -> motion send/recv. Spans carry slice/segment/worker/
+//     motion_id attributes; a motion's send spans (in the sending slice)
+//     and recv spans (in the receiving slice) share the same motion_id,
+//     which is how the tree is stitched back together across the
+//     simulated interconnect.
+//   * NodeStats — per (plan node, segment) operator counters: rows,
+//     batches, bytes, spill bytes, and inclusive time in Open/Next/Close.
+//     Counters are relaxed atomics so a gang of workers running the same
+//     plan node on different segments can update without coordination
+//     (each (node, segment) pair is in practice written by one worker).
+//
+// Concurrency: the trace mutex is LockRank::kRankFree — span creation
+// happens inside dispatcher/executor code that may hold engine locks,
+// and the rank-free exemption (common/sync.h) keeps the obs subsystem
+// out of the lock-rank hierarchy. Span fields are mutated only under
+// that mutex; NodeStats fields are atomics and never need it. Spans and
+// stats live in node-stable containers, so pointers handed out remain
+// valid for the lifetime of the trace.
+//
+// Cost when disabled: tracing is off when ExecContext::trace == nullptr;
+// the executor's per-batch hot path then contains no instrumentation at
+// all (the wrapper nodes are simply not built).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+
+using TraceClock = std::chrono::steady_clock;
+
+/// Per (plan node, segment) operator counters. All relaxed atomics.
+struct NodeStats {
+  std::atomic<uint64_t> rows{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> bytes{0};        // motion traffic / scan payload
+  std::atomic<uint64_t> spill_bytes{0};  // written to local scratch disk
+  std::atomic<uint64_t> open_us{0};      // inclusive (subtree) times
+  std::atomic<uint64_t> next_us{0};
+  std::atomic<uint64_t> close_us{0};
+
+  uint64_t TotalUs() const {
+    return open_us.load(std::memory_order_relaxed) +
+           next_us.load(std::memory_order_relaxed) +
+           close_us.load(std::memory_order_relaxed);
+  }
+};
+
+/// One timed node in the query's span tree. Attribute fields are -1 when
+/// not applicable (e.g. the root dispatch span has no segment).
+struct Span {
+  int id = 0;
+  int parent_id = -1;  // -1 for the root
+  std::string name;
+  int slice = -1;
+  int segment = -1;   // -1 = runs on the QD
+  int worker = -1;
+  int motion_id = -1;  // stitches send/recv spans across the interconnect
+  TraceClock::time_point start{};
+  TraceClock::time_point end{};
+  bool finished = false;
+
+  uint64_t DurationUs() const {
+    if (end <= start) return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+            .count());
+  }
+};
+
+class QueryTrace {
+ public:
+  explicit QueryTrace(uint64_t query_id) : query_id_(query_id) {}
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  uint64_t query_id() const { return query_id_; }
+
+  /// Create a span. parent may be null (root) or any previously returned
+  /// span. Thread-safe; the returned pointer is stable.
+  Span* StartSpan(const std::string& name, const Span* parent = nullptr,
+                  int slice = -1, int segment = -1, int worker = -1,
+                  int motion_id = -1);
+  /// Stamp the span's end time. Thread-safe, idempotent.
+  void EndSpan(Span* s);
+  /// End every still-open span (dispatcher calls this once the gang has
+  /// been joined, so error paths cannot leak unfinished spans).
+  void FinishAll();
+
+  /// Per-(node, segment) counters; registers on first use, stable pointer.
+  NodeStats* StatsFor(int node_id, int segment);
+
+  /// Copies of all spans in creation order (safe to call concurrently,
+  /// but meaningful once the query is done).
+  std::vector<Span> Spans() const;
+  bool AllFinished() const;
+  /// (node_id, segment) -> stats pointer; pointers stay valid while the
+  /// trace is alive.
+  std::map<std::pair<int, int>, const NodeStats*> NodeStatsMap() const;
+
+  /// Indented rendering of the span tree with durations and attributes.
+  std::string TreeToString() const;
+
+  /// Engine-wide counter deltas attributed to this query (filled by the
+  /// session from MetricsRegistry::SnapshotCounters before/after).
+  std::map<std::string, uint64_t> metric_deltas;
+
+ private:
+  const uint64_t query_id_;
+  // Rank-free leaf (see file comment): callable while holding any lock.
+  mutable Mutex mu_{LockRank::kRankFree, "obs.trace"};
+  std::deque<Span> spans_ HAWQ_GUARDED_BY(mu_);  // deque: stable addresses
+  std::map<std::pair<int, int>, std::unique_ptr<NodeStats>> node_stats_
+      HAWQ_GUARDED_BY(mu_);
+};
+
+}  // namespace hawq::obs

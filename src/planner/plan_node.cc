@@ -1,5 +1,7 @@
 #include "planner/plan_node.h"
 
+#include <functional>
+
 namespace hawq::plan {
 
 namespace {
@@ -92,6 +94,7 @@ const char* MotionTypeName(MotionType m) {
 void PlanNode::Serialize(BufferWriter* w) const {
   w->PutU8(static_cast<uint8_t>(kind));
   w->PutVarintSigned(out_arity);
+  w->PutVarintSigned(node_id);
   w->PutU64(table_oid);
   w->PutString(table_name);
   SerializeSchema(table_schema, w);
@@ -151,6 +154,8 @@ Result<std::unique_ptr<PlanNode>> PlanNode::Deserialize(BufferReader* r) {
   n->kind = static_cast<NodeKind>(k);
   HAWQ_ASSIGN_OR_RETURN(int64_t arity, r->GetVarintSigned());
   n->out_arity = static_cast<int>(arity);
+  HAWQ_ASSIGN_OR_RETURN(int64_t nid, r->GetVarintSigned());
+  n->node_id = static_cast<int>(nid);
   HAWQ_ASSIGN_OR_RETURN(n->table_oid, r->GetU64());
   HAWQ_ASSIGN_OR_RETURN(n->table_name, r->GetString());
   HAWQ_ASSIGN_OR_RETURN(n->table_schema, DeserializeSchema(r));
@@ -240,7 +245,13 @@ Result<std::unique_ptr<PlanNode>> PlanNode::Deserialize(BufferReader* r) {
 
 std::string PlanNode::ToString(int indent) const {
   std::string pad(indent * 2, ' ');
-  std::string s = pad + NodeKindName(kind);
+  std::string s = pad + Describe() + "\n";
+  for (const auto& c : children) s += c->ToString(indent + 1);
+  return s;
+}
+
+std::string PlanNode::Describe() const {
+  std::string s = NodeKindName(kind);
   switch (kind) {
     case NodeKind::kSeqScan:
       s += " " + table_name + " (" + catalog::StorageKindName(storage) +
@@ -277,6 +288,14 @@ std::string PlanNode::ToString(int indent) const {
       s += std::string(" ") + MotionTypeName(motion) + " motion=" +
            std::to_string(motion_id) + " receivers=" +
            std::to_string(num_receivers);
+      if (motion == MotionType::kRedistribute && !hash_exprs.empty()) {
+        s += " by (";
+        for (size_t i = 0; i < hash_exprs.size(); ++i) {
+          if (i) s += ", ";
+          s += hash_exprs[i].ToString();
+        }
+        s += ")";
+      }
       break;
     case NodeKind::kMotionRecv:
       s += " motion=" + std::to_string(motion_id) +
@@ -292,8 +311,6 @@ std::string PlanNode::ToString(int indent) const {
       break;
   }
   if (est_rows > 0) s += " rows=" + std::to_string(static_cast<int64_t>(est_rows));
-  s += "\n";
-  for (const auto& c : children) s += c->ToString(indent + 1);
   return s;
 }
 
@@ -356,9 +373,37 @@ std::string PhysicalPlan::ToString() const {
       }
       s += "}";
     }
+    // Slice boundary: which motion this slice feeds, and the distribution
+    // keys when rows are redistributed (slice 0 returns to the client).
+    if (sl.root && sl.root->kind == NodeKind::kMotionSend) {
+      s += std::string(" sends ") + MotionTypeName(sl.root->motion) +
+           " motion=" + std::to_string(sl.root->motion_id);
+      if (sl.root->motion == MotionType::kRedistribute &&
+          !sl.root->hash_exprs.empty()) {
+        s += " by (";
+        for (size_t i = 0; i < sl.root->hash_exprs.size(); ++i) {
+          if (i) s += ", ";
+          s += sl.root->hash_exprs[i].ToString();
+        }
+        s += ")";
+      }
+    } else if (sl.on_qd) {
+      s += " returns to client";
+    }
     s += ":\n" + sl.root->ToString(1);
   }
   return s;
+}
+
+void PhysicalPlan::AssignNodeIds() {
+  int next = 0;
+  std::function<void(PlanNode*)> visit = [&](PlanNode* n) {
+    n->node_id = next++;
+    for (auto& c : n->children) visit(c.get());
+  };
+  for (Slice& sl : slices) {
+    if (sl.root) visit(sl.root.get());
+  }
 }
 
 }  // namespace hawq::plan

@@ -75,6 +75,12 @@ struct PlanNode {
   /// Output arity of this node's rows.
   int out_arity = 0;
 
+  /// Plan-wide stable identifier, assigned by PhysicalPlan::AssignNodeIds
+  /// (pre-order across slices) and serialized with the plan, so the QD
+  /// and every gang worker agree on which node an EXPLAIN ANALYZE stat
+  /// belongs to. -1 = unassigned (hand-built test plans).
+  int node_id = -1;
+
   // --- kSeqScan ---------------------------------------------------------
   uint64_t table_oid = 0;
   std::string table_name;
@@ -136,6 +142,9 @@ struct PlanNode {
   void Serialize(BufferWriter* w) const;
   static Result<std::unique_ptr<PlanNode>> Deserialize(BufferReader* r);
   std::string ToString(int indent = 0) const;
+  /// One-line description of this node alone (no children, no newline) —
+  /// shared by ToString and the EXPLAIN ANALYZE renderer.
+  std::string Describe() const;
 };
 
 /// One slice: a motion-free fragment executed by a gang of QEs.
@@ -160,6 +169,8 @@ struct PhysicalPlan {
   std::string Serialize() const;
   static Result<PhysicalPlan> Parse(const std::string& bytes);
   std::string ToString() const;
+  /// Number plan nodes pre-order across slices (see PlanNode::node_id).
+  void AssignNodeIds();
 };
 
 const char* NodeKindName(NodeKind k);

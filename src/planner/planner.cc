@@ -1143,6 +1143,7 @@ struct Planner::Build {
     }
     plan.output_schema = out;
     plan.n_visible = q.n_visible;
+    plan.AssignNodeIds();
     return plan;
   }
 };

@@ -137,6 +137,7 @@ struct Statement {
   std::string table;             // drop/analyze/truncate/alter target
   std::map<std::string, std::string> options;  // ALTER ... SET WITH (...)
   std::unique_ptr<Statement> child;  // explain
+  bool explain_analyze = false;  // EXPLAIN ANALYZE: execute with tracing
   std::string isolation;         // BEGIN [ISOLATION LEVEL ...]
 };
 

@@ -95,6 +95,14 @@ class Parser {
     }
     if (AcceptKw("EXPLAIN")) {
       stmt->kind = Statement::Kind::kExplain;
+      // EXPLAIN ANALYZE SELECT ... executes the query with tracing on.
+      // Only consume ANALYZE when SELECT follows, so plain
+      // "EXPLAIN ANALYZE t" still explains the ANALYZE statement.
+      if (IsKw("ANALYZE") && Peek().kind == Token::Kind::kIdent &&
+          IEquals(Peek().text, "SELECT")) {
+        Advance();
+        stmt->explain_analyze = true;
+      }
       HAWQ_ASSIGN_OR_RETURN(stmt->child, ParseStatementInner());
       return stmt;
     }

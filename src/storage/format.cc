@@ -105,9 +105,10 @@ class AoScanner : public TableScanner {
     for (bool m : mask_) all_cols_ &= m;
   }
 
-  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
+              int reader_host) {
     if (eof == 0) return Status::OK();
-    HAWQ_ASSIGN_OR_RETURN(auto reader, fs->Open(path));
+    HAWQ_ASSIGN_OR_RETURN(auto reader, fs->Open(path, reader_host));
     buf_.resize(eof);
     HAWQ_ASSIGN_OR_RETURN(size_t got, reader->PRead(0, buf_.data(), buf_.size()));
     if (got < static_cast<size_t>(eof)) {
@@ -288,11 +289,12 @@ class CoScanner : public TableScanner {
   CoScanner(size_t ncols, std::vector<bool> mask, Codec codec)
       : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
 
-  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
+              int reader_host) {
     fs_ = fs;
     path_ = path;
     if (eof == 0) return Status::OK();
-    HAWQ_ASSIGN_OR_RETURN(auto meta_reader, fs->Open(path));
+    HAWQ_ASSIGN_OR_RETURN(auto meta_reader, fs->Open(path, reader_host));
     meta_buf_.resize(eof);
     HAWQ_ASSIGN_OR_RETURN(size_t got,
                           meta_reader->PRead(0, meta_buf_.data(), eof));
@@ -305,7 +307,8 @@ class CoScanner : public TableScanner {
     for (size_t i = 0; i < ncols_; ++i) {
       if (!mask_[i]) continue;
       HAWQ_ASSIGN_OR_RETURN(col_readers_[i],
-                            fs->Open(path + ".c" + std::to_string(i)));
+                            fs->Open(path + ".c" + std::to_string(i),
+                                     reader_host));
     }
     return Status::OK();
   }
@@ -485,10 +488,11 @@ class ParquetScanner : public TableScanner {
   ParquetScanner(size_t ncols, std::vector<bool> mask, Codec codec)
       : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
 
-  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof) {
+  Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
+              int reader_host) {
     eof_ = eof;
     if (eof == 0) return Status::OK();
-    HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path));
+    HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path, reader_host));
     return Status::OK();
   }
 
@@ -633,19 +637,19 @@ Result<std::unique_ptr<TableScanner>> OpenTableScanner(
   switch (opts.kind) {
     case StorageKind::kAO: {
       auto s = std::make_unique<AoScanner>(schema.num_fields(), mask);
-      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }
     case StorageKind::kCO: {
       auto s = std::make_unique<CoScanner>(schema.num_fields(), mask,
                                            opts.codec);
-      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }
     case StorageKind::kParquet: {
       auto s = std::make_unique<ParquetScanner>(schema.num_fields(), mask,
                                                 opts.codec);
-      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof));
+      HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }
     case StorageKind::kExternal:

@@ -31,6 +31,9 @@ struct StorageOptions {
   int codec_level = 1;
   /// Rows buffered per block/stripe/row-group before flushing.
   size_t stripe_rows = 4096;
+  /// Datanode co-located with the scanning worker, forwarded to
+  /// MiniHdfs::Open for locality accounting (-1: no accounting).
+  int reader_host = -1;
 
   static StorageOptions FromTable(const catalog::TableDesc& t) {
     StorageOptions o;

@@ -3,6 +3,9 @@
 // after failed transactions.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "engine/cluster.h"
 #include "engine/session.h"
 
@@ -74,6 +77,44 @@ TEST(LossyNetworkTest, JoinsSurviveHeavyLoss) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows[0][0].as_int(), 100);
   EXPECT_EQ(r->rows[0][1].as_int(), 9900);
+}
+
+TEST(LossyNetworkTest, ExplainAnalyzeReportsRetransmitsAndCompleteSpans) {
+  ClusterOptions o = BaseOptions();
+  o.net.loss_prob = 0.10;
+  o.net.reorder_prob = 0.10;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  Seed(s.get(), 300);
+
+  // Loss is probabilistic; run the traced query a few times until a
+  // retransmission lands in its metric delta. The span-tree assertions
+  // must hold on every attempt.
+  bool saw_retransmit = false;
+  for (int attempt = 0; attempt < 5 && !saw_retransmit; ++attempt) {
+    auto r = s->Execute(
+        "EXPLAIN ANALYZE SELECT g, count(*), sum(a) FROM t GROUP BY g");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    std::string text;
+    for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+
+    EXPECT_NE(text.find("Spans:"), std::string::npos) << text;
+    EXPECT_NE(text.find("dispatch"), std::string::npos) << text;
+    EXPECT_NE(text.find("motion.send"), std::string::npos) << text;
+    EXPECT_NE(text.find("motion.recv"), std::string::npos) << text;
+    EXPECT_EQ(text.find("UNFINISHED"), std::string::npos)
+        << "span tree must be complete even under loss:\n" << text;
+
+    auto pos = text.find("udp.retransmissions=");
+    ASSERT_NE(pos, std::string::npos) << text;
+    long n = std::strtol(
+        text.c_str() + pos + std::string("udp.retransmissions=").size(),
+        nullptr, 10);
+    if (n > 0) saw_retransmit = true;
+  }
+  EXPECT_TRUE(saw_retransmit)
+      << "10% loss should raise the retransmission counter in "
+         "EXPLAIN ANALYZE output within 5 attempts";
 }
 
 TEST(SegmentFailureTest, InsertDuringSegmentOutage) {
