@@ -15,6 +15,7 @@
 #include "common/serde.h"
 #include "executor/exec_node.h"
 #include "hdfs/hdfs.h"
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "interconnect/sim_net.h"
@@ -372,12 +373,63 @@ int RunObsOverheadSmoke() {
   return 0;
 }
 
+// ---------------------------------------- lock-profiling overhead smoke
+//
+// HAWQ_LOCK_SMOKE=1: compare the pipeline's throughput with the lock
+// acquire-wait profiler uninstalled (observer == nullptr, one relaxed
+// atomic load per acquire) and installed, and fail if profiling costs
+// more than 5%. Guards the try_lock-first design: uncontended acquires —
+// the overwhelming majority — must stay on the fast path, and the timed
+// slow path must only ever run on real contention.
+int RunLockProfileOverheadSmoke() {
+  SweepFixture fx;
+  if (!fx.ok) return 1;
+  const size_t kBatch = 1024;
+  const int kReps = 9;
+  auto one_rep = [&] {
+    int64_t rows = 0;
+    double secs = RunPipelineOnce(&fx.fs, fx.root, kBatch, &rows);
+    return secs > 0 ? static_cast<double>(fx.nrows) / secs : 0.0;
+  };
+  {
+    int64_t rows = 0;  // warm the MiniHdfs block cache before timing
+    (void)RunPipelineOnce(&fx.fs, fx.root, kBatch, &rows);
+  }
+  // Interleave off/on reps so clock drift and CPU throttling hit both
+  // sides equally; compare best-of.
+  obs::MetricsRegistry profile_registry;
+  double off = 0, on = 0;
+  for (int i = 0; i < kReps; ++i) {
+    obs::UninstallLockWaitProfiler();
+    off = std::max(off, one_rep());
+    obs::InstallLockWaitProfiler(&profile_registry);
+    on = std::max(on, one_rep());
+  }
+  obs::UninstallLockWaitProfiler();
+  if (off <= 0 || on <= 0) return 1;
+  double regression = (off - on) / off;
+  std::printf("lock profiling overhead smoke (batch %zu, best of %d):\n"
+              "  profiler off: %12.0f rows/sec\n"
+              "  profiler on:  %12.0f rows/sec\n"
+              "  regression:   %.1f%% (limit 5%%)\n",
+              kBatch, kReps, off, on, 100.0 * regression);
+  if (regression > 0.05) {
+    std::fprintf(stderr, "FAIL: lock profiling overhead exceeds 5%%\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hawq
 
 int main(int argc, char** argv) {
   if (const char* e = std::getenv("HAWQ_OBS_SMOKE"); e && *e && *e != '0') {
     return hawq::RunObsOverheadSmoke();
+  }
+  if (const char* e = std::getenv("HAWQ_LOCK_SMOKE"); e && *e && *e != '0') {
+    return hawq::RunLockProfileOverheadSmoke();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

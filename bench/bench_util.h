@@ -108,9 +108,38 @@ class BenchReport {
 
   /// Snapshot a cluster's metrics registry under `label`. Call before
   /// the cluster is destroyed; one report may hold snapshots from
-  /// several configurations.
+  /// several configurations. Built from the typed snapshot APIs (the
+  /// same ones hawq_stat_metrics serves) rather than ToJson so the
+  /// report and the SQL view can never drift apart.
   void CaptureMetrics(const std::string& label, engine::Cluster* cluster) {
-    metrics_.emplace_back(label, cluster->metrics()->ToJson());
+    const obs::MetricsRegistry* reg = cluster->metrics();
+    std::string json = "{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, v] : reg->SnapshotCounters()) {
+      json += (first ? "" : ",");
+      json += "\"" + name + "\":" + std::to_string(v);
+      first = false;
+    }
+    json += "},\"gauges\":{";
+    first = true;
+    for (const auto& [name, v] : reg->SnapshotGauges()) {
+      json += (first ? "" : ",");
+      json += "\"" + name + "\":" + std::to_string(v);
+      first = false;
+    }
+    json += "},\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : reg->SnapshotHistograms()) {
+      json += (first ? "" : ",");
+      json += "\"" + name + "\":{\"count\":" + std::to_string(h.count) +
+              ",\"sum\":" + std::to_string(h.sum) +
+              ",\"p50\":" + std::to_string(h.p50) +
+              ",\"p95\":" + std::to_string(h.p95) +
+              ",\"p99\":" + std::to_string(h.p99) + "}";
+      first = false;
+    }
+    json += "}}";
+    metrics_.emplace_back(label, std::move(json));
   }
 
   void Write() const {

@@ -8,9 +8,9 @@
 #
 # Each configuration runs the tier-1 line from ROADMAP.md plus an
 # explicit pass of obs_test (the observability subsystem must be clean
-# under both sanitizers). The plain tree additionally runs the
-# tracing-overhead smoke: bench_micro's pipeline with tracing off vs on
-# must stay within 5%.
+# under both sanitizers) and the StatViews system-view suite. The plain
+# tree additionally runs two bench_micro smokes: tracing off-vs-on and
+# lock-wait profiling off-vs-on, each required to stay within 5%.
 #
 # Usage: scripts/check.sh [--keep] [ctest-args...]
 #   --keep     do not delete the build trees afterwards
@@ -40,6 +40,9 @@ run_config() {
   (cd "$dir" && ctest --output-on-failure -j "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}")
   echo "==== [$name] obs_test ===="
   "$dir/tests/obs_test"
+  echo "==== [$name] system views ===="
+  "$dir/tests/obs_test" --gtest_filter='StatViewsTest.*:LockProfileTest.*'
+  "$dir/tests/failure_test" --gtest_filter='StatViewsFailureTest.*'
   echo "==== [$name] OK ===="
 }
 
@@ -49,6 +52,9 @@ run_config tsan   build-check-tsan -DHAWQ_SANITIZE=thread
 
 echo "==== [plain] tracing-overhead smoke ===="
 HAWQ_OBS_SMOKE=1 ./build-check/bench/bench_micro
+
+echo "==== [plain] lock-profiling-overhead smoke ===="
+HAWQ_LOCK_SMOKE=1 ./build-check/bench/bench_micro
 
 if [ "$KEEP" -eq 0 ]; then
   rm -rf build-check build-check-asan build-check-tsan

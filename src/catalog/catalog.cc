@@ -86,6 +86,7 @@ const char* StorageKindName(StorageKind k) {
     case StorageKind::kCO: return "CO";
     case StorageKind::kParquet: return "PARQUET";
     case StorageKind::kExternal: return "EXTERNAL";
+    case StorageKind::kVirtual: return "VIRTUAL";
   }
   return "?";
 }
@@ -106,6 +107,7 @@ Result<StorageKind> ParseStorageKind(const std::string& s) {
   if (u == "CO" || u == "COLUMN") return StorageKind::kCO;
   if (u == "PARQUET") return StorageKind::kParquet;
   if (u == "EXTERNAL") return StorageKind::kExternal;
+  if (u == "VIRTUAL") return StorageKind::kVirtual;
   return Status::InvalidArgument("unknown storage kind: " + s);
 }
 
@@ -241,7 +243,7 @@ Result<TableOid> Catalog::CreateTable(tx::Transaction* txn, TableDesc desc) {
   Row cls_row = {
       Datum::Int(static_cast<int64_t>(desc.oid)),
       Datum::Str(desc.name),
-      Datum::Str(desc.is_external() ? "x" : "r"),
+      Datum::Str(desc.is_external() ? "x" : (desc.is_virtual() ? "v" : "r")),
       Datum::Str(StorageKindName(desc.storage)),
       Datum::Str(CodecName(desc.codec)),
       Datum::Int(desc.codec_level),

@@ -27,8 +27,10 @@ namespace hawq::catalog {
 
 using TableOid = uint64_t;
 
-/// Physical storage of a table (paper §2.5) or external (PXF).
-enum class StorageKind : uint8_t { kAO = 0, kCO, kParquet, kExternal };
+/// Physical storage of a table (paper §2.5), external (PXF), or virtual
+/// (no storage at all: rows are synthesized at scan time from live engine
+/// state — the hawq_stat_* system views).
+enum class StorageKind : uint8_t { kAO = 0, kCO, kParquet, kExternal, kVirtual };
 /// Compression codec family. Level applies to kZlib (1/5/9).
 enum class Codec : uint8_t { kNone = 0, kQuicklz, kZlib, kRle };
 /// Row-to-segment assignment policy (paper §2.3).
@@ -73,6 +75,7 @@ struct TableDesc {
 
   bool is_partitioned() const { return part_col >= 0; }
   bool is_external() const { return storage == StorageKind::kExternal; }
+  bool is_virtual() const { return storage == StorageKind::kVirtual; }
   Schema ToSchema() const;
 };
 

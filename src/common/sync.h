@@ -22,7 +22,10 @@
 //    stack.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -109,6 +112,57 @@ enum class LockRank : int {
 #define HAWQ_LOCK_RANK_CHECKS 1
 #endif
 
+// ------------------------------------- lock-contention profiling hook
+
+/// Process-wide contention observer (installed by obs/lock_profile.h).
+/// Invoked on the acquiring thread only for CONTENDED acquires — the
+/// initial try_lock failed and the thread measurably blocked — with the
+/// lock's rank, name, and microseconds spent waiting. The observer runs
+/// between CheckAcquire and NoteAcquired, possibly while the thread holds
+/// locks of any rank, so implementations must touch only atomics (the obs
+/// profiler bumps pre-resolved histograms and nothing else). sync.h cannot
+/// depend on src/obs/ — obs includes this header — hence the raw function
+/// pointer rather than a registry reference.
+using LockWaitObserver = void (*)(int rank, const char* name,
+                                  uint64_t wait_us);
+
+namespace internal {
+
+inline std::atomic<LockWaitObserver> g_lock_wait_observer{nullptr};
+
+/// Acquire a lock via try-then-timed-block. With no observer installed the
+/// cost over a plain lock() is one relaxed-ish atomic load; with one
+/// installed, uncontended acquires pay a try_lock and contended ones a
+/// steady_clock read on each side of the blocking wait.
+template <class TryFn, class BlockFn>
+inline void LockWithProfile(int rank, const char* name, TryFn try_lock,
+                            BlockFn block) {
+  LockWaitObserver obs = g_lock_wait_observer.load(std::memory_order_acquire);
+  if (obs == nullptr) {
+    block();
+    return;
+  }
+  if (try_lock()) return;
+  auto t0 = std::chrono::steady_clock::now();
+  block();
+  auto waited = std::chrono::steady_clock::now() - t0;
+  obs(rank, name,
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(waited)
+              .count()));
+}
+
+}  // namespace internal
+
+/// Install (or, with nullptr, remove) the contention observer. Default off.
+inline void SetLockWaitObserver(LockWaitObserver f) {
+  internal::g_lock_wait_observer.store(f, std::memory_order_release);
+}
+
+inline LockWaitObserver GetLockWaitObserver() {
+  return internal::g_lock_wait_observer.load(std::memory_order_acquire);
+}
+
 namespace internal {
 
 struct HeldLock {
@@ -178,7 +232,9 @@ class HAWQ_CAPABILITY("mutex") Mutex {
 
   void Lock() HAWQ_ACQUIRE() {
     internal::CheckAcquire(static_cast<int>(rank_), name_);
-    mu_.lock();
+    internal::LockWithProfile(
+        static_cast<int>(rank_), name_, [this] { return mu_.try_lock(); },
+        [this] { mu_.lock(); });
     internal::NoteAcquired(this, static_cast<int>(rank_), name_);
   }
 
@@ -211,7 +267,10 @@ class HAWQ_SCOPED_CAPABILITY MutexLock {
  public:
   explicit MutexLock(Mutex& mu) HAWQ_ACQUIRE(mu) : mu_(mu) {
     internal::CheckAcquire(static_cast<int>(mu_.rank_), mu_.name_);
-    lock_ = std::unique_lock<std::mutex>(mu_.mu_);
+    lock_ = std::unique_lock<std::mutex>(mu_.mu_, std::defer_lock);
+    internal::LockWithProfile(
+        static_cast<int>(mu_.rank_), mu_.name_,
+        [this] { return lock_.try_lock(); }, [this] { lock_.lock(); });
     internal::NoteAcquired(&mu_, static_cast<int>(mu_.rank_), mu_.name_);
   }
 
@@ -226,7 +285,9 @@ class HAWQ_SCOPED_CAPABILITY MutexLock {
 
   void Lock() HAWQ_ACQUIRE() {
     internal::CheckAcquire(static_cast<int>(mu_.rank_), mu_.name_);
-    lock_.lock();
+    internal::LockWithProfile(
+        static_cast<int>(mu_.rank_), mu_.name_,
+        [this] { return lock_.try_lock(); }, [this] { lock_.lock(); });
     internal::NoteAcquired(&mu_, static_cast<int>(mu_.rank_), mu_.name_);
   }
 
@@ -287,7 +348,9 @@ class HAWQ_CAPABILITY("shared_mutex") SharedMutex {
 
   void Lock() HAWQ_ACQUIRE() {
     internal::CheckAcquire(static_cast<int>(rank_), name_);
-    mu_.lock();
+    internal::LockWithProfile(
+        static_cast<int>(rank_), name_, [this] { return mu_.try_lock(); },
+        [this] { mu_.lock(); });
     internal::NoteAcquired(this, static_cast<int>(rank_), name_);
   }
   void Unlock() HAWQ_RELEASE() {
@@ -296,7 +359,10 @@ class HAWQ_CAPABILITY("shared_mutex") SharedMutex {
   }
   void LockShared() HAWQ_ACQUIRE_SHARED() {
     internal::CheckAcquire(static_cast<int>(rank_), name_);
-    mu_.lock_shared();
+    internal::LockWithProfile(
+        static_cast<int>(rank_), name_,
+        [this] { return mu_.try_lock_shared(); },
+        [this] { mu_.lock_shared(); });
     internal::NoteAcquired(this, static_cast<int>(rank_), name_);
   }
   void UnlockShared() HAWQ_RELEASE_SHARED() {

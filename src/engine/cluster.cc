@@ -1,7 +1,9 @@
 #include "engine/cluster.h"
 
 #include "engine/session.h"
+#include "engine/stat_views.h"
 #include "executor/exec_node.h"
+#include "obs/lock_profile.h"
 
 namespace hawq::engine {
 
@@ -91,10 +93,22 @@ class ExternalScanExec : public exec::ExecNode {
 
 }  // namespace
 
-Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
+Cluster::Cluster(ClusterOptions opts)
+    : opts_(opts),
+      events_(opts.event_journal_capacity),
+      query_log_(opts.query_log_capacity),
+      hbase_(opts.num_segments) {
+  // Per-rank lock acquire-wait histograms ("sync.lock_wait_us.<rank>").
+  // Installed before any substrate so their mutexes are profiled from the
+  // first acquire; last-installed cluster wins, like the scan factories.
+  if (opts_.lock_contention_profiling) {
+    obs::InstallLockWaitProfiler(&metrics_);
+  }
+  c_retrans_ = metrics_.GetCounter("interconnect.udp.retransmissions");
+  txm_.SetEventJournal(&events_);
   // Segment hosts double as HDFS DataNodes (collocation, Figure 1).
   fs_ = std::make_unique<hdfs::MiniHdfs>(opts_.num_segments, opts_.hdfs,
-                                         &metrics_);
+                                         &metrics_, &events_);
   catalog_ = std::make_unique<catalog::Catalog>(&txm_);
   if (opts_.enable_standby) {
     standby_txm_ = std::make_unique<tx::TxManager>();
@@ -108,7 +122,7 @@ Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
   sim_net_ = std::make_unique<net::SimNet>(opts_.num_segments + 1, opts_.net);
   if (opts_.fabric == FabricKind::kUdp) {
     auto udp = std::make_unique<net::UdpFabric>(sim_net_.get(), opts_.udp,
-                                                &metrics_);
+                                                &metrics_, &events_);
     udp_fabric_ = udp.get();
     fabric_ = std::move(udp);
   } else {
@@ -127,6 +141,22 @@ Cluster::Cluster(ClusterOptions opts) : opts_(opts), hbase_(opts.num_segments) {
   for (int s = 0; s < opts_.num_segments; ++s) {
     catalog_->RegisterSegment({s, "seg" + std::to_string(s), 40000 + s, true});
   }
+  // Register the hawq_stat_* system views in a bootstrap transaction
+  // (after the standby's WAL subscription so it replays them too).
+  {
+    auto txn = txm_.Begin();
+    for (catalog::TableDesc& d : StatViewDefs()) {
+      auto created = catalog_->CreateTable(txn.get(), std::move(d));
+      (void)created;
+    }
+    txm_.Commit(txn.get());
+  }
+  // Virtual scan hook: synthesize system-view rows on the QD.
+  exec::SetVirtualScanFactory(
+      [this](const plan::PlanNode& node, exec::ExecContext* ctx)
+          -> Result<std::unique_ptr<exec::ExecNode>> {
+        return MakeVirtualScanExec(node, ctx, this);
+      });
   // Built-in PXF connectors.
   pxf_.Register("HdfsTextSimple",
                 std::make_unique<pxf::HdfsTextConnector>(fs_.get()));
@@ -150,6 +180,8 @@ Cluster::~Cluster() {
   if (detector_running_.exchange(false) && detector_.joinable()) {
     detector_.join();
   }
+  // Stop feeding histograms owned by metrics_ before members destruct.
+  if (opts_.lock_contention_profiling) obs::UninstallLockWaitProfiler();
 }
 
 std::unique_ptr<Session> Cluster::Connect() {
@@ -173,11 +205,16 @@ plan::PlannerOptions Cluster::PlannerOptionsFor() {
 }
 
 void Cluster::FailSegment(int segment) {
+  events_.Log(obs::Severity::kWarn, "engine", "segment_failed",
+              "segment " + std::to_string(segment) +
+                  " host killed; queries fail over to live segments");
   fs_->FailDataNode(segment);
   RunFaultDetectorOnce();
 }
 
 void Cluster::RecoverSegment(int segment) {
+  events_.Log(obs::Severity::kInfo, "engine", "segment_recovered",
+              "segment " + std::to_string(segment) + " host back online");
   fs_->RecoverDataNode(segment);
   RunFaultDetectorOnce();
 }

@@ -20,6 +20,8 @@
 #include "interconnect/sim_net.h"
 #include "interconnect/tcp_interconnect.h"
 #include "interconnect/udp_interconnect.h"
+#include "obs/events.h"
+#include "obs/query_log.h"
 #include "planner/planner.h"
 #include "pxf/connectors.h"
 #include "pxf/hbase_like.h"
@@ -43,6 +45,16 @@ struct ClusterOptions {
   bool enable_standby = true;
   bool fault_detector_thread = true;
   size_t sort_spill_threshold = 1 << 20;
+  /// Statements at least this slow (exec time, microseconds) get their
+  /// EXPLAIN ANALYZE rendering captured into hawq_stat_queries. 0 = off.
+  /// When on, every SELECT runs traced (the instrumentation wrappers cost
+  /// a few percent — see RunObsOverheadSmoke).
+  uint64_t slow_query_us = 0;
+  /// Publish per-rank lock acquire-wait histograms
+  /// ("sync.lock_wait_us.<rank>") into the metrics registry.
+  bool lock_contention_profiling = true;
+  size_t event_journal_capacity = 512;  // hawq_stat_events ring
+  size_t query_log_capacity = 256;      // hawq_stat_queries ring
 };
 
 class Cluster {
@@ -63,6 +75,19 @@ class Cluster {
   Dispatcher* dispatcher() { return dispatcher_.get(); }
   /// Cluster-wide metrics registry; every subsystem publishes here.
   obs::MetricsRegistry* metrics() { return &metrics_; }
+  /// Structured cluster event journal (backs hawq_stat_events).
+  obs::EventJournal* events() { return &events_; }
+  /// Bounded per-statement history (backs hawq_stat_queries).
+  obs::QueryLog* query_log() { return &query_log_; }
+  /// Lifetime UDP retransmissions (0 under the TCP fabric); sessions diff
+  /// it around each statement for hawq_stat_queries.retransmits.
+  uint64_t RetransmitCount() const { return c_retrans_->Get(); }
+  /// Lifetime bytes spilled across every host's scratch disk.
+  uint64_t TotalSpillBytes() const {
+    uint64_t total = 0;
+    for (const exec::LocalDisk& d : local_disks_) total += d.bytes_written();
+    return total;
+  }
   pxf::Registry* pxf_registry() { return &pxf_; }
   pxf::HBaseLike* hbase() { return &hbase_; }
   const ClusterOptions& options() const { return opts_; }
@@ -100,6 +125,8 @@ class Cluster {
   // Declared before every consumer (HDFS, fabrics, dispatcher) so the
   // instruments they cache outlive them.
   obs::MetricsRegistry metrics_;
+  obs::EventJournal events_;
+  obs::QueryLog query_log_;
   tx::TxManager txm_;
   std::unique_ptr<hdfs::MiniHdfs> fs_;
   std::unique_ptr<catalog::Catalog> catalog_;
@@ -112,6 +139,7 @@ class Cluster {
   std::unique_ptr<Dispatcher> dispatcher_;
   pxf::Registry pxf_;
   pxf::HBaseLike hbase_;
+  obs::Counter* c_retrans_ = nullptr;  // resolved once at construction
   std::atomic<uint64_t> next_query_id_{1};
   Mutex lanes_mu_{LockRank::kLeaf, "cluster.lanes"};
   std::map<catalog::TableOid, std::set<int>> lanes_in_use_

@@ -1,6 +1,7 @@
 #include "engine/dispatcher.h"
 
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "common/sync.h"
@@ -33,6 +34,14 @@ Result<QueryResult> Dispatcher::Execute(
     const std::vector<bool>& segment_up,
     std::vector<exec::InsertResult>* insert_results, obs::QueryTrace* trace) {
   auto t0 = Clock::now();
+  // Concurrency pressure gauge; the guard decrements on every return path.
+  struct ActiveGuard {
+    obs::Gauge* g;
+    ~ActiveGuard() {
+      if (g != nullptr) g->Add(-1);
+    }
+  } active_guard{g_active_};
+  if (g_active_ != nullptr) g_active_->Add(1);
   QueryResult result;
   result.schema = plan.output_schema;
   result.query_id = query_id;
@@ -158,7 +167,16 @@ Result<QueryResult> Dispatcher::Execute(
           ctx.span = trace->StartSpan("slice", root_span,
                                       static_cast<int>(si), segment, w);
         }
+        auto w0 = Clock::now();
         Status st = exec::RunSendSlice(*parsed->slices[si].root, &ctx);
+        if (segment >= 0 && segment < static_cast<int>(seg_load_.size())) {
+          seg_load_[segment].busy_us.fetch_add(
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - w0)
+                      .count()),
+              std::memory_order_relaxed);
+        }
         if (trace != nullptr) trace->EndSpan(ctx.span);
         record_error(st);
       });
@@ -217,6 +235,19 @@ Result<QueryResult> Dispatcher::Execute(
     c_queries_->Add(1);
     c_slices_->Add(plan.slices.size());
     h_query_us_->Observe(static_cast<uint64_t>(result.exec_time.count()));
+  }
+  // Count each executing segment's participation once per query.
+  {
+    std::set<int> involved;
+    for (const plan::Slice& s : plan.slices) {
+      if (s.on_qd) continue;
+      for (int seg : s.exec_segments) involved.insert(seg_host[seg]);
+    }
+    for (int seg : involved) {
+      if (seg >= 0 && seg < static_cast<int>(seg_load_.size())) {
+        seg_load_[seg].queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
   {
     MutexLock g(err_mu);

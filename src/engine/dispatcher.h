@@ -6,6 +6,7 @@
 // failed segment's data from HDFS.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -30,15 +31,28 @@ struct DispatchOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Execution totals of one segment, maintained by the dispatcher across
+/// queries (busy micros of its slice workers, queries it participated
+/// in). Backs hawq_stat_segments.
+struct SegmentLoad {
+  std::atomic<uint64_t> busy_us{0};
+  std::atomic<uint64_t> queries{0};
+};
+
 class Dispatcher {
  public:
   Dispatcher(hdfs::MiniHdfs* fs, net::Interconnect* net,
              std::vector<exec::LocalDisk>* local_disks, DispatchOptions opts)
-      : fs_(fs), net_(net), local_disks_(local_disks), opts_(opts) {
+      : fs_(fs),
+        net_(net),
+        local_disks_(local_disks),
+        opts_(opts),
+        seg_load_(opts.num_segments > 0 ? opts.num_segments : 0) {
     if (opts_.metrics != nullptr) {
       c_queries_ = opts_.metrics->GetCounter("engine.queries");
       c_slices_ = opts_.metrics->GetCounter("engine.slices");
       h_query_us_ = opts_.metrics->GetHistogram("engine.query_us");
+      g_active_ = opts_.metrics->GetGauge("engine.active_queries");
     }
   }
 
@@ -52,6 +66,10 @@ class Dispatcher {
                               std::vector<exec::InsertResult>* insert_results,
                               obs::QueryTrace* trace = nullptr);
 
+  /// Per-segment execution totals, indexed by the segment that actually
+  /// ran the work (failover reassigns a down segment's slices).
+  const std::vector<SegmentLoad>& segment_loads() const { return seg_load_; }
+
  private:
   hdfs::MiniHdfs* fs_;
   net::Interconnect* net_;
@@ -60,6 +78,8 @@ class Dispatcher {
   obs::Counter* c_queries_ = nullptr;
   obs::Counter* c_slices_ = nullptr;
   obs::Histogram* h_query_us_ = nullptr;
+  obs::Gauge* g_active_ = nullptr;
+  std::vector<SegmentLoad> seg_load_;
 };
 
 }  // namespace hawq::engine

@@ -146,6 +146,42 @@ Status Session::FinishTxn(const TxScope& scope, const Status& exec_status) {
 }
 
 Result<QueryResult> Session::Execute(const std::string& sql) {
+  auto t0 = std::chrono::steady_clock::now();
+  last_query_id_ = 0;
+  last_slow_explain_.clear();
+  uint64_t retrans0 = c_->RetransmitCount();
+  uint64_t spill0 = c_->TotalSpillBytes();
+
+  Result<QueryResult> res = ExecuteInternal(sql);
+
+  obs::QueryRecord rec;
+  rec.text = sql;
+  rec.duration_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  // Engine-wide deltas are best-effort attribution under concurrency,
+  // like EXPLAIN ANALYZE's (see ExecExplain).
+  rec.retransmits =
+      static_cast<int64_t>(c_->RetransmitCount() - retrans0);
+  rec.spill_bytes = static_cast<int64_t>(c_->TotalSpillBytes() - spill0);
+  if (res.ok()) {
+    rec.query_id = res->query_id != 0 ? res->query_id : last_query_id_;
+    rec.status = "ok";
+    rec.rows = static_cast<int64_t>(res->rows.size());
+  } else {
+    rec.query_id = last_query_id_;
+    rec.status = "error";
+    rec.error = res.status().message();
+    c_->events()->Log(obs::Severity::kError, "engine", "query_error",
+                      rec.error, rec.query_id);
+  }
+  rec.slow_explain = std::move(last_slow_explain_);
+  c_->query_log()->Append(std::move(rec));
+  return res;
+}
+
+Result<QueryResult> Session::ExecuteInternal(const std::string& sql) {
   HAWQ_ASSIGN_OR_RETURN(auto stmt, sql::Parse(sql));
 
   // Transaction control statements manage the explicit transaction.
@@ -262,8 +298,29 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
   HAWQ_RETURN_IF_ERROR(ResolveScalarSubqueries(bound, txn));
   plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
   HAWQ_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.PlanSelect(*bound));
-  return c_->dispatcher()->Execute(plan, c_->NextQueryId(),
-                                   c_->SegmentUpMask(), nullptr);
+  uint64_t qid = c_->NextQueryId();
+  last_query_id_ = qid;
+  uint64_t slow_us = c_->options().slow_query_us;
+  if (slow_us == 0) {
+    return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(), nullptr);
+  }
+  // Slow-query auto-capture: run traced so that if the statement crosses
+  // the threshold its EXPLAIN ANALYZE rendering lands in the query log.
+  obs::QueryTrace trace(qid);
+  auto before = c_->metrics()->SnapshotCounters();
+  HAWQ_ASSIGN_OR_RETURN(
+      QueryResult res,
+      c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(), nullptr,
+                                &trace));
+  if (static_cast<uint64_t>(res.exec_time.count()) >= slow_us) {
+    auto after = c_->metrics()->SnapshotCounters();
+    for (const auto& [name, v] : after) {
+      auto it = before.find(name);
+      trace.metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
+    }
+    last_slow_explain_ = RenderExplainAnalyze(plan, trace, res);
+  }
+  return res;
 }
 
 Result<QueryResult> Session::ExecSelect(const sql::SelectStmt& stmt,
@@ -285,6 +342,9 @@ Result<QueryResult> Session::ExecInsert(const sql::InsertStmt& stmt,
                         c_->catalog()->GetTable(txn, stmt.table));
   if (target.is_external()) {
     return Status::NotSupported("INSERT into external tables");
+  }
+  if (target.is_virtual()) {
+    return Status::NotSupported("INSERT into system views");
   }
   HAWQ_RETURN_IF_ERROR(c_->tx_manager()->locks().Acquire(
       txn->xid(), target.oid, tx::LockMode::kRowExclusive));
@@ -427,6 +487,7 @@ Result<QueryResult> Session::ExecInsert(const sql::InsertStmt& stmt,
   // single pg_class row (swimming lanes keep writers independent, §5.4).
   QueryResult out;
   out.message = "INSERT " + std::to_string(total);
+  out.query_id = res.query_id;
   out.plan_bytes = res.plan_bytes;
   out.plan_bytes_compressed = res.plan_bytes_compressed;
   out.num_slices = res.num_slices;
@@ -554,6 +615,9 @@ Result<QueryResult> Session::ExecDropTable(const std::string& name,
                                            tx::Transaction* txn) {
   HAWQ_ASSIGN_OR_RETURN(catalog::TableDesc desc,
                         c_->catalog()->GetTable(txn, name));
+  if (desc.is_virtual()) {
+    return Status::NotSupported("cannot DROP a system view");
+  }
   HAWQ_RETURN_IF_ERROR(c_->tx_manager()->locks().Acquire(
       txn->xid(), desc.oid, tx::LockMode::kAccessExclusive));
   // Gather HDFS files to remove once the drop commits.
@@ -643,8 +707,10 @@ Result<QueryResult> Session::ExecTruncate(const std::string& name,
   // commit, under the AccessExclusive lock.
   HAWQ_ASSIGN_OR_RETURN(catalog::TableDesc desc,
                         c_->catalog()->GetTable(txn, name));
-  if (desc.is_external()) {
-    return Status::NotSupported("cannot TRUNCATE an external table");
+  if (desc.is_external() || desc.is_virtual()) {
+    return Status::NotSupported(
+        desc.is_virtual() ? "cannot TRUNCATE a system view"
+                          : "cannot TRUNCATE an external table");
   }
   HAWQ_RETURN_IF_ERROR(c_->tx_manager()->locks().Acquire(
       txn->xid(), desc.oid, tx::LockMode::kAccessExclusive));
@@ -687,7 +753,7 @@ Result<QueryResult> Session::ExecAlterStorage(
   // deletion on abort.
   HAWQ_ASSIGN_OR_RETURN(catalog::TableDesc desc,
                         c_->catalog()->GetTable(txn, name));
-  if (desc.is_external() || desc.is_partitioned()) {
+  if (desc.is_external() || desc.is_virtual() || desc.is_partitioned()) {
     return Status::NotSupported(
         "ALTER TABLE SET WITH supports plain internal tables");
   }
@@ -842,6 +908,7 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
     // concurrent queries; EXPLAIN ANALYZE attribution is best-effort,
     // like the real system's.
     uint64_t qid = c_->NextQueryId();
+    last_query_id_ = qid;
     obs::QueryTrace trace(qid);
     auto before = c_->metrics()->SnapshotCounters();
     HAWQ_ASSIGN_OR_RETURN(QueryResult exec_result,
@@ -854,6 +921,7 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
       trace.metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
     }
     text = RenderExplainAnalyze(plan, trace, exec_result);
+    r.query_id = qid;
     r.plan_bytes = exec_result.plan_bytes;
     r.exec_time = exec_result.exec_time;
   } else {

@@ -18,7 +18,9 @@ class Session {
 
   /// Execute one SQL statement. Statements outside an explicit BEGIN run
   /// in their own transaction; an error inside an explicit transaction
-  /// aborts it.
+  /// aborts it. Every statement is recorded in the cluster query log
+  /// (hawq_stat_queries) with duration, rows, and the spill/retransmit
+  /// deltas it caused; errors are journaled to hawq_stat_events.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// True while an explicit transaction is open.
@@ -34,6 +36,9 @@ class Session {
   };
   Result<TxScope> CurrentTxn();
   Status FinishTxn(const TxScope& scope, const Status& exec_status);
+
+  /// The statement body Execute() wraps with query-log accounting.
+  Result<QueryResult> ExecuteInternal(const std::string& sql);
 
   Result<QueryResult> ExecStatement(const sql::Statement& stmt,
                                     tx::Transaction* txn);
@@ -69,6 +74,12 @@ class Session {
   Cluster* c_;
   std::unique_ptr<tx::Transaction> open_txn_;
   std::unique_ptr<tx::Transaction> implicit_txn_;
+  /// Query id of the most recent dispatch within the current statement
+  /// (errors carry no QueryResult, so the log reads it from here).
+  uint64_t last_query_id_ = 0;
+  /// EXPLAIN ANALYZE rendering captured when the statement crossed the
+  /// cluster's slow_query_us threshold; moved into the query record.
+  std::string last_slow_explain_;
 };
 
 }  // namespace hawq::engine

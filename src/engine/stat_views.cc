@@ -1,0 +1,201 @@
+#include "engine/stat_views.h"
+
+#include <utility>
+
+#include "engine/cluster.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace hawq::engine {
+
+namespace {
+
+catalog::TableDesc MakeViewDesc(std::string name,
+                                std::vector<catalog::ColumnDesc> cols) {
+  catalog::TableDesc d;
+  d.name = std::move(name);
+  d.columns = std::move(cols);
+  d.storage = catalog::StorageKind::kVirtual;
+  d.dist = catalog::DistPolicy::kRandom;
+  d.reltuples = 128;  // planner hint; rings are bounded at this order
+  return d;
+}
+
+Datum U64(uint64_t v) { return Datum::Int(static_cast<int64_t>(v)); }
+
+std::vector<Row> MetricsRows(Cluster* c) {
+  obs::MetricsRegistry* reg = c->metrics();
+  std::vector<Row> rows;
+  for (const auto& [name, v] : reg->SnapshotCounters()) {
+    rows.push_back({Datum::Str(name), Datum::Str("counter"), U64(v),
+                    Datum::Null(), Datum::Null(), Datum::Null(), Datum::Null(),
+                    Datum::Null()});
+  }
+  for (const auto& [name, v] : reg->SnapshotGauges()) {
+    rows.push_back({Datum::Str(name), Datum::Str("gauge"), Datum::Int(v),
+                    Datum::Null(), Datum::Null(), Datum::Null(), Datum::Null(),
+                    Datum::Null()});
+  }
+  for (const auto& [name, h] : reg->SnapshotHistograms()) {
+    rows.push_back({Datum::Str(name), Datum::Str("histogram"), Datum::Null(),
+                    U64(h.count), U64(h.sum), U64(h.p50), U64(h.p95),
+                    U64(h.p99)});
+  }
+  return rows;
+}
+
+std::vector<Row> QueryRows(Cluster* c) {
+  std::vector<Row> rows;
+  for (obs::QueryRecord& q : c->query_log()->Snapshot()) {
+    rows.push_back({U64(q.query_id), Datum::Str(std::move(q.text)),
+                    Datum::Str(std::move(q.status)),
+                    q.error.empty() ? Datum::Null()
+                                    : Datum::Str(std::move(q.error)),
+                    U64(q.duration_us), Datum::Int(q.rows),
+                    Datum::Int(q.spill_bytes), Datum::Int(q.retransmits),
+                    q.slow_explain.empty()
+                        ? Datum::Null()
+                        : Datum::Str(std::move(q.slow_explain))});
+  }
+  return rows;
+}
+
+std::vector<Row> SegmentRows(Cluster* c) {
+  const auto& loads = c->dispatcher()->segment_loads();
+  std::vector<Row> rows;
+  for (const catalog::SegmentInfo& seg : c->catalog()->GetSegments()) {
+    uint64_t busy = 0, nq = 0;
+    if (seg.id >= 0 && seg.id < static_cast<int>(loads.size())) {
+      busy = loads[seg.id].busy_us.load(std::memory_order_relaxed);
+      nq = loads[seg.id].queries.load(std::memory_order_relaxed);
+    }
+    hdfs::MiniHdfs::DataNodeIo io = c->hdfs()->DataNodeIoStats(seg.id);
+    uint64_t spill = 0;
+    if (seg.id >= 0 && seg.id < c->num_segments()) {
+      spill = c->local_disk(seg.id)->bytes_written();
+    }
+    rows.push_back({Datum::Int(seg.id), Datum::Str(seg.host),
+                    Datum::Str(seg.up ? "up" : "down"), U64(nq), U64(busy),
+                    U64(io.bytes_read), U64(io.locality_hits),
+                    U64(io.locality_misses), U64(spill)});
+  }
+  return rows;
+}
+
+std::vector<Row> EventRows(Cluster* c) {
+  std::vector<Row> rows;
+  for (obs::Event& e : c->events()->Snapshot()) {
+    rows.push_back({U64(e.seq), U64(e.ts_us),
+                    Datum::Str(obs::SeverityName(e.severity)),
+                    Datum::Str(std::move(e.component)),
+                    Datum::Str(std::move(e.event)),
+                    Datum::Str(std::move(e.detail)),
+                    e.query_id == 0 ? Datum::Null() : U64(e.query_id)});
+  }
+  return rows;
+}
+
+/// VirtualScan operator: synthesizes the view's rows from live engine
+/// state at Open() (one consistent-enough snapshot per scan) and widens
+/// them into the query's flat layout, mirroring ExternalScanExec.
+class VirtualScanExec : public exec::ExecNode {
+ public:
+  VirtualScanExec(const plan::PlanNode& node, exec::ExecContext* ctx,
+                  Cluster* cluster)
+      : node_(node), ctx_(ctx), cluster_(cluster) {}
+
+  Status Open() override {
+    // Rows exist only on the QD. A segment worker scanning the view (e.g.
+    // after a redistribute for a join) produces nothing, so totals are
+    // never multiplied by the segment count.
+    if (ctx_->segment >= 0) return Status::OK();
+    HAWQ_ASSIGN_OR_RETURN(rows_,
+                          BuildStatViewRows(cluster_, node_.table_name));
+    return Status::OK();
+  }
+
+  Result<bool> Next(Row* row) override {
+    if (idx_ >= rows_.size()) return false;
+    Row& inner = rows_[idx_++];
+    Row out(node_.out_arity);
+    for (size_t i = 0; i < inner.size(); ++i) {
+      out[node_.col_start + static_cast<int>(i)] = std::move(inner[i]);
+    }
+    *row = std::move(out);
+    return true;
+  }
+
+ private:
+  const plan::PlanNode& node_;
+  exec::ExecContext* ctx_;
+  Cluster* cluster_;
+  std::vector<Row> rows_;
+  size_t idx_ = 0;
+};
+
+}  // namespace
+
+std::vector<catalog::TableDesc> StatViewDefs() {
+  using catalog::ColumnDesc;
+  std::vector<catalog::TableDesc> defs;
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_metrics",
+      {ColumnDesc{"name", TypeId::kString, false},
+       ColumnDesc{"kind", TypeId::kString, false},
+       ColumnDesc{"value", TypeId::kInt64, true},
+       ColumnDesc{"count", TypeId::kInt64, true},
+       ColumnDesc{"sum", TypeId::kInt64, true},
+       ColumnDesc{"p50", TypeId::kInt64, true},
+       ColumnDesc{"p95", TypeId::kInt64, true},
+       ColumnDesc{"p99", TypeId::kInt64, true}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_queries",
+      {ColumnDesc{"query_id", TypeId::kInt64, false},
+       ColumnDesc{"query", TypeId::kString, false},
+       ColumnDesc{"status", TypeId::kString, false},
+       ColumnDesc{"error", TypeId::kString, true},
+       ColumnDesc{"duration_us", TypeId::kInt64, false},
+       ColumnDesc{"rows", TypeId::kInt64, false},
+       ColumnDesc{"spill_bytes", TypeId::kInt64, false},
+       ColumnDesc{"retransmits", TypeId::kInt64, false},
+       ColumnDesc{"slow_explain", TypeId::kString, true}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_segments",
+      {ColumnDesc{"segment", TypeId::kInt64, false},
+       ColumnDesc{"host", TypeId::kString, false},
+       ColumnDesc{"status", TypeId::kString, false},
+       ColumnDesc{"queries", TypeId::kInt64, false},
+       ColumnDesc{"busy_us", TypeId::kInt64, false},
+       ColumnDesc{"hdfs_bytes_read", TypeId::kInt64, false},
+       ColumnDesc{"locality_hits", TypeId::kInt64, false},
+       ColumnDesc{"locality_misses", TypeId::kInt64, false},
+       ColumnDesc{"spill_bytes", TypeId::kInt64, false}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_events",
+      {ColumnDesc{"seq", TypeId::kInt64, false},
+       ColumnDesc{"ts_us", TypeId::kInt64, false},
+       ColumnDesc{"severity", TypeId::kString, false},
+       ColumnDesc{"component", TypeId::kString, false},
+       ColumnDesc{"event", TypeId::kString, false},
+       ColumnDesc{"detail", TypeId::kString, false},
+       ColumnDesc{"query_id", TypeId::kInt64, true}}));
+  return defs;
+}
+
+Result<std::vector<Row>> BuildStatViewRows(Cluster* cluster,
+                                           const std::string& view_name) {
+  if (view_name == "hawq_stat_metrics") return MetricsRows(cluster);
+  if (view_name == "hawq_stat_queries") return QueryRows(cluster);
+  if (view_name == "hawq_stat_segments") return SegmentRows(cluster);
+  if (view_name == "hawq_stat_events") return EventRows(cluster);
+  return Status::NotFound("unknown system view: " + view_name);
+}
+
+Result<std::unique_ptr<exec::ExecNode>> MakeVirtualScanExec(
+    const plan::PlanNode& node, exec::ExecContext* ctx, Cluster* cluster) {
+  return std::unique_ptr<exec::ExecNode>(
+      new VirtualScanExec(node, ctx, cluster));
+}
+
+}  // namespace hawq::engine

@@ -1,0 +1,37 @@
+// The hawq_stat_* system views: virtual relations that expose live
+// observability state (metrics registry, query history, per-segment load,
+// cluster event journal) through the engine's own SQL pipeline. They are
+// ordinary catalog tables with StorageKind::kVirtual — no storage at all;
+// a VirtualScan exec node synthesizes their rows on the QD at Open() time,
+// so WHERE / ORDER BY / aggregates / EXPLAIN compose like any table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "executor/exec_node.h"
+
+namespace hawq::engine {
+
+class Cluster;
+
+/// Table descriptors of every built-in system view (registered by the
+/// Cluster constructor in a bootstrap transaction).
+std::vector<catalog::TableDesc> StatViewDefs();
+
+/// Synthesize the current rows of the named view from live engine state.
+/// Each call is an independent snapshot: bounded ring buffers (queries,
+/// events) are copied under their rank-free mutexes, counters/gauges/
+/// histograms read atomically. NotFound for unknown view names.
+Result<std::vector<Row>> BuildStatViewRows(Cluster* cluster,
+                                           const std::string& view_name);
+
+/// Build the executor node for a kVirtualScan plan node. Snapshots rows at
+/// Open(); emits only on the QD (segment workers produce nothing, so a
+/// view joined with a distributed table is not double-counted).
+Result<std::unique_ptr<exec::ExecNode>> MakeVirtualScanExec(
+    const plan::PlanNode& node, exec::ExecContext* ctx, Cluster* cluster);
+
+}  // namespace hawq::engine

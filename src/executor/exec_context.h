@@ -43,6 +43,7 @@ class LocalDisk {
   Status Write(const std::string& name, std::string data) {
     MutexLock g(mu_);
     if (failed_) return Status::IOError("local spill disk failed");
+    bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
     files_[name] = std::move(data);
     return Status::OK();
   }
@@ -69,11 +70,17 @@ class LocalDisk {
     MutexLock g(mu_);
     return files_.size();
   }
+  /// Lifetime bytes spilled to this disk (monotonic; removals don't
+  /// subtract). Atomic so hawq_stat_segments can sum without locking.
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   Mutex mu_{LockRank::kLeaf, "exec.local_disk"};
   bool failed_ HAWQ_GUARDED_BY(mu_) = false;
   std::map<std::string, std::string> files_ HAWQ_GUARDED_BY(mu_);
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 struct ExecContext {

@@ -881,11 +881,16 @@ class InsertExec : public ExecNode {
 };
 
 ExternalScanFactory g_external_scan_factory;
+VirtualScanFactory g_virtual_scan_factory;
 
 }  // namespace
 
 void SetExternalScanFactory(ExternalScanFactory factory) {
   g_external_scan_factory = std::move(factory);
+}
+
+void SetVirtualScanFactory(VirtualScanFactory factory) {
+  g_virtual_scan_factory = std::move(factory);
 }
 
 namespace {
@@ -899,6 +904,11 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const PlanNode& node,
         return Status::NotSupported("no external scan factory registered");
       }
       return g_external_scan_factory(node, ctx);
+    case NodeKind::kVirtualScan:
+      if (!g_virtual_scan_factory) {
+        return Status::NotSupported("no virtual scan factory registered");
+      }
+      return g_virtual_scan_factory(node, ctx);
     case NodeKind::kFilter: {
       HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));
       return std::unique_ptr<ExecNode>(

@@ -64,6 +64,14 @@ using ExternalScanFactory =
                                                     ExecContext*)>;
 void SetExternalScanFactory(ExternalScanFactory factory);
 
+/// Hook installed by the engine so VirtualScan nodes (hawq_stat_* system
+/// views) can snapshot live cluster state without the executor depending
+/// on the engine.
+using VirtualScanFactory =
+    std::function<Result<std::unique_ptr<ExecNode>>(const plan::PlanNode&,
+                                                    ExecContext*)>;
+void SetVirtualScanFactory(VirtualScanFactory factory);
+
 /// Run a sender slice to completion: pull rows from below the MotionSend
 /// root, route them (gather/broadcast/redistribute), and deliver EoS.
 Status RunSendSlice(const plan::PlanNode& send_root, ExecContext* ctx);

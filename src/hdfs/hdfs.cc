@@ -80,8 +80,8 @@ Status FileWriter::Close() {
 // ---------------------------------------------------------------- MiniHdfs
 
 MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts,
-                   obs::MetricsRegistry* metrics)
-    : opts_(opts) {
+                   obs::MetricsRegistry* metrics, obs::EventJournal* journal)
+    : opts_(opts), journal_(journal), dn_io_(std::max(num_datanodes, 0)) {
   datanodes_.resize(num_datanodes);
   for (auto& dn : datanodes_) {
     dn.disk_ok.assign(opts_.disks_per_datanode, true);
@@ -245,6 +245,11 @@ void MiniHdfs::FailDataNode(int dn) {
   MutexLock g(lock_);
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   datanodes_[dn].alive = false;
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kError, "hdfs", "datanode_down",
+                  "datanode " + std::to_string(dn) +
+                      " failed; re-replicating its blocks");
+  }
   ReReplicateLocked();
 }
 
@@ -253,6 +258,10 @@ void MiniHdfs::RecoverDataNode(int dn) {
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   datanodes_[dn].alive = true;
   datanodes_[dn].disk_ok.assign(opts_.disks_per_datanode, true);
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kInfo, "hdfs", "datanode_up",
+                  "datanode " + std::to_string(dn) + " recovered");
+  }
 }
 
 void MiniHdfs::FailDisk(int dn, int disk) {
@@ -260,6 +269,11 @@ void MiniHdfs::FailDisk(int dn, int disk) {
   if (dn < 0 || dn >= static_cast<int>(datanodes_.size())) return;
   if (disk < 0 || disk >= opts_.disks_per_datanode) return;
   datanodes_[dn].disk_ok[disk] = false;
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kError, "hdfs", "disk_failed",
+                  "disk " + std::to_string(disk) + " on datanode " +
+                      std::to_string(dn) + " failed");
+  }
   ReReplicateLocked();
 }
 
@@ -307,8 +321,26 @@ Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
       (local ? c_locality_hits_ : c_locality_misses_)->Add(1);
     }
   }
+  if (reader_host >= 0 && reader_host < static_cast<int>(dn_io_.size())) {
+    DataNodeIoCounters& io = dn_io_[reader_host];
+    io.bytes_read.fetch_add(data.size(), std::memory_order_relaxed);
+    io.blocks_read.fetch_add(1, std::memory_order_relaxed);
+    (local ? io.locality_hits : io.locality_misses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   SimCost::Global().ChargeHdfsRead(data.size());
   return data;
+}
+
+MiniHdfs::DataNodeIo MiniHdfs::DataNodeIoStats(int dn) const {
+  DataNodeIo out;
+  if (dn < 0 || dn >= static_cast<int>(dn_io_.size())) return out;
+  const DataNodeIoCounters& io = dn_io_[dn];
+  out.bytes_read = io.bytes_read.load(std::memory_order_relaxed);
+  out.blocks_read = io.blocks_read.load(std::memory_order_relaxed);
+  out.locality_hits = io.locality_hits.load(std::memory_order_relaxed);
+  out.locality_misses = io.locality_misses.load(std::memory_order_relaxed);
+  return out;
 }
 
 Status MiniHdfs::CommitAppend(const std::string& path, const std::string& data,

@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "common/sync.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace hawq::hdfs {
@@ -94,9 +95,12 @@ class FileWriter {
 class MiniHdfs {
  public:
   /// `metrics` (optional, may be null) receives hdfs.bytes_read /
-  /// hdfs.blocks_read / hdfs.locality_{hits,misses} counters.
+  /// hdfs.blocks_read / hdfs.locality_{hits,misses} counters. `journal`
+  /// (optional, may be null) receives datanode/disk failure-injection
+  /// events for hawq_stat_events.
   explicit MiniHdfs(int num_datanodes, HdfsOptions opts = {},
-                    obs::MetricsRegistry* metrics = nullptr);
+                    obs::MetricsRegistry* metrics = nullptr,
+                    obs::EventJournal* journal = nullptr);
   ~MiniHdfs();
 
   int num_datanodes() const { return static_cast<int>(datanodes_.size()); }
@@ -148,6 +152,16 @@ class MiniHdfs {
   /// Number of live replicas of every block of `path` (min across blocks).
   Result<int> MinReplication(const std::string& path);
 
+  /// Per-datanode read totals (attributed to the reading segment's
+  /// co-located datanode). Zeroes for out-of-range ids.
+  struct DataNodeIo {
+    uint64_t bytes_read = 0;
+    uint64_t blocks_read = 0;
+    uint64_t locality_hits = 0;
+    uint64_t locality_misses = 0;
+  };
+  DataNodeIo DataNodeIoStats(int dn) const;
+
   // Used by FileReader/FileWriter.
   Result<std::string> ReadBlock(BlockId id, uint64_t offset, uint64_t len,
                                 int reader_host = -1);
@@ -193,6 +207,18 @@ class MiniHdfs {
   obs::Counter* c_blocks_read_ = nullptr;
   obs::Counter* c_locality_hits_ = nullptr;
   obs::Counter* c_locality_misses_ = nullptr;
+  // Failure-injection events (null when built without a journal). The
+  // journal is rank-free, so logging while holding lock_ is safe.
+  obs::EventJournal* journal_ = nullptr;
+  // Per-datanode read totals, keyed by reader_host. Atomics: bumped
+  // outside lock_ on the read path, snapshotted by hawq_stat_segments.
+  struct DataNodeIoCounters {
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> blocks_read{0};
+    std::atomic<uint64_t> locality_hits{0};
+    std::atomic<uint64_t> locality_misses{0};
+  };
+  std::vector<DataNodeIoCounters> dn_io_;  // sized at construction
   std::map<std::string, FileEntry> files_ HAWQ_GUARDED_BY(lock_);
   std::map<BlockId, Block> blocks_ HAWQ_GUARDED_BY(lock_);
   std::vector<DataNode> datanodes_ HAWQ_GUARDED_BY(lock_);

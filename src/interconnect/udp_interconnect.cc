@@ -316,8 +316,8 @@ class UdpRecvStream : public RecvStream {
 // ------------------------------------------------------------- fabric
 
 UdpFabric::UdpFabric(SimNet* net, UdpOptions opts,
-                     obs::MetricsRegistry* metrics)
-    : net_(net), opts_(opts) {
+                     obs::MetricsRegistry* metrics, obs::EventJournal* journal)
+    : net_(net), opts_(opts), journal_(journal) {
   if (metrics != nullptr) {
     c_retransmissions_ = metrics->GetCounter("interconnect.udp.retransmissions");
     c_status_queries_ = metrics->GetCounter("interconnect.udp.status_queries");
@@ -589,6 +589,13 @@ void UdpFabric::CheckRetransmits(int host) {
       c->cwnd = opts_.min_cwnd;
       c->backoff = std::min(c->backoff * 2.0, 64.0);
       if (c_cwnd_collapses_ != nullptr) c_cwnd_collapses_->Add(1);
+      if (journal_ != nullptr) {
+        journal_->Log(obs::Severity::kWarn, "interconnect", "cwnd_collapse",
+                      "motion " + std::to_string(c->key.motion_id) +
+                          " conn to host " + std::to_string(c->dst_host) +
+                          " collapsed cwnd to min after retransmit expiry",
+                      c->key.query_id);
+      }
     }
     if (c->failed) c->cv.NotifyAll();
   }

@@ -28,6 +28,7 @@
 #include "interconnect/interconnect.h"
 #include "interconnect/protocol.h"
 #include "interconnect/sim_net.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace hawq::net {
@@ -49,9 +50,11 @@ struct UdpOptions {
 class UdpFabric : public Interconnect {
  public:
   /// `metrics` (optional, may be null) receives interconnect.udp.*
-  /// counters and the congestion-window histogram.
+  /// counters and the congestion-window histogram. `journal` (optional,
+  /// may be null) receives cwnd-collapse events for hawq_stat_events.
   explicit UdpFabric(SimNet* net, UdpOptions opts = {},
-                     obs::MetricsRegistry* metrics = nullptr);
+                     obs::MetricsRegistry* metrics = nullptr,
+                     obs::EventJournal* journal = nullptr);
   ~UdpFabric() override;
 
   Result<std::unique_ptr<SendStream>> OpenSend(
@@ -97,6 +100,9 @@ class UdpFabric : public Interconnect {
   obs::Counter* c_data_packets_ = nullptr;
   obs::Counter* c_data_bytes_ = nullptr;
   obs::Histogram* h_cwnd_ = nullptr;  // sampled on every ack
+  // Cluster event journal (null when not wired); rank-free, so logging
+  // while holding per-connection locks is safe.
+  obs::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace hawq::net

@@ -1,0 +1,59 @@
+#include "obs/events.h"
+
+#include <algorithm>
+
+namespace hawq::obs {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarn:
+      return "WARN";
+    case Severity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+EventJournal::EventJournal(size_t capacity)
+    : cap_(std::max<size_t>(1, capacity)),
+      t0_(std::chrono::steady_clock::now()) {}
+
+void EventJournal::Log(Severity severity, std::string component,
+                       std::string event, std::string detail,
+                       uint64_t query_id) {
+  Event e;
+  e.ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0_)
+          .count());
+  e.severity = severity;
+  e.component = std::move(component);
+  e.event = std::move(event);
+  e.detail = std::move(detail);
+  e.query_id = query_id;
+
+  MutexLock g(mu_);
+  e.seq = next_seq_++;
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[(e.seq - 1) % cap_] = std::move(e);
+  }
+}
+
+std::vector<Event> EventJournal::Snapshot() const {
+  MutexLock g(mu_);
+  std::vector<Event> out(ring_);
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return out;
+}
+
+uint64_t EventJournal::total_logged() const {
+  MutexLock g(mu_);
+  return next_seq_ - 1;
+}
+
+}  // namespace hawq::obs

@@ -1,0 +1,64 @@
+// Structured cluster event journal.
+//
+// A bounded ring of severity-tagged events fed by the subsystems where
+// interesting state changes happen: query lifecycle errors (engine),
+// datanode/disk failure injection (hdfs), cwnd-collapse storms
+// (interconnect), transaction aborts (tx), segment fail/recover and
+// fault-detector transitions (engine). Operators read it with
+// `SELECT * FROM hawq_stat_events` — the journal is the backing store of
+// that system view.
+//
+// Like the metrics registry, the journal is rank-free: Log() may be
+// called from any subsystem while holding locks of any rank (it guards a
+// plain ring buffer and calls nothing).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+
+enum class Severity : uint8_t { kInfo = 0, kWarn, kError };
+
+const char* SeverityName(Severity s);
+
+struct Event {
+  uint64_t seq = 0;    // 1-based, monotonically increasing
+  uint64_t ts_us = 0;  // microseconds since the journal was created
+  Severity severity = Severity::kInfo;
+  std::string component;  // "engine", "hdfs", "interconnect", "tx"
+  std::string event;      // short code, e.g. "datanode_down"
+  std::string detail;
+  uint64_t query_id = 0;  // 0 when not query-scoped
+};
+
+/// Fixed-capacity event ring. Once full, each Log() overwrites the oldest
+/// entry; total_logged() keeps counting so overflow is detectable.
+class EventJournal {
+ public:
+  explicit EventJournal(size_t capacity = 512);
+
+  void Log(Severity severity, std::string component, std::string event,
+           std::string detail, uint64_t query_id = 0);
+
+  /// Retained events, oldest first.
+  std::vector<Event> Snapshot() const;
+
+  uint64_t total_logged() const;
+  size_t capacity() const { return cap_; }
+
+ private:
+  // Rank-free: Log() is called from hdfs/interconnect/tx code that holds
+  // ranked locks; the journal must never constrain its callers.
+  mutable Mutex mu_{LockRank::kRankFree, "obs.events"};
+  const size_t cap_;
+  const std::chrono::steady_clock::time_point t0_;
+  std::vector<Event> ring_ HAWQ_GUARDED_BY(mu_);  // slot = (seq-1) % cap_
+  uint64_t next_seq_ HAWQ_GUARDED_BY(mu_) = 1;
+};
+
+}  // namespace hawq::obs

@@ -1,0 +1,90 @@
+#include "obs/lock_profile.h"
+
+#include <atomic>
+
+namespace hawq::obs {
+
+namespace {
+
+// One slot per LockRank value, indexed by rank + 1 so kRankFree (-1)
+// lands at 0. Slots hold registry-owned histogram pointers; they stay
+// valid until Uninstall clears them (the installer's registry must
+// outlive the observer, which Cluster guarantees by uninstalling in its
+// destructor before the registry member is destroyed).
+constexpr int kMaxRank = 50;  // LockRank::kDispatcher
+// +1 maps rank -1 to slot 0; the extra final slot is the "other" bucket
+// for out-of-range ranks.
+constexpr int kSlots = kMaxRank + 3;
+
+std::atomic<Histogram*> g_rank_hist[kSlots]{};
+
+// Known ranks, mirroring sync::LockRank. A new rank missing here still
+// profiles (under "other"), it just is not pre-registered.
+constexpr int kKnownRanks[] = {-1, 0, 10, 12, 14, 16, 20, 24, 30, 40, 42, 44,
+                               50};
+
+void OnLockWait(int rank, const char* name, uint64_t wait_us) {
+  (void)name;
+  int slot = rank + 1;
+  if (slot < 0 || slot >= kSlots) slot = kSlots - 1;
+  Histogram* h = g_rank_hist[slot].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    // Rank without a pre-registered slot: fold into "other".
+    h = g_rank_hist[kSlots - 1].load(std::memory_order_acquire);
+  }
+  if (h != nullptr) h->Observe(wait_us);
+}
+
+}  // namespace
+
+const char* LockRankName(int rank) {
+  using sync::LockRank;
+  switch (static_cast<LockRank>(rank)) {
+    case LockRank::kRankFree:
+      return "rank_free";
+    case LockRank::kLeaf:
+      return "leaf";
+    case LockRank::kNetSocket:
+      return "net_socket";
+    case LockRank::kNetFabric:
+      return "net_fabric";
+    case LockRank::kNetConn:
+      return "net_conn";
+    case LockRank::kNetEndpoint:
+      return "net_endpoint";
+    case LockRank::kHdfs:
+      return "hdfs";
+    case LockRank::kTxClog:
+      return "tx_clog";
+    case LockRank::kCatalog:
+      return "catalog";
+    case LockRank::kTxLock:
+      return "tx_lock";
+    case LockRank::kTxManager:
+      return "tx_manager";
+    case LockRank::kTxWal:
+      return "tx_wal";
+    case LockRank::kDispatcher:
+      return "dispatcher";
+  }
+  return "other";
+}
+
+void InstallLockWaitProfiler(MetricsRegistry* registry) {
+  for (int rank : kKnownRanks) {
+    Histogram* h = registry->GetHistogram(std::string("sync.lock_wait_us.") +
+                                          LockRankName(rank));
+    g_rank_hist[rank + 1].store(h, std::memory_order_release);
+  }
+  g_rank_hist[kSlots - 1].store(
+      registry->GetHistogram("sync.lock_wait_us.other"),
+      std::memory_order_release);
+  sync::SetLockWaitObserver(&OnLockWait);
+}
+
+void UninstallLockWaitProfiler() {
+  sync::SetLockWaitObserver(nullptr);
+  for (auto& slot : g_rank_hist) slot.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace hawq::obs

@@ -1,0 +1,33 @@
+// Lock-contention profiler: publishes hawq::Mutex/SharedMutex acquire-wait
+// times as per-rank histograms in a MetricsRegistry.
+//
+// sync.h exposes a process-global LockWaitObserver hook that fires only on
+// CONTENDED acquires (the fast try_lock failed). Install() resolves one
+// "sync.lock_wait_us.<rank>" histogram per lock rank up front and installs
+// an observer that does nothing but a relaxed array load plus
+// Histogram::Observe — safe from any lock context, including while the
+// contended lock itself is the rank-free obs.metrics mutex.
+//
+// The hook is process-global, last installer wins; Cluster installs it at
+// construction and uninstalls unconditionally at destruction (the same
+// singleton caveat as the executor's external-scan factory).
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace hawq::obs {
+
+/// Short name for a LockRank value ("leaf", "hdfs", "dispatcher", ...).
+/// Unknown ranks map to "other".
+const char* LockRankName(int rank);
+
+/// Pre-register every rank's "sync.lock_wait_us.<rank>" histogram in
+/// `registry` (so hawq_stat_metrics lists them even before any contention)
+/// and install the contention observer targeting it.
+void InstallLockWaitProfiler(MetricsRegistry* registry);
+
+/// Remove the observer and detach from whatever registry was installed.
+/// Safe to call when nothing is installed.
+void UninstallLockWaitProfiler();
+
+}  // namespace hawq::obs

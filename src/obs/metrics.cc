@@ -54,6 +54,29 @@ std::map<std::string, uint64_t> MetricsRegistry::SnapshotCounters() const {
   return out;
 }
 
+std::map<std::string, int64_t> MetricsRegistry::SnapshotGauges() const {
+  MutexLock g(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->Get();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::SnapshotHistograms()
+    const {
+  MutexLock g(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h->Count();
+    s.sum = h->Sum();
+    s.p50 = h->Percentile(0.50);
+    s.p95 = h->Percentile(0.95);
+    s.p99 = h->Percentile(0.99);
+    out[name] = s;
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToText() const {
   MutexLock g(mu_);
   std::string out;

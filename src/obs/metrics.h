@@ -87,6 +87,16 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// Point-in-time aggregate of one histogram: count/sum plus the same
+/// percentile bucket upper bounds ToText/ToJson report.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
 /// Named instrument registry. Get* registers on first use and returns a
 /// stable pointer; subsystems cache the pointer and update it lock-free.
 class MetricsRegistry {
@@ -98,6 +108,10 @@ class MetricsRegistry {
   /// Counter name -> current value, for before/after deltas
   /// (EXPLAIN ANALYZE attributes a query's metric increments this way).
   std::map<std::string, uint64_t> SnapshotCounters() const;
+  /// Gauge name -> current level.
+  std::map<std::string, int64_t> SnapshotGauges() const;
+  /// Histogram name -> count/sum/percentile aggregate.
+  std::map<std::string, HistogramSnapshot> SnapshotHistograms() const;
 
   /// Human-readable dump, one "name value" line per instrument, sorted.
   std::string ToText() const;

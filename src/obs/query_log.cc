@@ -1,0 +1,35 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+
+namespace hawq::obs {
+
+QueryLog::QueryLog(size_t capacity) : cap_(std::max<size_t>(1, capacity)) {}
+
+void QueryLog::Append(QueryRecord rec) {
+  MutexLock g(mu_);
+  if (ring_.size() < cap_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[total_ % cap_] = std::move(rec);
+  }
+  ++total_;
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot() const {
+  MutexLock g(mu_);
+  std::vector<QueryRecord> out;
+  out.reserve(ring_.size());
+  // Slot total_ % cap_ is the oldest retained record once wrapped.
+  size_t n = ring_.size();
+  size_t start = (n < cap_) ? 0 : total_ % cap_;
+  for (size_t i = 0; i < n; ++i) out.push_back(ring_[(start + i) % n]);
+  return out;
+}
+
+uint64_t QueryLog::total_recorded() const {
+  MutexLock g(mu_);
+  return total_;
+}
+
+}  // namespace hawq::obs

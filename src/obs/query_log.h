@@ -1,0 +1,54 @@
+// Bounded workload-history ring: one record per statement executed
+// through a Session, backing the hawq_stat_queries system view.
+//
+// The session appends after the statement finishes (so a query over the
+// view never sees itself) with the statement text, outcome, wall-clock,
+// row count, and the per-query deltas of cluster-wide spill and
+// interconnect-retransmission totals. When the cluster's slow-query
+// threshold is enabled and the statement crossed it, the full
+// EXPLAIN ANALYZE rendering is captured alongside.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+
+struct QueryRecord {
+  uint64_t query_id = 0;  // 0 for statements that never reached dispatch
+  std::string text;
+  std::string status;  // "ok" | "error"
+  std::string error;
+  uint64_t duration_us = 0;
+  int64_t rows = 0;          // result rows (SELECT) or rows affected
+  int64_t spill_bytes = 0;   // cluster spill-bytes delta over the statement
+  int64_t retransmits = 0;   // interconnect retransmission delta
+  std::string slow_explain;  // EXPLAIN ANALYZE text when over threshold
+};
+
+/// Fixed-capacity query-history ring, oldest overwritten first. Rank-free
+/// lock for the same reason as the metrics registry: append happens on
+/// the session thread but snapshots may come from exec nodes mid-query.
+class QueryLog {
+ public:
+  explicit QueryLog(size_t capacity = 256);
+
+  void Append(QueryRecord rec);
+
+  /// Retained records, oldest first.
+  std::vector<QueryRecord> Snapshot() const;
+
+  uint64_t total_recorded() const;
+  size_t capacity() const { return cap_; }
+
+ private:
+  mutable Mutex mu_{LockRank::kRankFree, "obs.query_log"};
+  const size_t cap_;
+  std::vector<QueryRecord> ring_ HAWQ_GUARDED_BY(mu_);
+  uint64_t total_ HAWQ_GUARDED_BY(mu_) = 0;  // lifetime appends
+};
+
+}  // namespace hawq::obs

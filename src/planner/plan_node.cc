@@ -78,6 +78,7 @@ const char* NodeKindName(NodeKind k) {
     case NodeKind::kMotionRecv: return "MotionRecv";
     case NodeKind::kResult: return "Result";
     case NodeKind::kInsert: return "Insert";
+    case NodeKind::kVirtualScan: return "VirtualScan";
   }
   return "?";
 }
@@ -259,6 +260,9 @@ std::string PlanNode::Describe() const {
       break;
     case NodeKind::kExternalScan:
       s += " " + ext_location;
+      break;
+    case NodeKind::kVirtualScan:
+      s += " " + table_name;
       break;
     case NodeKind::kFilter:
       s += " [";

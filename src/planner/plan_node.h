@@ -40,6 +40,9 @@ enum class NodeKind : uint8_t {
   kMotionRecv,
   kResult,
   kInsert,
+  // Scan over a hawq_stat_* system view: no storage, rows synthesized
+  // from live engine state at Open() (executor virtual-scan factory).
+  kVirtualScan,
 };
 
 enum class JoinType : uint8_t { kInner = 0, kLeft, kSemi, kAnti };

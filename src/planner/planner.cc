@@ -232,10 +232,52 @@ struct Planner::Build {
     return sp;
   }
 
+  /// System-view scan (hawq_stat_*): rows are synthesized on the QD from
+  /// live engine state, so the subplan is QD-located single-stream — the
+  /// usual motion machinery redistributes it when a join needs segments.
+  Result<SubPlan> PlanVirtualRel(const BoundQuery& q, const BoundRel& rel,
+                                 const std::vector<PExpr>& filters) {
+    const catalog::TableDesc& t = rel.desc;
+    auto node = std::make_unique<PlanNode>();
+    node->kind = NodeKind::kVirtualScan;
+    node->table_oid = t.oid;
+    node->table_name = t.name;
+    node->table_schema = rel.schema;
+    node->storage = t.storage;
+    node->col_start = rel.col_start;
+    node->out_arity = q.total_flat_cols;
+    // Bounded ring buffers / instrument maps; no stats are gathered.
+    node->est_rows = 128;
+
+    SubPlan sp;
+    int lo = rel.col_start;
+    int hi = lo + static_cast<int>(rel.schema.num_fields());
+    for (int c = lo; c < hi; ++c) sp.cols.insert(c);
+    sp.rows = node->est_rows;
+    sp.loc = Loc::kQD;
+    sp.dist.kind = Dist::Kind::kSingleQD;
+    if (!filters.empty()) {
+      double sel = 1.0;
+      for (const PExpr& f : filters) sel *= stats.Selectivity(f);
+      auto filter = std::make_unique<PlanNode>();
+      filter->kind = NodeKind::kFilter;
+      filter->quals = filters;
+      filter->out_arity = node->out_arity;
+      filter->est_rows = sp.rows * sel;
+      filter->children.push_back(std::move(node));
+      sp.node = std::move(filter);
+      sp.rows = std::max(1.0, sp.rows * sel);
+    } else {
+      sp.node = std::move(node);
+    }
+    return sp;
+  }
+
   Result<SubPlan> PlanBaseRel(const BoundQuery& q, const BoundRel& rel,
                               const std::vector<PExpr>& filters) {
     const catalog::TableDesc& t = rel.desc;
     if (t.is_external()) return PlanExternalRel(q, rel, filters);
+    if (t.is_virtual()) return PlanVirtualRel(q, rel, filters);
     auto node = std::make_unique<PlanNode>();
     node->kind = NodeKind::kSeqScan;
     node->table_oid = t.oid;

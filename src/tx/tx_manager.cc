@@ -1,5 +1,7 @@
 #include "tx/tx_manager.h"
 
+#include "obs/events.h"
+
 namespace hawq::tx {
 
 const Snapshot& Transaction::StatementSnapshot() {
@@ -74,6 +76,11 @@ Status TxManager::Abort(Transaction* txn) {
     active_.erase(txn->xid_);
   }
   locks_.ReleaseAll(txn->xid_);
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kWarn, "tx", "tx_abort",
+                  "transaction " + std::to_string(txn->xid_) +
+                      " aborted; undo actions ran");
+  }
   return Status::OK();
 }
 

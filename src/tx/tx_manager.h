@@ -17,6 +17,10 @@
 #include "tx/mvcc.h"
 #include "tx/wal.h"
 
+namespace hawq::obs {
+class EventJournal;
+}
+
 namespace hawq::tx {
 
 /// SQL isolation levels. HAWQ internally supports only these two; READ
@@ -77,6 +81,10 @@ class TxManager {
   LockManager& locks() { return locks_; }
   Wal& wal() { return wal_; }
 
+  /// Wire the cluster event journal (may be null): every Abort logs a
+  /// "tx_abort" event. The journal must outlive the manager.
+  void SetEventJournal(obs::EventJournal* journal) { journal_ = journal; }
+
   /// Read a transaction's resolved state. Takes only the low-ranked clog
   /// mutex, so it is callable from MVCC visibility checks that already
   /// hold a catalog relation lock.
@@ -108,6 +116,7 @@ class TxManager {
   CommitLog clog_ HAWQ_GUARDED_BY(clog_mu_);
   LockManager locks_;
   Wal wal_;
+  obs::EventJournal* journal_ = nullptr;  // set once at cluster wiring
 };
 
 }  // namespace hawq::tx

@@ -425,5 +425,17 @@ TEST_F(EngineTest, InsertVisibleOnlyUpToLogicalLength) {
   EXPECT_EQ(q2.rows[0][0].as_int(), 8);
 }
 
+TEST_F(EngineTest, ActiveQueriesGaugeReturnsToZero) {
+  // engine.active_queries tracks in-flight dispatches; every statement
+  // must decrement it on both the success and the error path.
+  obs::Gauge* active = cluster_.metrics()->GetGauge("engine.active_queries");
+  EXPECT_EQ(active->Get(), 0);
+  Exec("CREATE TABLE t (a INT) DISTRIBUTED BY (a)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  Exec("SELECT count(*) FROM t");
+  ExecErr("SELECT * FROM no_such_table");
+  EXPECT_EQ(active->Get(), 0);
+}
+
 }  // namespace
 }  // namespace hawq::engine

@@ -212,5 +212,45 @@ TEST(RecoveryTest, HdfsReplicationMasksDataNodeLossDuringQueries) {
   }
 }
 
+// ISSUE 4 acceptance: after a lossy-network query, hawq_stat_queries
+// shows the statement with a nonzero retransmit delta, and the event
+// journal records injected failures with their severities.
+TEST(StatViewsFailureTest, LossyQueryVisibleInSystemViews) {
+  ClusterOptions o = BaseOptions();
+  o.net.loss_prob = 0.10;
+  o.net.reorder_prob = 0.10;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  Seed(s.get(), 300);
+  auto r = s->Execute("SELECT g, count(*) FROM t GROUP BY g ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 5u);
+
+  // The system-view query itself is master-only (no motions), so it is
+  // immune to the loss it is reporting on.
+  auto q = s->Execute(
+      "SELECT query, retransmits FROM hawq_stat_queries "
+      "WHERE retransmits > 0 ORDER BY retransmits DESC");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_GE(q->rows.size(), 1u)
+      << "10% loss must surface as a retransmit delta on some statement";
+  EXPECT_TRUE(q->master_only);
+
+  // Retransmit storms that collapsed a congestion window are journaled
+  // as WARN events tagged with the suffering query's id (presence
+  // depends on the loss pattern, so only the query must succeed).
+  auto cw = s->Execute(
+      "SELECT query_id FROM hawq_stat_events WHERE event = 'cwnd_collapse'");
+  ASSERT_TRUE(cw.ok()) << cw.status().ToString();
+
+  // Injected datanode loss lands in the journal with ERROR severity.
+  cluster.FailSegment(1);
+  auto ev = s->Execute(
+      "SELECT count(*) FROM hawq_stat_events "
+      "WHERE event = 'datanode_down' AND severity = 'ERROR'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  EXPECT_EQ(ev->rows[0][0].as_int(), 1);
+}
+
 }  // namespace
 }  // namespace hawq::engine

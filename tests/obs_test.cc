@@ -3,6 +3,9 @@
 // and EXPLAIN ANALYZE end-to-end. Run under TSan/ASan by scripts/check.sh.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,7 +13,10 @@
 #include "common/sync.h"
 #include "engine/cluster.h"
 #include "engine/session.h"
+#include "obs/events.h"
+#include "obs/lock_profile.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 
 namespace hawq {
@@ -298,6 +304,352 @@ TEST(ExplainAnalyzeTest, PlainExplainShowsSliceBoundaries) {
   EXPECT_NE(text.find("sends "), std::string::npos) << text;
   EXPECT_NE(text.find(" by ("), std::string::npos) << text;
   EXPECT_EQ(text.find("actual:"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistryTest, SnapshotGaugesAndHistograms) {
+  obs::MetricsRegistry reg;
+  reg.GetGauge("g.one")->Set(7);
+  reg.GetGauge("g.two")->Set(-2);
+  obs::Histogram* h = reg.GetHistogram("h.lat");
+  for (int i = 0; i < 98; ++i) h->Observe(10);
+  h->Observe(100000);
+  h->Observe(100000);
+
+  auto gauges = reg.SnapshotGauges();
+  EXPECT_EQ(gauges.at("g.one"), 7);
+  EXPECT_EQ(gauges.at("g.two"), -2);
+
+  auto hists = reg.SnapshotHistograms();
+  const obs::HistogramSnapshot& snap = hists.at("h.lat");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 98u * 10 + 2u * 100000);
+  EXPECT_LE(snap.p50, 16u);
+  EXPECT_LE(snap.p95, 16u);
+  EXPECT_GT(snap.p99, 16u);
+}
+
+TEST(EventJournalTest, RingBufferKeepsNewestInSeqOrder) {
+  obs::EventJournal j(4);
+  EXPECT_EQ(j.capacity(), 4u);
+  for (int i = 1; i <= 10; ++i) {
+    j.Log(i % 2 ? obs::Severity::kInfo : obs::Severity::kWarn, "test",
+          "event_" + std::to_string(i), "detail", static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(j.total_logged(), 10u);
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The ring kept the newest four, sorted by seq.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 7u + i);
+    EXPECT_EQ(events[i].event, "event_" + std::to_string(7 + i));
+    if (i > 0) EXPECT_GE(events[i].ts_us, events[i - 1].ts_us);
+  }
+  EXPECT_STREQ(obs::SeverityName(obs::Severity::kInfo), "INFO");
+  EXPECT_STREQ(obs::SeverityName(obs::Severity::kWarn), "WARN");
+  EXPECT_STREQ(obs::SeverityName(obs::Severity::kError), "ERROR");
+}
+
+TEST(EventJournalTest, ConcurrentLoggersLoseNothing) {
+  obs::EventJournal j(10000);
+  constexpr int kThreads = 8;
+  constexpr int kEach = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&j, t] {
+      for (int i = 0; i < kEach; ++i) {
+        j.Log(obs::Severity::kInfo, "thread" + std::to_string(t), "tick", "");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(j.total_logged(), static_cast<uint64_t>(kThreads) * kEach);
+  auto events = j.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kEach);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);  // dense, no gaps
+  }
+}
+
+TEST(QueryLogTest, RingKeepsMostRecentOldestFirst) {
+  obs::QueryLog log(3);
+  for (int i = 1; i <= 5; ++i) {
+    obs::QueryRecord rec;
+    rec.query_id = static_cast<uint64_t>(i);
+    rec.text = "q" + std::to_string(i);
+    rec.status = "ok";
+    log.Append(std::move(rec));
+  }
+  EXPECT_EQ(log.total_recorded(), 5u);
+  auto records = log.Snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].text, "q3");
+  EXPECT_EQ(records[1].text, "q4");
+  EXPECT_EQ(records[2].text, "q5");
+}
+
+// The sync.h acquire-wait hook: contended acquires are timed and land in
+// the per-rank histogram; uncontended acquires stay on the try_lock fast
+// path and observe nothing.
+TEST(LockProfileTest, ContendedAcquiresLandInRankHistogram) {
+  obs::MetricsRegistry reg;
+  obs::InstallLockWaitProfiler(&reg);
+  Mutex mu(LockRank::kLeaf, "test.contended");
+
+  // Uncontended: fast path, no observation.
+  { MutexLock g(mu); }
+  auto hists = reg.SnapshotHistograms();
+  EXPECT_EQ(hists.at("sync.lock_wait_us.leaf").count, 0u);
+
+  // Contended: one thread camps on the lock, others must wait.
+  constexpr int kThreads = 4;
+  std::atomic<int> acquired{0};
+  std::vector<std::thread> threads;
+  {
+    MutexLock holder(mu);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&mu, &acquired] {
+        MutexLock g(mu);
+        acquired.fetch_add(1);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(acquired.load(), kThreads);
+
+  hists = reg.SnapshotHistograms();
+  const obs::HistogramSnapshot& waits = hists.at("sync.lock_wait_us.leaf");
+  EXPECT_GE(waits.count, 1u);  // at least the first waiter was contended
+  EXPECT_GT(waits.sum, 0u);    // and it measurably waited
+
+  obs::UninstallLockWaitProfiler();
+  // With the profiler gone, acquires must not touch the old registry.
+  uint64_t before = reg.SnapshotHistograms().at("sync.lock_wait_us.leaf").count;
+  {
+    MutexLock holder(mu);
+    std::thread waiter([&mu] { MutexLock g(mu); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    holder.Unlock();
+    waiter.join();
+  }
+  EXPECT_EQ(reg.SnapshotHistograms().at("sync.lock_wait_us.leaf").count,
+            before);
+}
+
+TEST(LockProfileTest, RankNames) {
+  EXPECT_STREQ(obs::LockRankName(static_cast<int>(LockRank::kLeaf)), "leaf");
+  EXPECT_STREQ(obs::LockRankName(static_cast<int>(LockRank::kDispatcher)),
+               "dispatcher");
+  EXPECT_STREQ(obs::LockRankName(static_cast<int>(LockRank::kRankFree)),
+               "rank_free");
+  EXPECT_STREQ(obs::LockRankName(12345), "other");
+}
+
+// ------------------------------------------------- hawq_stat_* views
+
+engine::ClusterOptions SmallCluster(int segments = 4) {
+  engine::ClusterOptions opts;
+  opts.num_segments = segments;
+  opts.fault_detector_thread = false;
+  return opts;
+}
+
+TEST(StatViewsTest, MetricsViewExposesRegistry) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a int, b int)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1, 2), (3, 4)").ok());
+  ASSERT_TRUE(session->Execute("SELECT * FROM t").ok());
+
+  auto r = session->Execute(
+      "SELECT value FROM hawq_stat_metrics WHERE name = 'engine.queries'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_GE(r->rows[0][0].as_int(), 2);  // the INSERT and the SELECT
+
+  // Histogram rows expose count/sum/percentiles; counters leave them null.
+  r = session->Execute(
+      "SELECT count, sum, p50 FROM hawq_stat_metrics "
+      "WHERE name = 'engine.query_us'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_GE(r->rows[0][0].as_int(), 2);
+  EXPECT_GT(r->rows[0][1].as_int(), 0);
+
+  // The contention profiler pre-registers per-rank wait histograms.
+  r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_metrics "
+      "WHERE kind = 'histogram' AND name = 'sync.lock_wait_us.dispatcher'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+}
+
+TEST(StatViewsTest, QueriesViewRecordsHistoryAndErrors) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a int)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(session->Execute("SELECT * FROM t").ok());
+  EXPECT_FALSE(session->Execute("SELECT * FROM no_such_table").ok());
+
+  auto r = session->Execute(
+      "SELECT query, rows FROM hawq_stat_queries WHERE status = 'ok' "
+      "ORDER BY query_id");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GE(r->rows.size(), 3u);
+  bool saw_select = false;
+  for (const Row& row : r->rows) {
+    if (row[0].as_str() == "SELECT * FROM t") {
+      saw_select = true;
+      EXPECT_EQ(row[1].as_int(), 3);
+    }
+  }
+  EXPECT_TRUE(saw_select);
+
+  r = session->Execute(
+      "SELECT query, error FROM hawq_stat_queries WHERE status = 'error'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_str(), "SELECT * FROM no_such_table");
+  EXPECT_NE(r->rows[0][1].as_str().find("no_such_table"), std::string::npos);
+
+  // The failed statement was journaled as a query_error event.
+  r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_events "
+      "WHERE severity = 'ERROR' AND event = 'query_error'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+}
+
+TEST(StatViewsTest, SlowQueryCapturesExplainAnalyze) {
+  engine::ClusterOptions opts = SmallCluster();
+  opts.slow_query_us = 1;  // everything is "slow"
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a int, b int) "
+                               "DISTRIBUTED BY (a)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1, 2), (3, 4)").ok());
+  ASSERT_TRUE(session->Execute("SELECT sum(b) FROM t").ok());
+
+  bool captured = false;
+  for (const obs::QueryRecord& rec : cluster.query_log()->Snapshot()) {
+    if (rec.text != "SELECT sum(b) FROM t") continue;
+    captured = true;
+    EXPECT_NE(rec.slow_explain.find("actual"), std::string::npos)
+        << rec.slow_explain;
+    EXPECT_NE(rec.slow_explain.find("Slice"), std::string::npos)
+        << rec.slow_explain;
+    EXPECT_GT(rec.duration_us, 0u);
+  }
+  EXPECT_TRUE(captured);
+
+  // The rendering is also visible through SQL.
+  auto r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_queries WHERE status = 'ok'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->rows[0][0].as_int(), 3);
+}
+
+TEST(StatViewsTest, SegmentsViewShowsLoadAndStatus) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a int)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1), (2), (3), (4)")
+                  .ok());
+  ASSERT_TRUE(session->Execute("SELECT count(*) FROM t").ok());
+
+  auto r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_segments WHERE status = 'up'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 4);
+
+  r = session->Execute("SELECT sum(queries), sum(busy_us), "
+                       "sum(hdfs_bytes_read) FROM hawq_stat_segments");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->rows[0][0].as_int(), 0);
+  EXPECT_GT(r->rows[0][1].as_int(), 0);
+  EXPECT_GT(r->rows[0][2].as_int(), 0);
+
+  cluster.FailSegment(2);
+  r = session->Execute(
+      "SELECT segment FROM hawq_stat_segments WHERE status = 'down'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 2);
+}
+
+TEST(StatViewsTest, EventsViewCapturesInjectedFailures) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  cluster.FailSegment(1);
+  cluster.RecoverSegment(1);
+
+  auto r = session->Execute(
+      "SELECT severity, component, event FROM hawq_stat_events "
+      "ORDER BY seq");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::vector<std::string> events;
+  for (const Row& row : r->rows) events.push_back(row[2].as_str());
+  EXPECT_NE(std::find(events.begin(), events.end(), "segment_failed"),
+            events.end());
+  EXPECT_NE(std::find(events.begin(), events.end(), "datanode_down"),
+            events.end());
+  EXPECT_NE(std::find(events.begin(), events.end(), "segment_recovered"),
+            events.end());
+  EXPECT_NE(std::find(events.begin(), events.end(), "datanode_up"),
+            events.end());
+
+  r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_events WHERE severity = 'ERROR' "
+      "AND event = 'datanode_down'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 1);
+}
+
+TEST(StatViewsTest, ComposesWithSqlMachinery) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a int)").ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(session->Execute("SELECT count(*) FROM t").ok());
+  }
+
+  // ORDER BY + LIMIT (the README's slowest-queries example).
+  auto r = session->Execute(
+      "SELECT query, duration_us FROM hawq_stat_queries "
+      "ORDER BY duration_us DESC LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_GE(r->rows[0][1].as_int(), r->rows[1][1].as_int());
+
+  // GROUP BY aggregation over a view.
+  r = session->Execute(
+      "SELECT kind, count(*) FROM hawq_stat_metrics GROUP BY kind");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(r->rows.size(), 3u);  // counters, gauges, histograms
+
+  // EXPLAIN shows the VirtualScan operator without running the scan.
+  r = session->Execute("EXPLAIN SELECT * FROM hawq_stat_metrics");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string text;
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  EXPECT_NE(text.find("VirtualScan hawq_stat_metrics"), std::string::npos)
+      << text;
+
+  // Joining a view against a catalog-backed table redistributes fine.
+  r = session->Execute(
+      "SELECT count(*) FROM hawq_stat_segments s, t WHERE s.segment = t.a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 0);
+}
+
+TEST(StatViewsTest, ViewsAreReadOnly) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  EXPECT_FALSE(
+      session->Execute("INSERT INTO hawq_stat_metrics VALUES (1)").ok());
+  EXPECT_FALSE(session->Execute("DROP TABLE hawq_stat_queries").ok());
+  EXPECT_FALSE(session->Execute("TRUNCATE hawq_stat_events").ok());
 }
 
 }  // namespace

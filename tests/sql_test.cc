@@ -162,6 +162,43 @@ TEST(ParserTest, SpecialExpressions) {
                     "interval '90 day'").ok());
 }
 
+// "EXPLAIN ANALYZE x" is ambiguous: ANALYZE may open a traced SELECT
+// ("EXPLAIN ANALYZE SELECT ...") or be the statement being explained
+// ("EXPLAIN ANALYZE t" explains the ANALYZE of table t). The parser only
+// consumes ANALYZE as the traced-run flag when SELECT follows
+// (parser.cc, ParseStatementInner).
+TEST(ParserTest, ExplainAnalyzeDisambiguation) {
+  // EXPLAIN ANALYZE SELECT ...: traced execution of the SELECT.
+  auto traced = Parse("EXPLAIN ANALYZE SELECT * FROM t");
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+  EXPECT_EQ((*traced)->kind, Statement::Kind::kExplain);
+  EXPECT_TRUE((*traced)->explain_analyze);
+  ASSERT_TRUE((*traced)->child != nullptr);
+  EXPECT_EQ((*traced)->child->kind, Statement::Kind::kSelect);
+
+  // EXPLAIN ANALYZE t: plain EXPLAIN of the "ANALYZE t" statement.
+  auto plain = Parse("EXPLAIN ANALYZE t");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ((*plain)->kind, Statement::Kind::kExplain);
+  EXPECT_FALSE((*plain)->explain_analyze);
+  ASSERT_TRUE((*plain)->child != nullptr);
+  EXPECT_EQ((*plain)->child->kind, Statement::Kind::kAnalyze);
+  EXPECT_EQ((*plain)->child->table, "t");
+
+  // Even a table unluckily named "select" keeps the traced reading —
+  // the tie deliberately breaks toward EXPLAIN ANALYZE SELECT.
+  auto tie = Parse("EXPLAIN ANALYZE select");
+  ASSERT_FALSE(tie.ok());  // "EXPLAIN ANALYZE SELECT <nothing>" is invalid
+
+  // EXPLAIN SELECT over a system view parses like any table scan.
+  auto view = Parse("EXPLAIN SELECT * FROM hawq_stat_metrics");
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->kind, Statement::Kind::kExplain);
+  EXPECT_FALSE((*view)->explain_analyze);
+  ASSERT_EQ((*view)->child->select->from.size(), 1u);
+  EXPECT_EQ((*view)->child->select->from[0].name, "hawq_stat_metrics");
+}
+
 TEST(ParserTest, TrailingGarbageFails) {
   EXPECT_FALSE(Parse("SELECT 1 FROM t blah blah blah").ok());
   EXPECT_FALSE(Parse("SELEKT 1").ok());
