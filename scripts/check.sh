@@ -9,8 +9,12 @@
 # Each configuration runs the tier-1 line from ROADMAP.md plus an
 # explicit pass of obs_test (the observability subsystem must be clean
 # under both sanitizers) and the StatViews system-view suite. The plain
-# tree additionally runs two bench_micro smokes: tracing off-vs-on and
-# lock-wait profiling off-vs-on, each required to stay within 5%.
+# and tsan trees additionally sweep the deterministic chaos harness
+# (chaos_test) across 8 fixed seeds, one process per seed, each under a
+# hard wall-clock deadline — a hung query fails the sweep instead of
+# wedging CI. The plain tree also runs two bench_micro smokes: tracing
+# off-vs-on and lock-wait profiling off-vs-on, each required to stay
+# within 5%.
 #
 # Usage: scripts/check.sh [--keep] [ctest-args...]
 #   --keep     do not delete the build trees afterwards
@@ -28,6 +32,23 @@ for arg in "$@"; do
     *) CTEST_ARGS+=("$arg") ;;
   esac
 done
+
+# Deterministic chaos sweep: every seed replays its own fault schedule
+# in a fresh process, bounded by a wall-clock deadline (TSan runs get a
+# larger one for instrumentation overhead).
+CHAOS_SEEDS=(11 22 33 44 55 66 77 88)
+
+run_chaos_sweep() {
+  local name="$1" dir="$2" deadline="$3"
+  echo "==== [$name] chaos sweep (${#CHAOS_SEEDS[@]} seeds, ${deadline}s each) ===="
+  for seed in "${CHAOS_SEEDS[@]}"; do
+    echo "---- [$name] chaos seed $seed ----"
+    if ! HAWQ_CHAOS_SEED="$seed" timeout "$deadline" "$dir/tests/chaos_test"; then
+      echo "chaos seed $seed failed or exceeded ${deadline}s deadline" >&2
+      exit 1
+    fi
+  done
+}
 
 run_config() {
   local name="$1" dir="$2"
@@ -49,6 +70,9 @@ run_config() {
 run_config plain  build-check
 run_config asan   build-check-asan -DHAWQ_SANITIZE=address
 run_config tsan   build-check-tsan -DHAWQ_SANITIZE=thread
+
+run_chaos_sweep plain build-check 120
+run_chaos_sweep tsan  build-check-tsan 360
 
 echo "==== [plain] tracing-overhead smoke ===="
 HAWQ_OBS_SMOKE=1 ./build-check/bench/bench_micro

@@ -1,0 +1,47 @@
+// Cooperative per-query cancellation (paper §2.2: the master must be
+// able to abort all slices of a query once any of them fails).
+//
+// One CancelToken lives on the dispatcher's stack for the duration of a
+// query. Every ExecContext of every gang points at it; exec nodes and
+// blocking interconnect waits poll it and unwind with the stored reason.
+// The first Cancel() wins — later calls are no-ops so the original
+// failure is what the client sees.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace hawq::common {
+
+class CancelToken {
+ public:
+  /// Request cancellation. Idempotent: only the first reason is kept.
+  void Cancel(Status reason) {
+    MutexLock g(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    reason_ = std::move(reason);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Cheap check for hot loops (one relaxed atomic load).
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the query is live; the stored reason once cancelled.
+  Status Check() const {
+    if (!cancelled()) return Status::OK();
+    MutexLock g(mu_);
+    return reason_;
+  }
+
+ private:
+  mutable Mutex mu_{LockRank::kRankFree, "cancel.token"};
+  std::atomic<bool> cancelled_{false};
+  Status reason_ HAWQ_GUARDED_BY(mu_);
+};
+
+}  // namespace hawq::common

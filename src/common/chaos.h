@@ -1,0 +1,183 @@
+// Deterministic chaos injection for fault-tolerance tests.
+//
+// Executor and storage hot paths call chaos::Point("name") at well-known
+// spots ("scan.batch", "motion.send", "motion.recv", "hdfs.pread"). With
+// no injector installed this is one relaxed atomic load — nothing else.
+// Tests install a ScheduledInjector whose schedule is derived entirely
+// from a seed: each action fires at the Nth visit of a named point, never
+// from wall-clock time, so a given seed replays the same fault sequence
+// on every run regardless of machine speed.
+#pragma once
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sync.h"
+
+namespace hawq::common::chaos {
+
+/// A fault the harness injects mid-query. The applier maps these onto
+/// cluster primitives (FailSegment, FailDisk, SimNet loss, ...).
+struct Action {
+  enum Kind {
+    kKillSegment,  // arg = segment id
+    kFailDisk,     // arg = datanode, arg2 = disk index
+    kLossBurst,    // arg = loss permille to apply to the fabric
+    kHealNet,      // end a loss burst
+  };
+  Kind kind = kKillSegment;
+  int arg = 0;
+  int arg2 = 0;
+};
+
+class Injector {
+ public:
+  virtual ~Injector() = default;
+  /// Called on every visit of a chaos point. Must be thread-safe; called
+  /// from executor threads that hold no locks.
+  virtual void OnPoint(const char* point) = 0;
+};
+
+namespace detail {
+inline std::atomic<Injector*>& Global() {
+  static std::atomic<Injector*> g{nullptr};
+  return g;
+}
+}  // namespace detail
+
+/// Install (or clear, with nullptr) the process-wide injector. Callers
+/// must clear it before the injector is destroyed.
+inline void SetInjector(Injector* inj) {
+  detail::Global().store(inj, std::memory_order_release);
+}
+
+/// Fast-path hook compiled into hot loops.
+inline void Point(const char* point) {
+  Injector* inj = detail::Global().load(std::memory_order_acquire);
+  if (inj != nullptr) inj->OnPoint(point);
+}
+
+/// The chaos points the executor/storage layers expose today. Schedules
+/// are built against this list so a seed maps to concrete trigger sites.
+inline const std::vector<std::string>& KnownPoints() {
+  static const std::vector<std::string> kPoints = {
+      "scan.batch", "motion.send", "motion.recv", "hdfs.pread"};
+  return kPoints;
+}
+
+/// \brief Seed-driven injector: derives a schedule of (point, visit-count,
+/// action) triggers from an Rng and fires each action exactly once when
+/// its point reaches the scheduled visit count.
+class ScheduledInjector : public Injector {
+ public:
+  using Applier = std::function<void(const Action&)>;
+
+  /// `num_segments`/`num_disks` bound the targets the schedule may pick;
+  /// `applier` runs on the executor thread that trips the trigger, with
+  /// no injector locks held.
+  ScheduledInjector(uint64_t seed, int num_segments, int num_disks,
+                    Applier applier)
+      : applier_(std::move(applier)) {
+    Rng rng(seed);
+    // 2-4 faults per schedule, early in the query (batch pipelines visit
+    // scan/motion points hundreds of times even on small tables).
+    int n = static_cast<int>(rng.Uniform(2, 4));
+    for (int i = 0; i < n; ++i) {
+      Trigger t;
+      t.point = KnownPoints()[static_cast<size_t>(rng.Uniform(
+          0, static_cast<int64_t>(KnownPoints().size()) - 1))];
+      t.at_visit = rng.Uniform(1, 40);
+      uint64_t kind = rng.Uniform(0, 3);
+      switch (kind) {
+        case 0:
+          t.action.kind = Action::kKillSegment;
+          t.action.arg = static_cast<int>(rng.Uniform(0, num_segments - 1));
+          break;
+        case 1:
+          t.action.kind = Action::kFailDisk;
+          t.action.arg = static_cast<int>(rng.Uniform(0, num_segments - 1));
+          t.action.arg2 = static_cast<int>(rng.Uniform(0, num_disks - 1));
+          break;
+        case 2:
+          t.action.kind = Action::kLossBurst;
+          t.action.arg = static_cast<int>(rng.Uniform(50, 250));  // permille
+          break;
+        default:
+          t.action.kind = Action::kHealNet;
+          break;
+      }
+      triggers_.push_back(std::move(t));
+    }
+  }
+
+  void OnPoint(const char* point) override {
+    std::vector<Action> fire;
+    {
+      MutexLock g(mu_);
+      for (Trigger& t : triggers_) {
+        if (t.fired || t.point != point) continue;
+        if (++t.visits >= t.at_visit) {
+          t.fired = true;
+          fire.push_back(t.action);
+        }
+      }
+    }
+    // Apply outside mu_: appliers take cluster/hdfs/net locks.
+    for (const Action& a : fire) applier_(a);
+  }
+
+  /// Human-readable schedule (for failure messages: which faults a seed
+  /// injects and where).
+  std::string Describe() const {
+    MutexLock g(mu_);
+    std::string out;
+    for (const Trigger& t : triggers_) {
+      out += t.point + "@" + std::to_string(t.at_visit) + ":";
+      switch (t.action.kind) {
+        case Action::kKillSegment:
+          out += "kill_segment(" + std::to_string(t.action.arg) + ")";
+          break;
+        case Action::kFailDisk:
+          out += "fail_disk(" + std::to_string(t.action.arg) + "," +
+                 std::to_string(t.action.arg2) + ")";
+          break;
+        case Action::kLossBurst:
+          out += "loss_burst(" + std::to_string(t.action.arg) + "/1000)";
+          break;
+        case Action::kHealNet:
+          out += "heal_net";
+          break;
+      }
+      out += " ";
+    }
+    return out;
+  }
+
+ private:
+  struct Trigger {
+    std::string point;
+    uint64_t at_visit = 1;
+    uint64_t visits = 0;
+    bool fired = false;
+    Action action;
+  };
+
+  mutable Mutex mu_{LockRank::kRankFree, "chaos.injector"};
+  std::vector<Trigger> triggers_ HAWQ_GUARDED_BY(mu_);
+  Applier applier_;
+};
+
+/// RAII installation for tests.
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(Injector* inj) { SetInjector(inj); }
+  ~ScopedInjector() { SetInjector(nullptr); }
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+};
+
+}  // namespace hawq::common::chaos

@@ -135,8 +135,13 @@ Cluster::Cluster(ClusterOptions opts)
   dopts.compress_plan = opts_.compress_plans;
   dopts.sort_spill_threshold = opts_.sort_spill_threshold;
   dopts.metrics = &metrics_;
+  dopts.journal = &events_;
   dispatcher_ = std::make_unique<Dispatcher>(fs_.get(), fabric_.get(),
                                              &local_disks_, dopts);
+  // Every segment starts with a fresh heartbeat.
+  for (int s = 0; s < opts_.num_segments; ++s) {
+    dispatcher_->StampHeartbeat(s, NowUs());
+  }
   // Segment registry.
   for (int s = 0; s < opts_.num_segments; ++s) {
     catalog_->RegisterSegment({s, "seg" + std::to_string(s), 40000 + s, true});
@@ -208,6 +213,9 @@ void Cluster::FailSegment(int segment) {
   events_.Log(obs::Severity::kWarn, "engine", "segment_failed",
               "segment " + std::to_string(segment) +
                   " host killed; queries fail over to live segments");
+  // Flip physical liveness first so in-flight slices on the segment fail
+  // at their next batch boundary (QE death), then kill its DataNode.
+  dispatcher_->SetSegmentAlive(segment, false);
   fs_->FailDataNode(segment);
   RunFaultDetectorOnce();
 }
@@ -215,14 +223,50 @@ void Cluster::FailSegment(int segment) {
 void Cluster::RecoverSegment(int segment) {
   events_.Log(obs::Severity::kInfo, "engine", "segment_recovered",
               "segment " + std::to_string(segment) + " host back online");
+  dispatcher_->SetSegmentAlive(segment, true);
   fs_->RecoverDataNode(segment);
   RunFaultDetectorOnce();
 }
 
+uint64_t Cluster::NowUs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
 void Cluster::RunFaultDetectorOnce() {
+  // Heartbeat model (paper §2.6): live DataNodes heartbeat the master on
+  // every detector pass; a segment is only marked down in the catalog
+  // once it has been silent for heartbeat_timeout_ms. Marking down fires
+  // a segment_down kError event; hearing from a down segment again marks
+  // it up (segment_up).
+  const uint64_t now_us = NowUs();
+  const uint64_t timeout_us = opts_.heartbeat_timeout_ms * 1000;
+  const auto& health = dispatcher_->segment_health();
   for (const catalog::SegmentInfo& seg : catalog_->GetSegments()) {
+    if (seg.id < 0 || seg.id >= static_cast<int>(health.size())) continue;
     bool alive = fs_->IsDataNodeAlive(seg.id);
-    if (alive != seg.up) catalog_->SetSegmentStatus(seg.id, alive);
+    if (alive) {
+      dispatcher_->StampHeartbeat(seg.id, now_us);
+      if (!seg.up) {
+        catalog_->SetSegmentStatus(seg.id, true);
+        events_.Log(obs::Severity::kInfo, "fault_detector", "segment_up",
+                    "segment " + std::to_string(seg.id) +
+                        " heartbeating again; marked up");
+      }
+      continue;
+    }
+    if (!seg.up) continue;  // already detected
+    uint64_t last =
+        health[seg.id].last_heartbeat_us.load(std::memory_order_relaxed);
+    if (now_us - last >= timeout_us) {
+      catalog_->SetSegmentStatus(seg.id, false);
+      events_.Log(obs::Severity::kError, "fault_detector", "segment_down",
+                  "segment " + std::to_string(seg.id) + " missed heartbeats " +
+                      "for " + std::to_string((now_us - last) / 1000) +
+                      " ms; marked down");
+    }
   }
 }
 

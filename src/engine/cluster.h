@@ -55,6 +55,19 @@ struct ClusterOptions {
   bool lock_contention_profiling = true;
   size_t event_journal_capacity = 512;  // hawq_stat_events ring
   size_t query_log_capacity = 256;      // hawq_stat_queries ring
+
+  // --- fault tolerance & recovery ---------------------------------------
+  /// How long a segment may miss heartbeats before the fault detector
+  /// marks it down in the catalog (fires a `segment_down` event). 0 =
+  /// mark down on the first missed heartbeat.
+  uint64_t heartbeat_timeout_ms = 0;
+  /// Automatic statement-level retries for SELECTs that fail mid-query
+  /// from a retryable fault (segment death, network, IO). Each attempt
+  /// re-plans around the live segments. 0 = no retry.
+  int max_query_retries = 2;
+  /// Capped exponential backoff between retry attempts.
+  uint64_t retry_backoff_us = 2000;
+  uint64_t retry_backoff_max_us = 50000;
 };
 
 class Cluster {
@@ -120,8 +133,12 @@ class Cluster {
 
  private:
   void FaultDetectorLoop();
+  /// Microseconds since cluster start (the heartbeat clock).
+  uint64_t NowUs() const;
 
   ClusterOptions opts_;
+  std::chrono::steady_clock::time_point start_time_{
+      std::chrono::steady_clock::now()};
   // Declared before every consumer (HDFS, fabrics, dispatcher) so the
   // instruments they cache outlive them.
   obs::MetricsRegistry metrics_;

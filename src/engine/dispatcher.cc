@@ -86,6 +86,11 @@ Result<QueryResult> Dispatcher::Execute(
   for (const plan::Slice& s : plan.slices) needs_segments |= !s.on_qd;
   if (up_segments.empty()) {
     if (needs_segments) {
+      if (opts_.journal != nullptr) {
+        opts_.journal->Log(obs::Severity::kError, "dispatcher",
+                           "dispatch_refused",
+                           "no alive segments to dispatch to", query_id);
+      }
       return Status::Failed("no alive segments to dispatch to");
     }
     up_segments.push_back(0);  // placeholder; master-only plans ignore it
@@ -122,9 +127,24 @@ Result<QueryResult> Dispatcher::Execute(
   // --- start gangs -----------------------------------------------------------
   Mutex err_mu(LockRank::kLeaf, "dispatcher.err");
   Status first_error;
+  // All slices of the query share one cancel token: the first failing
+  // slice trips it (and broadcasts an interconnect teardown) so every
+  // peer gang unwinds promptly instead of blocking on dead streams.
+  common::CancelToken cancel_token;
   auto record_error = [&](const Status& st) {
-    MutexLock g(err_mu);
-    if (first_error.ok() && !st.ok()) first_error = st;
+    if (st.ok()) return;
+    bool is_first = false;
+    {
+      MutexLock g(err_mu);
+      if (first_error.ok()) {
+        first_error = st;
+        is_first = true;
+      }
+    }
+    if (is_first) {
+      cancel_token.Cancel(st);
+      net_->CancelQuery(query_id);
+    }
   };
 
   Mutex side_mu(LockRank::kLeaf, "dispatcher.side_results");
@@ -161,6 +181,10 @@ Result<QueryResult> Dispatcher::Execute(
         ctx.sort_spill_threshold = opts_.sort_spill_threshold;
         ctx.side_mu = &side_mu;
         ctx.insert_results = &side_results;
+        ctx.cancel = &cancel_token;
+        if (host >= 0 && host < static_cast<int>(seg_health_.size())) {
+          ctx.segment_alive = &seg_health_[host].alive;
+        }
         if (trace != nullptr) {
           ctx.trace = trace;
           ctx.slice_id = static_cast<int>(si);
@@ -198,6 +222,7 @@ Result<QueryResult> Dispatcher::Execute(
     ctx.sort_spill_threshold = opts_.sort_spill_threshold;
     ctx.side_mu = &side_mu;
     ctx.insert_results = &side_results;
+    ctx.cancel = &cancel_token;
     if (trace != nullptr) {
       ctx.trace = trace;
       ctx.slice_id = 0;

@@ -15,6 +15,7 @@
 #include "executor/exec_context.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_node.h"
@@ -29,6 +30,9 @@ struct DispatchOptions {
   /// Engine-wide metrics (optional, may be null): engine.queries /
   /// engine.slices counters and the engine.query_us histogram.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Cluster event journal (optional, may be null): dispatch refusals
+  /// land here as kError events.
+  obs::EventJournal* journal = nullptr;
 };
 
 /// Execution totals of one segment, maintained by the dispatcher across
@@ -39,6 +43,17 @@ struct SegmentLoad {
   std::atomic<uint64_t> queries{0};
 };
 
+/// Liveness state of one segment as the master sees it. `alive` is the
+/// *physical* truth (flipped synchronously by fault injection); the
+/// catalog's `up` flag is the *detected* state the heartbeat tracker
+/// derives from `last_heartbeat_us` after the configured timeout. Gang
+/// workers watch `alive` so a segment dying mid-slice fails the slice.
+struct SegmentHealth {
+  std::atomic<bool> alive{true};
+  std::atomic<uint64_t> last_heartbeat_us{0};
+  std::atomic<uint64_t> restarts{0};
+};
+
 class Dispatcher {
  public:
   Dispatcher(hdfs::MiniHdfs* fs, net::Interconnect* net,
@@ -47,7 +62,8 @@ class Dispatcher {
         net_(net),
         local_disks_(local_disks),
         opts_(opts),
-        seg_load_(opts.num_segments > 0 ? opts.num_segments : 0) {
+        seg_load_(opts.num_segments > 0 ? opts.num_segments : 0),
+        seg_health_(opts.num_segments > 0 ? opts.num_segments : 0) {
     if (opts_.metrics != nullptr) {
       c_queries_ = opts_.metrics->GetCounter("engine.queries");
       c_slices_ = opts_.metrics->GetCounter("engine.slices");
@@ -70,6 +86,31 @@ class Dispatcher {
   /// ran the work (failover reassigns a down segment's slices).
   const std::vector<SegmentLoad>& segment_loads() const { return seg_load_; }
 
+  /// Physical liveness + heartbeat bookkeeping per segment.
+  const std::vector<SegmentHealth>& segment_health() const {
+    return seg_health_;
+  }
+
+  /// Flip a segment's physical liveness (fault injection / recovery).
+  /// A dead->alive transition counts as a restart.
+  void SetSegmentAlive(int segment, bool alive) {
+    if (segment < 0 || segment >= static_cast<int>(seg_health_.size())) {
+      return;
+    }
+    SegmentHealth& h = seg_health_[segment];
+    bool was = h.alive.exchange(alive, std::memory_order_acq_rel);
+    if (alive && !was) h.restarts.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Record a heartbeat observation (called by the fault detector).
+  void StampHeartbeat(int segment, uint64_t now_us) {
+    if (segment < 0 || segment >= static_cast<int>(seg_health_.size())) {
+      return;
+    }
+    seg_health_[segment].last_heartbeat_us.store(now_us,
+                                                 std::memory_order_relaxed);
+  }
+
  private:
   hdfs::MiniHdfs* fs_;
   net::Interconnect* net_;
@@ -80,6 +121,7 @@ class Dispatcher {
   obs::Histogram* h_query_us_ = nullptr;
   obs::Gauge* g_active_ = nullptr;
   std::vector<SegmentLoad> seg_load_;
+  std::vector<SegmentHealth> seg_health_;
 };
 
 }  // namespace hawq::engine

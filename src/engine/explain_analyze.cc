@@ -128,7 +128,8 @@ std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
          std::to_string(result.rows.size()) + " row" +
          (result.rows.size() == 1 ? "" : "s") + ", plan " +
          std::to_string(result.plan_bytes) + " bytes (" +
-         std::to_string(result.plan_bytes_compressed) + " dispatched)\n";
+         std::to_string(result.plan_bytes_compressed) + " dispatched), " +
+         "retries=" + std::to_string(result.retries) + "\n";
   EmitMetricSection(trace.metric_deltas, "Interconnect", "interconnect.",
                     &out);
   EmitMetricSection(trace.metric_deltas, "HDFS", "hdfs.", &out);

@@ -20,6 +20,9 @@ struct QueryResult {
   size_t plan_bytes = 0;             // serialized self-described plan
   size_t plan_bytes_compressed = 0;  // after dispatch compression
   int num_slices = 0;
+  /// Automatic statement-level retry attempts it took to produce this
+  /// result (0 = first attempt succeeded).
+  int retries = 0;
   bool direct_dispatch = false;
   bool master_only = false;
   std::chrono::microseconds exec_time{0};

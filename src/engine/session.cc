@@ -1,7 +1,9 @@
 #include "engine/session.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <thread>
 
 #include "common/string_util.h"
 #include "engine/explain_analyze.h"
@@ -175,6 +177,9 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
     rec.error = res.status().message();
     c_->events()->Log(obs::Severity::kError, "engine", "query_error",
                       rec.error, rec.query_id);
+    // Every failed statement counts here, including master-side dispatch
+    // refusals that never reach a segment.
+    c_->metrics()->GetCounter("engine.queries_failed")->Add(1);
   }
   rec.slow_explain = std::move(last_slow_explain_);
   c_->query_log()->Append(std::move(rec));
@@ -292,33 +297,98 @@ Status Session::ResolveScalarSubqueries(sql::BoundQuery* q,
   return Status::OK();
 }
 
+namespace {
+
+/// Failures worth a statement-level retry: faults the cluster can heal by
+/// failing over (segment death, interconnect loss, replica loss). Planner
+/// and analyzer errors are deterministic and excluded.
+bool RetryableFailure(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kFailed:
+    case StatusCode::kNetworkError:
+    case StatusCode::kIOError:
+    case StatusCode::kAborted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Session::RunWithRetry(
+    const std::function<Result<QueryResult>(uint64_t qid, int attempt)>&
+        attempt) {
+  const ClusterOptions& o = c_->options();
+  uint64_t backoff_us = o.retry_backoff_us;
+  int attempts = 0;
+  while (true) {
+    uint64_t qid = c_->NextQueryId();
+    last_query_id_ = qid;
+    Result<QueryResult> res = attempt(qid, attempts);
+    if (res.ok()) {
+      res->retries = attempts;
+      return res;
+    }
+    if (attempts >= o.max_query_retries || !RetryableFailure(res.status())) {
+      return res;
+    }
+    ++attempts;
+    c_->events()->Log(obs::Severity::kWarn, "engine", "query_retried",
+                      "retry " + std::to_string(attempts) + "/" +
+                          std::to_string(o.max_query_retries) + " after: " +
+                          res.status().message(),
+                      qid);
+    c_->metrics()->GetCounter("engine.query_retries")->Add(1);
+    // Back off, then let the fault detector observe the failure so the
+    // next attempt plans around the dead segment (its heartbeat must be
+    // stale past the timeout before the catalog flips).
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = std::min(backoff_us * 2, o.retry_backoff_max_us);
+    c_->RunFaultDetectorOnce();
+  }
+}
+
 Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
                                             tx::Transaction* txn) {
   HAWQ_RETURN_IF_ERROR(LockTables(*bound, txn));
   HAWQ_RETURN_IF_ERROR(ResolveScalarSubqueries(bound, txn));
-  plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
-  HAWQ_ASSIGN_OR_RETURN(plan::PhysicalPlan plan, planner.PlanSelect(*bound));
-  uint64_t qid = c_->NextQueryId();
-  last_query_id_ = qid;
   uint64_t slow_us = c_->options().slow_query_us;
+  plan::PhysicalPlan plan;  // final attempt's plan (for the rendering)
   if (slow_us == 0) {
-    return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(), nullptr);
+    return RunWithRetry([&](uint64_t qid, int) -> Result<QueryResult> {
+      // Re-plan every attempt: after a failure the catalog may have
+      // marked segments down, and HDFS replicas restore data access on
+      // the survivors.
+      plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
+      HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
+      return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
+                                       nullptr);
+    });
   }
   // Slow-query auto-capture: run traced so that if the statement crosses
   // the threshold its EXPLAIN ANALYZE rendering lands in the query log.
-  obs::QueryTrace trace(qid);
-  auto before = c_->metrics()->SnapshotCounters();
+  std::unique_ptr<obs::QueryTrace> trace;
+  std::map<std::string, uint64_t> before;
   HAWQ_ASSIGN_OR_RETURN(
       QueryResult res,
-      c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(), nullptr,
-                                &trace));
+      RunWithRetry([&](uint64_t qid, int) -> Result<QueryResult> {
+        plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
+        HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
+        trace = std::make_unique<obs::QueryTrace>(qid);
+        before = c_->metrics()->SnapshotCounters();
+        return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
+                                         nullptr, trace.get());
+      }));
   if (static_cast<uint64_t>(res.exec_time.count()) >= slow_us) {
     auto after = c_->metrics()->SnapshotCounters();
     for (const auto& [name, v] : after) {
       auto it = before.find(name);
-      trace.metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
+      trace->metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
     }
-    last_slow_explain_ = RenderExplainAnalyze(plan, trace, res);
+    last_slow_explain_ = RenderExplainAnalyze(plan, *trace, res);
   }
   return res;
 }
@@ -906,22 +976,31 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
     // counter movement (interconnect, HDFS) to this query via a
     // before/after registry snapshot. The snapshot is racy against
     // concurrent queries; EXPLAIN ANALYZE attribution is best-effort,
-    // like the real system's.
-    uint64_t qid = c_->NextQueryId();
-    last_query_id_ = qid;
-    obs::QueryTrace trace(qid);
-    auto before = c_->metrics()->SnapshotCounters();
-    HAWQ_ASSIGN_OR_RETURN(QueryResult exec_result,
-                          c_->dispatcher()->Execute(plan, qid,
-                                                    c_->SegmentUpMask(),
-                                                    nullptr, &trace));
+    // like the real system's. Mid-query faults retry like a plain
+    // SELECT; the rendering reflects the final (successful) attempt plus
+    // its retry count.
+    std::unique_ptr<obs::QueryTrace> trace;
+    std::map<std::string, uint64_t> before;
+    HAWQ_ASSIGN_OR_RETURN(
+        QueryResult exec_result,
+        RunWithRetry([&](uint64_t qid, int attempt) -> Result<QueryResult> {
+          if (attempt > 0) {
+            plan::Planner replanner(c_->catalog(), txn,
+                                    c_->PlannerOptionsFor());
+            HAWQ_ASSIGN_OR_RETURN(plan, replanner.PlanSelect(*bound));
+          }
+          trace = std::make_unique<obs::QueryTrace>(qid);
+          before = c_->metrics()->SnapshotCounters();
+          return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
+                                           nullptr, trace.get());
+        }));
     auto after = c_->metrics()->SnapshotCounters();
     for (const auto& [name, v] : after) {
       auto it = before.find(name);
-      trace.metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
+      trace->metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
     }
-    text = RenderExplainAnalyze(plan, trace, exec_result);
-    r.query_id = qid;
+    text = RenderExplainAnalyze(plan, *trace, exec_result);
+    r.query_id = exec_result.query_id;
     r.plan_bytes = exec_result.plan_bytes;
     r.exec_time = exec_result.exec_time;
   } else {

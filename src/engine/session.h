@@ -2,6 +2,7 @@
 // manages transactions for every SQL statement (paper §2.4, Figure 2).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -62,6 +63,16 @@ class Session {
       const std::string& name,
       const std::map<std::string, std::string>& options,
       tx::Transaction* txn);
+
+  /// Statement-level failover retry (paper §2.2): run one dispatch
+  /// attempt via `attempt` (which re-plans around live segments and uses
+  /// the fresh query id); on a retryable failure, back off, let the
+  /// fault detector observe the dead segment, and go again, up to
+  /// ClusterOptions::max_query_retries. Each retry is journaled as a
+  /// `query_retried` event. The returned result carries the retry count.
+  Result<QueryResult> RunWithRetry(
+      const std::function<Result<QueryResult>(uint64_t qid, int attempt)>&
+          attempt);
 
   /// Recursively evaluate and bind uncorrelated scalar subqueries.
   Status ResolveScalarSubqueries(sql::BoundQuery* q, tx::Transaction* txn);

@@ -63,12 +63,18 @@ std::vector<Row> QueryRows(Cluster* c) {
 
 std::vector<Row> SegmentRows(Cluster* c) {
   const auto& loads = c->dispatcher()->segment_loads();
+  const auto& health = c->dispatcher()->segment_health();
   std::vector<Row> rows;
   for (const catalog::SegmentInfo& seg : c->catalog()->GetSegments()) {
     uint64_t busy = 0, nq = 0;
     if (seg.id >= 0 && seg.id < static_cast<int>(loads.size())) {
       busy = loads[seg.id].busy_us.load(std::memory_order_relaxed);
       nq = loads[seg.id].queries.load(std::memory_order_relaxed);
+    }
+    uint64_t last_hb = 0, restarts = 0;
+    if (seg.id >= 0 && seg.id < static_cast<int>(health.size())) {
+      last_hb = health[seg.id].last_heartbeat_us.load(std::memory_order_relaxed);
+      restarts = health[seg.id].restarts.load(std::memory_order_relaxed);
     }
     hdfs::MiniHdfs::DataNodeIo io = c->hdfs()->DataNodeIoStats(seg.id);
     uint64_t spill = 0;
@@ -78,7 +84,8 @@ std::vector<Row> SegmentRows(Cluster* c) {
     rows.push_back({Datum::Int(seg.id), Datum::Str(seg.host),
                     Datum::Str(seg.up ? "up" : "down"), U64(nq), U64(busy),
                     U64(io.bytes_read), U64(io.locality_hits),
-                    U64(io.locality_misses), U64(spill)});
+                    U64(io.locality_misses), U64(spill), U64(last_hb),
+                    U64(restarts)});
   }
   return rows;
 }
@@ -170,7 +177,9 @@ std::vector<catalog::TableDesc> StatViewDefs() {
        ColumnDesc{"hdfs_bytes_read", TypeId::kInt64, false},
        ColumnDesc{"locality_hits", TypeId::kInt64, false},
        ColumnDesc{"locality_misses", TypeId::kInt64, false},
-       ColumnDesc{"spill_bytes", TypeId::kInt64, false}}));
+       ColumnDesc{"spill_bytes", TypeId::kInt64, false},
+       ColumnDesc{"last_heartbeat_us", TypeId::kInt64, false},
+       ColumnDesc{"restarts", TypeId::kInt64, false}}));
   defs.push_back(MakeViewDesc(
       "hawq_stat_events",
       {ColumnDesc{"seq", TypeId::kInt64, false},

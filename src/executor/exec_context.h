@@ -8,6 +8,7 @@
 #include <map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/sync.h"
 #include "hdfs/hdfs.h"
@@ -100,6 +101,26 @@ struct ExecContext {
   size_t batch_size = kDefaultBatchRows;
   hawq::Mutex* side_mu = nullptr;
   std::vector<InsertResult>* insert_results = nullptr;
+
+  // --- fault tolerance --------------------------------------------------
+  /// Per-query cancel token (owned by the dispatcher's Execute frame).
+  /// Null in unit tests that drive exec nodes directly.
+  common::CancelToken* cancel = nullptr;
+  /// Liveness flag of the segment this worker executes on (null on the
+  /// QD). A FailSegment() mid-query flips it, simulating QE death: the
+  /// slice notices at its next batch boundary and unwinds.
+  const std::atomic<bool>* segment_alive = nullptr;
+
+  /// Polled at batch boundaries and inside blocking waits.
+  Status CheckCancel() const {
+    if (segment_alive != nullptr &&
+        !segment_alive->load(std::memory_order_acquire)) {
+      return Status::Failed("segment " + std::to_string(segment) +
+                            " died mid-query");
+    }
+    if (cancel != nullptr && cancel->cancelled()) return cancel->Check();
+    return Status::OK();
+  }
 
   // --- observability (EXPLAIN ANALYZE / traced runs) --------------------
   /// Tracing is ON iff trace != nullptr. When off, BuildExecNode emits no

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/chaos.h"
 #include "common/serde.h"
 #include "obs/trace.h"
 #include "storage/format.h"
@@ -136,6 +137,8 @@ class SeqScanExec : public BatchExecNode {
   }
 
   Result<bool> NextBatch(RowBatch* out) override {
+    common::chaos::Point("scan.batch");
+    HAWQ_RETURN_IF_ERROR(ctx_->CheckCancel());
     out->Clear();
     while (true) {
       if (!scanner_) {
@@ -746,6 +749,7 @@ class MotionRecvExec : public BatchExecNode {
         stream_, ctx_->net->OpenRecv(ctx_->query_id, node_.motion_id,
                                      ctx_->worker, ctx_->host,
                                      static_cast<int>(w.sender_hosts.size())));
+    stream_->SetCancelToken(ctx_->cancel);
     if (ctx_->trace != nullptr) {
       stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
       span_ = ctx_->trace->StartSpan("motion.recv", ctx_->span,
@@ -756,6 +760,8 @@ class MotionRecvExec : public BatchExecNode {
   }
 
   Result<bool> NextBatch(RowBatch* batch) override {
+    common::chaos::Point("motion.recv");
+    HAWQ_RETURN_IF_ERROR(ctx_->CheckCancel());
     batch->Clear();
     while (!batch->full()) {
       if (chunk_rows_left_ > 0) {
@@ -979,6 +985,7 @@ Status RunSendSlice(const plan::PlanNode& send_root, ExecContext* ctx) {
       auto stream, ctx->net->OpenSend(ctx->query_id, send_root.motion_id,
                                       ctx->worker, ctx->host,
                                       w.receiver_hosts));
+  stream->SetCancelToken(ctx->cancel);
   obs::Span* span = nullptr;
   if (ctx->trace != nullptr) {
     span = ctx->trace->StartSpan("motion.send", ctx->span, ctx->slice_id,
@@ -1047,6 +1054,8 @@ Status RunSendSliceInner(const plan::PlanNode& send_root, ExecContext* ctx,
   RowBatch batch(ctx->batch_size);
   std::vector<std::vector<Datum>> hash_cols(send_root.hash_exprs.size());
   while (true) {
+    common::chaos::Point("motion.send");
+    HAWQ_RETURN_IF_ERROR(ctx->CheckCancel());
     if (stream->AllStopped()) break;  // LIMIT satisfied downstream
     HAWQ_ASSIGN_OR_RETURN(bool more, child->NextBatch(&batch));
     if (!more) break;

@@ -1,8 +1,11 @@
 #include "hdfs/hdfs.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "common/chaos.h"
 #include "common/sim_cost.h"
 
 namespace hawq::hdfs {
@@ -25,6 +28,7 @@ Result<std::string> FileReader::ReadAll() {
 }
 
 Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
+  common::chaos::Point("hdfs.pread");
   if (offset >= length_) return static_cast<size_t>(0);
   n = std::min<uint64_t>(n, length_ - offset);
   size_t done = 0;
@@ -91,6 +95,7 @@ MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts,
     c_blocks_read_ = metrics->GetCounter("hdfs.blocks_read");
     c_locality_hits_ = metrics->GetCounter("hdfs.locality_hits");
     c_locality_misses_ = metrics->GetCounter("hdfs.locality_misses");
+    c_read_retries_ = metrics->GetCounter("hdfs.read_retries");
   }
 }
 
@@ -283,6 +288,12 @@ bool MiniHdfs::IsDataNodeAlive(int dn) {
          datanodes_[dn].alive;
 }
 
+void MiniHdfs::SetReadFaultInjector(
+    std::function<bool(int host, BlockId id)> fn) {
+  MutexLock g(lock_);
+  read_fault_ = std::move(fn);
+}
+
 Result<int> MiniHdfs::MinReplication(const std::string& path) {
   MutexLock g(lock_);
   auto it = files_.find(path);
@@ -300,19 +311,51 @@ Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
                                         uint64_t len, int reader_host) {
   std::string data;
   bool local = false;
-  {
-    MutexLock g(lock_);
-    auto it = blocks_.find(id);
-    if (it == blocks_.end()) return Status::IOError("block deleted");
-    std::vector<int> live = LiveHostsForLocked(it->second);
-    if (live.empty()) {
-      return Status::IOError("all replicas of block lost");
+  // Replica failover (paper §2.2: HDFS replication is the storage-level
+  // fault-tolerance substrate). A replica observed dying mid-read is
+  // skipped and the next live replica is tried after a short backoff;
+  // the pause also lets recovery / re-replication land before the final
+  // attempt. Each failover bumps hdfs.read_retries.
+  std::set<int> dead_mid_read;
+  const int max_attempts = opts_.replication + 1;
+  for (int attempt = 0;; ++attempt) {
+    bool fault = false;
+    {
+      MutexLock g(lock_);
+      auto it = blocks_.find(id);
+      if (it == blocks_.end()) return Status::IOError("block deleted");
+      std::vector<int> live;
+      for (int h : LiveHostsForLocked(it->second)) {
+        if (dead_mid_read.count(h) == 0) live.push_back(h);
+      }
+      if (live.empty()) {
+        if (attempt + 1 >= max_attempts) {
+          return Status::IOError("all replicas of block " +
+                                 std::to_string(id) + " lost");
+        }
+        fault = true;  // back off and re-resolve: recovery may restore one
+      } else {
+        local = reader_host >= 0 && std::find(live.begin(), live.end(),
+                                              reader_host) != live.end();
+        int src = local ? reader_host : live.front();
+        if (read_fault_ && read_fault_(src, id)) {
+          if (attempt + 1 >= max_attempts) {
+            return Status::IOError("read of block " + std::to_string(id) +
+                                   " failed on every replica");
+          }
+          dead_mid_read.insert(src);
+          fault = true;
+        } else {
+          offset = std::min<uint64_t>(offset, it->second.data.size());
+          len = std::min<uint64_t>(len, it->second.data.size() - offset);
+          data = it->second.data.substr(offset, len);
+        }
+      }
     }
-    local = reader_host >= 0 &&
-            std::find(live.begin(), live.end(), reader_host) != live.end();
-    offset = std::min<uint64_t>(offset, it->second.data.size());
-    len = std::min<uint64_t>(len, it->second.data.size() - offset);
-    data = it->second.data.substr(offset, len);
+    if (!fault) break;
+    if (c_read_retries_ != nullptr) c_read_retries_->Add(1);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<uint64_t>(200) << attempt));
   }
   if (c_bytes_read_ != nullptr) {
     c_bytes_read_->Add(data.size());

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -149,6 +150,13 @@ class MiniHdfs {
   void FailDisk(int dn, int disk);
   bool IsDataNodeAlive(int dn);
 
+  /// Test/chaos hook: called with (replica host, block id) before each
+  /// read attempt; returning true makes that replica "die mid-read" so
+  /// ReadBlock fails over to the next one (bumping hdfs.read_retries).
+  /// The callback runs under the namenode lock and must not block or
+  /// take locks of rank >= kHdfs. Pass nullptr to clear.
+  void SetReadFaultInjector(std::function<bool(int host, BlockId id)> fn);
+
   /// Number of live replicas of every block of `path` (min across blocks).
   Result<int> MinReplication(const std::string& path);
 
@@ -207,6 +215,7 @@ class MiniHdfs {
   obs::Counter* c_blocks_read_ = nullptr;
   obs::Counter* c_locality_hits_ = nullptr;
   obs::Counter* c_locality_misses_ = nullptr;
+  obs::Counter* c_read_retries_ = nullptr;
   // Failure-injection events (null when built without a journal). The
   // journal is rank-free, so logging while holding lock_ is safe.
   obs::EventJournal* journal_ = nullptr;
@@ -224,6 +233,7 @@ class MiniHdfs {
   std::vector<DataNode> datanodes_ HAWQ_GUARDED_BY(lock_);
   BlockId next_block_id_ HAWQ_GUARDED_BY(lock_) = 1;
   uint64_t rr_counter_ HAWQ_GUARDED_BY(lock_) = 0;  // round-robin placement
+  std::function<bool(int, BlockId)> read_fault_ HAWQ_GUARDED_BY(lock_);
 };
 
 }  // namespace hawq::hdfs

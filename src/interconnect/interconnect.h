@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace hawq::net {
@@ -28,6 +29,9 @@ class SendStream {
   virtual bool Stopped(int receiver) = 0;
   /// True when every receiver stopped — the producing slice can quit early.
   virtual bool AllStopped() = 0;
+  /// Attach the query's cancel token: blocking sends/flushes poll it and
+  /// return its reason instead of waiting out their full deadline.
+  virtual void SetCancelToken(common::CancelToken* token) { (void)token; }
 };
 
 /// \brief One receiver QE's side of a motion: merged in-order streams from
@@ -39,6 +43,9 @@ class RecvStream {
   virtual Result<std::optional<std::string>> Recv() = 0;
   /// Ask all senders to stop early.
   virtual void Stop() = 0;
+  /// Attach the query's cancel token: blocking receives poll it and
+  /// return its reason instead of waiting out their idle deadline.
+  virtual void SetCancelToken(common::CancelToken* token) { (void)token; }
 };
 
 /// \brief Cluster-wide fabric. Hosts are numbered 0..num_hosts-1 (by
@@ -62,6 +69,11 @@ class Interconnect {
                                                        int receiver,
                                                        int receiver_host,
                                                        int num_senders) = 0;
+
+  /// Broadcast a teardown for `query_id`: every stream of the query on
+  /// every host fails promptly so peer gangs unwind. Best-effort — the
+  /// in-process CancelToken remains the authoritative signal.
+  virtual void CancelQuery(uint64_t query_id) { (void)query_id; }
 };
 
 }  // namespace hawq::net

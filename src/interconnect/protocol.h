@@ -22,6 +22,7 @@ enum class PacketType : uint8_t {
   kDuplicate,    // receiver saw a duplicate; carries cumulative ack info
   kStop,         // receiver tells sender to stop (LIMIT queries)
   kStatusQuery,  // sender probes receiver state (deadlock elimination §4.5)
+  kCancel,       // QD tears the query down; only key.query_id is meaningful
 };
 
 /// Identity of one tuple stream: (query, motion node, sender, receiver).

@@ -31,17 +31,29 @@ void SimSocket::Deliver(std::string payload, bool reorder) {
 }
 
 SimNet::SimNet(int num_hosts, NetOptions opts) : opts_(opts), rng_(opts.seed) {
+  faults_on_.store(
+      opts.loss_prob > 0 || opts.dup_prob > 0 || opts.reorder_prob > 0,
+      std::memory_order_release);
   sockets_.reserve(num_hosts);
   for (int i = 0; i < num_hosts; ++i) {
     sockets_.push_back(std::make_unique<SimSocket>());
   }
 }
 
+void SimNet::SetFault(double loss_prob, double dup_prob, double reorder_prob) {
+  MutexLock g(rng_mu_);
+  opts_.loss_prob = loss_prob;
+  opts_.dup_prob = dup_prob;
+  opts_.reorder_prob = reorder_prob;
+  faults_on_.store(loss_prob > 0 || dup_prob > 0 || reorder_prob > 0,
+                   std::memory_order_release);
+}
+
 void SimNet::Send(int dst, std::string payload) {
   if (dst < 0 || dst >= num_hosts()) return;
   sent_.fetch_add(1, std::memory_order_relaxed);
   bool drop = false, dup = false, reorder = false;
-  if (opts_.loss_prob > 0 || opts_.dup_prob > 0 || opts_.reorder_prob > 0) {
+  if (faults_on_.load(std::memory_order_acquire)) {
     MutexLock g(rng_mu_);
     drop = rng_.Chance(opts_.loss_prob);
     dup = rng_.Chance(opts_.dup_prob);

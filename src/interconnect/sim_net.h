@@ -60,13 +60,21 @@ class SimNet {
   /// Fire a datagram at `dst`. May drop/duplicate/reorder per options.
   void Send(int dst, std::string payload);
 
+  /// Retarget the fault probabilities at runtime (chaos harness: packet
+  /// loss bursts start and heal mid-query). Thread safe; in-flight sends
+  /// see either the old or the new rates.
+  void SetFault(double loss_prob, double dup_prob, double reorder_prob);
+
   uint64_t packets_sent() const { return sent_; }
   uint64_t packets_dropped() const { return dropped_; }
 
  private:
-  NetOptions opts_;
   std::vector<std::unique_ptr<SimSocket>> sockets_;
   Mutex rng_mu_{LockRank::kNetFabric, "simnet.rng"};
+  NetOptions opts_ HAWQ_GUARDED_BY(rng_mu_);
+  /// Fast-path gate: true when any fault probability is non-zero, so the
+  /// common healthy case never touches rng_mu_.
+  std::atomic<bool> faults_on_{false};
   Rng rng_ HAWQ_GUARDED_BY(rng_mu_);
   std::atomic<uint64_t> sent_{0};
   std::atomic<uint64_t> dropped_{0};

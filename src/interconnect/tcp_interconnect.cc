@@ -25,6 +25,7 @@ struct TcpFabric::RecvState {
   std::map<int, Channel> channels HAWQ_GUARDED_BY(mu);  // by sender index
   int num_senders HAWQ_GUARDED_BY(mu) = -1;
   bool stopped HAWQ_GUARDED_BY(mu) = false;
+  bool cancelled HAWQ_GUARDED_BY(mu) = false;  // query torn down
   int rr_cursor HAWQ_GUARDED_BY(mu) = 0;
 };
 
@@ -101,6 +102,10 @@ class TcpSendStream : public SendStream {
     return true;
   }
 
+  void SetCancelToken(common::CancelToken* token) override {
+    cancel_ = token;
+  }
+
  private:
   Status Push(int receiver, ChunkItem item) {
     if (receiver < 0 || receiver >= static_cast<int>(states_.size())) {
@@ -118,9 +123,12 @@ class TcpSendStream : public SendStream {
     auto& state = states_[receiver];
     MutexLock g(state->mu);
     TcpFabric::Channel& ch = state->channels[sender_];
+    if (state->cancelled) return Status::Aborted("query cancelled");
     if (ch.stopped && !item.eos) return Status::OK();
     auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
     while (!(ch.queue.size() < fabric_->opts_.queue_capacity || ch.stopped)) {
+      if (state->cancelled) return Status::Aborted("query cancelled");
+      if (cancel_ != nullptr && cancel_->cancelled()) return cancel_->Check();
       state->cv.WaitFor(g, std::chrono::milliseconds(1));
       if (std::chrono::steady_clock::now() > deadline) {
         return Status::NetworkError("TCP interconnect send timed out");
@@ -140,16 +148,22 @@ class TcpSendStream : public SendStream {
   std::vector<int> receiver_hosts_;
   std::vector<std::shared_ptr<TcpFabric::RecvState>> states_;
   int ports_held_ = 0;
+  common::CancelToken* cancel_ = nullptr;
 };
 
 class TcpRecvStream : public RecvStream {
  public:
-  TcpRecvStream(std::shared_ptr<TcpFabric::RecvState> state)
-      : state_(std::move(state)) {}
+  TcpRecvStream(std::shared_ptr<TcpFabric::RecvState> state,
+                uint64_t max_idle_ticks)
+      : state_(std::move(state)), max_idle_ticks_(max_idle_ticks) {}
 
   Result<std::optional<std::string>> Recv() override {
     MutexLock g(state_->mu);
     while (true) {
+      if (state_->cancelled) {
+        return Status::Aborted("query cancelled by peer teardown");
+      }
+      if (cancel_ != nullptr && cancel_->cancelled()) return cancel_->Check();
       if (!state_->channels.empty()) {
         int n = static_cast<int>(state_->channels.size());
         for (int i = 0; i < n; ++i) {
@@ -170,7 +184,7 @@ class TcpRecvStream : public RecvStream {
         }
       }
       if (AllEosLocked()) return std::optional<std::string>();
-      if (++idle_ticks_ > 120000) {
+      if (++idle_ticks_ > max_idle_ticks_) {
         return Status::NetworkError("TCP interconnect receive timed out");
       }
       state_->cv.WaitFor(g, std::chrono::milliseconds(1));
@@ -192,6 +206,10 @@ class TcpRecvStream : public RecvStream {
     state_->cv.NotifyAll();
   }
 
+  void SetCancelToken(common::CancelToken* token) override {
+    cancel_ = token;
+  }
+
  private:
   bool AllEosLocked() HAWQ_REQUIRES(state_->mu) {
     if (state_->num_senders < 0) return false;
@@ -206,6 +224,8 @@ class TcpRecvStream : public RecvStream {
 
   std::shared_ptr<TcpFabric::RecvState> state_;
   uint64_t idle_ticks_ = 0;
+  uint64_t max_idle_ticks_;
+  common::CancelToken* cancel_ = nullptr;
 };
 
 TcpFabric::TcpFabric(int num_hosts, TcpOptions opts,
@@ -252,12 +272,29 @@ Result<std::unique_ptr<RecvStream>> TcpFabric::OpenRecv(uint64_t query_id,
     MutexLock g(state->mu);
     state->num_senders = num_senders;
   }
-  return std::unique_ptr<RecvStream>(new TcpRecvStream(std::move(state)));
+  return std::unique_ptr<RecvStream>(new TcpRecvStream(
+      std::move(state),
+      static_cast<uint64_t>(opts_.recv_idle_timeout.count())));
 }
 
 int TcpFabric::PortsInUse(int host) {
   MutexLock g(mu_);
   return ports_in_use_[host];
+}
+
+void TcpFabric::CancelQuery(uint64_t query_id) {
+  std::vector<std::shared_ptr<RecvState>> states;
+  {
+    MutexLock g(mu_);
+    for (auto& [id, st] : states_) {
+      if (std::get<0>(id) == query_id) states.push_back(st);
+    }
+  }
+  for (auto& st : states) {
+    MutexLock g(st->mu);
+    st->cancelled = true;
+    st->cv.NotifyAll();
+  }
 }
 
 }  // namespace hawq::net

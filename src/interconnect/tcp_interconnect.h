@@ -37,6 +37,9 @@ struct TcpOptions {
   int chunk_overhead_ns_per_conn = 25000;
   /// Queue capacity per connection (flow control).
   size_t queue_capacity = 64;
+  /// A receiver with no data and no EoS for this long gives up instead of
+  /// blocking forever.
+  std::chrono::milliseconds recv_idle_timeout{120000};
 };
 
 /// \brief TCP-like fabric: one "connection" per (sender, receiver) pair of
@@ -59,6 +62,9 @@ class TcpFabric : public Interconnect {
 
   int PortsInUse(int host);
   uint64_t connections_opened() const { return connections_opened_.load(); }
+
+  /// Fail every receive state of the query so its slices unwind.
+  void CancelQuery(uint64_t query_id) override;
 
  private:
   friend class TcpSendStream;

@@ -72,6 +72,7 @@ struct UdpFabric::RecvState {
   std::map<int, ChannelState> channels HAWQ_GUARDED_BY(mu);  // by sender
   int num_senders HAWQ_GUARDED_BY(mu) = -1;  // set when a RecvStream attaches
   bool stopped HAWQ_GUARDED_BY(mu) = false;
+  bool cancelled HAWQ_GUARDED_BY(mu) = false;  // query torn down (kCancel)
   int rr_cursor HAWQ_GUARDED_BY(mu) = 0;  // round-robin across senders
 };
 
@@ -115,6 +116,9 @@ class UdpSendStream : public SendStream {
     for (auto& c : conns_) {
       MutexLock g(c->mu);
       while (!c->unacked.empty() && !c->failed) {
+        if (cancel_ != nullptr && cancel_->cancelled()) {
+          return cancel_->Check();
+        }
         c->cv.WaitFor(g, std::chrono::milliseconds(1));
         if (Clock::now() > give_up) c->failed = true;
       }
@@ -138,6 +142,10 @@ class UdpSendStream : public SendStream {
     return true;
   }
 
+  void SetCancelToken(common::CancelToken* token) override {
+    cancel_ = token;
+  }
+
  private:
   Status Transmit(int receiver, std::string chunk, bool eos) {
     if (receiver < 0 || receiver >= static_cast<int>(conns_.size())) {
@@ -153,6 +161,7 @@ class UdpSendStream : public SendStream {
     auto give_up = Clock::now() + opts_.peer_timeout;
     while (!(c->unacked.size() < c->cwnd &&
              (c->next_seq - 1 - c->sc) < opts_.ring_capacity)) {
+      if (cancel_ != nullptr && cancel_->cancelled()) return cancel_->Check();
       c->cv.WaitFor(g, std::chrono::milliseconds(1));
       if (c->failed) return Status::NetworkError("interconnect peer dead");
       if (c->stopped && !eos) return Status::OK();
@@ -197,6 +206,7 @@ class UdpSendStream : public SendStream {
   UdpOptions opts_;
   std::vector<std::shared_ptr<UdpFabric::SenderConn>> conns_;
   UdpFabric::Endpoint* ep_;
+  common::CancelToken* cancel_ = nullptr;
 };
 
 class UdpRecvStream : public RecvStream {
@@ -221,8 +231,14 @@ class UdpRecvStream : public RecvStream {
   }
 
   Result<std::optional<std::string>> Recv() override {
+    const uint64_t max_idle_ticks = static_cast<uint64_t>(
+        fabric_->opts_.recv_idle_timeout.count());
     MutexLock g(state_->mu);
     while (true) {
+      if (state_->cancelled) {
+        return Status::Aborted("query cancelled by peer teardown");
+      }
+      if (cancel_ != nullptr && cancel_->cancelled()) return cancel_->Check();
       // Round-robin across channels for fairness.
       int n = static_cast<int>(state_->channels.size());
       for (int i = 0; i < n; ++i) {
@@ -250,7 +266,7 @@ class UdpRecvStream : public RecvStream {
         return std::optional<std::string>(std::move(item.data));
       }
       if (AllEosLocked()) return std::optional<std::string>();
-      if (++idle_ticks_ > 120000) {  // ~2 minutes without data or EoS
+      if (++idle_ticks_ > max_idle_ticks) {  // too long without data or EoS
         return Status::NetworkError("interconnect receive timed out");
       }
       state_->cv.WaitFor(g, std::chrono::milliseconds(1));
@@ -279,6 +295,10 @@ class UdpRecvStream : public RecvStream {
         net_->Send(ch.src_host, p.Serialize());
       }
     }
+  }
+
+  void SetCancelToken(common::CancelToken* token) override {
+    cancel_ = token;
   }
 
  private:
@@ -311,6 +331,7 @@ class UdpRecvStream : public RecvStream {
   UdpFabric::Endpoint* ep_;
   StreamKey base_key_;  // sender field varies per channel
   uint64_t idle_ticks_ = 0;
+  common::CancelToken* cancel_ = nullptr;
 };
 
 // ------------------------------------------------------------- fabric
@@ -423,7 +444,43 @@ void UdpFabric::HandlePacket(int host, Packet pkt) {
     case PacketType::kStatusQuery:
       HandleDataPacket(host, std::move(pkt));
       break;
+    case PacketType::kCancel:
+      HandleCancel(host, pkt.key.query_id);
+      break;
   }
+}
+
+void UdpFabric::HandleCancel(int host, uint64_t query_id) {
+  Endpoint* ep = endpoints_[host].get();
+  std::vector<std::shared_ptr<SenderConn>> conns;
+  std::vector<std::shared_ptr<RecvState>> states;
+  {
+    MutexLock g(ep->mu);
+    for (auto& [key, c] : ep->senders) {
+      if (key.query_id == query_id) conns.push_back(c);
+    }
+    for (auto& [id, st] : ep->receivers) {
+      if (std::get<0>(id) == query_id) states.push_back(st);
+    }
+  }
+  for (auto& c : conns) {
+    MutexLock g(c->mu);
+    c->failed = true;
+    c->cv.NotifyAll();
+  }
+  for (auto& st : states) {
+    MutexLock g(st->mu);
+    st->cancelled = true;
+    st->cv.NotifyAll();
+  }
+}
+
+void UdpFabric::CancelQuery(uint64_t query_id) {
+  Packet p;
+  p.type = PacketType::kCancel;
+  p.key.query_id = query_id;
+  std::string bytes = p.Serialize();
+  for (int h = 0; h < net_->num_hosts(); ++h) net_->Send(h, bytes);
 }
 
 void UdpFabric::HandleSenderFeedback(int host, const Packet& pkt) {

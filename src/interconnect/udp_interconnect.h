@@ -43,6 +43,10 @@ struct UdpOptions {
   /// Give up on an unresponsive peer after this long without progress.
   std::chrono::milliseconds peer_timeout{30000};
   int max_resends = 200;
+  /// A receiver with no data and no EoS for this long gives up instead of
+  /// blocking forever (the deadline a dead upstream QE would otherwise
+  /// turn into a hang).
+  std::chrono::milliseconds recv_idle_timeout{120000};
 };
 
 /// \brief The UDP interconnect fabric. Owns one endpoint (rx thread) per
@@ -66,6 +70,10 @@ class UdpFabric : public Interconnect {
                                                int receiver_host,
                                                int num_senders) override;
 
+  /// Broadcast kCancel for the query to every host: all of its sender
+  /// connections fail and all of its receivers wake with an error.
+  void CancelQuery(uint64_t query_id) override;
+
   uint64_t retransmissions() const { return retransmissions_.load(); }
   uint64_t status_queries() const { return status_queries_.load(); }
 
@@ -78,6 +86,7 @@ class UdpFabric : public Interconnect {
 
   void RxLoop(int host);
   void HandlePacket(int host, Packet pkt);
+  void HandleCancel(int host, uint64_t query_id);
   void HandleSenderFeedback(int host, const Packet& pkt);
   void HandleDataPacket(int host, Packet pkt);
   void CheckRetransmits(int host);

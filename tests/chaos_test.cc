@@ -1,0 +1,168 @@
+// Deterministic chaos harness (ISSUE 5 tentpole).
+//
+// Each seed expands — via chaos::ScheduledInjector — into a fixed
+// schedule of mid-query faults (segment kills, HDFS disk failures,
+// packet-loss bursts) that fire at visit counts of executor chaos
+// points, never from wall-clock time. Under every schedule each query
+// must either return exactly the golden results or fail with a clean
+// error; it must never hang (scripts/check.sh enforces a per-seed
+// wall-clock deadline) and never return silently wrong rows. After the
+// storm, the cluster must heal: recovery plus one follow-up query must
+// succeed with correct results.
+//
+// Run one seed with HAWQ_CHAOS_SEED=<n> (used by scripts/check.sh to
+// give every seed its own deadline); all eight seeds run otherwise.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/chaos.h"
+#include "engine/cluster.h"
+#include "engine/session.h"
+
+namespace hawq::engine {
+namespace {
+
+constexpr std::array<uint64_t, 8> kChaosSeeds = {11, 22, 33, 44,
+                                                 55, 66, 77, 88};
+constexpr int kSegments = 4;
+
+void SeedTables(Session* s) {
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT, g INT) DISTRIBUTED BY (a)")
+                  .ok());
+  std::string values;
+  for (int i = 0; i < 400; ++i) {
+    values += (i ? ", (" : "(") + std::to_string(i) + ", " +
+              std::to_string(i % 5) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO t VALUES " + values).ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE l (k INT, v INT) DISTRIBUTED BY (v)")
+                  .ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE r (k INT, w INT) DISTRIBUTED BY (k)")
+                  .ok());
+  std::string vl, vr;
+  for (int i = 0; i < 100; ++i) {
+    vl += (i ? ", (" : "(") + std::to_string(i) + "," + std::to_string(i) +
+          ")";
+    vr += (i ? ", (" : "(") + std::to_string(i) + "," +
+          std::to_string(i * 2) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO l VALUES " + vl).ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO r VALUES " + vr).ok());
+}
+
+/// The query battery, each with an exact correctness check. A chaos run
+/// accepts either `check` passing or a clean (non-ok) error.
+struct ChaosQuery {
+  const char* sql;
+  void (*check)(const QueryResult& r);
+};
+
+const ChaosQuery kQueries[] = {
+    {"SELECT g, count(*), sum(a) FROM t GROUP BY g ORDER BY g",
+     [](const QueryResult& r) {
+       ASSERT_EQ(r.rows.size(), 5u);
+       int64_t rows = 0, sum = 0;
+       for (const Row& row : r.rows) {
+         rows += row[1].as_int();
+         sum += row[2].as_int();
+       }
+       EXPECT_EQ(rows, 400);
+       EXPECT_EQ(sum, 399 * 400 / 2);
+     }},
+    {"SELECT count(*), sum(w) FROM l, r WHERE l.k = r.k",
+     [](const QueryResult& r) {
+       ASSERT_EQ(r.rows.size(), 1u);
+       EXPECT_EQ(r.rows[0][0].as_int(), 100);
+       EXPECT_EQ(r.rows[0][1].as_int(), 9900);
+     }},
+    {"SELECT sum(a) FROM t",
+     [](const QueryResult& r) {
+       ASSERT_EQ(r.rows.size(), 1u);
+       EXPECT_EQ(r.rows[0][0].as_int(), 399 * 400 / 2);
+     }},
+};
+
+void RunChaosSeed(uint64_t seed) {
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  ClusterOptions o;
+  o.num_segments = kSegments;
+  o.fault_detector_thread = false;
+  o.hdfs.replication = 3;
+  o.max_query_retries = 3;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  SeedTables(s.get());
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // Map abstract chaos actions onto the cluster's fault-injection
+  // primitives, remembering segment kills so the healing phase can undo
+  // them. Appliers run on executor threads that hold no locks.
+  std::array<std::atomic<bool>, kSegments> killed{};
+  auto applier = [&cluster, &killed](const common::chaos::Action& a) {
+    switch (a.kind) {
+      case common::chaos::Action::kKillSegment:
+        if (!killed[static_cast<size_t>(a.arg)].exchange(true)) {
+          cluster.FailSegment(a.arg);
+        }
+        break;
+      case common::chaos::Action::kFailDisk:
+        cluster.hdfs()->FailDisk(a.arg, a.arg2);
+        break;
+      case common::chaos::Action::kLossBurst:
+        cluster.sim_net()->SetFault(a.arg / 1000.0, 0.01, 0.05);
+        break;
+      case common::chaos::Action::kHealNet:
+        cluster.sim_net()->SetFault(0, 0, 0);
+        break;
+    }
+  };
+  common::chaos::ScheduledInjector inj(
+      seed, kSegments, o.hdfs.disks_per_datanode, applier);
+  SCOPED_TRACE("schedule: " + inj.Describe());
+
+  {
+    common::chaos::ScopedInjector guard(&inj);
+    for (const ChaosQuery& q : kQueries) {
+      auto r = s->Execute(q.sql);
+      if (r.ok()) {
+        q.check(*r);  // correct results...
+      } else {
+        // ...or a clean, descriptive error — never a hang, never junk.
+        EXPECT_FALSE(r.status().ToString().empty());
+      }
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // Heal: stop the faults, bring every killed host back, let the fault
+  // detector observe the heartbeats, and demand full correctness again.
+  cluster.sim_net()->SetFault(0, 0, 0);
+  for (int i = 0; i < kSegments; ++i) {
+    if (killed[static_cast<size_t>(i)].load()) cluster.RecoverSegment(i);
+  }
+  cluster.RunFaultDetectorOnce();
+  auto back = s->Execute(kQueries[0].sql);
+  ASSERT_TRUE(back.ok()) << "cluster must heal after the storm: "
+                         << back.status().ToString();
+  kQueries[0].check(*back);
+}
+
+TEST(ChaosTest, SeededSchedulesTerminateCorrectOrClean) {
+  const char* env = std::getenv("HAWQ_CHAOS_SEED");
+  if (env != nullptr) {
+    RunChaosSeed(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  for (uint64_t seed : kChaosSeeds) {
+    RunChaosSeed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace hawq::engine

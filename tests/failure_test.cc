@@ -3,9 +3,12 @@
 // after failed transactions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "common/chaos.h"
 #include "engine/cluster.h"
 #include "engine/session.h"
 
@@ -150,12 +153,143 @@ TEST(SegmentFailureTest, AllSegmentsDownFailsCleanly) {
   for (int i = 0; i < 4; ++i) cluster.FailSegment(i);
   auto r = s->Execute("SELECT count(*) FROM t");
   ASSERT_FALSE(r.ok());
+  EXPECT_GE(cluster.metrics()->GetCounter("engine.queries_failed")->Get(), 1u)
+      << "a cleanly failed statement must count in engine.queries_failed";
+  // The refusal is journaled at ERROR severity (the system-view query is
+  // master-only, so it still runs with every segment down).
+  auto ev = s->Execute(
+      "SELECT count(*) FROM hawq_stat_events "
+      "WHERE event = 'dispatch_refused' AND severity = 'ERROR'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  EXPECT_GE(ev->rows[0][0].as_int(), 1);
   // Master-only queries still work.
   auto m = s->Execute("SELECT 1 + 1");
   EXPECT_TRUE(m.ok());
   for (int i = 0; i < 4; ++i) cluster.RecoverSegment(i);
   auto back = s->Execute("SELECT count(*) FROM t");
   EXPECT_TRUE(back.ok());
+}
+
+/// Chaos hook that kills one segment host the Nth time a named chaos
+/// point is visited (process-wide), making "segment dies mid-scan /
+/// mid-motion" reproducible without timing.
+class KillSegmentOnVisit : public common::chaos::Injector {
+ public:
+  KillSegmentOnVisit(Cluster* c, const char* point, int at_visit, int segment)
+      : c_(c), point_(point), at_visit_(at_visit), segment_(segment) {}
+
+  void OnPoint(const char* point) override {
+    if (std::strcmp(point, point_) != 0) return;
+    if (visits_.fetch_add(1, std::memory_order_acq_rel) + 1 == at_visit_) {
+      c_->FailSegment(segment_);
+    }
+  }
+
+ private:
+  Cluster* c_;
+  const char* point_;
+  int at_visit_;
+  int segment_;
+  std::atomic<int> visits_{0};
+};
+
+// ISSUE 5 acceptance: a segment killed mid-slice must not fail the
+// statement — the session aborts the gang, re-plans around the live
+// segments, and re-dispatches, with the retry visible in QueryResult,
+// hawq_stat_events (query_retried), and EXPLAIN ANALYZE.
+TEST(MidQueryFailoverTest, SegmentDeathMidScanRetriesAutomatically) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 400);
+  KillSegmentOnVisit inj(&cluster, "scan.batch", /*at_visit=*/1,
+                         /*segment=*/1);
+  common::chaos::ScopedInjector guard(&inj);
+  auto r = s->Execute(
+      "SELECT g, count(*), sum(a) FROM t GROUP BY g ORDER BY g");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 5u);
+  int64_t total = 0;
+  for (const Row& row : r->rows) total += row[1].as_int();
+  EXPECT_EQ(total, 400) << "retry must not lose or duplicate rows";
+  EXPECT_GE(r->retries, 1) << "the kill must have forced a retry";
+  common::chaos::SetInjector(nullptr);
+
+  auto ev = s->Execute(
+      "SELECT query_id FROM hawq_stat_events WHERE event = 'query_retried'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  ASSERT_GE(ev->rows.size(), 1u);
+  EXPECT_GT(ev->rows[0][0].as_int(), 0)
+      << "query_retried events carry the failed attempt's query id";
+
+  // The heartbeat tracker has marked the segment down and recorded when
+  // it was last heard from.
+  auto seg = s->Execute(
+      "SELECT status FROM hawq_stat_segments WHERE segment = 1");
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg->rows[0][0].as_str(), "down");
+}
+
+TEST(MidQueryFailoverTest, SegmentDeathMidMotionDuringJoinRetries) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE a (k INT, v INT) DISTRIBUTED BY (v)")
+                  .ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE b (k INT, w INT) DISTRIBUTED BY (k)")
+                  .ok());
+  std::string va, vb;
+  for (int i = 0; i < 100; ++i) {
+    va += (i ? ", (" : "(") + std::to_string(i) + "," + std::to_string(i) +
+          ")";
+    vb += (i ? ", (" : "(") + std::to_string(i) + "," +
+          std::to_string(i * 2) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO a VALUES " + va).ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO b VALUES " + vb).ok());
+
+  // Kill a segment on the first motion.send of the join: the redistribute
+  // is mid-flight when the host disappears.
+  KillSegmentOnVisit inj(&cluster, "motion.send", /*at_visit=*/1,
+                         /*segment=*/2);
+  common::chaos::ScopedInjector guard(&inj);
+  auto r = s->Execute(
+      "EXPLAIN ANALYZE SELECT count(*), sum(w) FROM a, b WHERE a.k = b.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  common::chaos::SetInjector(nullptr);
+  std::string text;
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  EXPECT_NE(text.find("retries=1"), std::string::npos)
+      << "EXPLAIN ANALYZE must report the failover retry:\n" << text;
+
+  // The re-dispatched join is correct on the surviving segments.
+  auto check = s->Execute(
+      "SELECT count(*), sum(w) FROM a, b WHERE a.k = b.k");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->rows[0][0].as_int(), 100);
+  EXPECT_EQ(check->rows[0][1].as_int(), 9900);
+}
+
+// Satellite (a): a DataNode dying mid-read fails over to the next
+// replica instead of failing the scan, and the failover is visible as
+// hdfs.read_retries.
+TEST(MidQueryFailoverTest, HdfsReadRetriesNextReplicaOnMidReadDeath) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  Seed(s.get(), 200);
+  // The first two read attempts (cluster-wide) "die mid-read"; even if
+  // both land on the same block, a third replica remains, so the retry
+  // path must fail over and succeed.
+  std::atomic<int> faults{0};
+  cluster.hdfs()->SetReadFaultInjector(
+      [&faults](int host, hdfs::BlockId id) {
+        (void)host;
+        (void)id;
+        return faults.fetch_add(1, std::memory_order_relaxed) < 2;
+      });
+  auto r = s->Execute("SELECT sum(a) FROM t");
+  cluster.hdfs()->SetReadFaultInjector(nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 199 * 200 / 2);
+  EXPECT_GE(cluster.metrics()->GetCounter("hdfs.read_retries")->Get(), 1u);
 }
 
 TEST(SpillDiskTest, SortSpillFailureFailsQueryNotCluster) {
