@@ -6,11 +6,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "executor/exec_node.h"
@@ -421,6 +423,207 @@ int RunLockProfileOverheadSmoke() {
   return 0;
 }
 
+// ------------------------------------------------ data-skipping sweep
+//
+// Selective-scan and selective-join sweeps at selectivity 0.001 / 0.01 /
+// 0.1 / 1.0, with the data-skipping layer (zone maps + join runtime
+// filters) on vs off, writing BENCH_runtime_filters.json.
+//
+// fact(k, v) is loaded in ascending-k batches, so each storage block's
+// zone map covers a tight key range; dim_<i> holds the first
+// round(n * selectivity) keys. The scan query carries a range predicate
+// (zone maps skip whole blocks); the join query probes fact against dim
+// (the build-side bloom drops non-matching rows batch-wise at the scan).
+
+struct RfFixture {
+  RfFixture(bool skipping_on, int64_t nrows,
+            const std::vector<int64_t>& cutoffs) {
+    engine::ClusterOptions o;
+    o.num_segments = bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4);
+    o.fault_detector_thread = false;
+    o.enable_zone_maps = skipping_on;
+    o.enable_runtime_filters = skipping_on;
+    cluster = std::make_unique<engine::Cluster>(o);
+    session = cluster->Connect();
+    if (!Exec("CREATE TABLE fact (k INT8, v DOUBLE) DISTRIBUTED BY (k)")) {
+      return;
+    }
+    for (int64_t base = 0; base < nrows; base += 1000) {
+      std::string sql = "INSERT INTO fact VALUES ";
+      int64_t end = std::min<int64_t>(base + 1000, nrows);
+      for (int64_t k = base; k < end; ++k) {
+        if (k != base) sql += ", ";
+        sql += "(" + std::to_string(k) + ", " + std::to_string(k) + ".5)";
+      }
+      if (!Exec(sql)) return;
+    }
+    for (size_t i = 0; i < cutoffs.size(); ++i) {
+      std::string dim = "dim_" + std::to_string(i);
+      if (!Exec("CREATE TABLE " + dim + " (k INT8) DISTRIBUTED BY (k)") ||
+          !Exec("INSERT INTO " + dim + " SELECT k FROM fact WHERE k < " +
+                std::to_string(cutoffs[i])) ||
+          !Exec("ANALYZE " + dim)) {
+        return;
+      }
+    }
+    ok = Exec("ANALYZE fact");
+  }
+
+  bool Exec(const std::string& sql) {
+    auto r = session->Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "rf bench: %.60s... -> %s\n", sql.c_str(),
+                   r.status().ToString().c_str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Best-of-`reps` wall time; every run's answer is checked against the
+  /// golden (count, sum) so a skipping bug can never "win" the bench.
+  double BestMs(const std::string& sql, int reps, int64_t want_count,
+                double want_sum) {
+    double best = 1e30;
+    for (int i = 0; i < reps; ++i) {
+      engine::QueryResult res;
+      double ms = bench::TimeMs([&] {
+        auto r = session->Execute(sql);
+        if (r.ok()) res = std::move(*r);
+      });
+      if (res.rows.size() != 1 || res.rows[0][0].as_int() != want_count ||
+          std::abs(res.rows[0][1].as_double() - want_sum) > 1e-6) {
+        std::fprintf(stderr, "rf bench: wrong answer for %s\n", sql.c_str());
+        return -1;
+      }
+      best = std::min(best, ms);
+    }
+    return best;
+  }
+
+  std::unique_ptr<engine::Cluster> cluster;
+  std::unique_ptr<engine::Session> session;
+  bool ok = false;
+};
+
+/// Sum of v = k + 0.5 over k in [0, cutoff).
+double RfGoldenSum(int64_t cutoff) {
+  return static_cast<double>(cutoff) * (cutoff - 1) / 2.0 + 0.5 * cutoff;
+}
+
+int RunRuntimeFilterSweep(bool smoke) {
+  const int64_t nrows =
+      bench::EnvInt("HAWQ_RF_ROWS", smoke ? 40000 : 60000);
+  const std::vector<double> sels =
+      smoke ? std::vector<double>{0.001}
+            : std::vector<double>{0.001, 0.01, 0.1, 1.0};
+  std::vector<int64_t> cutoffs;
+  for (double s : sels) {
+    cutoffs.push_back(std::max<int64_t>(1, static_cast<int64_t>(nrows * s)));
+  }
+  const int reps = smoke ? 3 : 5;
+
+  std::printf("data-skipping sweep: %lld rows, skipping on vs off\n",
+              static_cast<long long>(nrows));
+  RfFixture on(true, nrows, cutoffs), off(false, nrows, cutoffs);
+  if (!on.ok || !off.ok) return 1;
+
+  struct Cell {
+    double sel;
+    double scan_off, scan_on, join_off, join_on;
+  };
+  std::vector<Cell> cells;
+  for (size_t i = 0; i < sels.size(); ++i) {
+    int64_t cutoff = cutoffs[i];
+    std::string scan_q = "SELECT count(*), sum(v) FROM fact WHERE k < " +
+                         std::to_string(cutoff);
+    std::string join_q = "SELECT count(*), sum(f.v) FROM fact f, dim_" +
+                         std::to_string(i) + " d WHERE f.k = d.k";
+    double want_sum = RfGoldenSum(cutoff);
+    Cell c;
+    c.sel = sels[i];
+    // Warm both block caches, then interleave off/on best-of reps.
+    if (off.BestMs(scan_q, 1, cutoff, want_sum) < 0 ||
+        on.BestMs(scan_q, 1, cutoff, want_sum) < 0) {
+      return 1;
+    }
+    c.scan_off = off.BestMs(scan_q, reps, cutoff, want_sum);
+    c.scan_on = on.BestMs(scan_q, reps, cutoff, want_sum);
+    c.join_off = off.BestMs(join_q, reps, cutoff, want_sum);
+    c.join_on = on.BestMs(join_q, reps, cutoff, want_sum);
+    if (c.scan_off < 0 || c.scan_on < 0 || c.join_off < 0 || c.join_on < 0) {
+      return 1;
+    }
+    std::printf(
+        "  sel %6.3f: scan %7.2fms -> %7.2fms (%4.1fx)   "
+        "join %7.2fms -> %7.2fms (%4.1fx)\n",
+        c.sel, c.scan_off, c.scan_on, c.scan_off / c.scan_on, c.join_off,
+        c.join_on, c.join_off / c.join_on);
+    cells.push_back(c);
+  }
+
+  auto counter = [&](const char* name) {
+    return on.cluster->metrics()->GetCounter(name)->Get();
+  };
+  uint64_t blocks_skipped = counter("scan.blocks_skipped_zonemap");
+  uint64_t rows_filtered = counter("scan.rows_filtered_bloom");
+  std::printf("  on-cluster totals: blocks_skipped_zonemap=%llu "
+              "rows_filtered_bloom=%llu\n",
+              static_cast<unsigned long long>(blocks_skipped),
+              static_cast<unsigned long long>(rows_filtered));
+
+  if (smoke) {
+    // check.sh acceptance: the 0.001-selectivity join must speed up >= 2x
+    // with the skipping layer on, and both skip paths must have fired.
+    double speedup = cells[0].join_off / cells[0].join_on;
+    if (speedup < 2.0 || blocks_skipped == 0 || rows_filtered == 0) {
+      std::fprintf(stderr,
+                   "FAIL: selective-join speedup %.2fx < 2x (skipped=%llu "
+                   "filtered=%llu)\n",
+                   speedup, static_cast<unsigned long long>(blocks_skipped),
+                   static_cast<unsigned long long>(rows_filtered));
+      return 1;
+    }
+    std::printf("OK (join speedup %.2fx)\n", speedup);
+    return 0;
+  }
+
+  FILE* f = std::fopen("BENCH_runtime_filters.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_runtime_filters.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"runtime_filters\",\n");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(nrows));
+  std::fprintf(f, "  \"segments\": %d,\n",
+               bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"selectivity\": %g, \"scan_off_ms\": %.3f, \"scan_on_ms\": "
+        "%.3f, \"scan_speedup\": %.2f, \"join_off_ms\": %.3f, "
+        "\"join_on_ms\": %.3f, \"join_speedup\": %.2f}%s\n",
+        c.sel, c.scan_off, c.scan_on, c.scan_off / c.scan_on, c.join_off,
+        c.join_on, c.join_off / c.join_on,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"on_cluster\": {\"blocks_skipped_zonemap\": %llu, "
+               "\"rows_skipped_zonemap\": %llu, \"bytes_skipped_zonemap\": "
+               "%llu, \"rows_filtered_bloom\": %llu}\n}\n",
+               static_cast<unsigned long long>(blocks_skipped),
+               static_cast<unsigned long long>(
+                   counter("scan.rows_skipped_zonemap")),
+               static_cast<unsigned long long>(
+                   counter("scan.bytes_skipped_zonemap")),
+               static_cast<unsigned long long>(rows_filtered));
+  std::fclose(f);
+  std::printf("  wrote BENCH_runtime_filters.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hawq
 
@@ -431,10 +634,16 @@ int main(int argc, char** argv) {
   if (const char* e = std::getenv("HAWQ_LOCK_SMOKE"); e && *e && *e != '0') {
     return hawq::RunLockProfileOverheadSmoke();
   }
+  if (const char* e = std::getenv("HAWQ_RF_SMOKE"); e && *e && *e != '0') {
+    return hawq::RunRuntimeFilterSweep(/*smoke=*/true);
+  }
+  if (const char* e = std::getenv("HAWQ_RF_SWEEP"); e && *e && *e != '0') {
+    return hawq::RunRuntimeFilterSweep(/*smoke=*/false);
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   hawq::RunVectorizedSweep();
-  return 0;
+  return hawq::RunRuntimeFilterSweep(/*smoke=*/false);
 }

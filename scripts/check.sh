@@ -12,9 +12,11 @@
 # and tsan trees additionally sweep the deterministic chaos harness
 # (chaos_test) across 8 fixed seeds, one process per seed, each under a
 # hard wall-clock deadline — a hung query fails the sweep instead of
-# wedging CI. The plain tree also runs two bench_micro smokes: tracing
-# off-vs-on and lock-wait profiling off-vs-on, each required to stay
-# within 5%.
+# wedging CI. The plain tree also runs three bench_micro smokes:
+# tracing off-vs-on and lock-wait profiling off-vs-on (each required to
+# stay within 5%), and the runtime-filter smoke (selective join must be
+# >= 2x faster with data skipping on; soft-fail in the sanitizer trees,
+# whose instrumentation distorts relative timings).
 #
 # Usage: scripts/check.sh [--keep] [ctest-args...]
 #   --keep     do not delete the build trees afterwards
@@ -36,7 +38,7 @@ done
 # Deterministic chaos sweep: every seed replays its own fault schedule
 # in a fresh process, bounded by a wall-clock deadline (TSan runs get a
 # larger one for instrumentation overhead).
-CHAOS_SEEDS=(11 22 33 44 55 66 77 88)
+CHAOS_SEEDS=(11 22 33 44 55 66 77 88 99)
 
 run_chaos_sweep() {
   local name="$1" dir="$2" deadline="$3"
@@ -64,6 +66,15 @@ run_config() {
   echo "==== [$name] system views ===="
   "$dir/tests/obs_test" --gtest_filter='StatViewsTest.*:LockProfileTest.*'
   "$dir/tests/failure_test" --gtest_filter='StatViewsFailureTest.*'
+  echo "==== [$name] data skipping & runtime filters ===="
+  "$dir/tests/storage_test" --gtest_filter='*ZoneMap*'
+  "$dir/tests/planner_test" \
+    --gtest_filter='*ZoneMap*:*RuntimeFilter*:*Pruned*:*PartitionElimination*'
+  "$dir/tests/executor_batch_test" \
+    --gtest_filter='BloomFilter*:RuntimeFilter*'
+  "$dir/tests/engine_test" --gtest_filter='DataSkippingTest.*'
+  "$dir/tests/failure_test" \
+    --gtest_filter='*SegmentDeathDuringRuntimeFilterPublish*'
   echo "==== [$name] OK ===="
 }
 
@@ -79,6 +90,19 @@ HAWQ_OBS_SMOKE=1 ./build-check/bench/bench_micro
 
 echo "==== [plain] lock-profiling-overhead smoke ===="
 HAWQ_LOCK_SMOKE=1 ./build-check/bench/bench_micro
+
+# Runtime-filter smoke: selective join must run >= 2x faster with data
+# skipping on. Hard-fails in the plain tree; sanitizer instrumentation
+# distorts relative timings, so the sanitizer trees only warn.
+echo "==== [plain] runtime-filter smoke ===="
+HAWQ_RF_SMOKE=1 ./build-check/bench/bench_micro
+
+for cfg in asan tsan; do
+  echo "==== [$cfg] runtime-filter smoke (soft-fail) ===="
+  if ! HAWQ_RF_SMOKE=1 "./build-check-$cfg/bench/bench_micro"; then
+    echo "warning: [$cfg] runtime-filter smoke below threshold (ignored)" >&2
+  fi
+done
 
 if [ "$KEEP" -eq 0 ]; then
   rm -rf build-check build-check-asan build-check-tsan

@@ -65,7 +65,8 @@ inline void Point(const char* point) {
 /// are built against this list so a seed maps to concrete trigger sites.
 inline const std::vector<std::string>& KnownPoints() {
   static const std::vector<std::string> kPoints = {
-      "scan.batch", "motion.send", "motion.recv", "hdfs.pread"};
+      "scan.batch", "motion.send", "motion.recv", "hdfs.pread",
+      "rf.publish"};
   return kPoints;
 }
 

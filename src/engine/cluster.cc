@@ -130,12 +130,19 @@ Cluster::Cluster(ClusterOptions opts)
                                                opts_.tcp, &metrics_);
   }
   local_disks_ = std::vector<exec::LocalDisk>(opts_.num_segments + 1);
+  // Runtime-filter parts broadcast over either fabric land in the hub
+  // (which dedups by part index, so the publisher's loopback copy and any
+  // duplicated UDP datagram are harmless).
+  fabric_->SetFilterSink([this](uint64_t qid, const std::string& payload) {
+    rf_hub_.PublishSerialized(qid, payload);
+  });
   DispatchOptions dopts;
   dopts.num_segments = opts_.num_segments;
   dopts.compress_plan = opts_.compress_plans;
   dopts.sort_spill_threshold = opts_.sort_spill_threshold;
   dopts.metrics = &metrics_;
   dopts.journal = &events_;
+  if (opts_.enable_runtime_filters) dopts.rf_hub = &rf_hub_;
   dispatcher_ = std::make_unique<Dispatcher>(fs_.get(), fabric_.get(),
                                              &local_disks_, dopts);
   // Every segment starts with a fresh heartbeat.
@@ -196,6 +203,9 @@ std::unique_ptr<Session> Cluster::Connect() {
 plan::PlannerOptions Cluster::PlannerOptionsFor() {
   plan::PlannerOptions po = opts_.planner;
   po.num_segments = opts_.num_segments;
+  po.enable_zone_maps = opts_.enable_zone_maps;
+  po.enable_runtime_filters = opts_.enable_runtime_filters;
+  po.runtime_filter_wait_us = opts_.runtime_filter_wait_us;
   po.external_fragmenter =
       [this](const std::string& location, const std::string& profile)
       -> Result<std::vector<plan::ScanFile>> {

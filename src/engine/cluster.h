@@ -16,6 +16,7 @@
 #include "catalog/catalog.h"
 #include "common/sync.h"
 #include "engine/dispatcher.h"
+#include "executor/runtime_filter.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/sim_net.h"
 #include "interconnect/tcp_interconnect.h"
@@ -55,6 +56,18 @@ struct ClusterOptions {
   bool lock_contention_profiling = true;
   size_t event_journal_capacity = 512;  // hawq_stat_events ring
   size_t query_log_capacity = 256;      // hawq_stat_queries ring
+
+  // --- data skipping & runtime filters ----------------------------------
+  /// Push comparison predicates into scans so block zone maps can prune
+  /// whole blocks before they are fetched or decoded. Off reproduces the
+  /// pre-zone-map plans (writers still record zone maps on disk).
+  bool enable_zone_maps = true;
+  /// Build bloom filters on hash-join build sides and ship them to
+  /// probe-side scans (plus static partition/bucket pruning annotations).
+  bool enable_runtime_filters = true;
+  /// How long a scan waits for a cross-slice runtime filter before
+  /// starting unfiltered (correctness never depends on the filter).
+  uint64_t runtime_filter_wait_us = 50000;
 
   // --- fault tolerance & recovery ---------------------------------------
   /// How long a segment may miss heartbeats before the fault detector
@@ -153,6 +166,9 @@ class Cluster {
   std::unique_ptr<net::Interconnect> fabric_;
   net::UdpFabric* udp_fabric_ = nullptr;
   std::vector<exec::LocalDisk> local_disks_;
+  // Process-wide runtime-filter registry; the fabric's filter sink feeds
+  // it, the dispatcher hands it to workers. Declared before dispatcher_.
+  exec::RuntimeFilterHub rf_hub_;
   std::unique_ptr<Dispatcher> dispatcher_;
   pxf::Registry pxf_;
   pxf::HBaseLike hbase_;

@@ -6,6 +6,7 @@
 
 #include "common/sync.h"
 #include "executor/exec_node.h"
+#include "executor/runtime_filter.h"
 #include "storage/codec.h"
 
 namespace hawq::engine {
@@ -182,6 +183,8 @@ Result<QueryResult> Dispatcher::Execute(
         ctx.side_mu = &side_mu;
         ctx.insert_results = &side_results;
         ctx.cancel = &cancel_token;
+        ctx.metrics = opts_.metrics;
+        ctx.rf_hub = opts_.rf_hub;
         if (host >= 0 && host < static_cast<int>(seg_health_.size())) {
           ctx.segment_alive = &seg_health_[host].alive;
         }
@@ -223,6 +226,8 @@ Result<QueryResult> Dispatcher::Execute(
     ctx.side_mu = &side_mu;
     ctx.insert_results = &side_results;
     ctx.cancel = &cancel_token;
+    ctx.metrics = opts_.metrics;
+    ctx.rf_hub = opts_.rf_hub;
     if (trace != nullptr) {
       ctx.trace = trace;
       ctx.slice_id = 0;
@@ -250,6 +255,9 @@ Result<QueryResult> Dispatcher::Execute(
   }
 
   for (std::thread& t : gang) t.join();
+  // Every worker that could read or publish a runtime filter has exited;
+  // drop the query's filters so the hub doesn't grow across queries.
+  if (opts_.rf_hub != nullptr) opts_.rf_hub->ClearQuery(query_id);
   result.exec_time =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0);
   if (trace != nullptr) {

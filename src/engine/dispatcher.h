@@ -33,6 +33,10 @@ struct DispatchOptions {
   /// Cluster event journal (optional, may be null): dispatch refusals
   /// land here as kError events.
   obs::EventJournal* journal = nullptr;
+  /// Process-wide runtime-filter registry (optional, may be null =
+  /// runtime filters disabled). The dispatcher hands it to every worker
+  /// context and clears the query's filters once the gang has joined.
+  exec::RuntimeFilterHub* rf_hub = nullptr;
 };
 
 /// Execution totals of one segment, maintained by the dispatcher across

@@ -22,6 +22,7 @@ std::string FmtMs(uint64_t us) {
 /// Aggregated counters for one plan node across all segments.
 struct NodeTotals {
   uint64_t rows = 0, batches = 0, bytes = 0, spill = 0, us = 0;
+  uint64_t blocks_skipped = 0, rows_filtered = 0;
   int entries = 0;
 };
 
@@ -35,6 +36,8 @@ NodeTotals TotalsFor(const StatsMap& stats, int node_id) {
     t.batches += s->batches.load(std::memory_order_relaxed);
     t.bytes += s->bytes.load(std::memory_order_relaxed);
     t.spill += s->spill_bytes.load(std::memory_order_relaxed);
+    t.blocks_skipped += s->blocks_skipped.load(std::memory_order_relaxed);
+    t.rows_filtered += s->rows_filtered.load(std::memory_order_relaxed);
     t.us += s->TotalUs();
     ++t.entries;
   }
@@ -54,6 +57,12 @@ void EmitNode(const plan::PlanNode& n, const StatsMap& stats, int indent,
     *out += pad + "  " + line;
     if (t.bytes > 0) *out += " bytes=" + std::to_string(t.bytes);
     if (t.spill > 0) *out += " spill=" + std::to_string(t.spill);
+    if (t.blocks_skipped > 0) {
+      *out += " skipped=" + std::to_string(t.blocks_skipped);
+    }
+    if (t.rows_filtered > 0) {
+      *out += " filtered=" + std::to_string(t.rows_filtered);
+    }
     *out += " time=" + FmtMs(t.us) + "\n";
     if (t.entries > 1) {
       for (auto it = stats.lower_bound({n.node_id, INT_MIN});
@@ -133,6 +142,7 @@ std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
   EmitMetricSection(trace.metric_deltas, "Interconnect", "interconnect.",
                     &out);
   EmitMetricSection(trace.metric_deltas, "HDFS", "hdfs.", &out);
+  EmitMetricSection(trace.metric_deltas, "Scan", "scan.", &out);
   out += "Spans:\n" + trace.TreeToString();
   return out;
 }

@@ -314,6 +314,20 @@ bool RetryableFailure(const Status& st) {
   }
 }
 
+/// Static pruning happens at plan time, so the planner tallies it on the
+/// plan and the session publishes it next to the executor's dynamic
+/// skip counters.
+void PublishPruning(Cluster* c, const plan::PhysicalPlan& plan) {
+  if (plan.partitions_pruned > 0) {
+    c->metrics()->GetCounter("scan.partitions_pruned")
+        ->Add(static_cast<uint64_t>(plan.partitions_pruned));
+  }
+  if (plan.segments_pruned > 0) {
+    c->metrics()->GetCounter("scan.segments_pruned")
+        ->Add(static_cast<uint64_t>(plan.segments_pruned));
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> Session::RunWithRetry(
@@ -364,6 +378,7 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
       // the survivors.
       plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
       HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
+      PublishPruning(c_, plan);
       return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
                                        nullptr);
     });
@@ -379,6 +394,7 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
         HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
         trace = std::make_unique<obs::QueryTrace>(qid);
         before = c_->metrics()->SnapshotCounters();
+        PublishPruning(c_, plan);  // inside the snapshot window
         return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
                                          nullptr, trace.get());
       }));
@@ -991,6 +1007,7 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
           }
           trace = std::make_unique<obs::QueryTrace>(qid);
           before = c_->metrics()->SnapshotCounters();
+          PublishPruning(c_, plan);  // inside the snapshot window
           return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
                                            nullptr, trace.get());
         }));

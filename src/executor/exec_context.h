@@ -13,10 +13,13 @@
 #include "common/sync.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_node.h"
 
 namespace hawq::exec {
+
+class RuntimeFilterHub;
 
 /// How one motion's endpoints map onto interconnect hosts.
 struct MotionWiring {
@@ -121,6 +124,15 @@ struct ExecContext {
     if (cancel != nullptr && cancel->cancelled()) return cancel->Check();
     return Status::OK();
   }
+
+  // --- data skipping / runtime filters ----------------------------------
+  /// Engine metrics registry (null in unit tests that drive exec nodes
+  /// directly): scans publish scan.blocks_skipped_zonemap /
+  /// scan.rows_filtered_bloom, joins the filter build/publish timings.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Process-wide runtime-filter registry (null = runtime filters off for
+  /// this worker; scans then never wait and joins never build blooms).
+  RuntimeFilterHub* rf_hub = nullptr;
 
   // --- observability (EXPLAIN ANALYZE / traced runs) --------------------
   /// Tracing is ON iff trace != nullptr. When off, BuildExecNode emits no

@@ -8,6 +8,7 @@
 
 #include "common/chaos.h"
 #include "common/serde.h"
+#include "executor/runtime_filter.h"
 #include "obs/trace.h"
 #include "storage/format.h"
 
@@ -133,14 +134,37 @@ class SeqScanExec : public BatchExecNode {
     identity_layout_ = node_.col_start == 0 &&
                        node_.out_arity ==
                            static_cast<int>(node_.table_schema.num_fields());
+    // Zone-map predicates travel in table-local column positions, which is
+    // exactly what the storage scanner expects; the op enums share their
+    // numbering by construction.
+    for (const plan::ScanPred& p : node_.scan_preds) {
+      storage::ScanPredicate sp;
+      sp.col = p.col;
+      sp.op = static_cast<storage::ScanPredicate::Op>(p.op);
+      sp.value = p.value;
+      preds_.push_back(std::move(sp));
+    }
+    if (ctx_->trace != nullptr) {
+      stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+    }
+    if (ctx_->metrics != nullptr) {
+      c_blocks_skipped_ =
+          ctx_->metrics->GetCounter("scan.blocks_skipped_zonemap");
+      c_rows_skipped_ = ctx_->metrics->GetCounter("scan.rows_skipped_zonemap");
+      c_bytes_skipped_ =
+          ctx_->metrics->GetCounter("scan.bytes_skipped_zonemap");
+      c_rows_filtered_ = ctx_->metrics->GetCounter("scan.rows_filtered_bloom");
+      h_rf_wait_ = ctx_->metrics->GetHistogram("scan.rf_wait_us");
+    }
     return Status::OK();
   }
 
   Result<bool> NextBatch(RowBatch* out) override {
     common::chaos::Point("scan.batch");
     HAWQ_RETURN_IF_ERROR(ctx_->CheckCancel());
-    out->Clear();
+    if (!rf_checked_) AcquireRuntimeFilter();
     while (true) {
+      out->Clear();
       if (!scanner_) {
         if (file_idx_ >= my_files_.size()) return false;
         const plan::ScanFile* f = my_files_[file_idx_++];
@@ -152,7 +176,8 @@ class SeqScanExec : public BatchExecNode {
         HAWQ_ASSIGN_OR_RETURN(
             scanner_, storage::OpenTableScanner(ctx_->fs, f->path,
                                                 node_.table_schema, opts,
-                                                f->eof, node_.projection));
+                                                f->eof, node_.projection,
+                                                preds_));
       }
       // The scanner decodes a whole storage block at a time. With an
       // identity layout it decodes straight into the output batch
@@ -161,29 +186,125 @@ class SeqScanExec : public BatchExecNode {
       if (identity_layout_) {
         HAWQ_ASSIGN_OR_RETURN(bool more, scanner_->NextBatch(out));
         if (!more) {
-          scanner_.reset();
+          FinishScanner();
           continue;
         }
-        return true;
-      }
-      HAWQ_ASSIGN_OR_RETURN(bool more, scanner_->NextBatch(&scratch_));
-      if (!more) {
-        scanner_.reset();
-        continue;
-      }
-      for (size_t i = 0; i < scratch_.size(); ++i) {
-        Row& inner = scratch_.selected(i);
-        Row wide(node_.out_arity);
-        for (int local : node_.projection) {
-          wide[node_.col_start + local] = std::move(inner[local]);
+      } else {
+        HAWQ_ASSIGN_OR_RETURN(bool more, scanner_->NextBatch(&scratch_));
+        if (!more) {
+          FinishScanner();
+          continue;
         }
-        out->PushRow(std::move(wide));
+        for (size_t i = 0; i < scratch_.size(); ++i) {
+          Row& inner = scratch_.selected(i);
+          Row wide(node_.out_arity);
+          for (int local : node_.projection) {
+            wide[node_.col_start + local] = std::move(inner[local]);
+          }
+          out->PushRow(std::move(wide));
+        }
       }
-      return true;
+      if (bloom_ != nullptr) ApplyBloom(out);
+      if (!out->empty()) return true;
     }
   }
 
+  Status Close() override {
+    if (scanner_) FinishScanner();  // early stop (e.g. LIMIT) mid-file
+    return Status::OK();
+  }
+
  private:
+  /// One-shot runtime-filter lookup at first batch. A local filter was
+  /// published by a join in this very worker before the scan opened, so
+  /// TryGet always hits; a remote one races ahead of us, so we wait up to
+  /// the planner's budget and start unfiltered if it loses.
+  void AcquireRuntimeFilter() {
+    rf_checked_ = true;
+    if (node_.rf_id < 0 || ctx_->rf_hub == nullptr) return;
+    if (node_.rf_local) {
+      bloom_ =
+          ctx_->rf_hub->TryGet(ctx_->query_id, node_.rf_id, ctx_->segment);
+      MaybeAddMinMaxPreds();
+      return;
+    }
+    auto t0 = obs::TraceClock::now();
+    bloom_ = ctx_->rf_hub->WaitFor(ctx_->query_id, node_.rf_id,
+                                   RuntimeFilterHub::kGlobalScope,
+                                   node_.rf_wait_us);
+    if (h_rf_wait_ != nullptr) h_rf_wait_->Observe(UsSince(t0));
+    MaybeAddMinMaxPreds();
+  }
+
+  /// If the filter carries an exact build-key [min,max] and the probe key
+  /// is this scan's own bare integer column, the range bounds the column
+  /// itself: add it as zone-map predicates so whole blocks outside the
+  /// build side's key range are skipped before they are read or decoded.
+  /// Runs before the first scanner opens, so every file sees the preds.
+  void MaybeAddMinMaxPreds() {
+    if (bloom_ == nullptr || !bloom_->has_minmax()) return;
+    if (node_.rf_exprs.size() != 1) return;
+    const PExpr& e = node_.rf_exprs[0];
+    if (e.op != PExpr::Op::kCol) return;
+    int local = e.col - node_.col_start;
+    if (local < 0 ||
+        local >= static_cast<int>(node_.table_schema.num_fields())) {
+      return;
+    }
+    TypeId t = node_.table_schema.field(local).type;
+    if (t != TypeId::kInt32 && t != TypeId::kInt64) return;
+    storage::ScanPredicate ge, le;
+    ge.col = local;
+    ge.op = storage::ScanPredicate::Op::kGe;
+    ge.value = Datum::Int(bloom_->min_key());
+    le.col = local;
+    le.op = storage::ScanPredicate::Op::kLe;
+    le.value = Datum::Int(bloom_->max_key());
+    preds_.push_back(std::move(ge));
+    preds_.push_back(std::move(le));
+  }
+
+  /// Narrow the batch's selection vector to rows whose join key may exist
+  /// on the build side. NULL keys never match an inner/semi join, so
+  /// dropping them here is as correct as dropping them at the join.
+  void ApplyBloom(RowBatch* b) {
+    std::vector<uint32_t>* sel = b->mutable_sel();
+    const size_t in = sel->size();
+    size_t kept = 0;
+    for (size_t i = 0; i < in; ++i) {
+      const Row& r = b->row((*sel)[i]);
+      Row key = EvalAll(node_.rf_exprs, r);
+      bool has_null = false;
+      for (const Datum& d : key) has_null |= d.is_null();
+      if (!has_null && bloom_->MayContain(HashRow(key))) {
+        (*sel)[kept++] = (*sel)[i];
+      }
+    }
+    sel->resize(kept);
+    const uint64_t dropped = in - kept;
+    if (dropped > 0) {
+      if (c_rows_filtered_ != nullptr) c_rows_filtered_->Add(dropped);
+      if (stats_ != nullptr) {
+        stats_->rows_filtered.fetch_add(dropped, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Harvest the finished scanner's skip accounting before dropping it.
+  void FinishScanner() {
+    const storage::ScanStats& s = scanner_->stats();
+    if (s.blocks_skipped > 0) {
+      if (c_blocks_skipped_ != nullptr) c_blocks_skipped_->Add(s.blocks_skipped);
+      if (c_rows_skipped_ != nullptr) c_rows_skipped_->Add(s.rows_skipped);
+      if (c_bytes_skipped_ != nullptr) c_bytes_skipped_->Add(s.bytes_skipped);
+      if (stats_ != nullptr) {
+        stats_->blocks_skipped.fetch_add(s.blocks_skipped,
+                                         std::memory_order_relaxed);
+      }
+    }
+    scanner_.reset();
+  }
+
   const PlanNode& node_;
   ExecContext* ctx_;
   std::vector<const plan::ScanFile*> my_files_;
@@ -191,6 +312,15 @@ class SeqScanExec : public BatchExecNode {
   bool identity_layout_ = false;
   std::unique_ptr<storage::TableScanner> scanner_;
   RowBatch scratch_;  // table-local rows from the scanner
+  std::vector<storage::ScanPredicate> preds_;
+  bool rf_checked_ = false;
+  std::shared_ptr<const BloomFilter> bloom_;
+  obs::NodeStats* stats_ = nullptr;
+  obs::Counter* c_blocks_skipped_ = nullptr;
+  obs::Counter* c_rows_skipped_ = nullptr;
+  obs::Counter* c_bytes_skipped_ = nullptr;
+  obs::Counter* c_rows_filtered_ = nullptr;
+  obs::Histogram* h_rf_wait_ = nullptr;
 };
 
 // ------------------------------------------------------------- Filter
@@ -268,11 +398,15 @@ class ProjectExec : public BatchExecNode {
 class HashJoinExec : public ExecNode {
  public:
   HashJoinExec(const PlanNode& node, std::unique_ptr<ExecNode> probe,
-               std::unique_ptr<ExecNode> build)
-      : node_(node), probe_(std::move(probe)), build_(std::move(build)) {}
+               std::unique_ptr<ExecNode> build, ExecContext* ctx)
+      : node_(node), probe_(std::move(probe)), build_(std::move(build)),
+        ctx_(ctx) {}
 
   Status Open() override {
     HAWQ_RETURN_IF_ERROR(build_->Open());
+    const bool build_filter = node_.rf_id >= 0 && ctx_->rf_hub != nullptr;
+    BloomFilter bloom;
+    auto t0 = obs::TraceClock::now();
     Row row;
     while (true) {
       HAWQ_ASSIGN_OR_RETURN(bool more, build_->Next(&row));
@@ -281,9 +415,18 @@ class HashJoinExec : public ExecNode {
       bool has_null = false;
       for (const Datum& d : key) has_null |= d.is_null();
       if (has_null) continue;  // NULL keys never match
+      // The join matches on serialized key bytes, so equal keys hash
+      // equal: the bloom can never produce a false negative at the scan.
+      if (build_filter) {
+        bloom.Insert(HashRow(key));
+        if (key.size() == 1 && key[0].kind == Datum::Kind::kInt) {
+          bloom.ObserveKey(key[0].i64);
+        }
+      }
       table_[KeyOf(key)].push_back(std::move(row));
     }
     HAWQ_RETURN_IF_ERROR(build_->Close());
+    if (build_filter) PublishFilter(bloom, t0);
     return probe_->Open();
   }
 
@@ -348,9 +491,39 @@ class HashJoinExec : public ExecNode {
     return out;
   }
 
+  /// Ship the bloom built over the drained build side. A local filter
+  /// (join and scan share this worker) goes straight into the hub under
+  /// the segment scope — the probe-side scan has not opened yet, so it is
+  /// guaranteed to find it. A remote filter publishes this worker's
+  /// partial part into the global scope AND broadcasts it over the
+  /// interconnect, which models the wire; the hub dedups by part index so
+  /// the loopback copy is harmless.
+  void PublishFilter(const BloomFilter& bloom, obs::TraceClock::time_point t0) {
+    common::chaos::Point("rf.publish");
+    obs::MetricsRegistry* m = ctx_->metrics;
+    if (m != nullptr) m->GetHistogram("rf.build_us")->Observe(UsSince(t0));
+    auto p0 = obs::TraceClock::now();
+    if (!node_.rf_remote) {
+      ctx_->rf_hub->Publish(ctx_->query_id, node_.rf_id, ctx_->segment,
+                            /*part=*/0, /*nparts=*/1, bloom);
+    } else {
+      ctx_->rf_hub->Publish(ctx_->query_id, node_.rf_id,
+                            RuntimeFilterHub::kGlobalScope, ctx_->worker,
+                            node_.rf_parts, bloom);
+      if (ctx_->net != nullptr) {
+        ctx_->net->PublishFilter(
+            ctx_->query_id,
+            RuntimeFilterHub::EncodePayload(node_.rf_id, ctx_->worker,
+                                            node_.rf_parts, bloom));
+      }
+    }
+    if (m != nullptr) m->GetHistogram("rf.publish_us")->Observe(UsSince(p0));
+  }
+
   const PlanNode& node_;
   std::unique_ptr<ExecNode> probe_;
   std::unique_ptr<ExecNode> build_;
+  ExecContext* ctx_;
   std::unordered_map<std::string, std::vector<Row>> table_;
   Row probe_row_;
   std::vector<const Row*> matches_;
@@ -929,7 +1102,7 @@ Result<std::unique_ptr<ExecNode>> BuildExecNodeImpl(const PlanNode& node,
       HAWQ_ASSIGN_OR_RETURN(auto probe, BuildExecNode(*node.children[0], ctx));
       HAWQ_ASSIGN_OR_RETURN(auto build, BuildExecNode(*node.children[1], ctx));
       return std::unique_ptr<ExecNode>(
-          new HashJoinExec(node, std::move(probe), std::move(build)));
+          new HashJoinExec(node, std::move(probe), std::move(build), ctx));
     }
     case NodeKind::kHashAgg: {
       HAWQ_ASSIGN_OR_RETURN(auto child, BuildExecNode(*node.children[0], ctx));

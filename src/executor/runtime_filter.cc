@@ -1,0 +1,111 @@
+#include "executor/runtime_filter.h"
+
+#include <chrono>
+#include <climits>
+
+namespace hawq::exec {
+
+uint64_t BloomFilter::PopCount() const {
+  uint64_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint64_t>(__builtin_popcountll(w));
+  return n;
+}
+
+void BloomFilter::Serialize(BufferWriter* w) const {
+  w->PutVarint(words_.size());
+  w->PutRaw(words_.data(), words_.size() * sizeof(uint64_t));
+  w->PutVarint(has_minmax_ ? 1 : 0);
+  if (has_minmax_) {
+    w->PutRaw(&min_key_, sizeof(min_key_));
+    w->PutRaw(&max_key_, sizeof(max_key_));
+  }
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(BufferReader* r) {
+  HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  BloomFilter f;
+  if (n != f.words_.size()) {
+    return Status::Corruption("bloom filter geometry mismatch");
+  }
+  HAWQ_RETURN_IF_ERROR(r->GetRaw(f.words_.data(), n * sizeof(uint64_t)));
+  HAWQ_ASSIGN_OR_RETURN(uint64_t has, r->GetVarint());
+  if (has != 0) {
+    f.has_minmax_ = true;
+    HAWQ_RETURN_IF_ERROR(r->GetRaw(&f.min_key_, sizeof(f.min_key_)));
+    HAWQ_RETURN_IF_ERROR(r->GetRaw(&f.max_key_, sizeof(f.max_key_)));
+  }
+  return f;
+}
+
+void RuntimeFilterHub::Publish(uint64_t query_id, int rf_id, int scope,
+                               int part, int nparts, const BloomFilter& f) {
+  MutexLock lock(mu_);
+  Entry& e = entries_[Key{query_id, rf_id, scope}];
+  if (e.complete || e.parts.count(part)) return;  // idempotent fan-in
+  if (e.bloom == nullptr) e.bloom = std::make_shared<BloomFilter>();
+  e.bloom->Merge(f);
+  e.parts.insert(part);
+  e.nparts = nparts;
+  if (static_cast<int>(e.parts.size()) >= nparts) {
+    e.complete = true;
+    cv_.NotifyAll();
+  }
+}
+
+std::shared_ptr<const BloomFilter> RuntimeFilterHub::TryGet(uint64_t query_id,
+                                                            int rf_id,
+                                                            int scope) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(Key{query_id, rf_id, scope});
+  if (it == entries_.end() || !it->second.complete) return nullptr;
+  return it->second.bloom;
+}
+
+std::shared_ptr<const BloomFilter> RuntimeFilterHub::WaitFor(
+    uint64_t query_id, int rf_id, int scope, uint64_t budget_us) {
+  Key k{query_id, rf_id, scope};
+  MutexLock lock(mu_);
+  auto done = [&]() {
+    auto it = entries_.find(k);
+    return it != entries_.end() && it->second.complete;
+  };
+  if (!done() && budget_us > 0) {
+    cv_.WaitFor(lock, std::chrono::microseconds(budget_us), done);
+  }
+  auto it = entries_.find(k);
+  if (it == entries_.end() || !it->second.complete) return nullptr;
+  return it->second.bloom;
+}
+
+void RuntimeFilterHub::ClearQuery(uint64_t query_id) {
+  MutexLock lock(mu_);
+  auto it = entries_.lower_bound(Key{query_id, INT_MIN, INT_MIN});
+  while (it != entries_.end() && std::get<0>(it->first) == query_id) {
+    it = entries_.erase(it);
+  }
+}
+
+std::string RuntimeFilterHub::EncodePayload(int rf_id, int part, int nparts,
+                                            const BloomFilter& f) {
+  BufferWriter w;
+  w.PutVarint(static_cast<uint64_t>(rf_id));
+  w.PutVarint(static_cast<uint64_t>(part));
+  w.PutVarint(static_cast<uint64_t>(nparts));
+  f.Serialize(&w);
+  return w.Release();
+}
+
+void RuntimeFilterHub::PublishSerialized(uint64_t query_id,
+                                         const std::string& payload) {
+  BufferReader r(payload.data(), payload.size());
+  auto rf_id = r.GetVarint();
+  auto part = r.GetVarint();
+  auto nparts = r.GetVarint();
+  if (!rf_id.ok() || !part.ok() || !nparts.ok() || *nparts == 0) return;
+  auto bloom = BloomFilter::Deserialize(&r);
+  if (!bloom.ok()) return;
+  Publish(query_id, static_cast<int>(*rf_id), kGlobalScope,
+          static_cast<int>(*part), static_cast<int>(*nparts), *bloom);
+}
+
+}  // namespace hawq::exec

@@ -1,0 +1,170 @@
+// Join-time bloom runtime filters.
+//
+// A selective hash join's build side summarizes its join keys into a
+// bloom filter; probe-side scans hash the same key expressions per batch
+// and drop rows the filter proves can never join — before the row pays
+// for qual evaluation, motion, or the join itself. Filters are a pure
+// optimization: false positives only cost work, and the construction
+// (insert every build key, OR all partials before use) makes false
+// negatives impossible.
+//
+// Lifecycle: each join worker publishes its (partial) filter into the
+// process-wide RuntimeFilterHub, keyed by (query_id, filter id, scope).
+//   - Same-slice consumer (rf_local): the worker that built the filter is
+//     the worker that scans, so the filter is published under the
+//     worker's segment scope and is complete by the time the probe
+//     subtree opens — zero wait.
+//   - Cross-slice consumer (rf_remote): every join worker broadcasts its
+//     partial through the interconnect (Interconnect::PublishFilter);
+//     receiving hosts feed the hub via the installed sink, which
+//     OR-merges parts under the global scope. A filter is usable only
+//     when all `nparts` partials arrived — a partially-merged bloom
+//     would produce false negatives. Scans wait up to a budget
+//     (rf_wait_us) and start unfiltered if the filter is late.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/serde.h"
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace hawq::exec {
+
+/// Fixed-geometry bloom filter over 64-bit key hashes (HashRow output).
+/// 2^17 bits = 16 KiB: ~0.24% false-positive rate at 10k distinct build
+/// keys with 4 probes, and small enough that shipping it is one packet
+/// burst. Fixed geometry keeps partial filters from different workers
+/// OR-mergeable without negotiation.
+class BloomFilter {
+ public:
+  static constexpr uint64_t kBits = 1ull << 17;
+  static constexpr int kProbes = 4;
+
+  BloomFilter() : words_(kBits / 64, 0) {}
+
+  /// Double hashing (Kirsch-Mitzenmacher): probe i sets bit h1 + i*h2.
+  void Insert(uint64_t h) {
+    uint64_t h2 = (h >> 32) | 1;
+    for (int i = 0; i < kProbes; ++i) {
+      uint64_t bit = (h + static_cast<uint64_t>(i) * h2) & (kBits - 1);
+      words_[bit >> 6] |= 1ull << (bit & 63);
+    }
+  }
+
+  bool MayContain(uint64_t h) const {
+    uint64_t h2 = (h >> 32) | 1;
+    for (int i = 0; i < kProbes; ++i) {
+      uint64_t bit = (h + static_cast<uint64_t>(i) * h2) & (kBits - 1);
+      if ((words_[bit >> 6] & (1ull << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
+
+  void Merge(const BloomFilter& o) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    if (o.has_minmax_) {
+      if (!has_minmax_) {
+        min_key_ = o.min_key_;
+        max_key_ = o.max_key_;
+        has_minmax_ = true;
+      } else {
+        min_key_ = std::min(min_key_, o.min_key_);
+        max_key_ = std::max(max_key_, o.max_key_);
+      }
+    }
+  }
+
+  /// Exact [min,max] over the build keys, tracked beside the bloom when
+  /// the join key is a single integer ("min/max runtime filter"). A
+  /// consuming scan whose probe key is its own bare column turns the
+  /// range into zone-map predicates and skips whole blocks before
+  /// decode — the bloom then only has to judge the surviving blocks.
+  /// Parts that saw no keys (empty build) contribute nothing to the
+  /// merged range, which stays the exact union of observed keys.
+  void ObserveKey(int64_t k) {
+    if (!has_minmax_) {
+      min_key_ = max_key_ = k;
+      has_minmax_ = true;
+      return;
+    }
+    min_key_ = std::min(min_key_, k);
+    max_key_ = std::max(max_key_, k);
+  }
+  bool has_minmax() const { return has_minmax_; }
+  int64_t min_key() const { return min_key_; }
+  int64_t max_key() const { return max_key_; }
+
+  /// Set bits (diagnostics; saturation check in tests).
+  uint64_t PopCount() const;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<BloomFilter> Deserialize(BufferReader* r);
+
+ private:
+  std::vector<uint64_t> words_;
+  bool has_minmax_ = false;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = 0;
+};
+
+/// Process-wide registry of in-flight runtime filters. One instance per
+/// Cluster, shared by the QD and every simulated segment worker; remote
+/// parts arrive through the interconnect sink. All methods are
+/// thread-safe; pointers returned by TryGet/WaitFor are shared_ptrs, so
+/// scans may keep probing a filter across ClearQuery.
+class RuntimeFilterHub {
+ public:
+  /// Scope for cross-slice (remote) filters: all consumers share one
+  /// OR-merged global filter. Same-slice filters use scope = segment so
+  /// each worker consumes exactly the partial it built.
+  static constexpr int kGlobalScope = -1000;
+
+  /// OR-merge part `part` of `nparts` into (query_id, rf_id, scope).
+  /// Duplicate parts (interconnect broadcast fan-in) are idempotent. The
+  /// filter becomes visible to consumers once all parts arrived.
+  void Publish(uint64_t query_id, int rf_id, int scope, int part, int nparts,
+               const BloomFilter& f);
+
+  /// The complete filter, or nullptr if absent / still partial.
+  std::shared_ptr<const BloomFilter> TryGet(uint64_t query_id, int rf_id,
+                                            int scope);
+
+  /// Block up to `budget_us` for the filter to complete. nullptr on
+  /// timeout — the scan proceeds unfiltered.
+  std::shared_ptr<const BloomFilter> WaitFor(uint64_t query_id, int rf_id,
+                                             int scope, uint64_t budget_us);
+
+  /// Drop every filter of a finished (or cancelled) query.
+  void ClearQuery(uint64_t query_id);
+
+  /// Wire format for Interconnect::PublishFilter payloads:
+  ///   [varint rf_id][varint part][varint nparts][bloom]
+  static std::string EncodePayload(int rf_id, int part, int nparts,
+                                   const BloomFilter& f);
+  /// Decode a broadcast payload into the global scope of `query_id`.
+  /// Malformed payloads are dropped (best-effort channel).
+  void PublishSerialized(uint64_t query_id, const std::string& payload);
+
+ private:
+  struct Entry {
+    std::shared_ptr<BloomFilter> bloom;
+    std::set<int> parts;
+    int nparts = 1;
+    bool complete = false;
+  };
+  using Key = std::tuple<uint64_t, int, int>;
+
+  mutable Mutex mu_{LockRank::kLeaf, "rf.hub"};
+  CondVar cv_;
+  std::map<Key, Entry> entries_ HAWQ_GUARDED_BY(mu_);
+};
+
+}  // namespace hawq::exec

@@ -5,6 +5,7 @@
 // fabric that pays per-connection setup and is bounded by the port budget.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,6 +75,20 @@ class Interconnect {
   /// every host fails promptly so peer gangs unwind. Best-effort — the
   /// in-process CancelToken remains the authoritative signal.
   virtual void CancelQuery(uint64_t query_id) { (void)query_id; }
+
+  /// Broadcast one serialized runtime-filter part of `query_id` to every
+  /// host (payload format: executor/runtime_filter.h). Best-effort: a
+  /// dropped filter only costs performance, never correctness — scans
+  /// time out and run unfiltered. Default: no transport, drop it.
+  using FilterSink = std::function<void(uint64_t, const std::string&)>;
+  virtual void PublishFilter(uint64_t query_id, const std::string& payload) {
+    (void)query_id;
+    (void)payload;
+  }
+  /// Install the process-wide sink invoked (on each receiving host) when
+  /// a filter part arrives — the engine points this at its
+  /// RuntimeFilterHub.
+  virtual void SetFilterSink(FilterSink sink) { (void)sink; }
 };
 
 }  // namespace hawq::net

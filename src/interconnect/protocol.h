@@ -23,6 +23,10 @@ enum class PacketType : uint8_t {
   kStop,         // receiver tells sender to stop (LIMIT queries)
   kStatusQuery,  // sender probes receiver state (deadlock elimination §4.5)
   kCancel,       // QD tears the query down; only key.query_id is meaningful
+  /// Broadcast runtime-filter part (key.query_id + payload meaningful).
+  /// Fire-and-forget: never acked, never retransmitted — a lost filter
+  /// costs performance only (the scan times out and runs unfiltered).
+  kRuntimeFilter,
 };
 
 /// Identity of one tuple stream: (query, motion node, sender, receiver).

@@ -297,4 +297,18 @@ void TcpFabric::CancelQuery(uint64_t query_id) {
   }
 }
 
+void TcpFabric::PublishFilter(uint64_t query_id, const std::string& payload) {
+  FilterSink sink;
+  {
+    MutexLock g(sink_mu_);
+    sink = filter_sink_;
+  }
+  if (sink) sink(query_id, payload);
+}
+
+void TcpFabric::SetFilterSink(FilterSink sink) {
+  MutexLock g(sink_mu_);
+  filter_sink_ = std::move(sink);
+}
+
 }  // namespace hawq::net

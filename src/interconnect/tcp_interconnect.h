@@ -66,6 +66,12 @@ class TcpFabric : public Interconnect {
   /// Fail every receive state of the query so its slices unwind.
   void CancelQuery(uint64_t query_id) override;
 
+  /// Deliver a runtime-filter part. TCP is a reliable transport, so this
+  /// models one small control RPC: the sink is invoked directly (once per
+  /// publish; the hub dedups parts).
+  void PublishFilter(uint64_t query_id, const std::string& payload) override;
+  void SetFilterSink(FilterSink sink) override;
+
  private:
   friend class TcpSendStream;
   friend class TcpRecvStream;
@@ -82,6 +88,10 @@ class TcpFabric : public Interconnect {
   std::vector<int> ports_in_use_ HAWQ_GUARDED_BY(mu_);
   std::vector<std::atomic<int>> active_conns_;  // per destination host
   std::atomic<uint64_t> connections_opened_{0};
+
+  // Runtime-filter delivery (see PublishFilter).
+  mutable Mutex sink_mu_{LockRank::kLeaf, "tcp.filter_sink"};
+  FilterSink filter_sink_ HAWQ_GUARDED_BY(sink_mu_);
 
   // Cached instruments (null when built without a registry).
   obs::Counter* c_connections_ = nullptr;

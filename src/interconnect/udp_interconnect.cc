@@ -447,7 +447,33 @@ void UdpFabric::HandlePacket(int host, Packet pkt) {
     case PacketType::kCancel:
       HandleCancel(host, pkt.key.query_id);
       break;
+    case PacketType::kRuntimeFilter:
+      HandleFilter(pkt.key.query_id, pkt.payload);
+      break;
   }
+}
+
+void UdpFabric::HandleFilter(uint64_t query_id, const std::string& payload) {
+  FilterSink sink;
+  {
+    MutexLock g(sink_mu_);
+    sink = filter_sink_;
+  }
+  if (sink) sink(query_id, payload);
+}
+
+void UdpFabric::PublishFilter(uint64_t query_id, const std::string& payload) {
+  Packet p;
+  p.type = PacketType::kRuntimeFilter;
+  p.key.query_id = query_id;
+  p.payload = payload;
+  std::string bytes = p.Serialize();
+  for (int h = 0; h < net_->num_hosts(); ++h) net_->Send(h, bytes);
+}
+
+void UdpFabric::SetFilterSink(FilterSink sink) {
+  MutexLock g(sink_mu_);
+  filter_sink_ = std::move(sink);
 }
 
 void UdpFabric::HandleCancel(int host, uint64_t query_id) {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/sync.h"
 #include "interconnect/interconnect.h"
 #include "interconnect/protocol.h"
 #include "interconnect/sim_net.h"
@@ -74,6 +75,11 @@ class UdpFabric : public Interconnect {
   /// connections fail and all of its receivers wake with an error.
   void CancelQuery(uint64_t query_id) override;
 
+  /// Broadcast a runtime-filter part to every host as one fire-and-forget
+  /// kRuntimeFilter datagram (no ack/retransmit; filters are best-effort).
+  void PublishFilter(uint64_t query_id, const std::string& payload) override;
+  void SetFilterSink(FilterSink sink) override;
+
   uint64_t retransmissions() const { return retransmissions_.load(); }
   uint64_t status_queries() const { return status_queries_.load(); }
 
@@ -87,6 +93,7 @@ class UdpFabric : public Interconnect {
   void RxLoop(int host);
   void HandlePacket(int host, Packet pkt);
   void HandleCancel(int host, uint64_t query_id);
+  void HandleFilter(uint64_t query_id, const std::string& payload);
   void HandleSenderFeedback(int host, const Packet& pkt);
   void HandleDataPacket(int host, Packet pkt);
   void CheckRetransmits(int host);
@@ -100,6 +107,11 @@ class UdpFabric : public Interconnect {
   std::vector<std::thread> threads_;
   std::atomic<uint64_t> retransmissions_{0};
   std::atomic<uint64_t> status_queries_{0};
+
+  // Runtime-filter delivery. The sink is installed once by the engine;
+  // rx threads copy it under the mutex before invoking.
+  mutable Mutex sink_mu_{LockRank::kLeaf, "udp.filter_sink"};
+  FilterSink filter_sink_ HAWQ_GUARDED_BY(sink_mu_);
 
   // Cached instruments (null when built without a registry).
   obs::Counter* c_retransmissions_ = nullptr;

@@ -54,6 +54,9 @@ struct NodeStats {
   std::atomic<uint64_t> open_us{0};      // inclusive (subtree) times
   std::atomic<uint64_t> next_us{0};
   std::atomic<uint64_t> close_us{0};
+  // Data skipping (SeqScan only; zero elsewhere).
+  std::atomic<uint64_t> blocks_skipped{0};  // zone-map pruned blocks
+  std::atomic<uint64_t> rows_filtered{0};   // bloom-filtered probe rows
 
   uint64_t TotalUs() const {
     return open_us.load(std::memory_order_relaxed) +

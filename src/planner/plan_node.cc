@@ -64,6 +64,14 @@ Result<std::vector<int>> DeserializeIntVec(BufferReader* r) {
 
 }  // namespace
 
+std::string ScanPred::ToString(const Schema& table_schema) const {
+  static const char* ops[] = {"=", "<", "<=", ">", ">="};
+  std::string name = col >= 0 && col < static_cast<int>(table_schema.num_fields())
+                         ? table_schema.field(col).name
+                         : "col" + std::to_string(col);
+  return name + " " + ops[static_cast<int>(op)] + " " + value.ToString();
+}
+
 const char* NodeKindName(NodeKind k) {
   switch (k) {
     case NodeKind::kSeqScan: return "SeqScan";
@@ -145,6 +153,18 @@ void PlanNode::Serialize(BufferWriter* w) const {
     w->PutVarint(ip.files.size());
     for (const std::string& f : ip.files) w->PutString(f);
   }
+  w->PutVarint(scan_preds.size());
+  for (const ScanPred& p : scan_preds) {
+    w->PutVarintSigned(p.col);
+    w->PutU8(static_cast<uint8_t>(p.op));
+    SerializeDatum(p.value, w);
+  }
+  w->PutVarintSigned(rf_id);
+  SerializeExprs(rf_exprs, w);
+  w->PutVarint(rf_wait_us);
+  w->PutU8(rf_local ? 1 : 0);
+  w->PutVarintSigned(rf_parts);
+  w->PutU8(rf_remote ? 1 : 0);
   w->PutVarint(children.size());
   for (const auto& c : children) c->Serialize(w);
 }
@@ -236,6 +256,26 @@ Result<std::unique_ptr<PlanNode>> PlanNode::Deserialize(BufferReader* r) {
     }
     n->insert_parts.push_back(std::move(ip));
   }
+  HAWQ_ASSIGN_OR_RETURN(uint64_t nsp, r->GetVarint());
+  for (uint64_t i = 0; i < nsp; ++i) {
+    ScanPred p;
+    HAWQ_ASSIGN_OR_RETURN(int64_t pc, r->GetVarintSigned());
+    p.col = static_cast<int>(pc);
+    HAWQ_ASSIGN_OR_RETURN(uint8_t po, r->GetU8());
+    p.op = static_cast<ScanPred::Op>(po);
+    HAWQ_ASSIGN_OR_RETURN(p.value, DeserializeDatum(r));
+    n->scan_preds.push_back(std::move(p));
+  }
+  HAWQ_ASSIGN_OR_RETURN(int64_t rfid, r->GetVarintSigned());
+  n->rf_id = static_cast<int>(rfid);
+  HAWQ_ASSIGN_OR_RETURN(n->rf_exprs, DeserializeExprs(r));
+  HAWQ_ASSIGN_OR_RETURN(n->rf_wait_us, r->GetVarint());
+  HAWQ_ASSIGN_OR_RETURN(uint8_t rfl, r->GetU8());
+  n->rf_local = rfl != 0;
+  HAWQ_ASSIGN_OR_RETURN(int64_t rfp, r->GetVarintSigned());
+  n->rf_parts = static_cast<int>(rfp);
+  HAWQ_ASSIGN_OR_RETURN(uint8_t rfr, r->GetU8());
+  n->rf_remote = rfr != 0;
   HAWQ_ASSIGN_OR_RETURN(uint64_t nc, r->GetVarint());
   for (uint64_t i = 0; i < nc; ++i) {
     HAWQ_ASSIGN_OR_RETURN(auto c, Deserialize(r));
@@ -257,6 +297,18 @@ std::string PlanNode::Describe() const {
     case NodeKind::kSeqScan:
       s += " " + table_name + " (" + catalog::StorageKindName(storage) +
            ", files=" + std::to_string(files.size()) + ")";
+      if (!scan_preds.empty()) {
+        s += " zone-preds=[";
+        for (size_t i = 0; i < scan_preds.size(); ++i) {
+          if (i) s += " AND ";
+          s += scan_preds[i].ToString(table_schema);
+        }
+        s += "]";
+      }
+      if (rf_id >= 0) {
+        s += " runtime-filter=" + std::to_string(rf_id) +
+             (rf_local ? " (local)" : " (remote)");
+      }
       break;
     case NodeKind::kExternalScan:
       s += " " + ext_location;
@@ -278,6 +330,10 @@ std::string PlanNode::Describe() const {
       for (size_t i = 0; i < probe_keys.size(); ++i) {
         s += (i ? " AND " : " ") + probe_keys[i].ToString() + " = " +
              build_keys[i].ToString();
+      }
+      if (rf_id >= 0) {
+        s += " builds-filter=" + std::to_string(rf_id) + " parts=" +
+             std::to_string(rf_parts);
       }
       break;
     }

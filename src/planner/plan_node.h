@@ -62,6 +62,20 @@ struct SortKey {
   bool desc = false;
 };
 
+/// A scan-eligible conjunct `col OP const` pushed down onto a SeqScan so
+/// the storage layer can prune blocks via zone maps. `col` is table-local
+/// (matches storage::ScanPredicate); op numbering matches
+/// storage::ScanPredicate::Op. Purely an optimization hint: the full
+/// qual is still applied to surviving rows.
+struct ScanPred {
+  enum class Op : uint8_t { kEq = 0, kLt, kLe, kGt, kGe };
+  int col = 0;
+  Op op = Op::kEq;
+  Datum value;
+
+  std::string ToString(const Schema& table_schema) const;
+};
+
 /// One insert target: a table (or partition child) with the part-column
 /// range it accepts and its per-segment file paths.
 struct InsertPartition {
@@ -94,6 +108,31 @@ struct PlanNode {
   std::vector<ScanFile> files;
   std::vector<int> projection;  // table-local column indices to read
   int col_start = 0;            // where this rel's columns sit in wide rows
+  /// Zone-map-eligible conjuncts (see ScanPred). Empty unless the planner
+  /// runs with enable_zone_maps.
+  std::vector<ScanPred> scan_preds;
+
+  // --- runtime filters (kSeqScan consumes, kHashJoin produces) ----------
+  /// Filter id, unique within the plan; -1 = none. On a kHashJoin it
+  /// marks the node as building/publishing a bloom filter over its build
+  /// keys; on a kSeqScan it marks the scan as applying that filter.
+  int rf_id = -1;
+  /// kSeqScan: key exprs over the scan's output rows, parallel to the
+  /// join's build keys (hash of these is probed against the bloom).
+  std::vector<sql::PExpr> rf_exprs;
+  /// kSeqScan: max micros to wait for a complete filter before scanning
+  /// unfiltered (filters are best-effort, never correctness-bearing).
+  uint64_t rf_wait_us = 0;
+  /// True when producer and consumer share a slice: each worker's filter
+  /// is published per-segment in process and is available by the time the
+  /// probe subtree opens (zero wait).
+  bool rf_local = false;
+  /// kHashJoin: number of partial filters (one per join worker) the
+  /// consumer must OR together before the filter is complete.
+  int rf_parts = 1;
+  /// kHashJoin: publish through the interconnect (consumer lives in a
+  /// different slice) rather than only in process.
+  bool rf_remote = false;
 
   // --- kExternalScan ------------------------------------------------------
   std::string ext_location;
@@ -168,6 +207,13 @@ struct PhysicalPlan {
   std::vector<Slice> slices;
   Schema output_schema;
   int n_visible = 0;
+
+  /// Planner bookkeeping (not serialized): range partitions dropped by
+  /// static partition elimination and segments dropped from the gang by
+  /// direct dispatch. The session publishes these as
+  /// scan.partitions_pruned / scan.segments_pruned.
+  int partitions_pruned = 0;
+  int segments_pruned = 0;
 
   std::string Serialize() const;
   static Result<PhysicalPlan> Parse(const std::string& bytes);

@@ -106,6 +106,8 @@ struct Planner::Build {
   StatsProvider stats;
   std::vector<Slice> slices;  // sender slices, in creation order
   int next_motion_id = 1;
+  int partitions_pruned_ = 0;  // static partition elimination tally
+  int segments_pruned_ = 0;    // direct-dispatch gang narrowing tally
 
   Build(Planner* planner, catalog::Catalog* c, tx::Transaction* t,
         const PlannerOptions& o)
@@ -306,12 +308,59 @@ struct Planner::Build {
       stats.AddOrigin(lo + local, t.oid, rel.schema.field(local).name);
     }
 
+    // Zone-map pushdown: single-table `col OP const` comparison conjuncts
+    // the scanner can test against per-block min/max before reading the
+    // block. BETWEEN-shaped ANDs arrive here already split into conjuncts.
+    if (opts.enable_zone_maps) {
+      for (const PExpr& f : filters) {
+        if (f.children.size() != 2) continue;
+        const PExpr *colside = nullptr, *constside = nullptr;
+        bool col_left = false;
+        if (f.children[0].op == PExpr::Op::kCol &&
+            f.children[1].op == PExpr::Op::kConst) {
+          colside = &f.children[0];
+          constside = &f.children[1];
+          col_left = true;
+        } else if (f.children[1].op == PExpr::Op::kCol &&
+                   f.children[0].op == PExpr::Op::kConst) {
+          colside = &f.children[1];
+          constside = &f.children[0];
+        }
+        if (!colside || constside->value.kind == Datum::Kind::kNull) continue;
+        if (colside->col < lo || colside->col >= hi) continue;
+        PExpr::Op op = f.op;
+        if (!col_left) {
+          // const OP col  ->  col OP' const.
+          switch (op) {
+            case PExpr::Op::kLt: op = PExpr::Op::kGt; break;
+            case PExpr::Op::kLe: op = PExpr::Op::kGe; break;
+            case PExpr::Op::kGt: op = PExpr::Op::kLt; break;
+            case PExpr::Op::kGe: op = PExpr::Op::kLe; break;
+            default: break;
+          }
+        }
+        ScanPred zp;
+        switch (op) {
+          case PExpr::Op::kEq: zp.op = ScanPred::Op::kEq; break;
+          case PExpr::Op::kLt: zp.op = ScanPred::Op::kLt; break;
+          case PExpr::Op::kLe: zp.op = ScanPred::Op::kLe; break;
+          case PExpr::Op::kGt: zp.op = ScanPred::Op::kGt; break;
+          case PExpr::Op::kGe: zp.op = ScanPred::Op::kGe; break;
+          default: continue;
+        }
+        zp.col = colside->col - lo;
+        zp.value = constside->value;
+        node->scan_preds.push_back(std::move(zp));
+      }
+    }
+
     // Collect the segment files: partition elimination when partitioned.
     double rows = 0;
     if (t.is_partitioned()) {
       for (const catalog::RangePartition& part : t.partitions) {
         if (opts.enable_partition_elimination &&
             PartitionEliminated(part, rel, filters)) {
+          ++partitions_pruned_;
           continue;
         }
         HAWQ_ASSIGN_OR_RETURN(auto child, cat->GetTableById(txn, part.child));
@@ -370,6 +419,7 @@ struct Planner::Build {
         node->files = std::move(kept);
         sp.narrowed = true;
         sp.narrow_segments = {seg};
+        segments_pruned_ += opts.num_segments - 1;
         break;
       }
     }
@@ -532,6 +582,17 @@ struct Planner::Build {
                                std::vector<PExpr> probe_keys,
                                std::vector<PExpr> build_keys,
                                std::vector<PExpr> residual, JoinType type) {
+    // The in-memory hash table (and any runtime filter shipped to the
+    // probe-side scan) is built over the build input, so put the smaller
+    // estimated input there. Inner equi-joins are symmetric over wide
+    // rows: swapping sides only swaps which columns Merge copies. Outer/
+    // semi/anti joins fix the probe as the preserved side and never swap.
+    if (type == JoinType::kInner && !probe_keys.empty() &&
+        probe.rows < build.rows) {
+      std::swap(probe, build);
+      probe_keys.swap(build_keys);
+    }
+
     // Move QD-located inputs down to the segments first.
     if (probe.loc == Loc::kQD && build.loc == Loc::kSegments) {
       probe = AddMotion(std::move(probe), MotionType::kRedistribute,
@@ -1185,8 +1246,96 @@ struct Planner::Build {
     }
     plan.output_schema = out;
     plan.n_visible = q.n_visible;
+    plan.partitions_pruned = partitions_pruned_;
+    plan.segments_pruned = segments_pruned_;
+    AnnotateRuntimeFilters(&plan);
     plan.AssignNodeIds();
     return plan;
+  }
+
+  // ------------------------------------------------------ runtime filters
+  /// Number of workers executing slice `si` (QD slices are single-stream).
+  int SliceWorkers(const PhysicalPlan& plan, int si) const {
+    const Slice& s = plan.slices[si];
+    if (s.on_qd || s.exec_segments.empty()) return 1;
+    return static_cast<int>(s.exec_segments.size());
+  }
+
+  /// Pair one hash join with the base scan feeding its probe side. The
+  /// join builds a bloom filter over its build keys; the scan hashes the
+  /// same key expressions (wide-row layout is stable through filters,
+  /// motions, and the probe side of deeper joins, so the probe keys
+  /// evaluate identically at the scan) and drops rows the filter proves
+  /// can never join. Inner/semi only: left/anti joins keep unmatched
+  /// probe rows.
+  void AnnotateJoin(PhysicalPlan* plan,
+                    const std::map<int, int>& sender_slice, int join_slice,
+                    PlanNode* join, int* next_rf) {
+    if (join->join_type != JoinType::kInner &&
+        join->join_type != JoinType::kSemi) {
+      return;
+    }
+    if (join->probe_keys.empty()) return;
+    PlanNode* cur = join->children[0].get();
+    bool crossed = false;
+    while (true) {
+      if (cur->kind == NodeKind::kFilter ||
+          cur->kind == NodeKind::kHashJoin) {
+        cur = cur->children[0].get();
+      } else if (cur->kind == NodeKind::kMotionRecv) {
+        auto it = sender_slice.find(cur->motion_id);
+        if (it == sender_slice.end()) return;
+        crossed = true;
+        cur = plan->slices[it->second].root->children[0].get();
+      } else {
+        break;
+      }
+    }
+    if (cur->kind != NodeKind::kSeqScan || cur->rf_id >= 0) return;
+    // Every probe-key column must come from the scan's own relation:
+    // other wide slots are still NULL at the scan and would hash wrong.
+    int lo = cur->col_start;
+    int hi = lo + static_cast<int>(cur->table_schema.num_fields());
+    std::vector<int> cols;
+    for (const PExpr& k : join->probe_keys) k.CollectCols(&cols);
+    if (cols.empty()) return;
+    for (int c : cols) {
+      if (c < lo || c >= hi) return;
+    }
+    int rf = (*next_rf)++;
+    join->rf_id = rf;
+    join->rf_remote = crossed;
+    join->rf_parts = crossed ? SliceWorkers(*plan, join_slice) : 1;
+    cur->rf_id = rf;
+    cur->rf_exprs = join->probe_keys;
+    cur->rf_local = !crossed;
+    cur->rf_wait_us = crossed ? opts.runtime_filter_wait_us : 0;
+  }
+
+  void WalkJoins(PhysicalPlan* plan, const std::map<int, int>& sender_slice,
+                 int si, PlanNode* n, int* next_rf) {
+    if (n->kind == NodeKind::kHashJoin) {
+      AnnotateJoin(plan, sender_slice, si, n, next_rf);
+    }
+    for (auto& c : n->children) {
+      WalkJoins(plan, sender_slice, si, c.get(), next_rf);
+    }
+  }
+
+  void AnnotateRuntimeFilters(PhysicalPlan* plan) {
+    if (!opts.enable_runtime_filters) return;
+    std::map<int, int> sender_slice;  // motion_id -> sender slice index
+    for (size_t i = 0; i < plan->slices.size(); ++i) {
+      PlanNode* r = plan->slices[i].root.get();
+      if (r->kind == NodeKind::kMotionSend) {
+        sender_slice[r->motion_id] = static_cast<int>(i);
+      }
+    }
+    int next_rf = 0;
+    for (size_t i = 0; i < plan->slices.size(); ++i) {
+      WalkJoins(plan, sender_slice, static_cast<int>(i),
+                plan->slices[i].root.get(), &next_rf);
+    }
   }
 };
 

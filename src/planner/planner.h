@@ -38,6 +38,15 @@ struct PlannerOptions {
   /// Stinger baseline) only did reduce-side joins unless hinted, so the
   /// rule-based profile turns this off (equi-joins shuffle both sides).
   bool enable_broadcast_joins = true;
+  /// Extract scan-eligible `col OP const` conjuncts onto SeqScan nodes so
+  /// the storage layer can skip whole blocks via zone maps.
+  bool enable_zone_maps = true;
+  /// Annotate selective hash joins with join-time bloom runtime filters
+  /// consumed by probe-side scans.
+  bool enable_runtime_filters = true;
+  /// Max micros a scan waits for a remote (cross-slice) runtime filter
+  /// before starting unfiltered. Filters are never correctness-bearing.
+  uint64_t runtime_filter_wait_us = 50000;
   /// PXF hook: resolve an external table's fragments into per-segment
   /// scan work (locality-aware assignment done by the engine's PXF layer).
   std::function<Result<std::vector<ScanFile>>(const std::string& location,

@@ -7,10 +7,154 @@
 
 namespace hawq::storage {
 
+const ScanStats TableScanner::empty_stats_{};
+
+void BlockZoneMap::Serialize(BufferWriter* w) const {
+  w->PutVarint(rows);
+  w->PutVarint(cols.size());
+  for (const ZoneMapColumn& c : cols) {
+    w->PutU8(c.has_range ? 1 : 0);
+    if (c.has_range) {
+      SerializeDatum(c.min, w);
+      SerializeDatum(c.max, w);
+    }
+    w->PutVarint(c.null_count);
+  }
+}
+
+Result<BlockZoneMap> BlockZoneMap::Deserialize(BufferReader* r) {
+  BlockZoneMap zm;
+  HAWQ_ASSIGN_OR_RETURN(zm.rows, r->GetVarint());
+  HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, r->GetVarint());
+  zm.cols.resize(ncols);
+  for (uint64_t i = 0; i < ncols; ++i) {
+    HAWQ_ASSIGN_OR_RETURN(uint8_t has, r->GetU8());
+    if (has != 0) {
+      zm.cols[i].has_range = true;
+      HAWQ_ASSIGN_OR_RETURN(zm.cols[i].min, DeserializeDatum(r));
+      HAWQ_ASSIGN_OR_RETURN(zm.cols[i].max, DeserializeDatum(r));
+    }
+    HAWQ_ASSIGN_OR_RETURN(zm.cols[i].null_count, r->GetVarint());
+  }
+  return zm;
+}
+
+namespace {
+
+/// Range comparisons only make sense within a kind family: strings with
+/// strings, numerics (bool/int/double promote) with numerics.
+bool ZoneComparable(const Datum& a, const Datum& b) {
+  bool as = a.kind == Datum::Kind::kStr;
+  bool bs = b.kind == Datum::Kind::kStr;
+  return as == bs;
+}
+
+}  // namespace
+
+bool BlockZoneMap::CanMatch(const std::vector<ScanPredicate>& preds) const {
+  for (const ScanPredicate& p : preds) {
+    if (p.col < 0 || p.col >= static_cast<int>(cols.size())) continue;
+    if (p.value.is_null()) continue;
+    const ZoneMapColumn& c = cols[p.col];
+    // Comparison against NULL is never true: an all-NULL column cannot
+    // satisfy any comparison predicate.
+    if (rows > 0 && c.null_count >= rows) return false;
+    if (!c.has_range) continue;
+    if (!ZoneComparable(c.min, p.value) || !ZoneComparable(c.max, p.value)) {
+      continue;
+    }
+    int cmin = Datum::Compare(c.min, p.value);  // min <=> value
+    int cmax = Datum::Compare(c.max, p.value);  // max <=> value
+    switch (p.op) {
+      case ScanPredicate::Op::kEq:
+        if (cmin > 0 || cmax < 0) return false;
+        break;
+      case ScanPredicate::Op::kLt:
+        if (cmin >= 0) return false;
+        break;
+      case ScanPredicate::Op::kLe:
+        if (cmin > 0) return false;
+        break;
+      case ScanPredicate::Op::kGt:
+        if (cmax <= 0) return false;
+        break;
+      case ScanPredicate::Op::kGe:
+        if (cmax < 0) return false;
+        break;
+    }
+  }
+  return true;
+}
+
 namespace {
 
 using catalog::Codec;
 using catalog::StorageKind;
+
+/// Strings longer than this are not recorded as zone bounds (a truncated
+/// prefix is not a valid max), keeping zone maps small and header probes
+/// bounded.
+constexpr size_t kMaxZoneString = 64;
+
+/// Accumulates one block's zone map while the writer buffers rows.
+class ZoneMapBuilder {
+ public:
+  void Observe(const Row& row) {
+    if (zm_.cols.size() < row.size()) zm_.cols.resize(row.size());
+    ++zm_.rows;
+    for (size_t i = 0; i < row.size(); ++i) {
+      const Datum& d = row[i];
+      ZoneMapColumn& c = zm_.cols[i];
+      if (d.is_null()) {
+        ++c.null_count;
+        continue;
+      }
+      if (!c.has_range) {
+        c.min = d;
+        c.max = d;
+        c.has_range = true;
+      } else {
+        if (Datum::Compare(d, c.min) < 0) c.min = d;
+        if (Datum::Compare(d, c.max) > 0) c.max = d;
+      }
+    }
+  }
+
+  /// Zone map of the buffered block; resets the builder for the next one.
+  BlockZoneMap Finish() {
+    for (ZoneMapColumn& c : zm_.cols) {
+      bool wide =
+          (c.min.kind == Datum::Kind::kStr && c.min.str.size() > kMaxZoneString) ||
+          (c.max.kind == Datum::Kind::kStr && c.max.str.size() > kMaxZoneString);
+      if (c.has_range && wide) {
+        c.has_range = false;
+        c.min = Datum();
+        c.max = Datum();
+      }
+    }
+    BlockZoneMap out = std::move(zm_);
+    zm_ = BlockZoneMap();
+    return out;
+  }
+
+ private:
+  BlockZoneMap zm_;
+};
+
+/// Versioned block prefix. A legacy AO block / CO stripe record / Parquet
+/// group header always begins with a nonzero varint (uncompressed size or
+/// row count of a non-empty flush), so a leading 0 unambiguously marks
+/// the new format: [varint 0][varint meta_len][meta bytes], with the
+/// legacy header following unchanged. AO meta additionally leads with the
+/// total byte length of the legacy block so a skip never touches it.
+void WriteZoneMapPrefix(const BlockZoneMap& zm, uint64_t block_len,
+                        bool with_block_len, BufferWriter* out) {
+  BufferWriter meta;
+  if (with_block_len) meta.PutVarint(block_len);
+  zm.Serialize(&meta);
+  out->PutVarint(0);
+  out->PutString(meta.data());
+}
 
 std::vector<bool> ProjectionMask(size_t ncols, const std::vector<int>& proj) {
   if (proj.empty()) return std::vector<bool>(ncols, true);
@@ -48,6 +192,7 @@ class AoWriter : public TableWriter {
 
   Status Append(const Row& row) override {
     SerializeRow(row, &stripe_);
+    if (opts_.zone_maps) zm_.Observe(row);
     ++rows_in_stripe_;
     ++rows_;
     if (rows_in_stripe_ >= opts_.stripe_rows) return Flush();
@@ -78,6 +223,13 @@ class AoWriter : public TableWriter {
     hdr.PutVarint(raw.size());
     hdr.PutVarint(comp.size());
     hdr.PutU8(static_cast<uint8_t>(opts_.codec));
+    if (opts_.zone_maps) {
+      BufferWriter prefix;
+      WriteZoneMapPrefix(zm_.Finish(), hdr.size() + comp.size(),
+                         /*with_block_len=*/true, &prefix);
+      HAWQ_RETURN_IF_ERROR(writer_->Append(prefix.data()));
+      eof_ += static_cast<int64_t>(prefix.size());
+    }
     HAWQ_RETURN_IF_ERROR(writer_->Append(hdr.data()));
     HAWQ_RETURN_IF_ERROR(writer_->Append(comp));
     eof_ += static_cast<int64_t>(hdr.size() + comp.size());
@@ -90,6 +242,7 @@ class AoWriter : public TableWriter {
   int host_;
   std::unique_ptr<hdfs::FileWriter> writer_;
   BufferWriter stripe_;
+  ZoneMapBuilder zm_;
   size_t rows_in_stripe_ = 0;
   int64_t rows_ = 0;
   int64_t eof_ = 0;
@@ -99,22 +252,19 @@ class AoWriter : public TableWriter {
 
 class AoScanner : public TableScanner {
  public:
-  AoScanner(size_t ncols, std::vector<bool> mask)
-      : ncols_(ncols), mask_(std::move(mask)) {
+  AoScanner(size_t ncols, std::vector<bool> mask,
+            std::vector<ScanPredicate> preds)
+      : ncols_(ncols), mask_(std::move(mask)), preds_(std::move(preds)) {
     all_cols_ = true;
     for (bool m : mask_) all_cols_ &= m;
   }
 
   Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
               int reader_host) {
+    eof_ = eof;
+    path_ = path;
     if (eof == 0) return Status::OK();
-    HAWQ_ASSIGN_OR_RETURN(auto reader, fs->Open(path, reader_host));
-    buf_.resize(eof);
-    HAWQ_ASSIGN_OR_RETURN(size_t got, reader->PRead(0, buf_.data(), buf_.size()));
-    if (got < static_cast<size_t>(eof)) {
-      return Status::Corruption("AO file shorter than logical eof: " + path);
-    }
-    file_ = BufferReader(buf_.data(), buf_.size());
+    HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path, reader_host));
     return Status::OK();
   }
 
@@ -139,30 +289,103 @@ class AoScanner : public TableScanner {
     return batch->size() > 0;
   }
 
+  const ScanStats& stats() const override { return stats_; }
+
  private:
-  /// Decompress the next block if the current one is exhausted; false at
-  /// end of data.
+  /// Fetch and decompress the next surviving block; blocks whose zone
+  /// maps cannot match the predicates are skipped without reading their
+  /// payload from HDFS (only the ~tens-of-bytes header probe is read).
+  /// Returns false at end of data.
   Result<bool> EnsureBlock() {
     while (block_.remaining() == 0) {
-      if (buf_.empty() || file_.remaining() == 0) return false;
-      HAWQ_ASSIGN_OR_RETURN(uint64_t uncomp, file_.GetVarint());
-      HAWQ_ASSIGN_OR_RETURN(uint64_t comp, file_.GetVarint());
-      HAWQ_ASSIGN_OR_RETURN(uint8_t codec, file_.GetU8());
-      if (file_.remaining() < comp) {
-        return Status::Corruption("AO block truncated");
-      }
-      if (static_cast<Codec>(codec) == Codec::kNone) {
-        // Uncompressed block: decode straight out of the file buffer,
-        // no payload copy.
-        const char* base = buf_.data() + (buf_.size() - file_.remaining());
-        HAWQ_RETURN_IF_ERROR(file_.Skip(comp));
-        block_ = BufferReader(base, comp);
+      if (pos_ >= eof_) return false;
+      // Probe enough bytes for either header shape: the zone-map prefix
+      // lead-in ([0][meta_len]) or a full legacy header.
+      size_t probe_cap =
+          std::min<uint64_t>(static_cast<uint64_t>(eof_ - pos_), 64);
+      probe_.resize(probe_cap);
+      HAWQ_ASSIGN_OR_RETURN(size_t got,
+                            reader_->PRead(pos_, probe_.data(), probe_cap));
+      BufferReader pr(probe_.data(), got);
+      HAWQ_ASSIGN_OR_RETURN(uint64_t first, pr.GetVarint());
+      uint64_t uncomp = 0, comp = 0;
+      uint8_t codec = 0;
+      uint64_t payload_off = 0;  // file offset of the compressed payload
+      uint64_t block_end = 0;    // file offset just past this block
+      if (first == 0) {
+        // Zone-mapped block: [0][meta_len][meta = block_len + zone map].
+        HAWQ_ASSIGN_OR_RETURN(uint64_t meta_len, pr.GetVarint());
+        uint64_t prefix_len = got - pr.remaining();
+        std::string meta;
+        if (meta_len <= pr.remaining()) {
+          meta.assign(probe_.data() + prefix_len, meta_len);
+        } else {
+          meta.resize(meta_len);
+          HAWQ_ASSIGN_OR_RETURN(
+              size_t n, reader_->PRead(pos_ + prefix_len, meta.data(),
+                                       meta_len));
+          if (n < meta_len) {
+            return Status::Corruption("AO zone map truncated: " + path_);
+          }
+        }
+        BufferReader mr(meta);
+        HAWQ_ASSIGN_OR_RETURN(uint64_t block_len, mr.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(BlockZoneMap zm, BlockZoneMap::Deserialize(&mr));
+        block_end = pos_ + prefix_len + meta_len + block_len;
+        if (static_cast<int64_t>(block_end) > eof_) {
+          return Status::Corruption("AO block past logical eof: " + path_);
+        }
+        if (!preds_.empty() && !zm.CanMatch(preds_)) {
+          ++stats_.blocks_skipped;
+          stats_.rows_skipped += zm.rows;
+          stats_.bytes_skipped += block_len;
+          pos_ = static_cast<int64_t>(block_end);
+          continue;
+        }
+        // Fetch header + payload in one read.
+        block_buf_.resize(block_len);
+        HAWQ_ASSIGN_OR_RETURN(
+            size_t n, reader_->PRead(pos_ + prefix_len + meta_len,
+                                     block_buf_.data(), block_len));
+        if (n < block_len) {
+          return Status::Corruption("AO block truncated: " + path_);
+        }
+        BufferReader br(block_buf_.data(), block_buf_.size());
+        HAWQ_ASSIGN_OR_RETURN(uncomp, br.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(comp, br.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(codec, br.GetU8());
+        if (br.remaining() < comp) {
+          return Status::Corruption("AO block truncated: " + path_);
+        }
+        payload_in_buf_ = block_buf_.size() - br.remaining();
       } else {
-        std::string payload(comp, '\0');
-        HAWQ_RETURN_IF_ERROR(file_.GetRaw(payload.data(), comp));
+        // Legacy block: the probed varint is the uncompressed size.
+        uncomp = first;
+        HAWQ_ASSIGN_OR_RETURN(comp, pr.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(codec, pr.GetU8());
+        uint64_t hdr_len = got - pr.remaining();
+        block_end = pos_ + hdr_len + comp;
+        if (static_cast<int64_t>(block_end) > eof_) {
+          return Status::Corruption("AO block truncated: " + path_);
+        }
+        block_buf_.resize(comp);
+        HAWQ_ASSIGN_OR_RETURN(size_t n, reader_->PRead(pos_ + hdr_len,
+                                                       block_buf_.data(),
+                                                       comp));
+        if (n < comp) return Status::Corruption("AO block truncated: " + path_);
+        payload_in_buf_ = 0;
+      }
+      pos_ = static_cast<int64_t>(block_end);
+      ++stats_.blocks_read;
+      const char* payload = block_buf_.data() + payload_in_buf_;
+      if (static_cast<Codec>(codec) == Codec::kNone) {
+        // Uncompressed block: decode straight out of the block buffer.
+        block_ = BufferReader(payload, comp);
+      } else {
         HAWQ_ASSIGN_OR_RETURN(
             block_data_,
-            CodecDecompress(static_cast<Codec>(codec), payload, uncomp));
+            CodecDecompress(static_cast<Codec>(codec),
+                            std::string(payload, comp), uncomp));
         block_ = BufferReader(block_data_.data(), block_data_.size());
       }
     }
@@ -183,11 +406,18 @@ class AoScanner : public TableScanner {
   }
   size_t ncols_;
   std::vector<bool> mask_;
+  std::vector<ScanPredicate> preds_;
   bool all_cols_ = true;
-  std::string buf_;
-  BufferReader file_{nullptr, 0};
+  std::string path_;
+  std::unique_ptr<hdfs::FileReader> reader_;
+  int64_t eof_ = 0;
+  int64_t pos_ = 0;
+  std::string probe_;
+  std::string block_buf_;
+  size_t payload_in_buf_ = 0;
   std::string block_data_;
   BufferReader block_{nullptr, 0};
+  ScanStats stats_;
 };
 
 // ------------------------------------------------------------------ CO
@@ -225,6 +455,7 @@ class CoWriter : public TableWriter {
   Status Append(const Row& row) override {
     if (row.size() != ncols_) return Status::Internal("CO row arity mismatch");
     for (size_t i = 0; i < ncols_; ++i) SerializeDatum(row[i], &col_bufs_[i]);
+    if (opts_.zone_maps) zm_.Observe(row);
     ++rows_in_stripe_;
     ++rows_;
     if (rows_in_stripe_ >= opts_.stripe_rows) return Flush();
@@ -248,6 +479,9 @@ class CoWriter : public TableWriter {
   Status Flush() {
     if (rows_in_stripe_ == 0) return Status::OK();
     BufferWriter meta_rec;
+    if (opts_.zone_maps) {
+      WriteZoneMapPrefix(zm_.Finish(), 0, /*with_block_len=*/false, &meta_rec);
+    }
     meta_rec.PutVarint(rows_in_stripe_);
     meta_rec.PutVarint(ncols_);
     std::vector<std::string> chunks(ncols_);
@@ -277,6 +511,7 @@ class CoWriter : public TableWriter {
   std::unique_ptr<hdfs::FileWriter> meta_;
   std::vector<std::unique_ptr<hdfs::FileWriter>> col_writers_;
   std::vector<BufferWriter> col_bufs_;
+  ZoneMapBuilder zm_;
   size_t rows_in_stripe_ = 0;
   int64_t rows_ = 0;
   int64_t eof_ = 0;
@@ -286,8 +521,10 @@ class CoWriter : public TableWriter {
 
 class CoScanner : public TableScanner {
  public:
-  CoScanner(size_t ncols, std::vector<bool> mask, Codec codec)
-      : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
+  CoScanner(size_t ncols, std::vector<bool> mask, Codec codec,
+            std::vector<ScanPredicate> preds)
+      : ncols_(ncols), mask_(std::move(mask)), codec_(codec),
+        preds_(std::move(preds)) {}
 
   Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
               int reader_host) {
@@ -351,33 +588,70 @@ class CoScanner : public TableScanner {
     return batch->size() > 0;
   }
 
+ public:
+  const ScanStats& stats() const override { return stats_; }
+
  private:
   Result<bool> LoadStripe() {
-    if (meta_buf_.empty() || meta_.remaining() == 0) return false;
-    HAWQ_ASSIGN_OR_RETURN(uint64_t rows, meta_.GetVarint());
-    HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, meta_.GetVarint());
-    if (ncols != ncols_) return Status::Corruption("CO column count mismatch");
-    col_data_.assign(ncols_, "");
-    col_readers_buf_.assign(ncols_, BufferReader(nullptr, 0));
-    for (size_t i = 0; i < ncols_; ++i) {
-      HAWQ_ASSIGN_OR_RETURN(uint64_t comp, meta_.GetVarint());
-      HAWQ_ASSIGN_OR_RETURN(uint64_t uncomp, meta_.GetVarint());
-      if (mask_[i]) {
-        std::string payload(comp, '\0');
-        HAWQ_ASSIGN_OR_RETURN(
-            size_t got,
-            col_readers_[i]->PRead(col_offsets_[i], payload.data(), comp));
-        if (got < comp) return Status::Corruption("CO column chunk truncated");
-        HAWQ_ASSIGN_OR_RETURN(col_data_[i],
-                              CodecDecompress(codec_, payload, uncomp));
-        col_readers_buf_[i] =
-            BufferReader(col_data_[i].data(), col_data_[i].size());
+    // Loop: a zone-map-pruned stripe advances the column offsets without
+    // touching the column files and tries the next stripe.
+    while (true) {
+      if (meta_buf_.empty() || meta_.remaining() == 0) return false;
+      HAWQ_ASSIGN_OR_RETURN(uint64_t first, meta_.GetVarint());
+      bool have_zm = false;
+      BlockZoneMap zm;
+      if (first == 0) {
+        // Zone-mapped stripe record: [0][meta_len][zone map][rows][ncols]...
+        HAWQ_ASSIGN_OR_RETURN(std::string zm_bytes, meta_.GetString());
+        BufferReader zr(zm_bytes);
+        HAWQ_ASSIGN_OR_RETURN(zm, BlockZoneMap::Deserialize(&zr));
+        have_zm = true;
+        HAWQ_ASSIGN_OR_RETURN(first, meta_.GetVarint());
       }
-      col_offsets_[i] += comp;
+      uint64_t rows = first;
+      HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, meta_.GetVarint());
+      if (ncols != ncols_) {
+        return Status::Corruption("CO column count mismatch");
+      }
+      chunk_comp_.resize(ncols_);
+      chunk_uncomp_.resize(ncols_);
+      for (size_t i = 0; i < ncols_; ++i) {
+        HAWQ_ASSIGN_OR_RETURN(chunk_comp_[i], meta_.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(chunk_uncomp_[i], meta_.GetVarint());
+      }
+      if (have_zm && !preds_.empty() && !zm.CanMatch(preds_)) {
+        ++stats_.blocks_skipped;
+        stats_.rows_skipped += rows;
+        for (size_t i = 0; i < ncols_; ++i) {
+          if (mask_[i]) stats_.bytes_skipped += chunk_comp_[i];
+          col_offsets_[i] += chunk_comp_[i];
+        }
+        continue;
+      }
+      col_data_.assign(ncols_, "");
+      col_readers_buf_.assign(ncols_, BufferReader(nullptr, 0));
+      for (size_t i = 0; i < ncols_; ++i) {
+        uint64_t comp = chunk_comp_[i];
+        if (mask_[i]) {
+          std::string payload(comp, '\0');
+          HAWQ_ASSIGN_OR_RETURN(
+              size_t got,
+              col_readers_[i]->PRead(col_offsets_[i], payload.data(), comp));
+          if (got < comp) {
+            return Status::Corruption("CO column chunk truncated");
+          }
+          HAWQ_ASSIGN_OR_RETURN(
+              col_data_[i], CodecDecompress(codec_, payload, chunk_uncomp_[i]));
+          col_readers_buf_[i] =
+              BufferReader(col_data_[i].data(), col_data_[i].size());
+        }
+        col_offsets_[i] += comp;
+      }
+      ++stats_.blocks_read;
+      stripe_rows_ = rows;
+      row_in_stripe_ = 0;
+      return true;
     }
-    stripe_rows_ = rows;
-    row_in_stripe_ = 0;
-    return true;
   }
 
   hdfs::MiniHdfs* fs_ = nullptr;
@@ -385,14 +659,18 @@ class CoScanner : public TableScanner {
   size_t ncols_;
   std::vector<bool> mask_;
   Codec codec_ = Codec::kNone;
+  std::vector<ScanPredicate> preds_;
   std::string meta_buf_;
   BufferReader meta_{nullptr, 0};
   std::vector<std::unique_ptr<hdfs::FileReader>> col_readers_;
   std::vector<uint64_t> col_offsets_;
+  std::vector<uint64_t> chunk_comp_;
+  std::vector<uint64_t> chunk_uncomp_;
   std::vector<std::string> col_data_;
   std::vector<BufferReader> col_readers_buf_;
   uint64_t stripe_rows_ = 0;
   uint64_t row_in_stripe_ = 0;
+  ScanStats stats_;
 };
 
 // ------------------------------------------------------------ Parquet
@@ -426,6 +704,7 @@ class ParquetWriter : public TableWriter {
       return Status::Internal("Parquet row arity mismatch");
     }
     for (size_t i = 0; i < ncols_; ++i) SerializeDatum(row[i], &col_bufs_[i]);
+    if (opts_.zone_maps) zm_.Observe(row);
     ++rows_in_group_;
     ++rows_;
     if (rows_in_group_ >= opts_.stripe_rows) return Flush();
@@ -447,6 +726,9 @@ class ParquetWriter : public TableWriter {
   Status Flush() {
     if (rows_in_group_ == 0) return Status::OK();
     BufferWriter hdr;
+    if (opts_.zone_maps) {
+      WriteZoneMapPrefix(zm_.Finish(), 0, /*with_block_len=*/false, &hdr);
+    }
     hdr.PutVarint(rows_in_group_);
     hdr.PutVarint(ncols_);
     std::vector<std::string> chunks(ncols_);
@@ -476,6 +758,7 @@ class ParquetWriter : public TableWriter {
   int host_;
   std::unique_ptr<hdfs::FileWriter> writer_;
   std::vector<BufferWriter> col_bufs_;
+  ZoneMapBuilder zm_;
   size_t rows_in_group_ = 0;
   int64_t rows_ = 0;
   int64_t eof_ = 0;
@@ -485,8 +768,10 @@ class ParquetWriter : public TableWriter {
 
 class ParquetScanner : public TableScanner {
  public:
-  ParquetScanner(size_t ncols, std::vector<bool> mask, Codec codec)
-      : ncols_(ncols), mask_(std::move(mask)), codec_(codec) {}
+  ParquetScanner(size_t ncols, std::vector<bool> mask, Codec codec,
+                 std::vector<ScanPredicate> preds)
+      : ncols_(ncols), mask_(std::move(mask)), codec_(codec),
+        preds_(std::move(preds)) {}
 
   Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
               int reader_host) {
@@ -533,52 +818,82 @@ class ParquetScanner : public TableScanner {
     return batch->size() > 0;
   }
 
+ public:
+  const ScanStats& stats() const override { return stats_; }
+
  private:
   Result<bool> LoadGroup() {
-    if (pos_ >= eof_) return false;
-    // Header is small (tens of bytes per column); over-read and parse.
-    size_t hdr_cap = std::min<int64_t>(eof_ - pos_, 64 * 1024);
-    std::string hdr_buf(hdr_cap, '\0');
-    HAWQ_ASSIGN_OR_RETURN(size_t got,
-                          reader_->PRead(pos_, hdr_buf.data(), hdr_cap));
-    BufferReader hdr(hdr_buf.data(), got);
-    HAWQ_ASSIGN_OR_RETURN(uint64_t rows, hdr.GetVarint());
-    HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, hdr.GetVarint());
-    if (ncols != ncols_) {
-      return Status::Corruption("Parquet column count mismatch");
-    }
-    std::vector<uint64_t> comp(ncols_), uncomp(ncols_);
-    for (size_t i = 0; i < ncols_; ++i) {
-      HAWQ_ASSIGN_OR_RETURN(comp[i], hdr.GetVarint());
-      HAWQ_ASSIGN_OR_RETURN(uncomp[i], hdr.GetVarint());
-    }
-    uint64_t hdr_size = got - hdr.remaining();
-    uint64_t chunk_off = pos_ + hdr_size;
-    col_data_.assign(ncols_, "");
-    col_buf_readers_.assign(ncols_, BufferReader(nullptr, 0));
-    for (size_t i = 0; i < ncols_; ++i) {
-      if (mask_[i]) {
-        std::string payload(comp[i], '\0');
-        HAWQ_ASSIGN_OR_RETURN(size_t n,
-                              reader_->PRead(chunk_off, payload.data(),
-                                             comp[i]));
-        if (n < comp[i]) return Status::Corruption("Parquet chunk truncated");
-        HAWQ_ASSIGN_OR_RETURN(col_data_[i],
-                              CodecDecompress(codec_, payload, uncomp[i]));
-        col_buf_readers_[i] =
-            BufferReader(col_data_[i].data(), col_data_[i].size());
+    // Loop: a pruned row group advances pos_ past its chunks (never read)
+    // and tries the next group.
+    while (true) {
+      if (pos_ >= eof_) return false;
+      // Header is small (tens of bytes per column); over-read and parse.
+      size_t hdr_cap = std::min<int64_t>(eof_ - pos_, 64 * 1024);
+      std::string hdr_buf(hdr_cap, '\0');
+      HAWQ_ASSIGN_OR_RETURN(size_t got,
+                            reader_->PRead(pos_, hdr_buf.data(), hdr_cap));
+      BufferReader hdr(hdr_buf.data(), got);
+      HAWQ_ASSIGN_OR_RETURN(uint64_t first, hdr.GetVarint());
+      bool have_zm = false;
+      BlockZoneMap zm;
+      if (first == 0) {
+        // Zone-mapped group: [0][meta_len][zone map][rows][ncols]...
+        HAWQ_ASSIGN_OR_RETURN(std::string zm_bytes, hdr.GetString());
+        BufferReader zr(zm_bytes);
+        HAWQ_ASSIGN_OR_RETURN(zm, BlockZoneMap::Deserialize(&zr));
+        have_zm = true;
+        HAWQ_ASSIGN_OR_RETURN(first, hdr.GetVarint());
       }
-      chunk_off += comp[i];
+      uint64_t rows = first;
+      HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, hdr.GetVarint());
+      if (ncols != ncols_) {
+        return Status::Corruption("Parquet column count mismatch");
+      }
+      std::vector<uint64_t> comp(ncols_), uncomp(ncols_);
+      for (size_t i = 0; i < ncols_; ++i) {
+        HAWQ_ASSIGN_OR_RETURN(comp[i], hdr.GetVarint());
+        HAWQ_ASSIGN_OR_RETURN(uncomp[i], hdr.GetVarint());
+      }
+      uint64_t hdr_size = got - hdr.remaining();
+      uint64_t chunk_off = pos_ + hdr_size;
+      if (have_zm && !preds_.empty() && !zm.CanMatch(preds_)) {
+        ++stats_.blocks_skipped;
+        stats_.rows_skipped += rows;
+        for (size_t i = 0; i < ncols_; ++i) {
+          if (mask_[i]) stats_.bytes_skipped += comp[i];
+          chunk_off += comp[i];
+        }
+        pos_ = static_cast<int64_t>(chunk_off);
+        continue;
+      }
+      col_data_.assign(ncols_, "");
+      col_buf_readers_.assign(ncols_, BufferReader(nullptr, 0));
+      for (size_t i = 0; i < ncols_; ++i) {
+        if (mask_[i]) {
+          std::string payload(comp[i], '\0');
+          HAWQ_ASSIGN_OR_RETURN(size_t n,
+                                reader_->PRead(chunk_off, payload.data(),
+                                               comp[i]));
+          if (n < comp[i]) return Status::Corruption("Parquet chunk truncated");
+          HAWQ_ASSIGN_OR_RETURN(col_data_[i],
+                                CodecDecompress(codec_, payload, uncomp[i]));
+          col_buf_readers_[i] =
+              BufferReader(col_data_[i].data(), col_data_[i].size());
+        }
+        chunk_off += comp[i];
+      }
+      pos_ = static_cast<int64_t>(chunk_off);
+      ++stats_.blocks_read;
+      group_rows_ = rows;
+      row_in_group_ = 0;
+      return true;
     }
-    pos_ = static_cast<int64_t>(chunk_off);
-    group_rows_ = rows;
-    row_in_group_ = 0;
-    return true;
   }
 
   size_t ncols_;
   std::vector<bool> mask_;
   Codec codec_;
+  std::vector<ScanPredicate> preds_;
   std::unique_ptr<hdfs::FileReader> reader_;
   int64_t eof_ = 0;
   int64_t pos_ = 0;
@@ -586,6 +901,7 @@ class ParquetScanner : public TableScanner {
   std::vector<BufferReader> col_buf_readers_;
   uint64_t group_rows_ = 0;
   uint64_t row_in_group_ = 0;
+  ScanStats stats_;
 };
 
 }  // namespace
@@ -632,23 +948,25 @@ Result<std::unique_ptr<TableWriter>> OpenTableWriter(
 Result<std::unique_ptr<TableScanner>> OpenTableScanner(
     hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
     const StorageOptions& opts, int64_t logical_eof,
-    const std::vector<int>& projection) {
+    const std::vector<int>& projection,
+    const std::vector<ScanPredicate>& predicates) {
   std::vector<bool> mask = ProjectionMask(schema.num_fields(), projection);
   switch (opts.kind) {
     case StorageKind::kAO: {
-      auto s = std::make_unique<AoScanner>(schema.num_fields(), mask);
+      auto s = std::make_unique<AoScanner>(schema.num_fields(), mask,
+                                           predicates);
       HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }
     case StorageKind::kCO: {
       auto s = std::make_unique<CoScanner>(schema.num_fields(), mask,
-                                           opts.codec);
+                                           opts.codec, predicates);
       HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }
     case StorageKind::kParquet: {
       auto s = std::make_unique<ParquetScanner>(schema.num_fields(), mask,
-                                                opts.codec);
+                                                opts.codec, predicates);
       HAWQ_RETURN_IF_ERROR(s->Init(fs, path, logical_eof, opts.reader_host));
       return std::unique_ptr<TableScanner>(std::move(s));
     }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "hdfs/hdfs.h"
@@ -34,6 +35,9 @@ struct StorageOptions {
   /// Datanode co-located with the scanning worker, forwarded to
   /// MiniHdfs::Open for locality accounting (-1: no accounting).
   int reader_host = -1;
+  /// Write per-block zone maps (min/max/null-count per column). Readers
+  /// auto-detect their presence, so files written either way always scan.
+  bool zone_maps = true;
 
   static StorageOptions FromTable(const catalog::TableDesc& t) {
     StorageOptions o;
@@ -42,6 +46,47 @@ struct StorageOptions {
     o.codec_level = t.codec_level;
     return o;
   }
+};
+
+/// A pushed-down comparison `col OP value` the scanner may use to skip
+/// whole blocks via zone maps. Purely an optimization: the executor
+/// re-applies the full predicate to surviving rows.
+struct ScanPredicate {
+  enum class Op : uint8_t { kEq = 0, kLt, kLe, kGt, kGe };
+  int col = -1;  // table-local column index
+  Op op = Op::kEq;
+  Datum value;
+};
+
+/// Zone map of one block/stripe/row-group: per-column min/max over
+/// non-null values plus the null count. `has_range` is false when the
+/// column had no non-null values or its bounds were too wide to record
+/// (long strings); such columns never justify a skip.
+struct ZoneMapColumn {
+  bool has_range = false;
+  Datum min;
+  Datum max;
+  uint64_t null_count = 0;
+};
+
+struct BlockZoneMap {
+  uint64_t rows = 0;
+  std::vector<ZoneMapColumn> cols;
+
+  void Serialize(BufferWriter* w) const;
+  static Result<BlockZoneMap> Deserialize(BufferReader* r);
+  /// False when `preds` prove no row of the block can match (skippable).
+  bool CanMatch(const std::vector<ScanPredicate>& preds) const;
+};
+
+/// Per-scanner skip accounting, exposed so the scan node can publish
+/// skipped blocks/rows/bytes without the storage layer knowing about
+/// metrics. `bytes_skipped` counts payload bytes never fetched from HDFS.
+struct ScanStats {
+  uint64_t blocks_read = 0;
+  uint64_t blocks_skipped = 0;
+  uint64_t rows_skipped = 0;
+  uint64_t bytes_skipped = 0;
 };
 
 /// \brief Appends rows to one segment file. Close() flushes the final
@@ -82,6 +127,13 @@ class TableScanner {
     }
     return batch->size() > 0;
   }
+
+  /// Skip accounting (zone-map pruning). External scanners keep the
+  /// default all-zero stats.
+  virtual const ScanStats& stats() const { return empty_stats_; }
+
+ private:
+  static const ScanStats empty_stats_;
 };
 
 /// All HDFS paths backing one segment file of this format (CO adds one
@@ -97,10 +149,13 @@ Result<std::unique_ptr<TableWriter>> OpenTableWriter(
 
 /// Open a scanner over `path`, honouring `logical_eof` (the committed
 /// length from pg_aoseg) and reading only `projection` columns (empty
-/// projection = all columns).
+/// projection = all columns). `predicates` (optional) lets the scanner
+/// skip blocks whose zone maps prove no row can match; blocks without
+/// zone maps are always read.
 Result<std::unique_ptr<TableScanner>> OpenTableScanner(
     hdfs::MiniHdfs* fs, const std::string& path, const Schema& schema,
     const StorageOptions& opts, int64_t logical_eof,
-    const std::vector<int>& projection = {});
+    const std::vector<int>& projection = {},
+    const std::vector<ScanPredicate>& predicates = {});
 
 }  // namespace hawq::storage

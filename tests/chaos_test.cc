@@ -27,8 +27,8 @@
 namespace hawq::engine {
 namespace {
 
-constexpr std::array<uint64_t, 8> kChaosSeeds = {11, 22, 33, 44,
-                                                 55, 66, 77, 88};
+constexpr std::array<uint64_t, 9> kChaosSeeds = {11, 22, 33, 44, 55,
+                                                 66, 77, 88, 99};
 constexpr int kSegments = 4;
 
 void SeedTables(Session* s) {

@@ -4,8 +4,16 @@
 // capacity+1 rows.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "common/serde.h"
 #include "executor/exec_node.h"
+#include "executor/runtime_filter.h"
+#include "hdfs/hdfs.h"
 #include "planner/plan_node.h"
+#include "storage/format.h"
 
 namespace hawq::exec {
 namespace {
@@ -384,6 +392,291 @@ TEST(BatchBoundaryTest, EmptySelectionBatchesAreSkipped) {
   auto rows = DrainBatches(e->get(), cap);
   ASSERT_EQ(rows.size(), 6u);  // 94..99
   EXPECT_EQ(rows[0][0].as_int(), 94);
+}
+
+// ---------------------------------------------------- runtime filters
+
+TEST(BloomFilterTest, NeverFalseNegative) {
+  BloomFilter f;
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t h = HashRow({Datum::Int(i * 977 + 3)});
+    f.Insert(h);
+    inserted.push_back(h);
+  }
+  for (uint64_t h : inserted) {
+    ASSERT_TRUE(f.MayContain(h)) << "bloom filters must never drop a "
+                                    "key that was inserted";
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsSmall) {
+  BloomFilter f;
+  for (int i = 0; i < 5000; ++i) f.Insert(HashRow({Datum::Int(i)}));
+  int fp = 0;
+  const int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    // Disjoint key space: any hit is a false positive.
+    if (f.MayContain(HashRow({Datum::Int(1000000 + i)}))) ++fp;
+  }
+  // 5000 keys * 4 probes in 2^17 bits gives a theoretical FPR well
+  // under 1%; allow slack for hash quality.
+  EXPECT_LT(static_cast<double>(fp) / kProbes, 0.02)
+      << fp << " false positives out of " << kProbes;
+}
+
+TEST(BloomFilterTest, MergeIsUnion) {
+  BloomFilter a, b;
+  uint64_t h1 = HashRow({Datum::Int(1)});
+  uint64_t h2 = HashRow({Datum::Int(2)});
+  a.Insert(h1);
+  b.Insert(h2);
+  a.Merge(b);
+  EXPECT_TRUE(a.MayContain(h1));
+  EXPECT_TRUE(a.MayContain(h2));
+}
+
+TEST(BloomFilterTest, SerializeRoundTrips) {
+  BloomFilter f;
+  for (int i = 0; i < 100; ++i) f.Insert(HashRow({Datum::Int(i * 7)}));
+  BufferWriter w;
+  f.Serialize(&w);
+  std::string bytes = w.Release();
+  BufferReader r(bytes);
+  auto back = BloomFilter::Deserialize(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->PopCount(), f.PopCount());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(back->MayContain(HashRow({Datum::Int(i * 7)})));
+  }
+}
+
+TEST(BloomFilterTest, MinMaxTracksUnionAcrossMerge) {
+  BloomFilter a, b, empty;
+  EXPECT_FALSE(a.has_minmax());
+  a.ObserveKey(5);
+  a.ObserveKey(9);
+  b.ObserveKey(-3);
+  b.ObserveKey(7);
+  a.Merge(b);
+  EXPECT_TRUE(a.has_minmax());
+  EXPECT_EQ(a.min_key(), -3);
+  EXPECT_EQ(a.max_key(), 9);
+  // A part that saw no build keys contributes nothing to the range.
+  a.Merge(empty);
+  EXPECT_EQ(a.min_key(), -3);
+  EXPECT_EQ(a.max_key(), 9);
+  // Merging into an empty filter adopts the other side's range.
+  empty.Merge(a);
+  EXPECT_TRUE(empty.has_minmax());
+  EXPECT_EQ(empty.min_key(), -3);
+  EXPECT_EQ(empty.max_key(), 9);
+}
+
+TEST(BloomFilterTest, MinMaxSurvivesSerialization) {
+  BloomFilter f;
+  f.Insert(HashRow({Datum::Int(4)}));
+  f.ObserveKey(4);
+  f.ObserveKey(-100);
+  BufferWriter w;
+  f.Serialize(&w);
+  std::string bytes = w.Release();
+  BufferReader r(bytes);
+  auto back = BloomFilter::Deserialize(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->has_minmax());
+  EXPECT_EQ(back->min_key(), -100);
+  EXPECT_EQ(back->max_key(), 4);
+  // A filter without a range stays without one across the wire.
+  BloomFilter g;
+  BufferWriter w2;
+  g.Serialize(&w2);
+  std::string bytes2 = w2.Release();
+  BufferReader r2(bytes2);
+  auto back2 = BloomFilter::Deserialize(&r2);
+  ASSERT_TRUE(back2.ok()) << back2.status().ToString();
+  EXPECT_FALSE(back2->has_minmax());
+}
+
+TEST(RuntimeFilterHubTest, PartsMergeAndComplete) {
+  RuntimeFilterHub hub;
+  BloomFilter p0, p1;
+  uint64_t h0 = HashRow({Datum::Int(10)});
+  uint64_t h1 = HashRow({Datum::Int(20)});
+  p0.Insert(h0);
+  p1.Insert(h1);
+  hub.Publish(1, 0, RuntimeFilterHub::kGlobalScope, 0, 2, p0);
+  // One of two parts: not complete, consumers must not see a partial
+  // filter (it would cause false negatives).
+  EXPECT_EQ(hub.TryGet(1, 0, RuntimeFilterHub::kGlobalScope), nullptr);
+  // Duplicate part (interconnect loopback / dup datagram) is a no-op.
+  hub.Publish(1, 0, RuntimeFilterHub::kGlobalScope, 0, 2, p0);
+  EXPECT_EQ(hub.TryGet(1, 0, RuntimeFilterHub::kGlobalScope), nullptr);
+  hub.Publish(1, 0, RuntimeFilterHub::kGlobalScope, 1, 2, p1);
+  auto f = hub.TryGet(1, 0, RuntimeFilterHub::kGlobalScope);
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->MayContain(h0));
+  EXPECT_TRUE(f->MayContain(h1));
+}
+
+TEST(RuntimeFilterHubTest, WaitBudgetExpiresWithoutFilter) {
+  RuntimeFilterHub hub;
+  auto t0 = std::chrono::steady_clock::now();
+  auto f = hub.WaitFor(1, 0, RuntimeFilterHub::kGlobalScope,
+                       /*budget_us=*/2000);
+  auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(f, nullptr) << "a scan whose filter never arrives must start "
+                           "unfiltered, not block";
+  EXPECT_LT(waited.count(), 2000) << "wait budget is microseconds, not a "
+                                     "hang";
+}
+
+TEST(RuntimeFilterHubTest, WaitReturnsEarlyWhenPublished) {
+  RuntimeFilterHub hub;
+  BloomFilter f;
+  uint64_t h = HashRow({Datum::Int(5)});
+  f.Insert(h);
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    hub.Publish(7, 3, RuntimeFilterHub::kGlobalScope, 0, 1, f);
+  });
+  auto got = hub.WaitFor(7, 3, RuntimeFilterHub::kGlobalScope,
+                         /*budget_us=*/2000000);
+  publisher.join();
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->MayContain(h));
+}
+
+TEST(RuntimeFilterHubTest, SerializedPayloadRoundTripsAndScopes) {
+  RuntimeFilterHub hub;
+  BloomFilter f;
+  uint64_t h = HashRow({Datum::Str("abc"), Datum::Int(1)});
+  f.Insert(h);
+  std::string payload = RuntimeFilterHub::EncodePayload(2, 0, 1, f);
+  hub.PublishSerialized(9, payload);
+  // Serialized publishes land in the global (cross-slice) scope only.
+  auto got = hub.TryGet(9, 2, RuntimeFilterHub::kGlobalScope);
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->MayContain(h));
+  EXPECT_EQ(hub.TryGet(9, 2, /*scope=*/0), nullptr);
+  // Garbage payloads are dropped, never crash the rx path.
+  hub.PublishSerialized(9, "\x01\x02");
+  hub.PublishSerialized(9, "");
+  // ClearQuery removes every filter of the query.
+  hub.ClearQuery(9);
+  EXPECT_EQ(hub.TryGet(9, 2, RuntimeFilterHub::kGlobalScope), nullptr);
+}
+
+TEST(RuntimeFilterScanTest, LocalFilterPrunesProbeRows) {
+  // A SeqScan annotated with a published local filter must drop rows
+  // whose key is not in the bloom before they leave the scan.
+  LocalDisk disk;
+  ExecContext ctx = MakeCtx(&disk);
+  RuntimeFilterHub hub;
+  ctx.rf_hub = &hub;
+  ctx.query_id = 42;
+
+  // Write a tiny AO table: k = 0..99.
+  hdfs::MiniHdfs fs(1);
+  ctx.fs = &fs;
+  Schema schema({{"k", TypeId::kInt64, true}});
+  storage::StorageOptions sopts;
+  int64_t eof = 0;
+  {
+    auto w = storage::OpenTableWriter(&fs, "/rf_scan", schema, sopts);
+    ASSERT_TRUE(w.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*w)->Append({Datum::Int(i)}).ok());
+    }
+    ASSERT_TRUE((*w)->Close().ok());
+    eof = (*w)->logical_eof();
+  }
+
+  auto scan = std::make_unique<PlanNode>();
+  scan->kind = NodeKind::kSeqScan;
+  scan->out_arity = 1;
+  scan->table_schema = schema;
+  scan->projection = {0};
+  scan->files.push_back({0, "/rf_scan", eof});
+  scan->rf_id = 5;
+  scan->rf_local = true;
+  scan->rf_exprs = {PExpr::Col(0, TypeId::kInt64)};
+
+  // Build side published {10, 20, 30} before the scan opens.
+  BloomFilter bloom;
+  for (int k : {10, 20, 30}) bloom.Insert(HashRow({Datum::Int(k)}));
+  hub.Publish(42, 5, ctx.segment, 0, 1, bloom);
+
+  auto e = BuildExecNode(*scan, &ctx);
+  ASSERT_TRUE(e.ok());
+  auto rows = DrainBatches(e->get(), kDefaultBatchRows);
+  // Never-false-negative: 10/20/30 all present; bloom may keep a few
+  // false positives but must have dropped the bulk.
+  std::set<int64_t> got;
+  for (const Row& r : rows) got.insert(r[0].as_int());
+  EXPECT_TRUE(got.count(10) && got.count(20) && got.count(30));
+  EXPECT_LT(rows.size(), 20u) << "scan must prune most non-matching rows";
+}
+
+TEST(RuntimeFilterScanTest, MinMaxRangeSkipsWholeBlocks) {
+  // When the filter carries a single-int-column key range, the scan turns
+  // it into zone-map predicates: blocks entirely outside [min,max] are
+  // skipped before read/decode, and the bloom only judges the survivors.
+  LocalDisk disk;
+  ExecContext ctx = MakeCtx(&disk);
+  RuntimeFilterHub hub;
+  obs::MetricsRegistry metrics;
+  ctx.rf_hub = &hub;
+  ctx.metrics = &metrics;
+  ctx.query_id = 43;
+
+  hdfs::MiniHdfs fs(1);
+  ctx.fs = &fs;
+  Schema schema({{"k", TypeId::kInt64, true}});
+  storage::StorageOptions sopts;
+  sopts.stripe_rows = 10;  // 100 ascending keys -> 10 tight blocks
+  int64_t eof = 0;
+  {
+    auto w = storage::OpenTableWriter(&fs, "/rf_minmax", schema, sopts);
+    ASSERT_TRUE(w.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*w)->Append({Datum::Int(i)}).ok());
+    }
+    ASSERT_TRUE((*w)->Close().ok());
+    eof = (*w)->logical_eof();
+  }
+
+  auto scan = std::make_unique<PlanNode>();
+  scan->kind = NodeKind::kSeqScan;
+  scan->out_arity = 1;
+  scan->table_schema = schema;
+  scan->projection = {0};
+  scan->files.push_back({0, "/rf_minmax", eof});
+  scan->rf_id = 6;
+  scan->rf_local = true;
+  scan->rf_exprs = {PExpr::Col(0, TypeId::kInt64)};
+
+  BloomFilter bloom;
+  for (int k : {42, 47}) {
+    bloom.Insert(HashRow({Datum::Int(k)}));
+    bloom.ObserveKey(k);
+  }
+  hub.Publish(43, 6, ctx.segment, 0, 1, bloom);
+
+  auto e = BuildExecNode(*scan, &ctx);
+  ASSERT_TRUE(e.ok());
+  auto rows = DrainBatches(e->get(), kDefaultBatchRows);
+  std::set<int64_t> got;
+  for (const Row& r : rows) got.insert(r[0].as_int());
+  EXPECT_TRUE(got.count(42) && got.count(47));
+  for (int64_t k : got) {
+    EXPECT_GE(k, 40);  // survivors can only come from block [40,49]
+    EXPECT_LE(k, 49);
+  }
+  // 9 of the 10 blocks lie entirely outside [42,47].
+  EXPECT_EQ(metrics.GetCounter("scan.blocks_skipped_zonemap")->Get(), 9u);
+  EXPECT_EQ(metrics.GetCounter("scan.rows_skipped_zonemap")->Get(), 90u);
 }
 
 }  // namespace

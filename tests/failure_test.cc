@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "common/chaos.h"
 #include "engine/cluster.h"
@@ -182,6 +183,14 @@ class KillSegmentOnVisit : public common::chaos::Injector {
     if (std::strcmp(point, point_) != 0) return;
     if (visits_.fetch_add(1, std::memory_order_acq_rel) + 1 == at_visit_) {
       c_->FailSegment(segment_);
+      killed_.store(true, std::memory_order_release);
+    } else if (visits_.load(std::memory_order_acquire) >= at_visit_) {
+      // The kill has been claimed by another worker but may not have
+      // landed yet; wait it out so no worker can race past the fault
+      // and finish its slice before the segment is actually dead.
+      while (!killed_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
     }
   }
 
@@ -191,6 +200,7 @@ class KillSegmentOnVisit : public common::chaos::Injector {
   int at_visit_;
   int segment_;
   std::atomic<int> visits_{0};
+  std::atomic<bool> killed_{false};
 };
 
 // ISSUE 5 acceptance: a segment killed mid-slice must not fail the
@@ -266,6 +276,49 @@ TEST(MidQueryFailoverTest, SegmentDeathMidMotionDuringJoinRetries) {
   ASSERT_TRUE(check.ok()) << check.status().ToString();
   EXPECT_EQ(check->rows[0][0].as_int(), 100);
   EXPECT_EQ(check->rows[0][1].as_int(), 9900);
+}
+
+// A segment dies exactly while its runtime-filter partial is in flight
+// (the chaos point fires at the top of HashJoinExec::PublishFilter, before
+// the bloom reaches the hub or the wire). The filter never completes, the
+// probe-side scans time out their wait and run unfiltered, the gang abort
+// is detected, and the retry re-plans around the dead segment — with
+// golden answers.
+TEST(MidQueryFailoverTest, SegmentDeathDuringRuntimeFilterPublishRetries) {
+  Cluster cluster(BaseOptions());
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE fact (k INT, v INT) "
+                         "DISTRIBUTED BY (k)").ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE dim (k INT) DISTRIBUTED BY (k)").ok());
+  std::string vf;
+  for (int i = 0; i < 200; ++i) {
+    vf += (i ? ", (" : "(") + std::to_string(i) + "," + std::to_string(i) +
+          ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO fact VALUES " + vf).ok());
+  ASSERT_TRUE(s->Execute("INSERT INTO dim VALUES (7), (42), (155)").ok());
+  ASSERT_TRUE(s->Execute("ANALYZE fact").ok());
+  ASSERT_TRUE(s->Execute("ANALYZE dim").ok());
+
+  KillSegmentOnVisit inj(&cluster, "rf.publish", /*at_visit=*/1,
+                         /*segment=*/2);
+  common::chaos::ScopedInjector guard(&inj);
+  auto r = s->Execute(
+      "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  common::chaos::SetInjector(nullptr);
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].as_int(), 3);
+  EXPECT_EQ(r->rows[0][1].as_int(), 7 + 42 + 155)
+      << "retry must not lose or duplicate joined rows";
+  EXPECT_GE(r->retries, 1) << "the kill must have forced a retry";
+
+  // And with the storm over, the same query stays correct.
+  auto check = s->Execute(
+      "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k");
+  ASSERT_TRUE(check.ok()) << check.status().ToString();
+  EXPECT_EQ(check->rows[0][0].as_int(), 3);
+  EXPECT_EQ(check->rows[0][1].as_int(), 204);
 }
 
 // Satellite (a): a DataNode dying mid-read fails over to the next

@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <functional>
 
 #include "engine/cluster.h"
 #include "engine/session.h"
@@ -56,6 +57,33 @@ class PlannerTest : public ::testing::Test {
     EXPECT_TRUE(plan.ok()) << plan.status().ToString();
     cluster_->tx_manager()->Commit(txn.get());
     return std::move(*plan);
+  }
+
+  PhysicalPlan PlanWith(const std::string& sql, const PlannerOptions& opts) {
+    auto stmt = sql::Parse(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    auto txn = cluster_->tx_manager()->Begin();
+    auto bound = sql::Analyze(cluster_->catalog(), txn.get(),
+                              *(*stmt)->select);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    Planner planner(cluster_->catalog(), txn.get(), opts);
+    auto plan = planner.PlanSelect(**bound);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    cluster_->tx_manager()->Commit(txn.get());
+    return std::move(*plan);
+  }
+
+  /// The SeqScan annotated as consumer of runtime filter `rf_id`.
+  static const PlanNode* FindScanWithFilter(const PhysicalPlan& p, int rf_id) {
+    const PlanNode* found = nullptr;
+    for (const Slice& s : p.slices) {
+      std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+        if (n.kind == NodeKind::kSeqScan && n.rf_id == rf_id) found = &n;
+        for (const auto& c : n.children) walk(*c);
+      };
+      walk(*s.root);
+    }
+    return found;
   }
 
   static int CountMotions(const PhysicalPlan& p, MotionType type) {
@@ -240,6 +268,97 @@ TEST_F(PlannerTest, StatsSelectivityOrdering) {
   PExpr both = PExpr::Binary(PExpr::Op::kAnd, eq, like, TypeId::kBool);
   EXPECT_LE(stats.Selectivity(both), stats.Selectivity(eq));
   cluster_->tx_manager()->Commit(txn.get());
+}
+
+TEST_F(PlannerTest, ZoneMapPredsPushedOntoScan) {
+  PhysicalPlan p =
+      PlanOf("SELECT tag FROM li WHERE pk > 15 AND pk <= 30 AND tag <> 'x'");
+  const PlanNode* scan = FindNode(p, NodeKind::kSeqScan);
+  ASSERT_TRUE(scan != nullptr);
+  // Only the two comparison conjuncts are zone-map eligible; `tag <> 'x'`
+  // cannot be tested against a min/max range.
+  ASSERT_EQ(scan->scan_preds.size(), 2u);
+  EXPECT_EQ(scan->scan_preds[0].col, 1);  // pk is table column 1
+  EXPECT_EQ(scan->scan_preds[0].op, ScanPred::Op::kGt);
+  EXPECT_EQ(scan->scan_preds[0].value.as_int(), 15);
+  EXPECT_EQ(scan->scan_preds[1].col, 1);
+  EXPECT_EQ(scan->scan_preds[1].op, ScanPred::Op::kLe);
+  EXPECT_EQ(scan->scan_preds[1].value.as_int(), 30);
+}
+
+TEST_F(PlannerTest, ZoneMapPredsGatedByKnob) {
+  PlannerOptions o = cluster_->PlannerOptionsFor();
+  o.enable_zone_maps = false;
+  PhysicalPlan p = PlanWith("SELECT tag FROM li WHERE pk > 15", o);
+  const PlanNode* scan = FindNode(p, NodeKind::kSeqScan);
+  ASSERT_TRUE(scan != nullptr);
+  EXPECT_TRUE(scan->scan_preds.empty());
+}
+
+TEST_F(PlannerTest, ColocatedJoinGetsLocalRuntimeFilter) {
+  PhysicalPlan p = PlanOf("SELECT li.qty FROM li, ord WHERE li.k = ord.k");
+  const PlanNode* join = FindNode(p, NodeKind::kHashJoin);
+  ASSERT_TRUE(join != nullptr);
+  ASSERT_GE(join->rf_id, 0);
+  EXPECT_FALSE(join->rf_remote);
+  EXPECT_EQ(join->rf_parts, 1);
+  const PlanNode* scan = FindScanWithFilter(p, join->rf_id);
+  ASSERT_TRUE(scan != nullptr);
+  EXPECT_TRUE(scan->rf_local);
+  EXPECT_EQ(scan->rf_wait_us, 0u);
+  EXPECT_EQ(scan->rf_exprs.size(), join->probe_keys.size());
+}
+
+TEST_F(PlannerTest, MotionCrossingJoinGetsRemoteRuntimeFilter) {
+  // rnd is randomly distributed, so its rows must be redistributed to join
+  // with ord; the probe-side scan sits across a motion from the join.
+  PhysicalPlan p = PlanOf("SELECT rnd.v FROM rnd, ord WHERE rnd.k = ord.k");
+  const PlanNode* join = FindNode(p, NodeKind::kHashJoin);
+  ASSERT_TRUE(join != nullptr);
+  ASSERT_GE(join->rf_id, 0);
+  const PlanNode* scan = FindScanWithFilter(p, join->rf_id);
+  ASSERT_TRUE(scan != nullptr);
+  // Annotation invariants must hold whichever side the planner probes.
+  EXPECT_EQ(scan->rf_local, !join->rf_remote);
+  if (join->rf_remote) {
+    EXPECT_GT(scan->rf_wait_us, 0u);
+    EXPECT_GE(join->rf_parts, 1);
+  }
+}
+
+TEST_F(PlannerTest, RuntimeFiltersGatedByKnob) {
+  PlannerOptions o = cluster_->PlannerOptionsFor();
+  o.enable_runtime_filters = false;
+  PhysicalPlan p =
+      PlanWith("SELECT li.qty FROM li, ord WHERE li.k = ord.k", o);
+  for (const Slice& s : p.slices) {
+    std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+      EXPECT_EQ(n.rf_id, -1);
+      for (const auto& c : n.children) walk(*c);
+    };
+    walk(*s.root);
+  }
+}
+
+TEST_F(PlannerTest, DirectDispatchTalliesSegmentsPruned) {
+  PhysicalPlan p = PlanOf("SELECT qty FROM li WHERE k = 3");
+  EXPECT_EQ(p.segments_pruned, 3);  // 4 segments narrowed to 1
+  PhysicalPlan full = PlanOf("SELECT qty FROM li");
+  EXPECT_EQ(full.segments_pruned, 0);
+}
+
+TEST_F(PlannerTest, PartitionEliminationTalliedOnPlan) {
+  Exec("CREATE TABLE psales (d DATE, amt DOUBLE) DISTRIBUTED BY (d) "
+       "PARTITION BY RANGE (d) (START (DATE '2008-01-01') INCLUSIVE "
+       "END (DATE '2008-05-01') EXCLUSIVE EVERY (INTERVAL '1 month'))");
+  Exec("INSERT INTO psales VALUES (DATE '2008-01-15', 1.0), "
+       "(DATE '2008-02-15', 2.0), (DATE '2008-03-15', 3.0), "
+       "(DATE '2008-04-15', 4.0)");
+  PhysicalPlan p =
+      PlanOf("SELECT amt FROM psales WHERE d >= DATE '2008-04-01'");
+  EXPECT_GE(p.partitions_pruned, 3);
+  PhysicalPlan full = PlanOf("SELECT amt FROM psales");
+  EXPECT_EQ(full.partitions_pruned, 0);
 }
 
 TEST_F(PlannerTest, LimitPushedBelowGather) {
