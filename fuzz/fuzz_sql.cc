@@ -1,0 +1,16 @@
+// Fuzz surface: SQL parser.
+//
+// Query text is user input; the lexer and recursive-descent parser must
+// reject anything malformed with a Status — never crash, and never
+// overflow the stack on deeply nested expressions.
+#include <cstdint>
+#include <string>
+
+#include "sql/parser.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string sql(reinterpret_cast<const char*>(data), size);
+  auto stmt = hawq::sql::Parse(sql);
+  (void)stmt;
+  return 0;
+}

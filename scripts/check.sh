@@ -1,22 +1,33 @@
 #!/usr/bin/env bash
-# Tier-1 verification across sanitizer configurations.
+# Tier-1 verification: lint gate, sanitizer matrix, fuzz smokes.
 #
-# Builds and tests the repo three times:
-#   1. plain            (build-check/)
-#   2. AddressSanitizer (build-check-asan/,  -DHAWQ_SANITIZE=address)
-#   3. ThreadSanitizer  (build-check-tsan/,  -DHAWQ_SANITIZE=thread)
+# Runs hawq-lint first — project-invariant violations (lock ranks,
+# GUARDED_BY coverage, cancel polling, chaos-point registry, metric
+# catalog, banned constructs) fail the run before anything is built.
+#
+# Then builds and tests the repo four times:
+#   1. plain              (build-check/)
+#   2. AddressSanitizer   (build-check-asan/,  -DHAWQ_SANITIZE=address)
+#   3. ThreadSanitizer    (build-check-tsan/,  -DHAWQ_SANITIZE=thread)
+#   4. UndefinedBehaviorSanitizer
+#                         (build-check-ubsan/, -DHAWQ_SANITIZE=undefined,
+#                          trap-on-error: any UB hit fails the test)
 #
 # Each configuration runs the tier-1 line from ROADMAP.md plus an
 # explicit pass of obs_test (the observability subsystem must be clean
-# under both sanitizers) and the StatViews system-view suite. The plain
+# under the sanitizers) and the StatViews system-view suite. The plain
 # and tsan trees additionally sweep the deterministic chaos harness
-# (chaos_test) across 8 fixed seeds, one process per seed, each under a
+# (chaos_test) across fixed seeds, one process per seed, each under a
 # hard wall-clock deadline — a hung query fails the sweep instead of
 # wedging CI. The plain tree also runs three bench_micro smokes:
 # tracing off-vs-on and lock-wait profiling off-vs-on (each required to
 # stay within 5%), and the runtime-filter smoke (selective join must be
 # >= 2x faster with data skipping on; soft-fail in the sanitizer trees,
 # whose instrumentation distorts relative timings).
+#
+# Finally, the fuzz harnesses (fuzz/) replay their seed corpora in the
+# plain, asan and ubsan trees, each bounded to 30 seconds. Any crash,
+# sanitizer report, or deadline overrun hard-fails the run.
 #
 # Usage: scripts/check.sh [--keep] [ctest-args...]
 #   --keep     do not delete the build trees afterwards
@@ -34,6 +45,9 @@ for arg in "$@"; do
     *) CTEST_ARGS+=("$arg") ;;
   esac
 done
+
+echo "==== hawq-lint gate ===="
+python3 scripts/hawq_lint.py .
 
 # Deterministic chaos sweep: every seed replays its own fault schedule
 # in a fresh process, bounded by a wall-clock deadline (TSan runs get a
@@ -56,7 +70,8 @@ run_config() {
   local name="$1" dir="$2"
   shift 2
   echo "==== [$name] configure ($dir) ===="
-  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake -B "$dir" -S . -DHAWQ_FUZZ=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@" >/dev/null
   echo "==== [$name] build ===="
   cmake --build "$dir" -j
   echo "==== [$name] ctest ===="
@@ -78,12 +93,31 @@ run_config() {
   echo "==== [$name] OK ===="
 }
 
+# Bounded fuzz smoke: replay the committed seed corpus for each surface
+# through its harness (see fuzz/). 30s deadline per harness; a crash,
+# sanitizer report, or overrun fails the run.
+run_fuzz_smoke() {
+  local name="$1" dir="$2"
+  for surface in packet storage sql; do
+    echo "==== [$name] fuzz smoke: $surface (30s bound) ===="
+    if ! timeout 30 "$dir/fuzz/fuzz_$surface" "fuzz/corpus/$surface"; then
+      echo "fuzz smoke $surface failed (crash or >30s) in $name tree" >&2
+      exit 1
+    fi
+  done
+}
+
 run_config plain  build-check
-run_config asan   build-check-asan -DHAWQ_SANITIZE=address
-run_config tsan   build-check-tsan -DHAWQ_SANITIZE=thread
+run_config asan   build-check-asan  -DHAWQ_SANITIZE=address
+run_config tsan   build-check-tsan  -DHAWQ_SANITIZE=thread
+run_config ubsan  build-check-ubsan -DHAWQ_SANITIZE=undefined
 
 run_chaos_sweep plain build-check 120
 run_chaos_sweep tsan  build-check-tsan 360
+
+run_fuzz_smoke plain build-check
+run_fuzz_smoke asan  build-check-asan
+run_fuzz_smoke ubsan build-check-ubsan
 
 echo "==== [plain] tracing-overhead smoke ===="
 HAWQ_OBS_SMOKE=1 ./build-check/bench/bench_micro
@@ -97,15 +131,23 @@ HAWQ_LOCK_SMOKE=1 ./build-check/bench/bench_micro
 echo "==== [plain] runtime-filter smoke ===="
 HAWQ_RF_SMOKE=1 ./build-check/bench/bench_micro
 
-for cfg in asan tsan; do
+for cfg in asan tsan ubsan; do
   echo "==== [$cfg] runtime-filter smoke (soft-fail) ===="
   if ! HAWQ_RF_SMOKE=1 "./build-check-$cfg/bench/bench_micro"; then
     echo "warning: [$cfg] runtime-filter smoke below threshold (ignored)" >&2
   fi
 done
 
-if [ "$KEEP" -eq 0 ]; then
-  rm -rf build-check build-check-asan build-check-tsan
+# clang-tidy (config in .clang-tidy) runs only where the tool exists;
+# the default container ships GCC only.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==== clang-tidy ===="
+  mapfile -t tidy_sources < <(find src -name '*.cc')
+  clang-tidy -p build-check "${tidy_sources[@]}"
 fi
 
-echo "All three configurations passed."
+if [ "$KEEP" -eq 0 ]; then
+  rm -rf build-check build-check-asan build-check-tsan build-check-ubsan
+fi
+
+echo "All configurations passed."

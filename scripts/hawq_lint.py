@@ -1,0 +1,533 @@
+#!/usr/bin/env python3
+"""hawq-lint: build-failing checks for project invariants.
+
+The last six PRs layered manual disciplines onto the tree — lock ranks and
+GUARDED_BY coverage (PR 2), metric-name stability (PR 3/4), cancellation
+polling at batch boundaries and chaos-point registration (PR 5).  Nothing
+enforced them mechanically; this linter does.  It is deliberately
+regex/line based (no compiler needed) and tuned to this repo's idiom: the
+rules below describe exactly what is matched so false positives can be
+fixed rather than worked around.
+
+Rules
+-----
+  rank-order          The LockRank enum in src/common/sync.h must order the
+                      subsystems net < hdfs < clog < catalog < tx <
+                      dispatcher, with kRankFree < 0 <= kLeaf below all of
+                      them.  Reordering the enum silently invalidates every
+                      rank annotation in the tree.
+  mutex-rank          Every hawq::Mutex / SharedMutex declaration must pass
+                      an explicit LockRank:: value and a string name (no
+                      default-rank mutexes), and the rank must belong to
+                      the declaring file's subsystem (a mutex in src/hdfs/
+                      may not claim kDispatcher).
+  mutex-guard         Every declared mutex must protect something: at least
+                      one HAWQ_GUARDED_BY / HAWQ_PT_GUARDED_BY /
+                      HAWQ_REQUIRES[_SHARED] naming it must appear in the
+                      same file.  Function-local mutexes guarding captured
+                      locals carry an explicit allow marker instead.
+  cancel-poll         Every common::chaos::Point(...) site in src/ marks a
+                      long-running batch boundary; it must poll
+                      CheckCancel() within the next three lines so a fault
+                      injected there cannot wedge a cancelled query.
+  exec-source-cancel  Source exec nodes (class names matching
+                      .*(Scan|Motion|Recv).*Exec) produce rows without
+                      pulling from an exec child, so nobody below them
+                      polls: the class body must call CheckCancel.
+  chaos-registry      Every chaos-point string literal used in src/ or
+                      tests/ must be registered in KnownPoints() in
+                      src/common/chaos.h, and every registered point must
+                      have at least one Point() call site in src/ (a
+                      registered-but-never-visited point makes seeds
+                      silently weaker).
+  metric-name         Every literal metric name passed to GetCounter /
+                      GetGauge / GetHistogram in src/ must appear in
+                      src/obs/metric_names.inc; dynamically built names are
+                      allowed only in files that contain a registered
+                      HAWQ_METRIC_PREFIX literal.  Every exact catalog
+                      entry must be used somewhere in src/ or bench/
+                      (no dead documentation).
+  banned              Constructs with a blessed in-repo replacement or a
+                      known footgun: std::mutex family outside
+                      common/sync.h (use hawq::Mutex, which carries rank +
+                      capability), array new[] (use std::vector/string),
+                      thread-unsafe libc (rand, strtok, localtime, ...),
+                      and unbounded string primitives (sprintf, strcpy,
+                      strcat, gets).
+
+Suppression: a line (or the line directly above it) may carry
+    // hawq-lint: allow(<rule>): <reason>
+The reason is mandatory — bare markers are themselves a violation.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# --------------------------------------------------------------------------
+# model
+
+@dataclass(frozen=True)
+class Violation:
+    path: str           # repo-relative
+    line: int           # 1-based; 0 for whole-file/whole-tree findings
+    rule: str
+    msg: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+ALLOW_RE = re.compile(r"hawq-lint:\s*allow\((?P<rule>[a-z-]+)\)(?P<reason>.*)")
+
+
+class SourceFile:
+    def __init__(self, root: str, relpath: str):
+        self.rel = relpath
+        with open(os.path.join(root, relpath), "r", encoding="utf-8",
+                  errors="replace") as f:
+            self.text = f.read()
+        self.lines = self.text.split("\n")
+
+    def allowed(self, lineno: int, rule: str) -> bool:
+        """True when line `lineno` (1-based) or the contiguous //-comment
+        block directly above it carries an allow marker for `rule`."""
+        candidates = [lineno]
+        ln = lineno - 1
+        while 1 <= ln <= len(self.lines) and \
+                self.lines[ln - 1].lstrip().startswith("//"):
+            candidates.append(ln)
+            ln -= 1
+        for ln in candidates:
+            if 1 <= ln <= len(self.lines):
+                m = ALLOW_RE.search(self.lines[ln - 1])
+                if m and m.group("rule") == rule:
+                    return True
+        return False
+
+    def bare_markers(self):
+        """Allow markers with no reason text (themselves violations)."""
+        for i, line in enumerate(self.lines, 1):
+            m = ALLOW_RE.search(line)
+            if m and not m.group("reason").strip(" :.-"):
+                yield i
+
+
+# --------------------------------------------------------------------------
+# rule: rank-order
+
+# The subsystem order the whole tree argues from (paper §4.5 analogue).
+RANK_ORDER = [
+    "kNetSocket", "kNetFabric", "kNetConn", "kNetEndpoint",  # interconnect
+    "kHdfs",
+    "kTxClog",
+    "kCatalog",
+    "kTxLock", "kTxManager", "kTxWal",
+    "kDispatcher",
+]
+
+ENUM_VAL_RE = re.compile(r"^\s*(k\w+)\s*=\s*(-?\d+)\s*,?")
+
+
+def parse_lock_ranks(sync: SourceFile):
+    """Name -> numeric value of every LockRank enumerator."""
+    ranks = {}
+    in_enum = False
+    for line in sync.lines:
+        if "enum class LockRank" in line:
+            in_enum = True
+            continue
+        if in_enum:
+            if line.strip().startswith("}"):
+                break
+            m = ENUM_VAL_RE.match(line)
+            if m:
+                ranks[m.group(1)] = int(m.group(2))
+    return ranks
+
+
+def check_rank_order(sync: SourceFile):
+    out = []
+    ranks = parse_lock_ranks(sync)
+    if not ranks:
+        return [Violation(sync.rel, 0, "rank-order",
+                          "could not parse enum class LockRank")]
+    for name in RANK_ORDER + ["kRankFree", "kLeaf"]:
+        if name not in ranks:
+            out.append(Violation(sync.rel, 0, "rank-order",
+                                 f"LockRank::{name} missing from sync.h"))
+    if out:
+        return out
+    if not ranks["kRankFree"] < 0 <= ranks["kLeaf"]:
+        out.append(Violation(sync.rel, 0, "rank-order",
+                             "kRankFree must be negative and kLeaf >= 0"))
+    lo = ranks["kLeaf"]
+    for name in RANK_ORDER:
+        if ranks[name] <= lo:
+            out.append(Violation(
+                sync.rel, 0, "rank-order",
+                f"LockRank::{name} ({ranks[name]}) breaks the order "
+                "net < hdfs < clog < catalog < tx < dispatcher"))
+        lo = ranks[name]
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: mutex-rank / mutex-guard
+
+MUTEX_DECL_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:hawq::)?(?:sync::)?(Mutex|SharedMutex)\s+"
+    r"(\w+)\s*[({;]")
+RANK_ARG_RE = re.compile(r"LockRank::(k\w+)")
+
+# Which ranks a file may hand to its mutexes, by subsystem directory.
+# kLeaf (terminal) and kRankFree (obs-style never-acquires-further) are
+# allowed everywhere except that non-obs code should not normally need
+# kRankFree — but chaos/cancel in common/ legitimately do.
+NET_RANKS = {"kNetSocket", "kNetFabric", "kNetConn", "kNetEndpoint"}
+SUBSYSTEM_RANKS = {
+    "src/interconnect": NET_RANKS,
+    "src/mapreduce": NET_RANKS,       # MR fabric is a net-layer peer
+    "src/hdfs": {"kHdfs"},
+    "src/catalog": {"kCatalog"},
+    "src/tx": {"kTxClog", "kTxLock", "kTxManager", "kTxWal"},
+    "src/engine": {"kDispatcher"},
+    "src/obs": set(),                 # rank-free leaf locks only (PR 3)
+}
+UNIVERSAL_RANKS = {"kLeaf", "kRankFree"}
+
+
+def subsystem_of(rel: str):
+    parts = rel.split("/")
+    if len(parts) >= 2 and parts[0] == "src":
+        return "/".join(parts[:2])
+    return None
+
+
+def check_mutex_decls(f: SourceFile):
+    out = []
+    sub = subsystem_of(f.rel)
+    allowed_ranks = UNIVERSAL_RANKS | SUBSYSTEM_RANKS.get(sub, set())
+    guard_names = set(
+        re.findall(r"HAWQ_(?:PT_)?GUARDED_BY\((\w+)\)", f.text) +
+        re.findall(r"HAWQ_REQUIRES(?:_SHARED)?\((\w+)", f.text))
+    for i, line in enumerate(f.lines, 1):
+        m = MUTEX_DECL_RE.match(line)
+        if m is None:
+            continue
+        kind, name = m.group(1), m.group(2)
+        rank = RANK_ARG_RE.search(line)
+        if rank is None:
+            if not f.allowed(i, "mutex-rank"):
+                out.append(Violation(
+                    f.rel, i, "mutex-rank",
+                    f"{kind} {name} has no explicit LockRank (default-rank "
+                    "mutexes hide ordering decisions)"))
+        elif rank.group(1) not in allowed_ranks:
+            if not f.allowed(i, "mutex-rank"):
+                where = sub or "this directory"
+                out.append(Violation(
+                    f.rel, i, "mutex-rank",
+                    f"{kind} {name} claims LockRank::{rank.group(1)}, not a "
+                    f"rank of {where} (allowed: "
+                    f"{', '.join(sorted(allowed_ranks))})"))
+        if name not in guard_names and not f.allowed(i, "mutex-guard"):
+            out.append(Violation(
+                f.rel, i, "mutex-guard",
+                f"{kind} {name} protects no field: no HAWQ_GUARDED_BY"
+                f"({name}) / HAWQ_REQUIRES({name}) in this file"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: cancel-poll / exec-source-cancel
+
+CHAOS_POINT_CALL_RE = re.compile(r"chaos::Point\(\s*\"([a-z_.]+)\"")
+SOURCE_EXEC_RE = re.compile(r"^class\s+(\w*(?:Scan|Motion|Recv)\w*Exec)\b")
+
+
+def check_cancel_poll(f: SourceFile):
+    out = []
+    for i, line in enumerate(f.lines, 1):
+        m = CHAOS_POINT_CALL_RE.search(line.split("//", 1)[0])
+        if m is None or f.allowed(i, "cancel-poll"):
+            continue
+        window = "\n".join(f.lines[i:i + 3])
+        if "CheckCancel" not in window:
+            out.append(Violation(
+                f.rel, i, "cancel-poll",
+                f"chaos point \"{m.group(1)}\" is a batch boundary but no "
+                "CheckCancel() within 3 lines — a fault injected here can "
+                "wedge a cancelled query"))
+    return out
+
+
+def check_exec_source_cancel(f: SourceFile):
+    out = []
+    for i, line in enumerate(f.lines, 1):
+        m = SOURCE_EXEC_RE.match(line)
+        if m is None or f.allowed(i, "exec-source-cancel"):
+            continue
+        # Class body: up to the next top-level "};".
+        body_end = len(f.lines)
+        for j in range(i, len(f.lines)):
+            if f.lines[j].startswith("};"):
+                body_end = j
+                break
+        body = "\n".join(f.lines[i:body_end])
+        if "CheckCancel" not in body:
+            out.append(Violation(
+                f.rel, i, "exec-source-cancel",
+                f"source exec node {m.group(1)} never polls CheckCancel(); "
+                "nothing below a source node polls for it"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: chaos-registry
+
+KNOWN_POINTS_ENTRY_RE = re.compile(r"\"([a-z_]+\.[a-z_.]+)\"")
+# Matches both direct calls (chaos::Point("x")) and test-helper
+# constructions (KillSegmentOnVisit inj(&cluster, "x", ...)).
+CHAOS_REF_RE = re.compile(
+    r"(?:chaos::Point|KillSegmentOnVisit(?:\s+\w+)?)\s*\([^\"\n]*\"([a-z_.]+)\"")
+
+
+def parse_known_points(chaos: SourceFile):
+    in_fn = False
+    points = []
+    for line in chaos.lines:
+        if "KnownPoints()" in line:
+            in_fn = True
+        if in_fn:
+            points.extend(KNOWN_POINTS_ENTRY_RE.findall(line))
+            if line.strip().endswith("};"):
+                break
+    return set(points)
+
+
+def check_chaos_registry(chaos: SourceFile, src_files, test_files):
+    out = []
+    known = parse_known_points(chaos)
+    if not known:
+        return [Violation(chaos.rel, 0, "chaos-registry",
+                          "could not parse KnownPoints()")]
+    visited = set()
+    for f in src_files + test_files:
+        if f.rel == chaos.rel:
+            continue
+        for i, line in enumerate(f.lines, 1):
+            line = line.split("//", 1)[0]
+            for name in CHAOS_REF_RE.findall(line):
+                if name not in known and not f.allowed(i, "chaos-registry"):
+                    out.append(Violation(
+                        f.rel, i, "chaos-registry",
+                        f"chaos point \"{name}\" is not registered in "
+                        "KnownPoints() (src/common/chaos.h)"))
+                if f.rel.startswith("src/") and "chaos::Point" in line:
+                    visited.add(name)
+    for name in sorted(known - visited):
+        out.append(Violation(
+            chaos.rel, 0, "chaos-registry",
+            f"registered chaos point \"{name}\" has no chaos::Point call "
+            "site in src/ — seeds scheduling it never fire"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: metric-name
+
+METRIC_CATALOG = "src/obs/metric_names.inc"
+CATALOG_EXACT_RE = re.compile(r"^HAWQ_METRIC\(\"([a-z_.0-9]+)\"\)")
+CATALOG_PREFIX_RE = re.compile(r"^HAWQ_METRIC_PREFIX\(\"([a-z_.0-9]+)\"\)")
+METRIC_LITERAL_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*\"([^\"]+)\"")
+METRIC_DYNAMIC_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*(?!\")\S")
+
+
+def parse_metric_catalog(cat: SourceFile):
+    exact, prefixes = set(), set()
+    for line in cat.lines:
+        m = CATALOG_EXACT_RE.match(line)
+        if m:
+            exact.add(m.group(1))
+        m = CATALOG_PREFIX_RE.match(line)
+        if m:
+            prefixes.add(m.group(1))
+    return exact, prefixes
+
+
+def check_metric_names(cat: SourceFile, src_files, bench_files):
+    out = []
+    exact, prefixes = parse_metric_catalog(cat)
+    if not exact:
+        return [Violation(cat.rel, 0, "metric-name",
+                          f"could not parse any HAWQ_METRIC entry")]
+    used = set()
+    for f in src_files:
+        if f.rel == cat.rel or f.rel == "src/obs/metrics.h" \
+                or f.rel == "src/obs/metrics.cc":
+            continue  # the registry's own definitions take a name parameter
+        has_prefix_literal = any(p in f.text for p in prefixes)
+        for i, line in enumerate(f.lines, 1):
+            for name in METRIC_LITERAL_RE.findall(line):
+                used.add(name)
+                covered = name in exact or \
+                    any(name.startswith(p) for p in prefixes)
+                if not covered and not f.allowed(i, "metric-name"):
+                    out.append(Violation(
+                        f.rel, i, "metric-name",
+                        f"metric \"{name}\" is not in {METRIC_CATALOG} — "
+                        "dashboards and hawq_stat_metrics docs key off that "
+                        "catalog"))
+            if METRIC_DYNAMIC_RE.search(line) and not has_prefix_literal \
+                    and not f.allowed(i, "metric-name"):
+                out.append(Violation(
+                    f.rel, i, "metric-name",
+                    "dynamically built metric name in a file with no "
+                    f"registered HAWQ_METRIC_PREFIX literal ({METRIC_CATALOG})"))
+    # Dead-entry check: every exact entry must be used as a literal
+    # somewhere real (src/ call sites or bench reports reading it).
+    for f in bench_files:
+        used.update(re.findall(r"\"([a-z_.0-9]+)\"", f.text))
+    for name in sorted(exact - used):
+        out.append(Violation(
+            cat.rel, 0, "metric-name",
+            f"catalog entry \"{name}\" is published nowhere in src/ or "
+            "bench/ — remove it or wire the metric up"))
+    for p in sorted(prefixes):
+        if not any(p in f.text for f in src_files if f.rel != cat.rel):
+            out.append(Violation(
+                cat.rel, 0, "metric-name",
+                f"catalog prefix \"{p}\" appears in no src/ file"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: banned
+
+BANNED = [
+    # pattern, files exempt (exact rel paths), message
+    (re.compile(r"\bstd::(?:mutex|shared_mutex|condition_variable\w*|"
+                r"lock_guard|scoped_lock|unique_lock)\b"),
+     {"src/common/sync.h"},
+     "use hawq::Mutex / MutexLock (common/sync.h): std:: primitives carry "
+     "no rank or capability"),
+    (re.compile(r"\bnew\s+[\w:<>, ]+\["), set(),
+     "array new[] — use std::vector or std::string"),
+    (re.compile(r"\b(?:rand|srand|strtok|localtime|gmtime|ctime|asctime)\s*\("),
+     set(),
+     "thread-unsafe libc call — use common/rng.h or chrono"),
+    (re.compile(r"\b(?:sprintf|strcpy|strcat|gets)\s*\("), set(),
+     "unbounded C string primitive — use std::string / snprintf"),
+]
+
+
+def check_banned(f: SourceFile):
+    out = []
+    for i, line in enumerate(f.lines, 1):
+        code = line.split("//", 1)[0]
+        for pat, exempt, msg in BANNED:
+            if f.rel in exempt:
+                continue
+            m = pat.search(code)
+            if m and not f.allowed(i, "banned"):
+                out.append(Violation(f.rel, i, "banned",
+                                     f"{m.group(0).strip()}: {msg}"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# driver
+
+def collect(root: str, reldir: str, exts=(".h", ".cc")):
+    out = []
+    base = os.path.join(root, reldir)
+    if not os.path.isdir(base):
+        return out
+    for dirpath, _, names in os.walk(base):
+        for n in sorted(names):
+            if n.endswith(exts):
+                rel = os.path.relpath(os.path.join(dirpath, n), root)
+                out.append(SourceFile(root, rel))
+    return out
+
+
+def run_lint(root: str):
+    """Run every rule over the tree at `root`; returns [Violation]."""
+    src_files = collect(root, "src")
+    test_files = collect(root, "tests")
+    bench_files = collect(root, "bench")
+    by_rel = {f.rel: f for f in src_files}
+
+    out = []
+    sync = by_rel.get("src/common/sync.h")
+    if sync is None:
+        out.append(Violation("src/common/sync.h", 0, "rank-order",
+                             "file missing"))
+    else:
+        out.extend(check_rank_order(sync))
+
+    for f in src_files:
+        if f.rel != "src/common/sync.h":
+            out.extend(check_mutex_decls(f))
+        out.extend(check_cancel_poll(f))
+        out.extend(check_exec_source_cancel(f))
+        out.extend(check_banned(f))
+
+    chaos = by_rel.get("src/common/chaos.h")
+    if chaos is None:
+        out.append(Violation("src/common/chaos.h", 0, "chaos-registry",
+                             "file missing"))
+    else:
+        out.extend(check_chaos_registry(chaos, src_files, test_files))
+
+    cat_path = os.path.join(root, METRIC_CATALOG)
+    if not os.path.isfile(cat_path):
+        out.append(Violation(METRIC_CATALOG, 0, "metric-name",
+                             "metric catalog missing"))
+    else:
+        cat = SourceFile(root, METRIC_CATALOG)
+        out.extend(check_metric_names(cat, src_files, bench_files))
+
+    for f in src_files + test_files:
+        for i in f.bare_markers():
+            out.append(Violation(f.rel, i, "allow-marker",
+                                 "allow marker without a reason"))
+    return sorted(out, key=lambda v: (v.path, v.line, v.rule))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="hawq-lint: mechanical checks for HAWQ project "
+                    "invariants (lock ranks, cancel polling, chaos points, "
+                    "metric catalog, banned constructs)")
+    ap.add_argument("root", nargs="?", default=".",
+                    help="repo root (default: cwd)")
+    ap.add_argument("--rule", action="append", default=None,
+                    help="only report these rule(s)")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"hawq-lint: no src/ under {root}", file=sys.stderr)
+        return 2
+    violations = run_lint(root)
+    if args.rule:
+        violations = [v for v in violations if v.rule in args.rule]
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"hawq-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("hawq-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

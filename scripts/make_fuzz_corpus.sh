@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Harvest fuzz seed corpora from real traffic.
+#
+# Runs the test suite with HAWQ_FUZZ_CORPUS_DIR pointed at a scratch
+# dir, so every packet decode, flushed AO block, and parsed SQL
+# statement the tests produce is captured by the hook in
+# src/common/fuzz_hook.h (content-deduplicated). Each surface is then
+# pruned to the smallest KEEP_PER_SURFACE unique samples — small seeds
+# mutate best — and installed under fuzz/corpus/<surface>/.
+#
+#   scripts/make_fuzz_corpus.sh            # fresh build in build-corpus/
+#   CORPUS_BUILD_DIR=build scripts/make_fuzz_corpus.sh   # reuse a build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KEEP=${KEEP_PER_SURFACE:-48}
+BUILD=${CORPUS_BUILD_DIR:-build-corpus}
+SCRATCH=$(mktemp -d)
+trap 'rm -rf "$SCRATCH"' EXIT
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" >/dev/null
+(cd "$BUILD" &&
+  HAWQ_FUZZ_CORPUS_DIR="$SCRATCH" ctest -j"$(nproc)" >/dev/null)
+
+for surface in packet storage sql; do
+  mkdir -p "fuzz/corpus/$surface"
+  [ -d "$SCRATCH/$surface" ] || { echo "$surface: no samples"; continue; }
+  # ls -S -r: smallest first.
+  (cd "$SCRATCH/$surface" && ls -S -r | head -n "$KEEP") |
+  while read -r f; do
+    cp "$SCRATCH/$surface/$f" "fuzz/corpus/$surface/$f"
+  done
+  echo "$surface: $(ls "fuzz/corpus/$surface" | wc -l) seeds"
+done

@@ -1,0 +1,69 @@
+#include "common/fuzz_hook.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/sync.h"
+
+namespace hawq::fuzz {
+
+namespace {
+
+// Samples bigger than this are poor seeds (fuzzers mutate small inputs
+// far more effectively) and would bloat the checked-in corpus.
+constexpr size_t kMaxSampleBytes = 1 << 16;
+constexpr int kMaxSamplesPerSurface = 256;
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+bool CorpusDumpEnabled() {
+  // Read once under the thread-safe static initializer; nothing in the
+  // process mutates the environment concurrently.
+  static const char* dir =
+      std::getenv("HAWQ_FUZZ_CORPUS_DIR");  // NOLINT(concurrency-mt-unsafe)
+  return dir != nullptr;
+}
+
+void MaybeDumpCorpus(const char* surface, std::string_view bytes) {
+  // Read once under the thread-safe static initializer; nothing in the
+  // process mutates the environment concurrently.
+  static const char* dir =
+      std::getenv("HAWQ_FUZZ_CORPUS_DIR");  // NOLINT(concurrency-mt-unsafe)
+  if (dir == nullptr || bytes.size() > kMaxSampleBytes) return;
+  // hawq-lint: allow(mutex-guard): function-local mutex serializing the
+  // function-local throttle map below; there is no member state to
+  // annotate.
+  static Mutex mu(LockRank::kLeaf, "fuzz.corpus_dump");
+  MutexLock l(mu);
+  static std::map<std::string, int> counts;
+  int& n = counts[surface];
+  if (n >= kMaxSamplesPerSurface) return;
+  std::error_code ec;
+  std::filesystem::path sub = std::filesystem::path(dir) / surface;
+  std::filesystem::create_directories(sub, ec);
+  if (ec) return;
+  char name[24];
+  std::snprintf(name, sizeof name, "%016llx",
+                static_cast<unsigned long long>(Fnv1a(bytes)));
+  std::filesystem::path file = sub / name;
+  if (std::filesystem::exists(file, ec)) return;  // duplicate content
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ++n;
+}
+
+}  // namespace hawq::fuzz

@@ -1,0 +1,27 @@
+// Test hook for harvesting fuzz seed corpora from real traffic.
+//
+// When HAWQ_FUZZ_CORPUS_DIR is set, each call writes `bytes` to
+// $HAWQ_FUZZ_CORPUS_DIR/<surface>/<content-hash>, deduplicating by
+// content, so the seed corpora under fuzz/corpus/ are built from bytes
+// the test suite actually produced (serialized packets, AO blocks, SQL
+// text) rather than synthetic guesses. scripts/make_fuzz_corpus.sh
+// drives it.
+//
+// In normal runs the hook is a single predicted branch on a cached
+// getenv result.
+#pragma once
+
+#include <string_view>
+
+namespace hawq::fuzz {
+
+/// True when HAWQ_FUZZ_CORPUS_DIR is set; lets call sites skip building
+/// a sample they would only construct for the dump.
+bool CorpusDumpEnabled();
+
+/// Write one sample of an untrusted byte surface to the corpus dir.
+/// No-op when disabled; oversized samples and per-surface overflow
+/// beyond a fixed cap are silently dropped.
+void MaybeDumpCorpus(const char* surface, std::string_view bytes);
+
+}  // namespace hawq::fuzz

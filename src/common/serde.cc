@@ -80,6 +80,11 @@ void SerializeRow(const Row& row, BufferWriter* w) {
 
 Result<Row> DeserializeRow(BufferReader* r) {
   HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  // Every datum costs at least one byte, so an arity beyond the remaining
+  // bytes is corrupt — reject before reserving attacker-sized memory.
+  if (n > r->remaining()) {
+    return Status::Corruption("row arity exceeds buffer");
+  }
   Row row;
   row.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
@@ -91,6 +96,9 @@ Result<Row> DeserializeRow(BufferReader* r) {
 
 Status DeserializeRowInto(BufferReader* r, Row* row) {
   HAWQ_ASSIGN_OR_RETURN(uint64_t n, r->GetVarint());
+  if (n > r->remaining()) {
+    return Status::Corruption("row arity exceeds buffer");
+  }
   row->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     HAWQ_RETURN_IF_ERROR(DeserializeDatumInto(r, &(*row)[i]));

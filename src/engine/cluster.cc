@@ -57,6 +57,9 @@ class ExternalScanExec : public exec::ExecNode {
 
   Result<bool> Next(Row* row) override {
     while (true) {
+      // External connectors can stall or stream unboundedly; poll the
+      // query's cancel token per row so teardown reaches this scan too.
+      HAWQ_RETURN_IF_ERROR(ctx_->CheckCancel());
       if (!reader_) {
         if (frag_idx_ >= fragments_.size()) return false;
         pxf::Fragment frag;

@@ -106,6 +106,9 @@ std::vector<Row> EventRows(Cluster* c) {
 /// VirtualScan operator: synthesizes the view's rows from live engine
 /// state at Open() (one consistent-enough snapshot per scan) and widens
 /// them into the query's flat layout, mirroring ExternalScanExec.
+// hawq-lint: allow(exec-source-cancel): rows are snapshotted at Open()
+// into a bounded in-memory vector (ring sizes cap every view); Next()
+// does no I/O and cannot stall a cancelled query.
 class VirtualScanExec : public exec::ExecNode {
  public:
   VirtualScanExec(const plan::PlanNode& node, exec::ExecContext* ctx,

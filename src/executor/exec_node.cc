@@ -499,6 +499,9 @@ class HashJoinExec : public ExecNode {
   /// interconnect, which models the wire; the hub dedups by part index so
   /// the loopback copy is harmless.
   void PublishFilter(const BloomFilter& bloom, obs::TraceClock::time_point t0) {
+    // hawq-lint: allow(cancel-poll): runs once per build side, after the
+    // build loop (whose child scan polls) has already drained; publish is
+    // fire-and-forget and cannot block on a dead peer.
     common::chaos::Point("rf.publish");
     obs::MetricsRegistry* m = ctx_->metrics;
     if (m != nullptr) m->GetHistogram("rf.build_us")->Observe(UsSince(t0));

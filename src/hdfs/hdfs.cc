@@ -28,6 +28,9 @@ Result<std::string> FileReader::ReadAll() {
 }
 
 Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
+  // hawq-lint: allow(cancel-poll): the storage layer has no ExecContext /
+  // cancel token; the scan.batch poll directly above every PRead-driven
+  // loop covers cancellation, and PRead itself is bounded by block size.
   common::chaos::Point("hdfs.pread");
   if (offset >= length_) return static_cast<size_t>(0);
   n = std::min<uint64_t>(n, length_ - offset);

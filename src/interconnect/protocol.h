@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fuzz_hook.h"
 #include "common/serde.h"
 #include "common/status.h"
 
@@ -76,6 +77,7 @@ struct Packet {
   }
 
   static Result<Packet> Parse(const std::string& bytes) {
+    fuzz::MaybeDumpCorpus("packet", bytes);
     BufferReader r(bytes);
     Packet p;
     HAWQ_ASSIGN_OR_RETURN(uint8_t t, r.GetU8());
@@ -93,6 +95,13 @@ struct Packet {
     HAWQ_ASSIGN_OR_RETURN(p.sc, r.GetVarint());
     HAWQ_ASSIGN_OR_RETURN(p.sr, r.GetVarint());
     HAWQ_ASSIGN_OR_RETURN(uint64_t nmiss, r.GetVarint());
+    // Each listed seq costs at least one byte on the wire; a count beyond
+    // the remaining payload is corrupt (and would otherwise size the
+    // vector from untrusted bytes).
+    if (nmiss > r.remaining()) {
+      return Status::Corruption("missing-list count exceeds packet");
+    }
+    p.missing.reserve(nmiss);
     for (uint64_t i = 0; i < nmiss; ++i) {
       HAWQ_ASSIGN_OR_RETURN(uint64_t m, r.GetVarint());
       p.missing.push_back(m);

@@ -138,4 +138,24 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+bool IsKnownMetricName(const std::string& name) {
+  static const char* const kExact[] = {
+#define HAWQ_METRIC(n) n,
+#define HAWQ_METRIC_PREFIX(p)
+#include "obs/metric_names.inc"
+  };
+  static const char* const kPrefixes[] = {
+#define HAWQ_METRIC(n)
+#define HAWQ_METRIC_PREFIX(p) p,
+#include "obs/metric_names.inc"
+  };
+  for (const char* n : kExact) {
+    if (name == n) return true;
+  }
+  for (const char* p : kPrefixes) {
+    if (name.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace hawq::obs

@@ -130,4 +130,12 @@ class MetricsRegistry {
       HAWQ_GUARDED_BY(mu_);
 };
 
+/// True when `name` appears in the checked-in metric catalog
+/// (src/obs/metric_names.inc), either as an exact entry or under a
+/// registered dynamic prefix. scripts/hawq_lint.py enforces the same
+/// catalog over literal call sites at lint time; this runtime twin lets
+/// tests assert that everything a live cluster actually registered is
+/// documented.
+bool IsKnownMetricName(const std::string& name);
+
 }  // namespace hawq::obs

@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include "common/fuzz_hook.h"
 #include "common/string_util.h"
 #include "sql/lexer.h"
 
@@ -523,7 +524,26 @@ class Parser {
   }
 
   // ----------------------------------------------------------- expressions
-  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  //
+  // The grammar is recursive descent, so expression depth is stack
+  // depth. A pathological input like "((((…1…))))" or "NOT NOT NOT …"
+  // must surface as a parse error, not a stack overflow; every
+  // self-recursive entry point charges against one shared budget.
+  static constexpr size_t kMaxExprDepth = 300;
+
+  Status EnterExpr() {
+    if (++depth_ > kMaxExprDepth) {
+      return Err("expression nesting too deep");
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    HAWQ_RETURN_IF_ERROR(EnterExpr());
+    Result<ExprPtr> e = ParseOr();
+    --depth_;
+    return e;
+  }
 
   Result<ExprPtr> ParseOr() {
     HAWQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
@@ -546,7 +566,11 @@ class Parser {
   Result<ExprPtr> ParseNot() {
     if (IsKw("NOT") && !IEquals(Peek().text, "EXISTS")) {
       Advance();
-      HAWQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      HAWQ_RETURN_IF_ERROR(EnterExpr());
+      Result<ExprPtr> inner_r = ParseNot();
+      --depth_;
+      HAWQ_RETURN_IF_ERROR(inner_r.status());
+      ExprPtr inner = std::move(*inner_r);
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kUnary;
       e->op = "NOT";
@@ -660,7 +684,11 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (Accept("-")) {
-      HAWQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      HAWQ_RETURN_IF_ERROR(EnterExpr());
+      Result<ExprPtr> inner_r = ParseUnary();
+      --depth_;
+      HAWQ_RETURN_IF_ERROR(inner_r.status());
+      ExprPtr inner = std::move(*inner_r);
       auto e = std::make_unique<Expr>();
       e->kind = Expr::Kind::kUnary;
       e->op = "-";
@@ -854,11 +882,13 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  size_t depth_ = 0;  // live expression recursion depth, see kMaxExprDepth
 };
 
 }  // namespace
 
 Result<std::unique_ptr<Statement>> Parse(const std::string& sql) {
+  fuzz::MaybeDumpCorpus("sql", sql);
   HAWQ_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
   Parser p(std::move(tokens));
   return p.ParseStatement();

@@ -11,6 +11,18 @@ namespace {
 
 constexpr size_t kMinMatch = 4;
 
+// Hard ceiling on a single block's decompressed size. `expected` comes
+// from a wire/file varint, so a corrupt header must not be able to
+// drive a multi-gigabyte allocation before any real decoding happens.
+constexpr size_t kMaxDecompressed = size_t{1} << 28;  // 256 MiB
+
+// Speculative reserve for the output buffer: trust `expected` only up
+// to a modest bound; larger outputs grow organically and hit the
+// overrun checks first if the header lied.
+size_t ClampedReserve(size_t expected) {
+  return std::min(expected, size_t{1} << 20);
+}
+
 // --- RLE ---------------------------------------------------------------
 
 std::string RleCompress(std::string_view src) {
@@ -31,7 +43,7 @@ std::string RleCompress(std::string_view src) {
 
 Result<std::string> RleDecompress(std::string_view src, size_t expected) {
   std::string out;
-  out.reserve(expected);
+  out.reserve(ClampedReserve(expected));
   BufferReader r(src.data(), src.size());
   while (r.remaining() > 0) {
     HAWQ_ASSIGN_OR_RETURN(uint8_t c, r.GetU8());
@@ -135,12 +147,15 @@ std::string LzCompress(std::string_view src, int max_chain) {
 
 Result<std::string> LzDecompress(std::string_view src, size_t expected) {
   std::string out;
-  out.reserve(expected);
+  out.reserve(ClampedReserve(expected));
   BufferReader r(src.data(), src.size());
   while (r.remaining() > 0) {
     HAWQ_ASSIGN_OR_RETURN(uint8_t ctrl, r.GetU8());
     if (ctrl < 0x80) {
       size_t len = static_cast<size_t>(ctrl) + 1;
+      if (out.size() + len > expected) {
+        return Status::Corruption("LZ output overrun");
+      }
       size_t old = out.size();
       out.resize(old + len);
       HAWQ_RETURN_IF_ERROR(r.GetRaw(out.data() + old, len));
@@ -150,11 +165,13 @@ Result<std::string> LzDecompress(std::string_view src, size_t expected) {
       if (dist == 0 || dist > out.size()) {
         return Status::Corruption("LZ bad match distance");
       }
+      if (out.size() + len > expected) {
+        return Status::Corruption("LZ output overrun");
+      }
       size_t from = out.size() - dist;
       // Byte-by-byte: matches may overlap their own output.
       for (size_t k = 0; k < len; ++k) out.push_back(out[from + k]);
     }
-    if (out.size() > expected) return Status::Corruption("LZ output overrun");
   }
   return out;
 }
@@ -184,6 +201,10 @@ Result<std::string> CodecCompress(catalog::Codec codec, int level,
 
 Result<std::string> CodecDecompress(catalog::Codec codec, std::string_view src,
                                     size_t expected_size) {
+  if (expected_size > kMaxDecompressed) {
+    return Status::Corruption("decompressed size implausible: " +
+                              std::to_string(expected_size));
+  }
   Result<std::string> out = [&]() -> Result<std::string> {
     switch (codec) {
       case catalog::Codec::kNone:

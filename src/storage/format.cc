@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fuzz_hook.h"
 #include "common/serde.h"
 #include "storage/codec.h"
 
@@ -26,6 +27,12 @@ Result<BlockZoneMap> BlockZoneMap::Deserialize(BufferReader* r) {
   BlockZoneMap zm;
   HAWQ_ASSIGN_OR_RETURN(zm.rows, r->GetVarint());
   HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, r->GetVarint());
+  // Each column costs at least two bytes (has_range + null_count); a
+  // count beyond the remaining buffer is corrupt. Reject it before
+  // resizing the vector from untrusted bytes.
+  if (ncols > r->remaining()) {
+    return Status::Corruption("zone map column count exceeds buffer");
+  }
   zm.cols.resize(ncols);
   for (uint64_t i = 0; i < ncols; ++i) {
     HAWQ_ASSIGN_OR_RETURN(uint8_t has, r->GetU8());
@@ -223,16 +230,23 @@ class AoWriter : public TableWriter {
     hdr.PutVarint(raw.size());
     hdr.PutVarint(comp.size());
     hdr.PutU8(static_cast<uint8_t>(opts_.codec));
+    std::string zm_prefix;
     if (opts_.zone_maps) {
       BufferWriter prefix;
       WriteZoneMapPrefix(zm_.Finish(), hdr.size() + comp.size(),
                          /*with_block_len=*/true, &prefix);
-      HAWQ_RETURN_IF_ERROR(writer_->Append(prefix.data()));
-      eof_ += static_cast<int64_t>(prefix.size());
+      zm_prefix = prefix.Release();
+      HAWQ_RETURN_IF_ERROR(writer_->Append(zm_prefix));
+      eof_ += static_cast<int64_t>(zm_prefix.size());
     }
     HAWQ_RETURN_IF_ERROR(writer_->Append(hdr.data()));
     HAWQ_RETURN_IF_ERROR(writer_->Append(comp));
     eof_ += static_cast<int64_t>(hdr.size() + comp.size());
+    if (fuzz::CorpusDumpEnabled()) {
+      // One flushed block is a complete, scannable AO stream — exactly
+      // the byte surface fuzz_storage replays.
+      fuzz::MaybeDumpCorpus("storage", zm_prefix + hdr.data() + comp);
+    }
     return Status::OK();
   }
 
@@ -316,6 +330,11 @@ class AoScanner : public TableScanner {
         // Zone-mapped block: [0][meta_len][meta = block_len + zone map].
         HAWQ_ASSIGN_OR_RETURN(uint64_t meta_len, pr.GetVarint());
         uint64_t prefix_len = got - pr.remaining();
+        // The meta must fit inside the committed file region; check
+        // before sizing the buffer from an untrusted length.
+        if (meta_len > static_cast<uint64_t>(eof_ - pos_) - prefix_len) {
+          return Status::Corruption("AO zone map truncated: " + path_);
+        }
         std::string meta;
         if (meta_len <= pr.remaining()) {
           meta.assign(probe_.data() + prefix_len, meta_len);
@@ -331,10 +350,13 @@ class AoScanner : public TableScanner {
         BufferReader mr(meta);
         HAWQ_ASSIGN_OR_RETURN(uint64_t block_len, mr.GetVarint());
         HAWQ_ASSIGN_OR_RETURN(BlockZoneMap zm, BlockZoneMap::Deserialize(&mr));
-        block_end = pos_ + prefix_len + meta_len + block_len;
-        if (static_cast<int64_t>(block_end) > eof_) {
+        // Subtract-side comparison: `data_off + block_len` could wrap
+        // uint64 with a hostile block_len and slip past an additive check.
+        uint64_t data_off = pos_ + prefix_len + meta_len;
+        if (block_len > static_cast<uint64_t>(eof_) - data_off) {
           return Status::Corruption("AO block past logical eof: " + path_);
         }
+        block_end = data_off + block_len;
         if (!preds_.empty() && !zm.CanMatch(preds_)) {
           ++stats_.blocks_skipped;
           stats_.rows_skipped += zm.rows;
@@ -364,10 +386,10 @@ class AoScanner : public TableScanner {
         HAWQ_ASSIGN_OR_RETURN(comp, pr.GetVarint());
         HAWQ_ASSIGN_OR_RETURN(codec, pr.GetU8());
         uint64_t hdr_len = got - pr.remaining();
-        block_end = pos_ + hdr_len + comp;
-        if (static_cast<int64_t>(block_end) > eof_) {
+        if (comp > static_cast<uint64_t>(eof_) - (pos_ + hdr_len)) {
           return Status::Corruption("AO block truncated: " + path_);
         }
+        block_end = pos_ + hdr_len + comp;
         block_buf_.resize(comp);
         HAWQ_ASSIGN_OR_RETURN(size_t n, reader_->PRead(pos_ + hdr_len,
                                                        block_buf_.data(),
@@ -633,6 +655,12 @@ class CoScanner : public TableScanner {
       for (size_t i = 0; i < ncols_; ++i) {
         uint64_t comp = chunk_comp_[i];
         if (mask_[i]) {
+          // A hostile chunk size must not size the read buffer beyond
+          // what the column file can actually hold.
+          uint64_t col_len = col_readers_[i]->length();
+          if (col_offsets_[i] > col_len || comp > col_len - col_offsets_[i]) {
+            return Status::Corruption("CO column chunk truncated");
+          }
           std::string payload(comp, '\0');
           HAWQ_ASSIGN_OR_RETURN(
               size_t got,
@@ -856,6 +884,16 @@ class ParquetScanner : public TableScanner {
       }
       uint64_t hdr_size = got - hdr.remaining();
       uint64_t chunk_off = pos_ + hdr_size;
+      // Validate every chunk extent against the committed region up
+      // front (subtract-side so a hostile size cannot wrap the sum) —
+      // both the read and the pruned-skip paths advance by these sizes.
+      uint64_t probe_off = chunk_off;
+      for (size_t i = 0; i < ncols_; ++i) {
+        if (comp[i] > static_cast<uint64_t>(eof_) - probe_off) {
+          return Status::Corruption("Parquet chunk past logical eof");
+        }
+        probe_off += comp[i];
+      }
       if (have_zm && !preds_.empty() && !zm.CanMatch(preds_)) {
         ++stats_.blocks_skipped;
         stats_.rows_skipped += rows;

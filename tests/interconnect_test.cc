@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "common/serde.h"
 #include "interconnect/sim_net.h"
 #include "interconnect/tcp_interconnect.h"
 #include "interconnect/udp_interconnect.h"
@@ -46,6 +47,42 @@ TEST(PacketTest, RoundTrip) {
   EXPECT_EQ(parsed->seq, 42u);
   EXPECT_EQ(parsed->missing, p.missing);
   EXPECT_EQ(parsed->payload, "data");
+}
+
+TEST(PacketTest, TruncatedBytesFailCleanly) {
+  // Packets arrive from the network; every proper prefix of a valid
+  // encoding must fail with a status, never read past the buffer.
+  Packet p;
+  p.type = PacketType::kOutOfOrder;
+  p.key = {7, 3, 2, 1};
+  p.src_host = 5;
+  p.seq = 42;
+  p.missing = {38, 39};
+  p.payload = "data";
+  std::string wire = p.Serialize();
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto parsed = Packet::Parse(wire.substr(0, cut));
+    EXPECT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+  EXPECT_TRUE(Packet::Parse(wire).ok());
+}
+
+TEST(PacketTest, HostileMissingCountRejected) {
+  // A missing-list count larger than the packet itself must be rejected
+  // before it sizes the vector.
+  BufferWriter w;
+  w.PutU8(static_cast<uint8_t>(PacketType::kOutOfOrder));
+  w.PutU64(1);                     // query_id
+  w.PutU32(0);                     // motion_id
+  w.PutU32(0);                     // sender
+  w.PutU32(0);                     // receiver
+  w.PutU32(0);                     // src_host
+  w.PutVarint(1);                  // seq
+  w.PutVarint(0);                  // sc
+  w.PutVarint(0);                  // sr
+  w.PutVarint(uint64_t{1} << 40);  // claims 2^40 missing seqs
+  auto parsed = Packet::Parse(w.Release());
+  ASSERT_FALSE(parsed.ok());
 }
 
 // Send `count` chunks from each of `senders` hosts to one receiver over a

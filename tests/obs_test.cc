@@ -233,6 +233,38 @@ TEST(MetricsRegistryTest, TextAndJsonDump) {
 // End-to-end: EXPLAIN ANALYZE on a distributed join reports per-node
 // actuals per segment, interconnect and HDFS counter deltas, and a
 // complete span tree (the ISSUE acceptance shape).
+TEST(MetricsRegistryTest, ClusterMetricNamesAreCataloged) {
+  // Every metric a real workload registers must appear in the checked-in
+  // catalog (src/obs/metric_names.inc) — the same list hawq-lint checks
+  // statically — so dashboards keyed on a name cannot be broken by a
+  // rename that sneaks past review.
+  engine::ClusterOptions opts;
+  opts.num_segments = 4;
+  opts.fault_detector_thread = false;
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE mt (a int, b int) "
+                               "DISTRIBUTED BY (a)").ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session
+                    ->Execute("INSERT INTO mt VALUES (" + std::to_string(i) +
+                              ", " + std::to_string(i) + ")")
+                    .ok());
+  }
+  ASSERT_TRUE(
+      session->Execute("SELECT count(*) FROM mt WHERE a > 5").ok());
+  obs::MetricsRegistry* reg = cluster.metrics();
+  for (const auto& [name, value] : reg->SnapshotCounters()) {
+    EXPECT_TRUE(obs::IsKnownMetricName(name)) << "uncataloged: " << name;
+  }
+  for (const auto& [name, value] : reg->SnapshotGauges()) {
+    EXPECT_TRUE(obs::IsKnownMetricName(name)) << "uncataloged: " << name;
+  }
+  for (const auto& [name, snap] : reg->SnapshotHistograms()) {
+    EXPECT_TRUE(obs::IsKnownMetricName(name)) << "uncataloged: " << name;
+  }
+}
+
 TEST(ExplainAnalyzeTest, JoinQueryEndToEnd) {
   engine::ClusterOptions opts;
   opts.num_segments = 4;

@@ -162,6 +162,29 @@ TEST(ParserTest, SpecialExpressions) {
                     "interval '90 day'").ok());
 }
 
+TEST(ParserTest, DeeplyNestedExpressionFailsCleanly) {
+  // Expression depth is stack depth in a recursive-descent parser: a
+  // pathological query must produce a parse error, not a stack overflow.
+  std::string parens =
+      "SELECT " + std::string(5000, '(') + "1" + std::string(5000, ')');
+  EXPECT_FALSE(Parse(parens).ok());
+
+  std::string nots = "SELECT ";
+  for (int i = 0; i < 5000; ++i) nots += "NOT ";
+  nots += "1";
+  EXPECT_FALSE(Parse(nots).ok());
+
+  std::string negs = "SELECT ";
+  for (int i = 0; i < 5000; ++i) negs += "- ";  // spaced: `--` is a comment
+  negs += "1";
+  EXPECT_FALSE(Parse(negs).ok());
+
+  // Reasonable nesting still parses.
+  std::string sane =
+      "SELECT " + std::string(50, '(') + "1" + std::string(50, ')');
+  EXPECT_TRUE(Parse(sane).ok());
+}
+
 // "EXPLAIN ANALYZE x" is ambiguous: ANALYZE may open a traced SELECT
 // ("EXPLAIN ANALYZE SELECT ...") or be the statement being explained
 // ("EXPLAIN ANALYZE t" explains the ANALYZE of table t). The parser only

@@ -121,6 +121,15 @@ TEST(CodecTest, DecompressDetectsSizeMismatch) {
   EXPECT_FALSE(d.ok());
 }
 
+TEST(CodecTest, ImplausibleExpectedSizeRejected) {
+  // `expected` comes from a file/wire header. A corrupt value must be
+  // rejected up front, before it can drive a multi-gigabyte allocation.
+  for (Codec codec : {Codec::kRle, Codec::kQuicklz, Codec::kZlib}) {
+    auto d = CodecDecompress(codec, "aa", size_t{1} << 40);
+    EXPECT_FALSE(d.ok());
+  }
+}
+
 // ---- table formats ---------------------------------------------------------
 
 Schema TestSchema() {
@@ -363,6 +372,38 @@ TEST(ZoneMapTest, SerializeRoundTrip) {
   EXPECT_EQ(back->cols[1].null_count, 77u);
 }
 
+TEST(ZoneMapTest, TruncatedPrefixFailsCleanly) {
+  // Zone-map prefixes are read from untrusted file bytes; every proper
+  // prefix of a valid encoding must fail with a status, never crash.
+  BlockZoneMap zm;
+  zm.rows = 77;
+  zm.cols.resize(2);
+  zm.cols[0].has_range = true;
+  zm.cols[0].min = Datum::Int(-5);
+  zm.cols[0].max = Datum::Int(999);
+  zm.cols[1].null_count = 77;
+  BufferWriter w;
+  zm.Serialize(&w);
+  std::string buf = w.Release();
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string t = buf.substr(0, cut);
+    BufferReader r(t.data(), t.size());
+    EXPECT_FALSE(BlockZoneMap::Deserialize(&r).ok())
+        << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(ZoneMapTest, HostileColumnCountRejected) {
+  // A column count beyond the remaining bytes must be rejected before
+  // it sizes the column vector.
+  BufferWriter w;
+  w.PutVarint(10);                 // rows
+  w.PutVarint(uint64_t{1} << 40);  // claims 2^40 columns
+  std::string buf = w.Release();
+  BufferReader r(buf.data(), buf.size());
+  EXPECT_FALSE(BlockZoneMap::Deserialize(&r).ok());
+}
+
 class ZoneMapScan : public ::testing::TestWithParam<FormatCase> {
  protected:
   hdfs::MiniHdfs fs_{4};
@@ -494,6 +535,58 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<FormatCase>& info) {
       return info.param.name;
     });
+
+// ---- hostile / truncated files --------------------------------------------
+
+TEST(HostileFileTest, AoHostileZoneMapPrefixRejected) {
+  // A zone-map lead-in claiming a meta length far beyond the file must
+  // surface as Corruption before any buffer is sized from it.
+  hdfs::MiniHdfs fs(4);
+  BufferWriter w;
+  w.PutVarint(0);                  // zone-map marker
+  w.PutVarint(uint64_t{1} << 40);  // hostile meta_len
+  std::string bytes = w.Release();
+  ASSERT_TRUE(fs.WriteFile("/hostile", bytes).ok());
+  StorageOptions opts;  // kAO
+  auto s = OpenTableScanner(&fs, "/hostile", TestSchema(), opts,
+                            static_cast<int64_t>(bytes.size()));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Row row;
+  auto more = (*s)->Next(&row);
+  ASSERT_FALSE(more.ok());
+  EXPECT_NE(more.status().ToString().find("zone map truncated"),
+            std::string::npos)
+      << more.status().ToString();
+}
+
+TEST(HostileFileTest, AoTruncatedMidBlockFailsCleanly) {
+  // Chop a valid file mid-stream but keep claiming the original logical
+  // eof: the scan must fail with a clean status, never read garbage.
+  hdfs::MiniHdfs fs(4);
+  StorageOptions opts;
+  opts.stripe_rows = 100;
+  auto w = OpenTableWriter(&fs, "/trunc", TestSchema(), opts);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  for (int64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+  }
+  ASSERT_TRUE((*w)->Close().ok());
+  int64_t eof = (*w)->logical_eof();
+  ASSERT_TRUE(fs.Truncate("/trunc", static_cast<uint64_t>(eof) / 2).ok());
+  auto s = OpenTableScanner(&fs, "/trunc", TestSchema(), opts, eof);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Row row;
+  Status fail = Status::OK();
+  for (;;) {
+    auto more = (*s)->Next(&row);
+    if (!more.ok()) {
+      fail = more.status();
+      break;
+    }
+    if (!*more) break;
+  }
+  EXPECT_FALSE(fail.ok());
+}
 
 TEST(StorageFilePathsTest, CoHasPerColumnFiles) {
   auto paths = StorageFilePaths("/t", StorageKind::kCO, 3);
