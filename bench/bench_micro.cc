@@ -5,12 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -624,6 +627,212 @@ int RunRuntimeFilterSweep(bool smoke) {
   return 0;
 }
 
+
+// HAWQ_CONC_SWEEP=1: concurrency sweep over the resource manager
+// (ISSUE 8) — N = 1/4/16/64 clients split across two resource queues
+// ("interactive": roomy + high priority; "batch": a 1 MB quota that
+// forces its join build sides to spill), writing BENCH_concurrency.json
+// with throughput, p50/p99 latency, peak tracked memory, and spill
+// volume per client count. A fresh cluster per N keeps the peak and
+// spill figures per-point. Fails if 16 clients are not faster than 1 or
+// if tracked memory ever overshoots the cluster budget.
+
+struct ConcFixture {
+  explicit ConcFixture(int64_t nrows) {
+    engine::ClusterOptions o;
+    o.num_segments = bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4);
+    o.fault_detector_thread = false;
+    o.cluster_mem_budget = 256LL << 20;
+    resource::QueueOptions interactive;
+    interactive.name = "interactive";
+    interactive.priority = 10;
+    interactive.per_query_mem_bytes = 32LL << 20;
+    interactive.max_active = 16;
+    interactive.wait_timeout_us = 60'000'000;
+    resource::QueueOptions batch;
+    batch.name = "batch";
+    batch.per_query_mem_bytes = 1 << 20;  // joins must spill
+    batch.max_active = 8;
+    batch.wait_timeout_us = 60'000'000;
+    o.resource_queues = {interactive, batch};
+    budget = o.cluster_mem_budget;
+    cluster = std::make_unique<engine::Cluster>(o);
+    auto s = cluster->Connect();
+    auto exec = [&](const std::string& sql) {
+      auto r = s->Execute(sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "conc bench: %.60s... -> %s\n", sql.c_str(),
+                     r.status().ToString().c_str());
+        return false;
+      }
+      return true;
+    };
+    if (!exec("CREATE TABLE fact (k INT8, v DOUBLE) DISTRIBUTED BY (k)")) {
+      return;
+    }
+    for (int64_t base = 0; base < nrows; base += 1000) {
+      std::string sql = "INSERT INTO fact VALUES ";
+      int64_t end = std::min<int64_t>(base + 1000, nrows);
+      for (int64_t k = base; k < end; ++k) {
+        if (k != base) sql += ", ";
+        sql += "(" + std::to_string(k) + ", " + std::to_string(k) + ".5)";
+      }
+      if (!exec(sql)) return;
+    }
+    ok = exec("CREATE TABLE dim (k INT8) DISTRIBUTED BY (k)") &&
+         exec("INSERT INTO dim SELECT k FROM fact WHERE k < 400") &&
+         exec("ANALYZE fact") && exec("ANALYZE dim");
+  }
+  std::unique_ptr<engine::Cluster> cluster;
+  int64_t budget = 0;
+  bool ok = false;
+};
+
+int RunConcurrencySweep() {
+  const int64_t nrows = bench::EnvInt("HAWQ_CONC_ROWS", 8000);
+  const int kUnits = bench::EnvInt("HAWQ_CONC_UNITS", 64);
+  const std::vector<int> kClients = {1, 4, 16, 64};
+  // One work unit = a selective aggregate on the interactive queue plus
+  // a spilling hash join on the batch queue.
+  const std::string agg_q =
+      "SELECT count(*), sum(v) FROM fact WHERE k < 1000";
+  const std::string join_q =
+      "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k";
+
+  struct Point {
+    int clients;
+    double elapsed_ms, qps, p50_ms, p99_ms;
+    int64_t peak_bytes;
+    uint64_t spill_bytes, rejected;
+    int failures;
+  };
+  std::vector<Point> points;
+
+  std::printf("concurrency sweep: %lld rows, %d units per point\n",
+              static_cast<long long>(nrows), kUnits);
+  for (int n : kClients) {
+    ConcFixture fx(nrows);
+    if (!fx.ok) return 1;
+    std::vector<std::vector<double>> lat(static_cast<size_t>(n));
+    std::atomic<int> next_unit{0};
+    std::atomic<int> failures{0};
+    auto worker = [&](int id) {
+      auto s = fx.cluster->Connect();
+      for (int u = next_unit.fetch_add(1); u < kUnits;
+           u = next_unit.fetch_add(1)) {
+        for (const auto& [queue, sql] :
+             {std::pair<const char*, const std::string&>{"interactive",
+                                                         agg_q},
+              std::pair<const char*, const std::string&>{"batch", join_q}}) {
+          s->SetResourceQueue(queue);
+          double ms = bench::TimeMs([&] {
+            auto r = s->Execute(sql);
+            if (!r.ok()) {
+              std::fprintf(stderr, "conc bench [%s]: %s\n", queue,
+                           r.status().ToString().c_str());
+              failures.fetch_add(1);
+            }
+          });
+          lat[static_cast<size_t>(id)].push_back(ms);
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    double elapsed = bench::TimeMs([&] {
+      for (int i = 0; i < n; ++i) threads.emplace_back(worker, i);
+      for (auto& t : threads) t.join();
+    });
+
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    auto pct = [&](double q) {
+      if (all.empty()) return 0.0;
+      return all[static_cast<size_t>(q * (all.size() - 1))];
+    };
+    uint64_t rejected = 0;
+    for (const auto& qs : fx.cluster->admission()->Snapshot()) {
+      rejected += qs.rejected;
+    }
+    Point pt;
+    pt.clients = n;
+    pt.elapsed_ms = elapsed;
+    pt.qps = all.empty() ? 0 : 1000.0 * static_cast<double>(all.size()) /
+                                   elapsed;
+    pt.p50_ms = pct(0.50);
+    pt.p99_ms = pct(0.99);
+    pt.peak_bytes = fx.cluster->mem_tracker()->peak();
+    pt.spill_bytes = fx.cluster->TotalSpillBytes();
+    pt.rejected = rejected;
+    pt.failures = failures.load();
+    std::printf(
+        "  N=%-3d %8.1fms  %7.1f q/s  p50 %6.2fms  p99 %7.2fms  "
+        "peak %6.2f MB  spill %6.2f MB\n",
+        pt.clients, pt.elapsed_ms, pt.qps, pt.p50_ms, pt.p99_ms,
+        static_cast<double>(pt.peak_bytes) / (1 << 20),
+        static_cast<double>(pt.spill_bytes) / (1 << 20));
+    if (pt.failures > 0) {
+      std::fprintf(stderr, "FAIL: %d queries failed at N=%d\n", pt.failures,
+                   n);
+      return 1;
+    }
+    if (pt.peak_bytes > fx.budget) {
+      std::fprintf(stderr,
+                   "FAIL: peak tracked bytes %lld exceed the cluster "
+                   "budget %lld at N=%d\n",
+                   static_cast<long long>(pt.peak_bytes),
+                   static_cast<long long>(fx.budget), n);
+      return 1;
+    }
+    points.push_back(pt);
+  }
+
+  double qps1 = points[0].qps, qps16 = points[2].qps;
+  if (qps16 <= qps1) {
+    std::fprintf(stderr,
+                 "FAIL: throughput does not scale: %.1f q/s at 1 client vs "
+                 "%.1f q/s at 16\n",
+                 qps1, qps16);
+    return 1;
+  }
+  std::printf("  scaling 1 -> 16 clients: %.2fx\n", qps16 / qps1);
+
+  FILE* f = std::fopen("BENCH_concurrency.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_concurrency.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"concurrency\",\n");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(nrows));
+  std::fprintf(f, "  \"units\": %d,\n", kUnits);
+  std::fprintf(f, "  \"segments\": %d,\n",
+               bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4));
+  std::fprintf(f, "  \"cluster_mem_budget\": %lld,\n", 256LL << 20);
+  std::fprintf(f, "  \"queues\": [{\"name\": \"interactive\", "
+                  "\"per_query_mem_bytes\": 33554432, \"priority\": 10}, "
+                  "{\"name\": \"batch\", \"per_query_mem_bytes\": 1048576, "
+                  "\"priority\": 0}],\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"clients\": %d, \"elapsed_ms\": %.1f, \"throughput_qps\": "
+        "%.2f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"peak_tracked_bytes\": "
+        "%lld, \"spill_bytes\": %llu, \"rejected\": %llu}%s\n",
+        p.clients, p.elapsed_ms, p.qps, p.p50_ms, p.p99_ms,
+        static_cast<long long>(p.peak_bytes),
+        static_cast<unsigned long long>(p.spill_bytes),
+        static_cast<unsigned long long>(p.rejected),
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scaling_1_to_16\": %.2f\n}\n", qps16 / qps1);
+  std::fclose(f);
+  std::printf("  wrote BENCH_concurrency.json\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hawq
 
@@ -640,10 +849,16 @@ int main(int argc, char** argv) {
   if (const char* e = std::getenv("HAWQ_RF_SWEEP"); e && *e && *e != '0') {
     return hawq::RunRuntimeFilterSweep(/*smoke=*/false);
   }
+  if (const char* e = std::getenv("HAWQ_CONC_SWEEP"); e && *e && *e != '0') {
+    return hawq::RunConcurrencySweep();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   hawq::RunVectorizedSweep();
-  return hawq::RunRuntimeFilterSweep(/*smoke=*/false);
+  if (int rc = hawq::RunRuntimeFilterSweep(/*smoke=*/false); rc != 0) {
+    return rc;
+  }
+  return hawq::RunConcurrencySweep();
 }

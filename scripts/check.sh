@@ -15,7 +15,11 @@
 #
 # Each configuration runs the tier-1 line from ROADMAP.md plus an
 # explicit pass of obs_test (the observability subsystem must be clean
-# under the sanitizers) and the StatViews system-view suite. The plain
+# under the sanitizers), the StatViews system-view suite, and the
+# resource-manager suites (resource_test and the ResourceE2eTest
+# admission/spill end-to-end battery) — the memory tracker and the
+# admission controller's condvar waits must be clean under all four
+# sanitizers. The plain
 # and tsan trees additionally sweep the deterministic chaos harness
 # (chaos_test) across fixed seeds, one process per seed, each under a
 # hard wall-clock deadline — a hung query fails the sweep instead of
@@ -90,6 +94,9 @@ run_config() {
   "$dir/tests/engine_test" --gtest_filter='DataSkippingTest.*'
   "$dir/tests/failure_test" \
     --gtest_filter='*SegmentDeathDuringRuntimeFilterPublish*'
+  echo "==== [$name] resource manager ===="
+  "$dir/tests/resource_test"
+  "$dir/tests/engine_test" --gtest_filter='ResourceE2eTest.*'
   echo "==== [$name] OK ===="
 }
 
@@ -130,6 +137,12 @@ HAWQ_LOCK_SMOKE=1 ./build-check/bench/bench_micro
 # distorts relative timings, so the sanitizer trees only warn.
 echo "==== [plain] runtime-filter smoke ===="
 HAWQ_RF_SMOKE=1 ./build-check/bench/bench_micro
+
+# Resource-manager concurrency sweep: regenerates BENCH_concurrency.json
+# and hard-fails unless throughput scales 1 -> 16 clients with tracked
+# memory under the cluster budget and zero failed/rejected queries.
+echo "==== [plain] concurrency sweep ===="
+HAWQ_CONC_SWEEP=1 ./build-check/bench/bench_micro
 
 for cfg in asan tsan ubsan; do
   echo "==== [$cfg] runtime-filter smoke (soft-fail) ===="

@@ -13,9 +13,9 @@ Rules
 -----
   rank-order          The LockRank enum in src/common/sync.h must order the
                       subsystems net < hdfs < clog < catalog < tx <
-                      dispatcher, with kRankFree < 0 <= kLeaf below all of
-                      them.  Reordering the enum silently invalidates every
-                      rank annotation in the tree.
+                      resource < dispatcher, with kRankFree < 0 <= kLeaf
+                      below all of them.  Reordering the enum silently
+                      invalidates every rank annotation in the tree.
   mutex-rank          Every hawq::Mutex / SharedMutex declaration must pass
                       an explicit LockRank:: value and a string name (no
                       default-rank mutexes), and the rank must belong to
@@ -47,6 +47,13 @@ Rules
                       HAWQ_METRIC_PREFIX literal.  Every exact catalog
                       entry must be used somewhere in src/ or bench/
                       (no dead documentation).
+  tracker-charge      Build-side containers in src/executor/ (hash-join
+                      tables, agg group maps, sort row buffers: table_,
+                      groups_, rows_) grow unboundedly with input size, so
+                      every growth site must charge the operator's memory
+                      reservation (Charge / ChargeUnchecked / TryReserve
+                      within the preceding 10 lines).  Fixed-size inserts
+                      carry an allow marker instead.
   banned              Constructs with a blessed in-repo replacement or a
                       known footgun: std::mutex family outside
                       common/sync.h (use hawq::Mutex, which carries rank +
@@ -129,6 +136,7 @@ RANK_ORDER = [
     "kTxClog",
     "kCatalog",
     "kTxLock", "kTxManager", "kTxWal",
+    "kResource",
     "kDispatcher",
 ]
 
@@ -173,7 +181,7 @@ def check_rank_order(sync: SourceFile):
             out.append(Violation(
                 sync.rel, 0, "rank-order",
                 f"LockRank::{name} ({ranks[name]}) breaks the order "
-                "net < hdfs < clog < catalog < tx < dispatcher"))
+                "net < hdfs < clog < catalog < tx < resource < dispatcher"))
         lo = ranks[name]
     return out
 
@@ -198,6 +206,7 @@ SUBSYSTEM_RANKS = {
     "src/catalog": {"kCatalog"},
     "src/tx": {"kTxClog", "kTxLock", "kTxManager", "kTxWal"},
     "src/engine": {"kDispatcher"},
+    "src/resource": {"kResource"},
     "src/obs": set(),                 # rank-free leaf locks only (PR 3)
 }
 UNIVERSAL_RANKS = {"kLeaf", "kRankFree"}
@@ -409,6 +418,44 @@ def check_metric_names(cat: SourceFile, src_files, bench_files):
 
 
 # --------------------------------------------------------------------------
+# rule: tracker-charge
+
+# Build-side containers whose growth is proportional to input size. The
+# names are this repo's idiom (HashJoinExec::table_, HashAggExec::groups_,
+# SortExec::rows_); a new unbounded operator container should be added
+# here in the PR that introduces it.
+# Map subscripts (operator[] inserts on a miss) count only for the map
+# containers; vector indexing is a read.
+TRACKED_GROWTH_RE = re.compile(
+    r"\b(?:table_|groups_)\s*\[|"
+    r"\b(?:table_|groups_|rows_)\s*\.\s*(?:push_back|emplace|insert)\b")
+CHARGE_CALL_RE = re.compile(r"\b(?:Charge|ChargeUnchecked|TryReserve)\s*\(")
+
+
+def check_tracker_charge(f: SourceFile):
+    if not f.rel.startswith("src/executor/"):
+        return []
+    out = []
+    for i, line in enumerate(f.lines, 1):
+        code = line.split("//", 1)[0]
+        if TRACKED_GROWTH_RE.search(code) is None:
+            continue
+        if f.allowed(i, "tracker-charge"):
+            continue
+        # The charge normally sits directly above the insert (budget check
+        # first, then grow); same line counts too.
+        window = "\n".join(f.lines[max(0, i - 11):i])
+        if CHARGE_CALL_RE.search(window) is None:
+            out.append(Violation(
+                f.rel, i, "tracker-charge",
+                "build-side container grows without charging the memory "
+                "tracker (no Charge/ChargeUnchecked/TryReserve in the 10 "
+                "lines above) — untracked memory breaks spill-under-budget "
+                "and admission quotas"))
+    return out
+
+
+# --------------------------------------------------------------------------
 # rule: banned
 
 BANNED = [
@@ -478,6 +525,7 @@ def run_lint(root: str):
             out.extend(check_mutex_decls(f))
         out.extend(check_cancel_poll(f))
         out.extend(check_exec_source_cancel(f))
+        out.extend(check_tracker_charge(f))
         out.extend(check_banned(f))
 
     chaos = by_rel.get("src/common/chaos.h")

@@ -66,7 +66,7 @@ inline void Point(const char* point) {
 inline const std::vector<std::string>& KnownPoints() {
   static const std::vector<std::string> kPoints = {
       "scan.batch", "motion.send", "motion.recv", "hdfs.pread",
-      "rf.publish"};
+      "rf.publish", "resource.admit"};
   return kPoints;
 }
 

@@ -104,6 +104,11 @@ enum class LockRank : int {
   kTxLock = 40,     // table lock manager
   kTxManager = 42,  // xid assignment + active-transaction set
   kTxWal = 44,      // WAL append/ship (calls down into catalog on replay)
+  /// Resource manager (admission queues + tracker bookkeeping). Above tx
+  /// because admission is decided before a statement opens a transaction
+  /// and holds no lower lock; below the dispatcher so dispatch paths may
+  /// consult queue state.
+  kResource = 46,
   // dispatcher / engine --------------------------------------------------
   kDispatcher = 50,
 };

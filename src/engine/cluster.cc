@@ -100,6 +100,7 @@ Cluster::Cluster(ClusterOptions opts)
     : opts_(opts),
       events_(opts.event_journal_capacity),
       query_log_(opts.query_log_capacity),
+      mem_root_("cluster", opts.cluster_mem_budget),
       hbase_(opts.num_segments) {
   // Per-rank lock acquire-wait histograms ("sync.lock_wait_us.<rank>").
   // Installed before any substrate so their mutexes are profiled from the
@@ -139,10 +140,23 @@ Cluster::Cluster(ClusterOptions opts)
   fabric_->SetFilterSink([this](uint64_t qid, const std::string& payload) {
     rf_hub_.PublishSerialized(qid, payload);
   });
+  // Resource manager: admission queues over the cluster tracker, plus
+  // the shared segment worker pool (paper §2.2). An unconfigured cluster
+  // gets one permissive default queue.
+  std::vector<resource::QueueOptions> queues = opts_.resource_queues;
+  if (queues.empty()) queues.emplace_back();
+  admission_ = std::make_unique<resource::AdmissionController>(
+      &mem_root_, std::move(queues), opts_.max_active_total, &metrics_,
+      &events_);
+  int pool_threads = opts_.worker_pool_threads > 0
+                         ? opts_.worker_pool_threads
+                         : opts_.num_segments + 1;
+  worker_pool_ =
+      std::make_unique<resource::WorkerPool>(pool_threads, &metrics_);
   DispatchOptions dopts;
   dopts.num_segments = opts_.num_segments;
   dopts.compress_plan = opts_.compress_plans;
-  dopts.sort_spill_threshold = opts_.sort_spill_threshold;
+  dopts.pool = worker_pool_.get();
   dopts.metrics = &metrics_;
   dopts.journal = &events_;
   if (opts_.enable_runtime_filters) dopts.rf_hub = &rf_hub_;

@@ -26,6 +26,9 @@
 #include "planner/planner.h"
 #include "pxf/connectors.h"
 #include "pxf/hbase_like.h"
+#include "resource/admission.h"
+#include "resource/memory_tracker.h"
+#include "resource/worker_pool.h"
 #include "tx/tx_manager.h"
 
 namespace hawq::engine {
@@ -45,7 +48,6 @@ struct ClusterOptions {
   bool compress_plans = true;
   bool enable_standby = true;
   bool fault_detector_thread = true;
-  size_t sort_spill_threshold = 1 << 20;
   /// Statements at least this slow (exec time, microseconds) get their
   /// EXPLAIN ANALYZE rendering captured into hawq_stat_queries. 0 = off.
   /// When on, every SELECT runs traced (the instrumentation wrappers cost
@@ -68,6 +70,22 @@ struct ClusterOptions {
   /// How long a scan waits for a cross-slice runtime filter before
   /// starting unfiltered (correctness never depends on the filter).
   uint64_t runtime_filter_wait_us = 50000;
+
+  // --- resource management ------------------------------------------------
+  /// Cluster-wide memory budget: the root of the tracker hierarchy
+  /// (cluster -> queue -> query -> operator). Queue quotas reserve out of
+  /// this; the stat views report against it.
+  int64_t cluster_mem_budget = 1LL << 30;
+  /// Named resource queues (paper §2.2's multi-tenant admission control).
+  /// Empty = one permissive "default" queue. The first entry is the queue
+  /// sessions land on unless they SetResourceQueue().
+  std::vector<resource::QueueOptions> resource_queues;
+  /// Global cap on concurrently executing statements across all queues.
+  /// 0 = sum of the queues' max_active.
+  int max_active_total = 0;
+  /// Core threads of the shared segment worker pool. 0 = derived from
+  /// num_segments (enough to run one full gang without overflow).
+  int worker_pool_threads = 0;
 
   // --- fault tolerance & recovery ---------------------------------------
   /// How long a segment may miss heartbeats before the fault detector
@@ -99,6 +117,12 @@ class Cluster {
   net::Interconnect* fabric() { return fabric_.get(); }
   net::UdpFabric* udp_fabric() { return udp_fabric_; }
   Dispatcher* dispatcher() { return dispatcher_.get(); }
+  /// Root of the memory tracker hierarchy (cluster-wide budget).
+  resource::MemoryTracker* mem_tracker() { return &mem_root_; }
+  /// Admission controller every Session::Execute passes through.
+  resource::AdmissionController* admission() { return admission_.get(); }
+  /// Shared segment worker pool gang workers run on.
+  resource::WorkerPool* worker_pool() { return worker_pool_.get(); }
   /// Cluster-wide metrics registry; every subsystem publishes here.
   obs::MetricsRegistry* metrics() { return &metrics_; }
   /// Structured cluster event journal (backs hawq_stat_events).
@@ -169,6 +193,12 @@ class Cluster {
   // Process-wide runtime-filter registry; the fabric's filter sink feeds
   // it, the dispatcher hands it to workers. Declared before dispatcher_.
   exec::RuntimeFilterHub rf_hub_;
+  // Resource manager: tracker root, admission queues, worker pool —
+  // declared before dispatcher_ (which borrows the pool) and destroyed
+  // after it, so in-flight gangs never outlive their threads.
+  resource::MemoryTracker mem_root_;
+  std::unique_ptr<resource::AdmissionController> admission_;
+  std::unique_ptr<resource::WorkerPool> worker_pool_;
   std::unique_ptr<Dispatcher> dispatcher_;
   pxf::Registry pxf_;
   pxf::HBaseLike hbase_;

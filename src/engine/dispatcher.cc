@@ -33,7 +33,8 @@ void CollectRecvIds(const plan::PlanNode& n, std::vector<int>* out) {
 Result<QueryResult> Dispatcher::Execute(
     const plan::PhysicalPlan& plan, uint64_t query_id,
     const std::vector<bool>& segment_up,
-    std::vector<exec::InsertResult>* insert_results, obs::QueryTrace* trace) {
+    std::vector<exec::InsertResult>* insert_results, obs::QueryTrace* trace,
+    ExecResources res) {
   auto t0 = Clock::now();
   // Concurrency pressure gauge; the guard decrements on every return path.
   struct ActiveGuard {
@@ -155,7 +156,10 @@ Result<QueryResult> Dispatcher::Execute(
   Mutex side_mu(LockRank::kLeaf, "dispatcher.side_results");
   std::vector<exec::InsertResult> side_results;
 
-  std::vector<std::thread> gang;
+  // Gang workers either run on the shared segment worker pool (normal
+  // engine path: hundreds of concurrent sessions share threads) or on
+  // per-query threads (no pool configured — unit tests, bare benches).
+  std::vector<std::function<void()>> tasks;
   for (size_t si = 1; si < plan.slices.size(); ++si) {
     const plan::Slice& s = plan.slices[si];
     int workers = s.on_qd ? 1 : static_cast<int>(s.exec_segments.size());
@@ -172,7 +176,8 @@ Result<QueryResult> Dispatcher::Execute(
     for (int w = 0; w < workers; ++w) {
       int segment = s.on_qd ? -1 : s.exec_segments[w];
       int host = s.on_qd ? qd_host : seg_host[segment];
-      gang.emplace_back([&, parsed, si, w, segment, host, trace, root_span] {
+      tasks.push_back([&, parsed, si, w, segment, host, trace, root_span,
+                       res] {
         exec::ExecContext ctx;
         ctx.query_id = query_id;
         ctx.worker = w;
@@ -183,10 +188,11 @@ Result<QueryResult> Dispatcher::Execute(
         ctx.net = net_;
         ctx.wiring = &wiring;
         ctx.local_disk = &(*local_disks_)[host];
-        ctx.sort_spill_threshold = opts_.sort_spill_threshold;
         ctx.side_mu = &side_mu;
         ctx.insert_results = &side_results;
         ctx.cancel = &cancel_token;
+        ctx.mem = res.mem;
+        ctx.kill_on_exceed = res.kill_on_exceed;
         ctx.metrics = opts_.metrics;
         ctx.rf_hub = opts_.rf_hub;
         if (host >= 0 && host < static_cast<int>(seg_health_.size())) {
@@ -214,6 +220,26 @@ Result<QueryResult> Dispatcher::Execute(
     }
   }
 
+  // hawq-lint: allow(mutex-guard): function-local; guards the captured
+  // gang_pending counter below.
+  Mutex gang_mu(LockRank::kLeaf, "dispatcher.gang");
+  CondVar gang_cv;
+  size_t gang_pending = 0;
+  std::vector<std::thread> gang;
+  if (opts_.pool != nullptr) {
+    gang_pending = tasks.size();
+    for (std::function<void()>& t : tasks) {
+      opts_.pool->Submit([&gang_mu, &gang_cv, &gang_pending,
+                          task = std::move(t)] {
+        task();
+        MutexLock g(gang_mu);
+        if (--gang_pending == 0) gang_cv.NotifyAll();
+      });
+    }
+  } else {
+    for (std::function<void()>& t : tasks) gang.emplace_back(std::move(t));
+  }
+
   // --- top slice on the QD ------------------------------------------------------
   {
     exec::ExecContext ctx;
@@ -226,10 +252,11 @@ Result<QueryResult> Dispatcher::Execute(
     ctx.net = net_;
     ctx.wiring = &wiring;
     ctx.local_disk = &(*local_disks_)[qd_host];
-    ctx.sort_spill_threshold = opts_.sort_spill_threshold;
     ctx.side_mu = &side_mu;
     ctx.insert_results = &side_results;
     ctx.cancel = &cancel_token;
+    ctx.mem = res.mem;
+    ctx.kill_on_exceed = res.kill_on_exceed;
     ctx.metrics = opts_.metrics;
     ctx.rf_hub = opts_.rf_hub;
     if (trace != nullptr) {
@@ -258,7 +285,12 @@ Result<QueryResult> Dispatcher::Execute(
     if (trace != nullptr) trace->EndSpan(ctx.span);
   }
 
-  for (std::thread& t : gang) t.join();
+  if (opts_.pool != nullptr) {
+    MutexLock g(gang_mu);
+    gang_cv.Wait(g, [&] { return gang_pending == 0; });
+  } else {
+    for (std::thread& t : gang) t.join();
+  }
   // Every worker that could read or publish a runtime filter has exited;
   // drop the query's filters so the hub doesn't grow across queries.
   if (opts_.rf_hub != nullptr) opts_.rf_hub->ClearQuery(query_id);

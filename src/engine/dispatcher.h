@@ -19,6 +19,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_node.h"
+#include "resource/memory_tracker.h"
+#include "resource/worker_pool.h"
 
 namespace hawq::engine {
 
@@ -26,7 +28,10 @@ struct DispatchOptions {
   int num_segments = 8;
   /// Compress the serialized plan before dispatch (paper §3.1).
   bool compress_plan = true;
-  size_t sort_spill_threshold = 1 << 20;
+  /// Shared segment worker pool (optional, may be null = spawn a thread
+  /// per gang worker). With a pool, hundreds of concurrent sessions share
+  /// execution threads instead of each paying per-query thread churn.
+  resource::WorkerPool* pool = nullptr;
   /// Engine-wide metrics (optional, may be null): engine.queries /
   /// engine.slices counters and the engine.query_us histogram.
   obs::MetricsRegistry* metrics = nullptr;
@@ -45,6 +50,14 @@ struct DispatchOptions {
 struct SegmentLoad {
   std::atomic<uint64_t> busy_us{0};
   std::atomic<uint64_t> queries{0};
+};
+
+/// Per-query resources granted by admission control: the query-scope
+/// memory tracker every worker charges, and the owning queue's
+/// out-of-budget policy. Default = untracked (unit-test path).
+struct ExecResources {
+  resource::MemoryTracker* mem = nullptr;
+  bool kill_on_exceed = false;
 };
 
 /// Liveness state of one segment as the master sees it. `alive` is the
@@ -84,7 +97,8 @@ class Dispatcher {
                               uint64_t query_id,
                               const std::vector<bool>& segment_up,
                               std::vector<exec::InsertResult>* insert_results,
-                              obs::QueryTrace* trace = nullptr);
+                              obs::QueryTrace* trace = nullptr,
+                              ExecResources res = {});
 
   /// Per-segment execution totals, indexed by the segment that actually
   /// ran the work (failover reassigns a down segment's slices).

@@ -154,10 +154,20 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
   uint64_t retrans0 = c_->RetransmitCount();
   uint64_t spill0 = c_->TotalSpillBytes();
 
-  Result<QueryResult> res = ExecuteInternal(sql);
+  // Admission control (paper §2.2): every statement first takes a slot in
+  // its resource queue; the ticket carries the query-level memory tracker
+  // all of its workers charge. A rejection (queue timeout) surfaces as a
+  // normal statement error below and is recorded like one.
+  const std::string& queue =
+      queue_.empty() ? c_->admission()->default_queue() : queue_;
+  Result<QueryResult> res = [&]() -> Result<QueryResult> {
+    HAWQ_ASSIGN_OR_RETURN(ticket_, c_->admission()->Admit(queue));
+    return ExecuteInternal(sql);
+  }();
 
   obs::QueryRecord rec;
   rec.text = sql;
+  rec.queue = ticket_ ? ticket_.queue() : queue;
   rec.duration_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - t0)
@@ -180,10 +190,30 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
     // Every failed statement counts here, including master-side dispatch
     // refusals that never reach a segment.
     c_->metrics()->GetCounter("engine.queries_failed")->Add(1);
+    if (res.status().code() == StatusCode::kOutOfMemory && ticket_) {
+      // kill_on_exceed fired: count the kill against the queue.
+      ticket_.NoteKilled();
+      c_->events()->Log(obs::Severity::kError, "resource",
+                        "query_killed_oom", rec.error, rec.query_id);
+    }
   }
+  // Releasing the ticket destroys the query tracker (which aborts the
+  // process if an operator leaked a reservation) and frees the slot; the
+  // peak survives for the record.
+  ticket_.Release();
+  rec.peak_mem_bytes = ticket_.peak_bytes();
   rec.slow_explain = std::move(last_slow_explain_);
   c_->query_log()->Append(std::move(rec));
   return res;
+}
+
+ExecResources Session::CurrentResources() const {
+  ExecResources r;
+  if (ticket_) {
+    r.mem = ticket_.tracker();
+    r.kill_on_exceed = ticket_.kill_on_exceed();
+  }
+  return r;
 }
 
 Result<QueryResult> Session::ExecuteInternal(const std::string& sql) {
@@ -380,7 +410,8 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
       HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
       PublishPruning(c_, plan);
       return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
-                                       nullptr);
+                                       nullptr, nullptr,
+                                       CurrentResources());
     });
   }
   // Slow-query auto-capture: run traced so that if the statement crosses
@@ -396,7 +427,8 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
         before = c_->metrics()->SnapshotCounters();
         PublishPruning(c_, plan);  // inside the snapshot window
         return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
-                                         nullptr, trace.get());
+                                         nullptr, trace.get(),
+                                         CurrentResources());
       }));
   if (static_cast<uint64_t>(res.exec_time.count()) >= slow_us) {
     auto after = c_->metrics()->SnapshotCounters();
@@ -548,8 +580,9 @@ Result<QueryResult> Session::ExecInsert(const sql::InsertStmt& stmt,
   std::vector<exec::InsertResult> side;
   HAWQ_ASSIGN_OR_RETURN(QueryResult res,
                         c_->dispatcher()->Execute(plan, c_->NextQueryId(),
-                                                  c_->SegmentUpMask(),
-                                                  &side));
+                                                  c_->SegmentUpMask(), &side,
+                                                  nullptr,
+                                                  CurrentResources()));
   // Piggy-backed metadata changes: apply segment-file updates in one batch
   // on the master (§3.1).
   int64_t total = 0;
@@ -1009,7 +1042,8 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
           before = c_->metrics()->SnapshotCounters();
           PublishPruning(c_, plan);  // inside the snapshot window
           return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
-                                           nullptr, trace.get());
+                                           nullptr, trace.get(),
+                                           CurrentResources());
         }));
     auto after = c_->metrics()->SnapshotCounters();
     for (const auto& [name, v] : after) {

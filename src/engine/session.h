@@ -27,6 +27,11 @@ class Session {
   /// True while an explicit transaction is open.
   bool InTransaction() const { return open_txn_ != nullptr; }
 
+  /// Route this session's statements through the named resource queue
+  /// (paper §2.2). Unset = the cluster's default queue.
+  void SetResourceQueue(std::string name) { queue_ = std::move(name); }
+  const std::string& resource_queue() const { return queue_; }
+
  private:
   friend class Cluster;
   explicit Session(Cluster* cluster) : c_(cluster) {}
@@ -82,7 +87,16 @@ class Session {
   Result<QueryResult> RunInternal(const std::string& sql,
                                   tx::Transaction* txn);
 
+  /// The per-query resources granted by the statement's admission ticket
+  /// (empty ExecResources when no ticket is held — internal statements).
+  ExecResources CurrentResources() const;
+
   Cluster* c_;
+  /// Resource queue this session's statements are admitted through.
+  std::string queue_;
+  /// Admission ticket of the statement currently executing; carries the
+  /// query-level memory tracker. Held across retries of one statement.
+  resource::AdmissionTicket ticket_;
   std::unique_ptr<tx::Transaction> open_txn_;
   std::unique_ptr<tx::Transaction> implicit_txn_;
   /// Query id of the most recent dispatch within the current statement

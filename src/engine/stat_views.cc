@@ -56,7 +56,23 @@ std::vector<Row> QueryRows(Cluster* c) {
                     Datum::Int(q.spill_bytes), Datum::Int(q.retransmits),
                     q.slow_explain.empty()
                         ? Datum::Null()
-                        : Datum::Str(std::move(q.slow_explain))});
+                        : Datum::Str(std::move(q.slow_explain)),
+                    Datum::Str(std::move(q.queue)),
+                    Datum::Int(q.peak_mem_bytes)});
+  }
+  return rows;
+}
+
+std::vector<Row> ResourceQueueRows(Cluster* c) {
+  std::vector<Row> rows;
+  for (const resource::QueueStats& q : c->admission()->Snapshot()) {
+    rows.push_back({Datum::Str(q.name), Datum::Int(q.priority),
+                    Datum::Int(q.max_active), Datum::Int(q.active),
+                    Datum::Int(q.queued), U64(q.admitted),
+                    U64(q.rejected), U64(q.killed),
+                    Datum::Int(q.mem_used_bytes), Datum::Int(q.mem_quota_bytes),
+                    Datum::Int(q.per_query_mem_bytes),
+                    Datum::Str(q.kill_on_exceed ? "kill" : "spill")});
   }
   return rows;
 }
@@ -169,7 +185,23 @@ std::vector<catalog::TableDesc> StatViewDefs() {
        ColumnDesc{"rows", TypeId::kInt64, false},
        ColumnDesc{"spill_bytes", TypeId::kInt64, false},
        ColumnDesc{"retransmits", TypeId::kInt64, false},
-       ColumnDesc{"slow_explain", TypeId::kString, true}}));
+       ColumnDesc{"slow_explain", TypeId::kString, true},
+       ColumnDesc{"queue", TypeId::kString, false},
+       ColumnDesc{"peak_mem_bytes", TypeId::kInt64, false}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_resource_queues",
+      {ColumnDesc{"queue", TypeId::kString, false},
+       ColumnDesc{"priority", TypeId::kInt64, false},
+       ColumnDesc{"max_active", TypeId::kInt64, false},
+       ColumnDesc{"active", TypeId::kInt64, false},
+       ColumnDesc{"queued", TypeId::kInt64, false},
+       ColumnDesc{"admitted", TypeId::kInt64, false},
+       ColumnDesc{"rejected", TypeId::kInt64, false},
+       ColumnDesc{"killed", TypeId::kInt64, false},
+       ColumnDesc{"mem_used_bytes", TypeId::kInt64, false},
+       ColumnDesc{"mem_quota_bytes", TypeId::kInt64, false},
+       ColumnDesc{"per_query_mem_bytes", TypeId::kInt64, false},
+       ColumnDesc{"overcommit_policy", TypeId::kString, false}}));
   defs.push_back(MakeViewDesc(
       "hawq_stat_segments",
       {ColumnDesc{"segment", TypeId::kInt64, false},
@@ -199,6 +231,9 @@ Result<std::vector<Row>> BuildStatViewRows(Cluster* cluster,
                                            const std::string& view_name) {
   if (view_name == "hawq_stat_metrics") return MetricsRows(cluster);
   if (view_name == "hawq_stat_queries") return QueryRows(cluster);
+  if (view_name == "hawq_stat_resource_queues") {
+    return ResourceQueueRows(cluster);
+  }
   if (view_name == "hawq_stat_segments") return SegmentRows(cluster);
   if (view_name == "hawq_stat_events") return EventRows(cluster);
   return Status::NotFound("unknown system view: " + view_name);

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_node.h"
+#include "resource/memory_tracker.h"
 
 namespace hawq::exec {
 
@@ -97,8 +98,6 @@ struct ExecContext {
   net::Interconnect* net = nullptr;
   const std::map<int, MotionWiring>* wiring = nullptr;
   LocalDisk* local_disk = nullptr;
-  /// Rows held in memory before Sort spills runs to the local disk.
-  size_t sort_spill_threshold = 1 << 20;
   /// Capacity of the RowBatches flowing through this worker's pipeline
   /// (kDefaultBatchRows unless a bench/test sweeps it).
   size_t batch_size = kDefaultBatchRows;
@@ -124,6 +123,18 @@ struct ExecContext {
     if (cancel != nullptr && cancel->cancelled()) return cancel->Check();
     return Status::OK();
   }
+
+  // --- resource management ----------------------------------------------
+  /// Query-scope memory tracker shared by every worker of the query
+  /// (owned by the Session's admission ticket). Null = untracked: memory
+  /// hungry operators never spill and never fail on budget — the legacy
+  /// unit-test path. All spill thresholds derive from this tracker's
+  /// budget; there is no separate row-count knob.
+  resource::MemoryTracker* mem = nullptr;
+  /// Queue policy: true = an operator that outgrows the budget fails the
+  /// query with OutOfMemory instead of spilling (resource queue
+  /// kill_on_exceed).
+  bool kill_on_exceed = false;
 
   // --- data skipping / runtime filters ----------------------------------
   /// Engine metrics registry (null in unit tests that drive exec nodes

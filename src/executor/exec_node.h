@@ -29,6 +29,11 @@ class ExecNode {
   virtual Status Close() { return Status::OK(); }
 };
 
+/// Estimated bytes retained per recycled RowBatch row slot. Slot pools
+/// are charged unchecked against the query tracker (they are small and
+/// fixed-size, so they inform the peak rather than trigger spills).
+constexpr int64_t kRowSlotBytes = 64;
+
 /// \brief Base for batch-native operators: provides Next(Row*) by
 /// draining an internal batch, so a batch-native operator still serves
 /// row-at-a-time consumers (the adapter in the other direction lives in
@@ -36,6 +41,12 @@ class ExecNode {
 class BatchExecNode : public ExecNode {
  public:
   explicit BatchExecNode(size_t batch_rows) : buffered_(batch_rows) {}
+  /// Batch-native operators pass the query tracker so their recycled
+  /// slot pool shows up in per-query memory accounting.
+  BatchExecNode(size_t batch_rows, resource::MemoryTracker* mem)
+      : buffered_(batch_rows), pool_(mem) {
+    pool_.ChargeUnchecked(static_cast<int64_t>(batch_rows) * kRowSlotBytes);
+  }
 
   Result<bool> Next(Row* row) override {
     while (buf_pos_ >= buffered_.size()) {
@@ -51,6 +62,7 @@ class BatchExecNode : public ExecNode {
  private:
   RowBatch buffered_;
   size_t buf_pos_ = 0;
+  resource::ScopedReservation pool_{nullptr};
 };
 
 /// Build the operator tree for one plan subtree on this worker.

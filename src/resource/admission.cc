@@ -1,0 +1,256 @@
+#include "resource/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/chaos.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+
+namespace hawq::resource {
+
+// ------------------------------------------------------ AdmissionTicket
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& o) noexcept {
+  if (this != &o) {
+    Release();
+    ctl_ = o.ctl_;
+    queue_idx_ = o.queue_idx_;
+    tracker_ = std::move(o.tracker_);
+    queue_name_ = std::move(o.queue_name_);
+    kill_ = o.kill_;
+    peak_ = o.peak_;
+    o.ctl_ = nullptr;
+    o.tracker_.reset();
+  }
+  return *this;
+}
+
+int64_t AdmissionTicket::peak_bytes() const {
+  if (tracker_ != nullptr) peak_ = tracker_->peak();
+  return peak_;
+}
+
+void AdmissionTicket::NoteKilled() {
+  if (ctl_ != nullptr) ctl_->NoteKilled(queue_idx_);
+}
+
+void AdmissionTicket::Release() {
+  if (ctl_ == nullptr) return;
+  peak_ = tracker_ != nullptr ? tracker_->peak() : peak_;
+  // Destroy the query tracker first: it aborts if an operator leaked a
+  // reservation, and the slot must not be reusable before the queue
+  // tracker got its bytes back.
+  tracker_.reset();
+  AdmissionController* ctl = ctl_;
+  ctl_ = nullptr;
+  ctl->ReleaseSlot(queue_idx_);
+}
+
+// -------------------------------------------------- AdmissionController
+
+AdmissionController::AdmissionController(MemoryTracker* root,
+                                         std::vector<QueueOptions> queues,
+                                         int max_active_total,
+                                         obs::MetricsRegistry* metrics,
+                                         obs::EventJournal* journal)
+    : max_active_total_(max_active_total),
+      metrics_(metrics),
+      journal_(journal) {
+  if (queues.empty()) queues.push_back(QueueOptions{});
+  MutexLock l(mu_);
+  for (QueueOptions& qo : queues) {
+    if (qo.max_active < 1) qo.max_active = 1;
+    if (qo.mem_quota_bytes <= 0 && qo.per_query_mem_bytes > 0) {
+      qo.mem_quota_bytes = qo.per_query_mem_bytes * qo.max_active;
+    }
+    Queue q;
+    q.tracker = std::make_unique<MemoryTracker>(
+        "queue." + qo.name, qo.mem_quota_bytes > 0
+                                ? qo.mem_quota_bytes
+                                : MemoryTracker::kUnlimited,
+        root);
+    q.opts = std::move(qo);
+    queues_.push_back(std::move(q));
+  }
+  default_queue_ = queues_.front().opts.name;
+}
+
+const std::string& AdmissionController::default_queue() const {
+  return default_queue_;
+}
+
+bool AdmissionController::HasCapacityLocked(const Queue& q) const {
+  if (q.active >= q.opts.max_active) return false;
+  if (max_active_total_ > 0 && total_active_ >= max_active_total_)
+    return false;
+  return true;
+}
+
+bool AdmissionController::CanGoLocked(const Waiter& w) const {
+  if (!HasCapacityLocked(queues_[w.queue_idx])) return false;
+  for (const Waiter& o : waiters_) {
+    if (o.seq == w.seq) continue;
+    // FIFO within the queue: anyone older in my queue goes first.
+    if (o.queue_idx == w.queue_idx && o.seq < w.seq) return false;
+    // Priority across queues: an admissible waiter of a
+    // higher-priority queue (or an older peer) drains first.
+    if (o.queue_idx != w.queue_idx &&
+        (o.priority > w.priority ||
+         (o.priority == w.priority && o.seq < w.seq)) &&
+        HasCapacityLocked(queues_[o.queue_idx])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AdmissionController::CanBypassWaitLocked(size_t queue_idx,
+                                              int priority) const {
+  if (!HasCapacityLocked(queues_[queue_idx])) return false;
+  for (const Waiter& o : waiters_) {
+    // Never jump ahead of an existing waiter of my own queue (FIFO)...
+    if (o.queue_idx == queue_idx) return false;
+    // ...or of a strictly higher-priority waiter that could run now.
+    if (o.priority > priority && HasCapacityLocked(queues_[o.queue_idx])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(
+    const std::string& queue_name, uint64_t query_id) {
+  // Chaos hook: lets the harness fire segment/disk/net faults at the
+  // admission boundary, exercising queries that fail before dispatch.
+  // hawq-lint: allow(cancel-poll): admission runs before the statement
+  // has a cancel token; a rejected admit surfaces as a clean error.
+  common::chaos::Point("resource.admit");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  MutexLock l(mu_);
+  size_t qi = queues_.size();
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    if (queues_[i].opts.name == queue_name) {
+      qi = i;
+      break;
+    }
+  }
+  if (qi == queues_.size()) {
+    return Status::InvalidArgument("unknown resource queue '" + queue_name +
+                                   "'");
+  }
+  Queue& q = queues_[qi];
+
+  if (!CanBypassWaitLocked(qi, q.opts.priority)) {
+    Waiter me{qi, next_seq_++, q.opts.priority};
+    waiters_.push_back(me);
+    ++q.queued;
+    if (metrics_ != nullptr) {
+      metrics_->GetCounter("resource.queries_queued")->Add(1);
+    }
+    if (journal_ != nullptr) {
+      journal_->Log(obs::Severity::kInfo, "resource", "query_queued",
+                    "queue '" + queue_name + "' full (active=" +
+                        std::to_string(q.active) + ")",
+                    query_id);
+    }
+    bool admitted = cv_.WaitFor(
+        l, std::chrono::microseconds(q.opts.wait_timeout_us),
+        [&] { return CanGoLocked(me); });
+    waiters_.erase(std::find_if(waiters_.begin(), waiters_.end(),
+                                [&](const Waiter& w) {
+                                  return w.seq == me.seq;
+                                }));
+    --q.queued;
+    if (!admitted) {
+      ++q.rejected;
+      if (metrics_ != nullptr) {
+        metrics_->GetCounter("resource.queries_rejected")->Add(1);
+      }
+      // Someone else may have become eligible when this waiter left.
+      cv_.NotifyAll();
+      return Status::ResourceBusy(
+          "admission timeout after " +
+          std::to_string(q.opts.wait_timeout_us / 1000) + "ms on queue '" +
+          queue_name + "'");
+    }
+  }
+
+  ++q.active;
+  ++total_active_;
+  ++q.admitted;
+  const auto waited_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("resource.queries_admitted")->Add(1);
+    metrics_->GetHistogram("resource.admit_wait_us")
+        ->Observe(static_cast<uint64_t>(waited_us));
+  }
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kInfo, "resource", "query_admitted",
+                  "queue '" + queue_name + "' (waited " +
+                      std::to_string(waited_us) + "us)",
+                  query_id);
+  }
+
+  AdmissionTicket t;
+  t.ctl_ = this;
+  t.queue_idx_ = qi;
+  t.queue_name_ = queue_name;
+  t.kill_ = q.opts.kill_on_exceed;
+  t.tracker_ = std::make_unique<MemoryTracker>(
+      "query." + queue_name,
+      q.opts.per_query_mem_bytes > 0 ? q.opts.per_query_mem_bytes
+                                     : MemoryTracker::kUnlimited,
+      q.tracker.get());
+  return t;
+}
+
+void AdmissionController::ReleaseSlot(size_t queue_idx) {
+  {
+    MutexLock l(mu_);
+    --queues_[queue_idx].active;
+    --total_active_;
+    if (metrics_ != nullptr) {
+      int64_t used = 0;
+      for (const Queue& q : queues_) used += q.tracker->used();
+      metrics_->GetGauge("resource.mem_reserved_bytes")->Set(used);
+    }
+  }
+  cv_.NotifyAll();
+}
+
+void AdmissionController::NoteKilled(size_t queue_idx) {
+  MutexLock l(mu_);
+  ++queues_[queue_idx].killed;
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("resource.queries_killed")->Add(1);
+  }
+}
+
+std::vector<QueueStats> AdmissionController::Snapshot() const {
+  MutexLock l(mu_);
+  std::vector<QueueStats> out;
+  out.reserve(queues_.size());
+  for (const Queue& q : queues_) {
+    QueueStats s;
+    s.name = q.opts.name;
+    s.priority = q.opts.priority;
+    s.max_active = q.opts.max_active;
+    s.active = q.active;
+    s.queued = q.queued;
+    s.admitted = q.admitted;
+    s.rejected = q.rejected;
+    s.killed = q.killed;
+    s.mem_used_bytes = q.tracker->used();
+    s.mem_quota_bytes = q.opts.mem_quota_bytes;
+    s.per_query_mem_bytes = q.opts.per_query_mem_bytes;
+    s.kill_on_exceed = q.opts.kill_on_exceed;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace hawq::resource

@@ -1,0 +1,167 @@
+// Admission control with named resource queues (paper §2.2: HAWQ's
+// multi-tenant deployment feature).
+//
+// Every statement passes through AdmissionController::Admit before it is
+// planned or dispatched. A queue bounds how many statements run at once
+// (max_active), how much tracked memory each may reserve
+// (per_query_mem_bytes, enforced by the query-level MemoryTracker the
+// ticket carries), and what happens when a query outgrows its budget
+// (kill_on_exceed: fail with OutOfMemory instead of spilling). Arrivals
+// beyond max_active wait FIFO within their queue; when slots free up,
+// waiters drain highest queue priority first. Waiting is bounded by
+// wait_timeout_us — a timed-out statement is rejected with ResourceBusy,
+// never parked forever.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "resource/memory_tracker.h"
+
+namespace hawq::obs {
+class MetricsRegistry;
+class EventJournal;
+}  // namespace hawq::obs
+
+namespace hawq::resource {
+
+/// Configuration of one named resource queue.
+struct QueueOptions {
+  std::string name = "default";
+  /// Statements allowed to run concurrently; arrivals beyond this wait.
+  int max_active = 16;
+  /// Per-query tracked-memory budget (the query tracker's limit).
+  int64_t per_query_mem_bytes = 256LL << 20;
+  /// Aggregate tracked-memory quota for the whole queue;
+  /// 0 = max_active * per_query_mem_bytes.
+  int64_t mem_quota_bytes = 0;
+  /// Higher-priority queues drain their waiters first.
+  int priority = 0;
+  /// Max time a statement may sit queued before being rejected.
+  uint64_t wait_timeout_us = 10'000'000;
+  /// true: a query exceeding its budget is killed with OutOfMemory;
+  /// false (default): operators spill and the query degrades instead.
+  bool kill_on_exceed = false;
+};
+
+/// Point-in-time view of one queue (backs hawq_stat_resource_queues).
+struct QueueStats {
+  std::string name;
+  int priority = 0;
+  int max_active = 0;
+  int active = 0;
+  int queued = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t killed = 0;
+  int64_t mem_used_bytes = 0;
+  int64_t mem_quota_bytes = 0;
+  int64_t per_query_mem_bytes = 0;
+  bool kill_on_exceed = false;
+};
+
+class AdmissionController;
+
+/// \brief RAII admission slot + the query's MemoryTracker.
+///
+/// Movable, not copyable. Releasing (or destroying) the ticket destroys
+/// the query tracker — which aborts if any operator leaked a reservation
+/// — then frees the queue slot and wakes the next waiter.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& o) noexcept { *this = std::move(o); }
+  AdmissionTicket& operator=(AdmissionTicket&& o) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() { Release(); }
+
+  explicit operator bool() const { return ctl_ != nullptr; }
+
+  /// The query-level tracker (valid while the ticket is held).
+  MemoryTracker* tracker() const { return tracker_.get(); }
+  const std::string& queue() const { return queue_name_; }
+  bool kill_on_exceed() const { return kill_; }
+  /// High-water mark of tracked memory, surviving Release().
+  int64_t peak_bytes() const;
+
+  /// Count a kill-on-exceed against the owning queue.
+  void NoteKilled();
+
+  /// Free the slot (idempotent; also run by the destructor).
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  AdmissionController* ctl_ = nullptr;
+  size_t queue_idx_ = 0;
+  std::unique_ptr<MemoryTracker> tracker_;
+  std::string queue_name_;
+  bool kill_ = false;
+  mutable int64_t peak_ = 0;
+};
+
+/// \brief The controller: one instance per cluster, owning the queue
+/// trackers (children of the cluster root tracker).
+class AdmissionController {
+ public:
+  /// `queues` must be non-empty; the first entry is the default queue.
+  /// `max_active_total` bounds statements running cluster-wide across
+  /// all queues (0 = unlimited) — it is what makes priority meaningful
+  /// when queues compete. `metrics`/`journal` may be null.
+  AdmissionController(MemoryTracker* root, std::vector<QueueOptions> queues,
+                      int max_active_total, obs::MetricsRegistry* metrics,
+                      obs::EventJournal* journal);
+
+  /// Block until admitted (FIFO within the queue, priority across
+  /// queues) or the queue's wait timeout passes. Errors:
+  /// InvalidArgument for an unknown queue, ResourceBusy on timeout.
+  Result<AdmissionTicket> Admit(const std::string& queue_name,
+                                uint64_t query_id = 0);
+
+  std::vector<QueueStats> Snapshot() const;
+  const std::string& default_queue() const;
+
+ private:
+  friend class AdmissionTicket;
+
+  struct Queue {
+    QueueOptions opts;
+    std::unique_ptr<MemoryTracker> tracker;
+    int active = 0;
+    int queued = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t killed = 0;
+  };
+  struct Waiter {
+    size_t queue_idx = 0;
+    uint64_t seq = 0;
+    int priority = 0;
+  };
+
+  void ReleaseSlot(size_t queue_idx);
+  void NoteKilled(size_t queue_idx);
+  bool HasCapacityLocked(const Queue& q) const HAWQ_REQUIRES(mu_);
+  bool CanGoLocked(const Waiter& w) const HAWQ_REQUIRES(mu_);
+  bool CanBypassWaitLocked(size_t queue_idx, int priority) const
+      HAWQ_REQUIRES(mu_);
+
+  const int max_active_total_;
+  obs::MetricsRegistry* const metrics_;
+  obs::EventJournal* const journal_;
+  std::string default_queue_;  // immutable after construction
+
+  mutable sync::Mutex mu_{sync::LockRank::kResource, "resource.admission"};
+  sync::CondVar cv_;
+  std::vector<Queue> queues_ HAWQ_GUARDED_BY(mu_);
+  std::vector<Waiter> waiters_ HAWQ_GUARDED_BY(mu_);
+  int total_active_ HAWQ_GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ HAWQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hawq::resource

@@ -1,0 +1,174 @@
+// Hierarchical memory accounting (cluster -> queue -> query -> operator).
+//
+// A MemoryTracker is a lock-free counter with an optional limit and an
+// optional parent: TryReserve charges this tracker and every ancestor
+// atomically-enough for budgeting (charge self first, then parent; roll
+// back on any refusal), Release walks the same chain downward. Executor
+// operators charge their build-side structures through an
+// operator-scope ScopedReservation so error unwinds can never leak a
+// reservation, and the engine asserts the invariant hard: releasing more
+// than was reserved, or destroying a tracker with bytes still
+// outstanding, aborts the process (exercised by resource_test death
+// tests).
+//
+// Accounting is estimated, not malloc-hooked: operators charge
+// ApproxRowBytes-style estimates for the rows and hash-table entries
+// they retain. That is what the paper's resource queues need — a
+// budget to admit against and a trigger to spill on — without taxing
+// every allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace hawq::resource {
+
+/// \brief One node of the tracker hierarchy.
+///
+/// Thread-safe: all mutation is via atomics; the label/limit/parent are
+/// immutable after construction. A tracker must outlive its children.
+class MemoryTracker {
+ public:
+  /// No limit of its own (ancestors may still refuse).
+  static constexpr int64_t kUnlimited = -1;
+
+  explicit MemoryTracker(std::string label, int64_t limit = kUnlimited,
+                         MemoryTracker* parent = nullptr)
+      : label_(std::move(label)), limit_(limit), parent_(parent) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Destroying a tracker with live reservations is a bookkeeping bug
+  /// (some operator leaked its charge) — fail loudly.
+  ~MemoryTracker() {
+    if (used_.load(std::memory_order_relaxed) != 0) {
+      Fatal("destroyed with outstanding reservations", 0);
+    }
+  }
+
+  /// Reserve `bytes` against this tracker and every ancestor. Returns
+  /// false — with everything rolled back — if any node in the chain
+  /// would exceed its limit.
+  bool TryReserve(int64_t bytes) {
+    if (bytes < 0) Fatal("negative reservation", bytes);
+    if (bytes == 0) return true;
+    int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (limit_ >= 0 && now > limit_) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+      used_.fetch_sub(bytes, std::memory_order_relaxed);
+      return false;
+    }
+    BumpPeak(now);
+    return true;
+  }
+
+  /// Reserve unconditionally, ignoring limits (small must-succeed
+  /// bookkeeping like batch slot pools). Keeps peaks honest even when a
+  /// budget is softly exceeded.
+  void ReserveUnchecked(int64_t bytes) {
+    if (bytes < 0) Fatal("negative reservation", bytes);
+    if (bytes == 0) return;
+    int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    BumpPeak(now);
+    if (parent_ != nullptr) parent_->ReserveUnchecked(bytes);
+  }
+
+  /// Return `bytes` up the chain. Releasing more than is reserved aborts.
+  void Release(int64_t bytes) {
+    if (bytes < 0) Fatal("negative release", bytes);
+    if (bytes == 0) return;
+    int64_t now = used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+    if (now < 0) Fatal("released more than reserved", bytes);
+    if (parent_ != nullptr) parent_->Release(bytes);
+  }
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t limit() const { return limit_; }
+  const std::string& label() const { return label_; }
+  MemoryTracker* parent() const { return parent_; }
+
+ private:
+  void BumpPeak(int64_t now) {
+    int64_t p = peak_.load(std::memory_order_relaxed);
+    while (now > p &&
+           !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[noreturn]] void Fatal(const char* what, int64_t bytes) const {
+    std::fprintf(stderr,
+                 "MemoryTracker(%s): %s (bytes=%lld used=%lld limit=%lld)\n",
+                 label_.c_str(), what, static_cast<long long>(bytes),
+                 static_cast<long long>(used()),
+                 static_cast<long long>(limit_));
+    std::abort();
+  }
+
+  const std::string label_;
+  const int64_t limit_;
+  MemoryTracker* const parent_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+/// \brief Operator-scope charge accumulator.
+///
+/// Owns the sum of everything it charged and releases it all on
+/// destruction, so an operator that errors out (or is killed mid-query)
+/// can never leak a reservation. Null tracker = accounting disabled;
+/// every charge succeeds.
+class ScopedReservation {
+ public:
+  ScopedReservation() = default;
+  explicit ScopedReservation(MemoryTracker* t) : t_(t) {}
+  ScopedReservation(const ScopedReservation&) = delete;
+  ScopedReservation& operator=(const ScopedReservation&) = delete;
+  ~ScopedReservation() { ReleaseAll(); }
+
+  /// Charge `bytes`; false means the budget refused (caller spills or
+  /// fails the query).
+  bool Charge(int64_t bytes) {
+    if (t_ == nullptr) return true;
+    if (!t_->TryReserve(bytes)) return false;
+    held_ += bytes;
+    return true;
+  }
+
+  /// Charge past the budget (small fixed pools that cannot spill).
+  void ChargeUnchecked(int64_t bytes) {
+    if (t_ == nullptr) return;
+    t_->ReserveUnchecked(bytes);
+    held_ += bytes;
+  }
+
+  /// Return part of the holding (e.g. after spilling a partition).
+  void Release(int64_t bytes) {
+    if (t_ == nullptr) return;
+    if (bytes > held_) bytes = held_;
+    t_->Release(bytes);
+    held_ -= bytes;
+  }
+
+  void ReleaseAll() {
+    if (t_ != nullptr && held_ > 0) t_->Release(held_);
+    held_ = 0;
+  }
+
+  int64_t held() const { return held_; }
+  MemoryTracker* tracker() const { return t_; }
+
+ private:
+  MemoryTracker* t_ = nullptr;
+  int64_t held_ = 0;
+};
+
+}  // namespace hawq::resource

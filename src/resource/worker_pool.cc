@@ -1,0 +1,78 @@
+#include "resource/worker_pool.h"
+
+#include "obs/metrics.h"
+
+namespace hawq::resource {
+
+WorkerPool::WorkerPool(int core_threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics), core_(core_threads < 1 ? 1 : core_threads) {
+  MutexLock l(mu_);
+  for (int i = 0; i < core_; ++i) SpawnLocked();
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    MutexLock l(mu_);
+    stop_ = true;
+  }
+  cv_.NotifyAll();
+  std::vector<std::thread> ts;
+  {
+    MutexLock l(mu_);
+    ts.swap(threads_);
+  }
+  for (std::thread& t : ts) t.join();
+}
+
+void WorkerPool::SpawnLocked() {
+  ++live_;
+  threads_.emplace_back([this] { Loop(); });
+  if (metrics_ != nullptr) {
+    metrics_->GetGauge("resource.pool_threads")->Set(live_);
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> fn) {
+  {
+    MutexLock l(mu_);
+    queue_.push_back(std::move(fn));
+    // Guarantee: every queued task has a worker that is not running
+    // someone else's (possibly blocked) task. Blocked gang workers must
+    // never park a slice of another query — that is a cross-query
+    // deadlock — so grow whenever demand outruns the idle set.
+    if (static_cast<int>(queue_.size()) > idle_ && !stop_) SpawnLocked();
+  }
+  cv_.NotifyOne();
+}
+
+int WorkerPool::thread_count() const {
+  MutexLock l(mu_);
+  return live_;
+}
+
+void WorkerPool::Loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      MutexLock l(mu_);
+      while (queue_.empty()) {
+        if (stop_ || live_ > core_) {
+          // Shutdown, or an overflow thread retiring with the queue dry.
+          --live_;
+          if (metrics_ != nullptr) {
+            metrics_->GetGauge("resource.pool_threads")->Set(live_);
+          }
+          return;
+        }
+        ++idle_;
+        cv_.Wait(l);
+        --idle_;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace hawq::resource

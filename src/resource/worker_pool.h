@@ -1,0 +1,61 @@
+// Shared segment worker pool.
+//
+// Before this existed the dispatcher spawned one std::thread per slice
+// worker per query — hundreds of concurrent sessions meant thousands of
+// thread creations per second. The pool keeps a core set of reusable
+// threads and grows past it only when every worker is busy AND tasks
+// are waiting, so a submitted task is always guaranteed a thread.
+// That growth rule matters for correctness, not just latency: gang
+// workers block on motion receives from each other, so parking a slice
+// behind a busy pool could deadlock two queries against each other.
+// Threads beyond the core set exit once the queue drains.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+class MetricsRegistry;
+}  // namespace hawq::obs
+
+namespace hawq::resource {
+
+class WorkerPool {
+ public:
+  /// `core_threads` stay alive for the pool's lifetime; overflow threads
+  /// come and go with load. `metrics` may be null.
+  explicit WorkerPool(int core_threads,
+                      obs::MetricsRegistry* metrics = nullptr);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueue `fn`; never blocks. Guarantees a thread will pick the task
+  /// up without waiting behind other tasks' completion.
+  void Submit(std::function<void()> fn);
+
+  /// Live threads (core + overflow), for tests and the stats view.
+  int thread_count() const;
+
+ private:
+  void Loop();
+  void SpawnLocked() HAWQ_REQUIRES(mu_);
+
+  obs::MetricsRegistry* const metrics_;
+  const int core_;
+
+  mutable sync::Mutex mu_{sync::LockRank::kLeaf, "resource.worker_pool"};
+  sync::CondVar cv_;
+  std::deque<std::function<void()>> queue_ HAWQ_GUARDED_BY(mu_);
+  std::vector<std::thread> threads_ HAWQ_GUARDED_BY(mu_);
+  int live_ HAWQ_GUARDED_BY(mu_) = 0;  // threads whose Loop() is running
+  int idle_ HAWQ_GUARDED_BY(mu_) = 0;  // threads parked in cv wait
+  bool stop_ HAWQ_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace hawq::resource

@@ -17,6 +17,7 @@
 #include <array>
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -162,6 +163,86 @@ TEST(ChaosTest, SeededSchedulesTerminateCorrectOrClean) {
     RunChaosSeed(seed);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+
+// ---------------------------------------------------------------------------
+// Resource chaos (ISSUE 8 satellite): a query on a kill_on_exceed queue
+// whose join build side blows its budget must die with a clean
+// kOutOfMemory — while leaking nothing and leaving concurrent queries on
+// a spill queue completely unharmed.
+
+TEST(ChaosTest, KillOnExceedMidJoinFailsCleanlyWithoutLeaks) {
+  ClusterOptions o;
+  o.num_segments = kSegments;
+  o.fault_detector_thread = false;
+  resource::QueueOptions spill;  // first queue = the session default
+  spill.name = "spill";
+  spill.per_query_mem_bytes = 256LL << 20;
+  resource::QueueOptions kill;
+  kill.name = "kill";
+  kill.per_query_mem_bytes = 64 << 10;
+  kill.kill_on_exceed = true;
+  o.resource_queues = {spill, kill};
+  Cluster cluster(o);
+
+  auto s = cluster.Connect();
+  SeedTables(s.get());
+  if (::testing::Test::HasFatalFailure()) return;
+  const char* join =
+      "SELECT count(*), sum(l.v), sum(r.w) FROM l, r WHERE l.k = r.k";
+  auto golden = s->Execute(join);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+
+  // Background clients keep hammering the spill queue while the kill
+  // happens: the OOM must be scoped to the one offending query.
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.emplace_back([&] {
+      auto cs = cluster.Connect();
+      while (!stop.load()) {
+        auto r = cs->Execute(join);
+        if (!r.ok() ||
+            r->rows[0][0].as_int() != golden->rows[0][0].as_int() ||
+            r->rows[0][1].as_int() != golden->rows[0][1].as_int()) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  auto ks = cluster.Connect();
+  ks->SetResourceQueue("kill");
+  auto dead = ks->Execute(join);
+  stop.store(true);
+  for (auto& t : clients) t.join();
+
+  ASSERT_FALSE(dead.ok()) << "64 KB kill queue must refuse the join build";
+  EXPECT_EQ(dead.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_FALSE(dead.status().ToString().empty());
+  EXPECT_EQ(bad.load(), 0) << "spill-queue clients must stay correct";
+
+  // No leaked reservations anywhere in the hierarchy, the kill is
+  // counted against the queue, and the journal carries the event.
+  EXPECT_EQ(cluster.mem_tracker()->used(), 0);
+  bool counted = false;
+  for (const resource::QueueStats& qs : cluster.admission()->Snapshot()) {
+    if (qs.name == "kill") counted = qs.killed >= 1;
+  }
+  EXPECT_TRUE(counted);
+  bool journaled = false;
+  for (const obs::Event& e : cluster.events()->Snapshot()) {
+    if (e.event == "query_killed_oom") journaled = true;
+  }
+  EXPECT_TRUE(journaled);
+
+  // The killed session itself stays usable on a roomier queue.
+  ks->SetResourceQueue("spill");
+  auto again = ks->Execute(join);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows[0][0].as_int(), golden->rows[0][0].as_int());
 }
 
 }  // namespace

@@ -302,7 +302,11 @@ TEST(SortExecTest, ExternalSortSpillsAndMerges) {
 
   LocalDisk disk;
   ExecContext ctx = MakeCtx(&disk);
-  ctx.sort_spill_threshold = 100;  // force ~10 spilled runs
+  // A budget barely above the operator's fixed batch-pool charge forces
+  // small in-memory runs (spill-under-budget, many spilled runs).
+  resource::MemoryTracker budget("test", ctx.batch_size * kRowSlotBytes +
+                                             10'000);
+  ctx.mem = &budget;
   auto exec = BuildExecNode(*node, &ctx);
   ASSERT_TRUE(exec.ok());
   auto rows = Drain(exec->get());
@@ -323,7 +327,9 @@ TEST(SortExecTest, SpillDiskFailureFailsQuery) {
   LocalDisk disk;
   disk.Fail();  // paper §2.6: intermediate-data disk failure
   ExecContext ctx = MakeCtx(&disk);
-  ctx.sort_spill_threshold = 50;
+  resource::MemoryTracker budget("test", ctx.batch_size * kRowSlotBytes +
+                                             5'000);
+  ctx.mem = &budget;
   auto exec = BuildExecNode(*node, &ctx);
   ASSERT_TRUE(exec.ok());
   Status st = (*exec)->Open();

@@ -347,7 +347,15 @@ TEST(MidQueryFailoverTest, HdfsReadRetriesNextReplicaOnMidReadDeath) {
 
 TEST(SpillDiskTest, SortSpillFailureFailsQueryNotCluster) {
   ClusterOptions o = BaseOptions();
-  o.sort_spill_threshold = 16;  // spill aggressively
+  // Default queue with a tiny per-query budget: every sort (and agg)
+  // spills-under-budget. A roomy queue alongside keeps memory-resident
+  // execution available.
+  resource::QueueOptions tiny;
+  tiny.per_query_mem_bytes = 1024;
+  resource::QueueOptions roomy;
+  roomy.name = "roomy";
+  roomy.per_query_mem_bytes = 256LL << 20;
+  o.resource_queues = {tiny, roomy};
   Cluster cluster(o);
   auto s = cluster.Connect();
   Seed(s.get(), 400);
@@ -359,7 +367,9 @@ TEST(SpillDiskTest, SortSpillFailureFailsQueryNotCluster) {
   auto bad = s->Execute("SELECT a FROM t ORDER BY a LIMIT 5");
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kIOError);
-  // ...but non-spilling queries are unaffected.
+  // ...but queries whose budget keeps them memory-resident are
+  // unaffected: the roomy queue never touches the scratch disk.
+  s->SetResourceQueue("roomy");
   auto fine = s->Execute("SELECT count(*) FROM t");
   EXPECT_TRUE(fine.ok()) << fine.status().ToString();
 }

@@ -38,6 +38,7 @@ enum class LockRank : int {
   kTxLock = 40,
   kTxManager = 42,
   kTxWal = 44,
+  kResource = 46,
   kDispatcher = 50,
 };
 }
@@ -247,6 +248,43 @@ class HawqLintTest(unittest.TestCase):
         self.tree.write("src/obs/metric_names.inc",
                         GOOD_CATALOG + 'HAWQ_METRIC("engine.never_used")\n')
         self.assert_trips("metric-name")
+
+    # ------------------------------------------------------ tracker-charge
+
+    def test_uncharged_build_container_trips(self):
+        self.tree.write("src/executor/bad.cc",
+                        "Status HashJoinExec::Build(Row key, Row row) {\n"
+                        "  table_[KeyOf(key)].push_back(std::move(row));\n"
+                        "  return Status::OK();\n"
+                        "}\n")
+        self.assert_trips("tracker-charge")
+
+    def test_charged_build_container_is_clean(self):
+        self.tree.write("src/executor/good.cc",
+                        "Status HashJoinExec::Build(Row key, Row row) {\n"
+                        "  if (!mem_.Charge(ApproxRowBytes(row))) {\n"
+                        "    return Spill(std::move(key), std::move(row));\n"
+                        "  }\n"
+                        "  table_[KeyOf(key)].push_back(std::move(row));\n"
+                        "  return Status::OK();\n"
+                        "}\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
+
+    def test_tracker_charge_outside_executor_is_clean(self):
+        # The rule is scoped to src/executor/: an engine-side rows_ vector
+        # (e.g. the stat-view snapshot) is not a build-side container.
+        self.tree.write("src/engine/views.cc",
+                        "void Snap() { rows_.push_back(MakeRow()); }\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
+
+    def test_tracker_charge_allow_marker_suppresses(self):
+        self.tree.write(
+            "src/executor/ok.cc",
+            "void Grand() {\n"
+            "  // hawq-lint: allow(tracker-charge): single fixed entry\n"
+            '  groups_[""] = Entry{};\n'
+            "}\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
 
     # -------------------------------------------------------------- banned
 

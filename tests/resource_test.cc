@@ -1,0 +1,397 @@
+// Resource-manager unit tests: the tracker hierarchy's accounting
+// invariants (including the abort-on-leak death tests), admission
+// control ordering (FIFO within a queue, priority across queues,
+// bounded waits), and the shared worker pool's no-starvation guarantee.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "resource/admission.h"
+#include "resource/memory_tracker.h"
+#include "resource/worker_pool.h"
+
+namespace hawq::resource {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ----------------------------------------------------------- MemoryTracker
+
+TEST(MemoryTrackerTest, ReserveReleaseRoundTrip) {
+  MemoryTracker t("t", 1000);
+  EXPECT_TRUE(t.TryReserve(400));
+  EXPECT_EQ(t.used(), 400);
+  EXPECT_TRUE(t.TryReserve(600));
+  EXPECT_EQ(t.used(), 1000);
+  EXPECT_FALSE(t.TryReserve(1)) << "limit must refuse the next byte";
+  t.Release(1000);
+  EXPECT_EQ(t.used(), 0);
+  EXPECT_EQ(t.peak(), 1000) << "peak survives release";
+}
+
+TEST(MemoryTrackerTest, RefusalRollsBackTheWholeChain) {
+  MemoryTracker root("root", 1000);
+  MemoryTracker queue("queue", MemoryTracker::kUnlimited, &root);
+  MemoryTracker query("query", MemoryTracker::kUnlimited, &queue);
+  EXPECT_TRUE(query.TryReserve(900));
+  // The query and queue have no limit of their own, but the root refuses
+  // — and the partial charges must be rolled back everywhere.
+  EXPECT_FALSE(query.TryReserve(200));
+  EXPECT_EQ(query.used(), 900);
+  EXPECT_EQ(queue.used(), 900);
+  EXPECT_EQ(root.used(), 900);
+  query.Release(900);
+  EXPECT_EQ(root.used(), 0);
+}
+
+TEST(MemoryTrackerTest, ChildLimitRefusesBeforeParent) {
+  MemoryTracker root("root", 1LL << 30);
+  MemoryTracker query("query", 100, &root);
+  EXPECT_TRUE(query.TryReserve(100));
+  EXPECT_FALSE(query.TryReserve(1));
+  EXPECT_EQ(root.used(), 100) << "parent must not see the refused charge";
+  query.Release(100);
+}
+
+TEST(MemoryTrackerTest, UncheckedReservePropagatesAndBumpsPeak) {
+  MemoryTracker root("root", 100);
+  MemoryTracker query("query", 50, &root);
+  query.ReserveUnchecked(500);  // past both limits, by design
+  EXPECT_EQ(query.used(), 500);
+  EXPECT_EQ(root.used(), 500);
+  EXPECT_EQ(root.peak(), 500) << "peaks stay honest past the budget";
+  // But checked reservations now see the tracker as full.
+  EXPECT_FALSE(query.TryReserve(1));
+  query.Release(500);
+}
+
+TEST(MemoryTrackerTest, ConcurrentReserveReleaseBalances) {
+  MemoryTracker root("root", MemoryTracker::kUnlimited);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&root] {
+      MemoryTracker mine("worker", MemoryTracker::kUnlimited, &root);
+      for (int i = 0; i < 2000; ++i) {
+        ASSERT_TRUE(mine.TryReserve(64));
+        if (i % 3 == 0) mine.Release(64);
+      }
+      mine.Release(mine.used());
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(root.used(), 0);
+  EXPECT_GT(root.peak(), 0);
+}
+
+TEST(MemoryTrackerDeathTest, OverReleaseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MemoryTracker t("t");
+  t.ReserveUnchecked(10);
+  EXPECT_DEATH(t.Release(11), "released more than reserved");
+  t.Release(10);
+}
+
+TEST(MemoryTrackerDeathTest, DestroyWithOutstandingAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        MemoryTracker t("leaky");
+        t.ReserveUnchecked(10);
+        // t destroyed with 10 bytes outstanding.
+      },
+      "outstanding reservations");
+}
+
+TEST(ScopedReservationTest, ReleasesEverythingOnDestruction) {
+  MemoryTracker t("t", 1000);
+  {
+    ScopedReservation r(&t);
+    EXPECT_TRUE(r.Charge(300));
+    EXPECT_TRUE(r.Charge(300));
+    EXPECT_FALSE(r.Charge(500)) << "over limit";
+    EXPECT_EQ(r.held(), 600);
+    r.Release(100);
+    EXPECT_EQ(t.used(), 500);
+  }
+  EXPECT_EQ(t.used(), 0) << "scope exit returns the reservation";
+}
+
+TEST(ScopedReservationTest, NullTrackerDisablesAccounting) {
+  ScopedReservation r(nullptr);
+  EXPECT_TRUE(r.Charge(1LL << 40)) << "untracked contexts never refuse";
+  r.ChargeUnchecked(123);
+  EXPECT_EQ(r.held(), 0);
+  r.ReleaseAll();
+}
+
+// --------------------------------------------------------------- admission
+
+AdmissionController MakeController(MemoryTracker* root,
+                                   std::vector<QueueOptions> queues,
+                                   int max_total = 0) {
+  return AdmissionController(root, std::move(queues), max_total,
+                             /*metrics=*/nullptr, /*journal=*/nullptr);
+}
+
+TEST(AdmissionTest, AdmitsUpToMaxActiveThenTimesOut) {
+  MemoryTracker root("cluster");
+  QueueOptions q;
+  q.max_active = 2;
+  q.wait_timeout_us = 20'000;
+  AdmissionController ctl = MakeController(&root, {q});
+
+  auto t1 = ctl.Admit("default");
+  auto t2 = ctl.Admit("default");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  auto t3 = ctl.Admit("default");
+  ASSERT_FALSE(t3.ok());
+  EXPECT_EQ(t3.status().code(), StatusCode::kResourceBusy);
+
+  t1->Release();
+  auto t4 = ctl.Admit("default");
+  EXPECT_TRUE(t4.ok()) << "released slot must be re-admittable";
+}
+
+TEST(AdmissionTest, UnknownQueueIsInvalidArgument) {
+  MemoryTracker root("cluster");
+  AdmissionController ctl = MakeController(&root, {QueueOptions{}});
+  auto t = ctl.Admit("nope");
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AdmissionTest, TicketCarriesPerQueryTrackerWithBudget) {
+  MemoryTracker root("cluster");
+  QueueOptions q;
+  q.per_query_mem_bytes = 4096;
+  AdmissionController ctl = MakeController(&root, {q});
+  auto t = ctl.Admit("default");
+  ASSERT_TRUE(t.ok());
+  MemoryTracker* mem = t->tracker();
+  ASSERT_NE(mem, nullptr);
+  EXPECT_EQ(mem->limit(), 4096);
+  EXPECT_TRUE(mem->TryReserve(4096));
+  EXPECT_FALSE(mem->TryReserve(1));
+  EXPECT_EQ(root.used(), 4096) << "query charges roll up to the cluster";
+  mem->Release(4096);
+  t->Release();
+  EXPECT_EQ(t->peak_bytes(), 4096) << "peak must survive Release";
+}
+
+TEST(AdmissionTest, QueueQuotaCapsConcurrentQueries) {
+  MemoryTracker root("cluster");
+  QueueOptions q;
+  q.max_active = 4;
+  q.per_query_mem_bytes = 1000;
+  q.mem_quota_bytes = 1500;  // two queries cannot both fill their budget
+  AdmissionController ctl = MakeController(&root, {q});
+  auto a = ctl.Admit("default");
+  auto b = ctl.Admit("default");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->tracker()->TryReserve(1000));
+  EXPECT_FALSE(b->tracker()->TryReserve(1000))
+      << "queue quota must refuse past 1500 aggregate";
+  EXPECT_TRUE(b->tracker()->TryReserve(500));
+  a->tracker()->Release(1000);
+  b->tracker()->Release(500);
+}
+
+TEST(AdmissionTest, FifoWithinQueue) {
+  MemoryTracker root("cluster");
+  QueueOptions q;
+  q.max_active = 1;
+  q.wait_timeout_us = 5'000'000;
+  AdmissionController ctl = MakeController(&root, {q});
+
+  auto holder = ctl.Admit("default");
+  ASSERT_TRUE(holder.ok());
+
+  auto queued_count = [&ctl] { return ctl.Snapshot()[0].queued; };
+
+  std::atomic<int> order{0};
+  std::atomic<int> a_order{-1}, b_order{-1};
+  std::thread a([&] {
+    auto t = ctl.Admit("default");
+    ASSERT_TRUE(t.ok());
+    a_order = order.fetch_add(1);
+    std::this_thread::sleep_for(5ms);  // hold the slot briefly
+  });
+  while (queued_count() < 1) std::this_thread::sleep_for(1ms);
+  std::thread b([&] {
+    auto t = ctl.Admit("default");
+    ASSERT_TRUE(t.ok());
+    b_order = order.fetch_add(1);
+  });
+  while (queued_count() < 2) std::this_thread::sleep_for(1ms);
+
+  holder->Release();
+  a.join();
+  b.join();
+  EXPECT_EQ(a_order.load(), 0) << "first waiter must drain first";
+  EXPECT_EQ(b_order.load(), 1);
+}
+
+TEST(AdmissionTest, HigherPriorityQueueDrainsFirst) {
+  MemoryTracker root("cluster");
+  QueueOptions lo;
+  lo.name = "batch";
+  lo.priority = 0;
+  lo.wait_timeout_us = 5'000'000;
+  QueueOptions hi;
+  hi.name = "interactive";
+  hi.priority = 10;
+  hi.wait_timeout_us = 5'000'000;
+  // A global cap of 1 makes the two queues compete for the same slot.
+  AdmissionController ctl = MakeController(&root, {lo, hi}, /*max_total=*/1);
+
+  auto holder = ctl.Admit("batch");
+  ASSERT_TRUE(holder.ok());
+
+  auto queued_in = [&ctl](const std::string& name) {
+    for (const QueueStats& s : ctl.Snapshot()) {
+      if (s.name == name) return s.queued;
+    }
+    return -1;
+  };
+
+  std::atomic<int> order{0};
+  std::atomic<int> lo_order{-1}, hi_order{-1};
+  std::thread lo_waiter([&] {
+    auto t = ctl.Admit("batch");
+    ASSERT_TRUE(t.ok());
+    lo_order = order.fetch_add(1);
+  });
+  while (queued_in("batch") < 1) std::this_thread::sleep_for(1ms);
+  std::thread hi_waiter([&] {
+    auto t = ctl.Admit("interactive");
+    ASSERT_TRUE(t.ok());
+    hi_order = order.fetch_add(1);
+  });
+  while (queued_in("interactive") < 1) std::this_thread::sleep_for(1ms);
+
+  holder->Release();
+  lo_waiter.join();
+  hi_waiter.join();
+  EXPECT_EQ(hi_order.load(), 0)
+      << "interactive (priority 10) must beat batch (priority 0) even "
+         "though batch queued first";
+  EXPECT_EQ(lo_order.load(), 1);
+}
+
+TEST(AdmissionTest, SnapshotCountsAdmittedRejectedKilled) {
+  MemoryTracker root("cluster");
+  QueueOptions q;
+  q.max_active = 1;
+  q.wait_timeout_us = 10'000;
+  AdmissionController ctl = MakeController(&root, {q});
+
+  auto a = ctl.Admit("default");
+  ASSERT_TRUE(a.ok());
+  auto rejected = ctl.Admit("default");
+  EXPECT_FALSE(rejected.ok());
+  a->NoteKilled();
+  a->Release();
+
+  QueueStats s = ctl.Snapshot()[0];
+  EXPECT_EQ(s.admitted, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.killed, 1u);
+  EXPECT_EQ(s.active, 0);
+  EXPECT_EQ(s.queued, 0);
+}
+
+TEST(AdmissionTest, ConcurrentAdmitReleaseStress) {
+  MemoryTracker root("cluster", 64LL << 20);
+  QueueOptions q;
+  q.max_active = 4;
+  q.per_query_mem_bytes = 1 << 20;
+  q.wait_timeout_us = 10'000'000;
+  AdmissionController ctl = MakeController(&root, {q});
+
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 16; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        auto t = ctl.Admit("default");
+        ASSERT_TRUE(t.ok()) << t.status().ToString();
+        ScopedReservation r(t->tracker());
+        ASSERT_TRUE(r.Charge(1024));
+        admitted.fetch_add(1);
+        r.ReleaseAll();
+        t->Release();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(admitted.load(), 16 * 50);
+  EXPECT_EQ(root.used(), 0) << "no reservation may leak";
+  QueueStats s = ctl.Snapshot()[0];
+  EXPECT_EQ(s.admitted, 16u * 50u);
+  EXPECT_EQ(s.active, 0);
+}
+
+// -------------------------------------------------------------- WorkerPool
+
+TEST(WorkerPoolTest, RunsSubmittedTasks) {
+  WorkerPool pool(2);
+  std::atomic<int> ran{0};
+  sync::Mutex mu(sync::LockRank::kLeaf, "test.done");
+  sync::CondVar cv;
+  // hawq-lint: allow(mutex-guard): function-local latch.
+  int pending = 64;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      ran.fetch_add(1);
+      sync::MutexLock g(mu);
+      if (--pending == 0) cv.NotifyAll();
+    });
+  }
+  sync::MutexLock g(mu);
+  cv.Wait(g, [&] { return pending == 0; });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(WorkerPoolTest, OverflowsPastCoreSoBlockedGangsCannotDeadlock) {
+  // Interdependent tasks: every task waits until ALL of them have
+  // started (the shape of a gang whose workers exchange motion data).
+  // With 2 core threads and 8 tasks this deadlocks unless the pool
+  // grows when tasks queue behind busy workers.
+  WorkerPool pool(2);
+  constexpr int kTasks = 8;
+  sync::Mutex mu(sync::LockRank::kLeaf, "test.barrier");
+  sync::CondVar cv;
+  // hawq-lint: allow(mutex-guard): function-local barrier counters.
+  int started = 0;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      {
+        sync::MutexLock g(mu);
+        ++started;
+        cv.NotifyAll();
+        cv.Wait(g, [&] { return started == kTasks; });
+        ++done;
+        cv.NotifyAll();
+      }
+    });
+  }
+  {
+    // Scoped: thread_count() takes the pool's own kLeaf mutex, which
+    // the rank checker forbids while the barrier (also kLeaf) is held.
+    sync::MutexLock g(mu);
+    cv.Wait(g, [&] { return done == kTasks; });
+    EXPECT_EQ(done, kTasks);
+  }
+  EXPECT_GE(pool.thread_count(), 2);
+}
+
+}  // namespace
+}  // namespace hawq::resource
