@@ -833,12 +833,139 @@ int RunConcurrencySweep() {
   return 0;
 }
 
+// --------------------------------------- live-introspection overhead
+//
+// HAWQ_OBS_OVERHEAD=1: whole-cluster overhead of the live-introspection
+// stack (ISSUE 9) — activity registry + forced tracing + per-operator
+// memory mirrors + the sampling profiler thread — measured end to end
+// through Session::Execute against a cluster with all of it disabled.
+// Unlike HAWQ_OBS_SMOKE (bare pipeline, tracing wrappers only), this
+// pays the real costs: registry updates per statement, SetMirror
+// atomics per reserve/release, ProfCell stamps per operator call, and
+// the sampler thread competing for cores. Writes
+// BENCH_obs_overhead.json and fails if the regression exceeds 5%.
+
+struct ObsOverheadFixture {
+  ObsOverheadFixture(bool obs_on, int64_t nrows) {
+    engine::ClusterOptions o;
+    o.num_segments = bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4);
+    o.fault_detector_thread = false;
+    o.enable_activity = obs_on && bench::EnvInt("HAWQ_OBS_ACT", 1) != 0;
+    o.enable_profiler = obs_on && bench::EnvInt("HAWQ_OBS_PROF", 1) != 0;
+    cluster = std::make_unique<engine::Cluster>(o);
+    session = cluster->Connect();
+    auto exec = [&](const std::string& sql) {
+      auto r = session->Execute(sql);
+      if (!r.ok()) {
+        std::fprintf(stderr, "obs overhead bench: %.60s... -> %s\n",
+                     sql.c_str(), r.status().ToString().c_str());
+        return false;
+      }
+      return true;
+    };
+    if (!exec("CREATE TABLE fact (k INT8, v DOUBLE) DISTRIBUTED BY (k)")) {
+      return;
+    }
+    for (int64_t base = 0; base < nrows; base += 1000) {
+      std::string sql = "INSERT INTO fact VALUES ";
+      int64_t end = std::min<int64_t>(base + 1000, nrows);
+      for (int64_t k = base; k < end; ++k) {
+        if (k != base) sql += ", ";
+        sql += "(" + std::to_string(k) + ", " + std::to_string(k) + ".5)";
+      }
+      if (!exec(sql)) return;
+    }
+    ok = exec("CREATE TABLE dim (k INT8) DISTRIBUTED BY (k)") &&
+         exec("INSERT INTO dim SELECT k FROM fact WHERE k < 400") &&
+         exec("ANALYZE fact") && exec("ANALYZE dim");
+  }
+  std::unique_ptr<engine::Cluster> cluster;
+  std::unique_ptr<engine::Session> session;
+  bool ok = false;
+};
+
+int RunObsIntrospectionOverhead() {
+  const int64_t nrows = bench::EnvInt("HAWQ_OBS_ROWS", 6000);
+  // Queries here are ~2ms, so a rep must bundle enough of them that
+  // scheduler noise does not swamp the per-query setup cost this bench
+  // exists to measure: short bursts showed +-10% run-to-run swings,
+  // ~0.3s reps bring the spread under 3%.
+  const int kReps = bench::EnvInt("HAWQ_OBS_REPS", 5);
+  const int kQueriesPerRep = bench::EnvInt("HAWQ_OBS_QUERIES", 120);
+  const std::vector<std::string> queries = {
+      "SELECT count(*), sum(v) FROM fact WHERE k < 1000",
+      "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k",
+  };
+
+  std::printf("live-introspection overhead: %lld rows, best of %d reps "
+              "(%d queries each)\n",
+              static_cast<long long>(nrows), kReps, kQueriesPerRep);
+  ObsOverheadFixture off_fx(false, nrows);
+  ObsOverheadFixture on_fx(true, nrows);
+  if (!off_fx.ok || !on_fx.ok) return 1;
+
+  auto one_rep = [&](ObsOverheadFixture& fx) {
+    int n = 0;
+    double ms = bench::TimeMs([&] {
+      for (int q = 0; q < kQueriesPerRep; ++q) {
+        auto r = fx.session->Execute(queries[q % queries.size()]);
+        if (r.ok()) ++n;
+      }
+    });
+    return ms > 0 ? 1000.0 * n / ms : 0.0;
+  };
+  (void)one_rep(off_fx);  // warm caches on both clusters before timing
+  (void)one_rep(on_fx);
+  // Interleave off/on reps so clock drift and CPU throttling hit both
+  // sides equally; compare best-of.
+  double off = 0, on = 0;
+  for (int i = 0; i < kReps; ++i) {
+    off = std::max(off, one_rep(off_fx));
+    on = std::max(on, one_rep(on_fx));
+  }
+  if (off <= 0 || on <= 0) return 1;
+  double regression = (off - on) / off;
+  std::printf("  introspection off: %8.1f q/s\n"
+              "  introspection on:  %8.1f q/s\n"
+              "  regression:        %.1f%% (limit 5%%)\n",
+              off, on, 100.0 * regression);
+
+  FILE* f = std::fopen("BENCH_obs_overhead.json", "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write BENCH_obs_overhead.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"obs_overhead\",\n");
+  std::fprintf(f, "  \"rows\": %lld,\n", static_cast<long long>(nrows));
+  std::fprintf(f, "  \"reps\": %d,\n", kReps);
+  std::fprintf(f, "  \"queries_per_rep\": %d,\n", kQueriesPerRep);
+  std::fprintf(f, "  \"segments\": %d,\n",
+               bench::EnvInt("HAWQ_BENCH_SEGMENTS", 4));
+  std::fprintf(f, "  \"off_qps\": %.2f,\n", off);
+  std::fprintf(f, "  \"on_qps\": %.2f,\n", on);
+  std::fprintf(f, "  \"regression\": %.4f,\n", regression);
+  std::fprintf(f, "  \"limit\": 0.05\n}\n");
+  std::fclose(f);
+  std::printf("  wrote BENCH_obs_overhead.json\n");
+
+  if (regression > 0.05) {
+    std::fprintf(stderr,
+                 "FAIL: live-introspection overhead exceeds 5%%\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
 }  // namespace
 }  // namespace hawq
 
 int main(int argc, char** argv) {
   if (const char* e = std::getenv("HAWQ_OBS_SMOKE"); e && *e && *e != '0') {
     return hawq::RunObsOverheadSmoke();
+  }
+  if (const char* e = std::getenv("HAWQ_OBS_OVERHEAD"); e && *e && *e != '0') {
+    return hawq::RunObsIntrospectionOverhead();
   }
   if (const char* e = std::getenv("HAWQ_LOCK_SMOKE"); e && *e && *e != '0') {
     return hawq::RunLockProfileOverheadSmoke();

@@ -3,7 +3,9 @@
 #
 # Runs hawq-lint first — project-invariant violations (lock ranks,
 # GUARDED_BY coverage, cancel polling, chaos-point registry, metric
-# catalog, banned constructs) fail the run before anything is built.
+# catalog, stat-view catalog, banned constructs) fail the run before
+# anything is built — then verifies docs/metrics.md is current with
+# the metric catalog (scripts/gen_metrics_doc.py --check).
 #
 # Then builds and tests the repo four times:
 #   1. plain              (build-check/)
@@ -52,6 +54,9 @@ done
 
 echo "==== hawq-lint gate ===="
 python3 scripts/hawq_lint.py .
+
+echo "==== metrics doc staleness gate ===="
+python3 scripts/gen_metrics_doc.py --check
 
 # Deterministic chaos sweep: every seed replays its own fault schedule
 # in a fresh process, bounded by a wall-clock deadline (TSan runs get a
@@ -143,6 +148,12 @@ HAWQ_RF_SMOKE=1 ./build-check/bench/bench_micro
 # memory under the cluster budget and zero failed/rejected queries.
 echo "==== [plain] concurrency sweep ===="
 HAWQ_CONC_SWEEP=1 ./build-check/bench/bench_micro
+
+# Live-introspection overhead sweep: regenerates BENCH_obs_overhead.json
+# and hard-fails if enabling hawq_stat_activity + the sampling profiler
+# costs more than 5% end-to-end query throughput.
+echo "==== [plain] live-introspection overhead sweep ===="
+HAWQ_OBS_OVERHEAD=1 ./build-check/bench/bench_micro
 
 for cfg in asan tsan ubsan; do
   echo "==== [$cfg] runtime-filter smoke (soft-fail) ===="

@@ -47,6 +47,13 @@ Rules
                       HAWQ_METRIC_PREFIX literal.  Every exact catalog
                       entry must be used somewhere in src/ or bench/
                       (no dead documentation).
+  stat-view-catalog   Every hawq_stat_* system view registered with
+                      MakeViewDesc must have a HAWQ_STAT_VIEW entry in
+                      src/engine/stat_view_names.inc (the dispatch is
+                      generated from it), every catalog entry must be
+                      registered, and every view name must appear in at
+                      least one test under tests/ — an unlisted or
+                      untested view fails the gate.
   tracker-charge      Build-side containers in src/executor/ (hash-join
                       tables, agg group maps, sort row buffers: table_,
                       groups_, rows_) grow unboundedly with input size, so
@@ -353,8 +360,10 @@ def check_chaos_registry(chaos: SourceFile, src_files, test_files):
 # rule: metric-name
 
 METRIC_CATALOG = "src/obs/metric_names.inc"
-CATALOG_EXACT_RE = re.compile(r"^HAWQ_METRIC\(\"([a-z_.0-9]+)\"\)")
-CATALOG_PREFIX_RE = re.compile(r"^HAWQ_METRIC_PREFIX\(\"([a-z_.0-9]+)\"\)")
+# Entries carry (name, kind, description); the name must lead and the
+# trailing arguments are validated by scripts/gen_metrics_doc.py.
+CATALOG_EXACT_RE = re.compile(r"^HAWQ_METRIC\(\"([a-z_.0-9]+)\"\s*[,)]")
+CATALOG_PREFIX_RE = re.compile(r"^HAWQ_METRIC_PREFIX\(\"([a-z_.0-9]+)\"\s*[,)]")
 METRIC_LITERAL_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*\"([^\"]+)\"")
 METRIC_DYNAMIC_RE = re.compile(r"Get(?:Counter|Gauge|Histogram)\(\s*(?!\")\S")
 
@@ -414,6 +423,49 @@ def check_metric_names(cat: SourceFile, src_files, bench_files):
             out.append(Violation(
                 cat.rel, 0, "metric-name",
                 f"catalog prefix \"{p}\" appears in no src/ file"))
+    return out
+
+
+# --------------------------------------------------------------------------
+# rule: stat-view-catalog
+
+STAT_VIEW_CATALOG = "src/engine/stat_view_names.inc"
+STAT_VIEW_ENTRY_RE = re.compile(r"^HAWQ_STAT_VIEW\(\"(hawq_stat_[a-z_]+)\"")
+# Registration sites: the literal may sit on the line after MakeViewDesc(.
+STAT_VIEW_REG_RE = re.compile(r"MakeViewDesc\(\s*\"(hawq_stat_[a-z_]+)\"")
+
+
+def check_stat_view_catalog(cat: SourceFile, src_files, test_files):
+    out = []
+    catalog = set()
+    for line in cat.lines:
+        m = STAT_VIEW_ENTRY_RE.match(line)
+        if m:
+            catalog.add(m.group(1))
+    if not catalog:
+        return [Violation(cat.rel, 0, "stat-view-catalog",
+                          "could not parse any HAWQ_STAT_VIEW entry")]
+    registered = set()
+    for f in src_files:
+        registered.update(STAT_VIEW_REG_RE.findall(f.text))
+    for name in sorted(registered - catalog):
+        out.append(Violation(
+            cat.rel, 0, "stat-view-catalog",
+            f"view \"{name}\" is registered with MakeViewDesc but has no "
+            f"HAWQ_STAT_VIEW entry in {STAT_VIEW_CATALOG} — the engine "
+            "cannot dispatch a scan of it"))
+    for name in sorted(catalog - registered):
+        out.append(Violation(
+            cat.rel, 0, "stat-view-catalog",
+            f"catalog entry \"{name}\" has no MakeViewDesc registration in "
+            "src/ — a SELECT of it fails at analysis"))
+    all_tests = "\n".join(f.text for f in test_files)
+    for name in sorted(catalog):
+        if name not in all_tests:
+            out.append(Violation(
+                cat.rel, 0, "stat-view-catalog",
+                f"view \"{name}\" is exercised by no test under tests/ — "
+                "every system view needs at least one e2e reference"))
     return out
 
 
@@ -542,6 +594,17 @@ def run_lint(root: str):
     else:
         cat = SourceFile(root, METRIC_CATALOG)
         out.extend(check_metric_names(cat, src_files, bench_files))
+
+    view_path = os.path.join(root, STAT_VIEW_CATALOG)
+    if not os.path.isfile(view_path):
+        # Only a defect in a tree that actually registers system views;
+        # a repo with no hawq_stat_* surface has nothing to catalog.
+        if any(STAT_VIEW_REG_RE.search(f.text) for f in src_files):
+            out.append(Violation(STAT_VIEW_CATALOG, 0, "stat-view-catalog",
+                                 "stat-view catalog missing"))
+    else:
+        views = SourceFile(root, STAT_VIEW_CATALOG)
+        out.extend(check_stat_view_catalog(views, src_files, test_files))
 
     for f in src_files + test_files:
         for i in f.bare_markers():

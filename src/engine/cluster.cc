@@ -1,5 +1,7 @@
 #include "engine/cluster.h"
 
+#include <cstdlib>
+
 #include "engine/session.h"
 #include "engine/stat_views.h"
 #include "executor/exec_node.h"
@@ -160,6 +162,8 @@ Cluster::Cluster(ClusterOptions opts)
   dopts.metrics = &metrics_;
   dopts.journal = &events_;
   if (opts_.enable_runtime_filters) dopts.rf_hub = &rf_hub_;
+  if (opts_.enable_activity) dopts.activity = &activity_;
+  dopts.profiler = opts_.enable_profiler;
   dispatcher_ = std::make_unique<Dispatcher>(fs_.get(), fabric_.get(),
                                              &local_disks_, dopts);
   // Every segment starts with a fresh heartbeat.
@@ -199,13 +203,26 @@ Cluster::Cluster(ClusterOptions opts)
         return std::unique_ptr<exec::ExecNode>(
             new ExternalScanExec(node, ctx, &pxf_));
       });
+  // Trace export directory: explicit option wins, HAWQ_TRACE_DIR is the
+  // operator-facing fallback, empty disables export.
+  trace_dir_ = opts_.trace_dir;
+  if (trace_dir_.empty()) {
+    if (const char* env = std::getenv("HAWQ_TRACE_DIR")) trace_dir_ = env;
+  }
   if (opts_.fault_detector_thread) {
     detector_running_ = true;
     detector_ = std::thread([this] { FaultDetectorLoop(); });
   }
+  if (opts_.enable_profiler) {
+    profiler_running_ = true;
+    profiler_ = std::thread([this] { ProfilerLoop(); });
+  }
 }
 
 Cluster::~Cluster() {
+  if (profiler_running_.exchange(false) && profiler_.joinable()) {
+    profiler_.join();
+  }
   if (detector_running_.exchange(false) && detector_.joinable()) {
     detector_.join();
   }
@@ -311,6 +328,29 @@ void Cluster::FaultDetectorLoop() {
     for (int i = 0; i < 10 && detector_running_.load(); ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
+  }
+}
+
+void Cluster::ProfilerLoop() {
+  // Wall-clock sampling profiler (on by default): each tick reads the
+  // ProfCells of every live traced query — one relaxed atomic load per
+  // gang worker — and charges the period to the (node kind, phase) the
+  // worker was inside. Queries never block on the sampler and the
+  // sampler never blocks on queries; an idle cluster costs one registry
+  // snapshot per tick.
+  obs::Counter* c_samples = metrics_.GetCounter("obs.profiler_samples");
+  const uint64_t period = opts_.profiler_period_us > 0
+                              ? opts_.profiler_period_us
+                              : uint64_t{1000};
+  while (profiler_running_.load(std::memory_order_relaxed)) {
+    for (const std::shared_ptr<obs::QueryTrace>& trace :
+         activity_.LiveTraces()) {
+      std::vector<uint64_t> states = trace->SampleProfCells();
+      if (states.empty()) continue;
+      profile_.Accumulate(states, period);
+      c_samples->Add(states.size());
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(period));
   }
 }
 

@@ -21,7 +21,9 @@
 #include "interconnect/sim_net.h"
 #include "interconnect/tcp_interconnect.h"
 #include "interconnect/udp_interconnect.h"
+#include "obs/activity.h"
 #include "obs/events.h"
+#include "obs/profile.h"
 #include "obs/query_log.h"
 #include "planner/planner.h"
 #include "pxf/connectors.h"
@@ -58,6 +60,22 @@ struct ClusterOptions {
   bool lock_contention_profiling = true;
   size_t event_journal_capacity = 512;  // hawq_stat_events ring
   size_t query_log_capacity = 256;      // hawq_stat_queries ring
+
+  // --- live introspection -------------------------------------------------
+  /// Track in-flight statements in the ActivityRegistry (backs
+  /// hawq_stat_activity). Also forces SELECTs to run traced so per-slice
+  /// progress and per-operator memory are observable while they run.
+  bool enable_activity = true;
+  /// Run the wall-clock sampling profiler thread: it walks live queries'
+  /// ProfCells and accumulates (node kind, phase) self-time into
+  /// hawq_stat_profile.
+  bool enable_profiler = true;
+  /// Sampling period of the profiler thread.
+  uint64_t profiler_period_us = 1000;
+  /// Directory completed traced queries export a Chrome trace-event JSON
+  /// file into ("hawq_trace_q<id>.json"). Empty = use the HAWQ_TRACE_DIR
+  /// environment variable; if that is unset too, export is off.
+  std::string trace_dir;
 
   // --- data skipping & runtime filters ----------------------------------
   /// Push comparison predicates into scans so block zone maps can prune
@@ -129,6 +147,13 @@ class Cluster {
   obs::EventJournal* events() { return &events_; }
   /// Bounded per-statement history (backs hawq_stat_queries).
   obs::QueryLog* query_log() { return &query_log_; }
+  /// Live-query registry (backs hawq_stat_activity).
+  obs::ActivityRegistry* activity() { return &activity_; }
+  /// Sampling-profiler accumulation grid (backs hawq_stat_profile).
+  obs::ProfileTable* profile() { return &profile_; }
+  /// Resolved trace-export directory (option or HAWQ_TRACE_DIR; empty =
+  /// export off).
+  const std::string& trace_dir() const { return trace_dir_; }
   /// Lifetime UDP retransmissions (0 under the TCP fabric); sessions diff
   /// it around each statement for hawq_stat_queries.retransmits.
   uint64_t RetransmitCount() const { return c_retrans_->Get(); }
@@ -170,6 +195,7 @@ class Cluster {
 
  private:
   void FaultDetectorLoop();
+  void ProfilerLoop();
   /// Microseconds since cluster start (the heartbeat clock).
   uint64_t NowUs() const;
 
@@ -181,6 +207,13 @@ class Cluster {
   obs::MetricsRegistry metrics_;
   obs::EventJournal events_;
   obs::QueryLog query_log_;
+  // Live introspection: registry of in-flight statements plus the
+  // profiler's accumulation grid. Declared before the dispatcher and
+  // destroyed after it (entries are removed by sessions, which die
+  // before the cluster, but the dispatcher also pokes the registry).
+  obs::ActivityRegistry activity_;
+  obs::ProfileTable profile_;
+  std::string trace_dir_;
   tx::TxManager txm_;
   std::unique_ptr<hdfs::MiniHdfs> fs_;
   std::unique_ptr<catalog::Catalog> catalog_;
@@ -209,6 +242,8 @@ class Cluster {
       HAWQ_GUARDED_BY(lanes_mu_);
   std::atomic<bool> detector_running_{false};
   std::thread detector_;
+  std::atomic<bool> profiler_running_{false};
+  std::thread profiler_;
 };
 
 }  // namespace hawq::engine

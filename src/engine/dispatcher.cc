@@ -146,10 +146,17 @@ Result<QueryResult> Dispatcher::Execute(
       }
     }
     if (is_first) {
+      if (opts_.activity != nullptr) {
+        opts_.activity->SetStateByQueryId(query_id,
+                                          obs::QueryState::kCancelling);
+      }
       cancel_token.Cancel(st);
       net_->CancelQuery(query_id);
     }
   };
+  if (opts_.activity != nullptr) {
+    opts_.activity->SetStateByQueryId(query_id, obs::QueryState::kExecuting);
+  }
 
   // hawq-lint: allow(mutex-guard): function-local; guards the captured
   // side_results vector below.
@@ -203,6 +210,9 @@ Result<QueryResult> Dispatcher::Execute(
           ctx.slice_id = static_cast<int>(si);
           ctx.span = trace->StartSpan("slice", root_span,
                                       static_cast<int>(si), segment, w);
+          if (opts_.profiler) {
+            ctx.prof_cell = trace->ProfCellFor(static_cast<int>(si), w);
+          }
         }
         auto w0 = Clock::now();
         Status st = exec::RunSendSlice(*parsed->slices[si].root, &ctx);
@@ -263,6 +273,7 @@ Result<QueryResult> Dispatcher::Execute(
       ctx.trace = trace;
       ctx.slice_id = 0;
       ctx.span = trace->StartSpan("slice", root_span, 0, -1, 0);
+      if (opts_.profiler) ctx.prof_cell = trace->ProfCellFor(0, 0);
     }
     auto run_top = [&]() -> Status {
       HAWQ_ASSIGN_OR_RETURN(auto root,

@@ -15,6 +15,7 @@
 #include "executor/exec_context.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/interconnect.h"
+#include "obs/activity.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +43,14 @@ struct DispatchOptions {
   /// runtime filters disabled). The dispatcher hands it to every worker
   /// context and clears the query's filters once the gang has joined.
   exec::RuntimeFilterHub* rf_hub = nullptr;
+  /// Live-query registry (optional, may be null): the dispatcher flips
+  /// the query's hawq_stat_activity state to executing when the gang
+  /// starts and to cancelling when the first slice error trips the
+  /// cancel token.
+  obs::ActivityRegistry* activity = nullptr;
+  /// Hand every traced gang worker a sampling-profiler cell (see
+  /// obs::ProfCell). No effect on untraced queries.
+  bool profiler = false;
 };
 
 /// Execution totals of one segment, maintained by the dispatcher across

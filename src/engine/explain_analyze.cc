@@ -23,6 +23,7 @@ std::string FmtMs(uint64_t us) {
 struct NodeTotals {
   uint64_t rows = 0, batches = 0, bytes = 0, spill = 0, us = 0;
   uint64_t blocks_skipped = 0, rows_filtered = 0;
+  int64_t mem_peak = 0;  // summed across segments (each holds its build)
   int entries = 0;
 };
 
@@ -38,14 +39,31 @@ NodeTotals TotalsFor(const StatsMap& stats, int node_id) {
     t.spill += s->spill_bytes.load(std::memory_order_relaxed);
     t.blocks_skipped += s->blocks_skipped.load(std::memory_order_relaxed);
     t.rows_filtered += s->rows_filtered.load(std::memory_order_relaxed);
+    t.mem_peak += s->mem_peak_bytes.load(std::memory_order_relaxed);
     t.us += s->TotalUs();
     ++t.entries;
   }
   return t;
 }
 
+/// Side channels the per-node renderer reports misestimates through.
+struct MisestimateSink {
+  obs::EventJournal* journal = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  uint64_t query_id = 0;
+};
+
+/// Planner-estimate vs actual divergence factor (>= 1; 12.0 means the
+/// estimate was off 12x in either direction). Both sides are clamped to
+/// one row so empty results don't divide by zero.
+double MisestimateFactor(double est, uint64_t actual) {
+  double e = est < 1.0 ? 1.0 : est;
+  double a = actual < 1 ? 1.0 : static_cast<double>(actual);
+  return a > e ? a / e : e / a;
+}
+
 void EmitNode(const plan::PlanNode& n, const StatsMap& stats, int indent,
-              std::string* out) {
+              const MisestimateSink& sink, std::string* out) {
   std::string pad(indent * 2, ' ');
   *out += pad + n.Describe() + "\n";
   NodeTotals t = TotalsFor(stats, n.node_id);
@@ -63,7 +81,28 @@ void EmitNode(const plan::PlanNode& n, const StatsMap& stats, int indent,
     if (t.rows_filtered > 0) {
       *out += " filtered=" + std::to_string(t.rows_filtered);
     }
+    if (t.mem_peak > 0) *out += " mem_peak=" + std::to_string(t.mem_peak);
     *out += " time=" + FmtMs(t.us) + "\n";
+    std::snprintf(line, sizeof(line), "est rows=%.0f actual=%" PRIu64,
+                  n.est_rows, t.rows);
+    *out += pad + "  " + line;
+    double factor = MisestimateFactor(n.est_rows, t.rows);
+    if (factor > 10.0) {
+      std::snprintf(line, sizeof(line), " MISESTIMATE(%.1fx)", factor);
+      *out += line;
+      if (sink.journal != nullptr) {
+        std::snprintf(line, sizeof(line),
+                      "node %d %s: est %.0f actual %" PRIu64 " (%.1fx off)",
+                      n.node_id, plan::NodeKindName(n.kind), n.est_rows,
+                      t.rows, factor);
+        sink.journal->Log(obs::Severity::kWarn, "planner", "plan_misestimate",
+                          line, sink.query_id);
+      }
+      if (sink.metrics != nullptr) {
+        sink.metrics->GetCounter("planner.misestimates")->Add();
+      }
+    }
+    *out += "\n";
     if (t.entries > 1) {
       for (auto it = stats.lower_bound({n.node_id, INT_MIN});
            it != stats.end() && it->first.first == n.node_id; ++it) {
@@ -77,7 +116,9 @@ void EmitNode(const plan::PlanNode& n, const StatsMap& stats, int indent,
       }
     }
   }
-  for (const auto& c : n.children) EmitNode(*c, stats, indent + 1, out);
+  for (const auto& c : n.children) {
+    EmitNode(*c, stats, indent + 1, sink, out);
+  }
 }
 
 /// One "Section:" block listing `prefix`-scoped counter deltas with the
@@ -98,8 +139,11 @@ void EmitMetricSection(const std::map<std::string, uint64_t>& deltas,
 
 std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
                                  const obs::QueryTrace& trace,
-                                 const QueryResult& result) {
+                                 const QueryResult& result,
+                                 obs::EventJournal* journal,
+                                 obs::MetricsRegistry* metrics) {
   StatsMap stats = trace.NodeStatsMap();
+  MisestimateSink sink{journal, metrics, trace.query_id()};
   std::string out;
   for (const plan::Slice& sl : plan.slices) {
     out += "Slice " + std::to_string(sl.slice_id) +
@@ -128,7 +172,7 @@ std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
       out += " returns to client";
     }
     out += ":\n";
-    if (sl.root) EmitNode(*sl.root, stats, 1, &out);
+    if (sl.root) EmitNode(*sl.root, stats, 1, sink, &out);
   }
 
   out += "Execution: " + FmtMs(result.exec_time.count()) + ", " +

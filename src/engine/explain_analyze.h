@@ -7,6 +7,8 @@
 #include <string>
 
 #include "engine/query_result.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "planner/plan_node.h"
 
@@ -14,11 +16,19 @@ namespace hawq::engine {
 
 /// Render the EXPLAIN ANALYZE report: one line per plan node (same
 /// slice/indent structure as PhysicalPlan::ToString) followed by actual
-/// rows/batches/bytes/spill/time — aggregated and broken down per
+/// rows/batches/bytes/spill/mem/time — aggregated and broken down per
 /// segment — then Execution / Interconnect / HDFS summary sections from
 /// `trace.metric_deltas`, and the span tree.
+///
+/// Each node line also compares the planner's row estimate against the
+/// actual row count; a >10x divergence in either direction earns a
+/// `MISESTIMATE(12.3x)` marker. When `journal` is non-null such nodes
+/// additionally log a `plan_misestimate` event (tagged with the trace's
+/// query id) and bump the `planner.misestimates` counter in `metrics`.
 std::string RenderExplainAnalyze(const plan::PhysicalPlan& plan,
                                  const obs::QueryTrace& trace,
-                                 const QueryResult& result);
+                                 const QueryResult& result,
+                                 obs::EventJournal* journal = nullptr,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace hawq::engine

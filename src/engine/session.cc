@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "engine/explain_analyze.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "storage/format.h"
 
 namespace hawq::engine {
@@ -150,18 +151,30 @@ Status Session::FinishTxn(const TxScope& scope, const Status& exec_status) {
 Result<QueryResult> Session::Execute(const std::string& sql) {
   auto t0 = std::chrono::steady_clock::now();
   last_query_id_ = 0;
+  last_retries_ = 0;
   last_slow_explain_.clear();
   uint64_t retrans0 = c_->RetransmitCount();
   uint64_t spill0 = c_->TotalSpillBytes();
+
+  // Live introspection: the statement appears in hawq_stat_activity from
+  // this point — before admission, so a queue-blocked statement is
+  // visible as "waiting" while it waits.
+  const std::string& queue =
+      queue_.empty() ? c_->admission()->default_queue() : queue_;
+  activity_token_ = c_->options().enable_activity
+                        ? c_->activity()->Register(sql, queue)
+                        : 0;
 
   // Admission control (paper §2.2): every statement first takes a slot in
   // its resource queue; the ticket carries the query-level memory tracker
   // all of its workers charge. A rejection (queue timeout) surfaces as a
   // normal statement error below and is recorded like one.
-  const std::string& queue =
-      queue_.empty() ? c_->admission()->default_queue() : queue_;
   Result<QueryResult> res = [&]() -> Result<QueryResult> {
     HAWQ_ASSIGN_OR_RETURN(ticket_, c_->admission()->Admit(queue));
+    if (activity_token_ != 0) {
+      c_->activity()->SetState(activity_token_, obs::QueryState::kAdmitted);
+      c_->activity()->SetTracker(activity_token_, ticket_.tracker());
+    }
     return ExecuteInternal(sql);
   }();
 
@@ -197,11 +210,18 @@ Result<QueryResult> Session::Execute(const std::string& sql) {
                         "query_killed_oom", rec.error, rec.query_id);
     }
   }
+  // Remove the activity entry first: its tracker pointer dies with the
+  // ticket on the next line (see the lifetime contract in obs/activity.h).
+  if (activity_token_ != 0) {
+    c_->activity()->Finish(activity_token_);
+    activity_token_ = 0;
+  }
   // Releasing the ticket destroys the query tracker (which aborts the
   // process if an operator leaked a reservation) and frees the slot; the
   // peak survives for the record.
   ticket_.Release();
   rec.peak_mem_bytes = ticket_.peak_bytes();
+  rec.retries = last_retries_;
   rec.slow_explain = std::move(last_slow_explain_);
   c_->query_log()->Append(std::move(rec));
   return res;
@@ -279,7 +299,8 @@ Result<QueryResult> Session::ExecStatement(const sql::Statement& stmt,
     case sql::Statement::Kind::kAnalyze:
       return ExecAnalyze(stmt.table, txn);
     case sql::Statement::Kind::kExplain:
-      return ExecExplain(*stmt.child, stmt.explain_analyze, txn);
+      return ExecExplain(*stmt.child, stmt.explain_analyze,
+                         stmt.explain_trace, txn);
     case sql::Statement::Kind::kTruncateTable:
       return ExecTruncate(stmt.table, txn);
     case sql::Statement::Kind::kAlterTableStorage:
@@ -358,6 +379,27 @@ void PublishPruning(Cluster* c, const plan::PhysicalPlan& plan) {
   }
 }
 
+/// Plan nodes hawq_stat_activity reports progress for: every node of
+/// every slice, labelled by kind, slice roots flagged (they are the
+/// per-slice progress rows).
+std::vector<obs::ActivityNodeRef> ActivityRefs(
+    const plan::PhysicalPlan& plan) {
+  std::vector<obs::ActivityNodeRef> refs;
+  for (const plan::Slice& sl : plan.slices) {
+    if (!sl.root) continue;
+    std::function<void(const plan::PlanNode&, bool)> walk =
+        [&](const plan::PlanNode& n, bool root) {
+          if (n.node_id >= 0) {
+            refs.push_back({n.node_id, sl.slice_id, root,
+                            plan::NodeKindName(n.kind)});
+          }
+          for (const auto& ch : n.children) walk(*ch, false);
+        };
+    walk(*sl.root, true);
+  }
+  return refs;
+}
+
 }  // namespace
 
 Result<QueryResult> Session::RunWithRetry(
@@ -369,6 +411,11 @@ Result<QueryResult> Session::RunWithRetry(
   while (true) {
     uint64_t qid = c_->NextQueryId();
     last_query_id_ = qid;
+    if (activity_token_ != 0) {
+      c_->activity()->SetQueryId(activity_token_, qid);
+      c_->activity()->SetState(activity_token_,
+                               obs::QueryState::kDispatched);
+    }
     Result<QueryResult> res = attempt(qid, attempts);
     if (res.ok()) {
       res->retries = attempts;
@@ -378,6 +425,8 @@ Result<QueryResult> Session::RunWithRetry(
       return res;
     }
     ++attempts;
+    last_retries_ = attempts;
+    if (activity_token_ != 0) c_->activity()->NoteRetry(activity_token_);
     c_->events()->Log(obs::Severity::kWarn, "engine", "query_retried",
                       "retry " + std::to_string(attempts) + "/" +
                           std::to_string(o.max_query_retries) + " after: " +
@@ -400,8 +449,15 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
   HAWQ_RETURN_IF_ERROR(LockTables(*bound, txn));
   HAWQ_RETURN_IF_ERROR(ResolveScalarSubqueries(bound, txn));
   uint64_t slow_us = c_->options().slow_query_us;
+  // Tracing is on when any consumer of per-node counters is active:
+  // slow-query auto-capture, live introspection (hawq_stat_activity
+  // progress / per-operator memory / the sampling profiler), or trace
+  // export. The instrumentation wrappers cost a few percent — the
+  // HAWQ_OBS_OVERHEAD bench gates the regression.
+  bool traced = slow_us > 0 || c_->options().enable_activity ||
+                !c_->trace_dir().empty();
   plan::PhysicalPlan plan;  // final attempt's plan (for the rendering)
-  if (slow_us == 0) {
+  if (!traced) {
     return RunWithRetry([&](uint64_t qid, int) -> Result<QueryResult> {
       // Re-plan every attempt: after a failure the catalog may have
       // marked segments down, and HDFS replicas restore data access on
@@ -414,31 +470,76 @@ Result<QueryResult> Session::RunSelectBound(sql::BoundQuery* bound,
                                        CurrentResources());
     });
   }
-  // Slow-query auto-capture: run traced so that if the statement crosses
-  // the threshold its EXPLAIN ANALYZE rendering lands in the query log.
-  std::unique_ptr<obs::QueryTrace> trace;
+  // Traced run. The trace is shared with the ActivityRegistry so a
+  // concurrent session's hawq_stat_activity scan (and the profiler
+  // sampler thread) can read live NodeStats while the gang runs.
+  std::shared_ptr<obs::QueryTrace> trace;
   std::map<std::string, uint64_t> before;
-  HAWQ_ASSIGN_OR_RETURN(
-      QueryResult res,
+  Result<QueryResult> res =
       RunWithRetry([&](uint64_t qid, int) -> Result<QueryResult> {
         plan::Planner planner(c_->catalog(), txn, c_->PlannerOptionsFor());
         HAWQ_ASSIGN_OR_RETURN(plan, planner.PlanSelect(*bound));
-        trace = std::make_unique<obs::QueryTrace>(qid);
-        before = c_->metrics()->SnapshotCounters();
+        trace = std::make_shared<obs::QueryTrace>(qid);
+        if (activity_token_ != 0) {
+          c_->activity()->AttachTrace(activity_token_, trace,
+                                      ActivityRefs(plan));
+        }
+        // Snapshotting the whole counter map is too expensive to pay on
+        // every statement; only slow-query capture renders the deltas,
+        // so only it takes the "before" picture.
+        if (slow_us > 0) before = c_->metrics()->SnapshotCounters();
         PublishPruning(c_, plan);  // inside the snapshot window
         return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
                                          nullptr, trace.get(),
                                          CurrentResources());
-      }));
-  if (static_cast<uint64_t>(res.exec_time.count()) >= slow_us) {
+      });
+  if (trace == nullptr) return res;  // planner failed before tracing began
+  auto fill_deltas = [&] {
+    if (before.empty()) return;  // no "before" picture was taken
     auto after = c_->metrics()->SnapshotCounters();
     for (const auto& [name, v] : after) {
       auto it = before.find(name);
       trace->metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
     }
-    last_slow_explain_ = RenderExplainAnalyze(plan, *trace, res);
+  };
+  if (!res.ok()) {
+    // Post-mortem capture: failed (and cancelled) statements keep their
+    // partial EXPLAIN ANALYZE — the dispatcher finishes the span tree on
+    // error paths, so the rendering shows how far each node got.
+    fill_deltas();
+    QueryResult failed;
+    failed.retries = last_retries_;
+    last_slow_explain_ =
+        RenderExplainAnalyze(plan, *trace, failed, c_->events(),
+                             c_->metrics());
+    return res;
   }
+  if (slow_us > 0 && static_cast<uint64_t>(res->exec_time.count()) >= slow_us) {
+    fill_deltas();
+    last_slow_explain_ = RenderExplainAnalyze(plan, *trace, *res,
+                                              c_->events(), c_->metrics());
+  }
+  ExportTrace(*trace, /*force_cwd=*/false);
   return res;
+}
+
+std::string Session::ExportTrace(const obs::QueryTrace& trace,
+                                 bool force_cwd) {
+  std::string dir = c_->trace_dir();
+  if (dir.empty()) {
+    if (!force_cwd) return "";
+    dir = ".";
+  }
+  Result<std::string> path = obs::ExportTraceFile(trace, dir);
+  if (!path.ok()) {
+    c_->events()->Log(obs::Severity::kWarn, "obs", "trace_export_failed",
+                      path.status().message(), trace.query_id());
+    return "";
+  }
+  c_->metrics()->GetCounter("obs.traces_exported")->Add(1);
+  c_->events()->Log(obs::Severity::kInfo, "obs", "trace_exported", *path,
+                    trace.query_id());
+  return *path;
 }
 
 Result<QueryResult> Session::ExecSelect(const sql::SelectStmt& stmt,
@@ -1007,7 +1108,8 @@ Result<QueryResult> Session::ExecAlterStorage(
 }
 
 Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
-                                         bool analyze, tx::Transaction* txn) {
+                                         bool analyze, bool export_trace,
+                                         tx::Transaction* txn) {
   if (stmt.kind != sql::Statement::Kind::kSelect) {
     return Status::NotSupported("EXPLAIN supports SELECT only");
   }
@@ -1028,7 +1130,7 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
     // like the real system's. Mid-query faults retry like a plain
     // SELECT; the rendering reflects the final (successful) attempt plus
     // its retry count.
-    std::unique_ptr<obs::QueryTrace> trace;
+    std::shared_ptr<obs::QueryTrace> trace;
     std::map<std::string, uint64_t> before;
     HAWQ_ASSIGN_OR_RETURN(
         QueryResult exec_result,
@@ -1038,7 +1140,11 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
                                     c_->PlannerOptionsFor());
             HAWQ_ASSIGN_OR_RETURN(plan, replanner.PlanSelect(*bound));
           }
-          trace = std::make_unique<obs::QueryTrace>(qid);
+          trace = std::make_shared<obs::QueryTrace>(qid);
+          if (activity_token_ != 0) {
+            c_->activity()->AttachTrace(activity_token_, trace,
+                                        ActivityRefs(plan));
+          }
           before = c_->metrics()->SnapshotCounters();
           PublishPruning(c_, plan);  // inside the snapshot window
           return c_->dispatcher()->Execute(plan, qid, c_->SegmentUpMask(),
@@ -1050,7 +1156,12 @@ Result<QueryResult> Session::ExecExplain(const sql::Statement& stmt,
       auto it = before.find(name);
       trace->metric_deltas[name] = v - (it == before.end() ? 0 : it->second);
     }
-    text = RenderExplainAnalyze(plan, *trace, exec_result);
+    text = RenderExplainAnalyze(plan, *trace, exec_result, c_->events(),
+                                c_->metrics());
+    if (export_trace) {
+      std::string path = ExportTrace(*trace, /*force_cwd=*/true);
+      if (!path.empty()) text += "Trace: " + path + "\n";
+    }
     r.query_id = exec_result.query_id;
     r.plan_bytes = exec_result.plan_bytes;
     r.exec_time = exec_result.exec_time;

@@ -61,7 +61,7 @@ class Session {
   Result<QueryResult> ExecAnalyze(const std::string& name,
                                   tx::Transaction* txn);
   Result<QueryResult> ExecExplain(const sql::Statement& stmt, bool analyze,
-                                  tx::Transaction* txn);
+                                  bool export_trace, tx::Transaction* txn);
   Result<QueryResult> ExecTruncate(const std::string& name,
                                    tx::Transaction* txn);
   Result<QueryResult> ExecAlterStorage(
@@ -91,6 +91,12 @@ class Session {
   /// (empty ExecResources when no ticket is held — internal statements).
   ExecResources CurrentResources() const;
 
+  /// Write the completed trace as a Chrome trace-event JSON file into the
+  /// cluster's trace dir (no-op when export is off); returns the path.
+  /// `force_cwd` makes EXPLAIN (ANALYZE, TRACE) export even without a
+  /// configured directory.
+  std::string ExportTrace(const obs::QueryTrace& trace, bool force_cwd);
+
   Cluster* c_;
   /// Resource queue this session's statements are admitted through.
   std::string queue_;
@@ -103,8 +109,15 @@ class Session {
   /// (errors carry no QueryResult, so the log reads it from here).
   uint64_t last_query_id_ = 0;
   /// EXPLAIN ANALYZE rendering captured when the statement crossed the
-  /// cluster's slow_query_us threshold; moved into the query record.
+  /// cluster's slow_query_us threshold — or failed while traced (the
+  /// post-mortem case); moved into the query record.
   std::string last_slow_explain_;
+  /// hawq_stat_activity token of the statement currently executing
+  /// (0 when activity tracking is off).
+  uint64_t activity_token_ = 0;
+  /// Retry attempts of the current statement (errors carry no
+  /// QueryResult, so the log reads it from here).
+  int last_retries_ = 0;
 };
 
 }  // namespace hawq::engine

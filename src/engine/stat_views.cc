@@ -24,7 +24,9 @@ catalog::TableDesc MakeViewDesc(std::string name,
 
 Datum U64(uint64_t v) { return Datum::Int(static_cast<int64_t>(v)); }
 
-std::vector<Row> MetricsRows(Cluster* c) {
+// Builders share one signature so stat_view_names.inc can generate the
+// dispatch; most views ignore the scanner's own query id.
+std::vector<Row> MetricsRows(Cluster* c, uint64_t /*self_qid*/) {
   obs::MetricsRegistry* reg = c->metrics();
   std::vector<Row> rows;
   for (const auto& [name, v] : reg->SnapshotCounters()) {
@@ -45,7 +47,7 @@ std::vector<Row> MetricsRows(Cluster* c) {
   return rows;
 }
 
-std::vector<Row> QueryRows(Cluster* c) {
+std::vector<Row> QueryRows(Cluster* c, uint64_t /*self_qid*/) {
   std::vector<Row> rows;
   for (obs::QueryRecord& q : c->query_log()->Snapshot()) {
     rows.push_back({U64(q.query_id), Datum::Str(std::move(q.text)),
@@ -58,12 +60,12 @@ std::vector<Row> QueryRows(Cluster* c) {
                         ? Datum::Null()
                         : Datum::Str(std::move(q.slow_explain)),
                     Datum::Str(std::move(q.queue)),
-                    Datum::Int(q.peak_mem_bytes)});
+                    Datum::Int(q.peak_mem_bytes), Datum::Int(q.retries)});
   }
   return rows;
 }
 
-std::vector<Row> ResourceQueueRows(Cluster* c) {
+std::vector<Row> ResourceQueueRows(Cluster* c, uint64_t /*self_qid*/) {
   std::vector<Row> rows;
   for (const resource::QueueStats& q : c->admission()->Snapshot()) {
     rows.push_back({Datum::Str(q.name), Datum::Int(q.priority),
@@ -77,7 +79,7 @@ std::vector<Row> ResourceQueueRows(Cluster* c) {
   return rows;
 }
 
-std::vector<Row> SegmentRows(Cluster* c) {
+std::vector<Row> SegmentRows(Cluster* c, uint64_t /*self_qid*/) {
   const auto& loads = c->dispatcher()->segment_loads();
   const auto& health = c->dispatcher()->segment_health();
   std::vector<Row> rows;
@@ -106,7 +108,7 @@ std::vector<Row> SegmentRows(Cluster* c) {
   return rows;
 }
 
-std::vector<Row> EventRows(Cluster* c) {
+std::vector<Row> EventRows(Cluster* c, uint64_t /*self_qid*/) {
   std::vector<Row> rows;
   for (obs::Event& e : c->events()->Snapshot()) {
     rows.push_back({U64(e.seq), U64(e.ts_us),
@@ -115,6 +117,56 @@ std::vector<Row> EventRows(Cluster* c) {
                     Datum::Str(std::move(e.event)),
                     Datum::Str(std::move(e.detail)),
                     e.query_id == 0 ? Datum::Null() : U64(e.query_id)});
+  }
+  return rows;
+}
+
+std::vector<Row> ActivityRows(Cluster* c, uint64_t self_qid) {
+  std::vector<Row> rows;
+  for (const obs::ActivitySnapshot& a : c->activity()->Snapshot(self_qid)) {
+    // Per-slice progress ("s0:MotionRecv rows=12k" style, one clause per
+    // slice root) and per-operator memory ("HashJoin#3=512000/812000"
+    // used/peak) as compact strings: the view stays one row per query
+    // while still exposing where the work and the bytes are.
+    uint64_t rows_done = 0, batches = 0, bytes = 0;
+    std::string slices, mem_ops;
+    for (const obs::ActivityNodeProgress& n : a.nodes) {
+      if (n.slice_root) {
+        rows_done += n.rows;
+        batches += n.batches;
+        bytes += n.bytes;
+        if (!slices.empty()) slices += " ";
+        slices += "s" + std::to_string(n.slice_id) + ":" + n.label +
+                  " rows=" + std::to_string(n.rows);
+      }
+      if (n.mem_used_bytes > 0 || n.mem_peak_bytes > 0) {
+        if (!mem_ops.empty()) mem_ops += " ";
+        mem_ops += n.label + "#" + std::to_string(n.node_id) + "=" +
+                   std::to_string(n.mem_used_bytes) + "/" +
+                   std::to_string(n.mem_peak_bytes);
+      }
+    }
+    rows.push_back({a.query_id == 0 ? Datum::Null() : U64(a.query_id),
+                    Datum::Str(a.text),
+                    Datum::Str(obs::QueryStateName(a.state)),
+                    Datum::Str(a.queue), U64(a.elapsed_us),
+                    Datum::Int(a.retries), U64(rows_done), U64(batches),
+                    U64(bytes),
+                    slices.empty() ? Datum::Null() : Datum::Str(slices),
+                    Datum::Int(a.mem_used_bytes),
+                    Datum::Int(a.mem_peak_bytes),
+                    mem_ops.empty() ? Datum::Null() : Datum::Str(mem_ops)});
+  }
+  return rows;
+}
+
+std::vector<Row> ProfileRows(Cluster* c, uint64_t /*self_qid*/) {
+  std::vector<Row> rows;
+  for (const obs::ProfileTable::Entry& e : c->profile()->Snapshot()) {
+    rows.push_back({Datum::Str(plan::NodeKindName(
+                        static_cast<plan::NodeKind>(e.kind))),
+                    Datum::Str(obs::ProfPhaseName(e.phase)), U64(e.samples),
+                    U64(e.self_us)});
   }
   return rows;
 }
@@ -136,8 +188,8 @@ class VirtualScanExec : public exec::ExecNode {
     // after a redistribute for a join) produces nothing, so totals are
     // never multiplied by the segment count.
     if (ctx_->segment >= 0) return Status::OK();
-    HAWQ_ASSIGN_OR_RETURN(rows_,
-                          BuildStatViewRows(cluster_, node_.table_name));
+    HAWQ_ASSIGN_OR_RETURN(rows_, BuildStatViewRows(cluster_, node_.table_name,
+                                                   ctx_->query_id));
     return Status::OK();
   }
 
@@ -187,7 +239,8 @@ std::vector<catalog::TableDesc> StatViewDefs() {
        ColumnDesc{"retransmits", TypeId::kInt64, false},
        ColumnDesc{"slow_explain", TypeId::kString, true},
        ColumnDesc{"queue", TypeId::kString, false},
-       ColumnDesc{"peak_mem_bytes", TypeId::kInt64, false}}));
+       ColumnDesc{"peak_mem_bytes", TypeId::kInt64, false},
+       ColumnDesc{"retries", TypeId::kInt64, false}}));
   defs.push_back(MakeViewDesc(
       "hawq_stat_resource_queues",
       {ColumnDesc{"queue", TypeId::kString, false},
@@ -224,18 +277,37 @@ std::vector<catalog::TableDesc> StatViewDefs() {
        ColumnDesc{"event", TypeId::kString, false},
        ColumnDesc{"detail", TypeId::kString, false},
        ColumnDesc{"query_id", TypeId::kInt64, true}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_activity",
+      {ColumnDesc{"query_id", TypeId::kInt64, true},
+       ColumnDesc{"query", TypeId::kString, false},
+       ColumnDesc{"state", TypeId::kString, false},
+       ColumnDesc{"queue", TypeId::kString, false},
+       ColumnDesc{"elapsed_us", TypeId::kInt64, false},
+       ColumnDesc{"retries", TypeId::kInt64, false},
+       ColumnDesc{"rows", TypeId::kInt64, false},
+       ColumnDesc{"batches", TypeId::kInt64, false},
+       ColumnDesc{"bytes", TypeId::kInt64, false},
+       ColumnDesc{"slices", TypeId::kString, true},
+       ColumnDesc{"mem_used_bytes", TypeId::kInt64, false},
+       ColumnDesc{"mem_peak_bytes", TypeId::kInt64, false},
+       ColumnDesc{"mem_ops", TypeId::kString, true}}));
+  defs.push_back(MakeViewDesc(
+      "hawq_stat_profile",
+      {ColumnDesc{"node_kind", TypeId::kString, false},
+       ColumnDesc{"phase", TypeId::kString, false},
+       ColumnDesc{"samples", TypeId::kInt64, false},
+       ColumnDesc{"self_us", TypeId::kInt64, false}}));
   return defs;
 }
 
 Result<std::vector<Row>> BuildStatViewRows(Cluster* cluster,
-                                           const std::string& view_name) {
-  if (view_name == "hawq_stat_metrics") return MetricsRows(cluster);
-  if (view_name == "hawq_stat_queries") return QueryRows(cluster);
-  if (view_name == "hawq_stat_resource_queues") {
-    return ResourceQueueRows(cluster);
-  }
-  if (view_name == "hawq_stat_segments") return SegmentRows(cluster);
-  if (view_name == "hawq_stat_events") return EventRows(cluster);
+                                           const std::string& view_name,
+                                           uint64_t self_query_id) {
+#define HAWQ_STAT_VIEW(name, builder) \
+  if (view_name == name) return builder(cluster, self_query_id);
+#include "engine/stat_view_names.inc"  // NOLINT
+#undef HAWQ_STAT_VIEW
   return Status::NotFound("unknown system view: " + view_name);
 }
 

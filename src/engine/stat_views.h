@@ -25,8 +25,12 @@ std::vector<catalog::TableDesc> StatViewDefs();
 /// Each call is an independent snapshot: bounded ring buffers (queries,
 /// events) are copied under their rank-free mutexes, counters/gauges/
 /// histograms read atomically. NotFound for unknown view names.
+/// `self_query_id` is the scanning statement's own query id, excluded
+/// from hawq_stat_activity so a monitoring query does not see itself.
+/// The name -> builder dispatch is generated from stat_view_names.inc.
 Result<std::vector<Row>> BuildStatViewRows(Cluster* cluster,
-                                           const std::string& view_name);
+                                           const std::string& view_name,
+                                           uint64_t self_query_id = 0);
 
 /// Build the executor node for a kVirtualScan plan node. Snapshots rows at
 /// Open(); emits only on the QD (segment workers produce nothing, so a

@@ -153,6 +153,10 @@ struct ExecContext {
   obs::Span* span = nullptr;
   /// Slice this worker executes (0 = top slice on the QD).
   int slice_id = 0;
+  /// This worker's sampling-profiler cell (one per gang worker, owned by
+  /// the trace). Null when tracing is off or the profiler is disabled;
+  /// the instrumented wrappers then skip the stamp entirely.
+  obs::ProfCell* prof_cell = nullptr;
 };
 
 }  // namespace hawq::exec

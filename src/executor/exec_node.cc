@@ -115,6 +115,29 @@ void NoteSpill(const ExecContext* ctx, obs::NodeStats* stats, size_t bytes) {
   }
 }
 
+/// Child tracker giving one memory-hungry operator its own node in the
+/// accounting hierarchy (query -> operator), so EXPLAIN ANALYZE and
+/// hawq_stat_activity can attribute bytes to hash build vs sort vs slot
+/// pool. Unlimited itself — the query-level budget still gates every
+/// charge through the parent chain. Null when the query is untracked.
+std::unique_ptr<resource::MemoryTracker> MakeOpTracker(const char* kind,
+                                                       const PlanNode& node,
+                                                       ExecContext* ctx) {
+  if (ctx->mem == nullptr) return nullptr;
+  return std::make_unique<resource::MemoryTracker>(
+      std::string(kind) + "#" + std::to_string(node.node_id),
+      resource::MemoryTracker::kUnlimited, ctx->mem);
+}
+
+/// Mirror the operator tracker's balance into the node's trace stats so
+/// live activity snapshots read per-operator bytes from relaxed atomics
+/// instead of chasing tracker pointers.
+void AttachMemMirror(resource::MemoryTracker* op_mem, obs::NodeStats* stats) {
+  if (op_mem != nullptr && stats != nullptr) {
+    op_mem->SetMirror(&stats->mem_used_bytes, &stats->mem_peak_bytes);
+  }
+}
+
 // --------------------------------------------------- instrumentation
 //
 // EXPLAIN ANALYZE decorator: wraps an operator and accumulates rows /
@@ -124,27 +147,37 @@ void NoteSpill(const ExecContext* ctx, obs::NodeStats* stats, size_t bytes) {
 // instrumentation cost — not even a branch per batch.
 class InstrumentedExec : public ExecNode {
  public:
-  InstrumentedExec(std::unique_ptr<ExecNode> inner, obs::NodeStats* stats)
-      : inner_(std::move(inner)), stats_(stats) {}
+  InstrumentedExec(std::unique_ptr<ExecNode> inner, obs::NodeStats* stats,
+                   obs::ProfCell* cell, int node_id, int kind)
+      : inner_(std::move(inner)),
+        stats_(stats),
+        cell_(cell),
+        node_id_(node_id),
+        kind_(kind) {}
 
   Status Open() override {
+    uint64_t prev = Stamp(obs::kProfOpen);
     auto t0 = obs::TraceClock::now();
     Status st = inner_->Open();
     stats_->open_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    Unstamp(prev);
     return st;
   }
 
   Result<bool> Next(Row* row) override {
+    uint64_t prev = Stamp(obs::kProfNext);
     auto t0 = obs::TraceClock::now();
     auto r = inner_->Next(row);
     stats_->next_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
     if (r.ok() && r.value()) {
       stats_->rows.fetch_add(1, std::memory_order_relaxed);
     }
+    Unstamp(prev);
     return r;
   }
 
   Result<bool> NextBatch(RowBatch* batch) override {
+    uint64_t prev = Stamp(obs::kProfNext);
     auto t0 = obs::TraceClock::now();
     auto r = inner_->NextBatch(batch);
     stats_->next_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
@@ -152,19 +185,38 @@ class InstrumentedExec : public ExecNode {
       stats_->rows.fetch_add(batch->size(), std::memory_order_relaxed);
       stats_->batches.fetch_add(1, std::memory_order_relaxed);
     }
+    Unstamp(prev);
     return r;
   }
 
   Status Close() override {
+    uint64_t prev = Stamp(obs::kProfClose);
     auto t0 = obs::TraceClock::now();
     Status st = inner_->Close();
     stats_->close_us.fetch_add(UsSince(t0), std::memory_order_relaxed);
+    Unstamp(prev);
     return st;
   }
 
  private:
+  // Profiler marker: stamp this node as the worker's innermost running
+  // operator on entry, restore the caller's marker on exit. A child's
+  // wrapper overwrites the parent's stamp for the duration of the child
+  // call, which is what turns sampled hits into *self* time.
+  uint64_t Stamp(int phase) {
+    if (cell_ == nullptr) return 0;
+    return cell_->state.exchange(obs::ProfCell::Encode(node_id_, kind_, phase),
+                                 std::memory_order_relaxed);
+  }
+  void Unstamp(uint64_t prev) {
+    if (cell_ != nullptr) cell_->state.store(prev, std::memory_order_relaxed);
+  }
+
   std::unique_ptr<ExecNode> inner_;
   obs::NodeStats* stats_;
+  obs::ProfCell* cell_;
+  const int node_id_;
+  const int kind_;
 };
 
 // ------------------------------------------------------------- SeqScan
@@ -172,7 +224,7 @@ class InstrumentedExec : public ExecNode {
 class SeqScanExec : public BatchExecNode {
  public:
   SeqScanExec(const PlanNode& node, ExecContext* ctx)
-      : BatchExecNode(ctx->batch_size, ctx->mem),
+      : BatchExecNode(node, ctx),
         node_(node),
         ctx_(ctx),
         scratch_(ctx->batch_size) {}
@@ -383,7 +435,7 @@ class FilterExec : public BatchExecNode {
  public:
   FilterExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
              ExecContext* ctx)
-      : BatchExecNode(ctx->batch_size, ctx->mem),
+      : BatchExecNode(node, ctx),
         node_(node),
         child_(std::move(child)) {}
   Status Open() override { return child_->Open(); }
@@ -413,7 +465,7 @@ class ProjectExec : public BatchExecNode {
  public:
   ProjectExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
               ExecContext* ctx)
-      : BatchExecNode(ctx->batch_size, ctx->mem),
+      : BatchExecNode(node, ctx),
         node_(node),
         child_(std::move(child)),
         in_(ctx->batch_size) {}
@@ -454,11 +506,13 @@ class HashJoinExec : public ExecNode {
   HashJoinExec(const PlanNode& node, std::unique_ptr<ExecNode> probe,
                std::unique_ptr<ExecNode> build, ExecContext* ctx)
       : node_(node), probe_(std::move(probe)), build_(std::move(build)),
-        ctx_(ctx), mem_(ctx->mem) {}
+        ctx_(ctx), op_mem_(MakeOpTracker("HashJoin", node, ctx)),
+        mem_(op_mem_ != nullptr ? op_mem_.get() : ctx->mem) {}
 
   Status Open() override {
     if (ctx_->trace != nullptr) {
       stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+      AttachMemMirror(op_mem_.get(), stats_);
     }
     HAWQ_RETURN_IF_ERROR(build_->Open());
     const bool build_filter = node_.rf_id >= 0 && ctx_->rf_hub != nullptr;
@@ -835,6 +889,9 @@ class HashJoinExec : public ExecNode {
   std::unique_ptr<ExecNode> build_;
   ExecContext* ctx_;
   obs::NodeStats* stats_ = nullptr;
+  // Declared before mem_: the reservation must drain back through the
+  // operator tracker before the tracker is destroyed.
+  std::unique_ptr<resource::MemoryTracker> op_mem_;
   resource::ScopedReservation mem_;
   std::unordered_map<std::string, std::vector<Row>> table_;
   Row probe_row_;
@@ -986,7 +1043,9 @@ class HashAggExec : public ExecNode {
   HashAggExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
               ExecContext* ctx)
       : node_(node), child_(std::move(child)), ctx_(ctx),
-        batch_size_(ctx->batch_size), mem_(ctx->mem),
+        batch_size_(ctx->batch_size),
+        op_mem_(MakeOpTracker("HashAgg", node, ctx)),
+        mem_(op_mem_ != nullptr ? op_mem_.get() : ctx->mem),
         key_cols_(node.group_exprs.size()), arg_cols_(node.aggs.size()) {
     mem_.ChargeUnchecked(
         static_cast<int64_t>(batch_size_) * kRowSlotBytes);
@@ -995,6 +1054,7 @@ class HashAggExec : public ExecNode {
   Status Open() override {
     if (ctx_->trace != nullptr) {
       stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+      AttachMemMirror(op_mem_.get(), stats_);
     }
     HAWQ_RETURN_IF_ERROR(child_->Open());
     RowBatch batch(batch_size_);
@@ -1234,6 +1294,9 @@ class HashAggExec : public ExecNode {
   ExecContext* ctx_;
   size_t batch_size_;
   obs::NodeStats* stats_ = nullptr;
+  // Declared before mem_: the reservation must drain back through the
+  // operator tracker before the tracker is destroyed.
+  std::unique_ptr<resource::MemoryTracker> op_mem_;
   resource::ScopedReservation mem_;
   // Batch-at-a-time scratch: group keys and aggregate arguments are
   // evaluated per column; only the table probe and fold stay per-row.
@@ -1257,7 +1320,9 @@ class SortExec : public ExecNode {
  public:
   SortExec(const PlanNode& node, std::unique_ptr<ExecNode> child,
            ExecContext* ctx)
-      : node_(node), child_(std::move(child)), ctx_(ctx), mem_(ctx->mem) {
+      : node_(node), child_(std::move(child)), ctx_(ctx),
+        op_mem_(MakeOpTracker("Sort", node, ctx)),
+        mem_(op_mem_ != nullptr ? op_mem_.get() : ctx->mem) {
     mem_.ChargeUnchecked(
         static_cast<int64_t>(ctx->batch_size) * kRowSlotBytes);
   }
@@ -1265,6 +1330,7 @@ class SortExec : public ExecNode {
   Status Open() override {
     if (ctx_->trace != nullptr) {
       stats_ = ctx_->trace->StatsFor(node_.node_id, ctx_->segment);
+      AttachMemMirror(op_mem_.get(), stats_);
     }
     HAWQ_RETURN_IF_ERROR(child_->Open());
     RowBatch batch(ctx_->batch_size);
@@ -1371,6 +1437,9 @@ class SortExec : public ExecNode {
   const PlanNode& node_;
   std::unique_ptr<ExecNode> child_;
   ExecContext* ctx_;
+  // Declared before mem_: the reservation must drain back through the
+  // operator tracker before the tracker is destroyed.
+  std::unique_ptr<resource::MemoryTracker> op_mem_;
   resource::ScopedReservation mem_;
   std::vector<Row> rows_;
   std::vector<std::string> runs_;
@@ -1422,7 +1491,7 @@ class ResultExec : public ExecNode {
 class MotionRecvExec : public BatchExecNode {
  public:
   MotionRecvExec(const PlanNode& node, ExecContext* ctx)
-      : BatchExecNode(ctx->batch_size, ctx->mem), node_(node), ctx_(ctx) {}
+      : BatchExecNode(node, ctx), node_(node), ctx_(ctx) {}
 
   Status Open() override {
     const MotionWiring& w = ctx_->wiring->at(node_.motion_id);
@@ -1647,7 +1716,8 @@ Result<std::unique_ptr<ExecNode>> BuildExecNode(const PlanNode& node,
   HAWQ_ASSIGN_OR_RETURN(auto built, BuildExecNodeImpl(node, ctx));
   if (ctx->trace != nullptr && node.node_id >= 0) {
     return std::unique_ptr<ExecNode>(new InstrumentedExec(
-        std::move(built), ctx->trace->StatsFor(node.node_id, ctx->segment)));
+        std::move(built), ctx->trace->StatsFor(node.node_id, ctx->segment),
+        ctx->prof_cell, node.node_id, static_cast<int>(node.kind)));
   }
   return built;
 }

@@ -47,6 +47,25 @@ class BatchExecNode : public ExecNode {
       : buffered_(batch_rows), pool_(mem) {
     pool_.ChargeUnchecked(static_cast<int64_t>(batch_rows) * kRowSlotBytes);
   }
+  /// Plan-aware variant: the slot pool gets its own child tracker
+  /// ("SlotPool#<node_id>") under the query tracker, mirrored into the
+  /// node's trace stats, so per-operator memory attribution separates
+  /// fixed slot pools from data-proportional build memory.
+  BatchExecNode(const plan::PlanNode& node, ExecContext* ctx)
+      : buffered_(ctx->batch_size),
+        slot_mem_(ctx->mem != nullptr && node.node_id >= 0
+                      ? std::make_unique<resource::MemoryTracker>(
+                            "SlotPool#" + std::to_string(node.node_id),
+                            resource::MemoryTracker::kUnlimited, ctx->mem)
+                      : nullptr),
+        pool_(slot_mem_ != nullptr ? slot_mem_.get() : ctx->mem) {
+    if (slot_mem_ != nullptr && ctx->trace != nullptr) {
+      obs::NodeStats* stats = ctx->trace->StatsFor(node.node_id, ctx->segment);
+      slot_mem_->SetMirror(&stats->mem_used_bytes, &stats->mem_peak_bytes);
+    }
+    pool_.ChargeUnchecked(static_cast<int64_t>(ctx->batch_size) *
+                          kRowSlotBytes);
+  }
 
   Result<bool> Next(Row* row) override {
     while (buf_pos_ >= buffered_.size()) {
@@ -62,6 +81,9 @@ class BatchExecNode : public ExecNode {
  private:
   RowBatch buffered_;
   size_t buf_pos_ = 0;
+  // Declared before pool_: the reservation drains back through the slot
+  // tracker before the tracker is destroyed.
+  std::unique_ptr<resource::MemoryTracker> slot_mem_;
   resource::ScopedReservation pool_{nullptr};
 };
 

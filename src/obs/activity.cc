@@ -1,0 +1,147 @@
+#include "obs/activity.h"
+
+#include <chrono>
+
+namespace hawq::obs {
+
+const char* QueryStateName(QueryState s) {
+  switch (s) {
+    case QueryState::kWaiting: return "waiting";
+    case QueryState::kAdmitted: return "admitted";
+    case QueryState::kDispatched: return "dispatched";
+    case QueryState::kExecuting: return "executing";
+    case QueryState::kCancelling: return "cancelling";
+  }
+  return "unknown";
+}
+
+uint64_t ActivityRegistry::Register(const std::string& text,
+                                    const std::string& queue) {
+  MutexLock g(mu_);
+  uint64_t token = next_token_++;
+  Entry& e = entries_[token];
+  e.text = text;
+  e.queue = queue;
+  e.start = TraceClock::now();
+  return token;
+}
+
+void ActivityRegistry::SetState(uint64_t token, QueryState s) {
+  MutexLock g(mu_);
+  auto it = entries_.find(token);
+  if (it != entries_.end()) it->second.state = s;
+}
+
+void ActivityRegistry::SetStateByQueryId(uint64_t query_id, QueryState s) {
+  if (query_id == 0) return;
+  MutexLock g(mu_);
+  for (auto& [token, e] : entries_) {
+    if (e.query_id == query_id) {
+      e.state = s;
+      return;
+    }
+  }
+}
+
+void ActivityRegistry::SetQueryId(uint64_t token, uint64_t query_id) {
+  MutexLock g(mu_);
+  auto it = entries_.find(token);
+  if (it != entries_.end()) it->second.query_id = query_id;
+}
+
+void ActivityRegistry::SetTracker(uint64_t token,
+                                  resource::MemoryTracker* tracker) {
+  MutexLock g(mu_);
+  auto it = entries_.find(token);
+  if (it != entries_.end()) it->second.tracker = tracker;
+}
+
+void ActivityRegistry::AttachTrace(uint64_t token,
+                                   std::shared_ptr<QueryTrace> trace,
+                                   std::vector<ActivityNodeRef> nodes) {
+  MutexLock g(mu_);
+  auto it = entries_.find(token);
+  if (it == entries_.end()) return;
+  it->second.trace = std::move(trace);
+  it->second.nodes = std::move(nodes);
+}
+
+void ActivityRegistry::NoteRetry(uint64_t token) {
+  MutexLock g(mu_);
+  auto it = entries_.find(token);
+  if (it != entries_.end()) ++it->second.retries;
+}
+
+void ActivityRegistry::Finish(uint64_t token) {
+  MutexLock g(mu_);
+  entries_.erase(token);
+}
+
+std::vector<ActivitySnapshot> ActivityRegistry::Snapshot(
+    uint64_t exclude_query_id) const {
+  MutexLock g(mu_);
+  auto now = TraceClock::now();
+  std::vector<ActivitySnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [token, e] : entries_) {
+    if (exclude_query_id != 0 && e.query_id == exclude_query_id) continue;
+    ActivitySnapshot snap;
+    snap.query_id = e.query_id;
+    snap.text = e.text;
+    snap.queue = e.queue;
+    snap.state = e.state;
+    snap.retries = e.retries;
+    snap.elapsed_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - e.start)
+            .count());
+    if (e.tracker != nullptr) {
+      snap.mem_used_bytes = e.tracker->used();
+      snap.mem_peak_bytes = e.tracker->peak();
+    }
+    if (e.trace != nullptr) {
+      // Aggregate the live NodeStats across segments for each node the
+      // engine asked us to report. The map walk takes the trace's own
+      // (rank-free) mutex; counter reads are relaxed atomics.
+      auto stats = e.trace->NodeStatsMap();
+      snap.nodes.reserve(e.nodes.size());
+      for (const ActivityNodeRef& ref : e.nodes) {
+        ActivityNodeProgress p;
+        p.node_id = ref.node_id;
+        p.slice_id = ref.slice_id;
+        p.slice_root = ref.slice_root;
+        p.label = ref.label;
+        for (auto it = stats.lower_bound({ref.node_id, INT32_MIN});
+             it != stats.end() && it->first.first == ref.node_id; ++it) {
+          const NodeStats& ns = *it->second;
+          p.rows += ns.rows.load(std::memory_order_relaxed);
+          p.batches += ns.batches.load(std::memory_order_relaxed);
+          p.bytes += ns.bytes.load(std::memory_order_relaxed);
+          p.mem_used_bytes +=
+              ns.mem_used_bytes.load(std::memory_order_relaxed);
+          p.mem_peak_bytes +=
+              ns.mem_peak_bytes.load(std::memory_order_relaxed);
+        }
+        snap.nodes.push_back(std::move(p));
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<QueryTrace>> ActivityRegistry::LiveTraces() const {
+  MutexLock g(mu_);
+  std::vector<std::shared_ptr<QueryTrace>> out;
+  out.reserve(entries_.size());
+  for (const auto& [token, e] : entries_) {
+    if (e.trace != nullptr) out.push_back(e.trace);
+  }
+  return out;
+}
+
+size_t ActivityRegistry::size() const {
+  MutexLock g(mu_);
+  return entries_.size();
+}
+
+}  // namespace hawq::obs

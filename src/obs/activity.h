@@ -1,0 +1,145 @@
+// Live-query registry backing the hawq_stat_activity system view.
+//
+// Post-hoc history (QueryLog / hawq_stat_queries) only shows a query
+// after it finishes — exactly when a stuck or runaway query matters
+// least. The ActivityRegistry tracks every statement from admission to
+// completion: the session registers before admission (state waiting),
+// flips to admitted/dispatched as it progresses, the dispatcher marks
+// executing/cancelling, and the session removes the entry when the
+// statement finishes. A concurrent session's SELECT over
+// hawq_stat_activity snapshots the registry and sees in-flight work:
+// state, elapsed time, per-slice progress sampled from the live
+// QueryTrace NodeStats atomics, and current/peak tracked memory.
+//
+// Lifetime contract: the entry's MemoryTracker pointer and attached
+// QueryTrace may only be read while the entry is registered. Finish()
+// removes the entry under the registry mutex, and the session calls it
+// *before* releasing the admission ticket (which destroys the query
+// tracker) — so Snapshot(), which also holds the mutex, can never read
+// a dead tracker.
+//
+// The registry also hands the profiler sampler thread the set of live
+// traces (LiveTraces), which is how wall-clock samples find the open
+// queries to walk.
+//
+// Concurrency: one rank-free leaf mutex (same exemption as the rest of
+// obs); NodeStats/ProfCell reads are relaxed atomics and never block
+// the workers that write them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/trace.h"
+#include "resource/memory_tracker.h"  // header-only; no link dependency
+
+namespace hawq::obs {
+
+enum class QueryState {
+  kWaiting,     // registered, blocked in admission
+  kAdmitted,    // ticket granted, not yet dispatched
+  kDispatched,  // plan serialized, gang starting
+  kExecuting,   // gang workers running
+  kCancelling,  // first error seen, cancel broadcast in flight
+};
+
+const char* QueryStateName(QueryState s);
+
+/// A plan node the engine wants surfaced in activity snapshots. Built
+/// by the session from the (QD-side) plan at dispatch time; `label` is
+/// the node kind name so obs never needs to see planner types.
+struct ActivityNodeRef {
+  int node_id = 0;
+  int slice_id = 0;
+  bool slice_root = false;
+  std::string label;
+};
+
+/// Per-node progress aggregated across segments at snapshot time.
+struct ActivityNodeProgress {
+  int node_id = 0;
+  int slice_id = 0;
+  bool slice_root = false;
+  std::string label;
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  uint64_t bytes = 0;
+  int64_t mem_used_bytes = 0;  // summed across segments
+  int64_t mem_peak_bytes = 0;
+};
+
+/// One in-flight query as seen by hawq_stat_activity.
+struct ActivitySnapshot {
+  uint64_t query_id = 0;  // 0 until the session assigns one
+  std::string text;
+  std::string queue;
+  QueryState state = QueryState::kWaiting;
+  uint64_t elapsed_us = 0;
+  int64_t retries = 0;
+  int64_t mem_used_bytes = 0;  // query-level tracker balance
+  int64_t mem_peak_bytes = 0;
+  std::vector<ActivityNodeProgress> nodes;
+};
+
+class ActivityRegistry {
+ public:
+  ActivityRegistry() = default;
+  ActivityRegistry(const ActivityRegistry&) = delete;
+  ActivityRegistry& operator=(const ActivityRegistry&) = delete;
+
+  /// Register a statement entering Execute. Returns an opaque token the
+  /// session threads through the statement's lifetime. State: waiting.
+  uint64_t Register(const std::string& text, const std::string& queue);
+
+  void SetState(uint64_t token, QueryState s);
+  /// The dispatcher only knows the query id, not the session token.
+  void SetStateByQueryId(uint64_t query_id, QueryState s);
+  /// Each retry attempt re-plans under a fresh query id.
+  void SetQueryId(uint64_t token, uint64_t query_id);
+  /// Attach the admission ticket's query tracker. Cleared implicitly by
+  /// Finish(); see the lifetime contract in the file comment.
+  void SetTracker(uint64_t token, resource::MemoryTracker* tracker);
+  /// Attach the live trace + the plan nodes worth reporting. Replaces
+  /// any previous attachment (retry attempts re-plan and re-trace).
+  void AttachTrace(uint64_t token, std::shared_ptr<QueryTrace> trace,
+                   std::vector<ActivityNodeRef> nodes);
+  void NoteRetry(uint64_t token);
+  /// Remove the entry. Call before the admission ticket is released.
+  void Finish(uint64_t token);
+
+  /// All in-flight queries, oldest first. `exclude_query_id` lets the
+  /// virtual scan drop the querying statement itself, so
+  /// "SELECT count(*) FROM hawq_stat_activity" is 0 on an idle cluster.
+  std::vector<ActivitySnapshot> Snapshot(uint64_t exclude_query_id = 0) const;
+
+  /// Live traces for the profiler sampler thread.
+  std::vector<std::shared_ptr<QueryTrace>> LiveTraces() const;
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    std::string queue;
+    QueryState state = QueryState::kWaiting;
+    uint64_t query_id = 0;
+    int64_t retries = 0;
+    TraceClock::time_point start{};
+    resource::MemoryTracker* tracker = nullptr;
+    std::shared_ptr<QueryTrace> trace;
+    std::vector<ActivityNodeRef> nodes;
+  };
+
+  // Rank-free leaf: Snapshot is called from a VirtualScanExec Open and
+  // the sampler thread; updates come from session/dispatcher threads
+  // that may hold engine locks.
+  mutable Mutex mu_{LockRank::kRankFree, "obs.activity"};
+  uint64_t next_token_ HAWQ_GUARDED_BY(mu_) = 1;
+  std::map<uint64_t, Entry> entries_ HAWQ_GUARDED_BY(mu_);
+};
+
+}  // namespace hawq::obs

@@ -140,13 +140,13 @@ std::string MetricsRegistry::ToJson() const {
 
 bool IsKnownMetricName(const std::string& name) {
   static const char* const kExact[] = {
-#define HAWQ_METRIC(n) n,
-#define HAWQ_METRIC_PREFIX(p)
+#define HAWQ_METRIC(n, kind, desc) n,
+#define HAWQ_METRIC_PREFIX(p, kind, desc)
 #include "obs/metric_names.inc"
   };
   static const char* const kPrefixes[] = {
-#define HAWQ_METRIC(n)
-#define HAWQ_METRIC_PREFIX(p) p,
+#define HAWQ_METRIC(n, kind, desc)
+#define HAWQ_METRIC_PREFIX(p, kind, desc) p,
 #include "obs/metric_names.inc"
   };
   for (const char* n : kExact) {

@@ -1,0 +1,42 @@
+#include "obs/profile.h"
+
+#include "obs/trace.h"
+
+namespace hawq::obs {
+
+void ProfileTable::Accumulate(const std::vector<uint64_t>& states,
+                              uint64_t period_us) {
+  if (states.empty()) return;
+  MutexLock g(mu_);
+  for (uint64_t v : states) {
+    int kind = ProfCell::DecodeKind(v);
+    int phase = ProfCell::DecodePhase(v);
+    if (kind < 0 || kind >= kMaxKinds || phase < 0 || phase >= kMaxPhases) {
+      continue;
+    }
+    Cell& c = cells_[kind][phase];
+    c.samples += 1;
+    c.self_us += period_us;
+    ++total_;
+  }
+}
+
+std::vector<ProfileTable::Entry> ProfileTable::Snapshot() const {
+  MutexLock g(mu_);
+  std::vector<Entry> out;
+  for (int k = 0; k < kMaxKinds; ++k) {
+    for (int p = 0; p < kMaxPhases; ++p) {
+      const Cell& c = cells_[k][p];
+      if (c.samples == 0) continue;
+      out.push_back(Entry{k, p, c.samples, c.self_us});
+    }
+  }
+  return out;
+}
+
+uint64_t ProfileTable::total_samples() const {
+  MutexLock g(mu_);
+  return total_;
+}
+
+}  // namespace hawq::obs

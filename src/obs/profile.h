@@ -1,0 +1,59 @@
+// Sampling wall-clock profile accumulator backing hawq_stat_profile.
+//
+// A per-cluster sampler thread wakes every profiler period, asks the
+// ActivityRegistry for the live traces, and reads each trace's ProfCell
+// markers (the innermost operator each gang worker is running right
+// now). Every non-idle sample lands here as one tick against the
+// (node kind, phase) bucket; self-time is estimated as samples x the
+// sampling period. Cheap by construction: workers pay three relaxed
+// atomic stamps per Open/Next/Close call (see obs/trace.h), and the
+// sampler does a handful of relaxed loads per tick — there is no
+// per-sample allocation and no lock shared with the execution hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+
+namespace hawq::obs {
+
+class ProfileTable {
+ public:
+  ProfileTable() = default;
+  ProfileTable(const ProfileTable&) = delete;
+  ProfileTable& operator=(const ProfileTable&) = delete;
+
+  /// Record one sampler tick's worth of non-idle cell states (encoded
+  /// ProfCell values) observed `period_us` apart.
+  void Accumulate(const std::vector<uint64_t>& states, uint64_t period_us);
+
+  struct Entry {
+    int kind = 0;   // plan::NodeKind value; the engine maps it to a name
+    int phase = 0;  // ProfPhase
+    uint64_t samples = 0;
+    uint64_t self_us = 0;  // samples x period at accumulation time
+  };
+
+  /// All buckets with at least one sample, sorted by (kind, phase).
+  std::vector<Entry> Snapshot() const;
+
+  uint64_t total_samples() const;
+
+ private:
+  struct Cell {
+    uint64_t samples = 0;
+    uint64_t self_us = 0;
+  };
+  // Fixed (kind, phase) grid — kinds and phases are small enums. Keeps
+  // Accumulate allocation-free.
+  static constexpr int kMaxKinds = 64;
+  static constexpr int kMaxPhases = 4;
+
+  mutable Mutex mu_{LockRank::kRankFree, "obs.profile"};
+  Cell cells_[kMaxKinds][kMaxPhases] HAWQ_GUARDED_BY(mu_) = {};
+  uint64_t total_ HAWQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hawq::obs

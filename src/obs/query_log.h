@@ -27,8 +27,10 @@ struct QueryRecord {
   int64_t spill_bytes = 0;   // cluster spill-bytes delta over the statement
   int64_t retransmits = 0;   // interconnect retransmission delta
   std::string slow_explain;  // EXPLAIN ANALYZE text when over threshold
+                             // (captured for failed statements too)
   std::string queue;         // resource queue the statement ran under
   int64_t peak_mem_bytes = 0;  // peak tracked memory of the query
+  int64_t retries = 0;         // statement-level retry attempts used
 };
 
 /// Fixed-capacity query-history ring, oldest overwritten first. Rank-free

@@ -49,6 +49,24 @@ NodeStats* QueryTrace::StatsFor(int node_id, int segment) {
   return slot.get();
 }
 
+ProfCell* QueryTrace::ProfCellFor(int slice, int worker) {
+  MutexLock g(mu_);
+  auto& slot = prof_cells_[{slice, worker}];
+  if (!slot) slot = std::make_unique<ProfCell>();
+  return slot.get();
+}
+
+std::vector<uint64_t> QueryTrace::SampleProfCells() const {
+  MutexLock g(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(prof_cells_.size());
+  for (const auto& [key, cell] : prof_cells_) {
+    uint64_t v = cell->state.load(std::memory_order_relaxed);
+    if (v != 0) out.push_back(v);
+  }
+  return out;
+}
+
 std::vector<Span> QueryTrace::Spans() const {
   MutexLock g(mu_);
   return std::vector<Span>(spans_.begin(), spans_.end());

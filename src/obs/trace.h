@@ -57,6 +57,12 @@ struct NodeStats {
   // Data skipping (SeqScan only; zero elsewhere).
   std::atomic<uint64_t> blocks_skipped{0};  // zone-map pruned blocks
   std::atomic<uint64_t> rows_filtered{0};   // bloom-filtered probe rows
+  // Per-operator memory attribution: mirrored from the operator's child
+  // MemoryTracker on every reserve/release, so concurrent readers (the
+  // hawq_stat_activity snapshot path) can see live bytes without taking
+  // any tracker lock. Zero for operators that hold no tracked memory.
+  std::atomic<int64_t> mem_used_bytes{0};
+  std::atomic<int64_t> mem_peak_bytes{0};
 
   uint64_t TotalUs() const {
     return open_us.load(std::memory_order_relaxed) +
@@ -64,6 +70,45 @@ struct NodeStats {
            close_us.load(std::memory_order_relaxed);
   }
 };
+
+/// One worker's "what am I running right now" marker for the sampling
+/// wall-clock profiler. The instrumented exec wrapper stamps the cell on
+/// entry to Open/Next/Close and restores the previous value on exit, so
+/// at any instant the cell encodes the *innermost* running operator —
+/// sampling it yields self-time, not inclusive time. Three relaxed
+/// atomic ops per call; cheap next to the two clock reads the wrapper
+/// already pays.
+struct ProfCell {
+  // Encoded (node_id << 16) | (kind << 8) | phase; 0 = idle.
+  std::atomic<uint64_t> state{0};
+
+  static constexpr uint64_t Encode(int node_id, int kind, int phase) {
+    return (static_cast<uint64_t>(node_id) << 16) |
+           (static_cast<uint64_t>(kind & 0xff) << 8) |
+           static_cast<uint64_t>(phase & 0xff);
+  }
+  static constexpr int DecodeNode(uint64_t v) {
+    return static_cast<int>(v >> 16);
+  }
+  static constexpr int DecodeKind(uint64_t v) {
+    return static_cast<int>((v >> 8) & 0xff);
+  }
+  static constexpr int DecodePhase(uint64_t v) {
+    return static_cast<int>(v & 0xff);
+  }
+};
+
+/// Profiler phases (ProfCell phase byte).
+enum ProfPhase { kProfIdle = 0, kProfOpen = 1, kProfNext = 2, kProfClose = 3 };
+
+inline const char* ProfPhaseName(int phase) {
+  switch (phase) {
+    case kProfOpen: return "open";
+    case kProfNext: return "next";
+    case kProfClose: return "close";
+    default: return "idle";
+  }
+}
 
 /// One timed node in the query's span tree. Attribute fields are -1 when
 /// not applicable (e.g. the root dispatch span has no segment).
@@ -109,6 +154,16 @@ class QueryTrace {
   /// Per-(node, segment) counters; registers on first use, stable pointer.
   NodeStats* StatsFor(int node_id, int segment);
 
+  /// Per-(slice, worker) profiler cell; registers on first use, stable
+  /// pointer. One cell per gang worker — a worker runs one operator at a
+  /// time, so a single cell captures its innermost active node.
+  ProfCell* ProfCellFor(int slice, int worker);
+
+  /// Non-idle cell states at this instant (the sampler thread's read
+  /// path). Takes the trace mutex only to walk the registry; the cell
+  /// loads themselves are relaxed atomics.
+  std::vector<uint64_t> SampleProfCells() const;
+
   /// Copies of all spans in creation order (safe to call concurrently,
   /// but meaningful once the query is done).
   std::vector<Span> Spans() const;
@@ -130,6 +185,8 @@ class QueryTrace {
   mutable Mutex mu_{LockRank::kRankFree, "obs.trace"};
   std::deque<Span> spans_ HAWQ_GUARDED_BY(mu_);  // deque: stable addresses
   std::map<std::pair<int, int>, std::unique_ptr<NodeStats>> node_stats_
+      HAWQ_GUARDED_BY(mu_);
+  std::map<std::pair<int, int>, std::unique_ptr<ProfCell>> prof_cells_
       HAWQ_GUARDED_BY(mu_);
 };
 

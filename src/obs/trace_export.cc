@@ -1,0 +1,131 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace hawq::obs {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+uint64_t UsSince(TraceClock::time_point t0, TraceClock::time_point t) {
+  if (t <= t0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - t0).count());
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const QueryTrace& trace) {
+  std::vector<Span> spans = trace.Spans();
+  TraceClock::time_point t0{};
+  bool have_t0 = false;
+  for (const Span& s : spans) {
+    if (!have_t0 || s.start < t0) {
+      t0 = s.start;
+      have_t0 = true;
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+
+  // One process per execution locus: the QD (segment -1 -> pid 1) and
+  // each segment (pid = segment + 2). Emit name metadata for every pid
+  // that appears.
+  std::vector<int> pids;
+  for (const Span& s : spans) {
+    int pid = s.segment + 2;
+    if (std::find(pids.begin(), pids.end(), pid) == pids.end()) {
+      pids.push_back(pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  for (int pid : pids) {
+    if (pid == 1) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"QD\"}}",
+                    first ? "" : ",", pid);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"seg%d\"}}",
+                    first ? "" : ",", pid, pid - 2);
+    }
+    out += buf;
+    first = false;
+  }
+
+  for (const Span& s : spans) {
+    int pid = s.segment + 2;
+    int tid = s.slice + 1;  // slice -1 (dispatch root) -> tid 0
+    out += first ? "{" : ",{";
+    first = false;
+    out += "\"name\":\"";
+    AppendJsonEscaped(&out, s.name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"args\":{\"span_id\":%d",
+                  pid, tid, UsSince(t0, s.start), s.DurationUs(), s.id);
+    out += buf;
+    if (s.worker >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"worker\":%d", s.worker);
+      out += buf;
+    }
+    if (s.motion_id >= 0) {
+      std::snprintf(buf, sizeof(buf), ",\"motion\":%d", s.motion_id);
+      out += buf;
+    }
+    out += "}}";
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"query_id\":%"
+                PRIu64 "}}",
+                trace.query_id());
+  out += buf;
+  return out;
+}
+
+Result<std::string> ExportTraceFile(const QueryTrace& trace,
+                                    const std::string& dir) {
+  std::string json = TraceToChromeJson(trace);
+  char name[64];
+  std::snprintf(name, sizeof(name), "hawq_trace_q%" PRIu64 ".json",
+                trace.query_id());
+  std::string path = dir.empty() ? std::string(name) : dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return path;
+}
+
+}  // namespace hawq::obs

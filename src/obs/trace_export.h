@@ -1,0 +1,31 @@
+// Chrome trace-event export for completed QueryTraces.
+//
+// Serializes a query's span tree in the chrome://tracing / Perfetto
+// "trace events" JSON format: one complete ("X") duration event per
+// span. pid = segment + 2 (the QD's segment of -1 maps to pid 1), with
+// a process_name metadata row naming each; tid = slice + 1 groups a
+// segment's tracks by slice. Span attributes (worker, motion id) ride
+// along in "args". Timestamps are microseconds relative to the
+// earliest span start, so traces begin at t=0 regardless of the
+// steady_clock epoch.
+//
+// Load the output via chrome://tracing "Load" or https://ui.perfetto.dev.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace hawq::obs {
+
+/// Render the trace as a Chrome trace-event JSON document
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}).
+std::string TraceToChromeJson(const QueryTrace& trace);
+
+/// Write TraceToChromeJson(trace) to `dir`/hawq_trace_q<id>.json.
+/// Returns the path written, or an IOError.
+Result<std::string> ExportTraceFile(const QueryTrace& trace,
+                                    const std::string& dir);
+
+}  // namespace hawq::obs

@@ -67,6 +67,7 @@ class MemoryTracker {
       return false;
     }
     BumpPeak(now);
+    SyncMirror();
     return true;
   }
 
@@ -78,6 +79,7 @@ class MemoryTracker {
     if (bytes == 0) return;
     int64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
     BumpPeak(now);
+    SyncMirror();
     if (parent_ != nullptr) parent_->ReserveUnchecked(bytes);
   }
 
@@ -87,7 +89,19 @@ class MemoryTracker {
     if (bytes == 0) return;
     int64_t now = used_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
     if (now < 0) Fatal("released more than reserved", bytes);
+    SyncMirror();
     if (parent_ != nullptr) parent_->Release(bytes);
+  }
+
+  /// Mirror used/peak into external atomics on every reserve/release.
+  /// Lets observers (live-activity snapshots, per-operator NodeStats)
+  /// read the balance without holding any tracker reference. Must be
+  /// called by the owning thread before the tracker is shared; the
+  /// mirror atomics must outlive the tracker.
+  void SetMirror(std::atomic<int64_t>* used, std::atomic<int64_t>* peak) {
+    mirror_used_ = used;
+    mirror_peak_ = peak;
+    SyncMirror();
   }
 
   int64_t used() const { return used_.load(std::memory_order_relaxed); }
@@ -97,6 +111,17 @@ class MemoryTracker {
   MemoryTracker* parent() const { return parent_; }
 
  private:
+  void SyncMirror() {
+    if (mirror_used_ != nullptr) {
+      mirror_used_->store(used_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+    if (mirror_peak_ != nullptr) {
+      mirror_peak_->store(peak_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    }
+  }
+
   void BumpPeak(int64_t now) {
     int64_t p = peak_.load(std::memory_order_relaxed);
     while (now > p &&
@@ -118,6 +143,9 @@ class MemoryTracker {
   MemoryTracker* const parent_;
   std::atomic<int64_t> used_{0};
   std::atomic<int64_t> peak_{0};
+  // Mirror targets; set once by the owning thread before sharing.
+  std::atomic<int64_t>* mirror_used_ = nullptr;
+  std::atomic<int64_t>* mirror_peak_ = nullptr;
 };
 
 /// \brief Operator-scope charge accumulator.

@@ -138,6 +138,7 @@ struct Statement {
   std::map<std::string, std::string> options;  // ALTER ... SET WITH (...)
   std::unique_ptr<Statement> child;  // explain
   bool explain_analyze = false;  // EXPLAIN ANALYZE: execute with tracing
+  bool explain_trace = false;    // EXPLAIN (ANALYZE, TRACE): export JSON
   std::string isolation;         // BEGIN [ISOLATION LEVEL ...]
 };
 

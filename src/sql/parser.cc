@@ -96,11 +96,31 @@ class Parser {
     }
     if (AcceptKw("EXPLAIN")) {
       stmt->kind = Statement::Kind::kExplain;
-      // EXPLAIN ANALYZE SELECT ... executes the query with tracing on.
-      // Only consume ANALYZE when SELECT follows, so plain
-      // "EXPLAIN ANALYZE t" still explains the ANALYZE statement.
-      if (IsKw("ANALYZE") && Peek().kind == Token::Kind::kIdent &&
-          IEquals(Peek().text, "SELECT")) {
+      // Option-list form: EXPLAIN (ANALYZE[, TRACE]) SELECT ...
+      // TRACE additionally exports the executed query's span tree as a
+      // Chrome trace-event JSON file; it requires ANALYZE (a plan-only
+      // EXPLAIN never executes, so there is nothing to trace).
+      if (Accept("(")) {
+        while (true) {
+          if (AcceptKw("ANALYZE")) {
+            stmt->explain_analyze = true;
+          } else if (AcceptKw("TRACE")) {
+            stmt->explain_trace = true;
+          } else {
+            return Err("unknown EXPLAIN option '" + Cur().text + "'");
+          }
+          if (!Accept(",")) break;
+        }
+        HAWQ_RETURN_IF_ERROR(Expect(")"));
+        if (stmt->explain_trace && !stmt->explain_analyze) {
+          return Status::InvalidArgument(
+              "EXPLAIN option TRACE requires ANALYZE");
+        }
+      } else if (IsKw("ANALYZE") && Peek().kind == Token::Kind::kIdent &&
+                 IEquals(Peek().text, "SELECT")) {
+        // EXPLAIN ANALYZE SELECT ... executes the query with tracing on.
+        // Only consume ANALYZE when SELECT follows, so plain
+        // "EXPLAIN ANALYZE t" still explains the ANALYZE statement.
         Advance();
         stmt->explain_analyze = true;
       }

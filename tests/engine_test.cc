@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <thread>
 
+#include "common/chaos.h"
 #include "engine/cluster.h"
 #include "engine/session.h"
 #include "tpch/tpch_loader.h"
@@ -441,6 +443,55 @@ TEST_F(EngineTest, ActiveQueriesGaugeReturnsToZero) {
   Exec("SELECT count(*) FROM t");
   ExecErr("SELECT * FROM no_such_table");
   EXPECT_EQ(active->Get(), 0);
+}
+
+// --- Live introspection (hawq_stat_activity end to end) -------------------
+
+// A chaos kill-segment mid-scan forces a statement-level retry; the
+// activity registry must survive the re-plan (the entry flips back to
+// dispatched under a fresh query id) and drain to zero rows afterwards.
+TEST_F(EngineTest, ActivityViewDrainsAfterChaosRetry) {
+  Exec("CREATE TABLE t (a INT, b INT) DISTRIBUTED BY (a)");
+  for (int base = 0; base < 4000; base += 1000) {
+    std::string vals;
+    for (int i = base; i < base + 1000; ++i) {
+      vals += (i == base ? "(" : ", (") + std::to_string(i) + "," +
+              std::to_string(i % 13) + ")";
+    }
+    Exec("INSERT INTO t VALUES " + vals);
+  }
+
+  class KillOnce : public common::chaos::Injector {
+   public:
+    explicit KillOnce(Cluster* c) : c_(c) {}
+    void OnPoint(const char* point) override {
+      if (std::strcmp(point, "scan.batch") != 0) return;
+      if (!fired_.exchange(true, std::memory_order_acq_rel)) {
+        c_->FailSegment(1);
+      }
+    }
+   private:
+    Cluster* c_;
+    std::atomic<bool> fired_{false};
+  };
+  KillOnce inj(&cluster_);
+  {
+    common::chaos::ScopedInjector guard(&inj);
+    QueryResult r = Exec("SELECT b, count(*) FROM t GROUP BY b ORDER BY b");
+    ASSERT_EQ(r.rows.size(), 13u);
+    EXPECT_GE(r.retries, 1) << "the kill must have forced a retry";
+  }
+
+  // The retried statement is history, not activity: zero in-flight rows
+  // (the scan excludes itself) and a retries>=1 record in the log.
+  QueryResult act = Exec("SELECT count(*) FROM hawq_stat_activity");
+  EXPECT_EQ(act.rows[0][0].as_int(), 0)
+      << "activity must drain after a retried statement completes";
+  QueryResult hist = Exec(
+      "SELECT retries FROM hawq_stat_queries "
+      "WHERE query LIKE 'SELECT b, count%' AND status = 'ok'");
+  ASSERT_EQ(hist.rows.size(), 1u);
+  EXPECT_GE(hist.rows[0][0].as_int(), 1);
 }
 
 // --- Data skipping & runtime filters (end to end) -------------------------

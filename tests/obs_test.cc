@@ -10,6 +10,15 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/chaos.h"
 #include "common/sync.h"
 #include "engine/cluster.h"
 #include "engine/session.h"
@@ -18,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace hawq {
 namespace {
@@ -682,6 +692,409 @@ TEST(StatViewsTest, ViewsAreReadOnly) {
       session->Execute("INSERT INTO hawq_stat_metrics VALUES (1)").ok());
   EXPECT_FALSE(session->Execute("DROP TABLE hawq_stat_queries").ok());
   EXPECT_FALSE(session->Execute("TRUNCATE hawq_stat_events").ok());
+}
+
+// ----------------------------------------- live introspection & profiling
+
+void LoadJoinTables(engine::Session* s, int fact_rows, int dim_rows) {
+  ASSERT_TRUE(s->Execute("CREATE TABLE fact (k INT, v INT) "
+                         "DISTRIBUTED BY (k)").ok());
+  ASSERT_TRUE(s->Execute("CREATE TABLE dim (k INT, w INT) "
+                         "DISTRIBUTED BY (k)").ok());
+  for (int base = 0; base < fact_rows; base += 1000) {
+    std::string vals;
+    int hi = std::min(base + 1000, fact_rows);
+    for (int i = base; i < hi; ++i) {
+      vals += (i == base ? "(" : ", (") + std::to_string(i) + "," +
+              std::to_string(i % 97) + ")";
+    }
+    ASSERT_TRUE(s->Execute("INSERT INTO fact VALUES " + vals).ok());
+  }
+  std::string vals;
+  for (int i = 0; i < dim_rows; ++i) {
+    vals += (i == 0 ? "(" : ", (") + std::to_string(i) + "," +
+            std::to_string(i * 2) + ")";
+  }
+  ASSERT_TRUE(s->Execute("INSERT INTO dim VALUES " + vals).ok());
+  ASSERT_TRUE(s->Execute("ANALYZE fact").ok());
+  ASSERT_TRUE(s->Execute("ANALYZE dim").ok());
+}
+
+/// Chaos hook that parks every worker visiting a named point once a
+/// visit threshold is reached, freezing the query mid-flight (with a
+/// few batches already through the pipeline) until Release().
+class BlockAtVisit : public common::chaos::Injector {
+ public:
+  BlockAtVisit(const char* point, int after_visits)
+      : point_(point), after_visits_(after_visits) {}
+
+  void OnPoint(const char* point) override {
+    if (std::strcmp(point, point_) != 0) return;
+    if (visits_.fetch_add(1, std::memory_order_acq_rel) + 1 < after_visits_)
+      return;
+    while (!released_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  void Release() { released_.store(true, std::memory_order_release); }
+
+ private:
+  const char* point_;
+  const int after_visits_;
+  std::atomic<int> visits_{0};
+  std::atomic<bool> released_{false};
+};
+
+// The tentpole acceptance test: a statement blocked mid-query is visible
+// from a concurrent session in hawq_stat_activity — with nonzero
+// per-slice progress sampled from the live NodeStats and per-operator
+// memory attribution — and disappears once it completes.
+TEST(StatViewsTest, ActivityViewShowsBlockedQueryThenDrains) {
+  engine::Cluster cluster(SmallCluster());
+  auto admin = cluster.Connect();
+
+  // Idle cluster: the monitoring statement excludes itself, so the view
+  // is empty.
+  auto idle = admin->Execute("SELECT count(*) FROM hawq_stat_activity");
+  ASSERT_TRUE(idle.ok()) << idle.status().ToString();
+  EXPECT_EQ(idle->rows[0][0].as_int(), 0);
+
+  LoadJoinTables(admin.get(), 8000, 400);
+
+  BlockAtVisit inj("scan.batch", /*after_visits=*/6);
+  common::chaos::ScopedInjector guard(&inj);
+  std::thread runner([&cluster] {
+    auto s = cluster.Connect();
+    auto r = s->Execute(
+        "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+
+  // Poll from the concurrent session until the frozen statement shows
+  // progress and attributed memory. The query stays parked until
+  // Release(), so the deadline is generous without being load-bearing.
+  bool seen = false;
+  std::string diag;
+  for (int i = 0; i < 4000 && !seen; ++i) {
+    auto r = admin->Execute(
+        "SELECT query, state, rows, mem_used_bytes, slices, mem_ops "
+        "FROM hawq_stat_activity "
+        "WHERE slices IS NOT NULL AND mem_ops IS NOT NULL");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const Row& row : r->rows) {
+      if (row[0].as_str().find("FROM fact f") == std::string::npos) continue;
+      diag = row[1].as_str() + " rows=" + std::to_string(row[2].as_int()) +
+             " mem=" + std::to_string(row[3].as_int()) +
+             " slices=" + row[4].as_str() + " mem_ops=" + row[5].as_str();
+      std::string state = row[1].as_str();
+      if ((state == "executing" || state == "dispatched") &&
+          row[2].as_int() > 0 && row[3].as_int() > 0 &&
+          !row[5].as_str().empty()) {
+        seen = true;
+      }
+    }
+    if (!seen) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  inj.Release();
+  runner.join();
+  EXPECT_TRUE(seen) << "blocked query never showed progress; last: " << diag;
+
+  // The finished statement has drained out of the view.
+  auto after = admin->Execute("SELECT count(*) FROM hawq_stat_activity");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows[0][0].as_int(), 0) << "activity must drain";
+}
+
+TEST(StatViewsTest, ProfileViewAccumulatesSamples) {
+  engine::ClusterOptions opts = SmallCluster();
+  opts.profiler_period_us = 100;  // sample aggressively for the test
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  LoadJoinTables(session.get(), 6000, 400);
+
+  // Keep queries in flight until the sampler has landed hits. Each run
+  // is short, so several may be needed before a 100us tick overlaps one.
+  bool sampled = false;
+  for (int i = 0; i < 200 && !sampled; ++i) {
+    ASSERT_TRUE(session
+                    ->Execute("SELECT count(*), sum(f.v) FROM fact f, dim d "
+                              "WHERE f.k = d.k")
+                    .ok());
+    auto r = session->Execute(
+        "SELECT node_kind, phase, samples, self_us FROM hawq_stat_profile");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    for (const Row& row : r->rows) {
+      EXPECT_FALSE(row[0].as_str().empty());
+      EXPECT_FALSE(row[1].as_str().empty());
+      EXPECT_GT(row[2].as_int(), 0);
+      EXPECT_GT(row[3].as_int(), 0);
+      sampled = true;
+    }
+  }
+  EXPECT_TRUE(sampled) << "profiler sampler never caught a live query";
+
+  // The sampler's own bookkeeping is visible in the metrics view.
+  auto m = session->Execute(
+      "SELECT value FROM hawq_stat_metrics WHERE name = "
+      "'obs.profiler_samples'");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m->rows[0][0].as_int(), 0);
+}
+
+TEST(StatViewsTest, ProfilerOffLeavesProfileEmpty) {
+  engine::ClusterOptions opts = SmallCluster();
+  opts.enable_profiler = false;
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(session->Execute("SELECT count(*) FROM t").ok());
+  auto r = session->Execute("SELECT count(*) FROM hawq_stat_profile");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 0);
+}
+
+// ------------------------------------------------------- trace export
+
+// Minimal structural validation of the Chrome trace-event JSON: the
+// format is flat enough that substring checks pin the schema (a real
+// JSON parser is not available in-tree, deliberately).
+void ValidateChromeTraceJson(const std::string& json) {
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u) << json.substr(0, 120);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\":{\"query_id\":"), std::string::npos);
+  // Process metadata rows name the QD and at least one segment.
+  EXPECT_NE(json.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"args\":{\"name\":\"QD\"}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"seg0\"}"), std::string::npos);
+  // Complete ("X") duration events carry pid/tid/ts/dur.
+  size_t x = json.find("\"ph\":\"X\"");
+  ASSERT_NE(x, std::string::npos);
+  size_t end = json.find('}', x);
+  std::string evt = json.substr(x, end - x);
+  EXPECT_NE(evt.find("\"pid\":"), std::string::npos) << evt;
+  EXPECT_NE(evt.find("\"tid\":"), std::string::npos) << evt;
+  EXPECT_NE(evt.find("\"ts\":"), std::string::npos) << evt;
+  EXPECT_NE(evt.find("\"dur\":"), std::string::npos) << evt;
+  // The span tree includes the dispatch root and per-slice spans.
+  EXPECT_NE(json.find("\"name\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("slice"), std::string::npos);
+  // Braces balance (cheap well-formedness proxy).
+  int depth = 0;
+  bool in_str = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_str) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_str = false;
+      }
+    } else if (c == '"') {
+      in_str = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0) << "unbalanced braces in trace JSON";
+}
+
+TEST(TraceExportTest, ExplainAnalyzeTraceWritesChromeJson) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  LoadJoinTables(session.get(), 2000, 200);
+
+  auto r = session->Execute(
+      "EXPLAIN (ANALYZE, TRACE) SELECT count(*) FROM fact f, dim d "
+      "WHERE f.k = d.k");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string text;
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  size_t pos = text.find("Trace: ");
+  ASSERT_NE(pos, std::string::npos) << text;
+  std::string path = text.substr(pos + 7);
+  path = path.substr(0, path.find('\n'));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "exported trace missing: " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  ValidateChromeTraceJson(buf.str());
+  std::remove(path.c_str());
+
+  // Export is journaled and counted.
+  auto ev = session->Execute(
+      "SELECT count(*) FROM hawq_stat_events WHERE event = 'trace_exported'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  EXPECT_GE(ev->rows[0][0].as_int(), 1);
+}
+
+TEST(TraceExportTest, TraceDirExportsEveryTracedQuery) {
+  engine::ClusterOptions opts = SmallCluster();
+  opts.trace_dir = "obs_test_traces";
+  ::mkdir("obs_test_traces", 0755);
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a INT) DISTRIBUTED BY (a)")
+                  .ok());
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES (1), (2), (3)").ok());
+  ASSERT_TRUE(session->Execute("SELECT count(*) FROM t").ok());
+
+  auto ev = session->Execute(
+      "SELECT detail FROM hawq_stat_events WHERE event = 'trace_exported'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  ASSERT_GE(ev->rows.size(), 1u) << "trace_dir set, no export journaled";
+  bool validated = false;
+  for (const Row& row : ev->rows) {
+    std::string path = row[0].as_str();
+    ASSERT_EQ(path.rfind("obs_test_traces/hawq_trace_q", 0), 0u) << path;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::stringstream buf;
+    buf << in.rdbuf();
+    ValidateChromeTraceJson(buf.str());
+    std::remove(path.c_str());
+    validated = true;
+  }
+  EXPECT_TRUE(validated);
+  ::rmdir("obs_test_traces");
+}
+
+// ------------------------------------- misestimates & failure capture
+
+TEST(ExplainAnalyzeTest, ShowsEstimatesMemoryAndFlagsMisestimates) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  ASSERT_TRUE(session->Execute("CREATE TABLE t (a INT, b INT) "
+                               "DISTRIBUTED BY (a)").ok());
+  // Collect stats at 100 rows, then load 20x more: the planner still
+  // believes 100 while the scan actually returns 2000 — a >10x
+  // divergence EXPLAIN ANALYZE must flag.
+  std::string vals;
+  for (int i = 0; i < 100; ++i) {
+    vals += (i == 0 ? "(" : ", (") + std::to_string(i) + "," +
+            std::to_string(i % 7) + ")";
+  }
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES " + vals).ok());
+  ASSERT_TRUE(session->Execute("ANALYZE t").ok());
+  vals.clear();
+  for (int i = 100; i < 2000; ++i) {
+    vals += (i == 100 ? "(" : ", (") + std::to_string(i) + "," +
+            std::to_string(i % 7) + ")";
+  }
+  ASSERT_TRUE(session->Execute("INSERT INTO t VALUES " + vals).ok());
+
+  auto r = session->Execute("EXPLAIN ANALYZE SELECT sum(b) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string text;
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  EXPECT_NE(text.find("est rows="), std::string::npos) << text;
+  EXPECT_NE(text.find("mem_peak="), std::string::npos) << text;
+  EXPECT_NE(text.find("MISESTIMATE("), std::string::npos) << text;
+
+  // The divergence is journaled and counted for offline analysis.
+  auto ev = session->Execute(
+      "SELECT count(*) FROM hawq_stat_events "
+      "WHERE event = 'plan_misestimate' AND component = 'planner'");
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  EXPECT_GE(ev->rows[0][0].as_int(), 1);
+  auto m = session->Execute(
+      "SELECT value FROM hawq_stat_metrics "
+      "WHERE name = 'planner.misestimates'");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GE(m->rows[0][0].as_int(), 1);
+
+  // With fresh stats the estimate converges and the flag goes away.
+  ASSERT_TRUE(session->Execute("ANALYZE t").ok());
+  r = session->Execute("EXPLAIN ANALYZE SELECT sum(b) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  text.clear();
+  for (const Row& row : r->rows) text += row[0].as_str() + "\n";
+  EXPECT_NE(text.find("est rows="), std::string::npos);
+  EXPECT_EQ(text.find("MISESTIMATE("), std::string::npos) << text;
+}
+
+// Failed statements keep their partial EXPLAIN ANALYZE: the post-mortem
+// shows how far each node got before the error.
+TEST(StatViewsTest, FailedQueryKeepsPostMortemExplain) {
+  engine::ClusterOptions opts = SmallCluster();
+  opts.max_query_retries = 0;  // fail instead of failing over
+  engine::Cluster cluster(opts);
+  auto session = cluster.Connect();
+  LoadJoinTables(session.get(), 4000, 200);
+
+  class KillOnce : public common::chaos::Injector {
+   public:
+    explicit KillOnce(engine::Cluster* c) : c_(c) {}
+    void OnPoint(const char* point) override {
+      if (std::strcmp(point, "scan.batch") != 0) return;
+      if (!fired_.exchange(true, std::memory_order_acq_rel)) {
+        c_->FailSegment(1);
+      }
+    }
+   private:
+    engine::Cluster* c_;
+    std::atomic<bool> fired_{false};
+  };
+  KillOnce inj(&cluster);
+  {
+    common::chaos::ScopedInjector guard(&inj);
+    auto r = session->Execute(
+        "SELECT count(*), sum(f.v) FROM fact f, dim d WHERE f.k = d.k");
+    EXPECT_FALSE(r.ok()) << "retries=0: the kill must fail the statement";
+  }
+
+  bool captured = false;
+  for (const obs::QueryRecord& rec : cluster.query_log()->Snapshot()) {
+    if (rec.status != "error" || rec.text.find("FROM fact f") ==
+                                     std::string::npos) {
+      continue;
+    }
+    captured = true;
+    EXPECT_NE(rec.slow_explain.find("Slice"), std::string::npos)
+        << rec.slow_explain;
+    EXPECT_NE(rec.slow_explain.find("actual"), std::string::npos)
+        << rec.slow_explain;
+  }
+  EXPECT_TRUE(captured) << "failed statement missing post-mortem explain";
+}
+
+// Statement-level retries surface in the history view.
+TEST(StatViewsTest, QueriesViewRecordsRetries) {
+  engine::Cluster cluster(SmallCluster());
+  auto session = cluster.Connect();
+  LoadJoinTables(session.get(), 4000, 200);
+
+  class KillOnce : public common::chaos::Injector {
+   public:
+    explicit KillOnce(engine::Cluster* c) : c_(c) {}
+    void OnPoint(const char* point) override {
+      if (std::strcmp(point, "scan.batch") != 0) return;
+      if (!fired_.exchange(true, std::memory_order_acq_rel)) {
+        c_->FailSegment(2);
+      }
+    }
+   private:
+    engine::Cluster* c_;
+    std::atomic<bool> fired_{false};
+  };
+  KillOnce inj(&cluster);
+  {
+    common::chaos::ScopedInjector guard(&inj);
+    auto r = session->Execute("SELECT count(*) FROM fact");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_GE(r->retries, 1);
+  }
+
+  auto q = session->Execute(
+      "SELECT retries FROM hawq_stat_queries "
+      "WHERE query = 'SELECT count(*) FROM fact'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->rows.size(), 1u);
+  EXPECT_GE(q->rows[0][0].as_int(), 1);
 }
 
 }  // namespace

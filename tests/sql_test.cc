@@ -222,6 +222,34 @@ TEST(ParserTest, ExplainAnalyzeDisambiguation) {
   EXPECT_EQ((*view)->child->select->from[0].name, "hawq_stat_metrics");
 }
 
+// EXPLAIN also accepts a parenthesized option list. TRACE only makes
+// sense for an executed statement, so it requires ANALYZE.
+TEST(ParserTest, ExplainOptionList) {
+  auto r = Parse("EXPLAIN (ANALYZE) SELECT * FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->kind, Statement::Kind::kExplain);
+  EXPECT_TRUE((*r)->explain_analyze);
+  EXPECT_FALSE((*r)->explain_trace);
+
+  r = Parse("EXPLAIN (ANALYZE, TRACE) SELECT * FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)->explain_analyze);
+  EXPECT_TRUE((*r)->explain_trace);
+  ASSERT_TRUE((*r)->child != nullptr);
+  EXPECT_EQ((*r)->child->kind, Statement::Kind::kSelect);
+
+  // TRACE without ANALYZE: nothing runs, so there is nothing to trace.
+  auto bad = Parse("EXPLAIN (TRACE) SELECT * FROM t");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("requires ANALYZE"),
+            std::string::npos);
+
+  // Unknown options are rejected, not ignored.
+  EXPECT_FALSE(Parse("EXPLAIN (VERBOSE) SELECT * FROM t").ok());
+  // The option list must close before the statement.
+  EXPECT_FALSE(Parse("EXPLAIN (ANALYZE SELECT * FROM t").ok());
+}
+
 TEST(ParserTest, TrailingGarbageFails) {
   EXPECT_FALSE(Parse("SELECT 1 FROM t blah blah blah").ok());
   EXPECT_FALSE(Parse("SELEKT 1").ok());
