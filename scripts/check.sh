@@ -63,6 +63,26 @@ python3 scripts/gen_metrics_doc.py --check
 # larger one for instrumentation overhead).
 CHAOS_SEEDS=(11 22 33 44 55 66 77 88 99)
 
+# Kill-restart crash-recovery sweep: every seed arms a simulated crash at
+# a seeded durability chaos point (wal.append / wal.fsync /
+# checkpoint.write / block.flush, optionally with a torn partial flush),
+# then restarts from the surviving files and demands committed-visible /
+# aborted-invisible / statement-atomic state (tests/recovery_test.cc).
+RECOVERY_SEEDS=(1 2 3 4 5 6 7 8 9 10)
+
+run_recovery_sweep() {
+  local name="$1" dir="$2" deadline="$3"
+  echo "==== [$name] crash-recovery sweep (${#RECOVERY_SEEDS[@]} seeds, ${deadline}s each) ===="
+  for seed in "${RECOVERY_SEEDS[@]}"; do
+    echo "---- [$name] recovery seed $seed ----"
+    if ! HAWQ_RECOVERY_SEED="$seed" timeout "$deadline" \
+        "$dir/tests/recovery_test" --gtest_filter='RecoveryTest.KillRestartSweep'; then
+      echo "recovery seed $seed failed or exceeded ${deadline}s deadline" >&2
+      exit 1
+    fi
+  done
+}
+
 run_chaos_sweep() {
   local name="$1" dir="$2" deadline="$3"
   echo "==== [$name] chaos sweep (${#CHAOS_SEEDS[@]} seeds, ${deadline}s each) ===="
@@ -110,7 +130,7 @@ run_config() {
 # sanitizer report, or overrun fails the run.
 run_fuzz_smoke() {
   local name="$1" dir="$2"
-  for surface in packet storage sql; do
+  for surface in packet storage sql wal; do
     echo "==== [$name] fuzz smoke: $surface (30s bound) ===="
     if ! timeout 30 "$dir/fuzz/fuzz_$surface" "fuzz/corpus/$surface"; then
       echo "fuzz smoke $surface failed (crash or >30s) in $name tree" >&2
@@ -126,6 +146,9 @@ run_config ubsan  build-check-ubsan -DHAWQ_SANITIZE=undefined
 
 run_chaos_sweep plain build-check 120
 run_chaos_sweep tsan  build-check-tsan 360
+
+run_recovery_sweep plain build-check 120
+run_recovery_sweep asan  build-check-asan 240
 
 run_fuzz_smoke plain build-check
 run_fuzz_smoke asan  build-check-asan

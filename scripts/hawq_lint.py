@@ -61,6 +61,15 @@ Rules
                       reservation (Charge / ChargeUnchecked / TryReserve
                       within the preceding 10 lines).  Fixed-size inserts
                       carry an allow marker instead.
+  durable-write       Raw file-write primitives (std::ofstream, fopen,
+                      fwrite, ::open with a write flag, ::write) anywhere
+                      under src/ except src/common/durable.cc.  The
+                      durable-IO layer is the single sanctioned writer for
+                      bytes that must survive a crash: it CRC-frames
+                      everything and participates in crash simulation, so a
+                      raw write elsewhere either bypasses both or is
+                      genuinely ephemeral output and says so with an allow
+                      marker.
   banned              Constructs with a blessed in-repo replacement or a
                       known footgun: std::mutex family outside
                       common/sync.h (use hawq::Mutex, which carries rank +
@@ -508,6 +517,45 @@ def check_tracker_charge(f: SourceFile):
 
 
 # --------------------------------------------------------------------------
+# rule: durable-write
+
+# src/common/durable.cc is the single sanctioned writer for crash-surviving
+# bytes (WAL segments, checkpoints, the local HDFS mirror): everything it
+# writes is CRC32C-framed and obeys SimulateCrash(), so the kill-restart
+# harness can tear it and recovery can detect the tear.  A raw write
+# anywhere else under src/ either smuggles a durable byte past both, or is
+# genuinely ephemeral output (trace export, fuzz-corpus dumps) — which
+# carries an allow marker saying so.
+DURABLE_WRITE_EXEMPT = {"src/common/durable.cc"}
+DURABLE_WRITE_PATTERNS = [
+    (re.compile(r"\bofstream\b"), "std::ofstream"),
+    (re.compile(r"\bfopen\s*\("), "fopen"),
+    (re.compile(r"\bfwrite\s*\("), "fwrite"),
+    (re.compile(r"::open\s*\([^)\n]*O_(?:WRONLY|RDWR|APPEND|TRUNC|CREAT)"),
+     "::open with a write flag"),
+    (re.compile(r"::write\s*\("), "::write"),
+]
+
+
+def check_durable_write(f: SourceFile):
+    if f.rel in DURABLE_WRITE_EXEMPT:
+        return []
+    out = []
+    for i, line in enumerate(f.lines, 1):
+        code = line.split("//", 1)[0]
+        for pat, what in DURABLE_WRITE_PATTERNS:
+            if pat.search(code) and not f.allowed(i, "durable-write"):
+                out.append(Violation(
+                    f.rel, i, "durable-write",
+                    f"raw file write ({what}) outside common/durable.cc — "
+                    "durable bytes must go through the durable-IO layer "
+                    "(CRC framing + crash simulation); ephemeral output "
+                    "needs an allow marker saying why it never has to "
+                    "survive a crash"))
+    return out
+
+
+# --------------------------------------------------------------------------
 # rule: banned
 
 BANNED = [
@@ -578,6 +626,7 @@ def run_lint(root: str):
         out.extend(check_cancel_poll(f))
         out.extend(check_exec_source_cancel(f))
         out.extend(check_tracker_charge(f))
+        out.extend(check_durable_write(f))
         out.extend(check_banned(f))
 
     chaos = by_rel.get("src/common/chaos.h")

@@ -23,7 +23,7 @@ cmake --build "$BUILD" -j"$(nproc)" >/dev/null
 (cd "$BUILD" &&
   HAWQ_FUZZ_CORPUS_DIR="$SCRATCH" ctest -j"$(nproc)" >/dev/null)
 
-for surface in packet storage sql; do
+for surface in packet storage sql wal; do
   mkdir -p "fuzz/corpus/$surface"
   [ -d "$SCRATCH/$surface" ] || { echo "$surface: no samples"; continue; }
   # ls -S -r: smallest first.

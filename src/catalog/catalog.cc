@@ -534,7 +534,26 @@ Status Catalog::SetRelTuples(tx::Transaction* txn, TableOid oid,
 
 Status Catalog::RegisterSegment(const SegmentInfo& seg) {
   auto txn = mgr_->Begin();
-  WalInsert(txn->xid(), GetRelation("gp_segment_configuration"),
+  Relation* rel = GetRelation("gp_segment_configuration");
+  // Idempotent: after crash recovery the registry row already exists —
+  // re-registration just marks the segment up again.
+  const tx::Snapshot& snap = txn->StatementSnapshot();
+  auto rows = rel->ScanWhere(
+      snap, [&](const Row& r) { return r[0].as_int() == seg.id; });
+  if (!rows.empty()) {
+    Row updated = rows[0].second;
+    updated[1] = Datum::Str(seg.host);
+    updated[2] = Datum::Int(seg.port);
+    updated[3] = Datum::Str(seg.up ? "u" : "d");
+    Status st = WalDelete(txn->xid(), rel, rows[0].first);
+    if (!st.ok()) {
+      mgr_->Abort(txn.get());
+      return st;
+    }
+    WalInsert(txn->xid(), rel, std::move(updated));
+    return mgr_->Commit(txn.get());
+  }
+  WalInsert(txn->xid(), rel,
             {Datum::Int(seg.id), Datum::Str(seg.host), Datum::Int(seg.port),
              Datum::Str(seg.up ? "u" : "d")});
   return mgr_->Commit(txn.get());

@@ -156,6 +156,14 @@ class Catalog {
   /// Standby-side WAL replay: apply one catalog change record.
   void ApplyWalRecord(const tx::WalRecord& rec);
 
+  /// Recovery: advance the oid counter past every recovered table oid so
+  /// new tables never collide with files left by the previous life.
+  void EnsureNextOidAbove(TableOid oid) {
+    TableOid cur = next_oid_.load();
+    while (oid >= cur && !next_oid_.compare_exchange_weak(cur, oid + 1)) {
+    }
+  }
+
   /// Vacuum all catalog relations.
   size_t VacuumAll(tx::TxId oldest_xmin);
 

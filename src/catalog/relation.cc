@@ -78,22 +78,60 @@ size_t Relation::Vacuum(tx::TxId oldest_xmin) {
 
 void Relation::ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row) {
   WriterLock g(mu_);
+  next_tid_ = std::max(next_tid_, tid + 1);
+  for (const VTuple& t : tuples_) {
+    if (t.tid == tid) return;  // already applied (checkpoint overlap)
+  }
   VTuple t;
   t.tid = tid;
   t.hdr = hdr;
   t.row = std::move(row);
   tuples_.push_back(std::move(t));
-  next_tid_ = std::max(next_tid_, tid + 1);
 }
 
 void Relation::ApplyRawDelete(TupleId tid, tx::TxId xmax) {
   WriterLock g(mu_);
   for (VTuple& t : tuples_) {
-    if (t.tid == tid && t.hdr.xmax == tx::kInvalidTxId) {
+    if (t.tid != tid) continue;
+    // Mirror the live Delete: a stale xmax left by an aborted deleter is
+    // dead metadata the next deleter overwrites. A checkpoint image can
+    // carry such a tuple (rollback before the cut), while the committed
+    // re-delete lands after the cut — refusing to overwrite here would
+    // leave two visible versions of the row after replay. Anything else
+    // (same xid again, or a committed deleter) is the checkpoint-overlap
+    // case: already applied, leave it alone.
+    if (t.hdr.xmax == tx::kInvalidTxId ||
+        mgr_->StateOf(t.hdr.xmax) == tx::CommitLog::State::kAborted) {
       t.hdr.xmax = xmax;
-      return;
     }
+    return;
   }
+}
+
+std::vector<Relation::RawTuple> Relation::DumpRaw() const {
+  ReaderLock g(mu_);
+  std::vector<RawTuple> out;
+  out.reserve(tuples_.size());
+  for (const VTuple& t : tuples_) out.push_back({t.tid, t.hdr, t.row});
+  return out;
+}
+
+TupleId Relation::next_tid() const {
+  ReaderLock g(mu_);
+  return next_tid_;
+}
+
+void Relation::RestoreRaw(std::vector<RawTuple> tuples, TupleId next_tid) {
+  WriterLock g(mu_);
+  tuples_.clear();
+  for (RawTuple& t : tuples) {
+    VTuple v;
+    v.tid = t.tid;
+    v.hdr = t.hdr;
+    v.row = std::move(t.row);
+    tuples_.push_back(std::move(v));
+  }
+  next_tid_ = next_tid;
 }
 
 size_t Relation::VersionCount() const {

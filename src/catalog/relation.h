@@ -48,9 +48,25 @@ class Relation {
   size_t Vacuum(tx::TxId oldest_xmin);
 
   /// Raw apply used by WAL replay on the standby: install a tuple with an
-  /// exact header and id, bypassing xid assignment.
+  /// exact header and id, bypassing xid assignment. Idempotent: a tid
+  /// already present is left untouched, so recovery may replay a record
+  /// whose effect a concurrent checkpoint already captured.
   void ApplyRaw(TupleId tid, tx::TupleHeader hdr, Row row);
   void ApplyRawDelete(TupleId tid, tx::TxId xmax);
+
+  /// One raw row version, MVCC header intact (checkpoint wire format).
+  struct RawTuple {
+    TupleId tid = 0;
+    tx::TupleHeader hdr;
+    Row row;
+  };
+  /// Every version including uncommitted/deleted ones, for checkpointing.
+  /// Replaying post-checkpoint WAL commit records then just flips the
+  /// clog — the rows are already here.
+  std::vector<RawTuple> DumpRaw() const;
+  TupleId next_tid() const;
+  /// Replace all contents with a checkpoint dump (recovery only).
+  void RestoreRaw(std::vector<RawTuple> tuples, TupleId next_tid);
 
   size_t VersionCount() const;
 

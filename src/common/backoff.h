@@ -1,0 +1,26 @@
+// Retry backoff with full jitter (the AWS architecture-blog scheme):
+// sleep Uniform(0, min(cap, base << attempt)) instead of the deterministic
+// doubled delay. Concurrent statements that all failed on the same segment
+// death then spread their retries across the window instead of stampeding
+// the fault detector and the surviving segments in lockstep.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace hawq::common {
+
+/// Full-jitter delay for retry number `attempt` (0-based): uniform in
+/// [0, min(cap_us, base_us * 2^attempt)]. Returns 0 when base_us is 0
+/// (backoff disabled).
+inline uint64_t FullJitterBackoffUs(Rng& rng, uint64_t base_us,
+                                    uint64_t cap_us, int attempt) {
+  if (base_us == 0) return 0;
+  uint64_t ceiling = base_us;
+  for (int i = 0; i < attempt && ceiling < cap_us; ++i) ceiling *= 2;
+  if (ceiling > cap_us) ceiling = cap_us;
+  return rng.Next() % (ceiling + 1);
+}
+
+}  // namespace hawq::common

@@ -28,6 +28,7 @@ struct Action {
     kFailDisk,     // arg = datanode, arg2 = disk index
     kLossBurst,    // arg = loss permille to apply to the fabric
     kHealNet,      // end a loss burst
+    kCrash,        // kill -9 the master: arg = torn bytes left mid-write
   };
   Kind kind = kKillSegment;
   int arg = 0;
@@ -63,10 +64,13 @@ inline void Point(const char* point) {
 
 /// The chaos points the executor/storage layers expose today. Schedules
 /// are built against this list so a seed maps to concrete trigger sites.
+/// The last four sit at fsync/flush boundaries on the durability path and
+/// are the crash points the kill-restart harness (recovery_test) targets.
 inline const std::vector<std::string>& KnownPoints() {
   static const std::vector<std::string> kPoints = {
-      "scan.batch", "motion.send", "motion.recv", "hdfs.pread",
-      "rf.publish", "resource.admit"};
+      "scan.batch",  "motion.send", "motion.recv",      "hdfs.pread",
+      "rf.publish",  "resource.admit",
+      "wal.append",  "wal.fsync",   "checkpoint.write", "block.flush"};
   return kPoints;
 }
 

@@ -1,0 +1,94 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <nmmintrin.h>
+#define HAWQ_CRC32C_X86 1
+#endif
+
+namespace hawq::common {
+namespace {
+
+// Software fallback: slicing-by-8 over the Castagnoli polynomial. Tables
+// are built once at first use (~8 KiB); throughput is a few GiB/s, which
+// is plenty for block-flush and WAL-append rates in this repo.
+struct SwTables {
+  uint32_t t[8][256];
+  SwTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int s = 1; s < 8; ++s) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[s][i] = c;
+      }
+    }
+  }
+};
+
+uint32_t Crc32cSoftware(const uint8_t* p, size_t n, uint32_t crc) {
+  static const SwTables kT;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;
+    crc = kT.t[7][word & 0xFF] ^ kT.t[6][(word >> 8) & 0xFF] ^
+          kT.t[5][(word >> 16) & 0xFF] ^ kT.t[4][(word >> 24) & 0xFF] ^
+          kT.t[3][(word >> 32) & 0xFF] ^ kT.t[2][(word >> 40) & 0xFF] ^
+          kT.t[1][(word >> 48) & 0xFF] ^ kT.t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) crc = kT.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  return crc;
+}
+
+#ifdef HAWQ_CRC32C_X86
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(const uint8_t* p,
+                                                          size_t n,
+                                                          uint32_t crc) {
+  uint64_t c = crc;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    c = _mm_crc32_u64(c, word);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(c);
+  while (n--) crc = _mm_crc32_u8(crc, *p++);
+  return crc;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+#endif
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;  // un-finalize the seed, re-finalize on return
+#ifdef HAWQ_CRC32C_X86
+  if (HaveSse42()) return ~Crc32cHardware(p, n, crc);
+#endif
+  return ~Crc32cSoftware(p, n, crc);
+}
+
+bool Crc32cHardwareAccelerated() {
+#ifdef HAWQ_CRC32C_X86
+  return HaveSse42();
+#else
+  return false;
+#endif
+}
+
+}  // namespace hawq::common

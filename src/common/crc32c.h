@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum every durable
+// byte in the system carries: WAL records, catalog checkpoints, and flushed
+// storage blocks (see common/durable.h and storage/format.cc). CRC32C is
+// chosen over CRC32 because x86 carries it in hardware (SSE4.2 crc32
+// instruction); the software slicing table is used on other machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hawq::common {
+
+/// CRC32C of `n` bytes at `data`, continuing from `seed` (pass the result
+/// of a previous call to checksum discontiguous buffers as one stream).
+/// `seed` is the *finalized* CRC of the prior bytes, 0 for a fresh stream.
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t seed = 0) {
+  return Crc32c(s.data(), s.size(), seed);
+}
+
+/// True when the hardware (SSE4.2) implementation is in use.
+bool Crc32cHardwareAccelerated();
+
+}  // namespace hawq::common

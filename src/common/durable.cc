@@ -1,0 +1,305 @@
+#include "common/durable.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace hawq::common::durable {
+namespace {
+
+// Simulated-crash state (see header). torn-budget is consumed by the
+// first flush after the crash instant.
+std::atomic<bool> g_crashed{false};
+std::atomic<uint64_t> g_torn_bytes{0};
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+// write(2) the whole buffer, retrying short writes.
+Status WriteAll(int fd, const char* p, size_t n, const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+void PutU32Le(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xFF);
+  b[1] = static_cast<char>((v >> 8) & 0xFF);
+  b[2] = static_cast<char>((v >> 16) & 0xFF);
+  b[3] = static_cast<char>((v >> 24) & 0xFF);
+  out->append(b, 4);
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+void AppendFrame(std::string* out, std::string_view payload) {
+  PutU32Le(out, static_cast<uint32_t>(payload.size()));
+  PutU32Le(out, Crc32c(payload));
+  out->append(payload);
+}
+
+}  // namespace
+
+void SimulateCrash(uint64_t torn_bytes) {
+  g_torn_bytes.store(torn_bytes, std::memory_order_relaxed);
+  g_crashed.store(true, std::memory_order_release);
+}
+
+void ClearSimulatedCrash() {
+  g_crashed.store(false, std::memory_order_release);
+  g_torn_bytes.store(0, std::memory_order_relaxed);
+}
+
+bool SimulatedCrash() { return g_crashed.load(std::memory_order_acquire); }
+
+DurableWriter::~DurableWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DurableWriter::Open(const std::string& path, uint64_t resume_at) {
+  if (fd_ >= 0) return Status::Internal("DurableWriter already open");
+  // A writer opened after the simulated crash instant belongs to the dead
+  // process: it never touches the file (fd_ stays -1; Fsync drops the
+  // buffer under the same flag).
+  if (SimulatedCrash()) {
+    path_ = path;
+    return Status::OK();
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  if (resume_at != UINT64_MAX && static_cast<uint64_t>(end) > resume_at) {
+    // Cut off a torn tail detected by the recovery decode.
+    if (::ftruncate(fd, static_cast<off_t>(resume_at)) != 0) {
+      ::close(fd);
+      return Errno("ftruncate", path);
+    }
+    end = static_cast<off_t>(resume_at);
+    if (::lseek(fd, end, SEEK_SET) < 0) {
+      ::close(fd);
+      return Errno("lseek", path);
+    }
+  }
+  fd_ = fd;
+  path_ = path;
+  if (end == 0) pending_.append(kWalMagic, kMagicLen);
+  return Status::OK();
+}
+
+Status DurableWriter::Append(std::string_view payload) {
+  AppendFrame(&pending_, payload);
+  return Status::OK();
+}
+
+Status DurableWriter::Fsync() {
+  if (SimulatedCrash()) {
+    // The process "died": optionally tear the write mid-record, then drop
+    // everything still buffered.
+    uint64_t torn = g_torn_bytes.exchange(0, std::memory_order_relaxed);
+    if (fd_ >= 0 && torn > 0 && !pending_.empty()) {
+      size_t n = std::min<size_t>(torn, pending_.size() - 1);
+      (void)WriteAll(fd_, pending_.data(), n, path_);
+      (void)::fsync(fd_);
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+  if (fd_ < 0) return Status::Internal("DurableWriter not open");
+  if (pending_.empty()) return Status::OK();
+  HAWQ_RETURN_IF_ERROR(WriteAll(fd_, pending_.data(), pending_.size(), path_));
+  pending_.clear();
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status DurableWriter::Close() {
+  Status s = Fsync();
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return s;
+}
+
+RecordStream DecodeRecordStream(std::string_view bytes) {
+  RecordStream out;
+  if (bytes.size() < kMagicLen ||
+      std::memcmp(bytes.data(), kWalMagic, kMagicLen) != 0) {
+    out.torn = !bytes.empty();
+    return out;
+  }
+  size_t pos = kMagicLen;
+  out.valid_bytes = pos;
+  while (bytes.size() - pos >= kFrameHeaderLen) {
+    uint32_t len = GetU32Le(bytes.data() + pos);
+    uint32_t crc = GetU32Le(bytes.data() + pos + 4);
+    if (len > kMaxFrameLen || len > bytes.size() - pos - kFrameHeaderLen) {
+      out.torn = true;
+      return out;
+    }
+    std::string_view payload = bytes.substr(pos + kFrameHeaderLen, len);
+    if (Crc32c(payload) != crc) {
+      out.torn = true;
+      return out;
+    }
+    out.records.emplace_back(payload);
+    pos += kFrameHeaderLen + len;
+    out.valid_bytes = pos;
+  }
+  out.torn = pos != bytes.size();
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view payload) {
+  if (SimulatedCrash()) return Status::OK();
+  std::string bytes(kCkptMagic, kMagicLen);
+  AppendFrame(&bytes, payload);
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status s = WriteAll(fd, bytes.data(), bytes.size(), tmp);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", tmp);
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("rename", path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadCheckedFile(const std::string& path) {
+  HAWQ_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  if (bytes.size() < kMagicLen + kFrameHeaderLen ||
+      std::memcmp(bytes.data(), kCkptMagic, kMagicLen) != 0) {
+    return Status::Corruption(path + ": bad checkpoint magic");
+  }
+  uint32_t len = GetU32Le(bytes.data() + kMagicLen);
+  uint32_t crc = GetU32Le(bytes.data() + kMagicLen + 4);
+  if (len > kMaxFrameLen ||
+      len != bytes.size() - kMagicLen - kFrameHeaderLen) {
+    return Status::Corruption(path + ": checkpoint length mismatch");
+  }
+  std::string payload = bytes.substr(kMagicLen + kFrameHeaderLen);
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption(path + ": checkpoint CRC mismatch");
+  }
+  return payload;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound(path + ": no such file");
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AppendFileBytes(const std::string& path, std::string_view bytes) {
+  if (SimulatedCrash()) return Status::OK();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  Status s = WriteAll(fd, bytes.data(), bytes.size(), path);
+  if (s.ok() && ::fsync(fd) != 0) s = Errno("fsync", path);
+  ::close(fd);
+  return s;
+}
+
+Status TruncateFile(const std::string& path, uint64_t len) {
+  if (SimulatedCrash()) return Status::OK();
+  if (::truncate(path.c_str(), static_cast<off_t>(len)) != 0) {
+    return Errno("truncate", path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (SimulatedCrash()) return Status::OK();
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (SimulatedCrash()) return Status::OK();
+  std::string partial;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    partial = path.substr(0, i == path.size() ? i : i + 1);
+    if (partial.empty() || partial == "/") continue;
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", partial);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return std::vector<std::string>{};
+    return Errno("opendir", path);
+  }
+  std::vector<std::string> out;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    out.push_back(std::move(name));
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace hawq::common::durable

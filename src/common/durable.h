@@ -1,0 +1,115 @@
+// The durable-IO layer: the single sanctioned writer for every byte that
+// must survive a crash (WAL segments, catalog checkpoints, the local HDFS
+// mirror). Everything it writes is CRC32C-framed so recovery can detect
+// torn tails and flipped bits instead of replaying garbage.
+//
+// Record-stream framing (WAL segments):
+//   [file magic "HAWQWAL1"]
+//   per record: [u32 payload_len][u32 crc32c(payload)][payload bytes]
+// A reader decodes records until the bytes run out or a frame fails its
+// length/CRC check; the valid prefix length is reported so the caller can
+// truncate the torn tail away (crash mid-write is normal, not fatal).
+//
+// Whole-file framing (checkpoints): one record frame after the magic,
+// written to a temp file, fsynced, then renamed into place — a checkpoint
+// either exists completely or not at all.
+//
+// Crash simulation: the kill-restart chaos harness (tests/recovery_test.cc)
+// calls SimulateCrash(); from that instant every write/fsync/truncate in
+// this layer silently drops its bytes, exactly as if the process had died
+// at that point — in-memory state keeps "executing" but none of it reaches
+// disk. An optional torn budget lets the next flush write a prefix of its
+// pending bytes first, producing a torn tail for the CRC path to catch.
+//
+// hawq-lint's `durable-write` rule bans raw ofstream/fopen/fwrite writes
+// elsewhere under src/ so no durable byte can bypass this checksumming.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hawq::common::durable {
+
+inline constexpr char kWalMagic[8] = {'H', 'A', 'W', 'Q', 'W', 'A', 'L', '1'};
+inline constexpr char kCkptMagic[8] = {'H', 'A', 'W', 'Q', 'C', 'K', 'P', '1'};
+inline constexpr size_t kMagicLen = 8;
+inline constexpr size_t kFrameHeaderLen = 8;  // u32 len + u32 crc
+/// Frames larger than this are rejected as corrupt before any allocation.
+inline constexpr uint32_t kMaxFrameLen = 1u << 30;
+
+/// \brief Simulate a process crash: all subsequent durable writes, fsyncs,
+/// truncates and removes silently do nothing. `torn_bytes` > 0 lets the
+/// next buffered flush emit that many bytes before dying, modelling a
+/// write torn mid-record. Cleared with ClearSimulatedCrash() before the
+/// harness restarts the "process".
+void SimulateCrash(uint64_t torn_bytes = 0);
+void ClearSimulatedCrash();
+bool SimulatedCrash();
+
+/// \brief Buffered, checksummed, append-only record writer (the WAL file).
+/// Appends accumulate in memory and reach the OS only at Fsync() — so a
+/// simulated crash between Append and Fsync loses exactly the unflushed
+/// records, as on real hardware.
+class DurableWriter {
+ public:
+  DurableWriter() = default;
+  ~DurableWriter();
+  DurableWriter(const DurableWriter&) = delete;
+  DurableWriter& operator=(const DurableWriter&) = delete;
+
+  /// Open `path` for appending. Writes the file magic when the file is
+  /// new or empty. `resume_at` (from DecodeRecordStream.valid_bytes)
+  /// truncates a torn tail before appending.
+  Status Open(const std::string& path, uint64_t resume_at = UINT64_MAX);
+
+  /// Buffer one framed record ([len][crc][payload]).
+  Status Append(std::string_view payload);
+
+  /// Flush buffered frames to the file and fsync it.
+  Status Fsync();
+
+  Status Close();
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::string pending_;
+};
+
+/// Result of decoding a record stream (WAL segment bytes).
+struct RecordStream {
+  std::vector<std::string> records;
+  uint64_t valid_bytes = 0;  // offset of the first torn/corrupt byte
+  bool torn = false;         // trailing bytes failed a frame check
+};
+
+/// Decode magic + frames from `bytes`. Never fails: a bad magic yields
+/// zero records, a bad frame stops the decode and marks the tail torn.
+RecordStream DecodeRecordStream(std::string_view bytes);
+
+/// Write `payload` as [magic][frame] to `path` atomically: temp file,
+/// fsync, rename. A crash at any point leaves either the old file or the
+/// complete new one.
+Status AtomicWriteFile(const std::string& path, std::string_view payload);
+
+/// Read and verify a file written by AtomicWriteFile. Corruption if the
+/// magic, length, or CRC does not check out.
+Result<std::string> ReadCheckedFile(const std::string& path);
+
+// Plain filesystem helpers, all honouring the simulated-crash flag on the
+// mutating side. Reads never consult the flag (a restarted process reads
+// whatever survived).
+Result<std::string> ReadFileBytes(const std::string& path);
+Status AppendFileBytes(const std::string& path, std::string_view bytes);
+Status TruncateFile(const std::string& path, uint64_t len);
+Status RemoveFile(const std::string& path);
+Status EnsureDir(const std::string& path);
+Result<std::vector<std::string>> ListDir(const std::string& path);
+bool FileExists(const std::string& path);
+
+}  // namespace hawq::common::durable

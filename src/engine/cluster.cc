@@ -1,7 +1,9 @@
 #include "engine/cluster.h"
 
+#include <cstdio>
 #include <cstdlib>
 
+#include "common/durable.h"
 #include "engine/session.h"
 #include "engine/stat_views.h"
 #include "executor/exec_node.h"
@@ -96,6 +98,15 @@ class ExternalScanExec : public exec::ExecNode {
   size_t frag_idx_ = 0;
 };
 
+/// Construction-time durability failures leave no safe way to proceed: a
+/// cluster that cannot recover or attach its WAL would silently serve
+/// stale or unprotected data. Panic, as PostgreSQL does.
+void DieUnlessOk(const Status& s, const char* what) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "FATAL: %s failed: %s\n", what, s.message().c_str());
+  std::abort();
+}
+
 }  // namespace
 
 Cluster::Cluster(ClusterOptions opts)
@@ -115,10 +126,44 @@ Cluster::Cluster(ClusterOptions opts)
   // Segment hosts double as HDFS DataNodes (collocation, Figure 1).
   fs_ = std::make_unique<hdfs::MiniHdfs>(opts_.num_segments, opts_.hdfs,
                                          &metrics_, &events_);
+  if (!opts_.data_dir.empty()) {
+    // Durable mode: load whatever the previous life's HDFS mirror holds,
+    // then stitch the catalog back together from checkpoint + WAL before
+    // anything else (segment registry, stat views) writes to it.
+    DieUnlessOk(common::durable::EnsureDir(opts_.data_dir),
+                "creating data_dir");
+    DieUnlessOk(fs_->EnableDurability(opts_.data_dir + "/hdfs"),
+                "loading the HDFS mirror");
+  }
   catalog_ = std::make_unique<catalog::Catalog>(&txm_);
+  if (!opts_.data_dir.empty()) {
+    RecoveryOptions ro;
+    ro.data_dir = opts_.data_dir;
+    ro.fs = fs_.get();
+    ro.events = &events_;
+    auto rec = RunRecovery(ro, catalog_.get(), &txm_);
+    DieUnlessOk(rec.ok() ? Status::OK() : rec.status(), "crash recovery");
+    recovery_ = *rec;
+    last_ckpt_lsn_ = recovery_.checkpoint_lsn;
+    // New appends resume after the valid prefix (the torn tail, if any,
+    // is truncated) and LSNs continue where the durable log left off.
+    DieUnlessOk(txm_.wal().AttachDurable(
+                    WalPath(opts_.data_dir), recovery_.wal_valid_bytes,
+                    std::max(recovery_.max_lsn + 1, recovery_.checkpoint_lsn)),
+                "attaching the durable WAL");
+  }
   if (opts_.enable_standby) {
     standby_txm_ = std::make_unique<tx::TxManager>();
     standby_catalog_ = std::make_unique<catalog::Catalog>(standby_txm_.get());
+    if (!opts_.data_dir.empty()) {
+      // The standby replays the same durable files (catalog-only: no
+      // filesystem mutation, no duplicate events) so log shipping resumes
+      // from the same state the primary recovered to.
+      RecoveryOptions ro;
+      ro.data_dir = opts_.data_dir;
+      auto rec = RunRecovery(ro, standby_catalog_.get(), standby_txm_.get());
+      DieUnlessOk(rec.ok() ? Status::OK() : rec.status(), "standby recovery");
+    }
     // Warm standby master synchronized by log shipping (paper §2.6).
     txm_.wal().Subscribe([this](const tx::WalRecord& rec) {
       standby_catalog_->ApplyWalRecord(rec);
@@ -226,8 +271,22 @@ Cluster::~Cluster() {
   if (detector_running_.exchange(false) && detector_.joinable()) {
     detector_.join();
   }
+  // Clean shutdown leaves a fresh checkpoint so the next life replays
+  // almost nothing. Skipped under a simulated crash: a dead process
+  // writes no farewell checkpoint (that is the whole point of the test).
+  if (!opts_.data_dir.empty() && !common::durable::SimulatedCrash()) {
+    (void)Checkpoint();
+  }
   // Stop feeding histograms owned by metrics_ before members destruct.
   if (opts_.lock_contention_profiling) obs::UninstallLockWaitProfiler();
+}
+
+Status Cluster::Checkpoint() {
+  if (opts_.data_dir.empty()) return Status::OK();
+  HAWQ_ASSIGN_OR_RETURN(uint64_t lsn,
+                        WriteCheckpoint(opts_.data_dir, catalog_.get(), &txm_));
+  last_ckpt_lsn_.store(lsn, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 std::unique_ptr<Session> Cluster::Connect() {
@@ -325,6 +384,14 @@ std::vector<bool> Cluster::SegmentUpMask() {
 void Cluster::FaultDetectorLoop() {
   while (detector_running_.load(std::memory_order_relaxed)) {
     RunFaultDetectorOnce();
+    // Piggyback the checkpointer on the detector's cadence: once enough
+    // WAL accumulates past the last checkpoint, cut a new one so restart
+    // replay stays short.
+    if (!opts_.data_dir.empty() && opts_.checkpoint_every_records > 0 &&
+        txm_.wal().next_lsn() - last_ckpt_lsn_.load(std::memory_order_relaxed) >=
+            opts_.checkpoint_every_records) {
+      (void)Checkpoint();
+    }
     for (int i = 0; i < 10 && detector_running_.load(); ++i) {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }

@@ -16,6 +16,7 @@
 #include "catalog/catalog.h"
 #include "common/sync.h"
 #include "engine/dispatcher.h"
+#include "engine/recovery.h"
 #include "executor/runtime_filter.h"
 #include "hdfs/hdfs.h"
 #include "interconnect/sim_net.h"
@@ -114,9 +115,20 @@ struct ClusterOptions {
   /// from a retryable fault (segment death, network, IO). Each attempt
   /// re-plans around the live segments. 0 = no retry.
   int max_query_retries = 2;
-  /// Capped exponential backoff between retry attempts.
+  /// Capped exponential backoff between retry attempts; each sleep is
+  /// full-jitter randomized (common/backoff.h) so a gang of retrying
+  /// statements does not stampede back in lock step.
   uint64_t retry_backoff_us = 2000;
   uint64_t retry_backoff_max_us = 50000;
+  /// Durable state directory (WAL segment, catalog checkpoints, local
+  /// HDFS mirror). A cluster constructed over a previous life's directory
+  /// runs crash recovery (engine/recovery.h) before serving queries.
+  /// Empty = in-memory only, the legacy mode: no durability, no recovery.
+  std::string data_dir;
+  /// Write a catalog checkpoint once this many WAL records accumulate
+  /// past the previous checkpoint (checked by the fault-detector thread).
+  /// 0 = only explicit Checkpoint() calls and the shutdown checkpoint.
+  uint64_t checkpoint_every_records = 512;
 };
 
 class Cluster {
@@ -171,6 +183,13 @@ class Cluster {
   /// The warm standby master's catalog (kept in sync via log shipping).
   catalog::Catalog* standby_catalog() { return standby_catalog_.get(); }
   tx::TxManager* standby_tx_manager() { return standby_txm_.get(); }
+
+  // --- durability --------------------------------------------------------
+  /// What crash recovery found at construction (all-zero when data_dir is
+  /// empty or the directory was fresh).
+  const RecoveryResult& recovery_result() const { return recovery_; }
+  /// Write a catalog checkpoint now (no-op without a data_dir).
+  Status Checkpoint();
 
   // --- fault tolerance ---------------------------------------------------
   /// Kill a segment host (its DataNode dies too). The fault detector marks
@@ -240,6 +259,10 @@ class Cluster {
   Mutex lanes_mu_{LockRank::kLeaf, "cluster.lanes"};
   std::map<catalog::TableOid, std::set<int>> lanes_in_use_
       HAWQ_GUARDED_BY(lanes_mu_);
+  RecoveryResult recovery_;
+  /// WAL cut of the newest checkpoint this life wrote (or recovered), so
+  /// the detector thread knows when checkpoint_every_records is due.
+  std::atomic<uint64_t> last_ckpt_lsn_{0};
   std::atomic<bool> detector_running_{false};
   std::thread detector_;
   std::atomic<bool> profiler_running_{false};

@@ -1,0 +1,96 @@
+// Crash recovery and catalog checkpointing (paper §5.3).
+//
+// The master's durable state is three things: the checksummed WAL segment
+// (<data_dir>/wal.log), periodic catalog checkpoints (<data_dir>/ckpt_*),
+// and the local HDFS mirror (<data_dir>/hdfs/, see MiniHdfs::
+// EnableDurability). Recovery stitches them back into a running catalog:
+//
+//   1. Restore the newest checkpoint whose magic/CRC verifies; a rotted
+//      or torn latest checkpoint falls back to the previous one, and with
+//      no usable checkpoint at all the whole WAL replays from scratch
+//      (the WAL file is never truncated, so that is always sufficient).
+//   2. Replay WAL records with lsn >= the checkpoint's cut. A torn tail
+//      (crash mid-write) is detected by the frame CRCs and truncated away
+//      rather than replayed as garbage.
+//   3. Abort every transaction still in-progress after replay: it was
+//      in-doubt at crash time, and its commit record never became
+//      durable. Paper §5.3's append-only discipline makes undo trivial —
+//      step 4 physically truncates its half-written data.
+//   4. Reconcile HDFS user data against the recovered catalog: truncate
+//      every segment file to its committed logical eof (pg_aoseg), and
+//      delete orphan files no visible pg_aoseg row references (data of
+//      in-doubt CREATE+INSERTs).
+//
+// The standby catalog is rebuilt by the same routine with fs == nullptr
+// (it shares the primary's durable files read-only and must not mutate
+// user data or journal events twice).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "hdfs/hdfs.h"
+#include "obs/events.h"
+#include "tx/tx_manager.h"
+
+namespace hawq::engine {
+
+struct RecoveryOptions {
+  /// Directory holding wal.log and ckpt_* files.
+  std::string data_dir;
+  /// User-data filesystem to reconcile (truncate/delete). Null for the
+  /// standby rebuild: catalog state only, no physical side effects.
+  hdfs::MiniHdfs* fs = nullptr;
+  /// Journal for the recovery_complete event (may be null).
+  obs::EventJournal* events = nullptr;
+};
+
+struct RecoveryResult {
+  /// True when any durable state (checkpoint or WAL records) was found.
+  bool recovered = false;
+  /// WAL cut of the restored checkpoint (0: no checkpoint, full replay).
+  uint64_t checkpoint_lsn = 0;
+  /// The newest checkpoint failed verification and an older one (or a
+  /// full WAL replay) was used instead.
+  bool used_fallback_checkpoint = false;
+  /// Highest LSN seen in the durable WAL (0: empty WAL).
+  uint64_t max_lsn = 0;
+  /// Length of the valid WAL prefix — pass to Wal::AttachDurable as
+  /// resume_at so the torn tail is truncated before new appends.
+  uint64_t wal_valid_bytes = 0;
+  /// The WAL ended in a torn/corrupt frame that was discarded.
+  bool wal_tail_torn = false;
+  /// Records with lsn >= checkpoint_lsn applied to the catalog.
+  uint64_t records_replayed = 0;
+  /// In-doubt transactions aborted after replay.
+  uint64_t in_doubt_aborted = 0;
+  /// Segment files truncated back to their committed logical eof.
+  uint64_t files_truncated = 0;
+  /// Orphan HDFS files deleted (no visible pg_aoseg row references them).
+  uint64_t orphans_deleted = 0;
+};
+
+/// WAL segment path under a data directory (shared with Cluster wiring).
+inline std::string WalPath(const std::string& data_dir) {
+  return data_dir + "/wal.log";
+}
+
+/// Run crash recovery against a freshly bootstrapped catalog/tx manager.
+/// Must be called before any user transaction begins and before the WAL
+/// is attached to its durable file. Returns what was recovered; IO errors
+/// on the data directory itself are the only failure mode (corruption is
+/// handled by fallback, never surfaced as an error).
+Result<RecoveryResult> RunRecovery(const RecoveryOptions& opts,
+                                   catalog::Catalog* catalog,
+                                   tx::TxManager* txm);
+
+/// Write a catalog checkpoint to `data_dir` and prune old ones (the two
+/// newest are kept so a torn latest checkpoint can fall back). Returns
+/// the checkpoint's WAL cut: records below it need never be replayed.
+Result<uint64_t> WriteCheckpoint(const std::string& data_dir,
+                                 catalog::Catalog* catalog,
+                                 tx::TxManager* txm);
+
+}  // namespace hawq::engine

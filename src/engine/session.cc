@@ -5,6 +5,7 @@
 #include <set>
 #include <thread>
 
+#include "common/backoff.h"
 #include "common/string_util.h"
 #include "engine/explain_analyze.h"
 #include "obs/trace.h"
@@ -406,7 +407,9 @@ Result<QueryResult> Session::RunWithRetry(
     const std::function<Result<QueryResult>(uint64_t qid, int attempt)>&
         attempt) {
   const ClusterOptions& o = c_->options();
-  uint64_t backoff_us = o.retry_backoff_us;
+  // Seeded per call site so concurrent sessions retrying after the same
+  // segment death draw different delays (full jitter, common/backoff.h).
+  Rng backoff_rng(reinterpret_cast<uintptr_t>(this) ^ c_->NextQueryId());
   int attempts = 0;
   while (true) {
     uint64_t qid = c_->NextQueryId();
@@ -436,10 +439,11 @@ Result<QueryResult> Session::RunWithRetry(
     // Back off, then let the fault detector observe the failure so the
     // next attempt plans around the dead segment (its heartbeat must be
     // stale past the timeout before the catalog flips).
+    uint64_t backoff_us = common::FullJitterBackoffUs(
+        backoff_rng, o.retry_backoff_us, o.retry_backoff_max_us, attempts - 1);
     if (backoff_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
     }
-    backoff_us = std::min(backoff_us * 2, o.retry_backoff_max_us);
     c_->RunFaultDetectorOnce();
   }
 }

@@ -1,14 +1,46 @@
 #include "hdfs/hdfs.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
 #include "common/chaos.h"
+#include "common/durable.h"
 #include "common/sim_cost.h"
 
 namespace hawq::hdfs {
+
+namespace {
+
+// Mirror-file names percent-encode the HDFS path so one local file maps to
+// exactly one HDFS path with no directory structure to recreate.
+int HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string DecodeMirrorName(const std::string& name) {
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    if (name[i] == '%' && i + 2 < name.size()) {
+      int hi = HexVal(name[i + 1]);
+      int lo = HexVal(name[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(name[i]);
+  }
+  return out;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- Reader
 
@@ -32,6 +64,7 @@ Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
   // cancel token; the scan.batch poll directly above every PRead-driven
   // loop covers cancellation, and PRead itself is bounded by block size.
   common::chaos::Point("hdfs.pread");
+  last_sources_.clear();
   if (offset >= length_) return static_cast<size_t>(0);
   n = std::min<uint64_t>(n, length_ - offset);
   size_t done = 0;
@@ -42,8 +75,11 @@ Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
     if (offset + done < bl.offset) break;  // hole: cannot happen
     uint64_t in_block = offset + done - bl.offset;
     uint64_t want = std::min<uint64_t>(n - done, bl.length - in_block);
-    HAWQ_ASSIGN_OR_RETURN(std::string chunk,
-                          fs_->ReadBlock(bl.id, in_block, want, reader_host_));
+    int served = -1;
+    HAWQ_ASSIGN_OR_RETURN(
+        std::string chunk,
+        fs_->ReadBlock(bl.id, in_block, want, reader_host_, &served));
+    if (served >= 0) last_sources_.emplace_back(bl.id, served);
     // Clamp to the caller's remaining space: keeps the copy provably in
     // bounds even if a block returned more than asked.
     size_t got = std::min<size_t>(chunk.size(), n - done);
@@ -52,6 +88,13 @@ Result<size_t> FileReader::PRead(uint64_t offset, char* out, size_t n) {
     if (got < want) break;
   }
   return done;
+}
+
+void FileReader::ReportCorruptLastRead() {
+  for (const auto& [bid, host] : last_sources_) {
+    fs_->ReportCorruptReplica(bid, host);
+  }
+  last_sources_.clear();
 }
 
 // ---------------------------------------------------------------- Writer
@@ -99,6 +142,7 @@ MiniHdfs::MiniHdfs(int num_datanodes, HdfsOptions opts,
     c_locality_hits_ = metrics->GetCounter("hdfs.locality_hits");
     c_locality_misses_ = metrics->GetCounter("hdfs.locality_misses");
     c_read_retries_ = metrics->GetCounter("hdfs.read_retries");
+    c_checksum_failures_ = metrics->GetCounter("hdfs.read_checksum_failures");
   }
 }
 
@@ -178,6 +222,10 @@ Status MiniHdfs::Delete(const std::string& path) {
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   for (BlockId bid : it->second.blocks) blocks_.erase(bid);
   files_.erase(it);
+  if (!durable_dir_.empty()) {
+    // Best effort: a missing mirror file (nothing ever committed) is fine.
+    (void)common::durable::RemoveFile(MirrorPathLocked(path));
+  }
   return Status::OK();
 }
 
@@ -227,6 +275,12 @@ Status MiniHdfs::Truncate(const std::string& path, uint64_t length) {
   }
   fe.blocks = std::move(new_blocks);
   fe.length = length;
+  if (!durable_dir_.empty()) {
+    std::string mp = MirrorPathLocked(path);
+    if (common::durable::FileExists(mp)) {
+      HAWQ_RETURN_IF_ERROR(common::durable::TruncateFile(mp, length));
+    }
+  }
   return Status::OK();
 }
 
@@ -297,6 +351,69 @@ void MiniHdfs::SetReadFaultInjector(
   read_fault_ = std::move(fn);
 }
 
+Status MiniHdfs::CorruptReplica(const std::string& path, int block_index,
+                                int host) {
+  MutexLock g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  const FileEntry& fe = it->second;
+  if (block_index < 0 ||
+      block_index >= static_cast<int>(fe.blocks.size())) {
+    return Status::InvalidArgument("no block " + std::to_string(block_index) +
+                                   " in " + path);
+  }
+  Block& b = blocks_.at(fe.blocks[block_index]);
+  if (b.replicas.count(host) == 0) {
+    return Status::NotFound("block " + std::to_string(b.id) +
+                            " has no replica on datanode " +
+                            std::to_string(host));
+  }
+  std::string bad = b.data;
+  if (bad.empty()) {
+    bad.push_back('\x01');
+  } else {
+    bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0x40);
+  }
+  b.corrupt[host] = std::move(bad);
+  return Status::OK();
+}
+
+Status MiniHdfs::CorruptStoredData(const std::string& path) {
+  MutexLock g(lock_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  for (BlockId bid : it->second.blocks) {
+    Block& b = blocks_.at(bid);
+    if (b.data.empty()) continue;
+    b.data[b.data.size() / 2] =
+        static_cast<char>(b.data[b.data.size() / 2] ^ 0x40);
+    b.corrupt.clear();  // the base copy is now bad everywhere
+  }
+  return Status::OK();
+}
+
+void MiniHdfs::ReportCorruptReplica(BlockId id, int host) {
+  MutexLock g(lock_);
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return;
+  Block& b = it->second;
+  // Erasing the replica is what makes the next read fail over; a host
+  // already quarantined (double report from a concurrent scan) is a no-op
+  // so the metric counts distinct lost replicas.
+  if (b.replicas.erase(host) == 0) return;
+  b.quarantined.insert(host);
+  b.corrupt.erase(host);
+  if (c_checksum_failures_ != nullptr) c_checksum_failures_->Add(1);
+  if (journal_ != nullptr) {
+    journal_->Log(obs::Severity::kError, "hdfs", "replica_corrupt",
+                  "block " + std::to_string(id) + " replica on datanode " +
+                      std::to_string(host) +
+                      " failed checksum verification; quarantined and "
+                      "re-replicating from surviving copies");
+  }
+  ReReplicateLocked();
+}
+
 Result<int> MiniHdfs::MinReplication(const std::string& path) {
   MutexLock g(lock_);
   auto it = files_.find(path);
@@ -311,7 +428,8 @@ Result<int> MiniHdfs::MinReplication(const std::string& path) {
 }
 
 Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
-                                        uint64_t len, int reader_host) {
+                                        uint64_t len, int reader_host,
+                                        int* served_host) {
   std::string data;
   bool local = false;
   // Replica failover (paper §2.2: HDFS replication is the storage-level
@@ -349,9 +467,16 @@ Result<std::string> MiniHdfs::ReadBlock(BlockId id, uint64_t offset,
           dead_mid_read.insert(src);
           fault = true;
         } else {
-          offset = std::min<uint64_t>(offset, it->second.data.size());
-          len = std::min<uint64_t>(len, it->second.data.size() - offset);
-          data = it->second.data.substr(offset, len);
+          // A host with a rotted on-disk copy serves those bytes instead of
+          // the clean ones — only the storage-layer CRC check can tell.
+          const Block& blk = it->second;
+          auto co = blk.corrupt.find(src);
+          const std::string& base =
+              co != blk.corrupt.end() ? co->second : blk.data;
+          offset = std::min<uint64_t>(offset, base.size());
+          len = std::min<uint64_t>(len, base.size() - offset);
+          data = base.substr(offset, len);
+          if (served_host != nullptr) *served_host = src;
         }
       }
     }
@@ -391,14 +516,67 @@ MiniHdfs::DataNodeIo MiniHdfs::DataNodeIoStats(int dn) const {
 
 Status MiniHdfs::CommitAppend(const std::string& path, const std::string& data,
                               int preferred_host, bool release_lease) {
+  // Block flush runs on the write path with no query context to poll; a
+  // crash action here models the process dying mid-flush, before the
+  // bytes reach the durability mirror.
+  // hawq-lint: allow(cancel-poll): durability path, no query context
+  common::chaos::Point("block.flush");
   MutexLock g(lock_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   FileEntry& fe = it->second;
   Status st = data.empty() ? Status::OK()
                            : AppendLocked(&fe, data, preferred_host);
+  if (st.ok() && !data.empty() && !durable_dir_.empty()) {
+    MirrorAppendLocked(path, data);
+  }
   if (release_lease) fe.lease_held = false;
   return st;
+}
+
+Status MiniHdfs::EnableDurability(const std::string& dir) {
+  HAWQ_RETURN_IF_ERROR(common::durable::EnsureDir(dir));
+  MutexLock g(lock_);
+  durable_dir_ = dir;
+  HAWQ_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                        common::durable::ListDir(dir));
+  for (const std::string& name : names) {
+    std::string path = DecodeMirrorName(name);
+    HAWQ_ASSIGN_OR_RETURN(std::string bytes,
+                          common::durable::ReadFileBytes(dir + "/" + name));
+    // Re-ingest the surviving bytes into fresh blocks; block boundaries
+    // need not match the previous life's, only the byte stream does.
+    FileEntry& fe = files_[path];
+    fe = FileEntry{};
+    HAWQ_RETURN_IF_ERROR(AppendLocked(&fe, bytes, -1));
+  }
+  return Status::OK();
+}
+
+std::string MiniHdfs::MirrorPathLocked(const std::string& path) const {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string name;
+  for (char ch : path) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c) != 0 || c == '.' || c == '_' || c == '-') {
+      name.push_back(ch);
+    } else {
+      name.push_back('%');
+      name.push_back(kHex[c >> 4]);
+      name.push_back(kHex[c & 0xF]);
+    }
+  }
+  return durable_dir_ + "/" + name;
+}
+
+void MiniHdfs::MirrorAppendLocked(const std::string& path,
+                                  const std::string& data) {
+  Status st = common::durable::AppendFileBytes(MirrorPathLocked(path), data);
+  if (!st.ok() && journal_ != nullptr) {
+    journal_->Log(obs::Severity::kError, "hdfs", "mirror_write_failed",
+                  "durability mirror append failed for " + path + ": " +
+                      st.ToString());
+  }
 }
 
 Status MiniHdfs::AppendLocked(FileEntry* fe, const std::string& data,
@@ -471,6 +649,8 @@ void MiniHdfs::ReReplicateLocked() {
     for (int host : PickReplicaHostsLocked(-1, opts_.replication)) {
       if (static_cast<int>(b.replicas.size()) >= opts_.replication) break;
       if (b.replicas.count(host)) continue;
+      // Never place a block back on a host whose copy of it rotted.
+      if (b.quarantined.count(host)) continue;
       Replica r;
       r.disk = static_cast<int>(id % opts_.disks_per_datanode);
       b.replicas[host] = r;

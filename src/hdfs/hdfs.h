@@ -61,6 +61,19 @@ class FileReader {
   uint64_t position() const { return pos_; }
   void Seek(uint64_t pos) { pos_ = pos; }
 
+  /// Replicas (block, serving datanode) that satisfied the most recent
+  /// PRead/Read call — cleared at every call. The storage scanners use
+  /// this provenance to name the corrupt replica on a CRC mismatch.
+  const std::vector<std::pair<BlockId, int>>& LastReadSources() const {
+    return last_sources_;
+  }
+  /// Report every replica that served the most recent read as corrupt
+  /// (block checksum mismatch): bumps hdfs.read_checksum_failures,
+  /// journals `replica_corrupt`, quarantines the replicas and triggers
+  /// re-replication from the surviving copies. The next PRead then fails
+  /// over to a different replica.
+  void ReportCorruptLastRead();
+
  private:
   friend class MiniHdfs;
   MiniHdfs* fs_ = nullptr;
@@ -68,6 +81,7 @@ class FileReader {
   uint64_t length_ = 0;
   uint64_t pos_ = 0;
   int reader_host_ = -1;  // datanode co-located with the reader (-1: none)
+  std::vector<std::pair<BlockId, int>> last_sources_;
 };
 
 /// \brief Append-only writer holding the file's lease. Data becomes
@@ -157,6 +171,30 @@ class MiniHdfs {
   /// take locks of rank >= kHdfs. Pass nullptr to clear.
   void SetReadFaultInjector(std::function<bool(int host, BlockId id)> fn);
 
+  // --- silent-corruption injection (tests) --------------------------------
+  /// Flip bytes in ONE replica of block `block_index` of `path` on
+  /// datanode `host`: reads served by that replica return the corrupted
+  /// bytes while the other replicas stay clean — the storage CRC check
+  /// must catch it and fail over.
+  Status CorruptReplica(const std::string& path, int block_index, int host);
+  /// Flip a byte in the base data of EVERY block of `path` (all replicas
+  /// corrupt): a hostile whole-file corruption no failover can save — the
+  /// scan must fail with Corruption, never return wrong rows.
+  Status CorruptStoredData(const std::string& path);
+  /// Quarantine one replica after a checksum mismatch (normally called
+  /// via FileReader::ReportCorruptLastRead).
+  void ReportCorruptReplica(BlockId id, int host);
+
+  // --- durability ----------------------------------------------------------
+  /// Mirror every committed byte into `dir` on the local filesystem
+  /// (one raw byte-for-byte file per HDFS path, name percent-encoded —
+  /// integrity comes from the CRCs inside the stored blocks themselves)
+  /// and load whatever a previous life left there. With the mirror on,
+  /// a Cluster restart sees all data that was committed before the
+  /// crash; bytes appended after a simulated crash never reach the
+  /// mirror (common/durable.h).
+  Status EnableDurability(const std::string& dir);
+
   /// Number of live replicas of every block of `path` (min across blocks).
   Result<int> MinReplication(const std::string& path);
 
@@ -170,9 +208,11 @@ class MiniHdfs {
   };
   DataNodeIo DataNodeIoStats(int dn) const;
 
-  // Used by FileReader/FileWriter.
+  // Used by FileReader/FileWriter. `served_host` (optional) receives the
+  // datanode id whose replica satisfied the read, for corruption reports.
   Result<std::string> ReadBlock(BlockId id, uint64_t offset, uint64_t len,
-                                int reader_host = -1);
+                                int reader_host = -1,
+                                int* served_host = nullptr);
 
  private:
   struct Replica {
@@ -182,6 +222,12 @@ class MiniHdfs {
     BlockId id = 0;
     std::string data;
     std::map<int, Replica> replicas;  // datanode id -> replica
+    // Silent-corruption model: a host present here serves these bytes
+    // instead of `data` (its on-disk copy rotted). Hosts whose replica
+    // was reported corrupt are quarantined: the block is never placed
+    // back on them by re-replication.
+    std::map<int, std::string> corrupt;
+    std::set<int> quarantined;
   };
   struct FileEntry {
     std::vector<BlockId> blocks;
@@ -216,6 +262,7 @@ class MiniHdfs {
   obs::Counter* c_locality_hits_ = nullptr;
   obs::Counter* c_locality_misses_ = nullptr;
   obs::Counter* c_read_retries_ = nullptr;
+  obs::Counter* c_checksum_failures_ = nullptr;
   // Failure-injection events (null when built without a journal). The
   // journal is rank-free, so logging while holding lock_ is safe.
   obs::EventJournal* journal_ = nullptr;
@@ -234,6 +281,14 @@ class MiniHdfs {
   BlockId next_block_id_ HAWQ_GUARDED_BY(lock_) = 1;
   uint64_t rr_counter_ HAWQ_GUARDED_BY(lock_) = 0;  // round-robin placement
   std::function<bool(int, BlockId)> read_fault_ HAWQ_GUARDED_BY(lock_);
+  // Local-filesystem mirror directory (empty: durability off). Set once
+  // by EnableDurability before concurrent use.
+  std::string durable_dir_ HAWQ_GUARDED_BY(lock_);
+
+  std::string MirrorPathLocked(const std::string& path) const
+      HAWQ_REQUIRES(lock_);
+  void MirrorAppendLocked(const std::string& path, const std::string& data)
+      HAWQ_REQUIRES(lock_);
 };
 
 }  // namespace hawq::hdfs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/crc32c.h"
 #include "common/fuzz_hook.h"
 #include "common/serde.h"
 #include "storage/codec.h"
@@ -154,13 +155,39 @@ class ZoneMapBuilder {
 /// the new format: [varint 0][varint meta_len][meta bytes], with the
 /// legacy header following unchanged. AO meta additionally leads with the
 /// total byte length of the legacy block so a skip never touches it.
+///
+/// `crc_trailer` (may be empty) is appended after the zone map inside the
+/// meta: [u8 flags = 1][u32 crc ...]. Readers that predate checksums parse
+/// the zone map and ignore the trailing bytes, so checksummed files stay
+/// readable everywhere.
 void WriteZoneMapPrefix(const BlockZoneMap& zm, uint64_t block_len,
-                        bool with_block_len, BufferWriter* out) {
+                        bool with_block_len, const std::string& crc_trailer,
+                        BufferWriter* out) {
   BufferWriter meta;
   if (with_block_len) meta.PutVarint(block_len);
   zm.Serialize(&meta);
+  meta.PutRaw(crc_trailer.data(), crc_trailer.size());
   out->PutVarint(0);
   out->PutString(meta.data());
+}
+
+/// Block-prefix flag bits (the u8 opening the CRC trailer).
+constexpr uint8_t kPrefixFlagCrc = 1;
+
+/// Parse the optional CRC trailer left in `r` after the zone map. Returns
+/// the per-chunk CRCs (one for AO, ncols for CO/Parquet); empty when the
+/// file predates checksums.
+Result<std::vector<uint32_t>> ReadCrcTrailer(BufferReader* r) {
+  std::vector<uint32_t> crcs;
+  if (r->remaining() == 0) return crcs;
+  HAWQ_ASSIGN_OR_RETURN(uint8_t flags, r->GetU8());
+  if ((flags & kPrefixFlagCrc) == 0) return crcs;
+  while (r->remaining() >= sizeof(uint32_t)) {
+    uint32_t c = 0;
+    HAWQ_ASSIGN_OR_RETURN(c, r->GetU32());
+    crcs.push_back(c);
+  }
+  return crcs;
 }
 
 std::vector<bool> ProjectionMask(size_t ncols, const std::vector<int>& proj) {
@@ -231,10 +258,22 @@ class AoWriter : public TableWriter {
     hdr.PutVarint(comp.size());
     hdr.PutU8(static_cast<uint8_t>(opts_.codec));
     std::string zm_prefix;
-    if (opts_.zone_maps) {
+    if (opts_.zone_maps || opts_.block_checksums) {
+      std::string crc_trailer;
+      if (opts_.block_checksums) {
+        // One CRC over the whole legacy block (header + payload), i.e.
+        // exactly the block_len bytes a reader fetches in one go.
+        uint32_t crc = common::Crc32c(hdr.data());
+        crc = common::Crc32c(comp, crc);
+        BufferWriter t;
+        t.PutU8(kPrefixFlagCrc);
+        t.PutU32(crc);
+        crc_trailer = t.Release();
+      }
       BufferWriter prefix;
-      WriteZoneMapPrefix(zm_.Finish(), hdr.size() + comp.size(),
-                         /*with_block_len=*/true, &prefix);
+      WriteZoneMapPrefix(opts_.zone_maps ? zm_.Finish() : BlockZoneMap(),
+                         hdr.size() + comp.size(),
+                         /*with_block_len=*/true, crc_trailer, &prefix);
       zm_prefix = prefix.Release();
       HAWQ_RETURN_IF_ERROR(writer_->Append(zm_prefix));
       eof_ += static_cast<int64_t>(zm_prefix.size());
@@ -277,6 +316,7 @@ class AoScanner : public TableScanner {
               int reader_host) {
     eof_ = eof;
     path_ = path;
+    crc_retries_ = fs->options().replication;
     if (eof == 0) return Status::OK();
     HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path, reader_host));
     return Status::OK();
@@ -350,6 +390,12 @@ class AoScanner : public TableScanner {
         BufferReader mr(meta);
         HAWQ_ASSIGN_OR_RETURN(uint64_t block_len, mr.GetVarint());
         HAWQ_ASSIGN_OR_RETURN(BlockZoneMap zm, BlockZoneMap::Deserialize(&mr));
+        HAWQ_ASSIGN_OR_RETURN(std::vector<uint32_t> crcs, ReadCrcTrailer(&mr));
+        if (crcs.size() > 1) {
+          return Status::Corruption("AO block carries " +
+                                    std::to_string(crcs.size()) +
+                                    " checksums, expected 1: " + path_);
+        }
         // Subtract-side comparison: `data_off + block_len` could wrap
         // uint64 with a hostile block_len and slip past an additive check.
         uint64_t data_off = pos_ + prefix_len + meta_len;
@@ -364,13 +410,27 @@ class AoScanner : public TableScanner {
           pos_ = static_cast<int64_t>(block_end);
           continue;
         }
-        // Fetch header + payload in one read.
+        // Fetch header + payload in one read. On a CRC mismatch the
+        // replica that served the bytes is quarantined and the read
+        // retried from another copy; wrong bytes never reach the decoder.
         block_buf_.resize(block_len);
-        HAWQ_ASSIGN_OR_RETURN(
-            size_t n, reader_->PRead(pos_ + prefix_len + meta_len,
-                                     block_buf_.data(), block_len));
-        if (n < block_len) {
-          return Status::Corruption("AO block truncated: " + path_);
+        for (int attempt = 0;; ++attempt) {
+          HAWQ_ASSIGN_OR_RETURN(
+              size_t n,
+              reader_->PRead(data_off, block_buf_.data(), block_len));
+          if (n < block_len) {
+            return Status::Corruption("AO block truncated: " + path_);
+          }
+          if (crcs.empty() ||
+              common::Crc32c(block_buf_.data(), block_buf_.size()) ==
+                  crcs[0]) {
+            break;
+          }
+          reader_->ReportCorruptLastRead();
+          if (attempt >= crc_retries_) {
+            return Status::Corruption(
+                "AO block failed its checksum on every replica: " + path_);
+          }
         }
         BufferReader br(block_buf_.data(), block_buf_.size());
         HAWQ_ASSIGN_OR_RETURN(uncomp, br.GetVarint());
@@ -439,6 +499,7 @@ class AoScanner : public TableScanner {
   size_t payload_in_buf_ = 0;
   std::string block_data_;
   BufferReader block_{nullptr, 0};
+  int crc_retries_ = 3;
   ScanStats stats_;
 };
 
@@ -500,21 +561,35 @@ class CoWriter : public TableWriter {
  private:
   Status Flush() {
     if (rows_in_stripe_ == 0) return Status::OK();
-    BufferWriter meta_rec;
-    if (opts_.zone_maps) {
-      WriteZoneMapPrefix(zm_.Finish(), 0, /*with_block_len=*/false, &meta_rec);
-    }
-    meta_rec.PutVarint(rows_in_stripe_);
-    meta_rec.PutVarint(ncols_);
+    // Compress the chunks first: their sizes and CRCs both go into the
+    // stripe's meta record, which is written before the chunk bytes.
     std::vector<std::string> chunks(ncols_);
+    std::vector<uint64_t> raw_sizes(ncols_);
     for (size_t i = 0; i < ncols_; ++i) {
       std::string raw = col_bufs_[i].Release();
       col_bufs_[i] = BufferWriter();
+      raw_sizes[i] = raw.size();
       uncompressed_ += static_cast<int64_t>(raw.size());
       HAWQ_ASSIGN_OR_RETURN(chunks[i],
                             CodecCompress(opts_.codec, opts_.codec_level, raw));
+    }
+    BufferWriter meta_rec;
+    if (opts_.zone_maps || opts_.block_checksums) {
+      std::string crc_trailer;
+      if (opts_.block_checksums) {
+        BufferWriter t;
+        t.PutU8(kPrefixFlagCrc);
+        for (const std::string& c : chunks) t.PutU32(common::Crc32c(c));
+        crc_trailer = t.Release();
+      }
+      WriteZoneMapPrefix(opts_.zone_maps ? zm_.Finish() : BlockZoneMap(), 0,
+                         /*with_block_len=*/false, crc_trailer, &meta_rec);
+    }
+    meta_rec.PutVarint(rows_in_stripe_);
+    meta_rec.PutVarint(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
       meta_rec.PutVarint(chunks[i].size());
-      meta_rec.PutVarint(raw.size());
+      meta_rec.PutVarint(raw_sizes[i]);
     }
     for (size_t i = 0; i < ncols_; ++i) {
       HAWQ_RETURN_IF_ERROR(col_writers_[i]->Append(chunks[i]));
@@ -552,6 +627,7 @@ class CoScanner : public TableScanner {
               int reader_host) {
     fs_ = fs;
     path_ = path;
+    crc_retries_ = fs->options().replication;
     if (eof == 0) return Status::OK();
     HAWQ_ASSIGN_OR_RETURN(auto meta_reader, fs->Open(path, reader_host));
     meta_buf_.resize(eof);
@@ -622,11 +698,14 @@ class CoScanner : public TableScanner {
       HAWQ_ASSIGN_OR_RETURN(uint64_t first, meta_.GetVarint());
       bool have_zm = false;
       BlockZoneMap zm;
+      std::vector<uint32_t> crcs;
       if (first == 0) {
-        // Zone-mapped stripe record: [0][meta_len][zone map][rows][ncols]...
+        // Zone-mapped stripe record: [0][meta_len][zone map][crc trailer]
+        // [rows][ncols]...
         HAWQ_ASSIGN_OR_RETURN(std::string zm_bytes, meta_.GetString());
         BufferReader zr(zm_bytes);
         HAWQ_ASSIGN_OR_RETURN(zm, BlockZoneMap::Deserialize(&zr));
+        HAWQ_ASSIGN_OR_RETURN(crcs, ReadCrcTrailer(&zr));
         have_zm = true;
         HAWQ_ASSIGN_OR_RETURN(first, meta_.GetVarint());
       }
@@ -634,6 +713,9 @@ class CoScanner : public TableScanner {
       HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, meta_.GetVarint());
       if (ncols != ncols_) {
         return Status::Corruption("CO column count mismatch");
+      }
+      if (!crcs.empty() && crcs.size() != ncols_) {
+        return Status::Corruption("CO checksum count mismatch: " + path_);
       }
       chunk_comp_.resize(ncols_);
       chunk_uncomp_.resize(ncols_);
@@ -662,11 +744,22 @@ class CoScanner : public TableScanner {
             return Status::Corruption("CO column chunk truncated");
           }
           std::string payload(comp, '\0');
-          HAWQ_ASSIGN_OR_RETURN(
-              size_t got,
-              col_readers_[i]->PRead(col_offsets_[i], payload.data(), comp));
-          if (got < comp) {
-            return Status::Corruption("CO column chunk truncated");
+          for (int attempt = 0;; ++attempt) {
+            HAWQ_ASSIGN_OR_RETURN(
+                size_t got,
+                col_readers_[i]->PRead(col_offsets_[i], payload.data(), comp));
+            if (got < comp) {
+              return Status::Corruption("CO column chunk truncated");
+            }
+            if (crcs.empty() || common::Crc32c(payload) == crcs[i]) break;
+            // Quarantine the replica that served the rotted chunk and
+            // fail over to another copy.
+            col_readers_[i]->ReportCorruptLastRead();
+            if (attempt >= crc_retries_) {
+              return Status::Corruption(
+                  "CO column chunk failed its checksum on every replica: " +
+                  path_ + ".c" + std::to_string(i));
+            }
           }
           HAWQ_ASSIGN_OR_RETURN(
               col_data_[i], CodecDecompress(codec_, payload, chunk_uncomp_[i]));
@@ -698,6 +791,7 @@ class CoScanner : public TableScanner {
   std::vector<BufferReader> col_readers_buf_;
   uint64_t stripe_rows_ = 0;
   uint64_t row_in_stripe_ = 0;
+  int crc_retries_ = 3;
   ScanStats stats_;
 };
 
@@ -753,21 +847,34 @@ class ParquetWriter : public TableWriter {
  private:
   Status Flush() {
     if (rows_in_group_ == 0) return Status::OK();
-    BufferWriter hdr;
-    if (opts_.zone_maps) {
-      WriteZoneMapPrefix(zm_.Finish(), 0, /*with_block_len=*/false, &hdr);
-    }
-    hdr.PutVarint(rows_in_group_);
-    hdr.PutVarint(ncols_);
+    // Compress the chunks first: the group header carries their CRCs.
     std::vector<std::string> chunks(ncols_);
+    std::vector<uint64_t> raw_sizes(ncols_);
     for (size_t i = 0; i < ncols_; ++i) {
       std::string raw = col_bufs_[i].Release();
       col_bufs_[i] = BufferWriter();
+      raw_sizes[i] = raw.size();
       uncompressed_ += static_cast<int64_t>(raw.size());
       HAWQ_ASSIGN_OR_RETURN(chunks[i],
                             CodecCompress(opts_.codec, opts_.codec_level, raw));
+    }
+    BufferWriter hdr;
+    if (opts_.zone_maps || opts_.block_checksums) {
+      std::string crc_trailer;
+      if (opts_.block_checksums) {
+        BufferWriter t;
+        t.PutU8(kPrefixFlagCrc);
+        for (const std::string& c : chunks) t.PutU32(common::Crc32c(c));
+        crc_trailer = t.Release();
+      }
+      WriteZoneMapPrefix(opts_.zone_maps ? zm_.Finish() : BlockZoneMap(), 0,
+                         /*with_block_len=*/false, crc_trailer, &hdr);
+    }
+    hdr.PutVarint(rows_in_group_);
+    hdr.PutVarint(ncols_);
+    for (size_t i = 0; i < ncols_; ++i) {
       hdr.PutVarint(chunks[i].size());
-      hdr.PutVarint(raw.size());
+      hdr.PutVarint(raw_sizes[i]);
     }
     HAWQ_RETURN_IF_ERROR(writer_->Append(hdr.data()));
     eof_ += static_cast<int64_t>(hdr.size());
@@ -804,6 +911,8 @@ class ParquetScanner : public TableScanner {
   Status Init(hdfs::MiniHdfs* fs, const std::string& path, int64_t eof,
               int reader_host) {
     eof_ = eof;
+    path_ = path;
+    crc_retries_ = fs->options().replication;
     if (eof == 0) return Status::OK();
     HAWQ_ASSIGN_OR_RETURN(reader_, fs->Open(path, reader_host));
     return Status::OK();
@@ -864,11 +973,14 @@ class ParquetScanner : public TableScanner {
       HAWQ_ASSIGN_OR_RETURN(uint64_t first, hdr.GetVarint());
       bool have_zm = false;
       BlockZoneMap zm;
+      std::vector<uint32_t> crcs;
       if (first == 0) {
-        // Zone-mapped group: [0][meta_len][zone map][rows][ncols]...
+        // Zone-mapped group: [0][meta_len][zone map][crc trailer]
+        // [rows][ncols]...
         HAWQ_ASSIGN_OR_RETURN(std::string zm_bytes, hdr.GetString());
         BufferReader zr(zm_bytes);
         HAWQ_ASSIGN_OR_RETURN(zm, BlockZoneMap::Deserialize(&zr));
+        HAWQ_ASSIGN_OR_RETURN(crcs, ReadCrcTrailer(&zr));
         have_zm = true;
         HAWQ_ASSIGN_OR_RETURN(first, hdr.GetVarint());
       }
@@ -876,6 +988,9 @@ class ParquetScanner : public TableScanner {
       HAWQ_ASSIGN_OR_RETURN(uint64_t ncols, hdr.GetVarint());
       if (ncols != ncols_) {
         return Status::Corruption("Parquet column count mismatch");
+      }
+      if (!crcs.empty() && crcs.size() != ncols_) {
+        return Status::Corruption("Parquet checksum count mismatch: " + path_);
       }
       std::vector<uint64_t> comp(ncols_), uncomp(ncols_);
       for (size_t i = 0; i < ncols_; ++i) {
@@ -909,10 +1024,21 @@ class ParquetScanner : public TableScanner {
       for (size_t i = 0; i < ncols_; ++i) {
         if (mask_[i]) {
           std::string payload(comp[i], '\0');
-          HAWQ_ASSIGN_OR_RETURN(size_t n,
-                                reader_->PRead(chunk_off, payload.data(),
-                                               comp[i]));
-          if (n < comp[i]) return Status::Corruption("Parquet chunk truncated");
+          for (int attempt = 0;; ++attempt) {
+            HAWQ_ASSIGN_OR_RETURN(size_t n,
+                                  reader_->PRead(chunk_off, payload.data(),
+                                                 comp[i]));
+            if (n < comp[i]) {
+              return Status::Corruption("Parquet chunk truncated");
+            }
+            if (crcs.empty() || common::Crc32c(payload) == crcs[i]) break;
+            reader_->ReportCorruptLastRead();
+            if (attempt >= crc_retries_) {
+              return Status::Corruption(
+                  "Parquet chunk failed its checksum on every replica: " +
+                  path_);
+            }
+          }
           HAWQ_ASSIGN_OR_RETURN(col_data_[i],
                                 CodecDecompress(codec_, payload, uncomp[i]));
           col_buf_readers_[i] =
@@ -932,6 +1058,7 @@ class ParquetScanner : public TableScanner {
   std::vector<bool> mask_;
   Codec codec_;
   std::vector<ScanPredicate> preds_;
+  std::string path_;
   std::unique_ptr<hdfs::FileReader> reader_;
   int64_t eof_ = 0;
   int64_t pos_ = 0;
@@ -939,6 +1066,7 @@ class ParquetScanner : public TableScanner {
   std::vector<BufferReader> col_buf_readers_;
   uint64_t group_rows_ = 0;
   uint64_t row_in_group_ = 0;
+  int crc_retries_ = 3;
   ScanStats stats_;
 };
 

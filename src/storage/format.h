@@ -38,6 +38,14 @@ struct StorageOptions {
   /// Write per-block zone maps (min/max/null-count per column). Readers
   /// auto-detect their presence, so files written either way always scan.
   bool zone_maps = true;
+  /// CRC32C every flushed block (AO) / column chunk (CO, Parquet). The
+  /// checksum rides in the same self-describing block prefix as the zone
+  /// map, so legacy files (no checksums) still scan — they just skip
+  /// verification. On a mismatch the scanner quarantines the replica that
+  /// served the bytes and retries from another one; only when every
+  /// replica is corrupt does the scan fail with Corruption. Wrong bytes
+  /// are never silently decoded into rows.
+  bool block_checksums = true;
 
   static StorageOptions FromTable(const catalog::TableDesc& t) {
     StorageOptions o;

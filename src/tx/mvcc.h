@@ -45,6 +45,11 @@ class CommitLog {
     states_[xid] = s;
   }
 
+  /// Raw state array for catalog checkpoints (engine/recovery.h): the
+  /// whole resolved history is tiny (one byte per xid ever assigned).
+  const std::vector<State>& Dump() const { return states_; }
+  void Restore(std::vector<State> states) { states_ = std::move(states); }
+
  private:
   std::vector<State> states_;
 };

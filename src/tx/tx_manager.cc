@@ -41,15 +41,23 @@ Status TxManager::Commit(Transaction* txn) {
   WalRecord rec;
   rec.xid = txn->xid_;
   rec.kind = WalRecord::Kind::kCommit;
-  wal_.Append(rec);
-  {
-    MutexLock g(mu_);
-    {
-      MutexLock cg(clog_mu_);
-      clog_.Set(txn->xid_, CommitLog::State::kCommitted);
-    }
-    active_.erase(txn->xid_);
-  }
+  // The clog flip runs inside the WAL append's critical section, after the
+  // record has been fsynced (sync=true): a checkpoint snapshotting under
+  // the WAL mutex therefore sees the flip of every record it excludes, and
+  // a crash after the fsync recovers the transaction as committed while a
+  // crash before it recovers in-doubt → aborted. Rank-legal: kTxWal (44) >
+  // kTxManager (42) > kTxClog (24).
+  wal_.AppendWith(
+      rec,
+      [&](uint64_t) {
+        MutexLock g(mu_);
+        {
+          MutexLock cg(clog_mu_);
+          clog_.Set(txn->xid_, CommitLog::State::kCommitted);
+        }
+        active_.erase(txn->xid_);
+      },
+      /*sync=*/true);
   locks_.ReleaseAll(txn->xid_);
   for (auto& fn : txn->commit_actions_) fn();
   return Status::OK();
@@ -66,15 +74,20 @@ Status TxManager::Abort(Transaction* txn) {
   WalRecord rec;
   rec.xid = txn->xid_;
   rec.kind = WalRecord::Kind::kAbort;
-  wal_.Append(rec);
-  {
-    MutexLock g(mu_);
-    {
-      MutexLock cg(clog_mu_);
-      clog_.Set(txn->xid_, CommitLog::State::kAborted);
-    }
-    active_.erase(txn->xid_);
-  }
+  // Same atomic append+flip as Commit. The fsync is not strictly needed
+  // for correctness (an unlogged abort recovers as in-doubt → aborted) but
+  // bounds how much undo work recovery repeats.
+  wal_.AppendWith(
+      rec,
+      [&](uint64_t) {
+        MutexLock g(mu_);
+        {
+          MutexLock cg(clog_mu_);
+          clog_.Set(txn->xid_, CommitLog::State::kAborted);
+        }
+        active_.erase(txn->xid_);
+      },
+      /*sync=*/true);
   locks_.ReleaseAll(txn->xid_);
   if (journal_ != nullptr) {
     journal_->Log(obs::Severity::kWarn, "tx", "tx_abort",

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -99,6 +100,34 @@ class TxManager {
       clog_.Set(xid, state);
     }
     next_xid_ = std::max(next_xid_, xid + 1);
+  }
+
+  // --- checkpoint / recovery (engine/recovery.h) --------------------------
+  /// Snapshot of the commit log and xid horizon for a catalog checkpoint.
+  /// Call under wal().WithAppendsBlocked so no commit record can slip in
+  /// between the WAL cut and this snapshot.
+  std::pair<TxId, std::vector<CommitLog::State>> DumpTxState() {
+    MutexLock g(mu_);
+    MutexLock cg(clog_mu_);
+    return {next_xid_, clog_.Dump()};
+  }
+  /// Install checkpointed tx state (recovery runs before any user txn).
+  void RestoreTxState(TxId next_xid, std::vector<CommitLog::State> states) {
+    MutexLock g(mu_);
+    next_xid_ = std::max(next_xid_, next_xid);
+    MutexLock cg(clog_mu_);
+    clog_.Restore(std::move(states));
+  }
+  /// Transactions still in progress after replay: in-doubt at crash time.
+  /// Recovery aborts them (paper §5.3 — their AO appends are truncated).
+  std::vector<TxId> InDoubtXids() {
+    MutexLock g(mu_);
+    MutexLock cg(clog_mu_);
+    std::vector<TxId> out;
+    for (TxId x = kBootstrapTxId + 1; x < next_xid_; ++x) {
+      if (clog_.Get(x) == CommitLog::State::kInProgress) out.push_back(x);
+    }
+    return out;
   }
 
  private:

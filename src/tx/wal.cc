@@ -1,0 +1,136 @@
+#include "tx/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/chaos.h"
+#include "common/durable.h"
+#include "common/serde.h"
+
+namespace hawq::tx {
+
+namespace {
+
+// A WAL that cannot reach its disk can no longer promise durability for
+// commits it acknowledges; PostgreSQL panics here (fsyncgate) and so do we.
+// The simulated-crash flag never reaches this path — durable.cc swallows
+// writes silently in that mode.
+[[noreturn]] void DiePanicDurable(const Status& s) {
+  std::fprintf(stderr, "FATAL: WAL durability failure: %s\n",
+               s.message().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+Wal::Wal() = default;
+Wal::~Wal() = default;
+
+uint64_t Wal::AppendWith(WalRecord rec,
+                         const std::function<void(uint64_t lsn)>& under_lock,
+                         bool sync) {
+  // Shippers run under mu_ so the standby applies records in LSN order.
+  // kTxWal ranks above the catalog and tx-manager locks the standby's
+  // apply path takes, so this nesting is rank-legal.
+  MutexLock g(mu_);
+  rec.lsn = next_lsn_++;
+  for (auto& s : shippers_) s(rec);
+  if (durable_ != nullptr) {
+    BufferWriter w;
+    Serialize(rec, &w);
+    // Crash point at the append boundary: the record exists in memory
+    // (shipped, LSN assigned) but never reaches the file. A crash action
+    // here models master death, not a slow query.
+    // hawq-lint: allow(cancel-poll): durability path, no query context
+    common::chaos::Point("wal.append");
+    Status s = durable_->Append(w.data());
+    if (s.ok() && sync) {
+      // Crash point at the fsync boundary: buffered records are lost
+      // together; with a torn budget a prefix lands on disk for the CRC
+      // scan to truncate.
+      // hawq-lint: allow(cancel-poll): durability path, no query context
+      common::chaos::Point("wal.fsync");
+      s = durable_->Fsync();
+    }
+    if (!s.ok()) DiePanicDurable(s);
+  }
+  records_.push_back(std::move(rec));
+  uint64_t lsn = records_.back().lsn;
+  if (under_lock) under_lock(lsn);
+  return lsn;
+}
+
+void Wal::Subscribe(Shipper s) {
+  MutexLock g(mu_);
+  shippers_.push_back(std::move(s));
+}
+
+void Wal::VisitFrom(uint64_t from_lsn, const Visitor& fn) {
+  MutexLock g(mu_);
+  // records_ is sorted by lsn (appends assign increasing LSNs).
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), from_lsn,
+      [](const WalRecord& r, uint64_t lsn) { return r.lsn < lsn; });
+  for (; it != records_.end(); ++it) fn(*it);
+}
+
+size_t Wal::RecordCount() {
+  MutexLock g(mu_);
+  return records_.size();
+}
+
+uint64_t Wal::next_lsn() {
+  MutexLock g(mu_);
+  return next_lsn_;
+}
+
+Status Wal::AttachDurable(const std::string& path, uint64_t resume_at,
+                          uint64_t next_lsn) {
+  MutexLock g(mu_);
+  if (durable_ != nullptr) return Status::Internal("WAL already durable");
+  auto w = std::make_unique<common::durable::DurableWriter>();
+  HAWQ_RETURN_IF_ERROR(w->Open(path, resume_at));
+  durable_ = std::move(w);
+  next_lsn_ = std::max(next_lsn_, next_lsn);
+  return Status::OK();
+}
+
+Status Wal::SyncDurable() {
+  MutexLock g(mu_);
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->Fsync();
+}
+
+void Wal::WithAppendsBlocked(
+    const std::function<void(uint64_t next_lsn)>& fn) {
+  MutexLock g(mu_);
+  fn(next_lsn_);
+}
+
+void Wal::Serialize(const WalRecord& rec, BufferWriter* out) {
+  out->PutVarint(rec.lsn);
+  out->PutVarint(rec.xid);
+  out->PutU8(static_cast<uint8_t>(rec.kind));
+  out->PutString(rec.table);
+  out->PutString(rec.payload);
+}
+
+Result<WalRecord> Wal::Deserialize(std::string_view payload) {
+  BufferReader r(payload.data(), payload.size());
+  WalRecord rec;
+  HAWQ_ASSIGN_OR_RETURN(rec.lsn, r.GetVarint());
+  HAWQ_ASSIGN_OR_RETURN(rec.xid, r.GetVarint());
+  uint8_t kind = 0;
+  HAWQ_ASSIGN_OR_RETURN(kind, r.GetU8());
+  if (kind > static_cast<uint8_t>(WalRecord::Kind::kCatalogDelete)) {
+    return Status::Corruption("WAL record: unknown kind " +
+                              std::to_string(kind));
+  }
+  rec.kind = static_cast<WalRecord::Kind>(kind);
+  HAWQ_ASSIGN_OR_RETURN(rec.table, r.GetString());
+  HAWQ_ASSIGN_OR_RETURN(rec.payload, r.GetString());
+  return rec;
+}
+
+}  // namespace hawq::tx

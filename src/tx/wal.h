@@ -1,15 +1,32 @@
 // Write-ahead log for catalog changes, with a log-shipping hook used by the
 // warm standby master (paper §2.6: only catalog needs synchronizing; user
 // data is protected by HDFS replication).
+//
+// Since PR 10 the log can also be durable: AttachDurable() backs it with a
+// checksummed, length-prefixed segment file (common/durable.h). Appends are
+// buffered; commit/abort records request an fsync (`sync`), which is the
+// explicit durability point — a crash between a buffered catalog record and
+// the next fsync loses both together, never a suffix of one record
+// (torn tails are CRC-detected and truncated at recovery, engine/recovery.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "common/sync.h"
 #include "tx/mvcc.h"
+
+namespace hawq {
+class BufferWriter;
+namespace common::durable {
+class DurableWriter;
+}
+}  // namespace hawq
 
 namespace hawq::tx {
 
@@ -33,37 +50,66 @@ struct WalRecord {
 class Wal {
  public:
   using Shipper = std::function<void(const WalRecord&)>;
+  using Visitor = std::function<void(const WalRecord&)>;
 
-  uint64_t Append(WalRecord rec) {
-    // Shippers run under mu_ so the standby applies records in LSN order.
-    // kTxWal ranks above the catalog and tx-manager locks the standby's
-    // apply path takes, so this nesting is rank-legal.
-    MutexLock g(mu_);
-    rec.lsn = next_lsn_++;
-    for (auto& s : shippers_) s(rec);
-    records_.push_back(rec);
-    return rec.lsn;
-  }
+  Wal();
+  ~Wal();
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
 
-  void Subscribe(Shipper s) {
-    MutexLock g(mu_);
-    shippers_.push_back(std::move(s));
-  }
+  /// Append one record: assigns the LSN, ships to subscribers, and (when
+  /// durable) buffers the checksummed frame. Returns the LSN.
+  uint64_t Append(WalRecord rec) { return AppendWith(std::move(rec), {}); }
 
-  std::vector<WalRecord> Records() {
-    MutexLock g(mu_);
-    return records_;
-  }
-  uint64_t next_lsn() {
-    MutexLock g(mu_);
-    return next_lsn_;
-  }
+  /// Append and run `under_lock` while the log mutex is still held, after
+  /// the record has been assigned its LSN, shipped, and made durable.
+  /// Commit/abort use this to flip the clog inside the same critical
+  /// section, so a checkpoint (which snapshots state under this mutex)
+  /// can never observe a committed WAL record whose clog flip it missed.
+  /// kTxWal ranks above the tx-manager/clog/catalog locks the callback
+  /// and the standby's apply path take, so the nesting is rank-legal.
+  /// `sync` fsyncs the durable log before the callback runs — the record
+  /// is on disk before the commit becomes visible.
+  uint64_t AppendWith(WalRecord rec,
+                      const std::function<void(uint64_t lsn)>& under_lock,
+                      bool sync = false);
+
+  void Subscribe(Shipper s);
+
+  /// Visit records with lsn >= from_lsn in order, under the log mutex.
+  /// O(log n) to find the start — replay and standby catch-up pay for the
+  /// tail they consume, not a copy of the whole log (the old Records()
+  /// accessor copied every record on every call).
+  void VisitFrom(uint64_t from_lsn, const Visitor& fn);
+
+  size_t RecordCount();
+  uint64_t next_lsn();
+
+  // --- durability (engine/recovery.h wires these at cluster start) -------
+  /// Back the log with `path`. `resume_at` truncates a torn tail first
+  /// (byte offset from recovery's decode); `next_lsn` continues the LSN
+  /// sequence after the recovered history.
+  Status AttachDurable(const std::string& path, uint64_t resume_at,
+                       uint64_t next_lsn);
+  /// Flush buffered records to disk (fsync). No-op when not durable.
+  Status SyncDurable();
+
+  /// Run `fn` with appends blocked, passing the next LSN to be assigned.
+  /// The checkpointer snapshots catalog + clog state inside `fn`: every
+  /// record with lsn < next_lsn is then reflected in the snapshot.
+  void WithAppendsBlocked(const std::function<void(uint64_t next_lsn)>& fn);
+
+  /// Serialized record payload (framed/checksummed by the durable layer).
+  static void Serialize(const WalRecord& rec, BufferWriter* out);
+  static Result<WalRecord> Deserialize(std::string_view payload);
 
  private:
   Mutex mu_{LockRank::kTxWal, "tx.wal"};
   uint64_t next_lsn_ HAWQ_GUARDED_BY(mu_) = 1;
   std::vector<WalRecord> records_ HAWQ_GUARDED_BY(mu_);
   std::vector<Shipper> shippers_ HAWQ_GUARDED_BY(mu_);
+  std::unique_ptr<common::durable::DurableWriter> durable_
+      HAWQ_GUARDED_BY(mu_);
 };
 
 }  // namespace hawq::tx

@@ -1,5 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/crc32c.h"
+#include "common/durable.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "common/status.h"
@@ -232,6 +239,149 @@ TEST(RngTest, DeterministicAndBounded) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+// ---------------------------------------------------------------- crc32c
+
+TEST(Crc32cTest, KnownAnswerVectors) {
+  // RFC 3720 (iSCSI) test vectors for CRC32C (Castagnoli).
+  EXPECT_EQ(common::Crc32c("", 0), 0x00000000u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(common::Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(common::Crc32c(ones.data(), ones.size()), 0x62A8AB43u);
+  std::string inc(32, '\0');
+  for (int i = 0; i < 32; ++i) inc[static_cast<size_t>(i)] = static_cast<char>(i);
+  EXPECT_EQ(common::Crc32c(inc.data(), inc.size()), 0x46DD794Eu);
+  EXPECT_EQ(common::Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, SeedChainingEqualsConcatenation) {
+  std::string a = "the quick brown fox ", b = "jumps over the lazy dog";
+  uint32_t chained =
+      common::Crc32c(b.data(), b.size(), common::Crc32c(a.data(), a.size()));
+  std::string ab = a + b;
+  EXPECT_EQ(chained, common::Crc32c(ab.data(), ab.size()));
+  // A single flipped bit anywhere must change the sum.
+  ab[ab.size() / 2] ^= 0x01;
+  EXPECT_NE(chained, common::Crc32c(ab.data(), ab.size()));
+}
+
+// ---------------------------------------------------------------- durable
+
+TEST(DurableTest, RecordStreamRoundTripAndTornTails) {
+  using namespace common::durable;
+  const std::string path =
+      ::testing::TempDir() + "hawq_common_durable_stream.log";
+  (void)RemoveFile(path);
+  {
+    DurableWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append("alpha").ok());
+    ASSERT_TRUE(w.Append(std::string("be\0ta", 5)).ok());
+    ASSERT_TRUE(w.Append("").ok());
+    ASSERT_TRUE(w.Fsync().ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  RecordStream s = DecodeRecordStream(*bytes);
+  EXPECT_FALSE(s.torn);
+  EXPECT_EQ(s.valid_bytes, bytes->size());
+  ASSERT_EQ(s.records.size(), 3u);
+  EXPECT_EQ(s.records[0], "alpha");
+  EXPECT_EQ(s.records[1], std::string("be\0ta", 5));
+  EXPECT_EQ(s.records[2], "");
+
+  // Every possible mid-record truncation keeps the whole-record prefix
+  // and flags the tail (except cuts at exact record boundaries).
+  for (size_t cut = kMagicLen; cut < bytes->size(); ++cut) {
+    RecordStream t = DecodeRecordStream(bytes->substr(0, cut));
+    EXPECT_LE(t.valid_bytes, cut);
+    EXPECT_LE(t.records.size(), 3u);
+    for (size_t i = 0; i < t.records.size(); ++i) {
+      EXPECT_EQ(t.records[i], s.records[i]);
+    }
+    if (t.valid_bytes < cut) EXPECT_TRUE(t.torn);
+  }
+  // A flipped payload bit fails that frame's CRC and stops the decode.
+  std::string rotten = *bytes;
+  rotten[kMagicLen + kFrameHeaderLen + 2] ^= 0x10;
+  RecordStream r = DecodeRecordStream(rotten);
+  EXPECT_TRUE(r.torn);
+  EXPECT_EQ(r.records.size(), 0u);
+  EXPECT_EQ(r.valid_bytes, kMagicLen);
+  // Wrong magic: no records at all.
+  RecordStream m = DecodeRecordStream("NOTAWAL1" + bytes->substr(kMagicLen));
+  EXPECT_EQ(m.records.size(), 0u);
+}
+
+TEST(DurableTest, SimulatedCrashDropsWritesAndTearsFlush) {
+  using namespace common::durable;
+  const std::string path =
+      ::testing::TempDir() + "hawq_common_durable_crash.log";
+  (void)RemoveFile(path);
+  DurableWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("survives").ok());
+  ASSERT_TRUE(w.Fsync().ok());
+  // Torn budget: the next flush emits a prefix of its pending bytes.
+  SimulateCrash(/*torn_bytes=*/5);
+  ASSERT_TRUE(w.Append("lost-in-the-crash").ok());
+  ASSERT_TRUE(w.Fsync().ok());  // silently drops (minus the torn prefix)
+  ASSERT_TRUE(w.Close().ok());
+  ClearSimulatedCrash();
+
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  RecordStream s = DecodeRecordStream(*bytes);
+  ASSERT_EQ(s.records.size(), 1u);
+  EXPECT_EQ(s.records[0], "survives");
+  EXPECT_TRUE(s.torn);  // the 5-byte torn prefix of the dropped frame
+  EXPECT_LT(s.valid_bytes, bytes->size());
+  (void)RemoveFile(path);
+}
+
+TEST(DurableTest, AtomicFileSurvivesBitRotDetection) {
+  using namespace common::durable;
+  const std::string path = ::testing::TempDir() + "hawq_common_durable.ckpt";
+  (void)RemoveFile(path);
+  ASSERT_TRUE(AtomicWriteFile(path, "checkpoint payload bytes").ok());
+  auto back = ReadCheckedFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "checkpoint payload bytes");
+  auto raw = ReadFileBytes(path);
+  ASSERT_TRUE(raw.ok());
+  std::string rotten = *raw;
+  rotten[rotten.size() - 3] ^= 0x01;
+  ASSERT_TRUE(RemoveFile(path).ok());
+  ASSERT_TRUE(AppendFileBytes(path, rotten).ok());
+  EXPECT_FALSE(ReadCheckedFile(path).ok());
+  (void)RemoveFile(path);
+}
+
+// ---------------------------------------------------------------- backoff
+
+TEST(BackoffTest, FullJitterBoundsAndSpread) {
+  Rng rng(42);
+  // Bounds: every draw lands in [0, min(cap, base << attempt)].
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    uint64_t ceiling = std::min<uint64_t>(
+        50000, 2000ull << std::min(attempt, 10));
+    for (int i = 0; i < 200; ++i) {
+      uint64_t d = common::FullJitterBackoffUs(rng, 2000, 50000, attempt);
+      EXPECT_LE(d, ceiling);
+    }
+  }
+  // Disabled backoff draws nothing.
+  EXPECT_EQ(common::FullJitterBackoffUs(rng, 0, 50000, 3), 0u);
+  // Spread: at a wide ceiling the draws must actually use the window
+  // rather than cluster at the deterministic doubled delay.
+  std::set<uint64_t> buckets;
+  for (int i = 0; i < 400; ++i) {
+    buckets.insert(common::FullJitterBackoffUs(rng, 2000, 50000, 5) / 5000);
+  }
+  EXPECT_GE(buckets.size(), 5u) << "full jitter should span the window";
 }
 
 }  // namespace

@@ -286,6 +286,54 @@ class HawqLintTest(unittest.TestCase):
             "}\n")
         self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
 
+    # ------------------------------------------------------- durable-write
+
+    def test_raw_ofstream_write_trips(self):
+        self.tree.write("src/engine/bad.cc",
+                        "void W(const std::string& p) {\n"
+                        "  std::ofstream out(p, std::ios::binary);\n"
+                        "}\n")
+        self.assert_trips("durable-write")
+
+    def test_raw_fwrite_trips(self):
+        self.tree.write("src/storage/bad.cc",
+                        "void W(std::FILE* f, const char* p, size_t n) {\n"
+                        "  fwrite(p, 1, n, f);\n"
+                        "}\n")
+        self.assert_trips("durable-write")
+
+    def test_raw_open_with_write_flag_trips(self):
+        self.tree.write("src/tx/bad.cc",
+                        "int W(const char* p) {\n"
+                        "  return ::open(p, O_WRONLY | O_CREAT, 0644);\n"
+                        "}\n")
+        self.assert_trips("durable-write")
+
+    def test_durable_cc_itself_is_exempt(self):
+        self.tree.write("src/common/durable.cc",
+                        "int W(const char* p) {\n"
+                        "  int fd = ::open(p, O_WRONLY | O_CREAT, 0644);\n"
+                        "  ::write(fd, p, 1);\n"
+                        "  return fd;\n"
+                        "}\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
+
+    def test_durable_write_allow_marker_suppresses(self):
+        self.tree.write(
+            "src/obs/dump.cc",
+            "void Dump(const std::string& p, const std::string& s) {\n"
+            "  // hawq-lint: allow(durable-write): ephemeral debug dump\n"
+            "  std::ofstream out(p);\n"
+            "}\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
+
+    def test_read_only_open_is_clean(self):
+        self.tree.write("src/hdfs/reader.cc",
+                        "int R(const char* p) {\n"
+                        "  return ::open(p, O_RDONLY | O_CLOEXEC);\n"
+                        "}\n")
+        self.assertEqual(hawq_lint.run_lint(self.tree.root), [])
+
     # -------------------------------------------------------------- banned
 
     def test_std_mutex_outside_sync_trips(self):

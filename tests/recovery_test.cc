@@ -1,0 +1,384 @@
+// Kill-restart chaos harness + corruption-resilience tests (crash
+// durability tentpole).
+//
+// The sweep test arms a seeded crash at one of the durability chaos
+// points (wal.append, wal.fsync, checkpoint.write, block.flush) — from
+// that instant every durable write silently drops, exactly as if the
+// master died there, optionally with a torn partial flush. The "dead"
+// cluster is destroyed, the crash flag cleared, and a new cluster is
+// constructed over the surviving files. It must recover: committed data
+// visible bit-for-bit, rolled-back and in-doubt data invisible, every
+// statement atomic (row counts are exact multiples of the per-statement
+// batch), and the recovered cluster must accept new writes.
+//
+// Run one seed with HAWQ_RECOVERY_SEED=<n> (scripts/check.sh gives each
+// seed its own process and deadline); all seeds run otherwise.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/chaos.h"
+#include "common/durable.h"
+#include "common/rng.h"
+#include "engine/cluster.h"
+#include "engine/session.h"
+
+namespace hawq::engine {
+namespace {
+
+namespace durable = common::durable;
+
+constexpr uint64_t kRecoverySeeds[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+
+/// A clean, empty data directory under the test tmpdir.
+std::string FreshDataDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "hawq_recovery_" + name;
+  for (const std::string& sub : {dir + "/hdfs", dir}) {
+    auto entries = durable::ListDir(sub);
+    if (entries.ok()) {
+      for (const std::string& e : *entries) {
+        (void)durable::RemoveFile(sub + "/" + e);
+      }
+    }
+  }
+  EXPECT_TRUE(durable::EnsureDir(dir).ok());
+  return dir;
+}
+
+ClusterOptions DurableOpts(const std::string& dir) {
+  ClusterOptions o;
+  o.num_segments = 2;
+  o.data_dir = dir;
+  o.fault_detector_thread = false;  // checkpoints are explicit here
+  o.enable_profiler = false;
+  return o;
+}
+
+/// Arms durable::SimulateCrash at the Nth visit of one chaos point.
+class CrashAtInjector : public common::chaos::Injector {
+ public:
+  CrashAtInjector(std::string point, uint64_t at_visit, uint64_t torn_bytes)
+      : point_(std::move(point)), at_visit_(at_visit), torn_(torn_bytes) {}
+
+  void OnPoint(const char* point) override {
+    if (fired_.load(std::memory_order_relaxed) || point_ != point) return;
+    if (visits_.fetch_add(1) + 1 >= at_visit_) {
+      fired_.store(true, std::memory_order_relaxed);
+      durable::SimulateCrash(torn_);
+    }
+  }
+
+  std::string Describe() const {
+    return point_ + "@" + std::to_string(at_visit_) + " torn=" +
+           std::to_string(torn_);
+  }
+
+ private:
+  std::string point_;
+  uint64_t at_visit_;
+  uint64_t torn_;
+  std::atomic<uint64_t> visits_{0};
+  std::atomic<bool> fired_{false};
+};
+
+/// INSERT `batch` consecutive values [start, start+batch) as one
+/// statement (one transaction: it must survive or vanish atomically).
+std::string InsertBatch(const std::string& table, int start, int batch) {
+  std::string sql = "INSERT INTO " + table + " VALUES ";
+  for (int i = 0; i < batch; ++i) {
+    sql += (i ? ", (" : "(") + std::to_string(start + i) + ")";
+  }
+  return sql;
+}
+
+int64_t CountOf(Session* s, const std::string& sql) {
+  auto r = s->Execute(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+  if (!r.ok() || r->rows.empty()) return -1;
+  return r->rows[0][0].as_int();
+}
+
+void RunRecoverySeed(uint64_t seed) {
+  SCOPED_TRACE("recovery seed " + std::to_string(seed));
+  const std::string dir = FreshDataDir("sweep_" + std::to_string(seed));
+  constexpr int kGoldenRows = 60;
+  constexpr int kBatch = 5;
+
+  // Derive the crash from the seed: which durability point, which visit,
+  // and whether the final flush tears mid-record.
+  Rng rng(seed);
+  const char* kCrashPoints[] = {"wal.append", "wal.fsync",
+                                "checkpoint.write", "block.flush"};
+  std::string point = kCrashPoints[rng.Uniform(0, 3)];
+  uint64_t at_visit =
+      point == "checkpoint.write" ? rng.Uniform(1, 2) : rng.Uniform(1, 10);
+  uint64_t torn = rng.Uniform(0, 1) == 1 ? rng.Uniform(1, 64) : 0;
+
+  {
+    Cluster cluster(DurableOpts(dir));
+    auto s = cluster.Connect();
+    // Phase 1 (fully durable): golden committed data, a rolled-back
+    // transaction, and the table the doomed phase writes into.
+    ASSERT_TRUE(s->Execute("CREATE TABLE gt (a INT)").ok());
+    ASSERT_TRUE(s->Execute("CREATE TABLE dt (a INT)").ok());
+    for (int start = 0; start < kGoldenRows; start += kBatch * 2) {
+      ASSERT_TRUE(s->Execute(InsertBatch("gt", start, kBatch * 2)).ok());
+    }
+    ASSERT_TRUE(s->Execute("BEGIN").ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("gt", 100000, 3)).ok());
+    ASSERT_TRUE(s->Execute("ROLLBACK").ok());
+
+    // Phase 2 (doomed): the crash fires at the seeded point somewhere in
+    // here. Statements after the crash instant keep "succeeding" in
+    // memory but none of it reaches disk — exactly a dead process.
+    CrashAtInjector inj(point, at_visit, torn);
+    SCOPED_TRACE("crash: " + inj.Describe());
+    common::chaos::ScopedInjector guard(&inj);
+    (void)cluster.Checkpoint();
+    for (int i = 0; i < 8; ++i) {
+      (void)s->Execute(InsertBatch("dt", i * kBatch, kBatch));
+      if (i == 3) (void)cluster.Checkpoint();
+    }
+    // A schedule whose visit count was never reached still has to test a
+    // crash — die at the very end of the doomed phase.
+    if (!durable::SimulatedCrash()) durable::SimulateCrash(torn);
+  }  // "kill -9": the destructor writes no farewell checkpoint
+
+  durable::ClearSimulatedCrash();
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().recovered);
+    auto s = cluster.Connect();
+    // Committed-before-crash data: exact.
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM gt"), kGoldenRows);
+    auto sum = s->Execute("SELECT sum(a) FROM gt");
+    ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+    EXPECT_EQ(sum->rows[0][0].as_int(), kGoldenRows * (kGoldenRows - 1) / 2);
+    // Rolled back: invisible.
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM gt WHERE a >= 100000"),
+              0);
+    // Doomed statements: whole or not at all (statement atomicity), and
+    // whatever survived must scan cleanly — truncated in-doubt appends
+    // must never surface as junk rows.
+    int64_t doomed = CountOf(s.get(), "SELECT count(*) FROM dt");
+    EXPECT_GE(doomed, 0);
+    EXPECT_LE(doomed, 8 * kBatch);
+    EXPECT_EQ(doomed % kBatch, 0) << "a partially-durable statement leaked "
+                                  << doomed << " rows";
+    // The recovery must have announced itself.
+    EXPECT_GE(CountOf(s.get(),
+                      "SELECT count(*) FROM hawq_stat_events WHERE event = "
+                      "'recovery_complete'"),
+              1);
+    // And the recovered cluster is fully writable.
+    ASSERT_TRUE(s->Execute(InsertBatch("gt", 200000, kBatch)).ok());
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM gt"),
+              kGoldenRows + kBatch);
+  }
+}
+
+TEST(RecoveryTest, KillRestartSweep) {
+  if (const char* env = std::getenv("HAWQ_RECOVERY_SEED")) {
+    RunRecoverySeed(std::strtoull(env, nullptr, 10));
+    return;
+  }
+  for (uint64_t seed : kRecoverySeeds) {
+    RunRecoverySeed(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(RecoveryTest, CleanRestartPreservesEverything) {
+  const std::string dir = FreshDataDir("clean");
+  {
+    Cluster cluster(DurableOpts(dir));
+    auto s = cluster.Connect();
+    ASSERT_TRUE(
+        s->Execute("CREATE TABLE t (a INT, b TEXT) DISTRIBUTED BY (a)").ok());
+    ASSERT_TRUE(
+        s->Execute("INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')")
+            .ok());
+    ASSERT_TRUE(s->Execute("BEGIN").ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO t VALUES (99, 'ghost')").ok());
+    ASSERT_TRUE(s->Execute("ROLLBACK").ok());
+  }  // clean shutdown: farewell checkpoint
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().recovered);
+    auto s = cluster.Connect();
+    auto r = s->Execute("SELECT a, b FROM t ORDER BY a");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->rows.size(), 3u);
+    EXPECT_EQ(r->rows[0][1].as_str(), "one");
+    EXPECT_EQ(r->rows[2][1].as_str(), "three");
+    // DDL works on the recovered catalog (oid counter advanced past the
+    // recovered tables).
+    ASSERT_TRUE(s->Execute("CREATE TABLE t2 (x INT)").ok());
+    ASSERT_TRUE(s->Execute("INSERT INTO t2 VALUES (7)").ok());
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t2"), 1);
+  }
+}
+
+// Regression: a rollback's truncate-on-abort marks the table's pg_aoseg
+// rows with an xmax that later ABORTS; if a checkpoint cut lands between
+// the rollback and a committed insert into the same table, the checkpoint
+// image carries tuples with the aborted deleter's stale xmax while the
+// committed re-delete replays from the WAL tail. Replay must overwrite
+// that stale xmax (mirroring live Relation::Delete) — refusing to leaves
+// two visible versions of each segfile row, and reconciliation truncates
+// the data file below its committed EOF ("buffer truncated" on scan).
+TEST(RecoveryTest, AbortedXmaxInCheckpointOverwrittenByReplayedDelete) {
+  const std::string dir = FreshDataDir("aborted_xmax");
+  {
+    Cluster cluster(DurableOpts(dir));
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT) DISTRIBUTED BY (a)").ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 0, 10)).ok());
+    // Stain the segfile metadata: the rollback updates (delete+insert)
+    // pg_aoseg, then aborts, leaving a to-be-aborted xmax behind.
+    ASSERT_TRUE(s->Execute("BEGIN").ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 100000, 3)).ok());
+    ASSERT_TRUE(s->Execute("ROLLBACK").ok());
+    // Cut the checkpoint with the stained tuples in the image.
+    ASSERT_TRUE(cluster.Checkpoint().ok());
+    // Committed re-delete of the same tuples lands after the cut, so it
+    // replays from the WAL on top of the checkpoint image.
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 10, 5)).ok());
+    durable::SimulateCrash(0);
+  }  // no farewell checkpoint
+  durable::ClearSimulatedCrash();
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().recovered);
+    auto s = cluster.Connect();
+    // Both scans fail if the stale xmax survived: the file is truncated
+    // to the pre-rollback EOF while the surviving duplicate segfile row
+    // still promises the committed one.
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t"), 15);
+    auto sum = s->Execute("SELECT sum(a) FROM t");
+    ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+    EXPECT_EQ(sum->rows[0][0].as_int(), 15 * 14 / 2);
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t WHERE a >= 100000"), 0);
+    // Still writable after the overwrite path exercised.
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 15, 5)).ok());
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t"), 20);
+  }
+}
+
+TEST(RecoveryTest, TornWalTailIsDetectedAndTruncated) {
+  const std::string dir = FreshDataDir("torn");
+  {
+    Cluster cluster(DurableOpts(dir));
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT)").ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 0, 10)).ok());
+  }
+  // Tear the tail twice over: raw garbage, then a frame header whose
+  // promised payload never arrives (crash mid-write).
+  const std::string wal = dir + "/wal.log";
+  ASSERT_TRUE(durable::AppendFileBytes(wal, "garbage-torn-tail").ok());
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().wal_tail_torn);
+    auto s = cluster.Connect();
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t"), 10);
+    // New appends land after the truncated tail and survive another
+    // restart.
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 10, 5)).ok());
+  }
+  std::string half_frame("\xff\xff\xff\x7f\x00\x00\x00\x00half", 12);
+  ASSERT_TRUE(durable::AppendFileBytes(wal, half_frame).ok());
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().wal_tail_torn);
+    auto s = cluster.Connect();
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t"), 15);
+  }
+}
+
+TEST(RecoveryTest, RottenLatestCheckpointFallsBackToPrevious) {
+  const std::string dir = FreshDataDir("ckpt_fallback");
+  {
+    Cluster cluster(DurableOpts(dir));
+    auto s = cluster.Connect();
+    ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT)").ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 0, 10)).ok());
+    ASSERT_TRUE(cluster.Checkpoint().ok());
+    ASSERT_TRUE(s->Execute(InsertBatch("t", 10, 10)).ok());
+  }  // shutdown writes the second (newest) checkpoint
+  // Rot a byte in the middle of the newest checkpoint file.
+  auto entries = durable::ListDir(dir);
+  ASSERT_TRUE(entries.ok());
+  std::string newest;
+  for (const std::string& e : *entries) {
+    if (e.rfind("ckpt_", 0) == 0 && e > newest) newest = e;
+  }
+  ASSERT_FALSE(newest.empty());
+  auto bytes = durable::ReadFileBytes(dir + "/" + newest);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x40;
+  ASSERT_TRUE(durable::RemoveFile(dir + "/" + newest).ok());
+  ASSERT_TRUE(durable::AppendFileBytes(dir + "/" + newest, *bytes).ok());
+
+  {
+    Cluster cluster(DurableOpts(dir));
+    EXPECT_TRUE(cluster.recovery_result().recovered);
+    EXPECT_TRUE(cluster.recovery_result().used_fallback_checkpoint);
+    auto s = cluster.Connect();
+    // The older checkpoint plus the (never-truncated) WAL reconstruct
+    // everything the rotten one held.
+    EXPECT_EQ(CountOf(s.get(), "SELECT count(*) FROM t"), 20);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-replica failover (block-integrity tentpole): rot the replica
+// the scan reads first; the query must still return golden results while
+// quarantining the bad copy (metric + event).
+
+TEST(RecoveryTest, SingleReplicaCorruptionFailsOverToGoodCopy) {
+  ClusterOptions o;
+  o.num_segments = 2;
+  o.fault_detector_thread = false;
+  o.enable_profiler = false;
+  o.hdfs.replication = 3;
+  Cluster cluster(o);
+  auto s = cluster.Connect();
+  ASSERT_TRUE(s->Execute("CREATE TABLE t (a INT) DISTRIBUTED BY (a)").ok());
+  ASSERT_TRUE(s->Execute(InsertBatch("t", 0, 200)).ok());
+
+  // Corrupt, for every data file, every block's replica on the file's
+  // own segment — the co-located copy locality steers each scan to.
+  for (const std::string& path : cluster.hdfs()->List("/hawq/")) {
+    size_t seg_pos = path.find("/seg");
+    ASSERT_NE(seg_pos, std::string::npos) << path;
+    int host = std::atoi(path.c_str() + seg_pos + 4);
+    auto locs = cluster.hdfs()->GetBlockLocations(path);
+    ASSERT_TRUE(locs.ok());
+    for (size_t b = 0; b < locs->size(); ++b) {
+      (void)cluster.hdfs()->CorruptReplica(path, static_cast<int>(b), host);
+    }
+  }
+
+  auto r = s->Execute("SELECT count(*), sum(a) FROM t");
+  ASSERT_TRUE(r.ok()) << "scan must fail over past the rotted replica: "
+                      << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].as_int(), 200);
+  EXPECT_EQ(r->rows[0][1].as_int(), 199 * 200 / 2);
+  EXPECT_GT(
+      cluster.metrics()->GetCounter("hdfs.read_checksum_failures")->Get(),
+      0u);
+  EXPECT_GE(CountOf(s.get(),
+                    "SELECT count(*) FROM hawq_stat_events WHERE event = "
+                    "'replica_corrupt'"),
+            1);
+  // The quarantined replica was replaced; the next scan is clean.
+  auto again = s->Execute("SELECT count(*) FROM t");
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->rows[0][0].as_int(), 200);
+}
+
+}  // namespace
+}  // namespace hawq::engine

@@ -588,6 +588,85 @@ TEST(HostileFileTest, AoTruncatedMidBlockFailsCleanly) {
   EXPECT_FALSE(fail.ok());
 }
 
+TEST(HostileFileTest, WholeFileRotNeverYieldsWrongRows) {
+  // Flip a byte in every stored block of every replica (base data rot, so
+  // failover finds no good copy either). The scan must fail with a clean
+  // status; any rows it produced before noticing must be the exact golden
+  // prefix — checksums guarantee wrong bytes are never decoded into rows.
+  for (StorageKind kind :
+       {StorageKind::kAO, StorageKind::kCO, StorageKind::kParquet}) {
+    SCOPED_TRACE("kind " + std::to_string(static_cast<int>(kind)));
+    hdfs::MiniHdfs fs(4);
+    StorageOptions opts;
+    opts.kind = kind;
+    opts.stripe_rows = 100;
+    auto w = OpenTableWriter(&fs, "/rot", TestSchema(), opts);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    for (int64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+    }
+    ASSERT_TRUE((*w)->Close().ok());
+    for (const std::string& path :
+         StorageFilePaths("/rot", kind, TestSchema().num_fields())) {
+      ASSERT_TRUE(fs.CorruptStoredData(path).ok()) << path;
+    }
+    auto s = OpenTableScanner(&fs, "/rot", TestSchema(), opts,
+                              (*w)->logical_eof());
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    Row row;
+    int64_t produced = 0;
+    Status fail = Status::OK();
+    for (;;) {
+      auto more = (*s)->Next(&row);
+      if (!more.ok()) {
+        fail = more.status();
+        break;
+      }
+      if (!*more) break;
+      EXPECT_EQ(row[0].as_int(), produced) << "junk row after corruption";
+      ++produced;
+    }
+    EXPECT_FALSE(fail.ok()) << "a fully rotted file must not scan clean";
+    EXPECT_EQ(produced % 100, 0) << "partial stripe decoded from bad bytes";
+  }
+}
+
+TEST(HostileFileTest, FilesWithoutChecksumsStillScan) {
+  // Files from builds predating block checksums (no prefix at all) must
+  // scan under today's defaults — verification just never engages.
+  for (StorageKind kind :
+       {StorageKind::kAO, StorageKind::kCO, StorageKind::kParquet}) {
+    SCOPED_TRACE("kind " + std::to_string(static_cast<int>(kind)));
+    hdfs::MiniHdfs fs(4);
+    StorageOptions legacy;
+    legacy.kind = kind;
+    legacy.stripe_rows = 64;
+    legacy.zone_maps = false;
+    legacy.block_checksums = false;
+    auto w = OpenTableWriter(&fs, "/legacy", TestSchema(), legacy);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    for (int64_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*w)->Append(MakeRow(i)).ok());
+    }
+    ASSERT_TRUE((*w)->Close().ok());
+    StorageOptions modern;  // checksums + zone maps on (defaults)
+    modern.kind = kind;
+    auto s = OpenTableScanner(&fs, "/legacy", TestSchema(), modern,
+                              (*w)->logical_eof());
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    Row row;
+    int64_t n = 0;
+    for (;;) {
+      auto more = (*s)->Next(&row);
+      ASSERT_TRUE(more.ok()) << more.status().ToString();
+      if (!*more) break;
+      EXPECT_EQ(row[0].as_int(), n);
+      ++n;
+    }
+    EXPECT_EQ(n, 200);
+  }
+}
+
 TEST(StorageFilePathsTest, CoHasPerColumnFiles) {
   auto paths = StorageFilePaths("/t", StorageKind::kCO, 3);
   EXPECT_EQ(paths.size(), 4u);
